@@ -1,0 +1,64 @@
+// Reproduces Fig. 14 and Table VIII: write throughput of LevelDB vs
+// LevelDB-FCAE (9-input engine, value 512 B) from 0.2 GB up to 1024 GB,
+// and the share of total run time spent in PCIe transfers.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "syssim/simulator.h"
+
+namespace fcae {
+namespace bench {
+namespace {
+
+void Run() {
+  using syssim::ExecMode;
+  using syssim::SimConfig;
+  using syssim::Simulator;
+
+  PrintHeader("Fig. 14: write throughput vs data size (9-input FCAE)");
+  std::printf("%9s %9s %9s %7s | %9s\n", "size(GB)", "LevelDB", "FCAE",
+              "ratio", "PCIe %");
+
+  const double sizes_gb[] = {0.2, 0.5, 1, 2, 4, 8, 16, 32, 64, 128,
+                             256, 512, 1024};
+  const double paper_pcie[] = {9, 7, 8, 8, 6, 6, 3, 2, 1, 0.9, 0.9, 0.9,
+                               0.9};
+
+  std::printf("(paper Table VIII PCIe %% shown in the last column)\n");
+  int i = 0;
+  for (double gb : sizes_gb) {
+    SimConfig cpu;
+    cpu.mode = ExecMode::kLevelDbCpu;
+    cpu.value_length = 512;
+    SimConfig fc = cpu;
+    fc.mode = ExecMode::kLevelDbFcae;
+    fc.engine.num_inputs = 9;
+    fc.engine.input_width = 8;
+    fc.engine.value_width = 8;
+
+    auto r1 = Simulator(cpu).RunFillRandom(gb * 1e9);
+    auto r2 = Simulator(fc).RunFillRandom(gb * 1e9);
+    std::printf("%9.1f %9.2f %9.2f %7.2f | %6.2f%%  (paper %4.1f%%)\n", gb,
+                r1.throughput_mbps, r2.throughput_mbps,
+                r2.throughput_mbps / r1.throughput_mbps, r2.PciePercent(),
+                paper_pcie[i]);
+    i++;
+  }
+
+  std::printf(
+      "\nshape check: both systems decline with data size; PCIe transfer\n"
+      "time stays a small share of total time (paper: <=9%%, <1%% at the\n"
+      "tail). Note: the paper reports the speedup settling near 2.5x at\n"
+      "extreme sizes while this model's speedup keeps growing mildly —\n"
+      "see EXPERIMENTS.md for the discussion.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fcae
+
+int main() {
+  fcae::bench::Run();
+  return 0;
+}

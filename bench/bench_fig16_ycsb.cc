@@ -1,0 +1,69 @@
+// Reproduces Fig. 16: YCSB throughput of LevelDB vs LevelDB-FCAE
+// (multi-input engine). Paper setup: 20M records of 16 B keys + 1024 B
+// values loaded first, then 20M operations per workload; zipfian
+// request distribution (latest for D). The simulation uses the same
+// record count with a reduced operation count per workload (the
+// equilibrium throughput stabilizes long before 20M ops).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "syssim/simulator.h"
+#include "workload/ycsb.h"
+
+namespace fcae {
+namespace bench {
+namespace {
+
+void Run() {
+  using syssim::ExecMode;
+  using syssim::SimConfig;
+  using syssim::Simulator;
+  using workload::YcsbWorkload;
+
+  constexpr uint64_t kRecords = 20'000'000;
+  constexpr uint64_t kOps = 2'000'000;
+
+  PrintHeader("Fig. 16: YCSB throughput (kops/s), 20M x 1KB records");
+  std::printf("%6s %7s | %10s %10s %8s\n", "wkld", "write%", "LevelDB",
+              "FCAE", "speedup");
+
+  const YcsbWorkload workloads[] = {
+      YcsbWorkload::kLoad, YcsbWorkload::kA, YcsbWorkload::kB,
+      YcsbWorkload::kC,    YcsbWorkload::kD, YcsbWorkload::kE,
+      YcsbWorkload::kF};
+
+  for (YcsbWorkload w : workloads) {
+    SimConfig cpu;
+    cpu.mode = ExecMode::kLevelDbCpu;
+    cpu.value_length = 1024;
+    SimConfig fc = cpu;
+    fc.mode = ExecMode::kLevelDbFcae;
+    fc.engine.num_inputs = 9;
+    fc.engine.input_width = 8;
+    fc.engine.value_width = 8;
+
+    auto r1 = Simulator(cpu).RunYcsb(w, kRecords, kOps);
+    auto r2 = Simulator(fc).RunYcsb(w, kRecords, kOps);
+    std::printf("%6s %6.0f%% | %10.1f %10.1f %8.2f\n",
+                workload::YcsbWorkloadName(w),
+                100 * workload::YcsbWriteFraction(w), r1.throughput_kops,
+                r2.throughput_kops,
+                r2.throughput_kops / r1.throughput_kops);
+  }
+
+  std::printf(
+      "\nshape check (paper Section VII-D): LevelDB-FCAE outperforms\n"
+      "LevelDB in all workloads; the read-only workload C is unchanged\n"
+      "(storage format untouched); the speedup grows with the write\n"
+      "ratio, peaking for the write-only Load (paper: up to 2.2x).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fcae
+
+int main() {
+  fcae::bench::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks of the building blocks the compaction
+// path is made of: CRC32C, the Snappy codec, block build/parse, memtable
+// inserts and the software merge. Useful for spotting regressions in
+// the substrate underneath the reproduction benches.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "compress/snappy.h"
+#include "lsm/dbformat.h"
+#include "lsm/memtable.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "util/crc32c.h"
+#include "util/mem_env.h"
+#include "util/random.h"
+#include "workload/key_generator.h"
+
+namespace fcae {
+namespace {
+
+std::string MakePayload(size_t len) {
+  workload::ValueGenerator gen(301);
+  return gen.Generate(len);
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data = MakePayload(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_SnappyCompress(benchmark::State& state) {
+  std::string data = MakePayload(state.range(0));
+  std::string out;
+  for (auto _ : state) {
+    snappy::Compress(data.data(), data.size(), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_SnappyCompress)->Arg(4096)->Arg(65536);
+
+void BM_SnappyUncompress(benchmark::State& state) {
+  std::string data = MakePayload(state.range(0));
+  std::string compressed;
+  snappy::Compress(data.data(), data.size(), &compressed);
+  std::string out;
+  for (auto _ : state) {
+    snappy::Uncompress(compressed.data(), compressed.size(), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_SnappyUncompress)->Arg(4096)->Arg(65536);
+
+void BM_BlockBuild(benchmark::State& state) {
+  Options options;
+  workload::KeyFormatter keys(16);
+  std::string value = MakePayload(state.range(0));
+  for (auto _ : state) {
+    BlockBuilder builder(&options);
+    for (int i = 0; i < 64; i++) {
+      builder.Add(keys.Format(i), value);
+    }
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BlockBuild)->Arg(128)->Arg(1024);
+
+void BM_BlockIterate(benchmark::State& state) {
+  Options options;
+  workload::KeyFormatter keys(16);
+  std::string value = MakePayload(128);
+  BlockBuilder builder(&options);
+  for (int i = 0; i < 256; i++) {
+    builder.Add(keys.Format(i), value);
+  }
+  std::string contents = builder.Finish().ToString();
+  BlockContents bc;
+  bc.data = Slice(contents);
+  bc.heap_allocated = false;
+  bc.cachable = false;
+  Block block(bc);
+
+  for (auto _ : state) {
+    std::unique_ptr<Iterator> iter(block.NewIterator(BytewiseComparator()));
+    int n = 0;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) n++;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BlockIterate);
+
+void BM_MemTableInsert(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  workload::KeyFormatter keys(16);
+  std::string value = MakePayload(state.range(0));
+  Random rnd(301);
+
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    mem->Add(seq++, kTypeValue, keys.Format(rnd.Next()), value);
+    if (mem->ApproximateMemoryUsage() > (64 << 20)) {
+      state.PauseTiming();
+      mem->Unref();
+      mem = new MemTable(icmp);
+      mem->Ref();
+      state.ResumeTiming();
+    }
+  }
+  mem->Unref();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableInsert)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace fcae
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Reproduces Table VI and Fig. 11: end-to-end random-write throughput of
+// LevelDB vs LevelDB-FCAE (2-input engine) across value lengths and
+// value-path widths V, via the calibrated system simulator
+// (db_bench-style fillrandom over 1M entries, as the flat LevelDB
+// column implies the paper did).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "syssim/simulator.h"
+
+namespace fcae {
+namespace bench {
+namespace {
+
+void Run() {
+  using syssim::ExecMode;
+  using syssim::SimConfig;
+  using syssim::Simulator;
+
+  const int value_lengths[] = {64, 128, 256, 512, 1024, 2048};
+  const int widths[] = {8, 16, 32, 64};
+  const double paper_leveldb[] = {2.4, 2.9, 2.5, 2.8, 2.3, 2.3};
+  const double paper_fcae[4][6] = {{5.6, 6.5, 5.8, 6.0, 6.7, 10.9},
+                                   {5.4, 7.7, 7.1, 9.1, 9.8, 12.3},
+                                   {5.6, 7.6, 7.2, 9.6, 11.0, 14.1},
+                                   {5.4, 7.6, 7.2, 9.3, 11.6, 14.4}};
+
+  PrintHeader(
+      "Table VI: write throughput (MB/s), db_bench fillrandom, 1M entries");
+  std::printf("%8s %9s %7s %7s %7s %7s\n", "L_value", "LevelDB", "V=8",
+              "V=16", "V=32", "V=64");
+
+  double fcae[4][6];
+  double leveldb[6];
+  for (int li = 0; li < 6; li++) {
+    const int value_len = value_lengths[li];
+    const double bytes = 1e6 * (16.0 + value_len);
+
+    SimConfig cpu;
+    cpu.mode = ExecMode::kLevelDbCpu;
+    cpu.value_length = value_len;
+    leveldb[li] = Simulator(cpu).RunFillRandom(bytes).throughput_mbps;
+
+    std::printf("%8d %9.2f", value_len, leveldb[li]);
+    for (int wi = 0; wi < 4; wi++) {
+      SimConfig fc = cpu;
+      fc.mode = ExecMode::kLevelDbFcae;
+      fc.engine.num_inputs = 2;
+      fc.engine.value_width = widths[wi];
+      fcae[wi][li] = Simulator(fc).RunFillRandom(bytes).throughput_mbps;
+      std::printf(" %7.2f", fcae[wi][li]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper:  LevelDB    V=8    V=16    V=32    V=64\n");
+  for (int li = 0; li < 6; li++) {
+    std::printf("%8d %9.1f %7.1f %7.1f %7.1f %7.1f\n", value_lengths[li],
+                paper_leveldb[li], paper_fcae[0][li], paper_fcae[1][li],
+                paper_fcae[2][li], paper_fcae[3][li]);
+  }
+
+  PrintHeader("Fig. 11: LevelDB-FCAE throughput acceleration ratio");
+  std::printf("%8s %7s %7s %7s %7s   (paper V=16)\n", "L_value", "V=8",
+              "V=16", "V=32", "V=64");
+  for (int li = 0; li < 6; li++) {
+    std::printf("%8d %7.2f %7.2f %7.2f %7.2f   %6.2f\n", value_lengths[li],
+                fcae[0][li] / leveldb[li], fcae[1][li] / leveldb[li],
+                fcae[2][li] / leveldb[li], fcae[3][li] / leveldb[li],
+                paper_fcae[1][li] / paper_leveldb[li]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fcae
+
+int main() {
+  fcae::bench::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Table VII: FPGA resource utilization across engine
+// configurations (N, W_in, V) on the KCU1500, including the infeasible
+// 206% LUT point that forces the 9-input engine down to W_in=8, V=8.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fpga/resource_model.h"
+
+namespace fcae {
+namespace bench {
+namespace {
+
+void Run() {
+  using fpga::EngineConfig;
+  using fpga::ResourceModel;
+  using fpga::ResourceUsage;
+
+  PrintHeader("Table VII: resource utilization (% of KCU1500)");
+  std::printf("%3s %5s %4s | %6s %6s %6s | %6s %6s %6s  %s\n", "N", "W_in",
+              "V", "BRAM", "FF", "LUT", "pBRAM", "pFF", "pLUT", "fits?");
+
+  struct Row {
+    int n, win, v;
+    double bram, ff, lut;  // Paper values.
+  };
+  const Row rows[] = {
+      {2, 64, 16, 18, 10, 72}, {2, 64, 8, 17, 9, 63},
+      {9, 64, 8, 35, 27, 206}, {9, 16, 16, 30, 18, 125},
+      {9, 16, 8, 26, 16, 103}, {9, 8, 8, 25, 14, 84},
+  };
+  for (const Row& row : rows) {
+    EngineConfig config;
+    config.num_inputs = row.n;
+    config.input_width = row.win;
+    config.value_width = row.v;
+    ResourceUsage usage = ResourceModel::Estimate(config);
+    std::printf("%3d %5d %4d | %5.0f%% %5.0f%% %5.0f%% | %5.0f%% %5.0f%% "
+                "%5.0f%%  %s\n",
+                row.n, row.win, row.v, usage.bram_pct, usage.ff_pct,
+                usage.lut_pct, row.bram, row.ff, row.lut,
+                usage.Fits() ? "yes" : "NO");
+  }
+
+  PrintHeader("Configuration search (paper Section VII-C1)");
+  for (int n : {2, 9}) {
+    EngineConfig best = ResourceModel::LargestFittingConfig(n);
+    std::printf("N=%d: largest fitting configuration W_in=%d V=%d (%s)\n", n,
+                best.input_width, best.value_width,
+                ResourceModel::Estimate(best).ToString().c_str());
+  }
+  std::printf("paper: N=9 engine must drop to W_in=8, V=8\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fcae
+
+int main() {
+  fcae::bench::Run();
+  return 0;
+}

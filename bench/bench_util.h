@@ -1,0 +1,98 @@
+#ifndef FCAE_BENCH_BENCH_UTIL_H_
+#define FCAE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction benches: staged-input builders and
+// table formatting. Every bench prints the measured series side by side
+// with the paper's published values so EXPERIMENTS.md can be regenerated
+// by running the binaries.
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpga/device_memory.h"
+#include "host/sstable_stager.h"
+#include "lsm/dbformat.h"
+#include "table/table_builder.h"
+#include "util/env.h"
+#include "util/mem_env.h"
+#include "workload/key_generator.h"
+
+namespace fcae {
+namespace bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRow(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Builds one staged device input: a sorted run of `num_records`
+/// internal-key records with the given key/value lengths. Keys are
+/// spaced by `stride` starting at `start` so multiple runs interleave.
+class StagedInputBuilder {
+ public:
+  StagedInputBuilder()
+      : env_(NewMemEnv(Env::Default())),
+        icmp_(BytewiseComparator()),
+        values_(12345) {}
+
+  Status Build(int input_no, uint64_t start, uint64_t num_records,
+               uint64_t stride, size_t key_len, size_t value_len,
+               fpga::DeviceInput* input) {
+    workload::KeyFormatter keys(key_len);
+    Options options;
+    options.env = env_.get();
+    options.comparator = &icmp_;
+
+    const std::string fname = "/bench_input" + std::to_string(input_no) +
+                              "_" + std::to_string(serial_++) + ".ldb";
+    WritableFile* file;
+    Status s = env_->NewWritableFile(fname, &file);
+    if (!s.ok()) return s;
+    {
+      TableBuilder builder(options, file);
+      for (uint64_t i = 0; i < num_records; i++) {
+        std::string ikey;
+        AppendInternalKey(
+            &ikey, ParsedInternalKey(keys.Format(start + i * stride),
+                                     1000 + i, kTypeValue));
+        builder.Add(ikey, values_.Generate(value_len));
+      }
+      s = builder.Finish();
+    }
+    if (s.ok()) s = file->Close();
+    delete file;
+    if (!s.ok()) return s;
+
+    host::SstableStager stager(env_.get());
+    return stager.AddTable(fname, input);
+  }
+
+  Env* env() { return env_.get(); }
+
+ private:
+  std::unique_ptr<Env> env_;
+  InternalKeyComparator icmp_;
+  workload::ValueGenerator values_;
+  int serial_ = 0;
+};
+
+/// Records per input so the staged data totals roughly `total_bytes`.
+inline uint64_t RecordsFor(uint64_t total_bytes, size_t key_len,
+                           size_t value_len) {
+  return total_bytes / (key_len + 8 + value_len);
+}
+
+}  // namespace bench
+}  // namespace fcae
+
+#endif  // FCAE_BENCH_BENCH_UTIL_H_

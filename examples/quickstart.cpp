@@ -1,0 +1,85 @@
+// Quickstart: open a database, write, read, scan, delete — the
+// LevelDB-compatible public API (lsm/db.h). Runs against a real on-disk
+// database in a temporary directory.
+//
+//   ./examples/quickstart [db_path]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "lsm/db.h"
+#include "table/iterator.h"
+#include "lsm/write_batch.h"
+
+int main(int argc, char** argv) {
+  using namespace fcae;
+
+  const std::string path = argc > 1 ? argv[1] : "/tmp/fcae_quickstart_db";
+
+  Options options;
+  options.create_if_missing = true;
+
+  DB* raw_db = nullptr;
+  Status s = DB::Open(options, path, &raw_db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw_db);
+  std::printf("opened %s\n", path.c_str());
+
+  // Single writes.
+  WriteOptions wo;
+  db->Put(wo, "language", "C++20");
+  db->Put(wo, "paper", "FPGA-based Compaction Engine for LSM-tree KV Stores");
+  db->Put(wo, "venue", "ICDE 2020");
+
+  // Atomic multi-key batch.
+  WriteBatch batch;
+  batch.Put("board", "Xilinx KCU1500");
+  batch.Put("clock", "200 MHz");
+  batch.Delete("venue");
+  s = db->Write(wo, &batch);
+  if (!s.ok()) {
+    std::fprintf(stderr, "batch write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Point reads.
+  std::string value;
+  s = db->Get(ReadOptions(), "paper", &value);
+  std::printf("paper  -> %s\n", s.ok() ? value.c_str() : s.ToString().c_str());
+  s = db->Get(ReadOptions(), "venue", &value);
+  std::printf("venue  -> %s (deleted in the batch)\n",
+              s.IsNotFound() ? "NotFound" : value.c_str());
+
+  // Snapshot isolation.
+  const Snapshot* snap = db->GetSnapshot();
+  db->Put(wo, "language", "Rust?!");
+  ReadOptions at_snap;
+  // Snapshots are passed by sequence number in this API; the Snapshot
+  // handle manages the pin. See lsm/snapshot.h.
+  db->Get(ReadOptions(), "language", &value);
+  std::printf("language (latest) -> %s\n", value.c_str());
+  db->ReleaseSnapshot(snap);
+  db->Put(wo, "language", "C++20");
+  (void)at_snap;
+
+  // Full scan.
+  std::printf("scan:\n");
+  std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    std::printf("  %-10s -> %s\n", iter->key().ToString().c_str(),
+                iter->value().ToString().c_str());
+  }
+
+  // Engine statistics (files per level, compaction stats).
+  std::string stats;
+  if (db->GetProperty("fcae.stats", &stats)) {
+    std::printf("\n%s\n", stats.c_str());
+  }
+
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#ifndef FCAE_COMPRESS_SNAPPY_H_
+#define FCAE_COMPRESS_SNAPPY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/slice.h"
+
+namespace fcae {
+namespace snappy {
+
+// A from-scratch implementation of the Snappy block format (varint32
+// uncompressed-length header followed by a literal/copy tag stream). The
+// paper's SSTable blocks and the FPGA engine's Decoder/Encoder both use
+// Snappy; this codec stands in for the Google library with the same
+// speed/ratio character (byte-oriented LZ77, no entropy coding).
+
+/// Compresses input[0, n) into *output (overwritten). Always succeeds;
+/// incompressible data grows by at most n/6 + 32 bytes.
+void Compress(const char* input, size_t n, std::string* output);
+
+/// Sets *result to the uncompressed length recorded in a compressed
+/// stream. Returns false if the header is malformed.
+bool GetUncompressedLength(const char* input, size_t n, size_t* result);
+
+/// Decompresses input[0, n) into `output`, which must have space for
+/// GetUncompressedLength() bytes. Returns false on corrupt input.
+bool Uncompress(const char* input, size_t n, char* output);
+
+/// Convenience overload decompressing into a string.
+bool Uncompress(const char* input, size_t n, std::string* output);
+
+/// Returns an upper bound on the compressed size of n input bytes.
+size_t MaxCompressedLength(size_t n);
+
+}  // namespace snappy
+}  // namespace fcae
+
+#endif  // FCAE_COMPRESS_SNAPPY_H_

@@ -1,0 +1,34 @@
+#ifndef FCAE_FPGA_BLOCK_PARSE_H_
+#define FCAE_FPGA_BLOCK_PARSE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fcae {
+namespace fpga {
+
+/// One fully reconstructed block entry (prefix decompression applied).
+struct ParsedEntry {
+  std::string key;
+  std::string value;
+};
+
+/// Functional model of the engine's on-chip block decode path: verifies
+/// the 5-byte trailer (type + masked CRC32C), applies Snappy
+/// decompression when the type byte says so, and stores the plain block
+/// contents in *contents.
+Status DecodeStoredBlock(const Slice& stored_block, bool verify_checksum,
+                         std::string* contents);
+
+/// Walks a plain (decompressed) SSTable block, undoing the restart-point
+/// prefix compression, and appends every entry to *out.
+Status ParseBlockEntries(const Slice& contents,
+                         std::vector<ParsedEntry>* out);
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_BLOCK_PARSE_H_

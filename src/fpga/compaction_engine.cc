@@ -1,0 +1,124 @@
+#include "fpga/compaction_engine.h"
+
+#include "fpga/comparer.h"
+#include "fpga/decoder.h"
+#include "fpga/encoder.h"
+#include "fpga/kv_transfer.h"
+#include "lsm/dbformat.h"
+#include "util/comparator.h"
+
+namespace fcae {
+namespace fpga {
+
+/// Owns the module graph and the Options the encoder's BlockBuilder
+/// needs (keys flowing through the engine are internal keys, so the
+/// builder is configured with the internal key comparator).
+struct CompactionEngine::Pipeline {
+  Pipeline(const EngineConfig& config,
+           const std::vector<const DeviceInput*>& inputs,
+           uint64_t smallest_snapshot, bool drop_deletions,
+           DeviceOutput* output)
+      : icmp(BytewiseComparator()) {
+    table_options.comparator = &icmp;
+    table_options.block_restart_interval = 16;
+    table_options.block_size = config.data_block_threshold;
+
+    for (size_t i = 0; i < inputs.size(); i++) {
+      decoders.push_back(std::make_unique<InputDecoder>(
+          config, inputs[i], static_cast<int>(i)));
+    }
+    std::vector<InputDecoder*> decoder_ptrs;
+    for (auto& d : decoders) decoder_ptrs.push_back(d.get());
+
+    comparer = std::make_unique<Comparer>(config, decoder_ptrs,
+                                          smallest_snapshot, drop_deletions);
+    transfer = std::make_unique<KeyValueTransfer>(config, comparer.get(),
+                                                  decoder_ptrs);
+    encoder = std::make_unique<OutputEncoder>(config, table_options,
+                                              transfer.get(), output);
+  }
+
+  InternalKeyComparator icmp;
+  Options table_options;
+  std::vector<std::unique_ptr<InputDecoder>> decoders;
+  std::unique_ptr<Comparer> comparer;
+  std::unique_ptr<KeyValueTransfer> transfer;
+  std::unique_ptr<OutputEncoder> encoder;
+};
+
+CompactionEngine::CompactionEngine(const EngineConfig& config,
+                                   std::vector<const DeviceInput*> inputs,
+                                   uint64_t smallest_snapshot,
+                                   bool drop_deletions, DeviceOutput* output)
+    : config_(config),
+      inputs_(std::move(inputs)),
+      smallest_snapshot_(smallest_snapshot),
+      drop_deletions_(drop_deletions),
+      output_(output) {
+  assert(static_cast<int>(inputs_.size()) <= config_.num_inputs);
+  pipeline_ = std::make_unique<Pipeline>(config_, inputs_, smallest_snapshot_,
+                                         drop_deletions_, output_);
+}
+
+CompactionEngine::~CompactionEngine() = default;
+
+Status CompactionEngine::Run() {
+  Pipeline& p = *pipeline_;
+
+  for (const DeviceInput* input : inputs_) {
+    stats_.input_bytes += input->TotalBytes();
+  }
+
+  // Hard bound: even a fully serialized pipeline processes at least one
+  // byte every few cycles; anything beyond this is a wiring bug.
+  const uint64_t kCycleBound =
+      1000000 + 400ull * (stats_.input_bytes + 1024) *
+                    static_cast<uint64_t>(config_.num_inputs);
+
+  bool upstream_done_notified = false;
+  while (!p.encoder->Done()) {
+    // Downstream to upstream so freed space propagates next cycle.
+    p.encoder->Tick();
+    p.transfer->Tick();
+    p.comparer->Tick();
+    for (auto& decoder : p.decoders) {
+      decoder->Tick();
+    }
+    stats_.cycles++;
+
+    if (!upstream_done_notified && p.transfer->Done()) {
+      p.encoder->NotifyUpstreamDone();
+      upstream_done_notified = true;
+    }
+
+    for (auto& decoder : p.decoders) {
+      if (!decoder->status().ok()) {
+        return decoder->status();
+      }
+    }
+    if (stats_.cycles > kCycleBound) {
+      return Status::Corruption("engine wedged: cycle bound exceeded");
+    }
+  }
+
+  for (auto& decoder : p.decoders) {
+    stats_.records_in += decoder->records_decoded();
+    stats_.decoder_fetch_stalls += decoder->fetch_stall_cycles();
+    stats_.decoder_backpressure += decoder->backpressure_cycles();
+    stats_.decoder_busy += decoder->busy_cycles();
+  }
+  stats_.records_out = p.transfer->transferred();
+  stats_.records_dropped = p.transfer->dropped();
+  stats_.comparer_waits = p.comparer->wait_cycles();
+  stats_.encoder_write_stalls = p.encoder->write_stall_cycles();
+  stats_.comparer_busy = p.comparer->busy_cycles();
+  stats_.transfer_busy = p.transfer->busy_cycles();
+  stats_.encoder_busy = p.encoder->busy_cycles();
+  for (const DeviceOutputTable& t : output_->tables) {
+    stats_.output_bytes += t.data_memory.size();
+  }
+  return Status::OK();
+}
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,101 @@
+#ifndef FCAE_FPGA_COMPACTION_ENGINE_H_
+#define FCAE_FPGA_COMPACTION_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fpga/config.h"
+#include "fpga/device_memory.h"
+#include "util/options.h"
+#include "util/status.h"
+
+namespace fcae {
+namespace fpga {
+
+/// Cycle counts and functional totals for one engine run.
+struct EngineStats {
+  uint64_t cycles = 0;
+  uint64_t records_in = 0;       // Records decoded across all inputs.
+  uint64_t records_out = 0;      // Records surviving into outputs.
+  uint64_t records_dropped = 0;  // Invalidated by the Validity Check.
+  uint64_t input_bytes = 0;      // Staged input bytes (index + data).
+  uint64_t output_bytes = 0;     // Produced output bytes.
+  uint64_t decoder_fetch_stalls = 0;
+  uint64_t decoder_backpressure = 0;
+  uint64_t comparer_waits = 0;
+  uint64_t encoder_write_stalls = 0;
+
+  // Per-module busy cycles (the utilization profile; the largest share
+  // identifies the observed pipeline bottleneck, comparable against
+  // TimingModel::BottleneckModule).
+  uint64_t decoder_busy = 0;   // Summed over all input lanes.
+  uint64_t comparer_busy = 0;
+  uint64_t transfer_busy = 0;
+  uint64_t encoder_busy = 0;
+
+  /// Busy share of a module over the whole run, in [0, 1].
+  double Utilization(uint64_t busy) const {
+    return cycles > 0 ? static_cast<double>(busy) / cycles : 0;
+  }
+
+  /// Kernel time at the configured clock.
+  double Micros(const EngineConfig& config) const {
+    return config.CyclesToMicros(cycles);
+  }
+
+  /// Compaction speed as the paper defines it: size of input SSTables /
+  /// kernel compaction time (Section VII-B1), in MB/s.
+  double CompactionSpeedMBps(const EngineConfig& config) const {
+    double secs = Micros(config) / 1e6;
+    if (secs <= 0) return 0;
+    return (static_cast<double>(input_bytes) / (1024.0 * 1024.0)) / secs;
+  }
+};
+
+/// The FPGA compaction engine (paper Section V): an N-input
+/// decode/compare/encode pipeline simulated at cycle granularity with
+/// FIFO backpressure, performing the real merge on real SSTable bytes.
+///
+/// Usage: stage inputs (DeviceInput images built by the host layer),
+/// construct, Run(), read the DeviceOutput and stats. An engine object
+/// is single-use, like one offloaded kernel invocation.
+class CompactionEngine {
+ public:
+  /// `inputs` and `output` must outlive the engine. At most
+  /// config.num_inputs inputs are accepted — the host scheduler must
+  /// have already routed bigger jobs to software (paper Fig. 6).
+  CompactionEngine(const EngineConfig& config,
+                   std::vector<const DeviceInput*> inputs,
+                   uint64_t smallest_snapshot, bool drop_deletions,
+                   DeviceOutput* output);
+
+  CompactionEngine(const CompactionEngine&) = delete;
+  CompactionEngine& operator=(const CompactionEngine&) = delete;
+
+  ~CompactionEngine();
+
+  /// Runs the pipeline to completion. Returns non-ok on malformed
+  /// staged data (and leaves the output in an unspecified state).
+  Status Run();
+
+  const EngineStats& stats() const { return stats_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Pipeline;
+
+  const EngineConfig config_;
+  std::vector<const DeviceInput*> inputs_;
+  const uint64_t smallest_snapshot_;
+  const bool drop_deletions_;
+  DeviceOutput* output_;
+  EngineStats stats_;
+
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_COMPACTION_ENGINE_H_

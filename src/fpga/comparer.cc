@@ -1,0 +1,154 @@
+#include "fpga/comparer.h"
+
+#include <cstring>
+
+#include "fpga/decoder.h"
+#include "lsm/dbformat.h"
+
+namespace fcae {
+namespace fpga {
+
+namespace {
+
+uint64_t CeilLog2(uint64_t n) {
+  uint64_t result = 0;
+  uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    result++;
+  }
+  return result;
+}
+
+}  // namespace
+
+Comparer::Comparer(const EngineConfig& config,
+                   std::vector<InputDecoder*> inputs,
+                   uint64_t smallest_snapshot, bool drop_deletions)
+    : config_(config),
+      inputs_(std::move(inputs)),
+      smallest_snapshot_(smallest_snapshot),
+      drop_deletions_(drop_deletions),
+      selection_fifo_(static_cast<size_t>(config.record_fifo_depth)) {}
+
+int Comparer::CompareInternalKeys(const std::string& a,
+                                  const std::string& b) {
+  // Hardware-friendly bytewise compare of the user keys, then the mark
+  // field compared in reverse (larger sequence/type first).
+  Slice ua = ExtractUserKey(a);
+  Slice ub = ExtractUserKey(b);
+  int r = ua.Compare(ub);
+  if (r != 0) {
+    return r;
+  }
+  uint64_t ma = ExtractMark(a);
+  uint64_t mb = ExtractMark(b);
+  if (ma > mb) return -1;
+  if (ma < mb) return +1;
+  return 0;
+}
+
+bool Comparer::CheckDrop(const std::string& internal_key) {
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(internal_key, &parsed)) {
+    // Do not hide corruption: forward unparsable keys untouched.
+    has_current_user_key_ = false;
+    last_sequence_for_key_ = kMaxSequenceNumber;
+    return false;
+  }
+
+  bool drop = false;
+  if (!has_current_user_key_ ||
+      parsed.user_key.Compare(Slice(current_user_key_)) != 0) {
+    current_user_key_.assign(parsed.user_key.data(), parsed.user_key.size());
+    has_current_user_key_ = true;
+    last_sequence_for_key_ = kMaxSequenceNumber;
+  }
+
+  if (last_sequence_for_key_ <= smallest_snapshot_) {
+    drop = true;  // Shadowed by a newer record for the same user key.
+  } else if (parsed.type == kTypeDeletion &&
+             parsed.sequence <= smallest_snapshot_ && drop_deletions_) {
+    drop = true;  // Obsolete deletion marker with no deeper data.
+  }
+  last_sequence_for_key_ = parsed.sequence;
+  return drop;
+}
+
+void Comparer::Tick() {
+  if (selection_ready_) {
+    if (selection_fifo_.CanPush()) {
+      selection_fifo_.Push(pending_);
+      selection_ready_ = false;
+    } else {
+      return;
+    }
+  }
+
+  if (busy_ > 0) {
+    busy_--;
+    busy_cycles_++;
+    if (busy_ > 0) return;
+    selection_ready_ = true;
+    if (selection_fifo_.CanPush()) {
+      selection_fifo_.Push(pending_);
+      selection_ready_ = false;
+    }
+    return;
+  }
+
+  // Start a new selection: every non-exhausted input must present a key
+  // at its stream head (the compare tree needs all lanes valid).
+  int best = -1;
+  for (size_t i = 0; i < inputs_.size(); i++) {
+    InputDecoder* input = inputs_[i];
+    if (input->key_stream().Empty()) {
+      if (!input->Exhausted()) {
+        wait_cycles_++;
+        return;  // Lane not ready yet; wait.
+      }
+      continue;  // Fully drained lane: excluded from the tree.
+    }
+    if (best < 0 ||
+        CompareInternalKeys(input->key_stream().Front().internal_key,
+                            inputs_[best]->key_stream().Front().internal_key) <
+            0) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    return;  // Everything exhausted.
+  }
+
+  KvRecord record = inputs_[best]->key_stream().Pop();
+  pending_.input_no = best;
+  pending_.key_length = static_cast<uint32_t>(record.key_length());
+  pending_.value_length = static_cast<uint32_t>(record.value_length());
+  pending_.drop = CheckDrop(record.internal_key);
+
+  selections_made_++;
+  if (pending_.drop) {
+    drops_++;
+  }
+
+  // Table II/III period. Without key-value separation the full record
+  // width moves through the compare network.
+  uint64_t unit = record.key_length();
+  if (!config_.KeyValueSeparated()) {
+    unit += record.value_length();
+  }
+  busy_ = (2 + CeilLog2(static_cast<uint64_t>(config_.num_inputs))) * unit;
+  if (busy_ == 0) busy_ = 1;
+}
+
+bool Comparer::Done() const {
+  if (busy_ > 0 || selection_ready_) return false;
+  for (const InputDecoder* input : inputs_) {
+    if (!input->Exhausted()) return false;
+    if (!const_cast<InputDecoder*>(input)->key_stream().Empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,38 @@
+#ifndef FCAE_FPGA_KV_RECORD_H_
+#define FCAE_FPGA_KV_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fcae {
+namespace fpga {
+
+/// One decoded key-value pair flowing through the engine pipeline. The
+/// key is a full internal key: user key bytes followed by the 8-byte
+/// mark field ((sequence << 8) | type), exactly the paper's "real key
+/// plus mark fields ... treated as a whole in Decoder and Encoder".
+struct KvRecord {
+  std::string internal_key;
+  std::string value;
+
+  size_t key_length() const { return internal_key.size(); }
+  size_t value_length() const { return value.size(); }
+};
+
+/// The Comparer's selection result handed to the Key-Value Transfer
+/// module: which input holds the current smallest key, and whether the
+/// Validity Check decided to drop it (paper Section V-A: "the Drop flag
+/// is sent to Key-Value Transfer ... the Input No. should be sent as
+/// well").
+struct Selection {
+  int input_no = 0;
+  bool drop = false;
+  // Service-time parameters captured at selection time.
+  uint32_t key_length = 0;
+  uint32_t value_length = 0;
+};
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_KV_RECORD_H_

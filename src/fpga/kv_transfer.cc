@@ -1,0 +1,86 @@
+#include "fpga/kv_transfer.h"
+
+#include <algorithm>
+
+#include "fpga/comparer.h"
+#include "fpga/decoder.h"
+
+namespace fcae {
+namespace fpga {
+
+namespace {
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+KeyValueTransfer::KeyValueTransfer(const EngineConfig& config,
+                                   Comparer* comparer,
+                                   std::vector<InputDecoder*> inputs)
+    : config_(config),
+      comparer_(comparer),
+      inputs_(std::move(inputs)),
+      out_fifo_(static_cast<size_t>(config.record_fifo_depth)) {}
+
+void KeyValueTransfer::Tick() {
+  if (record_ready_) {
+    if (pending_drop_) {
+      record_ready_ = false;  // Discarded; nothing to forward.
+    } else if (out_fifo_.CanPush()) {
+      out_fifo_.Push(std::move(pending_record_));
+      record_ready_ = false;
+    } else {
+      return;  // Encoder backpressure.
+    }
+  }
+
+  if (busy_ > 0) {
+    busy_--;
+    busy_cycles_++;
+    if (busy_ > 0) return;
+    record_ready_ = true;
+    // Try to complete in the same cycle the timer expires.
+    if (pending_drop_) {
+      record_ready_ = false;
+    } else if (out_fifo_.CanPush()) {
+      out_fifo_.Push(std::move(pending_record_));
+      record_ready_ = false;
+    }
+    return;
+  }
+
+  if (!comparer_->selections().CanPop()) {
+    return;
+  }
+  const Selection& sel = comparer_->selections().Front();
+  Fifo<KvRecord>& source = inputs_[sel.input_no]->records_for_transfer();
+  if (source.Empty()) {
+    // The copy stream lags the key stream by at most the decoder's
+    // publish step; wait for it.
+    return;
+  }
+  Selection selection = comparer_->selections().Pop();
+  pending_record_ = source.Pop();
+  pending_drop_ = selection.drop;
+  if (selection.drop) {
+    dropped_++;
+  } else {
+    transferred_++;
+  }
+
+  const uint64_t key_cycles = selection.key_length;
+  const uint64_t value_cycles =
+      CeilDiv(selection.value_length, config_.EffectiveValueWidth());
+  if (config_.KeyValueSeparated()) {
+    busy_ = std::max(key_cycles, value_cycles);
+  } else {
+    busy_ = key_cycles + selection.value_length;
+  }
+  if (busy_ == 0) busy_ = 1;
+}
+
+bool KeyValueTransfer::Done() const {
+  return busy_ == 0 && !record_ready_ && comparer_->Done() &&
+         comparer_->selections().Empty();
+}
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,20 @@
+#ifndef FCAE_FPGA_OUTPUT_TO_INPUT_H_
+#define FCAE_FPGA_OUTPUT_TO_INPUT_H_
+
+#include "fpga/device_memory.h"
+
+namespace fcae {
+namespace fpga {
+
+/// Re-stages an engine output as a new engine input without leaving the
+/// card: the output data blocks are adopted verbatim and each table's
+/// index entries are re-encoded as a stored index block (restart
+/// interval 1 + trailer), producing exactly the layout the Index Block
+/// Decoder consumes. This is what makes tournament scheduling of
+/// >N-input compactions possible inside the card's 16 GB DRAM.
+Status ConvertOutputToInput(const DeviceOutput& output, DeviceInput* input);
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_OUTPUT_TO_INPUT_H_

@@ -1,0 +1,42 @@
+#ifndef FCAE_FPGA_PCIE_MODEL_H_
+#define FCAE_FPGA_PCIE_MODEL_H_
+
+#include <cstdint>
+
+namespace fcae {
+namespace fpga {
+
+/// Transfer-time model for the PCIe gen3 x16 link between host memory
+/// and the card's DRAM (paper Section IV: inputs move host -> card in
+/// DMA mode, outputs come back after the end signal; Table VIII shows
+/// the transfer share of total time).
+class PcieModel {
+ public:
+  /// gen3 x16: 15.75 GB/s raw; ~12 GB/s effective after 128b/130b and
+  /// DMA protocol overheads.
+  explicit PcieModel(double effective_gbps = 12.0,
+                     double per_dma_latency_us = 10.0)
+      : bytes_per_micro_(effective_gbps * 1e9 / 1e6),
+        per_dma_latency_us_(per_dma_latency_us) {}
+
+  /// Time to move `bytes` in one DMA, in microseconds.
+  double TransferMicros(uint64_t bytes) const {
+    if (bytes == 0) return 0;
+    return per_dma_latency_us_ +
+           static_cast<double>(bytes) / bytes_per_micro_;
+  }
+
+  /// Host -> card inputs plus card -> host outputs for one offload.
+  double RoundTripMicros(uint64_t input_bytes, uint64_t output_bytes) const {
+    return TransferMicros(input_bytes) + TransferMicros(output_bytes);
+  }
+
+ private:
+  double bytes_per_micro_;
+  double per_dma_latency_us_;
+};
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_PCIE_MODEL_H_

@@ -1,0 +1,85 @@
+#include "fpga/resource_model.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace fcae {
+namespace fpga {
+
+std::string ResourceUsage::ToString() const {
+  char buf[100];
+  std::snprintf(buf, sizeof(buf), "BRAM %.0f%%  FF %.0f%%  LUT %.0f%%%s",
+                bram_pct, ff_pct, lut_pct, Fits() ? "" : "  (does not fit)");
+  return buf;
+}
+
+namespace {
+
+// Calibrated to Table VII. Terms: constant (control, PCIe/AXI shell,
+// comparer tree, encoder), per-input lane, lane x W_in (burst buffer),
+// lane x V (value datapath), and the Stream Downsizer network, whose
+// cost scales with W_in x min(V, W_in - V): a W_in -> V converter is
+// largest at intermediate ratios and degenerates to a passthrough as V
+// approaches W_in. Max residual against Table VII: < 0.3 %.
+struct Coefficients {
+  double base;
+  double per_input;
+  double per_input_win;
+  double per_input_v;
+  double per_input_downsizer;
+
+  double Eval(int n, int win, int v) const {
+    const double dn = n;
+    const double downsizer = static_cast<double>(win) *
+                             static_cast<double>(v < win - v ? v : win - v);
+    return base + per_input * dn + per_input_win * dn * win +
+           per_input_v * dn * v + per_input_downsizer * dn * downsizer;
+  }
+};
+
+constexpr Coefficients kBram = {11.990604, 0.840202, 0.020443, 0.052258,
+                                -0.000027};
+constexpr Coefficients kFf = {3.877364, 0.672758, 0.022037, 0.034012,
+                              0.000417};
+constexpr Coefficients kLut = {22.146901, 2.315504, 0.212741, 0.356802,
+                               0.003208};
+
+}  // namespace
+
+ResourceUsage ResourceModel::Estimate(const EngineConfig& config) {
+  ResourceUsage usage;
+  const int n = config.num_inputs;
+  const int win = config.EffectiveInputWidth();
+  const int v = config.EffectiveValueWidth();
+  usage.bram_pct = kBram.Eval(n, win, v);
+  usage.ff_pct = kFf.Eval(n, win, v);
+  usage.lut_pct = kLut.Eval(n, win, v);
+  return usage;
+}
+
+EngineConfig ResourceModel::LargestFittingConfig(int num_inputs) {
+  static const int kWidths[] = {64, 32, 16, 8};
+  EngineConfig best;
+  best.num_inputs = num_inputs;
+  bool found = false;
+  for (int win : kWidths) {
+    for (int v : kWidths) {
+      if (v > win) continue;  // Downsizer narrows; V <= W_in.
+      EngineConfig candidate;
+      candidate.num_inputs = num_inputs;
+      candidate.input_width = win;
+      candidate.value_width = v;
+      if (!Fits(candidate)) continue;
+      if (!found || candidate.input_width > best.input_width ||
+          (candidate.input_width == best.input_width &&
+           candidate.value_width > best.value_width)) {
+        best = candidate;
+        found = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,56 @@
+#ifndef FCAE_FPGA_RESOURCE_MODEL_H_
+#define FCAE_FPGA_RESOURCE_MODEL_H_
+
+#include <string>
+
+#include "fpga/config.h"
+
+namespace fcae {
+namespace fpga {
+
+/// Estimated utilization of the target FPGA, in percent of the
+/// KCU1500's available resources (as Vivado reports it; >100 % means
+/// the design does not fit).
+struct ResourceUsage {
+  double bram_pct = 0;
+  double ff_pct = 0;
+  double lut_pct = 0;
+
+  /// A design is implementable only when everything fits on the chip.
+  bool Fits() const {
+    return bram_pct <= 100.0 && ff_pct <= 100.0 && lut_pct <= 100.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// An area model of the engine on the Xilinx KCU1500 (paper Table VII).
+///
+/// Structure: a fixed control/AXI base plus one decode lane per input;
+/// each lane's cost grows with the AXI input width W_in (burst buffers,
+/// FIFO width), the value datapath width V, and an interaction term for
+/// the Stream Downsizer, whose W_in -> V conversion network is the
+/// dominant LUT consumer ("the Stream Downsizer module on FPGA consumes
+/// considerable LUT resource", Section VII-C1). Coefficients are
+/// least-squares calibrated to the six synthesis points of Table VII
+/// (max residual < 1 %).
+class ResourceModel {
+ public:
+  /// Estimates utilization for the given engine configuration.
+  static ResourceUsage Estimate(const EngineConfig& config);
+
+  /// Convenience: whether a configuration fits on the device.
+  static bool Fits(const EngineConfig& config) {
+    return Estimate(config).Fits();
+  }
+
+  /// Searches the (W_in, V) grid for the highest-bandwidth configuration
+  /// that fits for the given input count, preferring larger W_in then
+  /// larger V (the paper picked W_in = 8, V = 8 for N = 9 this way).
+  static EngineConfig LargestFittingConfig(int num_inputs);
+};
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_RESOURCE_MODEL_H_

@@ -1,0 +1,126 @@
+#include "host/fcae_device.h"
+
+#include <memory>
+
+#include "fpga/output_to_input.h"
+
+namespace fcae {
+namespace host {
+
+FcaeDevice::FcaeDevice(const fpga::EngineConfig& config,
+                       const fpga::PcieModel& pcie)
+    : config_(config), pcie_(pcie) {}
+
+Status FcaeDevice::ExecuteCompaction(
+    const std::vector<const fpga::DeviceInput*>& inputs,
+    uint64_t smallest_snapshot, bool drop_deletions,
+    fpga::DeviceOutput* output, DeviceRunStats* stats) {
+  if (static_cast<int>(inputs.size()) > config_.num_inputs) {
+    return Status::InvalidArgument(
+        "engine input count exceeds synthesized N");
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  *stats = DeviceRunStats();
+  for (const fpga::DeviceInput* input : inputs) {
+    stats->input_bytes += input->TotalBytes();
+  }
+
+  fpga::CompactionEngine engine(config_, inputs, smallest_snapshot,
+                                drop_deletions, output);
+  Status s = engine.Run();
+  if (!s.ok()) {
+    return s;
+  }
+
+  stats->engine = engine.stats();
+  stats->kernel_cycles = engine.stats().cycles;
+  stats->kernel_micros = config_.CyclesToMicros(stats->kernel_cycles);
+  stats->output_bytes = output->TotalBytes();
+  stats->pcie_micros =
+      pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
+
+  total_kernel_cycles_ += stats->kernel_cycles;
+  total_pcie_micros_ += stats->pcie_micros;
+  kernels_launched_++;
+  return Status::OK();
+}
+
+Status FcaeDevice::ExecuteTournament(
+    const std::vector<const fpga::DeviceInput*>& inputs,
+    uint64_t smallest_snapshot, bool drop_deletions,
+    fpga::DeviceOutput* output, DeviceRunStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  *stats = DeviceRunStats();
+  for (const fpga::DeviceInput* input : inputs) {
+    stats->input_bytes += input->TotalBytes();
+  }
+
+  // Rounds of up to N-input merges. `owned` keeps intermediate images
+  // (the card DRAM) alive; `current` always points at this round's runs.
+  std::vector<std::unique_ptr<fpga::DeviceInput>> owned;
+  std::vector<const fpga::DeviceInput*> current = inputs;
+
+  const int n = config_.num_inputs;
+  while (static_cast<int>(current.size()) > n) {
+    std::vector<const fpga::DeviceInput*> next;
+    for (size_t g = 0; g < current.size(); g += n) {
+      const size_t end = std::min(current.size(), g + n);
+      if (end - g == 1) {
+        // Singleton group: carries over unmerged.
+        next.push_back(current[g]);
+        continue;
+      }
+      std::vector<const fpga::DeviceInput*> group(current.begin() + g,
+                                                  current.begin() + end);
+      fpga::DeviceOutput intermediate;
+      // Intermediate passes must keep deletion markers: data for the
+      // same user key may live in another group.
+      fpga::CompactionEngine engine(config_, group, smallest_snapshot,
+                                    /*drop_deletions=*/false, &intermediate);
+      Status s = engine.Run();
+      if (!s.ok()) return s;
+      stats->kernel_cycles += engine.stats().cycles;
+      stats->engine.records_in += engine.stats().records_in;
+      stats->engine.records_dropped += engine.stats().records_dropped;
+
+      auto restaged = std::make_unique<fpga::DeviceInput>();
+      s = fpga::ConvertOutputToInput(intermediate, restaged.get());
+      if (!s.ok()) return s;
+      next.push_back(restaged.get());
+      // Keep every intermediate alive until the merge completes: a
+      // singleton group may carry a pointer from an earlier round.
+      owned.push_back(std::move(restaged));
+    }
+    current = std::move(next);
+  }
+
+  // Final pass applies the real drop rule.
+  fpga::CompactionEngine engine(config_, current, smallest_snapshot,
+                                drop_deletions, output);
+  Status s = engine.Run();
+  if (!s.ok()) return s;
+
+  stats->kernel_cycles += engine.stats().cycles;
+  fpga::EngineStats final_stats = engine.stats();
+  final_stats.cycles = stats->kernel_cycles;
+  final_stats.records_in += stats->engine.records_in;
+  final_stats.records_dropped += stats->engine.records_dropped;
+  stats->engine = final_stats;
+
+  stats->kernel_micros = config_.CyclesToMicros(stats->kernel_cycles);
+  stats->output_bytes = output->TotalBytes();
+  // Only the initial inputs and final outputs cross the PCIe link.
+  stats->pcie_micros =
+      pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
+
+  total_kernel_cycles_ += stats->kernel_cycles;
+  total_pcie_micros_ += stats->pcie_micros;
+  kernels_launched_++;
+  return Status::OK();
+}
+
+}  // namespace host
+}  // namespace fcae

@@ -1,0 +1,81 @@
+#ifndef FCAE_HOST_FCAE_DEVICE_H_
+#define FCAE_HOST_FCAE_DEVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "fpga/compaction_engine.h"
+#include "fpga/config.h"
+#include "fpga/device_memory.h"
+#include "fpga/pcie_model.h"
+#include "util/status.h"
+
+namespace fcae {
+namespace host {
+
+/// Timing of one offloaded kernel invocation.
+struct DeviceRunStats {
+  uint64_t kernel_cycles = 0;
+  double kernel_micros = 0;   // cycles / clock
+  double pcie_micros = 0;     // DMA in + out (modeled)
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  fpga::EngineStats engine;
+};
+
+/// FcaeDevice stands in for the PCIe-attached KCU1500 card: it owns the
+/// engine configuration, serializes kernel invocations (one compaction
+/// engine instance on the chip), models the DMA transfers, and runs the
+/// cycle-level engine simulation against the staged images.
+class FcaeDevice {
+ public:
+  explicit FcaeDevice(const fpga::EngineConfig& config,
+                      const fpga::PcieModel& pcie = fpga::PcieModel());
+
+  FcaeDevice(const FcaeDevice&) = delete;
+  FcaeDevice& operator=(const FcaeDevice&) = delete;
+
+  const fpga::EngineConfig& config() const { return config_; }
+
+  /// Maximum number of compaction inputs the synthesized engine
+  /// accepts (the N of the paper).
+  int max_inputs() const { return config_.num_inputs; }
+
+  /// Runs one compaction kernel: DMA the inputs in, execute, DMA the
+  /// outputs back. Blocks while the (simulated) kernel runs; a second
+  /// caller queues on the device mutex like a second job would queue on
+  /// the real card.
+  Status ExecuteCompaction(const std::vector<const fpga::DeviceInput*>& inputs,
+                           uint64_t smallest_snapshot, bool drop_deletions,
+                           fpga::DeviceOutput* output, DeviceRunStats* stats);
+
+  /// Merges an arbitrary number of inputs as a tournament of N-input
+  /// kernel passes; intermediate runs are re-staged inside device DRAM
+  /// (fpga::ConvertOutputToInput), so the PCIe cost covers only the
+  /// initial inputs and the final outputs. Intermediate passes never
+  /// drop deletion markers (a marker may shadow data in another group);
+  /// only the final pass applies `drop_deletions`.
+  Status ExecuteTournament(const std::vector<const fpga::DeviceInput*>& inputs,
+                           uint64_t smallest_snapshot, bool drop_deletions,
+                           fpga::DeviceOutput* output, DeviceRunStats* stats);
+
+  /// Totals across the device lifetime.
+  uint64_t total_kernel_cycles() const { return total_kernel_cycles_; }
+  double total_pcie_micros() const { return total_pcie_micros_; }
+  uint64_t kernels_launched() const { return kernels_launched_; }
+
+ private:
+  const fpga::EngineConfig config_;
+  const fpga::PcieModel pcie_;
+  std::mutex mutex_;
+
+  uint64_t total_kernel_cycles_ = 0;
+  double total_pcie_micros_ = 0;
+  uint64_t kernels_launched_ = 0;
+};
+
+}  // namespace host
+}  // namespace fcae
+
+#endif  // FCAE_HOST_FCAE_DEVICE_H_

@@ -1,0 +1,139 @@
+#include "host/offload_compaction.h"
+
+#include <vector>
+
+#include "host/sstable_stager.h"
+#include "lsm/dbformat.h"
+#include "lsm/filename.h"
+#include "lsm/table_cache.h"
+#include "table/iterator.h"
+#include "util/env.h"
+
+namespace fcae {
+namespace host {
+
+FcaeCompactionExecutor::FcaeCompactionExecutor(FcaeDevice* device,
+                                               FcaeExecutorOptions options)
+    : device_(device), options_(options) {}
+
+int EngineInputsNeeded(const CompactionJob& job) {
+  const Compaction* c = job.compaction;
+  int inputs = 0;
+  if (c->level() == 0) {
+    // Level-0 tables may overlap: one engine input per table.
+    inputs += c->num_input_files(0);
+  } else if (c->num_input_files(0) > 0) {
+    inputs += 1;  // A sorted run concatenates into one input.
+  }
+  if (c->num_input_files(1) > 0) {
+    inputs += 1;
+  }
+  return inputs;
+}
+
+bool FcaeCompactionExecutor::CanExecute(const CompactionJob& job) const {
+  const int needed = EngineInputsNeeded(job);
+  if (needed < 1) return false;
+  return options_.tournament_scheduling || needed <= device_->max_inputs();
+}
+
+Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
+                                       std::vector<CompactionOutput>* outputs,
+                                       CompactionExecStats* stats) {
+  Env* env = job.options->env;
+  const uint64_t start_micros = env->NowMicros();
+  const Compaction* c = job.compaction;
+
+  // 1. Stage inputs (paper Section IV step 3: read SSTables from disk
+  //    into continuous memory blocks in key order).
+  SstableStager stager(env);
+  std::vector<std::unique_ptr<fpga::DeviceInput>> staged;
+  Status s;
+  if (c->level() == 0) {
+    for (int i = 0; i < c->num_input_files(0); i++) {
+      auto input = std::make_unique<fpga::DeviceInput>();
+      s = stager.AddTable(
+          TableFileName(job.dbname, c->input(0, i)->number), input.get());
+      if (!s.ok()) return s;
+      staged.push_back(std::move(input));
+    }
+  } else if (c->num_input_files(0) > 0) {
+    auto input = std::make_unique<fpga::DeviceInput>();
+    for (int i = 0; i < c->num_input_files(0); i++) {
+      s = stager.AddTable(
+          TableFileName(job.dbname, c->input(0, i)->number), input.get());
+      if (!s.ok()) return s;
+    }
+    staged.push_back(std::move(input));
+  }
+  if (c->num_input_files(1) > 0) {
+    auto input = std::make_unique<fpga::DeviceInput>();
+    for (int i = 0; i < c->num_input_files(1); i++) {
+      s = stager.AddTable(
+          TableFileName(job.dbname, c->input(1, i)->number), input.get());
+      if (!s.ok()) return s;
+    }
+    staged.push_back(std::move(input));
+  }
+
+  std::vector<const fpga::DeviceInput*> input_ptrs;
+  for (const auto& input : staged) {
+    input_ptrs.push_back(input.get());
+  }
+
+  // 2./3. DMA + kernel (steps 4-7 of the paper's workflow).
+  fpga::DeviceOutput device_output;
+  DeviceRunStats run_stats;
+  if (static_cast<int>(input_ptrs.size()) > device_->max_inputs()) {
+    s = device_->ExecuteTournament(input_ptrs, job.smallest_snapshot,
+                                   job.no_deeper_data, &device_output,
+                                   &run_stats);
+  } else {
+    s = device_->ExecuteCompaction(input_ptrs, job.smallest_snapshot,
+                                   job.no_deeper_data, &device_output,
+                                   &run_stats);
+  }
+  if (!s.ok()) return s;
+
+  // 4. Write back the new SSTables (step 8) and register them.
+  for (const fpga::DeviceOutputTable& table : device_output.tables) {
+    CompactionOutput out;
+    out.number = job.new_file_number();
+    uint64_t file_size = 0;
+    s = AssembleTableFile(env, TableFileName(job.dbname, out.number), table,
+                          &file_size, job.options->filter_policy);
+    if (!s.ok()) return s;
+    out.file_size = file_size;
+    if (!out.smallest.DecodeFrom(table.smallest_key) ||
+        !out.largest.DecodeFrom(table.largest_key)) {
+      return Status::Corruption("device returned empty table bounds");
+    }
+
+    // Verify the assembled table is readable before publishing it.
+    Iterator* it = job.table_cache->NewIterator(ReadOptions(), out.number,
+                                                out.file_size);
+    s = it->status();
+    delete it;
+    if (!s.ok()) return s;
+
+    outputs->push_back(std::move(out));
+    stats->bytes_written += file_size;
+  }
+
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      stats->bytes_read += c->input(which, i)->file_size;
+    }
+  }
+  stats->entries_in = run_stats.engine.records_in;
+  stats->entries_dropped = run_stats.engine.records_dropped;
+  stats->offloaded = true;
+  stats->device_cycles = run_stats.kernel_cycles;
+  stats->device_micros = run_stats.kernel_micros;
+  stats->pcie_micros = run_stats.pcie_micros;
+  stats->micros = env->NowMicros() - start_micros;
+  return Status::OK();
+}
+
+}  // namespace host
+}  // namespace fcae

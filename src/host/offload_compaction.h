@@ -1,0 +1,60 @@
+#ifndef FCAE_HOST_OFFLOAD_COMPACTION_H_
+#define FCAE_HOST_OFFLOAD_COMPACTION_H_
+
+#include <memory>
+
+#include "host/fcae_device.h"
+#include "lsm/compaction_executor.h"
+
+namespace fcae {
+namespace host {
+
+/// The FPGA offload path of the compaction thread (paper Fig. 6): stage
+/// input SSTables into device memory images, DMA them to the card, run
+/// the engine, fetch the outputs, and reassemble standard SSTable files
+/// on disk. Plugged into the DB via Options::compaction_executor.
+///
+/// CanExecute() enforces the device's N-input limit, so the DB falls
+/// back to software compaction exactly when the paper's scheduler does
+/// ("when the input number is not larger than nine, the compaction
+/// tasks would be pushed down to FPGA, otherwise it is handled by
+/// CPU") — unless tournament scheduling is enabled below.
+
+/// Scheduler policy knobs for the offload executor.
+struct FcaeExecutorOptions {
+  /// false (default): the paper's strict Fig. 6 policy — a compaction
+  /// needing more than N engine inputs runs completely in software.
+  /// true: decompose such jobs into a tournament of N-input kernel
+  /// passes whose intermediates stay in device DRAM (see
+  /// FcaeDevice::ExecuteTournament and DESIGN.md item 6).
+  bool tournament_scheduling = false;
+};
+
+class FcaeCompactionExecutor : public CompactionExecutor {
+ public:
+  /// `device` is borrowed and may be shared by several DB instances.
+  explicit FcaeCompactionExecutor(FcaeDevice* device,
+                                  FcaeExecutorOptions options = {});
+
+  const char* Name() const override { return "fcae"; }
+
+  bool CanExecute(const CompactionJob& job) const override;
+
+  Status Execute(const CompactionJob& job,
+                 std::vector<CompactionOutput>* outputs,
+                 CompactionExecStats* stats) override;
+
+ private:
+  FcaeDevice* device_;
+  FcaeExecutorOptions options_;
+};
+
+/// Returns the number of engine inputs a compaction needs: one per
+/// level-0 file (their key ranges overlap) plus one per participating
+/// sorted level (paper Section IV step 2).
+int EngineInputsNeeded(const CompactionJob& job);
+
+}  // namespace host
+}  // namespace fcae
+
+#endif  // FCAE_HOST_OFFLOAD_COMPACTION_H_

@@ -1,0 +1,231 @@
+#include "host/sstable_stager.h"
+
+#include <memory>
+
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/crc32c.h"
+#include "util/env.h"
+#include "util/options.h"
+#include "lsm/dbformat.h"
+#include "fpga/block_parse.h"
+#include "table/filter_block.h"
+#include "util/filter_policy.h"
+
+namespace fcae {
+namespace host {
+
+Status SstableStager::AddTable(const std::string& fname,
+                               fpga::DeviceInput* input) {
+  uint64_t file_size;
+  Status s = env_->GetFileSize(fname, &file_size);
+  if (!s.ok()) return s;
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file too short to be an sstable", fname);
+  }
+
+  RandomAccessFile* raw_file;
+  s = env_->NewRandomAccessFile(fname, &raw_file);
+  if (!s.ok()) return s;
+  std::unique_ptr<RandomAccessFile> file(raw_file);
+
+  // Footer -> index block handle + metaindex handle.
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  s = file->Read(file_size - Footer::kEncodedLength, Footer::kEncodedLength,
+                 &footer_input, footer_space);
+  if (!s.ok()) return s;
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  const BlockHandle& index_handle = footer.index_handle();
+  const uint64_t index_stored_size = index_handle.size() + kBlockTrailerSize;
+
+  // The data-block region is everything before the first meta block
+  // (blocks after it — filter, metaindex, index — are never addressed by
+  // data BlockHandles, so staging up to the metaindex offset is enough;
+  // any filter block inside is simply dead bytes the engine never
+  // fetches).
+  const uint64_t data_region_size = footer.metaindex_handle().offset();
+
+  fpga::SstableDescriptor desc;
+  desc.index_offset = input->index_memory.size();
+  desc.index_size = index_stored_size;
+  desc.data_offset = input->data_memory.size();
+  desc.data_size = data_region_size;
+
+  // Stage the index block (as stored, trailer included).
+  {
+    std::string buf(index_stored_size, '\0');
+    Slice result;
+    s = file->Read(index_handle.offset(), index_stored_size, &result,
+                   buf.data());
+    if (!s.ok()) return s;
+    if (result.size() != index_stored_size) {
+      return Status::Corruption("truncated index block", fname);
+    }
+    input->index_memory.append(result.data(), result.size());
+  }
+
+  // Stage the data region verbatim.
+  {
+    std::string buf(data_region_size, '\0');
+    Slice result;
+    s = file->Read(0, data_region_size, &result, buf.data());
+    if (!s.ok()) return s;
+    if (result.size() != data_region_size) {
+      return Status::Corruption("truncated data region", fname);
+    }
+    input->data_memory.append(result.data(), result.size());
+  }
+
+  input->sstables.push_back(desc);
+  return Status::OK();
+}
+
+Status SstableStager::StageRun(const std::vector<std::string>& fnames,
+                               fpga::DeviceInput* input) {
+  for (const std::string& fname : fnames) {
+    Status s = AddTable(fname, input);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status AssembleTableFile(Env* env, const std::string& fname,
+                         const fpga::DeviceOutputTable& table,
+                         uint64_t* file_size,
+                         const FilterPolicy* filter_policy) {
+  WritableFile* raw_file;
+  Status s = env->NewWritableFile(fname, &raw_file);
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> file(raw_file);
+
+  uint64_t offset = 0;
+  auto append_raw_block = [&](const Slice& contents,
+                              BlockHandle* handle) -> Status {
+    handle->set_offset(offset);
+    handle->set_size(contents.size());
+    Status as = file->Append(contents);
+    if (!as.ok()) return as;
+    char trailer[kBlockTrailerSize];
+    trailer[0] = kNoCompression;
+    uint32_t crc = crc32c::Value(contents.data(), contents.size());
+    crc = crc32c::Extend(crc, trailer, 1);
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    as = file->Append(Slice(trailer, kBlockTrailerSize));
+    if (!as.ok()) return as;
+    offset += contents.size() + kBlockTrailerSize;
+    return Status::OK();
+  };
+
+  // 1. Data blocks exactly as the engine produced them (each already
+  //    carries its own trailer).
+  s = file->Append(table.data_memory);
+  if (!s.ok()) return s;
+  offset += table.data_memory.size();
+
+  // Index separators are internal keys; the builder's ordering assert
+  // must use internal-key order (user key asc, mark desc).
+  static const InternalKeyComparator* icmp =
+      new InternalKeyComparator(BytewiseComparator());
+  Options block_options;
+  block_options.comparator = icmp;
+
+  // 2. Optional filter block, rebuilt on the host from the engine's
+  //    data blocks. Keys are fed as internal keys, exactly as
+  //    TableBuilder feeds them (the DB passes its InternalFilterPolicy,
+  //    which strips the mark fields itself).
+  BlockHandle filter_handle;
+  bool has_filter = false;
+  if (filter_policy != nullptr) {
+    FilterBlockBuilder filter_builder(filter_policy);
+    filter_builder.StartBlock(0);
+    Status fs = Status::OK();
+    for (const fpga::OutputIndexEntry& e : table.index_entries) {
+      if (e.offset + e.size + kBlockTrailerSize > table.data_memory.size()) {
+        fs = Status::Corruption("index entry out of range");
+        break;
+      }
+      filter_builder.StartBlock(e.offset);
+      std::string contents;
+      fs = fpga::DecodeStoredBlock(
+          Slice(table.data_memory.data() + e.offset,
+                e.size + kBlockTrailerSize),
+          /*verify_checksum=*/false, &contents);
+      if (!fs.ok()) break;
+      std::vector<fpga::ParsedEntry> entries;
+      fs = fpga::ParseBlockEntries(contents, &entries);
+      if (!fs.ok()) break;
+      for (const fpga::ParsedEntry& entry : entries) {
+        filter_builder.AddKey(entry.key);
+      }
+    }
+    if (!fs.ok()) return fs;
+    s = append_raw_block(filter_builder.Finish(), &filter_handle);
+    if (!s.ok()) return s;
+    has_filter = true;
+  }
+
+  // 3. Metaindex block (maps "filter.<Name>" to the filter block).
+  BlockHandle metaindex_handle;
+  {
+    Options meta_options = block_options;
+    BlockBuilder metaindex_block(&meta_options);
+    if (has_filter) {
+      std::string key = "filter.";
+      key.append(filter_policy->Name());
+      std::string handle_encoding;
+      filter_handle.EncodeTo(&handle_encoding);
+      metaindex_block.Add(key, handle_encoding);
+    }
+    s = append_raw_block(metaindex_block.Finish(), &metaindex_handle);
+    if (!s.ok()) return s;
+  }
+
+  // 4. Index block from the engine's (last_key, handle) entries. The
+  //    engine emits the blocks' exact last keys as separators; with
+  //    restart interval 1 the index is binary searchable like any
+  //    TableBuilder-produced index.
+  BlockHandle index_handle;
+  {
+    Options index_options = block_options;
+    index_options.block_restart_interval = 1;
+    BlockBuilder index_block(&index_options);
+    for (const fpga::OutputIndexEntry& e : table.index_entries) {
+      BlockHandle h;
+      h.set_offset(e.offset);
+      h.set_size(e.size);
+      std::string handle_encoding;
+      h.EncodeTo(&handle_encoding);
+      index_block.Add(e.last_key, handle_encoding);
+    }
+    s = append_raw_block(index_block.Finish(), &index_handle);
+    if (!s.ok()) return s;
+  }
+
+  // 5. Footer.
+  {
+    Footer footer;
+    footer.set_metaindex_handle(metaindex_handle);
+    footer.set_index_handle(index_handle);
+    std::string footer_encoding;
+    footer.EncodeTo(&footer_encoding);
+    s = file->Append(footer_encoding);
+    if (!s.ok()) return s;
+    offset += footer_encoding.size();
+  }
+
+  s = file->Sync();
+  if (s.ok()) {
+    s = file->Close();
+  }
+  *file_size = offset;
+  return s;
+}
+
+}  // namespace host
+}  // namespace fcae

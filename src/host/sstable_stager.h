@@ -1,0 +1,59 @@
+#ifndef FCAE_HOST_SSTABLE_STAGER_H_
+#define FCAE_HOST_SSTABLE_STAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device_memory.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class Env;
+class FilterPolicy;
+
+namespace host {
+
+/// Builds the device input images of Section VI-B from on-disk
+/// SSTables: for each file, the index block (as stored, including its
+/// compression trailer) goes to Index Block Memory and the file's
+/// data-block region goes verbatim to Data Block Memory, so the
+/// BlockHandles inside the index address the staged region directly and
+/// the storage format needs no modification.
+class SstableStager {
+ public:
+  explicit SstableStager(Env* env) : env_(env) {}
+
+  /// Appends the table stored in `fname` to `input` as its next
+  /// SSTable. Tables in one DeviceInput must form a sorted run in the
+  /// order added (paper Section IV step 2: a level's tables are
+  /// concatenated into one big input).
+  Status AddTable(const std::string& fname, fpga::DeviceInput* input);
+
+  /// Convenience: builds one DeviceInput from a run of files.
+  Status StageRun(const std::vector<std::string>& fnames,
+                  fpga::DeviceInput* input);
+
+ private:
+  Env* env_;
+};
+
+/// Assembles a standard SSTable file from one device output table: the
+/// engine's data blocks verbatim, a host-built metaindex + index block
+/// from the returned index entries, and the footer (the paper's
+/// Section V-B: "the host is in charge of combining data blocks with
+/// index blocks into new formatted SSTables"). When `filter_policy` is
+/// non-null the host additionally rebuilds the filter block by decoding
+/// the returned data blocks (the engine itself does not compute
+/// filters), so offloaded compactions keep the same read-path behaviour
+/// as software ones. Returns the final file size in *file_size.
+Status AssembleTableFile(Env* env, const std::string& fname,
+                         const fpga::DeviceOutputTable& table,
+                         uint64_t* file_size,
+                         const FilterPolicy* filter_policy = nullptr);
+
+}  // namespace host
+}  // namespace fcae
+
+#endif  // FCAE_HOST_SSTABLE_STAGER_H_

@@ -1,0 +1,28 @@
+#ifndef FCAE_LSM_BUILDER_H_
+#define FCAE_LSM_BUILDER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace fcae {
+
+struct Options;
+struct FileMetaData;
+
+class Env;
+class Iterator;
+class TableCache;
+
+/// Builds a Table file from the contents of *iter (the first type of
+/// compaction in the paper: dumping an Immutable MemTable to an SSTable).
+/// On success, the rest of *meta is filled with metadata about the
+/// generated table; if no data is present, meta->file_size is zero and no
+/// file is produced.
+Status BuildTable(const std::string& dbname, Env* env, const Options& options,
+                  TableCache* table_cache, Iterator* iter,
+                  FileMetaData* meta);
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_BUILDER_H_

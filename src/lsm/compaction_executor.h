@@ -1,0 +1,120 @@
+#ifndef FCAE_LSM_COMPACTION_EXECUTOR_H_
+#define FCAE_LSM_COMPACTION_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/version_set.h"
+#include "util/options.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class Iterator;
+class TableCache;
+
+/// Everything an executor needs to run one major (table-merging)
+/// compaction. Assembled by the DB under its mutex; executed without it.
+struct CompactionJob {
+  /// Database options (comparator, env, block size, compression, ...).
+  const Options* options = nullptr;
+
+  /// Database directory; output tables are created here.
+  std::string dbname;
+
+  /// For opening/validating tables.
+  TableCache* table_cache = nullptr;
+
+  const InternalKeyComparator* icmp = nullptr;
+
+  /// The picked compaction: inputs at level and level+1.
+  Compaction* compaction = nullptr;
+
+  /// Sequence numbers <= smallest_snapshot that are shadowed by a newer
+  /// record for the same user key can be dropped.
+  SequenceNumber smallest_snapshot = 0;
+
+  /// True iff no level deeper than level+1 contains data overlapping the
+  /// compaction key range, so deletion markers can be dropped. Computed
+  /// by the scheduler; used identically by CPU and FPGA executors so
+  /// their outputs agree (the per-key LevelDB rule is strictly stronger
+  /// but cannot be evaluated inside the device).
+  bool no_deeper_data = false;
+
+  /// Thread-safe file number allocator provided by the DB.
+  std::function<uint64_t()> new_file_number;
+
+  /// Creates a fresh merged iterator over all compaction inputs
+  /// (N-way merge across level and level+1 runs).
+  std::function<Iterator*()> make_input_iterator;
+};
+
+/// Metadata of one output SSTable produced by a compaction.
+struct CompactionOutput {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  InternalKey smallest;
+  InternalKey largest;
+};
+
+/// Statistics reported by an executor for one compaction.
+struct CompactionExecStats {
+  double micros = 0;           // Wall-clock kernel time.
+  int64_t bytes_read = 0;      // Input bytes.
+  int64_t bytes_written = 0;   // Output bytes.
+  uint64_t entries_in = 0;     // Input key-value pairs.
+  uint64_t entries_dropped = 0;
+
+  // Device-path extras (zero for CPU execution).
+  bool offloaded = false;
+  uint64_t device_cycles = 0;    // FPGA kernel cycles.
+  double device_micros = 0;      // device_cycles / clock rate.
+  double pcie_micros = 0;        // Modeled DMA transfer time.
+
+  void Add(const CompactionExecStats& other) {
+    micros += other.micros;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    entries_in += other.entries_in;
+    entries_dropped += other.entries_dropped;
+    device_cycles += other.device_cycles;
+    device_micros += other.device_micros;
+    pcie_micros += other.pcie_micros;
+  }
+};
+
+/// A CompactionExecutor performs the data-merging part of a compaction
+/// (paper Fig. 6: "execution" as opposed to "scheduling"). The DB picks
+/// inputs and installs results; the executor only reads input tables and
+/// produces output tables. Implementations: CPU (baseline) and the
+/// FPGA engine offload path.
+class CompactionExecutor {
+ public:
+  CompactionExecutor() = default;
+  virtual ~CompactionExecutor() = default;
+
+  CompactionExecutor(const CompactionExecutor&) = delete;
+  CompactionExecutor& operator=(const CompactionExecutor&) = delete;
+
+  virtual const char* Name() const = 0;
+
+  /// Returns true if this executor can run the given job (the FPGA
+  /// engine is limited to N inputs; see paper Section VI-A).
+  virtual bool CanExecute(const CompactionJob& job) const = 0;
+
+  /// Runs the merge, appending produced file metadata to *outputs.
+  virtual Status Execute(const CompactionJob& job,
+                         std::vector<CompactionOutput>* outputs,
+                         CompactionExecStats* stats) = 0;
+};
+
+/// Returns a new single-threaded software merge executor (the paper's
+/// CPU baseline, and the fallback when the device cannot take a job).
+CompactionExecutor* NewCpuCompactionExecutor();
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_COMPACTION_EXECUTOR_H_

@@ -1,0 +1,152 @@
+#include <memory>
+
+#include "lsm/compaction_executor.h"
+#include "lsm/filename.h"
+#include "lsm/table_cache.h"
+#include "table/table_builder.h"
+#include "util/env.h"
+
+namespace fcae {
+
+namespace {
+
+/// The software merge path: a straightforward single-threaded N-way
+/// merge over the input tables, applying the shared drop rule, writing
+/// standard SSTables via TableBuilder. This is the paper's CPU baseline
+/// ("single CPU thread") measured in Table V.
+class CpuCompactionExecutor : public CompactionExecutor {
+ public:
+  const char* Name() const override { return "cpu"; }
+
+  bool CanExecute(const CompactionJob& job) const override { return true; }
+
+  Status Execute(const CompactionJob& job,
+                 std::vector<CompactionOutput>* outputs,
+                 CompactionExecStats* stats) override {
+    Env* env = job.options->env;
+    const uint64_t start_micros = env->NowMicros();
+
+    std::unique_ptr<Iterator> input(job.make_input_iterator());
+    input->SeekToFirst();
+
+    Status status;
+    std::string current_user_key;
+    bool has_current_user_key = false;
+    SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+    WritableFile* outfile = nullptr;
+    std::unique_ptr<TableBuilder> builder;
+    CompactionOutput current;
+
+    const Comparator* ucmp = job.icmp->user_comparator();
+
+    auto finish_output = [&]() -> Status {
+      assert(builder != nullptr);
+      Status s = builder->Finish();
+      current.file_size = builder->FileSize();
+      builder.reset();
+      if (s.ok()) s = outfile->Sync();
+      if (s.ok()) s = outfile->Close();
+      delete outfile;
+      outfile = nullptr;
+      if (s.ok() && current.file_size > 0) {
+        outputs->push_back(current);
+        stats->bytes_written += current.file_size;
+        // Verify usability.
+        Iterator* it = job.table_cache->NewIterator(
+            ReadOptions(), current.number, current.file_size);
+        s = it->status();
+        delete it;
+      }
+      return s;
+    };
+
+    for (; input->Valid() && status.ok(); input->Next()) {
+      Slice key = input->key();
+
+      // Decide whether to drop this entry (identical logic to the FPGA
+      // engine's Validity Check module; see fpga/comparer.cc).
+      bool drop = false;
+      ParsedInternalKey ikey;
+      if (!ParseInternalKey(key, &ikey)) {
+        // Do not hide corruption.
+        current_user_key.clear();
+        has_current_user_key = false;
+        last_sequence_for_key = kMaxSequenceNumber;
+      } else {
+        stats->entries_in++;
+        if (!has_current_user_key ||
+            ucmp->Compare(ikey.user_key, Slice(current_user_key)) != 0) {
+          // First occurrence of this user key.
+          current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+          has_current_user_key = true;
+          last_sequence_for_key = kMaxSequenceNumber;
+        }
+
+        if (last_sequence_for_key <= job.smallest_snapshot) {
+          // Hidden by a newer entry for the same user key.
+          drop = true;
+        } else if (ikey.type == kTypeDeletion &&
+                   ikey.sequence <= job.smallest_snapshot &&
+                   job.no_deeper_data) {
+          // This deletion marker is obsolete and no deeper level can
+          // contain the deleted key: drop it.
+          drop = true;
+        }
+
+        last_sequence_for_key = ikey.sequence;
+      }
+
+      if (drop) {
+        stats->entries_dropped++;
+        continue;
+      }
+
+      // Open output file if necessary.
+      if (builder == nullptr) {
+        current = CompactionOutput();
+        current.number = job.new_file_number();
+        std::string fname = TableFileName(job.dbname, current.number);
+        status = env->NewWritableFile(fname, &outfile);
+        if (!status.ok()) break;
+        builder = std::make_unique<TableBuilder>(*job.options, outfile);
+        current.smallest.DecodeFrom(key);
+      }
+      current.largest.DecodeFrom(key);
+      builder->Add(key, input->value());
+
+      // Close output file if it is big enough.
+      if (builder->FileSize() >= job.compaction->MaxOutputFileSize()) {
+        status = finish_output();
+      }
+    }
+
+    if (status.ok() && builder != nullptr) {
+      status = finish_output();
+    } else if (builder != nullptr) {
+      builder->Abandon();
+      builder.reset();
+      delete outfile;
+    }
+
+    if (status.ok()) {
+      status = input->status();
+    }
+
+    for (int which = 0; which < 2; which++) {
+      for (int i = 0; i < job.compaction->num_input_files(which); i++) {
+        stats->bytes_read += job.compaction->input(which, i)->file_size;
+      }
+    }
+    stats->micros += env->NowMicros() - start_micros;
+    return status;
+  }
+};
+
+}  // namespace
+
+CompactionExecutor* NewCpuCompactionExecutor() {
+  return new CpuCompactionExecutor();
+}
+
+}  // namespace fcae

@@ -1,0 +1,99 @@
+#ifndef FCAE_LSM_DB_H_
+#define FCAE_LSM_DB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class Iterator;
+class WriteBatch;
+
+/// Abstract handle to a particular state of a DB; created by
+/// DB::GetSnapshot() and released with DB::ReleaseSnapshot().
+class Snapshot {
+ protected:
+  virtual ~Snapshot() = default;
+};
+
+/// A range of keys [start, limit).
+struct Range {
+  Range() = default;
+  Range(const Slice& s, const Slice& l) : start(s), limit(l) {}
+
+  Slice start;
+  Slice limit;
+};
+
+/// A DB is a persistent ordered map from keys to values, safe for
+/// concurrent access from multiple threads without external
+/// synchronization. This is the LevelDB-compatible public interface the
+/// paper integrates the FPGA compaction engine into.
+class DB {
+ public:
+  /// Opens the database named `name`; stores a heap-allocated DB in
+  /// *dbptr on success. The caller deletes *dbptr when done.
+  static Status Open(const Options& options, const std::string& name,
+                     DB** dbptr);
+
+  DB() = default;
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual ~DB();
+
+  /// Sets the database entry for `key` to `value`.
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+
+  /// Removes the database entry (if any) for `key`. It is not an error
+  /// if `key` is absent.
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+
+  /// Applies the specified updates to the database atomically.
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  /// If the database contains an entry for `key`, stores the value in
+  /// *value and returns OK; returns a NotFound status otherwise.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  /// Returns a heap-allocated iterator over the database contents. The
+  /// caller deletes the iterator before the DB.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  /// Returns a handle to the current DB state; iterators and Gets made
+  /// with this snapshot observe a stable view.
+  virtual const Snapshot* GetSnapshot() = 0;
+
+  /// Releases a previously acquired snapshot.
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  /// DB implementations export properties about their state via this
+  /// method. Known properties:
+  ///   "fcae.num-files-at-level<N>"  — number of files at level N
+  ///   "fcae.stats"                  — compaction statistics
+  ///   "fcae.sstables"               — per-level file listing
+  ///   "fcae.approximate-memory-usage" — memtable memory
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  /// For each range [i], stores the approximate file-system space used
+  /// in sizes[i].
+  virtual void GetApproximateSizes(const Range* range, int n,
+                                   uint64_t* sizes) = 0;
+
+  /// Compacts the underlying storage for the key range [*begin, *end]
+  /// (nullptr = unbounded). Blocks until done.
+  virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+};
+
+/// Deletes the contents of the specified database. Be very careful.
+Status DestroyDB(const std::string& name, const Options& options);
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_DB_H_

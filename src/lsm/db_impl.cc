@@ -1,0 +1,1322 @@
+#include "lsm/db_impl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "lsm/builder.h"
+#include "lsm/db_iter.h"
+#include "lsm/filename.h"
+#include "lsm/log_reader.h"
+#include "lsm/memtable.h"
+#include "lsm/table_cache.h"
+#include "lsm/version_set.h"
+#include "lsm/write_batch.h"
+#include "table/merger.h"
+#include "util/coding.h"
+
+namespace fcae {
+
+const int kNumNonTableCacheFiles = 10;
+
+// Information kept for every waiting writer.
+struct DBImpl::Writer {
+  explicit Writer(std::mutex* mu) : batch(nullptr), sync(false), done(false) {}
+
+  Status status;
+  WriteBatch* batch;
+  bool sync;
+  bool done;
+  std::condition_variable cv;
+};
+
+namespace {
+
+template <class T, class V>
+static void ClipToRange(T* ptr, V minvalue, V maxvalue) {
+  if (static_cast<V>(*ptr) > maxvalue) *ptr = maxvalue;
+  if (static_cast<V>(*ptr) < minvalue) *ptr = minvalue;
+}
+
+}  // namespace
+
+Options SanitizeOptions(const std::string& dbname,
+                        const InternalKeyComparator* icmp,
+                        const InternalFilterPolicy* ipolicy,
+                        const Options& src) {
+  Options result = src;
+  result.comparator = icmp;
+  result.filter_policy = (src.filter_policy != nullptr) ? ipolicy : nullptr;
+  ClipToRange(&result.max_open_files, 64 + kNumNonTableCacheFiles, 50000);
+  ClipToRange(&result.write_buffer_size, 64 << 10, 1 << 30);
+  ClipToRange(&result.max_file_size, 1 << 20, 1 << 30);
+  ClipToRange(&result.block_size, 1 << 10, 4 << 20);
+  ClipToRange(&result.leveling_ratio, 2, 100);
+  return result;
+}
+
+static int TableCacheSize(const Options& sanitized_options) {
+  // Reserve a few files for other uses and give the rest to TableCache.
+  return sanitized_options.max_open_files - kNumNonTableCacheFiles;
+}
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
+    : env_(raw_options.env),
+      internal_comparator_(raw_options.comparator),
+      internal_filter_policy_(raw_options.filter_policy),
+      options_(SanitizeOptions(dbname, &internal_comparator_,
+                               &internal_filter_policy_, raw_options)),
+      dbname_(dbname),
+      table_cache_(
+          new TableCache(dbname_, options_, TableCacheSize(options_))),
+      owned_cpu_executor_(NewCpuCompactionExecutor()),
+      primary_executor_(raw_options.compaction_executor != nullptr
+                            ? raw_options.compaction_executor
+                            : owned_cpu_executor_.get()),
+      shutting_down_(false),
+      mem_(nullptr),
+      imm_(nullptr),
+      has_imm_(false),
+      logfile_(nullptr),
+      logfile_number_(0),
+      log_(nullptr),
+      seed_(0),
+      tmp_batch_(new WriteBatch),
+      background_compaction_scheduled_(false),
+      manual_compaction_(nullptr),
+      versions_(new VersionSet(dbname_, &options_, table_cache_.get(),
+                               &internal_comparator_)),
+      compactions_offloaded_(0),
+      compactions_on_cpu_(0) {}
+
+DBImpl::~DBImpl() {
+  // Wait for background work to finish.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_.store(true, std::memory_order_release);
+    while (background_compaction_scheduled_) {
+      background_work_finished_signal_.wait(lock);
+    }
+  }
+
+  delete versions_;
+  if (db_lock_ != nullptr) {
+    env_->UnlockFile(db_lock_);
+  }
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+  delete tmp_batch_;
+  delete log_;
+  delete logfile_;
+}
+
+Status DBImpl::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  WritableFile* file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    log::Writer log(file);
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  delete file;
+  if (s.ok()) {
+    // Make "CURRENT" file that points to the new manifest file.
+    s = SetCurrentFile(env_, dbname_, 1);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+void DBImpl::MaybeIgnoreError(Status* s) const {
+  if (s->ok() || options_.paranoid_checks) {
+    // No change needed.
+  } else {
+    *s = Status::OK();
+  }
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  // Requires mutex_ held.
+  if (!bg_error_.ok()) {
+    // After a background error, we don't know whether a new version may
+    // or may not have been committed, so we cannot safely garbage
+    // collect.
+    return;
+  }
+
+  // Make a set of all of the live files.
+  std::set<uint64_t> live = pending_outputs_;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose.
+  uint64_t number;
+  FileType type;
+  std::vector<std::string> files_to_delete;
+  for (std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case FileType::kLogFile:
+          keep = ((number >= versions_->LogNumber()));
+          break;
+        case FileType::kDescriptorFile:
+          // Keep my manifest file, and any newer incarnations' (in case
+          // there is a race that allows other incarnations).
+          keep = (number >= versions_->ManifestFileNumber());
+          break;
+        case FileType::kTableFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case FileType::kTempFile:
+          // Any temp files that are currently being written to must be
+          // recorded in pending_outputs_, which is inserted into "live".
+          keep = (live.find(number) != live.end());
+          break;
+        case FileType::kCurrentFile:
+        case FileType::kDBLockFile:
+        case FileType::kInfoLogFile:
+          keep = true;
+          break;
+      }
+
+      if (!keep) {
+        files_to_delete.push_back(std::move(filename));
+        if (type == FileType::kTableFile) {
+          table_cache_->Evict(number);
+        }
+      }
+    }
+  }
+
+  // While deleting all files unblock other threads. All files being
+  // deleted have unique names which will not collide with newly created
+  // files and are therefore safe to delete while allowing other threads
+  // to proceed.
+  mutex_.unlock();
+  for (const std::string& filename : files_to_delete) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+  mutex_.lock();
+}
+
+Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
+  // Requires mutex_ held.
+
+  // Ignore error from CreateDir since the creation of the DB is
+  // committed only when the descriptor is created.
+  env_->CreateDir(dbname_);
+  assert(db_lock_ == nullptr);
+  Status lock_status = env_->LockFile(LockFileName(dbname_), &db_lock_);
+  if (!lock_status.ok()) {
+    return lock_status;
+  }
+
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      Status s = NewDB();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      return Status::InvalidArgument(
+          dbname_, "does not exist (create_if_missing is false)");
+    }
+  } else {
+    if (options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_,
+                                     "exists (error_if_exists is true)");
+    }
+  }
+
+  Status s = versions_->Recover(save_manifest);
+  if (!s.ok()) {
+    return s;
+  }
+  SequenceNumber max_sequence(0);
+
+  // Recover from all newer log files than the ones named in the
+  // descriptor (new log files may have been added by the previous
+  // incarnation without registering them in the descriptor).
+  const uint64_t min_log = versions_->LogNumber();
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) {
+    return s;
+  }
+  std::set<uint64_t> expected;
+  versions_->AddLiveFiles(&expected);
+  uint64_t number;
+  FileType type;
+  std::vector<uint64_t> logs;
+  for (size_t i = 0; i < filenames.size(); i++) {
+    if (ParseFileName(filenames[i], &number, &type)) {
+      expected.erase(number);
+      if (type == FileType::kLogFile && (number >= min_log)) {
+        logs.push_back(number);
+      }
+    }
+  }
+  if (!expected.empty()) {
+    char buf[50];
+    std::snprintf(buf, sizeof(buf), "%d missing files; e.g.",
+                  static_cast<int>(expected.size()));
+    return Status::Corruption(buf, TableFileName(dbname_, *(expected.begin())));
+  }
+
+  // Recover in the order in which the logs were generated.
+  std::sort(logs.begin(), logs.end());
+  for (size_t i = 0; i < logs.size(); i++) {
+    s = RecoverLogFile(logs[i], (i == logs.size() - 1), save_manifest, edit,
+                       &max_sequence);
+    if (!s.ok()) {
+      return s;
+    }
+
+    // The previous incarnation may not have written any MANIFEST
+    // records after allocating this log number. So we manually update
+    // the file number allocation counter in VersionSet.
+    versions_->MarkFileNumberUsed(logs[i]);
+  }
+
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
+                              bool* save_manifest, VersionEdit* edit,
+                              SequenceNumber* max_sequence) {
+  struct LogReporter : public log::Reader::Reporter {
+    const char* fname;
+    Status* status;  // null if options_.paranoid_checks==false
+    void Corruption(size_t bytes, const Status& s) override {
+      std::fprintf(stderr, "%s: dropping %d bytes; %s\n", fname,
+                   static_cast<int>(bytes), s.ToString().c_str());
+      if (this->status != nullptr && this->status->ok()) *this->status = s;
+    }
+  };
+
+  // Requires mutex_ held.
+
+  // Open the log file.
+  std::string fname = LogFileName(dbname_, log_number);
+  SequentialFile* file;
+  Status status = env_->NewSequentialFile(fname, &file);
+  if (!status.ok()) {
+    MaybeIgnoreError(&status);
+    return status;
+  }
+
+  // Create the log reader.
+  LogReporter reporter;
+  reporter.fname = fname.c_str();
+  reporter.status = (options_.paranoid_checks ? &status : nullptr);
+  // We intentionally make log::Reader do checksumming even if
+  // paranoid_checks==false so that corruptions cause entire commits
+  // to be skipped instead of propagating bad information.
+  log::Reader reader(file, &reporter, true /*checksum*/);
+  std::string scratch;
+  Slice record;
+  WriteBatch batch;
+  int compactions = 0;
+  MemTable* mem = nullptr;
+  while (reader.ReadRecord(&record, &scratch) && status.ok()) {
+    if (record.size() < 12) {
+      reporter.Corruption(record.size(),
+                          Status::Corruption("log record too small"));
+      continue;
+    }
+    WriteBatchInternal::SetContents(&batch, record);
+
+    if (mem == nullptr) {
+      mem = new MemTable(internal_comparator_);
+      mem->Ref();
+    }
+    status = WriteBatchInternal::InsertInto(&batch, mem);
+    MaybeIgnoreError(&status);
+    if (!status.ok()) {
+      break;
+    }
+    const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
+                                    WriteBatchInternal::Count(&batch) - 1;
+    if (last_seq > *max_sequence) {
+      *max_sequence = last_seq;
+    }
+
+    if (mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      compactions++;
+      *save_manifest = true;
+      status = WriteLevel0Table(mem, edit, nullptr);
+      mem->Unref();
+      mem = nullptr;
+      if (!status.ok()) {
+        // Reflect errors immediately so that conditions like full
+        // file-systems cause the DB::Open() to fail.
+        break;
+      }
+    }
+  }
+
+  delete file;
+
+  // If we flushed nothing and this is the last log, reuse it as the
+  // current memtable? (LevelDB optionally reuses; we always switch to a
+  // fresh log on open for simplicity.)
+  if (status.ok() && mem != nullptr) {
+    *save_manifest = true;
+    status = WriteLevel0Table(mem, edit, nullptr);
+  }
+  if (mem != nullptr) mem->Unref();
+
+  (void)last_log;
+  (void)compactions;
+  return status;
+}
+
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
+                                Version* base) {
+  // Requires mutex_ held.
+  const uint64_t start_micros = env_->NowMicros();
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
+  Iterator* iter = mem->NewIterator();
+
+  Status s;
+  {
+    mutex_.unlock();
+    s = BuildTable(dbname_, env_, options_, table_cache_.get(), iter, &meta);
+    mutex_.lock();
+  }
+
+  delete iter;
+  pending_outputs_.erase(meta.number);
+
+  // Note that if file_size is zero, the file has been deleted and
+  // should not be added to the manifest.
+  int level = 0;
+  if (s.ok() && meta.file_size > 0) {
+    const Slice min_user_key = meta.smallest.user_key();
+    const Slice max_user_key = meta.largest.user_key();
+    if (base != nullptr) {
+      level = base->PickLevelForMemTableOutput(min_user_key, max_user_key);
+    }
+    edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
+                  meta.largest);
+  }
+
+  CompactionStats stats;
+  stats.micros = env_->NowMicros() - start_micros;
+  stats.bytes_written = meta.file_size;
+  stats_[level].Add(stats);
+  return s;
+}
+
+void DBImpl::CompactMemTable() {
+  // Requires mutex_ held.
+  assert(imm_ != nullptr);
+
+  // Save the contents of the memtable as a new Table.
+  VersionEdit edit;
+  Version* base = versions_->current();
+  base->Ref();
+  Status s = WriteLevel0Table(imm_, &edit, base);
+  base->Unref();
+
+  if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    s = Status::IOError("Deleting DB during memtable compaction");
+  }
+
+  // Replace immutable memtable with the generated Table.
+  if (s.ok()) {
+    edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed.
+    s = versions_->LogAndApply(&edit, &mutex_);
+  }
+
+  if (s.ok()) {
+    // Commit to the new state.
+    imm_->Unref();
+    imm_ = nullptr;
+    has_imm_.store(false, std::memory_order_release);
+    RemoveObsoleteFiles();
+  } else {
+    RecordBackgroundError(s);
+  }
+}
+
+void DBImpl::TEST_CompactRange(int level, const Slice* begin,
+                               const Slice* end) {
+  assert(level >= 0);
+  assert(level + 1 < kNumLevels);
+
+  InternalKey begin_storage, end_storage;
+
+  ManualCompaction manual;
+  manual.level = level;
+  manual.done = false;
+  if (begin == nullptr) {
+    manual.begin = nullptr;
+  } else {
+    begin_storage = InternalKey(*begin, kMaxSequenceNumber, kValueTypeForSeek);
+    manual.begin = &begin_storage;
+  }
+  if (end == nullptr) {
+    manual.end = nullptr;
+  } else {
+    end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
+    manual.end = &end_storage;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
+         bg_error_.ok()) {
+    if (manual_compaction_ == nullptr) {  // Idle.
+      manual_compaction_ = &manual;
+      MaybeScheduleCompaction();
+    } else {  // Running either my compaction or another compaction.
+      background_work_finished_signal_.wait(lock);
+    }
+  }
+  // Finish current background compaction in the case where `manual`
+  // is still being used.
+  while (background_compaction_scheduled_ && manual_compaction_ == &manual) {
+    background_work_finished_signal_.wait(lock);
+  }
+  if (manual_compaction_ == &manual) {
+    // Cancel my manual compaction since we aborted early for some reason.
+    manual_compaction_ = nullptr;
+  }
+}
+
+Status DBImpl::TEST_CompactMemTable() {
+  // nullptr batch means just wait for earlier writes to be done.
+  Status s = Write(WriteOptions(), nullptr);
+  if (s.ok()) {
+    // Wait until the compaction completes.
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (imm_ != nullptr && bg_error_.ok()) {
+      background_work_finished_signal_.wait(lock);
+    }
+    if (imm_ != nullptr) {
+      s = bg_error_;
+    }
+  }
+  return s;
+}
+
+void DBImpl::RecordBackgroundError(const Status& s) {
+  // Requires mutex_ held.
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+    background_work_finished_signal_.notify_all();
+  }
+}
+
+void DBImpl::MaybeScheduleCompaction() {
+  // Requires mutex_ held.
+  if (background_compaction_scheduled_) {
+    // Already scheduled.
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // DB is being deleted; no more background compactions.
+  } else if (!bg_error_.ok()) {
+    // Already got an error; no more changes.
+  } else if (imm_ == nullptr && manual_compaction_ == nullptr &&
+             !versions_->NeedsCompaction()) {
+    // No work to be done.
+  } else {
+    background_compaction_scheduled_ = true;
+    env_->Schedule(&DBImpl::BGWork, this);
+  }
+}
+
+void DBImpl::BGWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundCall();
+}
+
+void DBImpl::BackgroundCall() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(background_compaction_scheduled_);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // No more background work when shutting down.
+  } else if (!bg_error_.ok()) {
+    // No more background work after a background error.
+  } else {
+    BackgroundCompaction();
+  }
+
+  background_compaction_scheduled_ = false;
+
+  // Previous compaction may have produced too many files in a level,
+  // so reschedule another compaction if needed.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.notify_all();
+}
+
+void DBImpl::BackgroundCompaction() {
+  // Requires mutex_ held.
+
+  if (imm_ != nullptr) {
+    // Minor compactions (memtable flushes) have priority, as in the
+    // paper's Fig. 6 workflow.
+    CompactMemTable();
+    return;
+  }
+
+  Compaction* c;
+  bool is_manual = (manual_compaction_ != nullptr);
+  InternalKey manual_end;
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    c = versions_->CompactRange(m->level, m->begin, m->end);
+    m->done = (c == nullptr);
+    if (c != nullptr) {
+      manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+    }
+  } else {
+    c = versions_->PickCompaction();
+  }
+
+  Status status;
+  if (c == nullptr) {
+    // Nothing to do.
+  } else if (!is_manual && c->IsTrivialMove()) {
+    // Move file to next level.
+    assert(c->num_input_files(0) == 1);
+    FileMetaData* f = c->input(0, 0);
+    c->edit()->RemoveFile(c->level(), f->number);
+    c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
+                       f->largest);
+    status = versions_->LogAndApply(c->edit(), &mutex_);
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    }
+  } else {
+    status = DoCompactionWork(c);
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    }
+    c->ReleaseInputs();
+    RemoveObsoleteFiles();
+  }
+  delete c;
+
+  if (status.ok()) {
+    // Done.
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // Ignore compaction errors found during shutting down.
+  } else {
+    std::fprintf(stderr, "Compaction error: %s\n", status.ToString().c_str());
+  }
+
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    if (!status.ok()) {
+      m->done = true;
+    }
+    if (!m->done) {
+      // We only compacted part of the requested range. Update *m to the
+      // range that is left to be compacted.
+      m->tmp_storage = manual_end;
+      m->begin = &m->tmp_storage;
+    }
+    manual_compaction_ = nullptr;
+  }
+}
+
+Status DBImpl::DoCompactionWork(Compaction* c) {
+  // Requires mutex_ held. Builds the job, chooses the executor per the
+  // scheduling policy (offload if the device can take it, else the CPU
+  // path — paper Fig. 6), runs it without the mutex, then installs the
+  // results.
+  const int level = c->level();
+
+  CompactionJob job;
+  job.options = &options_;
+  job.dbname = dbname_;
+  job.table_cache = table_cache_.get();
+  job.icmp = &internal_comparator_;
+  job.compaction = c;
+  if (snapshots_.empty()) {
+    job.smallest_snapshot = versions_->LastSequence();
+  } else {
+    job.smallest_snapshot = snapshots_.oldest()->sequence_number();
+  }
+  // Deletion markers can be dropped iff no deeper level holds data for
+  // any key in the compaction range. Conservative per-compaction check
+  // shared by both executors (see compaction_executor.h).
+  {
+    bool deeper = false;
+    for (int lvl = level + 2; lvl < kNumLevels && !deeper; lvl++) {
+      if (versions_->current()->NumFiles(lvl) > 0) {
+        // Only a range check could refine this; keep it simple and
+        // exactly implementable on the device.
+        deeper = true;
+      }
+    }
+    job.no_deeper_data = !deeper;
+  }
+  job.new_file_number = [this]() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t number = versions_->NewFileNumber();
+    pending_outputs_.insert(number);
+    return number;
+  };
+  job.make_input_iterator = [this, c]() {
+    return versions_->MakeInputIterator(c);
+  };
+
+  CompactionExecutor* executor = primary_executor_;
+  if (!executor->CanExecute(job)) {
+    // Paper Section VI-A: when the input count exceeds the device's N,
+    // the task is processed completely by software.
+    executor = owned_cpu_executor_.get();
+  }
+
+  std::vector<CompactionOutput> outputs;
+  CompactionExecStats exec_stats;
+  Status status;
+  {
+    mutex_.unlock();
+    const uint64_t start_micros = env_->NowMicros();
+    status = executor->Execute(job, &outputs, &exec_stats);
+    if (exec_stats.micros == 0) {
+      exec_stats.micros = env_->NowMicros() - start_micros;
+    }
+    mutex_.lock();
+  }
+
+  if (exec_stats.offloaded) {
+    compactions_offloaded_++;
+  } else {
+    compactions_on_cpu_++;
+  }
+  exec_stats_.Add(exec_stats);
+
+  CompactionStats stats;
+  stats.micros = static_cast<int64_t>(exec_stats.micros);
+  stats.bytes_read = exec_stats.bytes_read;
+  stats.bytes_written = exec_stats.bytes_written;
+  stats_[level + 1].Add(stats);
+
+  if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    status = Status::IOError("Deleting DB during compaction");
+  }
+  if (status.ok()) {
+    status = InstallCompactionResults(c, outputs);
+  }
+
+  // Release pending output protection.
+  for (const CompactionOutput& out : outputs) {
+    pending_outputs_.erase(out.number);
+  }
+
+  if (!status.ok()) {
+    RecordBackgroundError(status);
+    // Clean up files we created.
+    mutex_.unlock();
+    for (const CompactionOutput& out : outputs) {
+      env_->RemoveFile(TableFileName(dbname_, out.number));
+    }
+    mutex_.lock();
+  }
+
+  VersionSet::LevelSummaryStorage tmp;
+  (void)tmp;
+  return status;
+}
+
+Status DBImpl::InstallCompactionResults(
+    Compaction* c, const std::vector<CompactionOutput>& outputs) {
+  // Requires mutex_ held.
+  c->AddInputDeletions(c->edit());
+  const int level = c->level();
+  for (const CompactionOutput& out : outputs) {
+    c->edit()->AddFile(level + 1, out.number, out.file_size, out.smallest,
+                       out.largest);
+  }
+  return versions_->LogAndApply(c->edit(), &mutex_);
+}
+
+void DBImpl::CleanupCompaction(CompactionState* compact) {
+  // Unused in the executor-based design; retained for interface parity.
+  (void)compact;
+}
+
+namespace {
+
+struct IterState {
+  std::mutex* const mu;
+  Version* const version;
+  MemTable* const mem;
+  MemTable* const imm;
+
+  IterState(std::mutex* mutex, MemTable* mem, MemTable* imm, Version* version)
+      : mu(mutex), version(version), mem(mem), imm(imm) {}
+};
+
+void CleanupIteratorState(void* arg1, void* arg2) {
+  IterState* state = reinterpret_cast<IterState*>(arg1);
+  {
+    std::lock_guard<std::mutex> lock(*state->mu);
+    state->mem->Unref();
+    if (state->imm != nullptr) state->imm->Unref();
+    state->version->Unref();
+  }
+  delete state;
+}
+
+}  // namespace
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot,
+                                      uint32_t* seed) {
+  mutex_.lock();
+  *latest_snapshot = versions_->LastSequence();
+
+  // Collect together all needed child iterators.
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  mem_->Ref();
+  if (imm_ != nullptr) {
+    list.push_back(imm_->NewIterator());
+    imm_->Ref();
+  }
+  versions_->current()->AddIterators(options, &list);
+  Iterator* internal_iter =
+      NewMergingIterator(&internal_comparator_, list.data(),
+                         static_cast<int>(list.size()));
+  versions_->current()->Ref();
+
+  IterState* cleanup =
+      new IterState(&mutex_, mem_, imm_, versions_->current());
+  internal_iter->RegisterCleanup(CleanupIteratorState, cleanup, nullptr);
+
+  *seed = ++seed_;
+  mutex_.unlock();
+  return internal_iter;
+}
+
+Iterator* DBImpl::TEST_NewInternalIterator() {
+  SequenceNumber ignored;
+  uint32_t ignored_seed;
+  return NewInternalIterator(ReadOptions(), &ignored, &ignored_seed);
+}
+
+int64_t DBImpl::TEST_MaxNextLevelOverlappingBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return versions_->MaxNextLevelOverlappingBytes();
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  Status s;
+  std::unique_lock<std::mutex> lock(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot_sequence != 0) {
+    snapshot = options.snapshot_sequence;
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+  current->Ref();
+
+  bool have_stat_update = false;
+  Version::GetStats stats;
+
+  // Unlock while reading from files and memtables.
+  {
+    lock.unlock();
+    // First look in the memtable, then in the immutable memtable (if
+    // any).
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done.
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Done.
+    } else {
+      s = current->Get(options, lkey, value, &stats);
+      have_stat_update = true;
+    }
+    lock.lock();
+  }
+
+  if (have_stat_update && current->UpdateStats(stats)) {
+    MaybeScheduleCompaction();
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  current->Unref();
+  return s;
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  uint32_t seed;
+  Iterator* iter = NewInternalIterator(options, &latest_snapshot, &seed);
+  return NewDBIterator(this, user_comparator(), iter,
+                       (options.snapshot_sequence != 0
+                            ? options.snapshot_sequence
+                            : latest_snapshot),
+                       seed);
+}
+
+void DBImpl::RecordReadSample(Slice key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (versions_->current()->RecordReadSample(key)) {
+    MaybeScheduleCompaction();
+  }
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
+}
+
+// Convenience methods.
+Status DBImpl::Put(const WriteOptions& o, const Slice& key,
+                   const Slice& val) {
+  WriteBatch batch;
+  batch.Put(key, val);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  Writer w(&mutex_);
+  w.batch = updates;
+  w.sync = options.sync;
+  w.done = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  if (w.done) {
+    return w.status;
+  }
+
+  // May temporarily unlock and wait.
+  Status status = MakeRoomForWrite(updates == nullptr);
+  uint64_t last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  if (status.ok() && updates != nullptr) {  // null batch is for compactions
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
+    last_sequence += WriteBatchInternal::Count(write_batch);
+
+    // Add to log and apply to memtable. We can release the lock during
+    // this phase since &w is currently responsible for logging and
+    // protects against concurrent loggers and concurrent writes into
+    // mem_.
+    {
+      mutex_.unlock();
+      status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      bool sync_error = false;
+      if (status.ok() && options.sync) {
+        status = logfile_->Sync();
+        if (!status.ok()) {
+          sync_error = true;
+        }
+      }
+      if (status.ok()) {
+        status = WriteBatchInternal::InsertInto(write_batch, mem_);
+      }
+      mutex_.lock();
+      if (sync_error) {
+        // The state of the log file is indeterminate: the log record we
+        // just added may or may not show up when the DB is re-opened.
+        // So we force the DB into a mode where all future writes fail.
+        RecordBackgroundError(status);
+      }
+    }
+    if (write_batch == tmp_batch_) tmp_batch_->Clear();
+
+    versions_->SetLastSequence(last_sequence);
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+
+  // Notify new head of write queue.
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+
+  return status;
+}
+
+// Requires: Writer list must be non-empty; first writer must have a
+// non-null batch.
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+  // Requires mutex_ held.
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+
+  size_t size = WriteBatchInternal::ByteSize(first->batch);
+
+  // Allow the group to grow up to a maximum size, but if the original
+  // write is small, limit the growth so we do not slow down the small
+  // write too much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+  std::deque<Writer*>::iterator iter = writers_.begin();
+  ++iter;  // Advance past "first".
+  for (; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a non-sync
+      // write.
+      break;
+    }
+
+    if (w->batch != nullptr) {
+      size += WriteBatchInternal::ByteSize(w->batch);
+      if (size > max_size) {
+        // Do not make batch too big.
+        break;
+      }
+
+      // Append to *result.
+      if (result == first->batch) {
+        // Switch to temporary batch instead of disturbing caller's
+        // batch.
+        result = tmp_batch_;
+        assert(WriteBatchInternal::Count(result) == 0);
+        WriteBatchInternal::Append(result, first->batch);
+      }
+      WriteBatchInternal::Append(result, w->batch);
+    }
+    *last_writer = w;
+  }
+  return result;
+}
+
+// Requires: mutex_ is held; this thread is currently at the front of
+// the writer queue.
+Status DBImpl::MakeRoomForWrite(bool force) {
+  assert(!writers_.empty());
+  bool allow_delay = !force;
+  Status s;
+  std::unique_lock<std::mutex> lock(mutex_, std::adopt_lock);
+  while (true) {
+    if (!bg_error_.ok()) {
+      // Yield previous error.
+      s = bg_error_;
+      break;
+    } else if (allow_delay && versions_->NumLevelFiles(0) >=
+                                  kL0SlowdownWritesTrigger) {
+      // We are getting close to hitting a hard limit on the number of
+      // L0 files. Rather than delaying a single write by several
+      // seconds when we hit the hard limit, start delaying each
+      // individual write by 1ms to reduce latency variance. Also, this
+      // delay hands over some CPU to the compaction thread in case it
+      // is sharing the same core as the writer.
+      lock.unlock();
+      env_->SleepForMicroseconds(1000);
+      allow_delay = false;  // Do not delay a single write more than once.
+      lock.lock();
+      slowdown_count_++;
+      slowdown_micros_ += 1000;
+    } else if (!force && (mem_->ApproximateMemoryUsage() <=
+                          options_.write_buffer_size)) {
+      // There is room in current memtable.
+      break;
+    } else if (imm_ != nullptr) {
+      // We have filled up the current memtable, but the previous one is
+      // still being compacted, so we wait.
+      const uint64_t start = env_->NowMicros();
+      background_work_finished_signal_.wait(lock);
+      stall_memtable_count_++;
+      stall_memtable_micros_ += env_->NowMicros() - start;
+    } else if (versions_->NumLevelFiles(0) >= kL0StopWritesTrigger) {
+      // There are too many level-0 files.
+      const uint64_t start = env_->NowMicros();
+      background_work_finished_signal_.wait(lock);
+      stall_l0_count_++;
+      stall_l0_micros_ += env_->NowMicros() - start;
+    } else {
+      // Attempt to switch to a new memtable and trigger compaction of
+      // old.
+      assert(versions_->LogNumber() <= logfile_number_);
+      uint64_t new_log_number = versions_->NewFileNumber();
+      WritableFile* lfile = nullptr;
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (!s.ok()) {
+        // Avoid chewing through file number space in a tight loop.
+        versions_->ReuseFileNumber(new_log_number);
+        break;
+      }
+      delete log_;
+      delete logfile_;
+      logfile_ = lfile;
+      logfile_number_ = new_log_number;
+      log_ = new log::Writer(lfile);
+      imm_ = mem_;
+      has_imm_.store(true, std::memory_order_release);
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+      force = false;  // Do not force another compaction if have room.
+      MaybeScheduleCompaction();
+    }
+  }
+  lock.release();  // Caller continues to hold the mutex.
+  return s;
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slice in = property;
+  Slice prefix("fcae.");
+  if (!in.StartsWith(prefix)) return false;
+  in.RemovePrefix(prefix.size());
+
+  if (in.StartsWith("num-files-at-level")) {
+    in.RemovePrefix(strlen("num-files-at-level"));
+    uint64_t level = 0;
+    bool ok = !in.empty();
+    for (size_t i = 0; i < in.size() && ok; i++) {
+      if (in[i] < '0' || in[i] > '9') {
+        ok = false;
+      } else {
+        level = level * 10 + (in[i] - '0');
+      }
+    }
+    if (!ok || level >= kNumLevels) {
+      return false;
+    } else {
+      char buf[100];
+      std::snprintf(buf, sizeof(buf), "%d",
+                    versions_->NumLevelFiles(static_cast<int>(level)));
+      *value = buf;
+      return true;
+    }
+  } else if (in == Slice("stats")) {
+    char buf[260];
+    std::snprintf(buf, sizeof(buf),
+                  "                               Compactions\n"
+                  "Level  Files Size(MB) Time(sec) Read(MB) Write(MB)\n"
+                  "--------------------------------------------------\n");
+    value->append(buf);
+    for (int level = 0; level < kNumLevels; level++) {
+      int files = versions_->NumLevelFiles(level);
+      if (stats_[level].micros > 0 || files > 0) {
+        std::snprintf(buf, sizeof(buf), "%3d %8d %8.0f %9.3f %8.3f %9.3f\n",
+                      level, files,
+                      versions_->NumLevelBytes(level) / 1048576.0,
+                      stats_[level].micros / 1e6,
+                      stats_[level].bytes_read / 1048576.0,
+                      stats_[level].bytes_written / 1048576.0);
+        value->append(buf);
+      }
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "Compactions executed: cpu=%lld offloaded=%lld "
+                  "(device %.3f ms kernel, %.3f ms pcie)\n",
+                  static_cast<long long>(compactions_on_cpu_),
+                  static_cast<long long>(compactions_offloaded_),
+                  exec_stats_.device_micros / 1e3,
+                  exec_stats_.pcie_micros / 1e3);
+    value->append(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "Write pauses: slowdowns=%lld (%.1f ms) "
+                  "memtable-waits=%lld (%.1f ms) l0-stops=%lld (%.1f ms)\n",
+                  static_cast<long long>(slowdown_count_),
+                  slowdown_micros_ / 1e3,
+                  static_cast<long long>(stall_memtable_count_),
+                  stall_memtable_micros_ / 1e3,
+                  static_cast<long long>(stall_l0_count_),
+                  stall_l0_micros_ / 1e3);
+    value->append(buf);
+    return true;
+  } else if (in == Slice("sstables")) {
+    *value = versions_->current()->DebugString();
+    return true;
+  } else if (in == Slice("approximate-memory-usage")) {
+    size_t total_usage = 0;  // Block cache would be counted here too.
+    if (mem_) {
+      total_usage += mem_->ApproximateMemoryUsage();
+    }
+    if (imm_) {
+      total_usage += imm_->ApproximateMemoryUsage();
+    }
+    char buf[50];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(total_usage));
+    value->append(buf);
+    return true;
+  }
+
+  return false;
+}
+
+void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Version* v = versions_->current();
+    v->Ref();
+
+    for (int i = 0; i < n; i++) {
+      // Convert user_key into a corresponding internal key.
+      InternalKey k1(range[i].start, kMaxSequenceNumber, kValueTypeForSeek);
+      InternalKey k2(range[i].limit, kMaxSequenceNumber, kValueTypeForSeek);
+      uint64_t start = versions_->ApproximateOffsetOf(v, k1);
+      uint64_t limit = versions_->ApproximateOffsetOf(v, k2);
+      sizes[i] = (limit >= start ? limit - start : 0);
+    }
+
+    v->Unref();
+  }
+}
+
+void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  int max_level_with_files = 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Version* base = versions_->current();
+    for (int level = 1; level < kNumLevels; level++) {
+      if (base->OverlapInLevel(level, begin, end)) {
+        max_level_with_files = level;
+      }
+    }
+  }
+  TEST_CompactMemTable();  // TODO(sanjay): Skip if memtable does not overlap.
+  for (int level = 0; level < max_level_with_files; level++) {
+    TEST_CompactRange(level, begin, end);
+  }
+}
+
+CompactionExecStats DBImpl::OffloadStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return exec_stats_;
+}
+
+DB::~DB() = default;
+
+Status DB::Open(const Options& options, const std::string& dbname,
+                DB** dbptr) {
+  *dbptr = nullptr;
+
+  DBImpl* impl = new DBImpl(options, dbname);
+  impl->mutex_.lock();
+  VersionEdit edit;
+  // Recover handles create_if_missing, error_if_exists.
+  bool save_manifest = false;
+  Status s = impl->Recover(&edit, &save_manifest);
+  if (s.ok() && impl->mem_ == nullptr) {
+    // Create new log and a corresponding memtable.
+    uint64_t new_log_number = impl->versions_->NewFileNumber();
+    WritableFile* lfile;
+    s = options.env->NewWritableFile(LogFileName(dbname, new_log_number),
+                                     &lfile);
+    if (s.ok()) {
+      edit.SetLogNumber(new_log_number);
+      impl->logfile_ = lfile;
+      impl->logfile_number_ = new_log_number;
+      impl->log_ = new log::Writer(lfile);
+      impl->mem_ = new MemTable(impl->internal_comparator_);
+      impl->mem_->Ref();
+    }
+  }
+  if (s.ok() && save_manifest) {
+    edit.SetLogNumber(impl->logfile_number_);
+    s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
+  }
+  if (s.ok()) {
+    impl->RemoveObsoleteFiles();
+    impl->MaybeScheduleCompaction();
+  }
+  impl->mutex_.unlock();
+  if (s.ok()) {
+    assert(impl->mem_ != nullptr);
+    *dbptr = impl;
+  } else {
+    delete impl;
+  }
+  return s;
+}
+
+Status DestroyDB(const std::string& dbname, const Options& options) {
+  Env* env = options.env;
+  std::vector<std::string> filenames;
+  Status result = env->GetChildren(dbname, &filenames);
+  if (!result.ok()) {
+    // Ignore error in case directory does not exist.
+    return Status::OK();
+  }
+
+  FileLock* lock;
+  const std::string lockname = LockFileName(dbname);
+  result = env->LockFile(lockname, &lock);
+  if (result.ok()) {
+    uint64_t number;
+    FileType type;
+    for (size_t i = 0; i < filenames.size(); i++) {
+      if (ParseFileName(filenames[i], &number, &type) &&
+          type != FileType::kDBLockFile) {  // Lock file deleted at end.
+        Status del = env->RemoveFile(dbname + "/" + filenames[i]);
+        if (result.ok() && !del.ok()) {
+          result = del;
+        }
+      }
+    }
+    env->UnlockFile(lock);  // Ignore error since state is already gone.
+    env->RemoveFile(lockname);
+    env->RemoveDir(dbname);  // Ignore error: dir may hold other files.
+  }
+  return result;
+}
+
+}  // namespace fcae

@@ -1,0 +1,223 @@
+#ifndef FCAE_LSM_DB_IMPL_H_
+#define FCAE_LSM_DB_IMPL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "lsm/compaction_executor.h"
+#include "lsm/db.h"
+#include "lsm/dbformat.h"
+#include "lsm/log_writer.h"
+#include "lsm/snapshot.h"
+#include "util/env.h"
+
+namespace fcae {
+
+class MemTable;
+class TableCache;
+class Version;
+class VersionEdit;
+class VersionSet;
+
+class DBImpl : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+
+  ~DBImpl() override;
+
+  // Implementations of the DB interface.
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void GetApproximateSizes(const Range* range, int n, uint64_t* sizes) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+
+  // Extra methods (for testing and benchmarking).
+
+  /// Compacts any files in the named level that overlap [*begin,*end].
+  void TEST_CompactRange(int level, const Slice* begin, const Slice* end);
+
+  /// Forces current memtable contents to be flushed.
+  Status TEST_CompactMemTable();
+
+  /// Returns an internal iterator over the current state of the
+  /// database.
+  Iterator* TEST_NewInternalIterator();
+
+  /// Returns the maximum overlapping data (in bytes) at next level for
+  /// any file at a level >= 1.
+  int64_t TEST_MaxNextLevelOverlappingBytes();
+
+  /// Samples a key read at `key` (an internal key); may schedule a
+  /// seek-triggered compaction.
+  void RecordReadSample(Slice key);
+
+  /// Aggregate offload statistics (device path).
+  CompactionExecStats OffloadStats();
+
+ private:
+  friend class DB;
+  struct CompactionState;
+  struct Writer;
+
+  Iterator* NewInternalIterator(const ReadOptions&,
+                                SequenceNumber* latest_snapshot,
+                                uint32_t* seed);
+
+  Status NewDB();
+
+  /// Recovers the descriptor from persistent storage. May do a
+  /// significant amount of work to recover recently logged updates.
+  Status Recover(VersionEdit* edit, bool* save_manifest);
+
+  void MaybeIgnoreError(Status* s) const;
+
+  /// Deletes any unneeded files and stale in-memory entries.
+  void RemoveObsoleteFiles();
+
+  /// Compacts the in-memory write buffer to disk; switches to a new
+  /// log-file/memtable and writes a new descriptor iff successful.
+  void CompactMemTable();
+
+  Status RecoverLogFile(uint64_t log_number, bool last_log,
+                        bool* save_manifest, VersionEdit* edit,
+                        SequenceNumber* max_sequence);
+
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base);
+
+  Status MakeRoomForWrite(bool force /* compact even if there is room? */);
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+
+  void RecordBackgroundError(const Status& s);
+
+  void MaybeScheduleCompaction();
+  static void BGWork(void* db);
+  void BackgroundCall();
+  void BackgroundCompaction();
+  void CleanupCompaction(CompactionState* compact);
+
+  /// Runs one table-merging compaction through the configured executor
+  /// (device if eligible, CPU fallback otherwise) and installs results.
+  Status DoCompactionWork(Compaction* c);
+
+  Status InstallCompactionResults(Compaction* c,
+                                  const std::vector<CompactionOutput>& outputs);
+
+  const Comparator* user_comparator() const {
+    return internal_comparator_.user_comparator();
+  }
+
+  // Constant after construction.
+  Env* const env_;
+  const InternalKeyComparator internal_comparator_;
+  const InternalFilterPolicy internal_filter_policy_;
+  const Options options_;  // options_.comparator == &internal_comparator_
+  const std::string dbname_;
+
+  // table_cache_ provides its own synchronization.
+  std::unique_ptr<TableCache> table_cache_;
+
+  // Executors: `executor_` is the configured primary (may be an FPGA
+  // offload engine); `cpu_executor_` is the always-available fallback.
+  std::unique_ptr<CompactionExecutor> owned_cpu_executor_;
+  CompactionExecutor* primary_executor_;  // Borrowed from options, or CPU.
+
+  // Lock over the database directory (released in the destructor).
+  FileLock* db_lock_ = nullptr;
+
+  // State below is protected by mutex_.
+  std::mutex mutex_;
+  std::atomic<bool> shutting_down_;
+  std::condition_variable background_work_finished_signal_;
+  MemTable* mem_;
+  MemTable* imm_;                // Memtable being compacted.
+  std::atomic<bool> has_imm_;    // So bg thread can detect non-null imm_.
+  WritableFile* logfile_;
+  uint64_t logfile_number_;
+  log::Writer* log_;
+  uint32_t seed_;  // For sampling.
+
+  // Queue of writers.
+  std::deque<Writer*> writers_;
+  WriteBatch* tmp_batch_;
+
+  SnapshotList snapshots_;
+
+  // Set of table files to protect from deletion because they are part
+  // of ongoing compactions.
+  std::set<uint64_t> pending_outputs_;
+
+  // Has a background compaction been scheduled or is running?
+  bool background_compaction_scheduled_;
+
+  // Information for a manual compaction.
+  struct ManualCompaction {
+    int level;
+    bool done;
+    const InternalKey* begin;  // null means beginning of key range
+    const InternalKey* end;    // null means end of key range
+    InternalKey tmp_storage;   // Used to keep track of compaction progress
+  };
+  ManualCompaction* manual_compaction_;
+
+  VersionSet* versions_;
+
+  // Have we encountered a background error in paranoid mode?
+  Status bg_error_;
+
+  // Per-level compaction stats.
+  struct CompactionStats {
+    CompactionStats() : micros(0), bytes_read(0), bytes_written(0) {}
+
+    void Add(const CompactionStats& c) {
+      this->micros += c.micros;
+      this->bytes_read += c.bytes_read;
+      this->bytes_written += c.bytes_written;
+    }
+
+    int64_t micros;
+    int64_t bytes_read;
+    int64_t bytes_written;
+  };
+  CompactionStats stats_[kNumLevels];
+
+  // Aggregate executor statistics (e.g. offloaded compaction count).
+  CompactionExecStats exec_stats_;
+  int64_t compactions_offloaded_;
+  int64_t compactions_on_cpu_;
+
+  // Write-pause accounting (the paper's Section I phenomenon): how
+  // often and for how long MakeRoomForWrite throttled the client.
+  int64_t slowdown_count_ = 0;        // 1 ms delays (L0 >= 8).
+  int64_t slowdown_micros_ = 0;
+  int64_t stall_memtable_count_ = 0;  // Waits for the immutable flush.
+  int64_t stall_memtable_micros_ = 0;
+  int64_t stall_l0_count_ = 0;        // Hard stops (L0 >= 12).
+  int64_t stall_l0_micros_ = 0;
+};
+
+/// Sanitizes db options: clips user-supplied values to reasonable ranges
+/// and fills in defaults.
+Options SanitizeOptions(const std::string& db,
+                        const InternalKeyComparator* icmp,
+                        const InternalFilterPolicy* ipolicy,
+                        const Options& src);
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_DB_IMPL_H_

@@ -1,0 +1,23 @@
+#ifndef FCAE_LSM_DB_ITER_H_
+#define FCAE_LSM_DB_ITER_H_
+
+#include <cstdint>
+
+#include "lsm/dbformat.h"
+
+namespace fcae {
+
+class DBImpl;
+class Iterator;
+
+/// Returns a new iterator that converts internal keys (yielded by
+/// `internal_iter`, which it takes ownership of) into the appropriate
+/// user keys at the snapshot defined by `sequence`: newest visible
+/// version per key, deletions hidden.
+Iterator* NewDBIterator(DBImpl* db, const Comparator* user_key_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence,
+                        uint32_t seed);
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_DB_ITER_H_

@@ -1,0 +1,122 @@
+#include "lsm/filename.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace fcae {
+
+namespace {
+
+std::string MakeFileName(const std::string& dbname, uint64_t number,
+                         const char* suffix) {
+  char buf[100];
+  std::snprintf(buf, sizeof(buf), "/%06llu.%s",
+                static_cast<unsigned long long>(number), suffix);
+  return dbname + buf;
+}
+
+}  // namespace
+
+std::string LogFileName(const std::string& dbname, uint64_t number) {
+  assert(number > 0);
+  return MakeFileName(dbname, number, "log");
+}
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  assert(number > 0);
+  return MakeFileName(dbname, number, "ldb");
+}
+
+std::string DescriptorFileName(const std::string& dbname, uint64_t number) {
+  assert(number > 0);
+  char buf[100];
+  std::snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
+                static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+std::string LockFileName(const std::string& dbname) { return dbname + "/LOCK"; }
+
+std::string TempFileName(const std::string& dbname, uint64_t number) {
+  assert(number > 0);
+  return MakeFileName(dbname, number, "dbtmp");
+}
+
+// Owned filenames have the form:
+//    dbname/CURRENT
+//    dbname/LOCK
+//    dbname/LOG
+//    dbname/MANIFEST-[0-9]+
+//    dbname/[0-9]+.(log|ldb|dbtmp)
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type) {
+  Slice rest(filename);
+  if (rest == Slice("CURRENT")) {
+    *number = 0;
+    *type = FileType::kCurrentFile;
+  } else if (rest == Slice("LOCK")) {
+    *number = 0;
+    *type = FileType::kDBLockFile;
+  } else if (rest == Slice("LOG") || rest == Slice("LOG.old")) {
+    *number = 0;
+    *type = FileType::kInfoLogFile;
+  } else if (rest.StartsWith("MANIFEST-")) {
+    rest.RemovePrefix(strlen("MANIFEST-"));
+    uint64_t num = 0;
+    if (rest.empty()) return false;
+    for (size_t i = 0; i < rest.size(); i++) {
+      char c = rest[i];
+      if (c < '0' || c > '9') return false;
+      num = num * 10 + (c - '0');
+    }
+    *type = FileType::kDescriptorFile;
+    *number = num;
+  } else {
+    // Trailing-number files: NNNNNN.suffix
+    uint64_t num = 0;
+    size_t i = 0;
+    while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+      num = num * 10 + (rest[i] - '0');
+      i++;
+    }
+    if (i == 0) return false;
+    Slice suffix(rest.data() + i, rest.size() - i);
+    if (suffix == Slice(".log")) {
+      *type = FileType::kLogFile;
+    } else if (suffix == Slice(".ldb") || suffix == Slice(".sst")) {
+      *type = FileType::kTableFile;
+    } else if (suffix == Slice(".dbtmp")) {
+      *type = FileType::kTempFile;
+    } else {
+      return false;
+    }
+    *number = num;
+  }
+  return true;
+}
+
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number) {
+  // Remove leading "dbname/" and add newline to the manifest file name.
+  std::string manifest = DescriptorFileName(dbname, descriptor_number);
+  Slice contents = manifest;
+  assert(contents.StartsWith(dbname + "/"));
+  contents.RemovePrefix(dbname.size() + 1);
+  std::string tmp = TempFileName(dbname, descriptor_number);
+  Status s = WriteStringToFile(env, contents.ToString() + "\n", tmp);
+  if (s.ok()) {
+    s = env->RenameFile(tmp, CurrentFileName(dbname));
+  }
+  if (!s.ok()) {
+    env->RemoveFile(tmp);
+  }
+  return s;
+}
+
+}  // namespace fcae

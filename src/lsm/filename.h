@@ -1,0 +1,55 @@
+#ifndef FCAE_LSM_FILENAME_H_
+#define FCAE_LSM_FILENAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace fcae {
+
+class Env;
+
+enum class FileType {
+  kLogFile,
+  kDBLockFile,
+  kTableFile,
+  kDescriptorFile,
+  kCurrentFile,
+  kTempFile,
+  kInfoLogFile,
+};
+
+/// Returns the name of the WAL file with the specified number.
+std::string LogFileName(const std::string& dbname, uint64_t number);
+
+/// Returns the name of the SSTable with the specified number.
+std::string TableFileName(const std::string& dbname, uint64_t number);
+
+/// Returns the name of the descriptor (manifest) file.
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+
+/// Returns the name of the CURRENT file, which points at the current
+/// manifest.
+std::string CurrentFileName(const std::string& dbname);
+
+/// Returns the name of the database lock file.
+std::string LockFileName(const std::string& dbname);
+
+/// Returns the name of a temporary file.
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+/// If `filename` is an fcae database file, stores its type in *type and
+/// the file number (0 for metadata files without one) in *number and
+/// returns true.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+/// Makes the CURRENT file point to the descriptor file with the given
+/// number.
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number);
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_FILENAME_H_

@@ -1,0 +1,38 @@
+#ifndef FCAE_LSM_LOG_FORMAT_H_
+#define FCAE_LSM_LOG_FORMAT_H_
+
+// Log format information shared by reader and writer.
+//
+// The WAL is a sequence of 32 KB blocks. Each block holds records of:
+//   checksum: uint32  (masked crc32c of type and data[])
+//   length:   uint16
+//   type:     uint8   (full / first / middle / last)
+//   data:     uint8[length]
+// Records never span block boundaries; large payloads are fragmented
+// into first/middle/last pieces.
+
+namespace fcae {
+namespace log {
+
+enum RecordType {
+  // Zero is reserved for preallocated files.
+  kZeroType = 0,
+
+  kFullType = 1,
+
+  // For fragments.
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4
+};
+constexpr int kMaxRecordType = kLastType;
+
+constexpr int kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace fcae
+
+#endif  // FCAE_LSM_LOG_FORMAT_H_

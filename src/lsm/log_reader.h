@@ -1,0 +1,73 @@
+#ifndef FCAE_LSM_LOG_READER_H_
+#define FCAE_LSM_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class SequentialFile;
+
+namespace log {
+
+/// Reads the record stream produced by log::Writer, recovering from
+/// truncated tails and reporting corrupt regions.
+class Reader {
+ public:
+  /// Interface for reporting errors found while reading the log.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+
+    /// Some corruption was detected; `bytes` is the approximate number
+    /// of bytes dropped due to the corruption.
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  /// Creates a reader consuming "*file" (must remain live while in use).
+  /// Reports dropped data to "*reporter" if non-null. If checksum is
+  /// true, verifies checksums when available.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  ~Reader();
+
+  /// Reads the next record into *record. Returns true if read
+  /// successfully, false on EOF. *scratch may be used as temporary
+  /// backing storage; the record is only valid until the next mutating
+  /// call.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extend record types with the following special values.
+  enum {
+    kEof = kMaxRecordType + 1,
+    // Returned whenever we find an invalid physical record (bad crc,
+    // length overflow, ...).
+    kBadRecord = kMaxRecordType + 2
+  };
+
+  /// Return type, or one of the preceding special values.
+  unsigned int ReadPhysicalRecord(Slice* result);
+
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  bool const checksum_;
+  char* const backing_store_;
+  Slice buffer_;
+  bool eof_;  // Last Read() indicated EOF by returning < kBlockSize.
+};
+
+}  // namespace log
+}  // namespace fcae
+
+#endif  // FCAE_LSM_LOG_READER_H_

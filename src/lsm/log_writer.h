@@ -1,0 +1,48 @@
+#ifndef FCAE_LSM_LOG_WRITER_H_
+#define FCAE_LSM_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class WritableFile;
+
+namespace log {
+
+/// Appends length-prefixed, checksummed records to a WAL file.
+class Writer {
+ public:
+  /// Creates a writer that will append data to "*dest". "*dest" must be
+  /// initially empty and must remain live while this Writer is in use.
+  explicit Writer(WritableFile* dest);
+
+  /// Creates a writer that will append data to "*dest", which must have
+  /// initial length "dest_length" (used to reopen a log for appending).
+  Writer(WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  ~Writer() = default;
+
+  Status AddRecord(const Slice& slice);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // Current offset in block.
+
+  // crc32c values for all supported record types, pre-computed to reduce
+  // the cost of computing the crc of the type that is appended.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace fcae
+
+#endif  // FCAE_LSM_LOG_WRITER_H_

@@ -1,0 +1,77 @@
+#ifndef FCAE_LSM_MEMTABLE_H_
+#define FCAE_LSM_MEMTABLE_H_
+
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/skiplist.h"
+#include "util/arena.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class Iterator;
+
+/// The in-memory write buffer (paper Fig. 1: MemTable / Immutable
+/// MemTable). Reference-counted because readers may hold it after it has
+/// been swapped out for flushing.
+class MemTable {
+ public:
+  /// MemTables are reference counted. The initial reference count is
+  /// zero and the caller must call Ref() at least once.
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { ++refs_; }
+
+  /// Drops reference count; deletes on reaching zero.
+  void Unref() {
+    --refs_;
+    assert(refs_ >= 0);
+    if (refs_ <= 0) {
+      delete this;
+    }
+  }
+
+  /// Approximate memory usage, used against write_buffer_size.
+  size_t ApproximateMemoryUsage();
+
+  /// Returns an iterator over internal keys. Keys returned by the
+  /// iterator are encoded internal keys. The caller must ensure the
+  /// memtable outlives the iterator.
+  Iterator* NewIterator();
+
+  /// Adds an entry that maps key to value at the specified sequence
+  /// number with the specified type (value is empty for deletions).
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  /// If the memtable contains a value for key, stores it in *value and
+  /// returns true. If it contains a deletion for key, stores NotFound()
+  /// in *status and returns true. Else returns false.
+  bool Get(const LookupKey& key, std::string* value, Status* status);
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  ~MemTable();  // Private since only Unref() should be used to delete it.
+
+  KeyComparator comparator_;
+  int refs_;
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_MEMTABLE_H_

@@ -1,0 +1,29 @@
+#ifndef FCAE_LSM_REPAIR_H_
+#define FCAE_LSM_REPAIR_H_
+
+#include <string>
+
+#include "util/options.h"
+#include "util/status.h"
+
+namespace fcae {
+
+/// Reconstructs a database whose descriptor state (MANIFEST/CURRENT) is
+/// lost or corrupt:
+///
+///  1. every WAL file is replayed into fresh level-0 tables;
+///  2. every table file is scanned to recover its key range, maximum
+///     sequence number and integrity (unreadable tables are moved to a
+///     "lost/" subdirectory rather than deleted);
+///  3. a new descriptor referencing all recovered tables at level 0 is
+///     written and installed.
+///
+/// Some previously-deleted data may resurface (a known property of
+/// manifest reconstruction: the level structure that made deletion
+/// markers disposable is gone), but every acknowledged write that
+/// reached a log or table is preserved.
+Status RepairDB(const std::string& dbname, const Options& options);
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_REPAIR_H_

@@ -1,0 +1,338 @@
+#ifndef FCAE_LSM_SKIPLIST_H_
+#define FCAE_LSM_SKIPLIST_H_
+
+// The MemTable (Fig. 1 of the paper) is backed by this skiplist.
+//
+// Thread safety:
+//  - Writes require external synchronization (one writer at a time).
+//  - Reads require a guarantee that the SkipList will not be destroyed
+//    while the read is in progress, and need no other synchronization;
+//    the invariants below make lock-free reads safe.
+//
+// Invariants:
+//  (1) Allocated nodes are never deleted until the SkipList is destroyed.
+//  (2) The contents of a Node (except next pointers) are immutable after
+//      the Node has been linked into the SkipList. Only Insert() modifies
+//      the list, and it initializes the node and uses release-stores to
+//      publish it.
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace fcae {
+
+template <typename Key, class Comparator>
+class SkipList {
+ private:
+  struct Node;
+
+ public:
+  /// Creates a new SkipList object that will use "cmp" for comparing
+  /// keys, and will allocate memory using "*arena". Objects allocated in
+  /// the arena must remain allocated for the lifetime of the skiplist.
+  explicit SkipList(Comparator cmp, Arena* arena);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key into the list. Requires: nothing that compares equal to
+  /// key is currently in the list.
+  void Insert(const Key& key);
+
+  /// Returns true iff an entry that compares equal to key is in the list.
+  bool Contains(const Key& key) const;
+
+  /// Iteration over the contents of a skip list.
+  class Iterator {
+   public:
+    /// The returned iterator is not valid until positioned.
+    explicit Iterator(const SkipList* list);
+
+    bool Valid() const;
+    const Key& key() const;
+    void Next();
+    void Prev();
+    void Seek(const Key& target);
+    void SeekToFirst();
+    void SeekToLast();
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  enum { kMaxHeight = 12 };
+
+  inline int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  Node* NewNode(const Key& key, int height);
+  int RandomHeight();
+  bool Equal(const Key& a, const Key& b) const {
+    return (compare_(a, b) == 0);
+  }
+
+  /// Returns true if key is greater than the data stored in "n".
+  bool KeyIsAfterNode(const Key& key, Node* n) const;
+
+  /// Returns the earliest node that comes at or after key (nullptr if
+  /// none). If prev is non-null, fills prev[level] with a pointer to the
+  /// previous node at "level" for every level in [0..max_height_-1].
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const;
+
+  /// Returns the latest node with a key < key (head_ if none).
+  Node* FindLessThan(const Key& key) const;
+
+  /// Returns the last node in the list (head_ if empty).
+  Node* FindLast() const;
+
+  // Immutable after construction.
+  Comparator const compare_;
+  Arena* const arena_;  // Arena used for allocations of nodes.
+
+  Node* const head_;
+
+  // Modified only by Insert(). Read racily by readers, but stale values
+  // are ok.
+  std::atomic<int> max_height_;  // Height of the entire list.
+
+  // Read/written only by Insert().
+  Random rnd_;
+};
+
+// Implementation details follow.
+
+template <typename Key, class Comparator>
+struct SkipList<Key, Comparator>::Node {
+  explicit Node(const Key& k) : key(k) {}
+
+  Key const key;
+
+  /// Accessors/mutators for links. Wrapped in methods so we can add the
+  /// appropriate barriers as necessary.
+  Node* Next(int n) {
+    assert(n >= 0);
+    // An acquire load so that we observe a fully initialized version of
+    // the returned Node.
+    return next_[n].load(std::memory_order_acquire);
+  }
+  void SetNext(int n, Node* x) {
+    assert(n >= 0);
+    // A release store so anybody who reads through this pointer observes
+    // a fully initialized version of the inserted node.
+    next_[n].store(x, std::memory_order_release);
+  }
+
+  /// No-barrier variants that can be safely used in a few locations.
+  Node* NoBarrier_Next(int n) {
+    assert(n >= 0);
+    return next_[n].load(std::memory_order_relaxed);
+  }
+  void NoBarrier_SetNext(int n, Node* x) {
+    assert(n >= 0);
+    next_[n].store(x, std::memory_order_relaxed);
+  }
+
+ private:
+  // Array of length equal to the node height. next_[0] is lowest level.
+  std::atomic<Node*> next_[1];
+};
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::NewNode(const Key& key, int height) {
+  char* const node_memory = arena_->AllocateAligned(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (node_memory) Node(key);
+}
+
+template <typename Key, class Comparator>
+inline SkipList<Key, Comparator>::Iterator::Iterator(const SkipList* list) {
+  list_ = list;
+  node_ = nullptr;
+}
+
+template <typename Key, class Comparator>
+inline bool SkipList<Key, Comparator>::Iterator::Valid() const {
+  return node_ != nullptr;
+}
+
+template <typename Key, class Comparator>
+inline const Key& SkipList<Key, Comparator>::Iterator::key() const {
+  assert(Valid());
+  return node_->key;
+}
+
+template <typename Key, class Comparator>
+inline void SkipList<Key, Comparator>::Iterator::Next() {
+  assert(Valid());
+  node_ = node_->Next(0);
+}
+
+template <typename Key, class Comparator>
+inline void SkipList<Key, Comparator>::Iterator::Prev() {
+  // Instead of using explicit "prev" links, we just search for the last
+  // node that falls before key.
+  assert(Valid());
+  node_ = list_->FindLessThan(node_->key);
+  if (node_ == list_->head_) {
+    node_ = nullptr;
+  }
+}
+
+template <typename Key, class Comparator>
+inline void SkipList<Key, Comparator>::Iterator::Seek(const Key& target) {
+  node_ = list_->FindGreaterOrEqual(target, nullptr);
+}
+
+template <typename Key, class Comparator>
+inline void SkipList<Key, Comparator>::Iterator::SeekToFirst() {
+  node_ = list_->head_->Next(0);
+}
+
+template <typename Key, class Comparator>
+inline void SkipList<Key, Comparator>::Iterator::SeekToLast() {
+  node_ = list_->FindLast();
+  if (node_ == list_->head_) {
+    node_ = nullptr;
+  }
+}
+
+template <typename Key, class Comparator>
+int SkipList<Key, Comparator>::RandomHeight() {
+  // Increase height with probability 1 in kBranching.
+  static const unsigned int kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    height++;
+  }
+  assert(height > 0);
+  assert(height <= kMaxHeight);
+  return height;
+}
+
+template <typename Key, class Comparator>
+bool SkipList<Key, Comparator>::KeyIsAfterNode(const Key& key, Node* n) const {
+  // null n is considered infinite.
+  return (n != nullptr) && (compare_(n->key, key) < 0);
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindGreaterOrEqual(const Key& key,
+                                              Node** prev) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (KeyIsAfterNode(key, next)) {
+      // Keep searching in this list.
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) {
+        return next;
+      } else {
+        // Switch to next list.
+        level--;
+      }
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindLessThan(const Key& key) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    assert(x == head_ || compare_(x->key, key) < 0);
+    Node* next = x->Next(level);
+    if (next == nullptr || compare_(next->key, key) >= 0) {
+      if (level == 0) {
+        return x;
+      } else {
+        // Switch to next list.
+        level--;
+      }
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindLast() const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next == nullptr) {
+      if (level == 0) {
+        return x;
+      } else {
+        // Switch to next list.
+        level--;
+      }
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+SkipList<Key, Comparator>::SkipList(Comparator cmp, Arena* arena)
+    : compare_(cmp),
+      arena_(arena),
+      head_(NewNode(0 /* any key will do */, kMaxHeight)),
+      max_height_(1),
+      rnd_(0xdeadbeef) {
+  for (int i = 0; i < kMaxHeight; i++) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::Insert(const Key& key) {
+  Node* prev[kMaxHeight];
+  Node* x = FindGreaterOrEqual(key, prev);
+
+  // Our data structure does not allow duplicate insertion.
+  assert(x == nullptr || !Equal(key, x->key));
+
+  int height = RandomHeight();
+  if (height > GetMaxHeight()) {
+    for (int i = GetMaxHeight(); i < height; i++) {
+      prev[i] = head_;
+    }
+    // It is ok to mutate max_height_ without any synchronization with
+    // concurrent readers: a reader that observes the new value will see
+    // either the new level's nullptr from head_ (valid) or the new node.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  x = NewNode(key, height);
+  for (int i = 0; i < height; i++) {
+    // NoBarrier_SetNext() suffices since we will add a barrier when we
+    // publish a pointer to x in prev[i].
+    x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
+    prev[i]->SetNext(i, x);
+  }
+}
+
+template <typename Key, class Comparator>
+bool SkipList<Key, Comparator>::Contains(const Key& key) const {
+  Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && Equal(key, x->key);
+}
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_SKIPLIST_H_

@@ -1,0 +1,54 @@
+#ifndef FCAE_LSM_TABLE_CACHE_H_
+#define FCAE_LSM_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "table/table.h"
+#include "util/cache.h"
+#include "util/env.h"
+#include "util/options.h"
+
+namespace fcae {
+
+/// Caches open SSTable readers (file handle + index block) keyed by file
+/// number. Thread-safe.
+class TableCache {
+ public:
+  TableCache(const std::string& dbname, const Options& options, int entries);
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  ~TableCache() = default;
+
+  /// Returns an iterator for the specified file number (which must have
+  /// the given file_size). If tableptr is non-null, sets *tableptr to
+  /// the underlying Table (owned by the cache; valid while the iterator
+  /// lives).
+  Iterator* NewIterator(const ReadOptions& options, uint64_t file_number,
+                        uint64_t file_size, Table** tableptr = nullptr);
+
+  /// If a seek to internal key `k` in the specified file finds an entry,
+  /// calls (*handle_result)(arg, found_key, found_value).
+  Status Get(const ReadOptions& options, uint64_t file_number,
+             uint64_t file_size, const Slice& k, void* arg,
+             void (*handle_result)(void*, const Slice&, const Slice&));
+
+  /// Evicts any entry for the specified file number.
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size,
+                   Cache::Handle** handle);
+
+  Env* const env_;
+  const std::string dbname_;
+  const Options& options_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_TABLE_CACHE_H_

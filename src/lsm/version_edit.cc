@@ -1,0 +1,212 @@
+#include "lsm/version_edit.h"
+
+#include <sstream>
+
+#include "util/coding.h"
+
+namespace fcae {
+
+namespace {
+
+// Tag numbers for serialized VersionEdit. These numbers are written to
+// disk and should not be changed.
+enum Tag : uint32_t {
+  kComparator = 1,
+  kLogNumber = 2,
+  kNextFileNumber = 3,
+  kLastSequence = 4,
+  kCompactPointer = 5,
+  kDeletedFile = 6,
+  kNewFile = 7,
+};
+
+bool GetInternalKey(Slice* input, InternalKey* dst) {
+  Slice str;
+  if (GetLengthPrefixedSlice(input, &str)) {
+    return dst->DecodeFrom(str);
+  }
+  return false;
+}
+
+bool GetLevel(Slice* input, int* level) {
+  uint32_t v;
+  if (GetVarint32(input, &v) && v < static_cast<uint32_t>(kNumLevels)) {
+    *level = v;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void VersionEdit::Clear() {
+  comparator_.clear();
+  log_number_ = 0;
+  next_file_number_ = 0;
+  last_sequence_ = 0;
+  has_comparator_ = false;
+  has_log_number_ = false;
+  has_next_file_number_ = false;
+  has_last_sequence_ = false;
+  compact_pointers_.clear();
+  deleted_files_.clear();
+  new_files_.clear();
+}
+
+void VersionEdit::EncodeTo(std::string* dst) const {
+  if (has_comparator_) {
+    PutVarint32(dst, kComparator);
+    PutLengthPrefixedSlice(dst, comparator_);
+  }
+  if (has_log_number_) {
+    PutVarint32(dst, kLogNumber);
+    PutVarint64(dst, log_number_);
+  }
+  if (has_next_file_number_) {
+    PutVarint32(dst, kNextFileNumber);
+    PutVarint64(dst, next_file_number_);
+  }
+  if (has_last_sequence_) {
+    PutVarint32(dst, kLastSequence);
+    PutVarint64(dst, last_sequence_);
+  }
+
+  for (const auto& cp : compact_pointers_) {
+    PutVarint32(dst, kCompactPointer);
+    PutVarint32(dst, cp.first);  // level
+    PutLengthPrefixedSlice(dst, cp.second.Encode());
+  }
+
+  for (const auto& deleted : deleted_files_) {
+    PutVarint32(dst, kDeletedFile);
+    PutVarint32(dst, deleted.first);   // level
+    PutVarint64(dst, deleted.second);  // file number
+  }
+
+  for (const auto& nf : new_files_) {
+    const FileMetaData& f = nf.second;
+    PutVarint32(dst, kNewFile);
+    PutVarint32(dst, nf.first);  // level
+    PutVarint64(dst, f.number);
+    PutVarint64(dst, f.file_size);
+    PutLengthPrefixedSlice(dst, f.smallest.Encode());
+    PutLengthPrefixedSlice(dst, f.largest.Encode());
+  }
+}
+
+Status VersionEdit::DecodeFrom(const Slice& src) {
+  Clear();
+  Slice input = src;
+  const char* msg = nullptr;
+  uint32_t tag;
+
+  // Temporary storage for parsing.
+  int level;
+  uint64_t number;
+  FileMetaData f;
+  Slice str;
+  InternalKey key;
+
+  while (msg == nullptr && GetVarint32(&input, &tag)) {
+    switch (tag) {
+      case kComparator:
+        if (GetLengthPrefixedSlice(&input, &str)) {
+          comparator_ = str.ToString();
+          has_comparator_ = true;
+        } else {
+          msg = "comparator name";
+        }
+        break;
+
+      case kLogNumber:
+        if (GetVarint64(&input, &log_number_)) {
+          has_log_number_ = true;
+        } else {
+          msg = "log number";
+        }
+        break;
+
+      case kNextFileNumber:
+        if (GetVarint64(&input, &next_file_number_)) {
+          has_next_file_number_ = true;
+        } else {
+          msg = "next file number";
+        }
+        break;
+
+      case kLastSequence:
+        if (GetVarint64(&input, &last_sequence_)) {
+          has_last_sequence_ = true;
+        } else {
+          msg = "last sequence number";
+        }
+        break;
+
+      case kCompactPointer:
+        if (GetLevel(&input, &level) && GetInternalKey(&input, &key)) {
+          compact_pointers_.push_back(std::make_pair(level, key));
+        } else {
+          msg = "compaction pointer";
+        }
+        break;
+
+      case kDeletedFile:
+        if (GetLevel(&input, &level) && GetVarint64(&input, &number)) {
+          deleted_files_.insert(std::make_pair(level, number));
+        } else {
+          msg = "deleted file";
+        }
+        break;
+
+      case kNewFile:
+        if (GetLevel(&input, &level) && GetVarint64(&input, &f.number) &&
+            GetVarint64(&input, &f.file_size) &&
+            GetInternalKey(&input, &f.smallest) &&
+            GetInternalKey(&input, &f.largest)) {
+          new_files_.push_back(std::make_pair(level, f));
+        } else {
+          msg = "new-file entry";
+        }
+        break;
+
+      default:
+        msg = "unknown tag";
+        break;
+    }
+  }
+
+  if (msg == nullptr && !input.empty()) {
+    msg = "invalid tag";
+  }
+
+  Status result;
+  if (msg != nullptr) {
+    result = Status::Corruption("VersionEdit", msg);
+  }
+  return result;
+}
+
+std::string VersionEdit::DebugString() const {
+  std::ostringstream ss;
+  ss << "VersionEdit {";
+  if (has_comparator_) ss << "\n  Comparator: " << comparator_;
+  if (has_log_number_) ss << "\n  LogNumber: " << log_number_;
+  if (has_next_file_number_) ss << "\n  NextFile: " << next_file_number_;
+  if (has_last_sequence_) ss << "\n  LastSeq: " << last_sequence_;
+  for (const auto& cp : compact_pointers_) {
+    ss << "\n  CompactPointer: " << cp.first << " "
+       << cp.second.DebugString();
+  }
+  for (const auto& d : deleted_files_) {
+    ss << "\n  RemoveFile: " << d.first << " " << d.second;
+  }
+  for (const auto& nf : new_files_) {
+    ss << "\n  AddFile: " << nf.first << " " << nf.second.number << " "
+       << nf.second.file_size << " " << nf.second.smallest.DebugString()
+       << " .. " << nf.second.largest.DebugString();
+  }
+  ss << "\n}\n";
+  return ss.str();
+}
+
+}  // namespace fcae

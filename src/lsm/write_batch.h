@@ -1,0 +1,91 @@
+#ifndef FCAE_LSM_WRITE_BATCH_H_
+#define FCAE_LSM_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class MemTable;
+
+/// WriteBatch holds a collection of updates to apply atomically to a DB:
+///
+///    batch.Put("key", "v1");
+///    batch.Delete("key");
+///    batch.Put("key", "v2");
+///
+/// Multiple threads can invoke const methods on a WriteBatch without
+/// external synchronization, but if any of the threads may call a
+/// non-const method, all threads accessing the same WriteBatch must use
+/// external synchronization.
+class WriteBatch {
+ public:
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+
+  WriteBatch();
+
+  WriteBatch(const WriteBatch&) = default;
+  WriteBatch& operator=(const WriteBatch&) = default;
+
+  ~WriteBatch() = default;
+
+  /// Stores the mapping key->value in the database.
+  void Put(const Slice& key, const Slice& value);
+
+  /// If the database contains a mapping for key, erase it.
+  void Delete(const Slice& key);
+
+  /// Clears all buffered updates.
+  void Clear();
+
+  /// The size of the database changes caused by this batch, in bytes
+  /// (used for write-rate accounting).
+  size_t ApproximateSize() const;
+
+  /// Copies the operations in `source` to this batch.
+  void Append(const WriteBatch& source);
+
+  /// Replays the batch's operations in order into `handler`.
+  Status Iterate(Handler* handler) const;
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;  // See comment in write_batch.cc for the format.
+};
+
+/// Internal-only accessors used by the DB implementation and tests.
+class WriteBatchInternal {
+ public:
+  /// Number of entries in the batch.
+  static int Count(const WriteBatch* batch);
+  static void SetCount(WriteBatch* batch, int n);
+
+  /// Sequence number for the start of this batch.
+  static uint64_t Sequence(const WriteBatch* batch);
+  static void SetSequence(WriteBatch* batch, uint64_t seq);
+
+  static Slice Contents(const WriteBatch* batch) { return batch->rep_; }
+  static size_t ByteSize(const WriteBatch* batch) {
+    return batch->rep_.size();
+  }
+  static void SetContents(WriteBatch* batch, const Slice& contents);
+
+  /// Applies all operations to the memtable with sequential sequence
+  /// numbers starting at Sequence(batch).
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable);
+
+  static void Append(WriteBatch* dst, const WriteBatch* src);
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_WRITE_BATCH_H_

@@ -1,0 +1,151 @@
+#include "syssim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fpga/timing_model.h"
+
+namespace fcae {
+namespace syssim {
+
+namespace {
+
+/// Piecewise-linear interpolation in log2(x) over tabulated points.
+double InterpLog2(const double* xs, const double* ys, int n, double x) {
+  if (x <= xs[0]) return ys[0];
+  if (x >= xs[n - 1]) return ys[n - 1];
+  for (int i = 1; i < n; i++) {
+    if (x <= xs[i]) {
+      double t = (std::log2(x) - std::log2(xs[i - 1])) /
+                 (std::log2(xs[i]) - std::log2(xs[i - 1]));
+      return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+    }
+  }
+  return ys[n - 1];
+}
+
+constexpr double kValuePoints[] = {64, 128, 256, 512, 1024, 2048};
+constexpr int kNumValuePoints = 6;
+
+// Table V, CPU column (MB/s), 2-input merge, key 16 B.
+constexpr double kPaperCpuSpeed[] = {5.3, 6.9, 9.0, 12.2, 14.8, 13.3};
+
+// Table V, FCAE columns (MB/s), 2-input engine, key 16 B.
+constexpr double kPaperFpgaV8[] = {178.5, 260.1, 343.9, 446.9, 448.5, 506.3};
+constexpr double kPaperFpgaV16[] = {164.5, 312.1, 451.6, 627.9, 739.5, 709.0};
+constexpr double kPaperFpgaV32[] = {181.8, 311.8, 510.7, 672.8, 896.7,
+                                    1077.4};
+constexpr double kPaperFpgaV64[] = {175.8, 291.7, 524.9, 745.4, 1026.3,
+                                    1205.6};
+
+// Fig. 12: 9-input engine (W_in=8, V=8) speed relative to the 2-input
+// V=8 engine — about 70% degradation for small values, narrowing as the
+// value grows (the bottleneck moves to the Data Block Decoder whose
+// period is nearly N-independent).
+constexpr double kNineInputFactor[] = {0.30, 0.40, 0.55, 0.70, 0.85, 0.95};
+
+
+}  // namespace
+
+double CostModel::CpuCompactionMBps(int num_inputs, uint64_t key_len,
+                                    uint64_t value_len) const {
+  double base;
+  if (paper_speeds_) {
+    base = InterpLog2(kValuePoints, kPaperCpuSpeed, kNumValuePoints,
+                      static_cast<double>(value_len));
+  } else {
+    base = simulated_cpu_mbps_;
+  }
+  // LevelDB's MergingIterator performs a linear scan over all N
+  // children for every record (FindSmallest), so the software merge
+  // slows roughly linearly in the input count — which is why the paper's
+  // 9-input acceleration ratios (Fig. 13) exceed the 2-input ones even
+  // though the 9-input engine itself is slower. Normalized to 1.0 at
+  // N = 2 (the Table V baseline).
+  const int n = std::max(2, num_inputs);
+  return base * 3.0 / (n + 1);
+}
+
+double CostModel::FpgaCompactionMBps(const fpga::EngineConfig& config,
+                                     uint64_t key_len,
+                                     uint64_t value_len) const {
+  const double v = static_cast<double>(value_len);
+  if (!paper_speeds_) {
+    fpga::TimingModel model(config);
+    return model.PredictSpeedMBps(key_len + 8, value_len);
+  }
+
+  const double* column = kPaperFpgaV16;
+  switch (config.EffectiveValueWidth()) {
+    case 8:
+      column = kPaperFpgaV8;
+      break;
+    case 16:
+      column = kPaperFpgaV16;
+      break;
+    case 32:
+      column = kPaperFpgaV32;
+      break;
+    default:
+      column = kPaperFpgaV64;
+      break;
+  }
+  double speed = InterpLog2(kValuePoints, column, kNumValuePoints, v);
+
+  if (config.num_inputs > 2) {
+    speed *= InterpLog2(kValuePoints, kNineInputFactor, kNumValuePoints, v);
+  }
+
+  // Key-length correction (Fig. 15a): the engine's per-record period
+  // grows with L_key while the bytes moved grow more slowly; apply the
+  // analytic ratio against the 16-byte baseline.
+  if (key_len != 16) {
+    fpga::TimingModel model(config);
+    const double period_base =
+        static_cast<double>(model.BottleneckPeriod(16 + 8, value_len));
+    const double period_now =
+        static_cast<double>(model.BottleneckPeriod(key_len + 8, value_len));
+    const double bytes_base = static_cast<double>(16 + 8 + value_len);
+    const double bytes_now = static_cast<double>(key_len + 8 + value_len);
+    speed *= (period_base / period_now) * (bytes_now / bytes_base);
+  }
+  return speed;
+}
+
+double CostModel::FrontendMBps(uint64_t key_len, uint64_t value_len) const {
+  const double op_bytes = static_cast<double>(key_len + value_len);
+  const double micros_per_op =
+      frontend_fixed_micros_ + op_bytes / frontend_byte_mbps_;  // MB/s==B/us
+  return op_bytes / micros_per_op;  // bytes/us == MB/s.
+}
+
+CostModel CostModel::PaperCalibrated() {
+  CostModel m;
+  m.paper_speeds_ = true;
+  // Host constants fitted so the end-to-end write throughput lands in
+  // Table VI's band (LevelDB 2.3-2.9 MB/s; LevelDB-FCAE 5.4-14.4 MB/s).
+  m.frontend_fixed_micros_ = 15.0;  // WAL framing + skiplist insert.
+  m.frontend_byte_mbps_ = 160.0;    // WAL append bandwidth.
+  m.flush_mbps_ = 25.0;             // Memtable -> L0 table build (encode-bound).
+  m.disk_read_mbps_ = 320.0;        // SATA SSD w/ filesystem overhead.
+  m.disk_write_mbps_ = 300.0;
+  m.pcie_mbps_ = 12000.0;           // gen3 x16 effective.
+  m.kernel_invoke_micros_ = 40000.0;
+  m.cache_hit_micros_ = 3.0;
+  m.block_miss_micros_ = 110.0;     // 4 KB random read + decompress.
+  m.scan_next_micros_ = 1.0;
+  return m;
+}
+
+CostModel CostModel::Simulated() {
+  CostModel m = PaperCalibrated();
+  m.paper_speeds_ = false;
+  // A modern core merging with Snappy decode+encode sustains on the
+  // order of 10^2 MB/s; used when comparing against this repository's
+  // cycle-accurate engine speeds instead of the paper's testbed.
+  m.simulated_cpu_mbps_ = 120.0;
+  return m;
+}
+
+}  // namespace syssim
+}  // namespace fcae

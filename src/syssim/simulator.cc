@@ -1,0 +1,465 @@
+#include "syssim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fcae {
+namespace syssim {
+
+namespace {
+constexpr double kMB = 1e6;           // Rates are quoted in MB/s = B/us.
+constexpr double kEps = 1e-12;
+constexpr double kSlowdownMicros = 1000.0;  // LevelDB's 1 ms write delay.
+constexpr int kL0Slowdown = 8;
+constexpr int kL0Stop = 12;
+}  // namespace
+
+/// The event machinery: one client thread, one background CPU thread
+/// (flush has priority and preempts a software merge, as LevelDB's
+/// DoCompactionWork does between keys), and the device pipeline
+/// host-read -> DMA/kernel/DMA -> host-write.
+struct Simulator::Engine {
+  explicit Engine(const SimConfig& config)
+      : cfg(config),
+        lsm(static_cast<double>(config.file_size), config.leveling_ratio,
+            config.overlap_files) {
+    op_bytes = static_cast<double>(cfg.key_length + cfg.value_length);
+    frontend_rate = cfg.cost.FrontendMBps(cfg.key_length, cfg.value_length);
+  }
+
+  const SimConfig& cfg;
+  LsmState lsm;
+  SimResult result;
+
+  double now = 0;  // Seconds.
+  double op_bytes = 0;
+  double frontend_rate = 0;  // MB/s of user data, dedicated core.
+
+  // Client state.
+  double mem_bytes = 0;  // User bytes in the active memtable.
+  bool has_imm = false;
+
+  // Background CPU work (seconds of remaining single-core time).
+  double flush_rem = 0;
+  double host_read_rem = 0;   // Offload: staging reads from disk.
+  double host_write_rem = 0;  // Offload: writing outputs to disk.
+  double sw_rem = 0;          // Software compaction (read+merge+write).
+
+  // Device state.
+  double device_rem = 0;
+
+  // In-flight compaction.
+  bool compaction_in_flight = false;
+  bool compaction_offloaded = false;
+  int offload_passes = 1;  // Tournament passes for >N-input jobs.
+  CompactionWork active_work;
+
+  // ---- Derived helpers ----
+
+  bool CpuBusy() const {
+    return flush_rem > kEps || host_read_rem > kEps ||
+           host_write_rem > kEps || sw_rem > kEps;
+  }
+
+  /// Which background bucket the CPU is currently burning.
+  double* CpuTask() {
+    if (flush_rem > kEps) return &flush_rem;
+    if (host_write_rem > kEps) return &host_write_rem;
+    if (host_read_rem > kEps) return &host_read_rem;
+    if (sw_rem > kEps) return &sw_rem;
+    return nullptr;
+  }
+
+  /// Core share of the client / background thread under the mode's core
+  /// budget.
+  double ClientShare(bool client_running) const {
+    if (cfg.mode == ExecMode::kLevelDbCpu) return 1.0;  // Own core.
+    return (client_running && CpuBusy()) ? 0.5 : 1.0;
+  }
+  double CpuShare(bool client_running) const {
+    if (cfg.mode == ExecMode::kLevelDbCpu) return 1.0;
+    return (client_running && CpuBusy()) ? 0.5 : 1.0;
+  }
+
+  /// Client ingest rate (MB/s of user bytes) given stall state; 0 when
+  /// fully stopped.
+  double ClientRate() const {
+    if (mem_bytes >= cfg.memtable_bytes && has_imm) return 0;  // Wait.
+    if (lsm.l0_files() >= kL0Stop) return 0;                   // Stop.
+    double rate = frontend_rate;
+    if (lsm.l0_files() >= kL0Slowdown) {
+      // Every write pays an extra 1 ms (LevelDB MakeRoomForWrite).
+      const double slow = op_bytes / (kSlowdownMicros +
+                                      op_bytes / frontend_rate);
+      rate = std::min(rate, slow);
+    }
+    return rate;
+  }
+
+  // ---- State transitions ----
+
+  void MaybeRotateMemtable() {
+    if (mem_bytes >= cfg.memtable_bytes - kEps && !has_imm) {
+      mem_bytes -= cfg.memtable_bytes;
+      if (mem_bytes < 0) mem_bytes = 0;
+      has_imm = true;
+      flush_rem = cfg.memtable_bytes / (cfg.cost.FlushMBps() * kMB);
+      result.flush_seconds += flush_rem;
+    }
+  }
+
+  void OnFlushDone() {
+    has_imm = false;
+    lsm.AddL0File(static_cast<double>(cfg.memtable_bytes) *
+                  cfg.cost.CompressedFraction());
+    result.flushes++;
+    MaybeRotateMemtable();  // A stalled client may rotate immediately.
+    MaybeScheduleCompaction();
+  }
+
+  void MaybeScheduleCompaction() {
+    if (compaction_in_flight) return;
+    CompactionWork work;
+    // Under the strict Fig. 6 policy the scheduler sizes level-0 jobs
+    // to the device (oldest N-1 files), as the paper's "eight SSTables
+    // on Level 0 and Level 1 ... which means N = 9" implies.
+    int max_l0 = 0;
+    if (cfg.mode == ExecMode::kLevelDbFcae && !cfg.multipass_offload &&
+        cfg.engine.num_inputs > 2) {
+      max_l0 = cfg.engine.num_inputs - 1;
+    }
+    if (!lsm.PickCompaction(&work, max_l0)) return;
+
+    compaction_in_flight = true;
+    active_work = work;
+    result.compactions++;
+    result.bytes_compacted_in += work.input_bytes;
+    result.bytes_compacted_out += work.output_bytes;
+
+    bool offloadable = cfg.mode == ExecMode::kLevelDbFcae &&
+                       work.device_inputs >= 1 &&
+                       work.device_inputs <= cfg.engine.num_inputs;
+    offload_passes = 1;
+    if (!offloadable && cfg.mode == ExecMode::kLevelDbFcae &&
+        cfg.multipass_offload && work.device_inputs >= 1) {
+      // Tournament scheduling: merge N runs at a time on the card until
+      // one run remains; intermediate runs never leave device DRAM.
+      offloadable = true;
+      int runs = work.device_inputs;
+      const int n = std::max(2, cfg.engine.num_inputs);
+      while (runs > n) {
+        offload_passes++;
+        runs = (runs + n - 1) / n;
+      }
+    }
+    compaction_offloaded = offloadable;
+    if (offloadable) {
+      result.compactions_offloaded++;
+      if (cfg.near_storage) {
+        // Near-storage: no host staging; the kernel starts immediately
+        // on the drive's internal channels.
+        host_read_rem = 0;
+        OnHostReadDone();
+      } else {
+        host_read_rem = work.input_bytes / (cfg.cost.DiskReadMBps() * kMB);
+      }
+    } else {
+      result.compactions_sw++;
+      const double cpu_speed = cfg.cost.CpuCompactionMBps(
+          work.device_inputs, cfg.key_length, cfg.value_length);
+      sw_rem = work.input_bytes / (cfg.cost.DiskReadMBps() * kMB) +
+               work.input_bytes / (cpu_speed * kMB) +
+               work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
+      result.cpu_compaction_seconds += sw_rem;
+    }
+  }
+
+  void OnHostReadDone() {
+    // DMA in, kernel, DMA out all happen on the card side. Near-storage
+    // mode reads/writes the drive's internal channels instead of the
+    // PCIe link (modeled at the same internal bandwidth the channels
+    // give sequential I/O; the interesting difference is that the host
+    // core and external bus stay idle).
+    const double pcie =
+        cfg.near_storage
+            ? 0.0
+            : (active_work.input_bytes + active_work.output_bytes) /
+                  (cfg.cost.PcieMBps() * kMB);
+    const double kernel_speed = cfg.cost.FpgaCompactionMBps(
+        cfg.engine, cfg.key_length, cfg.value_length);
+    double kernel =
+        offload_passes * active_work.input_bytes / (kernel_speed * kMB);
+    if (cfg.near_storage) {
+      // Internal channel transfers serialize with the kernel.
+      kernel += (active_work.input_bytes + active_work.output_bytes) /
+                (3.0 * cfg.cost.DiskReadMBps() * kMB);
+    }
+    device_rem =
+        pcie + kernel + cfg.cost.KernelInvokeMicros() * 1e-6;
+    result.pcie_seconds += pcie;
+    result.device_seconds += kernel;
+  }
+
+  void OnDeviceDone() {
+    host_write_rem =
+        cfg.near_storage
+            ? 0.0
+            : active_work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
+    if (cfg.near_storage) {
+      OnCompactionInstalled();
+    }
+  }
+
+  void OnCompactionInstalled() {
+    lsm.ApplyCompaction(active_work);
+    compaction_in_flight = false;
+    MaybeScheduleCompaction();
+  }
+
+  /// Advances simulated time by up to `dt` seconds with the client
+  /// either ingesting (fill mode) or idle (`client_rate` = 0 while it
+  /// executes a read, whose cost the caller accounts separately).
+  /// Returns the time actually advanced (an event may cut it short).
+  double Step(double dt, bool client_ingesting, double* ingested) {
+    const double client_rate = client_ingesting ? ClientRate() : 0;
+    const bool client_running = client_ingesting && client_rate > 0;
+
+    const double client_share = ClientShare(client_running);
+    const double cpu_share = CpuShare(client_running);
+
+    double step = dt;
+    // Clip at the memtable boundary.
+    if (client_running) {
+      const double to_fill =
+          (cfg.memtable_bytes - mem_bytes) /
+          (client_rate * kMB * client_share);
+      step = std::min(step, to_fill);
+    }
+    // Clip at the active CPU task boundary.
+    double* task = CpuTask();
+    if (task != nullptr) {
+      step = std::min(step, *task / cpu_share);
+    }
+    // Clip at device completion.
+    if (device_rem > kEps) {
+      step = std::min(step, device_rem);
+    }
+    if (step < 0) step = 0;
+
+    // Advance.
+    now += step;
+    if (client_running) {
+      const double bytes = client_rate * kMB * client_share * step;
+      mem_bytes += bytes;
+      if (ingested != nullptr) *ingested += bytes;
+      if (lsm.l0_files() >= kL0Slowdown) {
+        result.slowdown_seconds += step;
+      }
+    } else if (client_ingesting) {
+      result.stall_seconds += step;
+    }
+    if (task != nullptr) {
+      *task -= cpu_share * step;
+      if (*task < kEps) {
+        *task = 0;
+        if (task == &flush_rem) {
+          OnFlushDone();
+        } else if (task == &host_read_rem) {
+          OnHostReadDone();
+        } else if (task == &host_write_rem) {
+          OnCompactionInstalled();
+        } else {  // sw_rem
+          OnCompactionInstalled();
+        }
+      }
+    }
+    if (device_rem > kEps) {
+      device_rem -= step;
+      if (device_rem < kEps) {
+        device_rem = 0;
+        OnDeviceDone();
+      }
+    }
+    if (client_running) {
+      MaybeRotateMemtable();
+      MaybeScheduleCompaction();
+    }
+    return step;
+  }
+
+  /// Advances the clock by a client-side read of `service_us` while
+  /// background work progresses concurrently; in the 1-core FCAE mode
+  /// an active background task halves the read's effective speed.
+  /// (Background progress during reads is modeled at full speed — a
+  /// small optimism that affects both modes' read phases equally.)
+  void AdvanceReadTime(double service_us) {
+    double work = service_us * 1e-6;  // Dedicated-core seconds needed.
+    int guard = 0;
+    while (work > kEps && ++guard < 1000000) {
+      const bool fcae = cfg.mode == ExecMode::kLevelDbFcae;
+      const double share = (fcae && CpuBusy()) ? 0.5 : 1.0;
+      const double stepped = Step(work / share, false, nullptr);
+      if (stepped <= kEps) {
+        now += work / share;
+        break;
+      }
+      work -= stepped * share;
+    }
+  }
+
+  /// Drives time forward until the client can make progress again (or
+  /// nothing is pending — a liveness bug guard).
+  bool WaitWhileStalled(bool ingesting) {
+    int guard = 0;
+    while (ingesting && ClientRate() <= 0) {
+      MaybeScheduleCompaction();
+      if (!CpuBusy() && device_rem <= kEps) {
+        return false;  // Deadlock: nothing will unblock the client.
+      }
+      Step(1e9, /*client_ingesting=*/true, nullptr);
+      if (++guard > 100000000) return false;
+    }
+    return true;
+  }
+};
+
+Simulator::Simulator(const SimConfig& config) : config_(config) {}
+
+SimResult Simulator::RunFillRandom(double total_user_bytes) {
+  Engine engine(config_);
+  double ingested = 0;
+
+  while (ingested < total_user_bytes) {
+    if (!engine.WaitWhileStalled(true)) {
+      break;  // Deadlock guard; should not happen.
+    }
+    const double remaining_bytes = total_user_bytes - ingested;
+    const double rate = engine.ClientRate() *
+                        engine.ClientShare(true) * kMB;
+    const double dt = rate > 0 ? remaining_bytes / rate : 1e9;
+    engine.Step(dt, /*client_ingesting=*/true, &ingested);
+  }
+
+  SimResult result = engine.result;
+  result.user_bytes = ingested;
+  result.elapsed_seconds = engine.now;
+  result.throughput_mbps =
+      engine.now > 0 ? ingested / kMB / engine.now : 0;
+  return result;
+}
+
+SimResult Simulator::RunYcsb(workload::YcsbWorkload w, uint64_t record_count,
+                             uint64_t op_count, uint32_t seed) {
+  Engine engine(config_);
+  Random rnd(seed);
+
+  // Model the pre-loaded store: record_count records laid out in the
+  // fully compacted leveled shape (deepest levels carry the bulk).
+  {
+    double remaining = static_cast<double>(record_count) *
+                       engine.op_bytes * config_.cost.CompressedFraction();
+    // Find the minimal depth whose cumulative capacity holds the data.
+    int depth = 1;
+    double cumulative = 0;
+    for (int level = 1; level < kSimLevels; level++) {
+      cumulative += engine.lsm.MaxBytesForLevel(level);
+      depth = level;
+      if (cumulative >= remaining) break;
+    }
+    for (int level = depth; level >= 1 && remaining > 0; level--) {
+      const double put =
+          std::min(engine.lsm.MaxBytesForLevel(level), remaining);
+      // Poke the level through a synthetic zero-input compaction.
+      CompactionWork work;
+      work.level = level - 1;
+      work.output_bytes = put;
+      work.input_bytes = put;
+      engine.lsm.ApplyCompaction(work);
+      remaining -= put;
+    }
+  }
+
+  workload::YcsbGenerator gen(w, record_count, seed);
+  const bool latest = (w == workload::YcsbWorkload::kD);
+  const double hit_rate = config_.cost.CacheHitRate(latest);
+
+  double ingested = 0;
+  const double write_service_us =
+      engine.op_bytes / engine.frontend_rate;  // B / (B/us).
+
+  for (uint64_t i = 0; i < op_count; i++) {
+    workload::YcsbGenerator::Op op = gen.Next();
+
+    auto read_cost_us = [&]() -> double {
+      if (rnd.NextDouble() < hit_rate) {
+        return config_.cost.CacheHitMicros();
+      }
+      // Bloomless LevelDB probes L0 files newest-first plus one file
+      // per deeper level until the key is found.
+      const double probes = 1.0 + 0.5 * engine.lsm.l0_files() +
+                            0.4 * std::max(0, engine.lsm.PopulatedLevels() -
+                                                  1);
+      return probes * config_.cost.BlockMissMicros();
+    };
+
+    double service_us = 0;
+    bool is_write = false;
+    switch (op.type) {
+      case workload::YcsbOp::kRead:
+        service_us = read_cost_us();
+        break;
+      case workload::YcsbOp::kScan:
+        service_us = read_cost_us() +
+                     op.scan_length * config_.cost.ScanNextMicros();
+        break;
+      case workload::YcsbOp::kUpdate:
+      case workload::YcsbOp::kInsert:
+        is_write = true;
+        service_us = write_service_us;
+        break;
+      case workload::YcsbOp::kReadModifyWrite:
+        is_write = true;
+        service_us = read_cost_us() + write_service_us;
+        break;
+    }
+
+    if (is_write) {
+      // The write's bytes flow into the memtable; its service time is
+      // the frontend cost embedded in ClientRate, so charge the bytes.
+      double need = engine.op_bytes;
+      bool live = true;
+      while (need > kEps && live) {
+        live = engine.WaitWhileStalled(true);
+        if (!live) break;
+        const double rate =
+            engine.ClientRate() * engine.ClientShare(true) * kMB;
+        if (rate <= 0) continue;
+        double got = 0;
+        engine.Step(need / rate, true, &got);
+        need -= got;
+      }
+      // Reads embedded in RMW still cost time on the client core.
+      if (op.type == workload::YcsbOp::kReadModifyWrite) {
+        engine.AdvanceReadTime(service_us - write_service_us);
+      }
+      ingested += engine.op_bytes;
+    } else {
+      engine.AdvanceReadTime(service_us);
+    }
+  }
+
+  SimResult result = engine.result;
+  result.user_bytes = ingested;
+  result.elapsed_seconds = engine.now;
+  result.throughput_mbps =
+      engine.now > 0 ? ingested / kMB / engine.now : 0;
+  result.throughput_kops =
+      engine.now > 0 ? static_cast<double>(op_count) / 1e3 / engine.now : 0;
+  return result;
+}
+
+}  // namespace syssim
+}  // namespace fcae

@@ -1,0 +1,126 @@
+#ifndef FCAE_SYSSIM_SIMULATOR_H_
+#define FCAE_SYSSIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/config.h"
+#include "syssim/cost_model.h"
+#include "syssim/lsm_state.h"
+#include "workload/ycsb.h"
+
+namespace fcae {
+namespace syssim {
+
+/// Execution mode of the simulated system.
+enum class ExecMode {
+  /// Stock LevelDB: 2 CPU cores — the client runs on one, the single
+  /// background thread (flush + compaction) on the other (the paper's
+  /// baseline configuration, Section VII-A).
+  kLevelDbCpu,
+  /// LevelDB-FCAE: 1 CPU core + the FPGA card. Client and host-side
+  /// background work share the core; compaction kernels run on the
+  /// device, overlapping host flushes (Fig. 6's scheduling win).
+  kLevelDbFcae,
+};
+
+/// Simulation parameters (defaults = paper Table IV + Section VII-A).
+struct SimConfig {
+  ExecMode mode = ExecMode::kLevelDbCpu;
+  CostModel cost = CostModel::PaperCalibrated();
+  fpga::EngineConfig engine;  // Used in kLevelDbFcae mode.
+
+  // LevelDB settings.
+  uint64_t key_length = 16;
+  uint64_t value_length = 128;
+  int leveling_ratio = 10;
+  uint64_t block_size = 4096;
+  uint64_t memtable_bytes = 4ull << 20;
+  uint64_t file_size = 2ull << 20;
+
+  /// Average next-level overlap per compacted file (see LsmState).
+  /// LevelDB's compaction-pointer round-robin keeps the effective
+  /// average well below the worst case (the full leveling ratio).
+  double overlap_files = 7.0;
+
+  /// Paper Section VII-E future work: near-storage compaction. The
+  /// engine sits inside the SSD as an embedded controller, so compaction
+  /// inputs/outputs move over the drive's internal channels instead of
+  /// host DMA: the host-side staging read/write phases and the PCIe
+  /// round trip disappear (only control metadata crosses the bus). Only
+  /// meaningful in kLevelDbFcae mode.
+  bool near_storage = false;
+
+  /// Host scheduler policy for jobs needing more inputs than the
+  /// engine's N: true = decompose into a tournament of N-input merge
+  /// passes on the card (intermediates stay in the 16 GB on-card DRAM);
+  /// false = the strict Fig. 6 policy (complete software fallback).
+  /// The paper's Table VI results with the 2-input engine are only
+  /// reachable with the tournament scheduler (see DESIGN.md).
+  bool multipass_offload = true;
+};
+
+/// Results of one simulated run.
+struct SimResult {
+  double elapsed_seconds = 0;
+  double throughput_mbps = 0;   // User bytes written / elapsed.
+  double throughput_kops = 0;   // Operations / elapsed (YCSB runs).
+
+  double stall_seconds = 0;     // Client fully stopped.
+  double slowdown_seconds = 0;  // Client in the 1 ms-per-write regime.
+  double pcie_seconds = 0;      // Total DMA time.
+  double device_seconds = 0;    // Kernel-busy time on the card.
+  double cpu_compaction_seconds = 0;  // SW merge time.
+  double flush_seconds = 0;
+
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compactions_offloaded = 0;
+  uint64_t compactions_sw = 0;
+  double bytes_compacted_in = 0;
+  double bytes_compacted_out = 0;
+  double user_bytes = 0;
+
+  /// Compaction write amplification: on-disk bytes written (flush +
+  /// compaction outputs) per user byte.
+  double WriteAmplification() const {
+    if (user_bytes <= 0) return 0;
+    return bytes_compacted_out / user_bytes + 1.0;
+  }
+
+  /// Share of total run time spent in PCIe transfers (Table VIII).
+  double PciePercent() const {
+    if (elapsed_seconds <= 0) return 0;
+    return 100.0 * pcie_seconds / elapsed_seconds;
+  }
+};
+
+/// Discrete-event simulator of the whole write path: client ingest,
+/// memtable rotation, flush, leveled compaction cascade, write stalls
+/// (slowdown at 8 L0 files, stop at 12), core contention and — in FCAE
+/// mode — compaction offload with PCIe transfers and flush/kernel
+/// overlap. Used to regenerate Figs. 10/14/15/16 and Tables VI/VIII.
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& config);
+
+  /// db_bench fillrandom: writes `total_user_bytes` of random-key
+  /// records as fast as the system admits.
+  SimResult RunFillRandom(double total_user_bytes);
+
+  /// YCSB: loads `record_count` records (instantly, modeling a
+  /// pre-loaded store of that size), then runs `op_count` operations of
+  /// the given workload and reports kops/s.
+  SimResult RunYcsb(workload::YcsbWorkload w, uint64_t record_count,
+                    uint64_t op_count, uint32_t seed = 42);
+
+ private:
+  struct Engine;  // Internal event machinery.
+
+  SimConfig config_;
+};
+
+}  // namespace syssim
+}  // namespace fcae
+
+#endif  // FCAE_SYSSIM_SIMULATOR_H_

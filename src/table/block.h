@@ -1,0 +1,45 @@
+#ifndef FCAE_TABLE_BLOCK_H_
+#define FCAE_TABLE_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "table/iterator.h"
+
+namespace fcae {
+
+struct BlockContents;
+class Comparator;
+
+/// An immutable, iterable SSTable block (see BlockBuilder for the
+/// layout). Owns its backing storage when the contents were heap
+/// allocated.
+class Block {
+ public:
+  /// Initializes the block with the specified contents.
+  explicit Block(const BlockContents& contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  ~Block();
+
+  size_t size() const { return size_; }
+
+  /// Returns a new iterator over the block using `comparator` for Seek().
+  Iterator* NewIterator(const Comparator* comparator);
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  const char* data_;
+  size_t size_;
+  uint32_t restart_offset_;  // Offset in data_ of restart array.
+  bool owned_;               // Block owns data_[].
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_BLOCK_H_

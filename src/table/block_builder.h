@@ -1,0 +1,59 @@
+#ifndef FCAE_TABLE_BLOCK_BUILDER_H_
+#define FCAE_TABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace fcae {
+
+struct Options;
+
+/// Builds one SSTable block: keys are prefix-compressed relative to the
+/// previous key, with full-key "restart points" every
+/// options.block_restart_interval entries so binary search is possible.
+///
+/// Entry layout:
+///   shared_bytes:    varint32
+///   unshared_bytes:  varint32
+///   value_length:    varint32
+///   key_delta:       char[unshared_bytes]
+///   value:           char[value_length]
+/// Trailer: restart offsets (fixed32 each) + num_restarts (fixed32).
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(const Options* options);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// Resets the contents as if the BlockBuilder was just constructed.
+  void Reset();
+
+  /// Appends an entry. Requires: Finish() has not been called since the
+  /// last Reset(); `key` is larger than any previously added key.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finishes building and returns a slice referring to the block
+  /// contents, valid until Reset() is called.
+  Slice Finish();
+
+  /// Estimated current (uncompressed) size of the block being built.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const Options* options_;
+  std::string buffer_;              // Destination buffer.
+  std::vector<uint32_t> restarts_;  // Restart points.
+  int counter_;                     // Entries emitted since restart.
+  bool finished_;                   // Has Finish() been called?
+  std::string last_key_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_BLOCK_BUILDER_H_

@@ -1,0 +1,66 @@
+#ifndef FCAE_TABLE_FILTER_BLOCK_H_
+#define FCAE_TABLE_FILTER_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace fcae {
+
+class FilterPolicy;
+
+/// Builds the filter block of an SSTable: one filter per 2 KB range of
+/// file offsets, so readers can map a data block's offset to the filter
+/// covering its keys.
+class FilterBlockBuilder {
+ public:
+  explicit FilterBlockBuilder(const FilterPolicy* policy);
+
+  FilterBlockBuilder(const FilterBlockBuilder&) = delete;
+  FilterBlockBuilder& operator=(const FilterBlockBuilder&) = delete;
+
+  /// Called when a data block starting at `block_offset` begins.
+  void StartBlock(uint64_t block_offset);
+
+  /// Registers a key belonging to the data block in progress.
+  void AddKey(const Slice& key);
+
+  /// Finishes the filter block; the result is valid while the builder
+  /// lives.
+  Slice Finish();
+
+ private:
+  void GenerateFilter();
+
+  const FilterPolicy* policy_;
+  std::string keys_;             // Flattened key contents.
+  std::vector<size_t> start_;    // Starting index in keys_ of each key.
+  std::string result_;           // Filter data computed so far.
+  std::vector<Slice> tmp_keys_;  // policy_->CreateFilter() argument.
+  std::vector<uint32_t> filter_offsets_;
+};
+
+/// Reads the filter block format produced by FilterBlockBuilder.
+class FilterBlockReader {
+ public:
+  /// `contents` must outlive *this.
+  FilterBlockReader(const FilterPolicy* policy, const Slice& contents);
+
+  /// Returns true if `key` may be present in the data block that starts
+  /// at `block_offset`.
+  bool KeyMayMatch(uint64_t block_offset, const Slice& key);
+
+ private:
+  const FilterPolicy* policy_;
+  const char* data_;    // Pointer to filter data (at block-start).
+  const char* offset_;  // Pointer to beginning of offset array (at end).
+  size_t num_;          // Number of entries in offset array.
+  size_t base_lg_;      // Encoding parameter (see kFilterBaseLg).
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_FILTER_BLOCK_H_

@@ -1,0 +1,76 @@
+#ifndef FCAE_TABLE_ITERATOR_H_
+#define FCAE_TABLE_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fcae {
+
+/// An Iterator yields a sequence of key/value pairs from a source (block,
+/// table, memtable, or whole database). Multiple implementations are
+/// layered and merged. Not thread-safe.
+class Iterator {
+ public:
+  Iterator();
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  /// True iff the iterator is positioned at a key/value pair.
+  virtual bool Valid() const = 0;
+
+  /// Positions at the first key in the source.
+  virtual void SeekToFirst() = 0;
+
+  /// Positions at the last key in the source.
+  virtual void SeekToLast() = 0;
+
+  /// Positions at the first key at or past `target`.
+  virtual void Seek(const Slice& target) = 0;
+
+  /// Moves to the next entry; requires Valid().
+  virtual void Next() = 0;
+
+  /// Moves to the previous entry; requires Valid().
+  virtual void Prev() = 0;
+
+  /// The key at the current entry; valid until the next mutation of the
+  /// iterator. Requires Valid().
+  virtual Slice key() const = 0;
+
+  /// The value at the current entry. Requires Valid().
+  virtual Slice value() const = 0;
+
+  /// Non-ok if an error was hit; may be checked even when !Valid().
+  virtual Status status() const = 0;
+
+  /// Registers a cleanup function run at iterator destruction, used to
+  /// tie resource lifetimes (blocks, table handles) to the iterator.
+  using CleanupFunction = void (*)(void* arg1, void* arg2);
+  void RegisterCleanup(CleanupFunction function, void* arg1, void* arg2);
+
+ private:
+  // Cleanup functions are stored in a singly-linked list headed by an
+  // inlined node to make the common cases (0 or 1 function) cheap.
+  struct CleanupNode {
+    bool IsEmpty() const { return function == nullptr; }
+    void Run() { (*function)(arg1, arg2); }
+
+    CleanupFunction function;
+    void* arg1;
+    void* arg2;
+    CleanupNode* next;
+  };
+  CleanupNode cleanup_head_;
+};
+
+/// Returns an empty iterator (Valid() is always false).
+Iterator* NewEmptyIterator();
+
+/// Returns an empty iterator whose status() is `status`.
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_ITERATOR_H_

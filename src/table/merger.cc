@@ -1,0 +1,228 @@
+#include "table/merger.h"
+
+#include "table/iterator.h"
+#include "util/comparator.h"
+
+namespace fcae {
+
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator),
+        children_(new IteratorWrapper[n]),
+        n_(n),
+        current_(nullptr),
+        direction_(kForward) {
+    for (int i = 0; i < n; i++) {
+      children_[i].Set(children[i]);
+    }
+  }
+
+  ~MergingIterator() override { delete[] children_; }
+
+  bool Valid() const override { return (current_ != nullptr); }
+
+  void SeekToFirst() override {
+    for (int i = 0; i < n_; i++) {
+      children_[i].SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (int i = 0; i < n_; i++) {
+      children_[i].SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (int i = 0; i < n_; i++) {
+      children_[i].Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+
+    // Ensure that all children are positioned after key(). If we are
+    // moving in the forward direction, this is already true. Otherwise,
+    // explicitly position the non-current children.
+    if (direction_ != kForward) {
+      for (int i = 0; i < n_; i++) {
+        IteratorWrapper* child = &children_[i];
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+
+    // Mirror-image of Next(): position all children before key().
+    if (direction_ != kReverse) {
+      for (int i = 0; i < n_; i++) {
+        IteratorWrapper* child = &children_[i];
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            // Child is at first entry >= key(); step back one.
+            child->Prev();
+          } else {
+            // Child has no entries >= key(); position at last entry.
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    Status status;
+    for (int i = 0; i < n_; i++) {
+      status = children_[i].status();
+      if (!status.ok()) {
+        break;
+      }
+    }
+    return status;
+  }
+
+ private:
+  /// Small owning wrapper caching Valid()/key() to avoid repeated virtual
+  /// calls in the merge loops.
+  class IteratorWrapper {
+   public:
+    IteratorWrapper() : iter_(nullptr), valid_(false) {}
+    ~IteratorWrapper() { delete iter_; }
+
+    void Set(Iterator* iter) {
+      delete iter_;
+      iter_ = iter;
+      Update();
+    }
+
+    bool Valid() const { return valid_; }
+    Slice key() const {
+      assert(valid_);
+      return key_;
+    }
+    Slice value() const { return iter_->value(); }
+    Status status() const { return iter_->status(); }
+
+    void Next() {
+      iter_->Next();
+      Update();
+    }
+    void Prev() {
+      iter_->Prev();
+      Update();
+    }
+    void Seek(const Slice& k) {
+      iter_->Seek(k);
+      Update();
+    }
+    void SeekToFirst() {
+      iter_->SeekToFirst();
+      Update();
+    }
+    void SeekToLast() {
+      iter_->SeekToLast();
+      Update();
+    }
+
+   private:
+    void Update() {
+      valid_ = iter_->Valid();
+      if (valid_) {
+        key_ = iter_->key();
+      }
+    }
+
+    Iterator* iter_;
+    bool valid_;
+    Slice key_;
+  };
+
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    IteratorWrapper* smallest = nullptr;
+    for (int i = 0; i < n_; i++) {
+      IteratorWrapper* child = &children_[i];
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child;
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    IteratorWrapper* largest = nullptr;
+    for (int i = n_ - 1; i >= 0; i--) {
+      IteratorWrapper* child = &children_[i];
+      if (child->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare(child->key(), largest->key()) > 0) {
+          largest = child;
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  IteratorWrapper* children_;
+  int n_;
+  IteratorWrapper* current_;
+  Direction direction_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n) {
+  assert(n >= 0);
+  if (n == 0) {
+    return NewEmptyIterator();
+  } else if (n == 1) {
+    return children[0];
+  } else {
+    return new MergingIterator(comparator, children, n);
+  }
+}
+
+}  // namespace fcae

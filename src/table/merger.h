@@ -1,0 +1,17 @@
+#ifndef FCAE_TABLE_MERGER_H_
+#define FCAE_TABLE_MERGER_H_
+
+namespace fcae {
+
+class Comparator;
+class Iterator;
+
+/// Returns an iterator that merges children[0, n). The result yields the
+/// union of the children's entries in comparator order (duplicates
+/// appear once per child). Takes ownership of the child iterators.
+Iterator* NewMergingIterator(const Comparator* comparator,
+                             Iterator** children, int n);
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_MERGER_H_

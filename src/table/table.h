@@ -1,0 +1,60 @@
+#ifndef FCAE_TABLE_TABLE_H_
+#define FCAE_TABLE_TABLE_H_
+
+#include <cstdint>
+
+#include "table/iterator.h"
+#include "util/options.h"
+
+namespace fcae {
+
+class BlockHandle;
+class Footer;
+class RandomAccessFile;
+
+/// A Table is an immutable, sorted map from strings to strings, read from
+/// an SSTable file. Safe for concurrent access without synchronization.
+class Table {
+ public:
+  /// Opens the table stored in file[0..file_size). On success stores an
+  /// owning pointer in *table; `file` must outlive it. On failure *table
+  /// is nullptr.
+  static Status Open(const Options& options, RandomAccessFile* file,
+                     uint64_t file_size, Table** table);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  ~Table();
+
+  /// Returns a new iterator over the table contents.
+  Iterator* NewIterator(const ReadOptions&) const;
+
+  /// Approximate file offset where the data for `key` begins (or would
+  /// begin); used for ApproximateSizes.
+  uint64_t ApproximateOffsetOf(const Slice& key) const;
+
+  /// Point lookup used by the DB: seeks to `k` and, if a matching entry
+  /// may exist (consulting the filter block first), calls
+  /// handle_result(arg, key, value) for the found entry.
+  Status InternalGet(const ReadOptions&, const Slice& key, void* arg,
+                     void (*handle_result)(void* arg, const Slice& k,
+                                           const Slice& v));
+
+ private:
+  friend class TableCache;
+  struct Rep;
+
+  static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);
+
+  explicit Table(Rep* rep) : rep_(rep) {}
+
+  void ReadMeta(const Footer& footer);
+  void ReadFilter(const Slice& filter_handle_value);
+
+  Rep* const rep_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_TABLE_H_

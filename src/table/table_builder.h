@@ -1,0 +1,66 @@
+#ifndef FCAE_TABLE_TABLE_BUILDER_H_
+#define FCAE_TABLE_TABLE_BUILDER_H_
+
+#include <cstdint>
+
+#include "util/options.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class BlockBuilder;
+class BlockHandle;
+class WritableFile;
+
+/// TableBuilder writes an SSTable to a file: a sequence of data blocks,
+/// then (optionally) a filter block, a metaindex block, the index block
+/// pointing at all data blocks, and a fixed footer — the format the
+/// paper's Section II-B describes (data blocks + index block at the end).
+class TableBuilder {
+ public:
+  /// Creates a builder storing a table in *file (not owned; caller must
+  /// keep it alive and close it after Finish()).
+  TableBuilder(const Options& options, WritableFile* file);
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  /// Requires: Finish()/Abandon() not yet called.
+  ~TableBuilder();
+
+  /// Adds a key/value pair; keys must arrive in increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Flushes any buffered key/value pairs to file, starting a new data
+  /// block. Mostly useful to round off data block boundaries.
+  void Flush();
+
+  /// Non-ok if some error has been detected.
+  Status status() const;
+
+  /// Finishes building the table (writes index + footer).
+  Status Finish();
+
+  /// Abandons the buffered contents (e.g. the caller decided to delete
+  /// the file); required before destruction if Finish() was not called.
+  void Abandon();
+
+  /// Number of Add()ed entries so far.
+  uint64_t NumEntries() const;
+
+  /// File size so far; after Finish(), the final file size.
+  uint64_t FileSize() const;
+
+ private:
+  bool ok() const { return status().ok(); }
+  void WriteBlock(BlockBuilder* block, BlockHandle* handle);
+  void WriteRawBlock(const Slice& data, CompressionType type,
+                     BlockHandle* handle);
+
+  struct Rep;
+  Rep* rep_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_TABLE_BUILDER_H_

@@ -1,0 +1,155 @@
+#include "table/two_level_iterator.h"
+
+#include <memory>
+
+namespace fcae {
+
+namespace {
+
+using BlockFunction = Iterator* (*)(void*, const ReadOptions&, const Slice&);
+
+class TwoLevelIterator : public Iterator {
+ public:
+  TwoLevelIterator(Iterator* index_iter, BlockFunction block_function,
+                   void* arg, const ReadOptions& options)
+      : block_function_(block_function),
+        arg_(arg),
+        options_(options),
+        index_iter_(index_iter),
+        data_iter_(nullptr) {}
+
+  ~TwoLevelIterator() override = default;
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return data_iter_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return data_iter_->value();
+  }
+
+  Status status() const override {
+    // Surface index errors first, then data errors, then deferred status.
+    if (!index_iter_->status().ok()) {
+      return index_iter_->status();
+    }
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void SaveError(const Status& s) {
+    if (status_.ok() && !s.ok()) status_ = s;
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      // Move to next block.
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      // Move to previous block.
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    }
+  }
+
+  void SetDataIterator(Iterator* data_iter) {
+    if (data_iter_ != nullptr) {
+      SaveError(data_iter_->status());
+    }
+    data_iter_.reset(data_iter);
+  }
+
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      SetDataIterator(nullptr);
+    } else {
+      Slice handle = index_iter_->value();
+      if (data_iter_ != nullptr &&
+          handle.Compare(Slice(data_block_handle_)) == 0) {
+        // data_iter_ is already constructed with this iterator, so
+        // no need to change anything.
+      } else {
+        Iterator* iter = (*block_function_)(arg_, options_, handle);
+        data_block_handle_.assign(handle.data(), handle.size());
+        SetDataIterator(iter);
+      }
+    }
+  }
+
+  BlockFunction block_function_;
+  void* arg_;
+  const ReadOptions options_;
+  Status status_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<Iterator> data_iter_;  // May be nullptr.
+  // If data_iter_ is non-null, then data_block_handle_ holds the
+  // index value passed to block_function_ to create data_iter_.
+  std::string data_block_handle_;
+};
+
+}  // namespace
+
+Iterator* NewTwoLevelIterator(Iterator* index_iter,
+                              BlockFunction block_function, void* arg,
+                              const ReadOptions& options) {
+  return new TwoLevelIterator(index_iter, block_function, arg, options);
+}
+
+}  // namespace fcae

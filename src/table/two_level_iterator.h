@@ -1,0 +1,22 @@
+#ifndef FCAE_TABLE_TWO_LEVEL_ITERATOR_H_
+#define FCAE_TABLE_TWO_LEVEL_ITERATOR_H_
+
+#include "table/iterator.h"
+#include "util/options.h"
+
+namespace fcae {
+
+/// Returns an iterator over the concatenation of the sequences pointed at
+/// by an index iterator: for each index entry, block_function(arg,
+/// options, index_value) is called to open an iterator over the
+/// corresponding sub-sequence (e.g. a data block). Takes ownership of
+/// `index_iter`.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    Iterator* (*block_function)(void* arg, const ReadOptions& options,
+                                const Slice& index_value),
+    void* arg, const ReadOptions& options);
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_TWO_LEVEL_ITERATOR_H_

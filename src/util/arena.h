@@ -1,0 +1,57 @@
+#ifndef FCAE_UTIL_ARENA_H_
+#define FCAE_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fcae {
+
+/// A bump-pointer allocator. Allocations are freed all at once when the
+/// Arena is destroyed; used by the memtable where per-entry deallocation
+/// would be wasted work.
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to a newly allocated block of `bytes` bytes.
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate() but guarantees pointer-size alignment.
+  char* AllocateAligned(size_t bytes);
+
+  /// Approximate total memory footprint of the arena.
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  // 0-byte allocations have no use and would complicate the invariants.
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_ARENA_H_

@@ -1,0 +1,165 @@
+#include "util/cache.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace fcae {
+
+Cache::~Cache() = default;
+
+namespace {
+
+/// A straightforward LRU cache: a hash map from key to entry, and an
+/// LRU list over unpinned entries. Entries are reference counted; the
+/// cache itself holds one reference while an entry is in the index.
+class LRUCache : public Cache {
+ public:
+  explicit LRUCache(size_t capacity) : capacity_(capacity), usage_(0) {}
+
+  ~LRUCache() override {
+    for (auto& kv : index_) {
+      Entry* e = kv.second;
+      assert(e->refs == 1);  // Only the cache's own reference remains.
+      e->deleter(Slice(e->key), e->value);
+      delete e;
+    }
+  }
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 void (*deleter)(const Slice&, void*)) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry* e = new Entry;
+    e->key = key.ToString();
+    e->value = value;
+    e->charge = charge;
+    e->deleter = deleter;
+    e->refs = 2;  // One for the index, one for the returned handle.
+    e->in_lru = false;
+
+    auto it = index_.find(e->key);
+    if (it != index_.end()) {
+      RemoveFromIndex(it->second);
+    }
+    index_[e->key] = e;
+    usage_ += charge;
+    EvictIfNeeded();
+    return reinterpret_cast<Handle*>(e);
+  }
+
+  Handle* Lookup(const Slice& key) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key.ToString());
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    Entry* e = it->second;
+    if (e->in_lru) {
+      lru_.erase(e->lru_pos);
+      e->in_lru = false;
+    }
+    e->refs++;
+    return reinterpret_cast<Handle*>(e);
+  }
+
+  void Release(Handle* handle) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Unref(reinterpret_cast<Entry*>(handle));
+    // A release may have made an over-capacity entry evictable.
+    EvictIfNeeded();
+  }
+
+  void* Value(Handle* handle) override {
+    return reinterpret_cast<Entry*>(handle)->value;
+  }
+
+  void Erase(const Slice& key) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key.ToString());
+    if (it != index_.end()) {
+      RemoveFromIndex(it->second);
+    }
+  }
+
+  uint64_t NewId() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ++last_id_;
+  }
+
+  void Prune() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Drop every entry whose only reference is the index's own.
+    while (!lru_.empty()) {
+      Entry* e = lru_.front();
+      RemoveFromIndex(e);
+    }
+  }
+
+  size_t TotalCharge() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return usage_;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    void* value;
+    size_t charge;
+    void (*deleter)(const Slice&, void*);
+    int refs;
+    bool in_lru;  // True iff unpinned and linked into lru_.
+    std::list<Entry*>::iterator lru_pos;
+  };
+
+  /// Drops the index's reference and removes from the map/LRU list.
+  /// Requires mutex_ held.
+  void RemoveFromIndex(Entry* e) {
+    if (e->in_lru) {
+      lru_.erase(e->lru_pos);
+      e->in_lru = false;
+    }
+    index_.erase(e->key);
+    usage_ -= e->charge;
+    Unref(e);
+  }
+
+  /// Requires mutex_ held.
+  void Unref(Entry* e) {
+    assert(e->refs > 0);
+    e->refs--;
+    if (e->refs == 0) {
+      e->deleter(Slice(e->key), e->value);
+      delete e;
+    } else if (e->refs == 1 && index_.count(e->key) != 0 &&
+               index_.at(e->key) == e) {
+      // Only the index holds it now: eligible for eviction.
+      lru_.push_back(e);
+      e->lru_pos = std::prev(lru_.end());
+      e->in_lru = true;
+    }
+  }
+
+  /// Requires mutex_ held.
+  void EvictIfNeeded() {
+    while (usage_ > capacity_ && !lru_.empty()) {
+      Entry* oldest = lru_.front();
+      RemoveFromIndex(oldest);
+    }
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  size_t usage_;
+  uint64_t last_id_ = 0;
+  std::unordered_map<std::string, Entry*> index_;
+  std::list<Entry*> lru_;  // Front = least recently used.
+};
+
+}  // namespace
+
+Cache* NewLRUCache(size_t capacity) { return new LRUCache(capacity); }
+
+}  // namespace fcae

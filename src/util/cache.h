@@ -1,0 +1,62 @@
+#ifndef FCAE_UTIL_CACHE_H_
+#define FCAE_UTIL_CACHE_H_
+
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace fcae {
+
+/// A Cache maps keys to values with an internal eviction policy and
+/// explicit reference counting: entries remain alive while a caller holds
+/// a Handle, even if evicted from the cache index. Implementations must
+/// be thread-safe.
+class Cache {
+ public:
+  Cache() = default;
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Destroys all remaining entries via their deleters.
+  virtual ~Cache();
+
+  /// Opaque handle to an entry.
+  struct Handle {};
+
+  /// Inserts a key->value mapping with the specified charge against the
+  /// cache capacity. Returns a handle; the caller must Release() it.
+  /// `deleter` is invoked when the entry is no longer needed.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  /// Returns a handle for the cached mapping, or nullptr. The caller
+  /// must Release() a non-null result.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  /// Releases a mapping returned by Lookup()/Insert().
+  virtual void Release(Handle* handle) = 0;
+
+  /// Returns the value in a handle.
+  virtual void* Value(Handle* handle) = 0;
+
+  /// Drops the mapping from the index (the entry stays alive while
+  /// handles exist).
+  virtual void Erase(const Slice& key) = 0;
+
+  /// Returns a new numeric id, for partitioning a shared cache.
+  virtual uint64_t NewId() = 0;
+
+  /// Removes all unreferenced entries.
+  virtual void Prune() = 0;
+
+  /// Estimated total charge of entries.
+  virtual size_t TotalCharge() const = 0;
+};
+
+/// Creates a Cache with least-recently-used eviction and a fixed
+/// capacity (total charge). Caller owns the result.
+Cache* NewLRUCache(size_t capacity);
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_CACHE_H_

@@ -1,0 +1,78 @@
+#ifndef FCAE_UTIL_CODING_H_
+#define FCAE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace fcae {
+
+// Endian-neutral integer encodings used throughout the storage format:
+// fixed-width little-endian and LEB128-style varints.
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  uint8_t* const buffer = reinterpret_cast<uint8_t*>(dst);
+  buffer[0] = static_cast<uint8_t>(value);
+  buffer[1] = static_cast<uint8_t>(value >> 8);
+  buffer[2] = static_cast<uint8_t>(value >> 16);
+  buffer[3] = static_cast<uint8_t>(value >> 24);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  uint8_t* const buffer = reinterpret_cast<uint8_t*>(dst);
+  for (int i = 0; i < 8; i++) {
+    buffer[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  const uint8_t* const buffer = reinterpret_cast<const uint8_t*>(ptr);
+  return (static_cast<uint32_t>(buffer[0])) |
+         (static_cast<uint32_t>(buffer[1]) << 8) |
+         (static_cast<uint32_t>(buffer[2]) << 16) |
+         (static_cast<uint32_t>(buffer[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  const uint8_t* const buffer = reinterpret_cast<const uint8_t*>(ptr);
+  uint64_t result = 0;
+  for (int i = 0; i < 8; i++) {
+    result |= static_cast<uint64_t>(buffer[i]) << (8 * i);
+  }
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends varint32(value.size()) followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Encodes `value` as a varint32 at `dst` (which must have >= 5 bytes of
+/// space) and returns a pointer just past the last written byte.
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+
+/// Parses a varint32 from [p, limit); returns pointer past the parsed
+/// bytes, or nullptr on malformed/truncated input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Parses a varint from the front of `input`, advancing it. Returns false
+/// on malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Parses a length-prefixed slice from the front of `input`, advancing it.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Returns the encoded length of `value` as a varint (1..10 bytes).
+int VarintLength(uint64_t value);
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_CODING_H_

@@ -1,0 +1,64 @@
+#include "util/comparator.h"
+
+#include <algorithm>
+
+namespace fcae {
+
+namespace {
+
+class BytewiseComparatorImpl : public Comparator {
+ public:
+  BytewiseComparatorImpl() = default;
+
+  const char* Name() const override { return "fcae.BytewiseComparator"; }
+
+  int Compare(const Slice& a, const Slice& b) const override {
+    return a.Compare(b);
+  }
+
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override {
+    // Find length of common prefix.
+    size_t min_length = std::min(start->size(), limit.size());
+    size_t diff_index = 0;
+    while ((diff_index < min_length) &&
+           ((*start)[diff_index] == limit[diff_index])) {
+      diff_index++;
+    }
+
+    if (diff_index >= min_length) {
+      // One string is a prefix of the other; do not shorten.
+      return;
+    }
+    uint8_t diff_byte = static_cast<uint8_t>((*start)[diff_index]);
+    if (diff_byte < static_cast<uint8_t>(0xff) &&
+        diff_byte + 1 < static_cast<uint8_t>(limit[diff_index])) {
+      (*start)[diff_index]++;
+      start->resize(diff_index + 1);
+      assert(Compare(*start, limit) < 0);
+    }
+  }
+
+  void FindShortSuccessor(std::string* key) const override {
+    // Find first byte that can be incremented.
+    size_t n = key->size();
+    for (size_t i = 0; i < n; i++) {
+      const uint8_t byte = static_cast<uint8_t>((*key)[i]);
+      if (byte != static_cast<uint8_t>(0xff)) {
+        (*key)[i] = static_cast<char>(byte + 1);
+        key->resize(i + 1);
+        return;
+      }
+    }
+    // key is a run of 0xffs: leave it alone.
+  }
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static const BytewiseComparatorImpl* singleton = new BytewiseComparatorImpl;
+  return singleton;
+}
+
+}  // namespace fcae

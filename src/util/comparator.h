@@ -1,0 +1,39 @@
+#ifndef FCAE_UTIL_COMPARATOR_H_
+#define FCAE_UTIL_COMPARATOR_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace fcae {
+
+/// A Comparator provides a total order across slices used as keys. All
+/// methods must be thread-safe.
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// Three-way comparison: <0, ==0, >0 as a <, ==, > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  /// The name of the comparator, persisted in the manifest to reject
+  /// opening a database with a mismatched ordering.
+  virtual const char* Name() const = 0;
+
+  // Advanced functions used to reduce index block sizes.
+
+  /// If *start < limit, changes *start to a short string in [start,limit).
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+
+  /// Changes *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+/// Returns the builtin lexicographic bytewise comparator. The result is a
+/// process-lifetime singleton; do not delete.
+const Comparator* BytewiseComparator();
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_COMPARATOR_H_

@@ -1,0 +1,150 @@
+#ifndef FCAE_UTIL_ENV_H_
+#define FCAE_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace fcae {
+
+class FileLock;
+class SequentialFile;
+class RandomAccessFile;
+class WritableFile;
+
+/// An Env abstracts the operating system facilities the storage engine
+/// needs: files, directories, clocks, and a background work queue.
+/// Implementations must be safe for concurrent access.
+class Env {
+ public:
+  Env() = default;
+  virtual ~Env() = default;
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// Returns the default POSIX environment (process-lifetime singleton).
+  static Env* Default();
+
+  /// Creates an object that sequentially reads the named file.
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   SequentialFile** result) = 0;
+
+  /// Creates an object supporting random-access reads of the named file.
+  virtual Status NewRandomAccessFile(const std::string& fname,
+                                     RandomAccessFile** result) = 0;
+
+  /// Creates (truncating if it exists) a writable file.
+  virtual Status NewWritableFile(const std::string& fname,
+                                 WritableFile** result) = 0;
+
+  /// Opens (creating if needed) a file for appending.
+  virtual Status NewAppendableFile(const std::string& fname,
+                                   WritableFile** result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+
+  /// Stores the names (not paths) of the children of `dir` in *result.
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  /// Locks the named file, creating it if needed. On success stores an
+  /// owning lock object in *lock; a second LockFile on the same name —
+  /// from this or any other process — fails until UnlockFile. Used to
+  /// guard a database directory against concurrent opens.
+  virtual Status LockFile(const std::string& fname, FileLock** lock) = 0;
+
+  /// Releases a lock acquired by LockFile and deletes *lock.
+  virtual Status UnlockFile(FileLock* lock) = 0;
+
+  /// Arranges to run (*function)(arg) once on a background thread. Calls
+  /// made by the same thread run in FIFO order.
+  virtual void Schedule(void (*function)(void* arg), void* arg) = 0;
+
+  /// Starts a new thread running (*function)(arg); the thread is detached.
+  virtual void StartThread(void (*function)(void* arg), void* arg) = 0;
+
+  /// Microseconds since some fixed point in the past.
+  virtual uint64_t NowMicros() = 0;
+
+  virtual void SleepForMicroseconds(int micros) = 0;
+};
+
+/// Identifies a locked file; returned by Env::LockFile.
+class FileLock {
+ public:
+  FileLock() = default;
+  virtual ~FileLock() = default;
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+};
+
+/// A file abstraction for sequential reads.
+class SequentialFile {
+ public:
+  SequentialFile() = default;
+  virtual ~SequentialFile() = default;
+
+  SequentialFile(const SequentialFile&) = delete;
+  SequentialFile& operator=(const SequentialFile&) = delete;
+
+  /// Reads up to n bytes. Sets *result to the data read (may point into
+  /// `scratch`, which must have at least n bytes).
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+
+  /// Skips n bytes.
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// A file abstraction for random-access reads; safe for concurrent use.
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+  virtual ~RandomAccessFile() = default;
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Reads up to n bytes starting at `offset`. *result may point into
+  /// `scratch` (which must have at least n bytes).
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+/// A file abstraction for sequential (append-only) writes.
+class WritableFile {
+ public:
+  WritableFile() = default;
+  virtual ~WritableFile() = default;
+
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Close() = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+};
+
+/// Writes `data` to the named file, replacing any existing contents.
+Status WriteStringToFile(Env* env, const Slice& data,
+                         const std::string& fname);
+
+/// Reads the entire named file into *data.
+Status ReadFileToString(Env* env, const std::string& fname,
+                        std::string* data);
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_ENV_H_

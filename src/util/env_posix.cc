@@ -1,0 +1,468 @@
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <set>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/env.h"
+
+namespace fcae {
+
+namespace {
+
+Status PosixError(const std::string& context, int error_number) {
+  if (error_number == ENOENT) {
+    return Status::NotFound(context, std::strerror(error_number));
+  }
+  return Status::IOError(context, std::strerror(error_number));
+}
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string filename, int fd)
+      : fd_(fd), filename_(std::move(filename)) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ::ssize_t read_size = ::read(fd_, scratch, n);
+      if (read_size < 0) {
+        if (errno == EINTR) {
+          continue;  // Retry.
+        }
+        return PosixError(filename_, errno);
+      }
+      *result = Slice(scratch, read_size);
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, n, SEEK_CUR) == static_cast<off_t>(-1)) {
+      return PosixError(filename_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const int fd_;
+  const std::string filename_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string filename, int fd)
+      : fd_(fd), filename_(std::move(filename)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ::ssize_t read_size = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    *result = Slice(scratch, (read_size < 0) ? 0 : read_size);
+    if (read_size < 0) {
+      return PosixError(filename_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const int fd_;
+  const std::string filename_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string filename, int fd)
+      : pos_(0), fd_(fd), filename_(std::move(filename)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    size_t write_size = data.size();
+    const char* write_data = data.data();
+
+    // Fit as much as possible into the buffer.
+    size_t copy_size = std::min(write_size, kWritableFileBufferSize - pos_);
+    std::memcpy(buf_ + pos_, write_data, copy_size);
+    write_data += copy_size;
+    write_size -= copy_size;
+    pos_ += copy_size;
+    if (write_size == 0) {
+      return Status::OK();
+    }
+
+    // Can't fit in buffer, so need to do at least one write.
+    Status status = FlushBuffer();
+    if (!status.ok()) {
+      return status;
+    }
+
+    // Small writes go to the buffer; large writes are flushed directly.
+    if (write_size < kWritableFileBufferSize) {
+      std::memcpy(buf_, write_data, write_size);
+      pos_ = write_size;
+      return Status::OK();
+    }
+    return WriteUnbuffered(write_data, write_size);
+  }
+
+  Status Close() override {
+    Status status = FlushBuffer();
+    const int close_result = ::close(fd_);
+    if (close_result < 0 && status.ok()) {
+      status = PosixError(filename_, errno);
+    }
+    fd_ = -1;
+    return status;
+  }
+
+  Status Flush() override { return FlushBuffer(); }
+
+  Status Sync() override {
+    Status status = FlushBuffer();
+    if (!status.ok()) {
+      return status;
+    }
+    if (::fdatasync(fd_) < 0) {
+      return PosixError(filename_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr size_t kWritableFileBufferSize = 65536;
+
+  Status FlushBuffer() {
+    Status status = WriteUnbuffered(buf_, pos_);
+    pos_ = 0;
+    return status;
+  }
+
+  Status WriteUnbuffered(const char* data, size_t size) {
+    while (size > 0) {
+      ::ssize_t write_result = ::write(fd_, data, size);
+      if (write_result < 0) {
+        if (errno == EINTR) {
+          continue;  // Retry.
+        }
+        return PosixError(filename_, errno);
+      }
+      data += write_result;
+      size -= write_result;
+    }
+    return Status::OK();
+  }
+
+  char buf_[kWritableFileBufferSize];
+  size_t pos_;
+  int fd_;
+  const std::string filename_;
+};
+
+class PosixFileLock : public FileLock {
+ public:
+  PosixFileLock(int fd, std::string filename)
+      : fd_(fd), filename_(std::move(filename)) {}
+
+  int fd() const { return fd_; }
+  const std::string& filename() const { return filename_; }
+
+ private:
+  const int fd_;
+  const std::string filename_;
+};
+
+/// Tracks files locked by this process: fcntl locks are per-process, so
+/// a second in-process LockFile would silently succeed without this.
+class PosixLockTable {
+ public:
+  bool Insert(const std::string& fname) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return locked_files_.insert(fname).second;
+  }
+  void Remove(const std::string& fname) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    locked_files_.erase(fname);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::set<std::string> locked_files_;
+};
+
+int LockOrUnlock(int fd, bool lock) {
+  errno = 0;
+  struct ::flock file_lock_info;
+  std::memset(&file_lock_info, 0, sizeof(file_lock_info));
+  file_lock_info.l_type = (lock ? F_WRLCK : F_UNLCK);
+  file_lock_info.l_whence = SEEK_SET;
+  file_lock_info.l_start = 0;
+  file_lock_info.l_len = 0;  // Lock/unlock entire file.
+  return ::fcntl(fd, F_SETLK, &file_lock_info);
+}
+
+class PosixEnv : public Env {
+ public:
+  PosixEnv() : background_started_(false) {}
+
+  ~PosixEnv() override = default;
+
+  Status NewSequentialFile(const std::string& filename,
+                           SequentialFile** result) override {
+    int fd = ::open(filename.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      *result = nullptr;
+      return PosixError(filename, errno);
+    }
+    *result = new PosixSequentialFile(filename, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& filename,
+                             RandomAccessFile** result) override {
+    int fd = ::open(filename.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      *result = nullptr;
+      return PosixError(filename, errno);
+    }
+    *result = new PosixRandomAccessFile(filename, fd);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& filename,
+                         WritableFile** result) override {
+    int fd = ::open(filename.c_str(),
+                    O_TRUNC | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      *result = nullptr;
+      return PosixError(filename, errno);
+    }
+    *result = new PosixWritableFile(filename, fd);
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& filename,
+                           WritableFile** result) override {
+    int fd = ::open(filename.c_str(),
+                    O_APPEND | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      *result = nullptr;
+      return PosixError(filename, errno);
+    }
+    *result = new PosixWritableFile(filename, fd);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& filename) override {
+    return ::access(filename.c_str(), F_OK) == 0;
+  }
+
+  Status GetChildren(const std::string& directory_path,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    ::DIR* dir = ::opendir(directory_path.c_str());
+    if (dir == nullptr) {
+      return PosixError(directory_path, errno);
+    }
+    struct ::dirent* entry;
+    while ((entry = ::readdir(dir)) != nullptr) {
+      result->emplace_back(entry->d_name);
+    }
+    ::closedir(dir);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& filename) override {
+    if (::unlink(filename.c_str()) != 0) {
+      return PosixError(filename, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0) {
+      if (errno == EEXIST) {
+        return Status::OK();
+      }
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    if (::rmdir(dirname.c_str()) != 0) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& filename, uint64_t* size) override {
+    struct ::stat file_stat;
+    if (::stat(filename.c_str(), &file_stat) != 0) {
+      *size = 0;
+      return PosixError(filename, errno);
+    }
+    *size = file_stat.st_size;
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError(from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status LockFile(const std::string& filename, FileLock** lock) override {
+    *lock = nullptr;
+    int fd = ::open(filename.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return PosixError(filename, errno);
+    }
+    if (!locks_.Insert(filename)) {
+      ::close(fd);
+      return Status::IOError("lock " + filename,
+                             "already held by process");
+    }
+    if (LockOrUnlock(fd, true) == -1) {
+      int lock_errno = errno;
+      ::close(fd);
+      locks_.Remove(filename);
+      return PosixError("lock " + filename, lock_errno);
+    }
+    *lock = new PosixFileLock(fd, filename);
+    return Status::OK();
+  }
+
+  Status UnlockFile(FileLock* lock) override {
+    PosixFileLock* posix_lock = static_cast<PosixFileLock*>(lock);
+    Status status;
+    if (LockOrUnlock(posix_lock->fd(), false) == -1) {
+      status = PosixError("unlock " + posix_lock->filename(), errno);
+    }
+    locks_.Remove(posix_lock->filename());
+    ::close(posix_lock->fd());
+    delete posix_lock;
+    return status;
+  }
+
+  void Schedule(void (*function)(void*), void* arg) override {
+    std::lock_guard<std::mutex> guard(background_mutex_);
+    if (!background_started_) {
+      background_started_ = true;
+      std::thread background_thread(&PosixEnv::BackgroundThreadMain, this);
+      background_thread.detach();
+    }
+    background_queue_.emplace_back(function, arg);
+    background_cv_.notify_one();
+  }
+
+  void StartThread(void (*function)(void*), void* arg) override {
+    std::thread new_thread(function, arg);
+    new_thread.detach();
+  }
+
+  uint64_t NowMicros() override {
+    struct ::timeval tv;
+    ::gettimeofday(&tv, nullptr);
+    return static_cast<uint64_t>(tv.tv_sec) * 1000000 + tv.tv_usec;
+  }
+
+  void SleepForMicroseconds(int micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+ private:
+  struct BackgroundWorkItem {
+    BackgroundWorkItem(void (*f)(void*), void* a) : function(f), arg(a) {}
+    void (*function)(void*);
+    void* arg;
+  };
+
+  void BackgroundThreadMain() {
+    while (true) {
+      BackgroundWorkItem item = [&] {
+        std::unique_lock<std::mutex> lock(background_mutex_);
+        background_cv_.wait(lock, [&] { return !background_queue_.empty(); });
+        BackgroundWorkItem front = background_queue_.front();
+        background_queue_.pop_front();
+        return front;
+      }();
+      item.function(item.arg);
+    }
+  }
+
+  std::mutex background_mutex_;
+  std::condition_variable background_cv_;
+  std::deque<BackgroundWorkItem> background_queue_;
+  bool background_started_;
+  PosixLockTable locks_;
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  // Never destroyed: background threads may still reference it at exit.
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+Status WriteStringToFile(Env* env, const Slice& data,
+                         const std::string& fname) {
+  WritableFile* file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  s = file->Append(data);
+  if (s.ok()) {
+    s = file->Close();
+  }
+  delete file;
+  if (!s.ok()) {
+    env->RemoveFile(fname);
+  }
+  return s;
+}
+
+Status ReadFileToString(Env* env, const std::string& fname,
+                        std::string* data) {
+  data->clear();
+  SequentialFile* file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  static const int kBufferSize = 8192;
+  char* space = new char[kBufferSize];
+  while (true) {
+    Slice fragment;
+    s = file->Read(kBufferSize, &fragment, space);
+    if (!s.ok()) {
+      break;
+    }
+    data->append(fragment.data(), fragment.size());
+    if (fragment.empty()) {
+      break;
+    }
+  }
+  delete[] space;
+  delete file;
+  return s;
+}
+
+}  // namespace fcae

@@ -1,0 +1,36 @@
+#ifndef FCAE_UTIL_FILTER_POLICY_H_
+#define FCAE_UTIL_FILTER_POLICY_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace fcae {
+
+/// A FilterPolicy creates compact probabilistic summaries of key sets
+/// (e.g. Bloom filters) that SSTables consult before touching a data
+/// block, cutting read amplification for point lookups.
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  /// The persisted name; changing the filter algorithm requires a new
+  /// name, because old filters would be consulted with the new semantics.
+  virtual const char* Name() const = 0;
+
+  /// Appends a filter summarizing keys[0, n) to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  /// Returns true if `key` may be in the set the filter was built from;
+  /// false means definitely absent.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+/// Returns a Bloom-filter policy with ~bits_per_key bits per key
+/// (10 gives a ~1% false positive rate). Caller owns the result.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_FILTER_POLICY_H_

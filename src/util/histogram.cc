@@ -1,0 +1,124 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fcae {
+
+const std::vector<double>& Histogram::BucketLimits() {
+  // Geometrically growing bucket limits: 1, 2, 3, 4, 5, 6, 8, 10, ...
+  static const std::vector<double>* limits = [] {
+    auto* v = new std::vector<double>();
+    double limit = 1;
+    while (limit < 1e18) {
+      v->push_back(limit);
+      double next = limit * 1.25;
+      if (next <= limit + 1) {
+        next = limit + 1;
+      }
+      limit = std::floor(next);
+    }
+    v->push_back(1e18);
+    return v;
+  }();
+  return *limits;
+}
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = std::numeric_limits<double>::max();
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(BucketLimits().size(), 0.0);
+}
+
+void Histogram::Add(double value) {
+  const std::vector<double>& limits = BucketLimits();
+  // Binary search for the first bucket whose limit exceeds value.
+  size_t lo = 0;
+  size_t hi = limits.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (limits[mid] > value) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  buckets_[lo] += 1.0;
+  if (min_ > value) min_ = value;
+  if (max_ < value) max_ = value;
+  num_++;
+  sum_ += value;
+  sum_squares_ += (value * value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+double Histogram::Median() const { return Percentile(50.0); }
+
+double Histogram::Percentile(double p) const {
+  const std::vector<double>& limits = BucketLimits();
+  double threshold = num_ * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      // Linear interpolation inside the bucket.
+      double left_point = (b == 0) ? 0 : limits[b - 1];
+      double right_point = limits[b];
+      double left_sum = cumulative - buckets_[b];
+      double right_sum = cumulative;
+      double pos = 0;
+      if (right_sum > left_sum) {
+        pos = (threshold - left_sum) / (right_sum - left_sum);
+      }
+      double r = left_point + (right_point - left_point) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+double Histogram::Average() const {
+  if (num_ == 0.0) return 0;
+  return sum_ / num_;
+}
+
+double Histogram::StandardDeviation() const {
+  if (num_ == 0.0) return 0;
+  double variance = (sum_squares_ * num_ - sum_ * sum_) / (num_ * num_);
+  return std::sqrt(variance > 0 ? variance : 0);
+}
+
+std::string Histogram::ToString() const {
+  std::string r;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "Count: %.0f  Average: %.4f  StdDev: %.2f\n",
+                num_, Average(), StandardDeviation());
+  r.append(buf);
+  std::snprintf(buf, sizeof(buf), "Min: %.4f  Median: %.4f  Max: %.4f\n",
+                (num_ == 0.0 ? 0.0 : min_), Median(), max_);
+  r.append(buf);
+  std::snprintf(buf, sizeof(buf), "P99: %.4f  P99.9: %.4f\n",
+                Percentile(99.0), Percentile(99.9));
+  r.append(buf);
+  return r;
+}
+
+}  // namespace fcae

@@ -1,0 +1,372 @@
+#include "util/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace fcae {
+
+namespace {
+
+/// Reference-counted in-memory file contents. Blocks of 8 KB keep append
+/// cost amortized-constant without large reallocations.
+class FileState {
+ public:
+  FileState() : refs_(0), size_(0) {}
+
+  FileState(const FileState&) = delete;
+  FileState& operator=(const FileState&) = delete;
+
+  void Ref() {
+    std::lock_guard<std::mutex> guard(refs_mutex_);
+    ++refs_;
+  }
+
+  void Unref() {
+    bool do_delete = false;
+    {
+      std::lock_guard<std::mutex> guard(refs_mutex_);
+      --refs_;
+      if (refs_ <= 0) {
+        do_delete = true;
+      }
+    }
+    if (do_delete) {
+      delete this;
+    }
+  }
+
+  uint64_t Size() const {
+    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    return size_;
+  }
+
+  void Truncate() {
+    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    blocks_.clear();
+    size_ = 0;
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const {
+    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    if (offset > size_) {
+      return Status::IOError("Offset greater than file size.");
+    }
+    const uint64_t available = size_ - offset;
+    if (n > available) {
+      n = static_cast<size_t>(available);
+    }
+    if (n == 0) {
+      *result = Slice();
+      return Status::OK();
+    }
+
+    size_t block = static_cast<size_t>(offset / kBlockSize);
+    size_t block_offset = offset % kBlockSize;
+    size_t bytes_to_copy = n;
+    char* dst = scratch;
+
+    while (bytes_to_copy > 0) {
+      size_t avail = kBlockSize - block_offset;
+      if (avail > bytes_to_copy) {
+        avail = bytes_to_copy;
+      }
+      std::memcpy(dst, blocks_[block].get() + block_offset, avail);
+      bytes_to_copy -= avail;
+      dst += avail;
+      block++;
+      block_offset = 0;
+    }
+
+    *result = Slice(scratch, n);
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) {
+    const char* src = data.data();
+    size_t src_len = data.size();
+
+    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    while (src_len > 0) {
+      size_t avail;
+      size_t offset = size_ % kBlockSize;
+
+      if (offset != 0) {
+        avail = kBlockSize - offset;
+      } else {
+        blocks_.push_back(std::make_unique<char[]>(kBlockSize));
+        avail = kBlockSize;
+      }
+
+      if (avail > src_len) {
+        avail = src_len;
+      }
+      std::memcpy(blocks_.back().get() + offset, src, avail);
+      src_len -= avail;
+      src += avail;
+      size_ += avail;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum { kBlockSize = 8 * 1024 };
+
+  ~FileState() = default;  // Only Unref() deletes.
+
+  std::mutex refs_mutex_;
+  int refs_;
+
+  mutable std::mutex blocks_mutex_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  uint64_t size_;
+};
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  explicit MemSequentialFile(FileState* file) : file_(file), pos_(0) {
+    file_->Ref();
+  }
+  ~MemSequentialFile() override { file_->Unref(); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = file_->Read(pos_, n, result, scratch);
+    if (s.ok()) {
+      pos_ += result->size();
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override {
+    if (pos_ > file_->Size()) {
+      return Status::IOError("pos_ > file_->Size()");
+    }
+    const uint64_t available = file_->Size() - pos_;
+    if (n > available) {
+      n = available;
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  FileState* file_;
+  uint64_t pos_;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(FileState* file) : file_(file) { file_->Ref(); }
+  ~MemRandomAccessFile() override { file_->Unref(); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    return file_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  FileState* file_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(FileState* file) : file_(file) { file_->Ref(); }
+  ~MemWritableFile() override { file_->Unref(); }
+
+  Status Append(const Slice& data) override { return file_->Append(data); }
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  FileState* file_;
+};
+
+class MemFileLock : public FileLock {
+ public:
+  explicit MemFileLock(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Delegates non-filesystem calls to a wrapped Env.
+class MemEnv : public Env {
+ public:
+  explicit MemEnv(Env* base_env) : base_(base_env) {}
+
+  ~MemEnv() override {
+    for (const auto& kv : file_map_) {
+      kv.second->Unref();
+    }
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           SequentialFile** result) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = file_map_.find(fname);
+    if (it == file_map_.end()) {
+      *result = nullptr;
+      return Status::NotFound(fname, "File not found");
+    }
+    *result = new MemSequentialFile(it->second);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             RandomAccessFile** result) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = file_map_.find(fname);
+    if (it == file_map_.end()) {
+      *result = nullptr;
+      return Status::NotFound(fname, "File not found");
+    }
+    *result = new MemRandomAccessFile(it->second);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         WritableFile** result) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = file_map_.find(fname);
+    FileState* file;
+    if (it == file_map_.end()) {
+      file = new FileState();
+      file->Ref();
+      file_map_[fname] = file;
+    } else {
+      file = it->second;
+      file->Truncate();
+    }
+    *result = new MemWritableFile(file);
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           WritableFile** result) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    FileState** sptr = &file_map_[fname];
+    FileState* file = *sptr;
+    if (file == nullptr) {
+      file = new FileState();
+      file->Ref();
+      *sptr = file;
+    }
+    *result = new MemWritableFile(file);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return file_map_.find(fname) != file_map_.end();
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    result->clear();
+    for (const auto& kv : file_map_) {
+      const std::string& filename = kv.first;
+      if (filename.size() >= dir.size() + 1 && filename[dir.size()] == '/' &&
+          Slice(filename).StartsWith(Slice(dir))) {
+        result->push_back(filename.substr(dir.size() + 1));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = file_map_.find(fname);
+    if (it == file_map_.end()) {
+      return Status::NotFound(fname, "File not found");
+    }
+    it->second->Unref();
+    file_map_.erase(it);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = file_map_.find(fname);
+    if (it == file_map_.end()) {
+      return Status::NotFound(fname, "File not found");
+    }
+    *file_size = it->second->Size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = file_map_.find(src);
+    if (it == file_map_.end()) {
+      return Status::NotFound(src, "File not found");
+    }
+    auto target_it = file_map_.find(target);
+    if (target_it != file_map_.end()) {
+      target_it->second->Unref();
+      file_map_.erase(target_it);
+    }
+    file_map_[target] = it->second;
+    file_map_.erase(it);
+    return Status::OK();
+  }
+
+  Status LockFile(const std::string& fname, FileLock** lock) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!locked_files_.insert(fname).second) {
+      *lock = nullptr;
+      return Status::IOError("lock " + fname, "already held");
+    }
+    *lock = new MemFileLock(fname);
+    return Status::OK();
+  }
+
+  Status UnlockFile(FileLock* lock) override {
+    MemFileLock* mem_lock = static_cast<MemFileLock*>(lock);
+    std::lock_guard<std::mutex> guard(mutex_);
+    locked_files_.erase(mem_lock->name());
+    delete mem_lock;
+    return Status::OK();
+  }
+
+  void Schedule(void (*function)(void* arg), void* arg) override {
+    base_->Schedule(function, arg);
+  }
+
+  void StartThread(void (*function)(void* arg), void* arg) override {
+    base_->StartThread(function, arg);
+  }
+
+  uint64_t NowMicros() override { return base_->NowMicros(); }
+
+  void SleepForMicroseconds(int micros) override {
+    base_->SleepForMicroseconds(micros);
+  }
+
+ private:
+  Env* base_;
+  std::mutex mutex_;
+  std::map<std::string, FileState*> file_map_;
+  std::set<std::string> locked_files_;
+};
+
+}  // namespace
+
+Env* NewMemEnv(Env* base_env) { return new MemEnv(base_env); }
+
+}  // namespace fcae

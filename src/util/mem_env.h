@@ -1,0 +1,16 @@
+#ifndef FCAE_UTIL_MEM_ENV_H_
+#define FCAE_UTIL_MEM_ENV_H_
+
+#include "util/env.h"
+
+namespace fcae {
+
+/// Returns a new Env that stores its "files" entirely in memory while
+/// delegating time/thread facilities to `base_env` (which must outlive the
+/// result). Used by tests and benchmarks so the storage engine can run at
+/// full speed and deterministically without touching a real filesystem.
+Env* NewMemEnv(Env* base_env);
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_MEM_ENV_H_

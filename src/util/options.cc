@@ -1,0 +1,10 @@
+#include "util/options.h"
+
+#include "util/comparator.h"
+#include "util/env.h"
+
+namespace fcae {
+
+Options::Options() : comparator(BytewiseComparator()), env(Env::Default()) {}
+
+}  // namespace fcae

@@ -1,0 +1,106 @@
+#ifndef FCAE_UTIL_OPTIONS_H_
+#define FCAE_UTIL_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fcae {
+
+class Cache;
+class Comparator;
+class CompactionExecutor;
+class Env;
+class FilterPolicy;
+
+/// Block contents compression. Stored per block, so files mixing settings
+/// remain readable.
+enum CompressionType : uint8_t {
+  kNoCompression = 0x0,
+  kSnappyCompression = 0x1,
+};
+
+/// Options controlling database behaviour. Field defaults mirror LevelDB
+/// and the paper's Table IV settings.
+struct Options {
+  Options();
+
+  /// Comparator defining key order; must outlive the DB and stay
+  /// consistent across opens. Default: bytewise.
+  const Comparator* comparator;
+
+  /// If true, Open() creates a missing database.
+  bool create_if_missing = false;
+
+  /// If true, Open() errors if the database already exists.
+  bool error_if_exists = false;
+
+  /// If true, the implementation aggressively checks invariants and
+  /// fails early on internal corruption.
+  bool paranoid_checks = false;
+
+  /// Environment for file/thread access. Default: Env::Default().
+  Env* env;
+
+  /// Memtable size before a flush is triggered (bytes). LevelDB: 4 MB.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  /// Approximate uncompressed size of an SSTable data block. Table IV
+  /// default: 4 KB (varied 2 KB..1 MB in Fig. 15c).
+  size_t block_size = 4 * 1024;
+
+  /// Number of keys between restart points in a block.
+  int block_restart_interval = 16;
+
+  /// Optional cache for uncompressed data blocks (NewLRUCache).
+  /// Borrowed, not owned; nullptr means blocks are re-read and
+  /// re-decompressed on every access (plus whatever the OS page cache
+  /// does). LevelDB defaults to an 8 MB internal cache; pass your own
+  /// to control memory.
+  Cache* block_cache = nullptr;
+
+  /// Target SSTable file size. Paper: 2 MB per SSTable.
+  size_t max_file_size = 2 * 1024 * 1024;
+
+  /// Size(Level i+1) / Size(Level i). Table IV default 10, range [4, 16].
+  int leveling_ratio = 10;
+
+  /// Per-block compression. Default snappy, as in the paper.
+  CompressionType compression = kSnappyCompression;
+
+  /// Optional filter policy (e.g. NewBloomFilterPolicy) for reads;
+  /// borrowed, not owned. Default: none, as in stock LevelDB.
+  const FilterPolicy* filter_policy = nullptr;
+
+  /// Max open SSTables cached by the table cache.
+  int max_open_files = 1000;
+
+  /// Compaction execution engine (paper Fig. 6): nullptr means the
+  /// built-in single-threaded CPU merge. Point this at an
+  /// FcaeCompactionExecutor (host/offload_compaction.h) to offload
+  /// table-merging compactions to the simulated FPGA card. Borrowed,
+  /// not owned; must outlive the DB.
+  CompactionExecutor* compaction_executor = nullptr;
+};
+
+/// Options controlling read operations.
+struct ReadOptions {
+  /// Verify block checksums on every read.
+  bool verify_checksums = false;
+
+  /// If true, blocks read are not retained in internal caches.
+  bool fill_cache = true;
+
+  /// Opaque snapshot sequence number; 0 means "latest state".
+  uint64_t snapshot_sequence = 0;
+};
+
+/// Options controlling write operations.
+struct WriteOptions {
+  /// If true, the write is flushed to stable storage (fsync'd WAL)
+  /// before returning.
+  bool sync = false;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_OPTIONS_H_

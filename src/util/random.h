@@ -1,0 +1,57 @@
+#ifndef FCAE_UTIL_RANDOM_H_
+#define FCAE_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace fcae {
+
+/// A simple, fast, reproducible pseudo-random generator (Lehmer / Park-
+/// Miller minimal standard). Used by skiplists, workload generators and
+/// tests where determinism across runs matters more than statistical
+/// quality.
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    // Avoid the two invalid seeds of the Lehmer generator.
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t kM = 2147483647L;  // 2^31-1
+    static const uint64_t kA = 16807;        // Minimal-standard multiplier.
+    // seed_ = (seed_ * A) % M via 64-bit intermediate.
+    uint64_t product = seed_ * kA;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & kM));
+    if (seed_ > kM) {
+      seed_ -= kM;
+    }
+    return seed_;
+  }
+
+  /// Returns a uniformly distributed value in [0, n-1]; requires n > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  /// Returns true with probability 1/n; requires n > 0.
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  /// Returns a value in [0, 2^max_log-1] with exponentially decaying
+  /// probability of larger values.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() { return Next() / 2147483647.0; }
+
+  /// Returns a uniform 64-bit value.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 31) | Next();
+  }
+
+ private:
+  uint32_t seed_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_RANDOM_H_

@@ -1,0 +1,99 @@
+#ifndef FCAE_UTIL_SLICE_H_
+#define FCAE_UTIL_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace fcae {
+
+/// A Slice is a non-owning view of a byte range. The referenced storage
+/// must outlive the Slice. Slices are cheap to copy and compare.
+class Slice {
+ public:
+  /// Creates an empty slice.
+  Slice() : data_(""), size_(0) {}
+
+  /// Creates a slice referring to data[0, n).
+  Slice(const char* data, size_t n) : data_(data), size_(n) {}
+
+  /// Creates a slice referring to the contents of `s`.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+
+  /// Creates a slice referring to the NUL-terminated string `s`.
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+
+  Slice(const Slice&) = default;
+  Slice& operator=(const Slice&) = default;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const char* begin() const { return data_; }
+  const char* end() const { return data_ + size_; }
+
+  /// Returns the i-th byte; requires i < size().
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Resets to the empty slice.
+  void Clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  /// Drops the first n bytes; requires n <= size().
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns a copy of the referenced bytes as a std::string.
+  std::string ToString() const { return std::string(data_, size_); }
+
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  /// Three-way bytewise comparison: <0, ==0, >0 as *this <, ==, > b.
+  int Compare(const Slice& b) const;
+
+  /// Returns true iff `x` is a prefix of *this.
+  bool StartsWith(const Slice& x) const {
+    return (size_ >= x.size_) && (memcmp(data_, x.data_, x.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& x, const Slice& y) {
+  return (x.size() == y.size()) &&
+         (memcmp(x.data(), y.data(), x.size()) == 0);
+}
+
+inline bool operator!=(const Slice& x, const Slice& y) { return !(x == y); }
+
+inline int Slice::Compare(const Slice& b) const {
+  const size_t min_len = (size_ < b.size_) ? size_ : b.size_;
+  int r = memcmp(data_, b.data_, min_len);
+  if (r == 0) {
+    if (size_ < b.size_) {
+      r = -1;
+    } else if (size_ > b.size_) {
+      r = +1;
+    }
+  }
+  return r;
+}
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_SLICE_H_

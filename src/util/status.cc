@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+namespace fcae {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+  msg_.assign(msg.data(), msg.size());
+  if (!msg2.empty()) {
+    msg_.append(": ");
+    msg_.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  const char* type = nullptr;
+  switch (code_) {
+    case Code::kOk:
+      type = "OK";
+      break;
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kNotSupported:
+      type = "Not implemented: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case Code::kIOError:
+      type = "IO error: ";
+      break;
+    case Code::kBusy:
+      type = "Busy: ";
+      break;
+  }
+  std::string result(type);
+  result.append(msg_);
+  return result;
+}
+
+}  // namespace fcae

@@ -1,0 +1,76 @@
+#ifndef FCAE_UTIL_STATUS_H_
+#define FCAE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace fcae {
+
+/// A Status encapsulates the result of an operation: success, or an error
+/// code plus a message. This project does not use exceptions; every
+/// fallible operation returns a Status (or stores one, for iterators).
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  Status(const Status& rhs) = default;
+  Status& operator=(const Status& rhs) = default;
+  Status(Status&& rhs) = default;
+  Status& operator=(Status&& rhs) = default;
+
+  static Status OK() { return Status(); }
+
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg,
+                                const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kBusy, msg, msg2);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+
+  /// Returns a human-readable description, e.g. "IO error: <msg>".
+  std::string ToString() const;
+
+ private:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_STATUS_H_

@@ -1,0 +1,51 @@
+#include "workload/key_generator.h"
+
+#include <cassert>
+
+namespace fcae {
+namespace workload {
+
+namespace {
+
+/// Appends a fragment whose compressibility matches `compression_ratio`
+/// (fraction of output after compression), the scheme db_bench uses.
+std::string CompressibleString(Random* rnd, double compression_ratio,
+                               size_t len) {
+  size_t raw = static_cast<size_t>(len * compression_ratio);
+  if (raw < 1) raw = 1;
+  std::string raw_data;
+  raw_data.reserve(raw);
+  for (size_t i = 0; i < raw; i++) {
+    raw_data.push_back(static_cast<char>(' ' + rnd->Uniform(95)));
+  }
+  std::string result;
+  result.reserve(len);
+  while (result.size() < len) {
+    result.append(raw_data);
+  }
+  result.resize(len);
+  return result;
+}
+
+}  // namespace
+
+ValueGenerator::ValueGenerator(uint32_t seed, double compression_ratio) {
+  Random rnd(seed);
+  // A large pool sliced at shifting offsets, like db_bench's
+  // RandomGenerator.
+  while (pool_.size() < 1048576) {
+    pool_.append(CompressibleString(&rnd, compression_ratio, 100));
+  }
+}
+
+std::string ValueGenerator::Generate(size_t len) {
+  if (pos_ + len > pool_.size()) {
+    pos_ = 0;
+    assert(len < pool_.size());
+  }
+  pos_ += len;
+  return pool_.substr(pos_ - len, len);
+}
+
+}  // namespace workload
+}  // namespace fcae

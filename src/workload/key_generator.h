@@ -1,0 +1,58 @@
+#ifndef FCAE_WORKLOAD_KEY_GENERATOR_H_
+#define FCAE_WORKLOAD_KEY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+
+namespace fcae {
+namespace workload {
+
+/// Formats numeric key ids as fixed-width byte strings, zero padded to
+/// `key_length` (Table IV: 16 bytes by default, up to 256 in the
+/// sensitivity sweep).
+class KeyFormatter {
+ public:
+  explicit KeyFormatter(size_t key_length) : key_length_(key_length) {}
+
+  std::string Format(uint64_t id) const {
+    char digits[24];
+    int n = std::snprintf(digits, sizeof(digits), "%016llu",
+                          static_cast<unsigned long long>(id));
+    std::string key;
+    key.reserve(key_length_);
+    if (static_cast<size_t>(n) >= key_length_) {
+      key.assign(digits + (n - key_length_), key_length_);
+    } else {
+      key.assign(key_length_ - n, 'k');  // Pad prefix to the target length.
+      key.append(digits, n);
+    }
+    return key;
+  }
+
+  size_t key_length() const { return key_length_; }
+
+ private:
+  size_t key_length_;
+};
+
+/// db_bench-style value generator: pieces of compressible text so that
+/// Snappy achieves a realistic (~2x) ratio rather than degenerate
+/// all-one-byte compression.
+class ValueGenerator {
+ public:
+  explicit ValueGenerator(uint32_t seed, double compression_ratio = 0.5);
+
+  /// Returns a value of exactly `len` bytes.
+  std::string Generate(size_t len);
+
+ private:
+  std::string pool_;
+  size_t pos_ = 0;
+};
+
+}  // namespace workload
+}  // namespace fcae
+
+#endif  // FCAE_WORKLOAD_KEY_GENERATOR_H_

@@ -1,0 +1,109 @@
+#include "workload/ycsb.h"
+
+namespace fcae {
+namespace workload {
+
+const char* YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kLoad:
+      return "Load";
+    case YcsbWorkload::kA:
+      return "A";
+    case YcsbWorkload::kB:
+      return "B";
+    case YcsbWorkload::kC:
+      return "C";
+    case YcsbWorkload::kD:
+      return "D";
+    case YcsbWorkload::kE:
+      return "E";
+    case YcsbWorkload::kF:
+      return "F";
+  }
+  return "?";
+}
+
+double YcsbWriteFraction(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kLoad:
+      return 1.0;
+    case YcsbWorkload::kA:
+      return 0.5;
+    case YcsbWorkload::kB:
+      return 0.05;
+    case YcsbWorkload::kC:
+      return 0.0;
+    case YcsbWorkload::kD:
+      return 0.05;
+    case YcsbWorkload::kE:
+      return 0.05;
+    case YcsbWorkload::kF:
+      return 0.5;  // Each RMW performs one write (plus a read).
+  }
+  return 0;
+}
+
+YcsbGenerator::YcsbGenerator(YcsbWorkload workload, uint64_t record_count,
+                             uint32_t seed)
+    : workload_(workload),
+      record_count_(record_count),
+      insert_sequence_(record_count),
+      rnd_(seed) {
+  if (workload == YcsbWorkload::kD) {
+    latest_ = std::make_unique<LatestGenerator>(record_count, seed + 1);
+  } else {
+    zipfian_ =
+        std::make_unique<ScrambledZipfianGenerator>(record_count, seed + 1);
+  }
+}
+
+YcsbOp YcsbGenerator::PickOpType() {
+  const uint32_t r = rnd_.Uniform(100);
+  switch (workload_) {
+    case YcsbWorkload::kLoad:
+      return YcsbOp::kInsert;
+    case YcsbWorkload::kA:
+      return r < 50 ? YcsbOp::kRead : YcsbOp::kUpdate;
+    case YcsbWorkload::kB:
+      return r < 95 ? YcsbOp::kRead : YcsbOp::kUpdate;
+    case YcsbWorkload::kC:
+      return YcsbOp::kRead;
+    case YcsbWorkload::kD:
+      return r < 95 ? YcsbOp::kRead : YcsbOp::kInsert;
+    case YcsbWorkload::kE:
+      return r < 95 ? YcsbOp::kScan : YcsbOp::kInsert;
+    case YcsbWorkload::kF:
+      return r < 50 ? YcsbOp::kRead : YcsbOp::kReadModifyWrite;
+  }
+  return YcsbOp::kRead;
+}
+
+YcsbGenerator::Op YcsbGenerator::Next() {
+  Op op;
+  op.type = PickOpType();
+  switch (op.type) {
+    case YcsbOp::kInsert:
+      op.key_id = insert_sequence_++;
+      if (latest_) {
+        latest_->AdvanceMax();
+      }
+      break;
+    case YcsbOp::kScan:
+      op.key_id = zipfian_ ? zipfian_->Next() : rnd_.Uniform(record_count_);
+      op.scan_length = 1 + rnd_.Uniform(100);  // YCSB default max 100.
+      break;
+    default:
+      if (latest_) {
+        op.key_id = latest_->Next();
+      } else if (zipfian_) {
+        op.key_id = zipfian_->Next();
+      } else {
+        op.key_id = rnd_.Uniform(record_count_);
+      }
+      break;
+  }
+  return op;
+}
+
+}  // namespace workload
+}  // namespace fcae

@@ -1,0 +1,72 @@
+#ifndef FCAE_WORKLOAD_YCSB_H_
+#define FCAE_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "workload/zipfian.h"
+
+namespace fcae {
+namespace workload {
+
+/// YCSB operation kinds.
+enum class YcsbOp {
+  kRead,
+  kUpdate,
+  kInsert,
+  kScan,
+  kReadModifyWrite,
+};
+
+/// One of the YCSB core workloads (paper Table IX).
+enum class YcsbWorkload {
+  kLoad,  // 100% insert
+  kA,     // 50% read / 50% update, zipfian
+  kB,     // 95% read / 5% update, zipfian
+  kC,     // 100% read, zipfian
+  kD,     // 95% read / 5% insert, latest
+  kE,     // 95% scan / 5% insert, zipfian
+  kF,     // 50% read / 50% read-modify-write, zipfian
+};
+
+const char* YcsbWorkloadName(YcsbWorkload w);
+
+/// Fraction of operations that write to the store (insert/update/rmw),
+/// used by the analysis in Section VII-D ("with the increase of write
+/// ratio, the acceleration ratio increases").
+double YcsbWriteFraction(YcsbWorkload w);
+
+/// Generates the operation stream for one YCSB workload over a record
+/// space of `record_count` items (paper: 20M records, 20M operations;
+/// zipfian request distribution except workload D which uses latest).
+class YcsbGenerator {
+ public:
+  YcsbGenerator(YcsbWorkload workload, uint64_t record_count, uint32_t seed);
+
+  struct Op {
+    YcsbOp type;
+    uint64_t key_id;
+    int scan_length = 0;  // For kScan.
+  };
+
+  Op Next();
+
+  YcsbWorkload workload() const { return workload_; }
+
+ private:
+  YcsbOp PickOpType();
+
+  YcsbWorkload workload_;
+  uint64_t record_count_;
+  uint64_t insert_sequence_;  // Next id for inserts.
+  Random rnd_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipfian_;
+  std::unique_ptr<LatestGenerator> latest_;
+};
+
+}  // namespace workload
+}  // namespace fcae
+
+#endif  // FCAE_WORKLOAD_YCSB_H_

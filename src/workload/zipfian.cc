@@ -1,0 +1,84 @@
+#include "workload/zipfian.h"
+
+#include <cmath>
+
+namespace fcae {
+namespace workload {
+
+namespace {
+
+/// 64-bit FNV-1a, used to scatter zipfian ranks across the keyspace.
+uint64_t FnvHash64(uint64_t value) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; i++) {
+    uint8_t octet = value & 0xff;
+    value >>= 8;
+    hash ^= octet;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, uint32_t seed, double theta)
+    : items_(n), theta_(theta), rnd_(seed) {
+  // Zeta(n) is O(n); cap the exact computation and extrapolate for huge
+  // n (the standard YCSB approximation keeps request skew intact).
+  constexpr uint64_t kExactLimit = 10'000'000;
+  if (n <= kExactLimit) {
+    zeta_n_ = Zeta(n, theta_);
+  } else {
+    double zeta_limit = Zeta(kExactLimit, theta_);
+    // Integral approximation of the tail.
+    zeta_n_ = zeta_limit + (std::pow(static_cast<double>(n), 1 - theta_) -
+                            std::pow(static_cast<double>(kExactLimit),
+                                     1 - theta_)) /
+                               (1 - theta_);
+  }
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(items_), 1 - theta_)) /
+         (1 - zeta2theta_ / zeta_n_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rnd_.NextDouble();
+  double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  uint64_t result = static_cast<uint64_t>(
+      static_cast<double>(items_) *
+      std::pow(eta_ * u - eta_ + 1, alpha_));
+  if (result >= items_) {
+    result = items_ - 1;
+  }
+  return result;
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  return FnvHash64(zipfian_.Next()) % items_;
+}
+
+uint64_t LatestGenerator::Next() {
+  uint64_t offset = zipfian_.Next();
+  if (offset >= max_) {
+    offset = offset % max_;
+  }
+  return max_ - 1 - offset;
+}
+
+}  // namespace workload
+}  // namespace fcae

@@ -1,0 +1,74 @@
+#ifndef FCAE_WORKLOAD_ZIPFIAN_H_
+#define FCAE_WORKLOAD_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace fcae {
+namespace workload {
+
+/// YCSB-style Zipfian generator over [0, n): popular items get the bulk
+/// of the requests. Implements the Gray et al. rejection-free method
+/// used by the YCSB core (zeta incrementally maintained), with the
+/// standard theta = 0.99.
+class ZipfianGenerator {
+ public:
+  static constexpr double kZipfianConstant = 0.99;
+
+  ZipfianGenerator(uint64_t n, uint32_t seed,
+                   double theta = kZipfianConstant);
+
+  /// Returns the next sample in [0, n); item 0 is the most popular.
+  uint64_t Next();
+
+  uint64_t item_count() const { return items_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t items_;
+  double theta_;
+  double zeta_n_;
+  double alpha_;
+  double zeta2theta_;
+  double eta_;
+  Random rnd_;
+};
+
+/// ScrambledZipfian: zipfian popularity but spread over the keyspace by
+/// hashing, as YCSB does, so hot items are not clustered.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, uint32_t seed)
+      : items_(n), zipfian_(n, seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t items_;
+  ZipfianGenerator zipfian_;
+};
+
+/// "Latest" distribution (YCSB workload D): requests skew toward the
+/// most recently inserted items.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t initial_items, uint32_t seed)
+      : max_(initial_items), zipfian_(initial_items, seed) {}
+
+  /// Notes that a new item has been inserted (shifts the distribution).
+  void AdvanceMax() { max_++; }
+  void SetMax(uint64_t max) { max_ = max; }
+
+  uint64_t Next();
+
+ private:
+  uint64_t max_;
+  ZipfianGenerator zipfian_;
+};
+
+}  // namespace workload
+}  // namespace fcae
+
+#endif  // FCAE_WORKLOAD_ZIPFIAN_H_

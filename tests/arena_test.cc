@@ -1,0 +1,79 @@
+#include "util/arena.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace fcae {
+
+TEST(Arena, Empty) { Arena arena; }
+
+TEST(Arena, Simple) {
+  std::vector<std::pair<size_t, char*>> allocated;
+  Arena arena;
+  const int kN = 100000;
+  size_t bytes = 0;
+  Random rnd(301);
+  for (int i = 0; i < kN; i++) {
+    size_t s;
+    if (i % (kN / 10) == 0) {
+      s = i;
+    } else {
+      s = rnd.OneIn(4000)
+              ? rnd.Uniform(6000)
+              : (rnd.OneIn(10) ? rnd.Uniform(100) : rnd.Uniform(20));
+    }
+    if (s == 0) {
+      // Our arena disallows size 0 allocations.
+      s = 1;
+    }
+    char* r;
+    if (rnd.OneIn(10)) {
+      r = arena.AllocateAligned(s);
+    } else {
+      r = arena.Allocate(s);
+    }
+
+    for (size_t b = 0; b < s; b++) {
+      // Fill the "i"th allocation with a known bit pattern.
+      r[b] = i % 256;
+    }
+    bytes += s;
+    allocated.push_back(std::make_pair(s, r));
+    ASSERT_GE(arena.MemoryUsage(), bytes);
+    if (i > kN / 10) {
+      ASSERT_LE(arena.MemoryUsage(), bytes * 1.10);
+    }
+  }
+  for (size_t i = 0; i < allocated.size(); i++) {
+    size_t num_bytes = allocated[i].first;
+    const char* p = allocated[i].second;
+    for (size_t b = 0; b < num_bytes; b++) {
+      // Check the "i"th allocation for the known bit pattern.
+      ASSERT_EQ(static_cast<int>(i % 256), static_cast<int>(p[b]) & 0xff);
+    }
+  }
+}
+
+TEST(Arena, AlignedAllocationsAreAligned) {
+  Arena arena;
+  for (int i = 0; i < 100; i++) {
+    char* p = arena.AllocateAligned(i % 17 + 1);
+    ASSERT_EQ(0u, reinterpret_cast<uintptr_t>(p) % 8);
+  }
+}
+
+TEST(Arena, LargeAllocationGetsOwnBlock) {
+  Arena arena;
+  size_t before = arena.MemoryUsage();
+  char* p = arena.Allocate(1 << 20);
+  ASSERT_NE(nullptr, p);
+  ASSERT_GE(arena.MemoryUsage() - before, static_cast<size_t>(1 << 20));
+  // A subsequent small allocation should still succeed.
+  char* q = arena.Allocate(16);
+  ASSERT_NE(nullptr, q);
+}
+
+}  // namespace fcae

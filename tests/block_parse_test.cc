@@ -1,0 +1,137 @@
+#include "fpga/block_parse.h"
+
+#include <string>
+#include <vector>
+
+#include "compress/snappy.h"
+#include "gtest/gtest.h"
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/crc32c.h"
+#include "util/options.h"
+#include "util/random.h"
+
+namespace fcae {
+namespace fpga {
+
+namespace {
+
+/// Builds a stored block (contents + trailer) the way TableBuilder does.
+std::string StoreBlock(const Slice& raw, CompressionType type) {
+  std::string stored;
+  if (type == kSnappyCompression) {
+    snappy::Compress(raw.data(), raw.size(), &stored);
+  } else {
+    stored.assign(raw.data(), raw.size());
+  }
+  char trailer[kBlockTrailerSize];
+  trailer[0] = static_cast<char>(type);
+  uint32_t crc = crc32c::Value(stored.data(), stored.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  stored.append(trailer, kBlockTrailerSize);
+  return stored;
+}
+
+std::string BuildRawBlock(int n, int restart_interval,
+                          std::vector<std::pair<std::string, std::string>>*
+                              expected) {
+  Options options;
+  options.block_restart_interval = restart_interval;
+  BlockBuilder builder(&options);
+  for (int i = 0; i < n; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%08d", i);
+    std::string value = "value" + std::to_string(i);
+    builder.Add(key, value);
+    expected->emplace_back(key, value);
+  }
+  return builder.Finish().ToString();
+}
+
+}  // namespace
+
+class BlockParseTest : public testing::TestWithParam<CompressionType> {};
+
+TEST_P(BlockParseTest, RoundTrip) {
+  std::vector<std::pair<std::string, std::string>> expected;
+  std::string raw = BuildRawBlock(500, 16, &expected);
+  std::string stored = StoreBlock(raw, GetParam());
+
+  std::string contents;
+  ASSERT_TRUE(DecodeStoredBlock(stored, true, &contents).ok());
+  ASSERT_EQ(raw, contents);
+
+  std::vector<ParsedEntry> entries;
+  ASSERT_TRUE(ParseBlockEntries(contents, &entries).ok());
+  ASSERT_EQ(expected.size(), entries.size());
+  for (size_t i = 0; i < expected.size(); i++) {
+    EXPECT_EQ(expected[i].first, entries[i].key);
+    EXPECT_EQ(expected[i].second, entries[i].value);
+  }
+}
+
+TEST_P(BlockParseTest, ChecksumDetectsFlips) {
+  std::vector<std::pair<std::string, std::string>> expected;
+  std::string raw = BuildRawBlock(100, 8, &expected);
+  std::string stored = StoreBlock(raw, GetParam());
+
+  for (size_t pos : {size_t{0}, stored.size() / 2, stored.size() - 6}) {
+    std::string corrupt = stored;
+    corrupt[pos] ^= 0x01;
+    std::string contents;
+    Status s = DecodeStoredBlock(corrupt, true, &contents);
+    ASSERT_FALSE(s.ok()) << "flip at " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Compression, BlockParseTest,
+                         testing::Values(kNoCompression,
+                                         kSnappyCompression));
+
+TEST(BlockParseEdgeTest, TooShortForTrailer) {
+  std::string contents;
+  ASSERT_FALSE(DecodeStoredBlock(Slice("abc"), true, &contents).ok());
+}
+
+TEST(BlockParseEdgeTest, BadCompressionType) {
+  std::string stored = "payload";
+  char trailer[kBlockTrailerSize];
+  trailer[0] = 0x7f;  // Unknown type.
+  uint32_t crc = crc32c::Value(stored.data(), stored.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  stored.append(trailer, kBlockTrailerSize);
+  std::string contents;
+  ASSERT_FALSE(DecodeStoredBlock(stored, true, &contents).ok());
+}
+
+TEST(BlockParseEdgeTest, EmptyBlockHasNoEntries) {
+  Options options;
+  BlockBuilder builder(&options);
+  std::string raw = builder.Finish().ToString();
+  std::vector<ParsedEntry> entries;
+  ASSERT_TRUE(ParseBlockEntries(raw, &entries).ok());
+  ASSERT_TRUE(entries.empty());
+}
+
+TEST(BlockParseEdgeTest, GarbageEntriesRejected) {
+  // A "block" with a valid restart array but garbage entry bytes.
+  std::string bad(64, '\xee');
+  PutFixed32(&bad, 0);  // restart[0] = 0
+  PutFixed32(&bad, 1);  // num_restarts = 1
+  std::vector<ParsedEntry> entries;
+  ASSERT_FALSE(ParseBlockEntries(bad, &entries).ok());
+}
+
+TEST(BlockParseEdgeTest, RestartCountOverflowRejected) {
+  std::string bad;
+  PutFixed32(&bad, 1000000);  // num_restarts way beyond block size.
+  std::vector<ParsedEntry> entries;
+  ASSERT_FALSE(ParseBlockEntries(bad, &entries).ok());
+}
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,145 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/coding.h"
+#include "util/filter_policy.h"
+
+namespace fcae {
+
+namespace {
+
+Slice Key(int i, char* buffer) {
+  EncodeFixed32(buffer, i);
+  return Slice(buffer, sizeof(uint32_t));
+}
+
+}  // namespace
+
+class BloomTest : public testing::Test {
+ public:
+  BloomTest() : policy_(NewBloomFilterPolicy(10)) {}
+
+  void Reset() {
+    keys_.clear();
+    filter_.clear();
+  }
+
+  void Add(const Slice& s) { keys_.push_back(s.ToString()); }
+
+  void Build() {
+    std::vector<Slice> key_slices;
+    for (size_t i = 0; i < keys_.size(); i++) {
+      key_slices.push_back(Slice(keys_[i]));
+    }
+    filter_.clear();
+    policy_->CreateFilter(key_slices.data(),
+                          static_cast<int>(key_slices.size()), &filter_);
+    keys_.clear();
+  }
+
+  size_t FilterSize() const { return filter_.size(); }
+
+  bool Matches(const Slice& s) {
+    if (!keys_.empty()) {
+      Build();
+    }
+    return policy_->KeyMayMatch(s, filter_);
+  }
+
+  double FalsePositiveRate() {
+    char buffer[sizeof(int)];
+    int result = 0;
+    for (int i = 0; i < 10000; i++) {
+      if (Matches(Key(i + 1000000000, buffer))) {
+        result++;
+      }
+    }
+    return result / 10000.0;
+  }
+
+ private:
+  std::unique_ptr<const FilterPolicy> policy_;
+  std::string filter_;
+  std::vector<std::string> keys_;
+};
+
+TEST_F(BloomTest, EmptyFilter) {
+  ASSERT_FALSE(Matches("hello"));
+  ASSERT_FALSE(Matches("world"));
+}
+
+TEST_F(BloomTest, Small) {
+  Add("hello");
+  Add("world");
+  ASSERT_TRUE(Matches("hello"));
+  ASSERT_TRUE(Matches("world"));
+  ASSERT_FALSE(Matches("x"));
+  ASSERT_FALSE(Matches("foo"));
+}
+
+namespace {
+int NextLength(int length) {
+  if (length < 10) {
+    length += 1;
+  } else if (length < 100) {
+    length += 10;
+  } else if (length < 1000) {
+    length += 100;
+  } else {
+    length += 1000;
+  }
+  return length;
+}
+}  // namespace
+
+TEST_F(BloomTest, VaryingLengths) {
+  char buffer[sizeof(int)];
+
+  int mediocre_filters = 0;
+  int good_filters = 0;
+
+  for (int length = 1; length <= 10000; length = NextLength(length)) {
+    Reset();
+    for (int i = 0; i < length; i++) {
+      Add(Key(i, buffer));
+    }
+    Build();
+
+    ASSERT_LE(FilterSize(), static_cast<size_t>((length * 10 / 8) + 40))
+        << length;
+
+    // All added keys must match.
+    for (int i = 0; i < length; i++) {
+      ASSERT_TRUE(Matches(Key(i, buffer)))
+          << "Length " << length << "; key " << i;
+    }
+
+    // Check false positive rate.
+    double rate = FalsePositiveRate();
+    ASSERT_LE(rate, 0.04);  // Must not be over 4%.
+    if (rate > 0.0125) {
+      mediocre_filters++;  // Allowed, but not too often.
+    } else {
+      good_filters++;
+    }
+  }
+  ASSERT_LE(mediocre_filters, good_filters / 5);
+}
+
+TEST_F(BloomTest, NoFalseNegativesOnStringKeys) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; i++) {
+    keys.push_back("user_key_" + std::to_string(i * 7919));
+  }
+  for (const auto& k : keys) {
+    Add(k);
+  }
+  Build();
+  for (const auto& k : keys) {
+    ASSERT_TRUE(Matches(k)) << k;
+  }
+}
+
+}  // namespace fcae

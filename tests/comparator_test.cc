@@ -1,0 +1,62 @@
+#include "util/comparator.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+
+TEST(Comparator, Bytewise) {
+  const Comparator* cmp = BytewiseComparator();
+  ASSERT_LT(cmp->Compare("abc", "abd"), 0);
+  ASSERT_GT(cmp->Compare("abd", "abc"), 0);
+  ASSERT_EQ(cmp->Compare("abc", "abc"), 0);
+  ASSERT_LT(cmp->Compare("ab", "abc"), 0);
+}
+
+TEST(Comparator, Name) {
+  ASSERT_STREQ("fcae.BytewiseComparator", BytewiseComparator()->Name());
+}
+
+TEST(Comparator, FindShortestSeparator) {
+  const Comparator* cmp = BytewiseComparator();
+
+  std::string start = "abcdefghij";
+  cmp->FindShortestSeparator(&start, "abzzzzzzzz");
+  // Must remain >= original start and < limit, and be shorter.
+  ASSERT_GE(cmp->Compare(start, "abcdefghij"), 0);
+  ASSERT_LT(cmp->Compare(start, "abzzzzzzzz"), 0);
+  ASSERT_LE(start.size(), 10u);
+
+  // Prefix case: must not change.
+  start = "abc";
+  cmp->FindShortestSeparator(&start, "abcdef");
+  ASSERT_EQ("abc", start);
+
+  // Adjacent bytes: cannot shorten.
+  start = "abc1";
+  cmp->FindShortestSeparator(&start, "abc2");
+  ASSERT_GE(cmp->Compare(start, "abc1"), 0);
+  ASSERT_LT(cmp->Compare(start, "abc2"), 0);
+}
+
+TEST(Comparator, FindShortSuccessor) {
+  const Comparator* cmp = BytewiseComparator();
+
+  std::string key = "abcd";
+  cmp->FindShortSuccessor(&key);
+  ASSERT_GT(cmp->Compare(key, "abcd"), 0);
+  ASSERT_LE(key.size(), 4u);
+
+  // All-0xff keys cannot be incremented.
+  key = std::string(4, static_cast<char>(0xff));
+  std::string original = key;
+  cmp->FindShortSuccessor(&key);
+  ASSERT_EQ(original, key);
+
+  // 0xff prefix followed by incrementable byte.
+  key = std::string(1, static_cast<char>(0xff)) + "a";
+  cmp->FindShortSuccessor(&key);
+  ASSERT_GT(cmp->Compare(key, std::string(1, static_cast<char>(0xff)) + "a"),
+            0);
+}
+
+}  // namespace fcae

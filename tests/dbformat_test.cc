@@ -1,0 +1,150 @@
+#include "lsm/dbformat.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+
+static std::string IKey(const std::string& user_key, uint64_t seq,
+                        ValueType vt) {
+  std::string encoded;
+  AppendInternalKey(&encoded, ParsedInternalKey(user_key, seq, vt));
+  return encoded;
+}
+
+static std::string Shorten(const std::string& s, const std::string& l) {
+  std::string result = s;
+  InternalKeyComparator(BytewiseComparator()).FindShortestSeparator(&result, l);
+  return result;
+}
+
+static std::string ShortSuccessor(const std::string& s) {
+  std::string result = s;
+  InternalKeyComparator(BytewiseComparator()).FindShortSuccessor(&result);
+  return result;
+}
+
+static void TestKey(const std::string& key, uint64_t seq, ValueType vt) {
+  std::string encoded = IKey(key, seq, vt);
+
+  Slice in(encoded);
+  ParsedInternalKey decoded("", 0, kTypeValue);
+
+  ASSERT_TRUE(ParseInternalKey(in, &decoded));
+  ASSERT_EQ(key, decoded.user_key.ToString());
+  ASSERT_EQ(seq, decoded.sequence);
+  ASSERT_EQ(vt, decoded.type);
+
+  ASSERT_TRUE(!ParseInternalKey(Slice("bar"), &decoded));
+}
+
+TEST(FormatTest, InternalKey_EncodeDecode) {
+  const char* keys[] = {"", "k", "hello", "longggggggggggggggggggggg"};
+  const uint64_t seq[] = {1,
+                          2,
+                          3,
+                          (1ull << 8) - 1,
+                          1ull << 8,
+                          (1ull << 8) + 1,
+                          (1ull << 16) - 1,
+                          1ull << 16,
+                          (1ull << 16) + 1,
+                          (1ull << 32) - 1,
+                          1ull << 32,
+                          (1ull << 32) + 1};
+  for (unsigned int k = 0; k < sizeof(keys) / sizeof(keys[0]); k++) {
+    for (unsigned int s = 0; s < sizeof(seq) / sizeof(seq[0]); s++) {
+      TestKey(keys[k], seq[s], kTypeValue);
+      TestKey("hello", 1, kTypeDeletion);
+    }
+  }
+}
+
+TEST(FormatTest, InternalKey_DecodeFromEmpty) {
+  InternalKey internal_key;
+  ASSERT_TRUE(!internal_key.DecodeFrom(""));
+}
+
+TEST(FormatTest, InternalKeyOrdering) {
+  InternalKeyComparator icmp(BytewiseComparator());
+
+  // Same user key: larger sequence sorts first (is "smaller").
+  ASSERT_LT(icmp.Compare(IKey("a", 100, kTypeValue), IKey("a", 99, kTypeValue)),
+            0);
+  // Different user keys: user-key order dominates.
+  ASSERT_LT(icmp.Compare(IKey("a", 1, kTypeValue), IKey("b", 100, kTypeValue)),
+            0);
+  // Same user key and sequence: value sorts before deletion (type desc).
+  ASSERT_LT(
+      icmp.Compare(IKey("a", 5, kTypeValue), IKey("a", 5, kTypeDeletion)), 0);
+}
+
+TEST(FormatTest, MarkFieldPacking) {
+  // The paper's "mark fields" footnote: L_key = 16 real + 8 mark. Verify
+  // that the trailing 8 bytes encode (seq << 8) | type.
+  std::string k = IKey("0123456789abcdef", 0x123456, kTypeValue);
+  ASSERT_EQ(24u, k.size());
+  ASSERT_EQ((0x123456ull << 8) | kTypeValue, ExtractMark(k));
+  ASSERT_EQ("0123456789abcdef", ExtractUserKey(k).ToString());
+}
+
+TEST(FormatTest, InternalKeyShortSeparator) {
+  // When user keys are same.
+  ASSERT_EQ(IKey("foo", 100, kTypeValue),
+            Shorten(IKey("foo", 100, kTypeValue), IKey("foo", 99, kTypeValue)));
+  ASSERT_EQ(
+      IKey("foo", 100, kTypeValue),
+      Shorten(IKey("foo", 100, kTypeValue), IKey("foo", 101, kTypeValue)));
+  ASSERT_EQ(
+      IKey("foo", 100, kTypeValue),
+      Shorten(IKey("foo", 100, kTypeValue), IKey("foo", 100, kTypeValue)));
+
+  // When user keys are misordered.
+  ASSERT_EQ(IKey("foo", 100, kTypeValue),
+            Shorten(IKey("foo", 100, kTypeValue), IKey("bar", 99, kTypeValue)));
+
+  // When user keys are different, but correctly ordered.
+  ASSERT_EQ(
+      IKey("g", kMaxSequenceNumber, kValueTypeForSeek),
+      Shorten(IKey("foo", 100, kTypeValue), IKey("hello", 200, kTypeValue)));
+
+  // When start user key is prefix of limit user key.
+  ASSERT_EQ(
+      IKey("foo", 100, kTypeValue),
+      Shorten(IKey("foo", 100, kTypeValue), IKey("foobar", 200, kTypeValue)));
+
+  // When limit user key is prefix of start user key.
+  ASSERT_EQ(
+      IKey("foobar", 100, kTypeValue),
+      Shorten(IKey("foobar", 100, kTypeValue), IKey("foo", 200, kTypeValue)));
+}
+
+TEST(FormatTest, InternalKeyShortestSuccessor) {
+  ASSERT_EQ(IKey("g", kMaxSequenceNumber, kValueTypeForSeek),
+            ShortSuccessor(IKey("foo", 100, kTypeValue)));
+  ASSERT_EQ(IKey("\xff\xff", 100, kTypeValue),
+            ShortSuccessor(IKey("\xff\xff", 100, kTypeValue)));
+}
+
+TEST(FormatTest, LookupKey) {
+  LookupKey lkey("user_key", 42);
+  ASSERT_EQ("user_key", lkey.user_key().ToString());
+  Slice ikey = lkey.internal_key();
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  ASSERT_EQ("user_key", parsed.user_key.ToString());
+  ASSERT_EQ(42u, parsed.sequence);
+
+  // Memtable key is length-prefixed internal key.
+  Slice mkey = lkey.memtable_key();
+  uint32_t len;
+  const char* p = GetVarint32Ptr(mkey.data(), mkey.data() + 5, &len);
+  ASSERT_NE(nullptr, p);
+  ASSERT_EQ(ikey.size(), len);
+
+  // Long keys take the heap path.
+  std::string long_key(500, 'k');
+  LookupKey lkey2(long_key, 7);
+  ASSERT_EQ(long_key, lkey2.user_key().ToString());
+}
+
+}  // namespace fcae

@@ -1,0 +1,195 @@
+// Property-based equivalence fuzzing: for randomized workloads (random
+// key distributions, overlaps, deletions, duplicate user keys across
+// runs, snapshots, multi-table runs, random engine configurations) the
+// cycle-level engine, the software compactor and a std::map-based model
+// must agree exactly.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpga/compaction_engine.h"
+#include "fpga_test_util.h"
+#include "gtest/gtest.h"
+#include "host/cpu_compactor.h"
+#include "util/mem_env.h"
+#include "util/random.h"
+
+namespace fcae {
+namespace fpga {
+
+using fpga_test::BuildDeviceInput;
+using fpga_test::FlattenOutput;
+using fpga_test::TestKv;
+
+namespace {
+
+/// Generates one sorted run with random keys/values; sequences are drawn
+/// from [seq_base, seq_base + count) so runs have distinct sequence
+/// ranges (as distinct SSTables always do).
+std::vector<TestKv> RandomRun(Random* rnd, uint64_t seq_base, int max_records,
+                              int key_space) {
+  std::map<std::string, TestKv> sorted;  // Dedup user keys within a run.
+  const int n = 1 + rnd->Uniform(max_records);
+  uint64_t seq = seq_base;
+  for (int i = 0; i < n; i++) {
+    TestKv kv;
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08u", rnd->Uniform(key_space));
+    kv.user_key = key;
+    kv.sequence = seq++;
+    kv.type = rnd->OneIn(5) ? kTypeDeletion : kTypeValue;
+    if (kv.type == kTypeValue) {
+      kv.value.assign(1 + rnd->Uniform(600),
+                      static_cast<char>('a' + rnd->Uniform(26)));
+    }
+    sorted[kv.user_key] = kv;  // Later sequence wins inside the run.
+  }
+  std::vector<TestKv> run;
+  for (auto& kv : sorted) run.push_back(std::move(kv.second));
+  return run;
+}
+
+/// The reference semantics: merge all records, keep per user key every
+/// version above the snapshot plus the newest at-or-below it; drop
+/// deletion markers at/below the snapshot only when drop_deletions.
+std::vector<std::pair<std::string, std::string>> ModelMerge(
+    const std::vector<std::vector<TestKv>>& runs, uint64_t snapshot,
+    bool drop_deletions) {
+  // Collect all (internal key -> value) sorted by user key asc, seq desc.
+  struct Entry {
+    TestKv kv;
+  };
+  std::map<std::pair<std::string, uint64_t>, TestKv> all;  // (ukey, ~seq)
+  for (const auto& run : runs) {
+    for (const TestKv& kv : run) {
+      all[{kv.user_key, ~kv.sequence}] = kv;
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> result;
+  std::string current_key;
+  bool has_current = false;
+  uint64_t last_seq = kMaxSequenceNumber;
+  for (auto& [key_pair, kv] : all) {
+    if (!has_current || kv.user_key != current_key) {
+      current_key = kv.user_key;
+      has_current = true;
+      last_seq = kMaxSequenceNumber;
+    }
+    bool drop = false;
+    if (last_seq <= snapshot) {
+      drop = true;
+    } else if (kv.type == kTypeDeletion && kv.sequence <= snapshot &&
+               drop_deletions) {
+      drop = true;
+    }
+    last_seq = kv.sequence;
+    if (!drop) {
+      result.emplace_back(kv.InternalKey(), kv.value);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+class EnginePropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(EnginePropertyTest, EngineEqualsCpuEqualsModel) {
+  Random rnd(GetParam() * 7919);
+  std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+  Options options;
+  options.env = env.get();
+
+  // Random shape.
+  const int num_runs = 1 + rnd.Uniform(6);
+  const bool drop_deletions = rnd.OneIn(2);
+  const uint64_t snapshot = rnd.OneIn(3)
+                                ? 1000 + rnd.Uniform(5000)  // Pins versions.
+                                : (1ull << 40);             // No snapshots.
+
+  std::vector<std::vector<TestKv>> runs;
+  std::vector<std::unique_ptr<DeviceInput>> inputs;
+  for (int r = 0; r < num_runs; r++) {
+    // Multi-table runs sometimes: split one sorted run across tables.
+    auto run = RandomRun(&rnd, 1000 * (r + 1), 400, 300);
+    runs.push_back(run);
+    std::vector<std::vector<TestKv>> tables;
+    if (run.size() > 10 && rnd.OneIn(3)) {
+      size_t split = run.size() / 2;
+      tables.emplace_back(run.begin(), run.begin() + split);
+      tables.emplace_back(run.begin() + split, run.end());
+    } else {
+      tables.push_back(run);
+    }
+    auto input = std::make_unique<DeviceInput>();
+    ASSERT_TRUE(
+        BuildDeviceInput(env.get(), options, tables, r, input.get()).ok());
+    inputs.push_back(std::move(input));
+  }
+
+  std::vector<const DeviceInput*> ptrs;
+  for (auto& in : inputs) ptrs.push_back(in.get());
+
+  // Random engine configuration.
+  EngineConfig config;
+  config.num_inputs = num_runs < 2 ? 2 : num_runs;
+  const int widths[] = {8, 16, 32, 64};
+  config.value_width = widths[rnd.Uniform(4)];
+  config.input_width = widths[rnd.Uniform(4)];
+  config.compress_output = !rnd.OneIn(4);
+  if (rnd.OneIn(4)) {
+    config.sstable_threshold = 32 * 1024;  // Force table rollovers.
+  }
+  const OptLevel levels[] = {OptLevel::kBasic, OptLevel::kBlockSeparation,
+                             OptLevel::kKeyValueSeparation,
+                             OptLevel::kFullBandwidth};
+  config.opt_level = levels[rnd.Uniform(4)];
+
+  // 1. Engine.
+  DeviceOutput engine_out;
+  CompactionEngine engine(config, ptrs, snapshot, drop_deletions,
+                          &engine_out);
+  ASSERT_TRUE(engine.Run().ok());
+  std::vector<std::pair<std::string, std::string>> engine_entries;
+  ASSERT_TRUE(FlattenOutput(engine_out, &engine_entries).ok());
+
+  // 2. Software compactor (same thresholds).
+  host::CpuCompactorOptions cpu_options;
+  cpu_options.smallest_snapshot = snapshot;
+  cpu_options.drop_deletions = drop_deletions;
+  cpu_options.compress_output = config.compress_output;
+  cpu_options.sstable_threshold = config.sstable_threshold;
+  cpu_options.data_block_threshold = config.data_block_threshold;
+  DeviceOutput cpu_out;
+  host::CpuCompactStats cpu_stats;
+  ASSERT_TRUE(
+      host::CpuCompactImages(ptrs, cpu_options, &cpu_out, &cpu_stats).ok());
+  std::vector<std::pair<std::string, std::string>> cpu_entries;
+  ASSERT_TRUE(FlattenOutput(cpu_out, &cpu_entries).ok());
+
+  // 3. Model.
+  auto model_entries = ModelMerge(runs, snapshot, drop_deletions);
+
+  ASSERT_EQ(model_entries, cpu_entries) << "cpu diverged from model";
+  ASSERT_EQ(model_entries, engine_entries) << "engine diverged from model";
+
+  // Byte-level equality of the produced tables across the two real
+  // executors.
+  ASSERT_EQ(cpu_out.tables.size(), engine_out.tables.size());
+  for (size_t i = 0; i < cpu_out.tables.size(); i++) {
+    ASSERT_EQ(cpu_out.tables[i].data_memory,
+              engine_out.tables[i].data_memory);
+    ASSERT_EQ(cpu_out.tables[i].smallest_key,
+              engine_out.tables[i].smallest_key);
+    ASSERT_EQ(cpu_out.tables[i].largest_key,
+              engine_out.tables[i].largest_key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest, testing::Range(1, 33));
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,237 @@
+#include "util/env.h"
+
+#include <atomic>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "util/mem_env.h"
+
+namespace fcae {
+
+// The same behavioural suite runs against both Env implementations.
+class EnvTest : public testing::TestWithParam<bool> {
+ public:
+  EnvTest() {
+    if (GetParam()) {
+      owned_env_.reset(NewMemEnv(Env::Default()));
+      env_ = owned_env_.get();
+      dir_ = "/memdir";
+    } else {
+      env_ = Env::Default();
+      dir_ = "/tmp/fcae_env_test";
+    }
+    env_->CreateDir(dir_);
+  }
+
+  ~EnvTest() override {
+    std::vector<std::string> children;
+    if (env_->GetChildren(dir_, &children).ok()) {
+      for (const auto& c : children) {
+        env_->RemoveFile(dir_ + "/" + c);
+      }
+    }
+    env_->RemoveDir(dir_);
+  }
+
+  Env* env_;
+  std::string dir_;
+
+ private:
+  std::unique_ptr<Env> owned_env_;
+};
+
+TEST_P(EnvTest, ReadWrite) {
+  const std::string fname = dir_ + "/f";
+  ASSERT_TRUE(WriteStringToFile(env_, "hello world", fname).ok());
+
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  ASSERT_EQ("hello world", data);
+
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize(fname, &size).ok());
+  ASSERT_EQ(11u, size);
+}
+
+TEST_P(EnvTest, MissingFile) {
+  SequentialFile* f = nullptr;
+  ASSERT_FALSE(env_->NewSequentialFile(dir_ + "/nonexistent", &f).ok());
+  ASSERT_EQ(nullptr, f);
+  ASSERT_FALSE(env_->FileExists(dir_ + "/nonexistent"));
+}
+
+TEST_P(EnvTest, RandomAccess) {
+  const std::string fname = dir_ + "/ra";
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", fname).ok());
+
+  RandomAccessFile* file;
+  ASSERT_TRUE(env_->NewRandomAccessFile(fname, &file).ok());
+  std::unique_ptr<RandomAccessFile> guard(file);
+
+  char scratch[10];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, 4, &result, scratch).ok());
+  ASSERT_EQ("3456", result.ToString());
+
+  // Read past the end returns a short (or empty) result, not an error,
+  // for the mem env; posix pread behaves the same.
+  Status s = file->Read(8, 10, &result, scratch);
+  if (s.ok()) {
+    ASSERT_EQ("89", result.ToString());
+  }
+}
+
+TEST_P(EnvTest, SequentialReadAndSkip) {
+  const std::string fname = dir_ + "/seq";
+  ASSERT_TRUE(WriteStringToFile(env_, "abcdefghij", fname).ok());
+
+  SequentialFile* file;
+  ASSERT_TRUE(env_->NewSequentialFile(fname, &file).ok());
+  std::unique_ptr<SequentialFile> guard(file);
+
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  ASSERT_EQ("abc", result.ToString());
+  ASSERT_TRUE(file->Skip(2).ok());
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  ASSERT_EQ("fgh", result.ToString());
+}
+
+TEST_P(EnvTest, Rename) {
+  const std::string src = dir_ + "/src";
+  const std::string dst = dir_ + "/dst";
+  ASSERT_TRUE(WriteStringToFile(env_, "payload", src).ok());
+  ASSERT_TRUE(env_->RenameFile(src, dst).ok());
+  ASSERT_FALSE(env_->FileExists(src));
+  ASSERT_TRUE(env_->FileExists(dst));
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, dst, &data).ok());
+  ASSERT_EQ("payload", data);
+}
+
+TEST_P(EnvTest, RenameOverwritesTarget) {
+  const std::string src = dir_ + "/src2";
+  const std::string dst = dir_ + "/dst2";
+  ASSERT_TRUE(WriteStringToFile(env_, "new", src).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "old", dst).ok());
+  ASSERT_TRUE(env_->RenameFile(src, dst).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, dst, &data).ok());
+  ASSERT_EQ("new", data);
+}
+
+TEST_P(EnvTest, GetChildren) {
+  ASSERT_TRUE(WriteStringToFile(env_, "1", dir_ + "/a").ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "2", dir_ + "/b").ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  int found = 0;
+  for (const auto& c : children) {
+    if (c == "a" || c == "b") found++;
+  }
+  ASSERT_EQ(2, found);
+}
+
+TEST_P(EnvTest, RemoveFile) {
+  const std::string fname = dir_ + "/todelete";
+  ASSERT_TRUE(WriteStringToFile(env_, "x", fname).ok());
+  ASSERT_TRUE(env_->FileExists(fname));
+  ASSERT_TRUE(env_->RemoveFile(fname).ok());
+  ASSERT_FALSE(env_->FileExists(fname));
+  ASSERT_FALSE(env_->RemoveFile(fname).ok());
+}
+
+TEST_P(EnvTest, AppendableFile) {
+  const std::string fname = dir_ + "/appendable";
+  {
+    WritableFile* f;
+    ASSERT_TRUE(env_->NewAppendableFile(fname, &f).ok());
+    std::unique_ptr<WritableFile> guard(f);
+    ASSERT_TRUE(f->Append("hello").ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  {
+    WritableFile* f;
+    ASSERT_TRUE(env_->NewAppendableFile(fname, &f).ok());
+    std::unique_ptr<WritableFile> guard(f);
+    ASSERT_TRUE(f->Append(" world").ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  ASSERT_EQ("hello world", data);
+}
+
+TEST_P(EnvTest, WritableFileTruncates) {
+  const std::string fname = dir_ + "/trunc";
+  ASSERT_TRUE(WriteStringToFile(env_, "a long first version", fname).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "short", fname).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  ASSERT_EQ("short", data);
+}
+
+TEST_P(EnvTest, LargeWrite) {
+  // Exercise the posix write buffer (64 KB) boundary.
+  const std::string fname = dir_ + "/large";
+  std::string payload;
+  for (int i = 0; i < 200000; i++) {
+    payload.push_back(static_cast<char>('a' + (i % 26)));
+  }
+  ASSERT_TRUE(WriteStringToFile(env_, payload, fname).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  ASSERT_EQ(payload, data);
+}
+
+namespace {
+struct ScheduleState {
+  std::atomic<int> counter{0};
+};
+void Increment(void* arg) {
+  static_cast<ScheduleState*>(arg)->counter.fetch_add(1);
+}
+}  // namespace
+
+TEST_P(EnvTest, Schedule) {
+  ScheduleState state;
+  for (int i = 0; i < 10; i++) {
+    env_->Schedule(&Increment, &state);
+  }
+  // Background queue is async; poll with a deadline.
+  for (int i = 0; i < 1000 && state.counter.load() < 10; i++) {
+    env_->SleepForMicroseconds(1000);
+  }
+  ASSERT_EQ(10, state.counter.load());
+}
+
+TEST_P(EnvTest, FileLocking) {
+  const std::string lockname = dir_ + "/LOCK";
+  FileLock* lock1 = nullptr;
+  ASSERT_TRUE(env_->LockFile(lockname, &lock1).ok());
+  ASSERT_NE(nullptr, lock1);
+
+  // Second lock on the same file fails while held.
+  FileLock* lock2 = nullptr;
+  ASSERT_FALSE(env_->LockFile(lockname, &lock2).ok());
+  ASSERT_EQ(nullptr, lock2);
+
+  // After unlocking it can be re-acquired.
+  ASSERT_TRUE(env_->UnlockFile(lock1).ok());
+  ASSERT_TRUE(env_->LockFile(lockname, &lock2).ok());
+  ASSERT_TRUE(env_->UnlockFile(lock2).ok());
+  env_->RemoveFile(lockname);
+}
+
+TEST_P(EnvTest, NowMicrosAdvances) {
+  uint64_t a = env_->NowMicros();
+  env_->SleepForMicroseconds(1000);
+  uint64_t b = env_->NowMicros();
+  ASSERT_GT(b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Posix, EnvTest, testing::Values(false));
+INSTANTIATE_TEST_SUITE_P(Mem, EnvTest, testing::Values(true));
+
+}  // namespace fcae

@@ -1,0 +1,107 @@
+#include "lsm/filename.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+
+TEST(FileNameTest, Parse) {
+  Slice db;
+  FileType type;
+  uint64_t number;
+
+  // Successful parses.
+  static const struct {
+    const char* fname;
+    uint64_t number;
+    FileType type;
+  } cases[] = {
+      {"100.log", 100, FileType::kLogFile},
+      {"0.log", 0, FileType::kLogFile},
+      {"0.sst", 0, FileType::kTableFile},
+      {"0.ldb", 0, FileType::kTableFile},
+      {"CURRENT", 0, FileType::kCurrentFile},
+      {"LOCK", 0, FileType::kDBLockFile},
+      {"MANIFEST-2", 2, FileType::kDescriptorFile},
+      {"MANIFEST-7", 7, FileType::kDescriptorFile},
+      {"LOG", 0, FileType::kInfoLogFile},
+      {"LOG.old", 0, FileType::kInfoLogFile},
+      {"18446744073709551615.log", 18446744073709551615ull,
+       FileType::kLogFile},
+  };
+  for (const auto& c : cases) {
+    std::string f = c.fname;
+    ASSERT_TRUE(ParseFileName(f, &number, &type)) << f;
+    ASSERT_EQ(c.type, type) << f;
+    ASSERT_EQ(c.number, number) << f;
+  }
+
+  // Errors.
+  static const char* errors[] = {"",
+                                 "foo",
+                                 "foo-dx-100.log",
+                                 ".log",
+                                 "",
+                                 "manifest",
+                                 "CURREN",
+                                 "CURRENTX",
+                                 "MANIFES",
+                                 "MANIFEST",
+                                 "MANIFEST-",
+                                 "XMANIFEST-3",
+                                 "MANIFEST-3x",
+                                 "LOC",
+                                 "LOCKx",
+                                 "LO",
+                                 "LOGx",
+                                 "100",
+                                 "100.",
+                                 "100.lop"};
+  for (const char* e : errors) {
+    std::string f = e;
+    ASSERT_FALSE(ParseFileName(f, &number, &type)) << f;
+  }
+}
+
+TEST(FileNameTest, Construction) {
+  uint64_t number;
+  FileType type;
+  std::string fname;
+
+  fname = CurrentFileName("foo");
+  ASSERT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(0u, number);
+  ASSERT_EQ(FileType::kCurrentFile, type);
+
+  fname = LockFileName("foo");
+  ASSERT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(0u, number);
+  ASSERT_EQ(FileType::kDBLockFile, type);
+
+  fname = LogFileName("foo", 192);
+  ASSERT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(192u, number);
+  ASSERT_EQ(FileType::kLogFile, type);
+
+  fname = TableFileName("bar", 200);
+  ASSERT_EQ("bar/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(200u, number);
+  ASSERT_EQ(FileType::kTableFile, type);
+
+  fname = DescriptorFileName("bar", 100);
+  ASSERT_EQ("bar/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(100u, number);
+  ASSERT_EQ(FileType::kDescriptorFile, type);
+
+  fname = TempFileName("tmp", 999);
+  ASSERT_EQ("tmp/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  ASSERT_EQ(999u, number);
+  ASSERT_EQ(FileType::kTempFile, type);
+}
+
+}  // namespace fcae

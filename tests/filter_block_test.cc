@@ -1,0 +1,150 @@
+#include "table/filter_block.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/filter_policy.h"
+
+namespace fcae {
+
+// A trivial deterministic filter for structural tests: records key
+// hashes verbatim.
+class TestHashFilter : public FilterPolicy {
+ public:
+  const char* Name() const override { return "TestHashFilter"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    for (int i = 0; i < n; i++) {
+      uint32_t h = crc32c::Value(keys[i].data(), keys[i].size());
+      PutFixed32(dst, h);
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    uint32_t h = crc32c::Value(key.data(), key.size());
+    for (size_t i = 0; i + 4 <= filter.size(); i += 4) {
+      if (h == DecodeFixed32(filter.data() + i)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class FilterBlockTest : public testing::Test {
+ public:
+  TestHashFilter policy_;
+};
+
+TEST_F(FilterBlockTest, EmptyBuilder) {
+  FilterBlockBuilder builder(&policy_);
+  Slice block = builder.Finish();
+  ASSERT_EQ("\\x00\\x00\\x00\\x00\\x0b",
+            [&] {
+              std::string s;
+              for (char c : block.ToStringView()) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\x%02x",
+                              static_cast<unsigned char>(c));
+                s += buf;
+              }
+              return s;
+            }());
+  FilterBlockReader reader(&policy_, block);
+  ASSERT_TRUE(reader.KeyMayMatch(0, "foo"));
+  ASSERT_TRUE(reader.KeyMayMatch(100000, "foo"));
+}
+
+TEST_F(FilterBlockTest, SingleChunk) {
+  FilterBlockBuilder builder(&policy_);
+  builder.StartBlock(100);
+  builder.AddKey("foo");
+  builder.AddKey("bar");
+  builder.AddKey("box");
+  builder.StartBlock(200);
+  builder.AddKey("box");
+  builder.StartBlock(300);
+  builder.AddKey("hello");
+  Slice block = builder.Finish();
+  FilterBlockReader reader(&policy_, block);
+  ASSERT_TRUE(reader.KeyMayMatch(100, "foo"));
+  ASSERT_TRUE(reader.KeyMayMatch(100, "bar"));
+  ASSERT_TRUE(reader.KeyMayMatch(100, "box"));
+  ASSERT_TRUE(reader.KeyMayMatch(100, "hello"));
+  ASSERT_TRUE(reader.KeyMayMatch(100, "foo"));
+  ASSERT_FALSE(reader.KeyMayMatch(100, "missing"));
+  ASSERT_FALSE(reader.KeyMayMatch(100, "other"));
+}
+
+TEST_F(FilterBlockTest, MultiChunk) {
+  FilterBlockBuilder builder(&policy_);
+
+  // First filter
+  builder.StartBlock(0);
+  builder.AddKey("foo");
+  builder.StartBlock(2000);
+  builder.AddKey("bar");
+
+  // Second filter
+  builder.StartBlock(3100);
+  builder.AddKey("box");
+
+  // Third filter is empty
+
+  // Last filter
+  builder.StartBlock(9000);
+  builder.AddKey("box");
+  builder.AddKey("hello");
+
+  Slice block = builder.Finish();
+  FilterBlockReader reader(&policy_, block);
+
+  // Check first filter
+  ASSERT_TRUE(reader.KeyMayMatch(0, "foo"));
+  ASSERT_TRUE(reader.KeyMayMatch(2000, "bar"));
+  ASSERT_FALSE(reader.KeyMayMatch(0, "box"));
+  ASSERT_FALSE(reader.KeyMayMatch(0, "hello"));
+
+  // Check second filter
+  ASSERT_TRUE(reader.KeyMayMatch(3100, "box"));
+  ASSERT_FALSE(reader.KeyMayMatch(3100, "foo"));
+  ASSERT_FALSE(reader.KeyMayMatch(3100, "bar"));
+  ASSERT_FALSE(reader.KeyMayMatch(3100, "hello"));
+
+  // Check third filter (empty)
+  ASSERT_FALSE(reader.KeyMayMatch(4100, "foo"));
+  ASSERT_FALSE(reader.KeyMayMatch(4100, "bar"));
+  ASSERT_FALSE(reader.KeyMayMatch(4100, "box"));
+  ASSERT_FALSE(reader.KeyMayMatch(4100, "hello"));
+
+  // Check last filter
+  ASSERT_TRUE(reader.KeyMayMatch(9000, "box"));
+  ASSERT_TRUE(reader.KeyMayMatch(9000, "hello"));
+  ASSERT_FALSE(reader.KeyMayMatch(9000, "foo"));
+  ASSERT_FALSE(reader.KeyMayMatch(9000, "bar"));
+}
+
+TEST_F(FilterBlockTest, BloomIntegration) {
+  std::unique_ptr<const FilterPolicy> bloom(NewBloomFilterPolicy(10));
+  FilterBlockBuilder builder(bloom.get());
+  builder.StartBlock(0);
+  for (int i = 0; i < 1000; i++) {
+    builder.AddKey("key" + std::to_string(i));
+  }
+  Slice block = builder.Finish();
+  FilterBlockReader reader(bloom.get(), block);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(reader.KeyMayMatch(0, "key" + std::to_string(i)));
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (reader.KeyMayMatch(0, "absent" + std::to_string(i))) {
+      false_positives++;
+    }
+  }
+  ASSERT_LT(false_positives, 40);
+}
+
+}  // namespace fcae

@@ -1,0 +1,105 @@
+#include "fpga/device_memory.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+namespace fpga {
+
+TEST(DeviceMemoryTest, MetaInRoundTrip) {
+  std::vector<SstableDescriptor> tables;
+  for (int i = 0; i < 5; i++) {
+    SstableDescriptor d;
+    d.index_offset = i * 1000;
+    d.index_size = 100 + i;
+    d.data_offset = i * 2000000;
+    d.data_size = 2000000;
+    tables.push_back(d);
+  }
+  std::string encoded;
+  EncodeMetaIn(tables, &encoded);
+
+  std::vector<SstableDescriptor> decoded;
+  ASSERT_TRUE(DecodeMetaIn(encoded, &decoded).ok());
+  ASSERT_EQ(tables.size(), decoded.size());
+  for (size_t i = 0; i < tables.size(); i++) {
+    EXPECT_EQ(tables[i].index_offset, decoded[i].index_offset);
+    EXPECT_EQ(tables[i].index_size, decoded[i].index_size);
+    EXPECT_EQ(tables[i].data_offset, decoded[i].data_offset);
+    EXPECT_EQ(tables[i].data_size, decoded[i].data_size);
+  }
+}
+
+TEST(DeviceMemoryTest, MetaInEmpty) {
+  std::string encoded;
+  EncodeMetaIn({}, &encoded);
+  std::vector<SstableDescriptor> decoded;
+  ASSERT_TRUE(DecodeMetaIn(encoded, &decoded).ok());
+  ASSERT_TRUE(decoded.empty());
+}
+
+TEST(DeviceMemoryTest, MetaInRejectsTruncation) {
+  std::vector<SstableDescriptor> tables(3);
+  tables[0].index_size = 12345678;
+  std::string encoded;
+  EncodeMetaIn(tables, &encoded);
+  for (size_t cut = 1; cut < encoded.size(); cut++) {
+    std::vector<SstableDescriptor> decoded;
+    ASSERT_FALSE(
+        DecodeMetaIn(Slice(encoded.data(), encoded.size() - cut), &decoded)
+            .ok());
+  }
+}
+
+TEST(DeviceMemoryTest, MetaInRejectsTrailingBytes) {
+  std::string encoded;
+  EncodeMetaIn({}, &encoded);
+  encoded.push_back('x');
+  std::vector<SstableDescriptor> decoded;
+  ASSERT_FALSE(DecodeMetaIn(encoded, &decoded).ok());
+}
+
+TEST(DeviceMemoryTest, OutputIndexRoundTrip) {
+  std::vector<OutputIndexEntry> entries;
+  for (int i = 0; i < 10; i++) {
+    OutputIndexEntry e;
+    e.last_key = "key" + std::to_string(i) + std::string(8, '\x01');
+    e.offset = i * 4096;
+    e.size = 4000 + i;
+    entries.push_back(e);
+  }
+  std::string encoded;
+  EncodeOutputIndex(entries, &encoded);
+
+  std::vector<OutputIndexEntry> decoded;
+  ASSERT_TRUE(DecodeOutputIndex(encoded, &decoded).ok());
+  ASSERT_EQ(entries.size(), decoded.size());
+  for (size_t i = 0; i < entries.size(); i++) {
+    EXPECT_EQ(entries[i].last_key, decoded[i].last_key);
+    EXPECT_EQ(entries[i].offset, decoded[i].offset);
+    EXPECT_EQ(entries[i].size, decoded[i].size);
+  }
+}
+
+TEST(DeviceMemoryTest, OutputIndexRejectsGarbage) {
+  std::vector<OutputIndexEntry> decoded;
+  ASSERT_FALSE(DecodeOutputIndex(Slice("\xff\xff\xff", 3), &decoded).ok());
+}
+
+TEST(DeviceMemoryTest, TotalBytesAccounting) {
+  DeviceInput input;
+  input.index_memory = std::string(100, 'i');
+  input.data_memory = std::string(1000, 'd');
+  ASSERT_EQ(1100u, input.TotalBytes());
+
+  DeviceOutput output;
+  DeviceOutputTable t;
+  t.data_memory = std::string(500, 'x');
+  OutputIndexEntry e;
+  e.last_key = "0123456789";
+  t.index_entries.push_back(e);
+  output.tables.push_back(std::move(t));
+  ASSERT_EQ(500u + 10 + 16, output.TotalBytes());
+}
+
+}  // namespace fpga
+}  // namespace fcae

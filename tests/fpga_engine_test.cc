@@ -1,0 +1,352 @@
+#include "fpga/compaction_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "fpga_test_util.h"
+#include "gtest/gtest.h"
+#include "host/cpu_compactor.h"
+#include "util/mem_env.h"
+
+namespace fcae {
+namespace fpga {
+
+using fpga_test::BuildDeviceInput;
+using fpga_test::FlattenOutput;
+using fpga_test::MakeRun;
+using fpga_test::TestKv;
+
+class FpgaEngineTest : public testing::Test {
+ public:
+  FpgaEngineTest() : env_(NewMemEnv(Env::Default())) {
+    options_.env = env_.get();
+    config_.num_inputs = 2;
+    config_.value_width = 16;
+  }
+
+  /// Stages each run as one DeviceInput.
+  void Stage(const std::vector<std::vector<std::vector<TestKv>>>& runs) {
+    inputs_.clear();
+    for (size_t i = 0; i < runs.size(); i++) {
+      auto input = std::make_unique<DeviceInput>();
+      ASSERT_TRUE(BuildDeviceInput(env_.get(), options_, runs[i],
+                                   static_cast<int>(i), input.get())
+                      .ok());
+      inputs_.push_back(std::move(input));
+    }
+  }
+
+  /// Runs the engine over the staged inputs.
+  Status RunEngine(uint64_t snapshot, bool drop_deletions,
+                   DeviceOutput* output, EngineStats* stats) {
+    std::vector<const DeviceInput*> ptrs;
+    for (const auto& in : inputs_) ptrs.push_back(in.get());
+    CompactionEngine engine(config_, ptrs, snapshot, drop_deletions, output);
+    Status s = engine.Run();
+    if (s.ok()) *stats = engine.stats();
+    return s;
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<DeviceInput>> inputs_;
+};
+
+TEST_F(FpgaEngineTest, MergesTwoDisjointRuns) {
+  auto run_a = MakeRun("key", 0, 500, 2, 1000, 64);     // Even keys.
+  auto run_b = MakeRun("key", 1, 500, 2, 2000, 64);     // Odd keys.
+  Stage({{run_a}, {run_b}});
+
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  ASSERT_EQ(1000u, got.size());
+  EXPECT_EQ(1000u, stats.records_in);
+  EXPECT_EQ(1000u, stats.records_out);
+  EXPECT_EQ(0u, stats.records_dropped);
+  EXPECT_GT(stats.cycles, 0u);
+
+  // Sorted by internal key and matching the interleaved expectation.
+  for (size_t i = 1; i < got.size(); i++) {
+    ASSERT_LT(ExtractUserKey(got[i - 1].first).ToString(),
+              ExtractUserKey(got[i].first).ToString());
+  }
+}
+
+TEST_F(FpgaEngineTest, DropsSupersededVersions) {
+  // Input A (newer sequence numbers) overwrites keys in input B.
+  auto newer = MakeRun("key", 0, 300, 1, 5000, 32);
+  auto older = MakeRun("key", 0, 300, 1, 1000, 32);
+  Stage({{newer}, {older}});
+
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  ASSERT_EQ(300u, got.size());
+  EXPECT_EQ(600u, stats.records_in);
+  EXPECT_EQ(300u, stats.records_dropped);
+  for (const auto& kv : got) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(kv.first, &parsed));
+    EXPECT_GE(parsed.sequence, 5000u);  // Only the new versions survive.
+  }
+}
+
+TEST_F(FpgaEngineTest, SnapshotPreservesOldVersions) {
+  auto newer = MakeRun("key", 0, 100, 1, 5000, 32);
+  auto older = MakeRun("key", 0, 100, 1, 1000, 32);
+  Stage({{newer}, {older}});
+
+  DeviceOutput output;
+  EngineStats stats;
+  // A snapshot at sequence 3000 pins the old versions.
+  ASSERT_TRUE(RunEngine(3000, true, &output, &stats).ok());
+
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  ASSERT_EQ(200u, got.size());
+  EXPECT_EQ(0u, stats.records_dropped);
+}
+
+TEST_F(FpgaEngineTest, DeletionMarkersDroppedOnlyAtBaseLevel) {
+  auto deletions = MakeRun("key", 0, 200, 1, 5000, 0, kTypeDeletion);
+  auto values = MakeRun("key", 0, 200, 1, 1000, 32);
+
+  {
+    // drop_deletions = true: everything vanishes.
+    Stage({{deletions}, {values}});
+    DeviceOutput output;
+    EngineStats stats;
+    ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+    std::vector<std::pair<std::string, std::string>> got;
+    ASSERT_TRUE(FlattenOutput(output, &got).ok());
+    EXPECT_EQ(0u, got.size());
+    EXPECT_EQ(400u, stats.records_dropped);
+    EXPECT_TRUE(output.tables.empty());
+  }
+  {
+    // drop_deletions = false: markers must survive (deeper levels may
+    // hold the deleted keys).
+    Stage({{deletions}, {values}});
+    DeviceOutput output;
+    EngineStats stats;
+    ASSERT_TRUE(RunEngine(kNoSnapshot, false, &output, &stats).ok());
+    std::vector<std::pair<std::string, std::string>> got;
+    ASSERT_TRUE(FlattenOutput(output, &got).ok());
+    EXPECT_EQ(200u, got.size());  // Markers kept, old values dropped.
+    for (const auto& kv : got) {
+      ParsedInternalKey parsed;
+      ASSERT_TRUE(ParseInternalKey(kv.first, &parsed));
+      EXPECT_EQ(kTypeDeletion, parsed.type);
+    }
+  }
+}
+
+TEST_F(FpgaEngineTest, MultiSstableRunsConcatenate) {
+  // One input made of three 2-MB-ish tables forming one sorted run.
+  std::vector<std::vector<TestKv>> run;
+  run.push_back(MakeRun("key", 0, 400, 1, 100, 128));
+  run.push_back(MakeRun("key", 400, 400, 1, 500, 128));
+  run.push_back(MakeRun("key", 800, 400, 1, 900, 128));
+  auto other = MakeRun("key", 1200, 100, 1, 2000, 128);
+  Stage({run, {other}});
+
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  ASSERT_EQ(1300u, got.size());
+}
+
+TEST_F(FpgaEngineTest, NineInputOverlappingRuns) {
+  config_.num_inputs = 9;
+  config_.input_width = 8;
+  config_.value_width = 8;
+
+  std::vector<std::vector<std::vector<TestKv>>> runs;
+  std::map<std::string, std::string> model;  // user key -> value
+  for (int i = 0; i < 9; i++) {
+    // Overlapping strided runs with distinct sequence ranges.
+    auto run = MakeRun("key", i, 150, 9, 1000 * (i + 1), 64);
+    for (const TestKv& kv : run) {
+      model[kv.user_key] = kv.value;  // All user keys distinct here.
+    }
+    runs.push_back({run});
+  }
+  Stage(runs);
+
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  ASSERT_EQ(model.size(), got.size());
+  auto expected = model.begin();
+  for (const auto& kv : got) {
+    ASSERT_EQ(expected->first, ExtractUserKey(kv.first).ToString());
+    ASSERT_EQ(expected->second, kv.second);
+    ++expected;
+  }
+}
+
+TEST_F(FpgaEngineTest, SstableRolloverAtThreshold) {
+  config_.sstable_threshold = 64 * 1024;  // Small, to force rollover.
+  config_.compress_output = false;        // Keep output sizes predictable.
+  auto run_a = MakeRun("key", 0, 600, 2, 1000, 256);
+  auto run_b = MakeRun("key", 1, 600, 2, 2000, 256);
+  Stage({{run_a}, {run_b}});
+
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+  ASSERT_GT(output.tables.size(), 1u);
+  for (const DeviceOutputTable& t : output.tables) {
+    ASSERT_FALSE(t.index_entries.empty());
+    ASSERT_GT(t.num_entries, 0u);
+    // Bounds recorded for MetaOut must bracket the table contents.
+    ASSERT_LE(t.smallest_key, t.largest_key);
+  }
+  // Tables are ordered and non-overlapping.
+  for (size_t i = 1; i < output.tables.size(); i++) {
+    ASSERT_LT(ExtractUserKey(output.tables[i - 1].largest_key).ToString(),
+              ExtractUserKey(output.tables[i].smallest_key).ToString());
+  }
+}
+
+TEST_F(FpgaEngineTest, MatchesCpuCompactorBitExactly) {
+  auto run_a = MakeRun("alpha", 0, 700, 3, 9000, 100);
+  auto run_b = MakeRun("alpha", 1, 700, 3, 4000, 100);
+  // Some overlapping keys too.
+  auto run_b2 = MakeRun("alpha", 0, 100, 3, 100, 100);
+
+  Stage({{run_a}, {run_b, run_b2}});
+
+  DeviceOutput engine_out;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &engine_out, &stats).ok());
+
+  std::vector<const DeviceInput*> ptrs;
+  for (const auto& in : inputs_) ptrs.push_back(in.get());
+  host::CpuCompactorOptions cpu_options;
+  cpu_options.smallest_snapshot = kNoSnapshot;
+  cpu_options.drop_deletions = true;
+  DeviceOutput cpu_out;
+  host::CpuCompactStats cpu_stats;
+  ASSERT_TRUE(
+      host::CpuCompactImages(ptrs, cpu_options, &cpu_out, &cpu_stats).ok());
+
+  // The two execution paths must produce identical tables: same count,
+  // same data bytes, same index entries, same bounds.
+  ASSERT_EQ(cpu_out.tables.size(), engine_out.tables.size());
+  for (size_t i = 0; i < cpu_out.tables.size(); i++) {
+    EXPECT_EQ(cpu_out.tables[i].data_memory, engine_out.tables[i].data_memory)
+        << "table " << i;
+    EXPECT_EQ(cpu_out.tables[i].smallest_key,
+              engine_out.tables[i].smallest_key);
+    EXPECT_EQ(cpu_out.tables[i].largest_key, engine_out.tables[i].largest_key);
+    ASSERT_EQ(cpu_out.tables[i].index_entries.size(),
+              engine_out.tables[i].index_entries.size());
+  }
+  EXPECT_EQ(cpu_stats.records_in, stats.records_in);
+  EXPECT_EQ(cpu_stats.records_dropped, stats.records_dropped);
+}
+
+TEST_F(FpgaEngineTest, AllOptLevelsProduceIdenticalOutput) {
+  auto run_a = MakeRun("key", 0, 400, 2, 1000, 128);
+  auto run_b = MakeRun("key", 1, 400, 2, 2000, 128);
+
+  std::vector<std::pair<std::string, std::string>> reference;
+  uint64_t prev_cycles = 0;
+  std::vector<uint64_t> cycles_per_level;
+  for (OptLevel level :
+       {OptLevel::kBasic, OptLevel::kBlockSeparation,
+        OptLevel::kKeyValueSeparation, OptLevel::kFullBandwidth}) {
+    config_.opt_level = level;
+    Stage({{run_a}, {run_b}});
+    DeviceOutput output;
+    EngineStats stats;
+    ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+    std::vector<std::pair<std::string, std::string>> got;
+    ASSERT_TRUE(FlattenOutput(output, &got).ok());
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      ASSERT_EQ(reference, got) << "opt level " << static_cast<int>(level);
+    }
+    cycles_per_level.push_back(stats.cycles);
+    (void)prev_cycles;
+  }
+  // Each optimization must speed the engine up (paper Sections V-B..D).
+  for (size_t i = 1; i < cycles_per_level.size(); i++) {
+    EXPECT_LT(cycles_per_level[i], cycles_per_level[i - 1])
+        << "optimization level " << i << " did not improve cycles";
+  }
+}
+
+TEST_F(FpgaEngineTest, EmptyInputsProduceEmptyOutput) {
+  Stage({{std::vector<TestKv>{}}, {std::vector<TestKv>{}}});
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+  EXPECT_TRUE(output.tables.empty());
+  EXPECT_EQ(0u, stats.records_in);
+}
+
+TEST_F(FpgaEngineTest, SingleInputPassThrough) {
+  config_.num_inputs = 2;
+  auto run = MakeRun("key", 0, 300, 1, 64, 64);
+  Stage({{run}});
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  ASSERT_EQ(300u, got.size());
+}
+
+TEST_F(FpgaEngineTest, CorruptStagedDataSurfacesError) {
+  auto run = MakeRun("key", 0, 100, 1, 64, 64);
+  Stage({{run}});
+  // Flip a byte in the staged data region.
+  inputs_[0]->data_memory[20] ^= 0x80;
+  DeviceOutput output;
+  EngineStats stats;
+  Status s = RunEngine(kNoSnapshot, true, &output, &stats);
+  ASSERT_FALSE(s.ok());
+}
+
+// Value-length sweep: the engine must stay functional across the
+// paper's whole parameter range (Table V rows).
+class FpgaEngineValueSweep : public FpgaEngineTest,
+                             public testing::WithParamInterface<int> {};
+
+TEST_P(FpgaEngineValueSweep, MergeCorrectAcrossValueLengths) {
+  const int value_len = GetParam();
+  const int n = 3000000 / (value_len + 24) / 10;  // Keep runtime modest.
+  auto run_a = MakeRun("key", 0, n, 2, 1000, value_len);
+  auto run_b = MakeRun("key", 1, n, 2, 2000, value_len);
+  Stage({{run_a}, {run_b}});
+
+  DeviceOutput output;
+  EngineStats stats;
+  ASSERT_TRUE(RunEngine(kNoSnapshot, true, &output, &stats).ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  ASSERT_EQ(static_cast<size_t>(2 * n), got.size());
+  EXPECT_GT(stats.CompactionSpeedMBps(config_), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueLengths, FpgaEngineValueSweep,
+                         testing::Values(64, 128, 256, 512, 1024, 2048));
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,55 @@
+#include "fpga/sim/fifo.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+namespace fpga {
+
+TEST(FifoTest, PushPopOrder) {
+  Fifo<int> fifo(4);
+  ASSERT_TRUE(fifo.Empty());
+  ASSERT_TRUE(fifo.CanPush());
+  ASSERT_FALSE(fifo.CanPop());
+
+  fifo.Push(1);
+  fifo.Push(2);
+  fifo.Push(3);
+  ASSERT_EQ(3u, fifo.size());
+  ASSERT_EQ(1, fifo.Front());
+  ASSERT_EQ(1, fifo.Pop());
+  ASSERT_EQ(2, fifo.Pop());
+  fifo.Push(4);
+  ASSERT_EQ(3, fifo.Pop());
+  ASSERT_EQ(4, fifo.Pop());
+  ASSERT_TRUE(fifo.Empty());
+}
+
+TEST(FifoTest, CapacityBackpressure) {
+  Fifo<int> fifo(2);
+  fifo.Push(1);
+  fifo.Push(2);
+  ASSERT_TRUE(fifo.Full());
+  ASSERT_FALSE(fifo.CanPush());
+  fifo.Pop();
+  ASSERT_TRUE(fifo.CanPush());
+}
+
+TEST(FifoTest, HighWaterTracksPeakOccupancy) {
+  Fifo<int> fifo(8);
+  for (int i = 0; i < 5; i++) fifo.Push(i);
+  for (int i = 0; i < 5; i++) fifo.Pop();
+  fifo.Push(99);
+  ASSERT_EQ(5u, fifo.HighWater());
+}
+
+TEST(FifoTest, MoveOnlyContents) {
+  Fifo<std::unique_ptr<std::string>> fifo(2);
+  fifo.Push(std::make_unique<std::string>("hello"));
+  auto item = fifo.Pop();
+  ASSERT_EQ("hello", *item);
+}
+
+}  // namespace fpga
+}  // namespace fcae

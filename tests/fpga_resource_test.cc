@@ -1,0 +1,103 @@
+#include "fpga/resource_model.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+namespace fpga {
+
+namespace {
+
+EngineConfig MakeConfig(int n, int win, int v) {
+  EngineConfig config;
+  config.num_inputs = n;
+  config.input_width = win;
+  config.value_width = v;
+  return config;
+}
+
+}  // namespace
+
+// The model must reproduce every synthesis point of Table VII within
+// 2 percentage points.
+TEST(ResourceModelTest, ReproducesTableVII) {
+  struct Row {
+    int n, win, v;
+    double bram, ff, lut;
+  };
+  const Row kTable7[] = {
+      {2, 64, 16, 18, 10, 72}, {2, 64, 8, 17, 9, 63},
+      {9, 64, 8, 35, 27, 206}, {9, 16, 16, 30, 18, 125},
+      {9, 16, 8, 26, 16, 103}, {9, 8, 8, 25, 14, 84},
+  };
+  for (const Row& row : kTable7) {
+    ResourceUsage usage = ResourceModel::Estimate(
+        MakeConfig(row.n, row.win, row.v));
+    EXPECT_NEAR(row.bram, usage.bram_pct, 2.0)
+        << "N=" << row.n << " Win=" << row.win << " V=" << row.v;
+    EXPECT_NEAR(row.ff, usage.ff_pct, 2.0)
+        << "N=" << row.n << " Win=" << row.win << " V=" << row.v;
+    EXPECT_NEAR(row.lut, usage.lut_pct, 2.0)
+        << "N=" << row.n << " Win=" << row.win << " V=" << row.v;
+  }
+}
+
+TEST(ResourceModelTest, NineInputFullWidthDoesNotFit) {
+  // Paper: "the exact same configuration as N=2 is far from acceptable"
+  // (206% LUT).
+  EXPECT_FALSE(ResourceModel::Fits(MakeConfig(9, 64, 8)));
+  EXPECT_FALSE(ResourceModel::Fits(MakeConfig(9, 16, 16)));
+  EXPECT_FALSE(ResourceModel::Fits(MakeConfig(9, 16, 8)));
+  EXPECT_TRUE(ResourceModel::Fits(MakeConfig(9, 8, 8)));
+}
+
+TEST(ResourceModelTest, TwoInputConfigsFit) {
+  EXPECT_TRUE(ResourceModel::Fits(MakeConfig(2, 64, 16)));
+  EXPECT_TRUE(ResourceModel::Fits(MakeConfig(2, 64, 8)));
+  EXPECT_TRUE(ResourceModel::Fits(MakeConfig(2, 64, 64)));
+}
+
+TEST(ResourceModelTest, LargestFittingConfigMatchesPaperChoice) {
+  // The paper picks W_in = 8, V = 8 for the 9-input engine.
+  EngineConfig best = ResourceModel::LargestFittingConfig(9);
+  EXPECT_EQ(9, best.num_inputs);
+  EXPECT_EQ(8, best.input_width);
+  EXPECT_EQ(8, best.value_width);
+  EXPECT_TRUE(ResourceModel::Fits(best));
+
+  // The 2-input engine can afford the full-width configuration.
+  EngineConfig best2 = ResourceModel::LargestFittingConfig(2);
+  EXPECT_EQ(64, best2.input_width);
+  EXPECT_TRUE(ResourceModel::Fits(best2));
+}
+
+TEST(ResourceModelTest, UsageGrowsMonotonically) {
+  // More inputs, wider ports and wider datapaths never shrink area.
+  double prev = 0;
+  for (int n = 1; n <= 10; n++) {
+    double lut = ResourceModel::Estimate(MakeConfig(n, 16, 8)).lut_pct;
+    EXPECT_GT(lut, prev);
+    prev = lut;
+  }
+  prev = 0;
+  for (int win : {8, 16, 32, 64}) {
+    double lut = ResourceModel::Estimate(MakeConfig(4, win, 8)).lut_pct;
+    EXPECT_GT(lut, prev);
+    prev = lut;
+  }
+  prev = 0;
+  for (int v : {8, 16, 32, 64}) {
+    double lut = ResourceModel::Estimate(MakeConfig(4, 64, v)).lut_pct;
+    EXPECT_GT(lut, prev);
+    prev = lut;
+  }
+}
+
+TEST(ResourceModelTest, ToStringMentionsOverflow) {
+  ResourceUsage bad = ResourceModel::Estimate(MakeConfig(9, 64, 8));
+  EXPECT_NE(std::string::npos, bad.ToString().find("does not fit"));
+  ResourceUsage good = ResourceModel::Estimate(MakeConfig(2, 64, 16));
+  EXPECT_EQ(std::string::npos, good.ToString().find("does not fit"));
+}
+
+}  // namespace fpga
+}  // namespace fcae

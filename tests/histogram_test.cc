@@ -1,0 +1,86 @@
+#include "util/histogram.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h;
+  ASSERT_EQ(0u, h.Count());
+  ASSERT_EQ(0.0, h.Average());
+  ASSERT_EQ(0.0, h.StandardDeviation());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  ASSERT_EQ(1u, h.Count());
+  ASSERT_DOUBLE_EQ(42.0, h.Average());
+  ASSERT_DOUBLE_EQ(42.0, h.Min());
+  ASSERT_DOUBLE_EQ(42.0, h.Max());
+}
+
+TEST(Histogram, AverageAndBounds) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) {
+    h.Add(i);
+  }
+  ASSERT_EQ(100u, h.Count());
+  ASSERT_DOUBLE_EQ(50.5, h.Average());
+  ASSERT_DOUBLE_EQ(1.0, h.Min());
+  ASSERT_DOUBLE_EQ(100.0, h.Max());
+}
+
+TEST(Histogram, MedianApproximation) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) {
+    h.Add(i);
+  }
+  double median = h.Median();
+  // Bucketed median is approximate; allow 15% tolerance.
+  ASSERT_GT(median, 500 * 0.85);
+  ASSERT_LT(median, 500 * 1.15);
+}
+
+TEST(Histogram, PercentileOrdering) {
+  Histogram h;
+  for (int i = 1; i <= 10000; i++) {
+    h.Add(i % 997);
+  }
+  ASSERT_LE(h.Percentile(50), h.Percentile(90));
+  ASSERT_LE(h.Percentile(90), h.Percentile(99));
+  ASSERT_LE(h.Percentile(99), h.Max());
+  ASSERT_GE(h.Percentile(1), h.Min());
+}
+
+TEST(Histogram, Merge) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; i++) {
+    a.Add(10);
+    b.Add(20);
+  }
+  a.Merge(b);
+  ASSERT_EQ(200u, a.Count());
+  ASSERT_DOUBLE_EQ(15.0, a.Average());
+  ASSERT_DOUBLE_EQ(10.0, a.Min());
+  ASSERT_DOUBLE_EQ(20.0, a.Max());
+}
+
+TEST(Histogram, Clear) {
+  Histogram h;
+  h.Add(3.0);
+  h.Clear();
+  ASSERT_EQ(0u, h.Count());
+  ASSERT_EQ(0.0, h.Average());
+}
+
+TEST(Histogram, ToStringDoesNotCrash) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1000000);
+  std::string s = h.ToString();
+  ASSERT_FALSE(s.empty());
+}
+
+}  // namespace fcae

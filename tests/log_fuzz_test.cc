@@ -1,0 +1,182 @@
+// WAL fuzzing: random record streams subjected to random mutations
+// (truncation, byte flips, zero fills). The reader must never crash or
+// loop, must recover a prefix-consistent subsequence, and with no
+// corruption must recover everything.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lsm/log_reader.h"
+#include "lsm/log_writer.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace fcae {
+namespace log {
+
+namespace {
+
+class StringDest : public WritableFile {
+ public:
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Append(const Slice& slice) override {
+    contents_.append(slice.data(), slice.size());
+    return Status::OK();
+  }
+  std::string contents_;
+};
+
+class StringSource : public SequentialFile {
+ public:
+  explicit StringSource(const std::string& contents)
+      : contents_(contents), pos_(0) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    if (pos_ >= contents_.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    n = std::min(n, contents_.size() - pos_);
+    memcpy(scratch, contents_.data() + pos_, n);
+    *result = Slice(scratch, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ = std::min(contents_.size(), pos_ + static_cast<size_t>(n));
+    return Status::OK();
+  }
+
+ private:
+  std::string contents_;
+  size_t pos_;
+};
+
+class NullReporter : public Reader::Reporter {
+ public:
+  void Corruption(size_t bytes, const Status& status) override {
+    corruptions++;
+  }
+  int corruptions = 0;
+};
+
+std::string RecordPayload(int i, Random* rnd) {
+  // Mix of tiny, block-spanning and huge records.
+  size_t len;
+  switch (rnd->Uniform(4)) {
+    case 0:
+      len = rnd->Uniform(32);
+      break;
+    case 1:
+      len = 100 + rnd->Uniform(4000);
+      break;
+    case 2:
+      len = kBlockSize - kHeaderSize + rnd->Uniform(40) - 20;
+      break;
+    default:
+      len = kBlockSize + rnd->Uniform(3 * kBlockSize);
+      break;
+  }
+  std::string payload = "rec" + std::to_string(i) + ":";
+  payload.resize(std::max(payload.size(), len),
+                 static_cast<char>('A' + (i % 26)));
+  return payload;
+}
+
+}  // namespace
+
+class LogFuzzTest : public testing::TestWithParam<int> {};
+
+TEST_P(LogFuzzTest, CleanStreamRecoversEverything) {
+  Random rnd(GetParam());
+  StringDest dest;
+  Writer writer(&dest);
+  std::vector<std::string> records;
+  const int n = 1 + rnd.Uniform(60);
+  for (int i = 0; i < n; i++) {
+    records.push_back(RecordPayload(i, &rnd));
+    ASSERT_TRUE(writer.AddRecord(records.back()).ok());
+  }
+
+  StringSource source(dest.contents_);
+  NullReporter reporter;
+  Reader reader(&source, &reporter, true);
+  Slice record;
+  std::string scratch;
+  size_t got = 0;
+  while (reader.ReadRecord(&record, &scratch)) {
+    ASSERT_LT(got, records.size());
+    ASSERT_EQ(records[got], record.ToString());
+    got++;
+  }
+  ASSERT_EQ(records.size(), got);
+  ASSERT_EQ(0, reporter.corruptions);
+}
+
+TEST_P(LogFuzzTest, MutatedStreamNeverCrashesOrFabricates) {
+  Random rnd(GetParam() + 1000);
+  StringDest dest;
+  Writer writer(&dest);
+  std::vector<std::string> records;
+  const int n = 1 + rnd.Uniform(40);
+  for (int i = 0; i < n; i++) {
+    records.push_back(RecordPayload(i, &rnd));
+    ASSERT_TRUE(writer.AddRecord(records.back()).ok());
+  }
+
+  std::string mutated = dest.contents_;
+  // Apply 1..5 random mutations.
+  const int mutations = 1 + rnd.Uniform(5);
+  for (int m = 0; m < mutations; m++) {
+    if (mutated.empty()) break;
+    switch (rnd.Uniform(3)) {
+      case 0:  // Byte flip.
+        mutated[rnd.Uniform(mutated.size())] ^=
+            static_cast<char>(1 + rnd.Uniform(255));
+        break;
+      case 1:  // Truncate tail.
+        mutated.resize(mutated.size() - rnd.Uniform(mutated.size() / 4 + 1));
+        break;
+      case 2: {  // Zero-fill a small range.
+        size_t start = rnd.Uniform(mutated.size());
+        size_t len = std::min<size_t>(1 + rnd.Uniform(64),
+                                      mutated.size() - start);
+        for (size_t i = 0; i < len; i++) mutated[start + i] = 0;
+        break;
+      }
+    }
+  }
+
+  StringSource source(mutated);
+  NullReporter reporter;
+  Reader reader(&source, &reporter, true);
+  Slice record;
+  std::string scratch;
+  int got = 0;
+  int guard = 0;
+  while (reader.ReadRecord(&record, &scratch)) {
+    // Every surviving record must be one of the originals, in order
+    // (no fabricated bytes: checksums guarantee integrity).
+    std::string r = record.ToString();
+    bool matched = false;
+    for (int i = got; i < n; i++) {
+      if (records[i] == r) {
+        got = i + 1;
+        matched = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(matched) << "fabricated or reordered record";
+    ASSERT_LT(++guard, 10000) << "reader did not terminate";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogFuzzTest, testing::Range(1, 26));
+
+}  // namespace log
+}  // namespace fcae

@@ -1,0 +1,112 @@
+#include "lsm/memtable.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "table/iterator.h"
+
+namespace fcae {
+
+class MemTableTest : public testing::Test {
+ public:
+  MemTableTest() : icmp_(BytewiseComparator()), mem_(new MemTable(icmp_)) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddAndGet) {
+  mem_->Add(1, kTypeValue, "key1", "value1");
+  mem_->Add(2, kTypeValue, "key2", "value2");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("key1", 10), &value, &s));
+  ASSERT_EQ("value1", value);
+  ASSERT_TRUE(mem_->Get(LookupKey("key2", 10), &value, &s));
+  ASSERT_EQ("value2", value);
+  ASSERT_FALSE(mem_->Get(LookupKey("key3", 10), &value, &s));
+}
+
+TEST_F(MemTableTest, SequenceVisibility) {
+  mem_->Add(5, kTypeValue, "k", "v5");
+  mem_->Add(10, kTypeValue, "k", "v10");
+
+  std::string value;
+  Status s;
+  // At snapshot 10 or later we see v10.
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 12), &value, &s));
+  ASSERT_EQ("v10", value);
+  // At snapshot 7 we see v5.
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 7), &value, &s));
+  ASSERT_EQ("v5", value);
+  // At snapshot 4 the key does not exist yet.
+  ASSERT_FALSE(mem_->Get(LookupKey("k", 4), &value, &s));
+}
+
+TEST_F(MemTableTest, DeletionShadowsValue) {
+  mem_->Add(1, kTypeValue, "k", "v");
+  mem_->Add(2, kTypeDeletion, "k", "");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 10), &value, &s));
+  ASSERT_TRUE(s.IsNotFound());
+
+  // Older snapshot still sees the value.
+  s = Status::OK();
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 1), &value, &s));
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ("v", value);
+}
+
+TEST_F(MemTableTest, IteratorYieldsInternalKeyOrder) {
+  mem_->Add(3, kTypeValue, "b", "3");
+  mem_->Add(1, kTypeValue, "a", "1");
+  mem_->Add(2, kTypeValue, "c", "2");
+  mem_->Add(4, kTypeValue, "a", "4");  // Newer version of "a".
+
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  iter->SeekToFirst();
+
+  // "a"@4 sorts before "a"@1 (newer first), then b, then c.
+  std::vector<std::pair<std::string, uint64_t>> got;
+  for (; iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(iter->key(), &parsed));
+    got.push_back({parsed.user_key.ToString(), parsed.sequence});
+  }
+  ASSERT_EQ(4u, got.size());
+  ASSERT_EQ(std::make_pair(std::string("a"), uint64_t{4}), got[0]);
+  ASSERT_EQ(std::make_pair(std::string("a"), uint64_t{1}), got[1]);
+  ASSERT_EQ(std::make_pair(std::string("b"), uint64_t{3}), got[2]);
+  ASSERT_EQ(std::make_pair(std::string("c"), uint64_t{2}), got[3]);
+}
+
+TEST_F(MemTableTest, EmptyValueAndBinaryData) {
+  std::string key("bin\0key", 7);
+  std::string value("\0\1\2\xff", 4);
+  mem_->Add(1, kTypeValue, key, value);
+  mem_->Add(2, kTypeValue, "empty", "");
+
+  std::string got;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey(key, 5), &got, &s));
+  ASSERT_EQ(value, got);
+  ASSERT_TRUE(mem_->Get(LookupKey("empty", 5), &got, &s));
+  ASSERT_EQ("", got);
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_->Add(i + 1, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  ASSERT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 1000);
+}
+
+}  // namespace fcae

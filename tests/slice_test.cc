@@ -1,0 +1,85 @@
+#include "util/slice.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+
+TEST(Slice, Empty) {
+  Slice s;
+  ASSERT_TRUE(s.empty());
+  ASSERT_EQ(0u, s.size());
+  ASSERT_EQ("", s.ToString());
+}
+
+TEST(Slice, FromString) {
+  std::string str("hello");
+  Slice s(str);
+  ASSERT_EQ(5u, s.size());
+  ASSERT_EQ("hello", s.ToString());
+  ASSERT_EQ('h', s[0]);
+  ASSERT_EQ('o', s[4]);
+}
+
+TEST(Slice, FromCString) {
+  Slice s("abc");
+  ASSERT_EQ(3u, s.size());
+  ASSERT_EQ("abc", s.ToString());
+}
+
+TEST(Slice, RemovePrefix) {
+  Slice s("hello world");
+  s.RemovePrefix(6);
+  ASSERT_EQ("world", s.ToString());
+  s.RemovePrefix(5);
+  ASSERT_TRUE(s.empty());
+}
+
+TEST(Slice, Clear) {
+  Slice s("abc");
+  s.Clear();
+  ASSERT_TRUE(s.empty());
+}
+
+TEST(Slice, Compare) {
+  ASSERT_EQ(0, Slice("abc").Compare(Slice("abc")));
+  ASSERT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  ASSERT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  // Prefix ordering: shorter sorts first.
+  ASSERT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  ASSERT_GT(Slice("abc").Compare(Slice("ab")), 0);
+  ASSERT_EQ(0, Slice("").Compare(Slice("")));
+  ASSERT_LT(Slice("").Compare(Slice("a")), 0);
+}
+
+TEST(Slice, CompareUnsignedBytes) {
+  // Bytes must compare as unsigned: 0xff > 0x01.
+  char high[] = {static_cast<char>(0xff)};
+  char low[] = {0x01};
+  ASSERT_GT(Slice(high, 1).Compare(Slice(low, 1)), 0);
+}
+
+TEST(Slice, Equality) {
+  ASSERT_TRUE(Slice("abc") == Slice("abc"));
+  ASSERT_TRUE(Slice("abc") != Slice("abd"));
+  ASSERT_TRUE(Slice("abc") != Slice("ab"));
+  ASSERT_TRUE(Slice("") == Slice());
+}
+
+TEST(Slice, StartsWith) {
+  Slice s("hello world");
+  ASSERT_TRUE(s.StartsWith(Slice("")));
+  ASSERT_TRUE(s.StartsWith(Slice("hello")));
+  ASSERT_TRUE(s.StartsWith(Slice("hello world")));
+  ASSERT_FALSE(s.StartsWith(Slice("hello world!")));
+  ASSERT_FALSE(s.StartsWith(Slice("world")));
+}
+
+TEST(Slice, EmbeddedNul) {
+  std::string str("a\0b", 3);
+  Slice s(str);
+  ASSERT_EQ(3u, s.size());
+  ASSERT_EQ(str, s.ToString());
+  ASSERT_TRUE(s == Slice(str));
+}
+
+}  // namespace fcae

@@ -1,0 +1,174 @@
+#include "compress/snappy.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace fcae {
+namespace snappy {
+
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  std::string output;
+  EXPECT_TRUE(Uncompress(compressed.data(), compressed.size(), &output));
+  return output;
+}
+
+/// Generates text with repeated fragments so copies are exercised.
+std::string CompressibleString(Random* rnd, size_t len) {
+  static const char* kFragments[] = {"the quick ", "brown fox ", "jumps ",
+                                     "over the lazy dog ", "lorem ipsum "};
+  std::string result;
+  while (result.size() < len) {
+    result += kFragments[rnd->Uniform(5)];
+  }
+  result.resize(len);
+  return result;
+}
+
+std::string RandomString(Random* rnd, size_t len) {
+  std::string result;
+  result.reserve(len);
+  for (size_t i = 0; i < len; i++) {
+    result.push_back(static_cast<char>(rnd->Uniform(256)));
+  }
+  return result;
+}
+
+}  // namespace
+
+TEST(Snappy, EmptyInput) {
+  std::string compressed;
+  Compress("", 0, &compressed);
+  std::string output = "sentinel";
+  ASSERT_TRUE(Uncompress(compressed.data(), compressed.size(), &output));
+  ASSERT_EQ("", output);
+}
+
+TEST(Snappy, TinyInputs) {
+  for (size_t len = 1; len <= 20; len++) {
+    std::string input(len, 'x');
+    ASSERT_EQ(input, RoundTrip(input)) << "len=" << len;
+  }
+}
+
+TEST(Snappy, SimpleText) {
+  std::string input = "hello hello hello hello world world world";
+  ASSERT_EQ(input, RoundTrip(input));
+}
+
+TEST(Snappy, HighlyCompressible) {
+  std::string input(100000, 'a');
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  // A run of one character must compress dramatically.
+  ASSERT_LT(compressed.size(), input.size() / 20);
+  std::string output;
+  ASSERT_TRUE(Uncompress(compressed.data(), compressed.size(), &output));
+  ASSERT_EQ(input, output);
+}
+
+TEST(Snappy, RepeatedFragments) {
+  Random rnd(301);
+  std::string input = CompressibleString(&rnd, 65536);
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  ASSERT_LT(compressed.size(), input.size() / 2);
+  std::string output;
+  ASSERT_TRUE(Uncompress(compressed.data(), compressed.size(), &output));
+  ASSERT_EQ(input, output);
+}
+
+TEST(Snappy, IncompressibleRandomData) {
+  Random rnd(42);
+  std::string input = RandomString(&rnd, 65536);
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  // Incompressible data must stay within the documented bound.
+  ASSERT_LE(compressed.size(), MaxCompressedLength(input.size()));
+  ASSERT_EQ(input, RoundTrip(input));
+}
+
+TEST(Snappy, GetUncompressedLength) {
+  std::string input(12345, 'q');
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  size_t len;
+  ASSERT_TRUE(GetUncompressedLength(compressed.data(), compressed.size(),
+                                    &len));
+  ASSERT_EQ(12345u, len);
+}
+
+TEST(Snappy, CorruptHeaderRejected) {
+  std::string output;
+  // All continuation bits set: varint never terminates.
+  std::string bad("\xff\xff\xff\xff\xff\xff", 6);
+  ASSERT_FALSE(Uncompress(bad.data(), bad.size(), &output));
+}
+
+TEST(Snappy, TruncatedStreamRejected) {
+  std::string input = "some reasonably long input string to compress, with "
+                      "repeats repeats repeats repeats";
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  for (size_t cut = 1; cut < compressed.size(); cut++) {
+    std::string output;
+    // Either rejected or produces the wrong length, never a crash.
+    bool ok = Uncompress(compressed.data(), compressed.size() - cut, &output);
+    if (ok) {
+      ASSERT_NE(input, output);
+    }
+  }
+}
+
+TEST(Snappy, CorruptOffsetRejected) {
+  // Hand-craft a stream: length 4, then a copy with offset 0 (invalid).
+  std::string bad;
+  bad.push_back(4);                       // uncompressed length 4
+  bad.push_back(0x01);                    // copy1: len=4, offset high bits 0
+  bad.push_back(0x00);                    // offset low byte = 0 -> invalid
+  std::string output;
+  ASSERT_FALSE(Uncompress(bad.data(), bad.size(), &output));
+}
+
+// Property sweep: round-trip across sizes and data characters.
+class SnappyRoundTripTest : public testing::TestWithParam<int> {};
+
+TEST_P(SnappyRoundTripTest, RoundTripCompressible) {
+  Random rnd(GetParam());
+  size_t len = 1 + rnd.Uniform(1 << 17);
+  std::string input = CompressibleString(&rnd, len);
+  ASSERT_EQ(input, RoundTrip(input));
+}
+
+TEST_P(SnappyRoundTripTest, RoundTripRandom) {
+  Random rnd(GetParam() + 1000);
+  size_t len = 1 + rnd.Uniform(1 << 16);
+  std::string input = RandomString(&rnd, len);
+  ASSERT_EQ(input, RoundTrip(input));
+}
+
+TEST_P(SnappyRoundTripTest, RoundTripStructured) {
+  // Key-value-like content: mostly ascending keys + fixed-pattern values,
+  // the shape the SSTable blocks will feed through this codec.
+  Random rnd(GetParam() + 2000);
+  std::string input;
+  int n = 100 + rnd.Uniform(400);
+  for (int i = 0; i < n; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%016d", i);
+    input.append(key);
+    input.append(rnd.Uniform(100) + 1, static_cast<char>('A' + (i % 26)));
+  }
+  ASSERT_EQ(input, RoundTrip(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnappyRoundTripTest,
+                         testing::Range(1, 21));
+
+}  // namespace snappy
+}  // namespace fcae

@@ -1,0 +1,64 @@
+#include "util/status.h"
+
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+
+TEST(Status, OK) {
+  Status s;
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ("OK", s.ToString());
+  ASSERT_TRUE(Status::OK().ok());
+}
+
+TEST(Status, NotFound) {
+  Status s = Status::NotFound("custom NotFound status message");
+  ASSERT_FALSE(s.ok());
+  ASSERT_TRUE(s.IsNotFound());
+  ASSERT_FALSE(s.IsCorruption());
+  ASSERT_EQ("NotFound: custom NotFound status message", s.ToString());
+}
+
+TEST(Status, TwoPartMessage) {
+  Status s = Status::IOError("file.ldb", "no such file");
+  ASSERT_TRUE(s.IsIOError());
+  ASSERT_EQ("IO error: file.ldb: no such file", s.ToString());
+}
+
+TEST(Status, AllCodes) {
+  ASSERT_TRUE(Status::Corruption("x").IsCorruption());
+  ASSERT_TRUE(Status::NotSupported("x").IsNotSupported());
+  ASSERT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  ASSERT_TRUE(Status::IOError("x").IsIOError());
+  ASSERT_TRUE(Status::Busy("x").IsBusy());
+  ASSERT_EQ("Corruption: x", Status::Corruption("x").ToString());
+  ASSERT_EQ("Not implemented: x", Status::NotSupported("x").ToString());
+  ASSERT_EQ("Invalid argument: x", Status::InvalidArgument("x").ToString());
+  ASSERT_EQ("Busy: x", Status::Busy("x").ToString());
+}
+
+TEST(Status, CopyAndMove) {
+  Status original = Status::NotFound("message");
+  Status copy = original;
+  ASSERT_TRUE(copy.IsNotFound());
+  ASSERT_EQ(original.ToString(), copy.ToString());
+
+  Status moved = std::move(copy);
+  ASSERT_TRUE(moved.IsNotFound());
+  ASSERT_EQ("NotFound: message", moved.ToString());
+
+  Status assigned;
+  assigned = moved;
+  ASSERT_TRUE(assigned.IsNotFound());
+}
+
+TEST(Status, MoveAssignOverOk) {
+  Status ok = Status::OK();
+  Status err = Status::IOError("disk gone");
+  ok = std::move(err);
+  ASSERT_TRUE(ok.IsIOError());
+}
+
+}  // namespace fcae

@@ -1,0 +1,199 @@
+#include "syssim/simulator.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+namespace syssim {
+
+namespace {
+
+SimConfig CpuConfig(uint64_t value_len) {
+  SimConfig config;
+  config.mode = ExecMode::kLevelDbCpu;
+  config.value_length = value_len;
+  return config;
+}
+
+SimConfig FcaeConfig(uint64_t value_len, int n = 2, int v = 16) {
+  SimConfig config;
+  config.mode = ExecMode::kLevelDbFcae;
+  config.value_length = value_len;
+  config.engine.num_inputs = n;
+  config.engine.value_width = v;
+  if (n > 2) config.engine.input_width = 8;
+  return config;
+}
+
+}  // namespace
+
+TEST(CostModelTest, PaperTableVAnchors) {
+  CostModel m = CostModel::PaperCalibrated();
+  // Exact Table V anchor points.
+  EXPECT_NEAR(5.3, m.CpuCompactionMBps(2, 16, 64), 0.01);
+  EXPECT_NEAR(12.2, m.CpuCompactionMBps(2, 16, 512), 0.01);
+  fpga::EngineConfig e;
+  e.num_inputs = 2;
+  e.value_width = 16;
+  EXPECT_NEAR(627.9, m.FpgaCompactionMBps(e, 16, 512), 0.1);
+  e.value_width = 64;
+  EXPECT_NEAR(1205.6, m.FpgaCompactionMBps(e, 16, 2048), 0.1);
+}
+
+TEST(CostModelTest, NineInputEngineIsSlowerButCpuSlowsMore) {
+  CostModel m = CostModel::PaperCalibrated();
+  fpga::EngineConfig two;
+  two.num_inputs = 2;
+  two.value_width = 8;
+  fpga::EngineConfig nine = two;
+  nine.num_inputs = 9;
+  nine.input_width = 8;
+
+  for (uint64_t value : {64, 512, 2048}) {
+    const double f2 = m.FpgaCompactionMBps(two, 16, value);
+    const double f9 = m.FpgaCompactionMBps(nine, 16, value);
+    EXPECT_LT(f9, f2) << value;
+    // Acceleration ratio vs the CPU baseline grows with N (Fig. 13):
+    const double c2 = m.CpuCompactionMBps(2, 16, value);
+    const double c9 = m.CpuCompactionMBps(9, 16, value);
+    EXPECT_GT(f9 / c9, 0.8 * f2 / c2) << value;
+  }
+  // The 2-vs-9 gap narrows with value length (Fig. 12).
+  const double gap64 = m.FpgaCompactionMBps(nine, 16, 64) /
+                       m.FpgaCompactionMBps(two, 16, 64);
+  const double gap2048 = m.FpgaCompactionMBps(nine, 16, 2048) /
+                         m.FpgaCompactionMBps(two, 16, 2048);
+  EXPECT_LT(gap64, gap2048);
+}
+
+TEST(CostModelTest, FrontendSlowerForSmallValues) {
+  CostModel m = CostModel::PaperCalibrated();
+  EXPECT_LT(m.FrontendMBps(16, 64), m.FrontendMBps(16, 512));
+  EXPECT_LT(m.FrontendMBps(16, 512), m.FrontendMBps(16, 2048));
+}
+
+TEST(SimulatorTest, FcaeBeatsCpuOnWrites) {
+  for (uint64_t value : {128, 512, 1024}) {
+    const double bytes = 2e8;
+    SimResult cpu = Simulator(CpuConfig(value)).RunFillRandom(bytes);
+    SimResult fcae = Simulator(FcaeConfig(value)).RunFillRandom(bytes);
+    EXPECT_GT(fcae.throughput_mbps, cpu.throughput_mbps * 1.5) << value;
+    EXPECT_GT(cpu.throughput_mbps, 0.5) << value;
+    EXPECT_LT(fcae.throughput_mbps, 50.0) << value;
+  }
+}
+
+TEST(SimulatorTest, ThroughputDegradesWithDataSize) {
+  double prev_cpu = 1e9;
+  double prev_fcae = 1e9;
+  for (double gb : {0.2, 0.5, 1.0, 2.0}) {
+    SimResult cpu = Simulator(CpuConfig(512)).RunFillRandom(gb * 1e9);
+    SimResult fcae = Simulator(FcaeConfig(512)).RunFillRandom(gb * 1e9);
+    EXPECT_LT(cpu.throughput_mbps, prev_cpu * 1.02) << gb;
+    EXPECT_LT(fcae.throughput_mbps, prev_fcae * 1.02) << gb;
+    prev_cpu = cpu.throughput_mbps;
+    prev_fcae = fcae.throughput_mbps;
+  }
+}
+
+TEST(SimulatorTest, AccountingIsConsistent) {
+  SimResult r = Simulator(FcaeConfig(512)).RunFillRandom(3e8);
+  EXPECT_GT(r.elapsed_seconds, 0);
+  EXPECT_NEAR(3e8, r.user_bytes, 1e6);
+  EXPECT_GT(r.flushes, 50u);  // 300 MB / 4 MB memtables.
+  EXPECT_GT(r.compactions, 10u);
+  EXPECT_EQ(r.compactions, r.compactions_offloaded + r.compactions_sw);
+  EXPECT_GT(r.compactions_offloaded, 0u);
+  EXPECT_GT(r.WriteAmplification(), 1.5);
+  EXPECT_LT(r.WriteAmplification(), 40.0);
+  EXPECT_GT(r.PciePercent(), 0.0);
+  EXPECT_LT(r.PciePercent(), 15.0);  // Table VIII: transfers are minor.
+  EXPECT_GT(r.device_seconds, 0.0);
+}
+
+TEST(SimulatorTest, CpuModeNeverTouchesDevice) {
+  SimResult r = Simulator(CpuConfig(512)).RunFillRandom(2e8);
+  EXPECT_EQ(0u, r.compactions_offloaded);
+  EXPECT_EQ(0.0, r.device_seconds);
+  EXPECT_EQ(0.0, r.pcie_seconds);
+  EXPECT_GT(r.cpu_compaction_seconds, 0.0);
+}
+
+TEST(SimulatorTest, StrictPolicyFallsBackToSoftware) {
+  SimConfig config = FcaeConfig(512, /*n=*/2);
+  config.multipass_offload = false;  // Strict Fig. 6 policy.
+  SimResult r = Simulator(config).RunFillRandom(2e8);
+  // Level-0 compactions need >2 inputs: must run on the CPU.
+  EXPECT_GT(r.compactions_sw, 0u);
+  // Deep-level (2-input) jobs still offload.
+  EXPECT_GT(r.compactions_offloaded, 0u);
+
+  // The strict policy is slower than the tournament scheduler.
+  SimConfig multipass = FcaeConfig(512, 2);
+  SimResult m = Simulator(multipass).RunFillRandom(2e8);
+  EXPECT_GE(m.throughput_mbps, r.throughput_mbps);
+}
+
+TEST(SimulatorTest, NineInputEngineOffloadsEverythingStrictly) {
+  SimConfig config = FcaeConfig(512, /*n=*/9, /*v=*/8);
+  config.multipass_offload = false;
+  SimResult r = Simulator(config).RunFillRandom(2e8);
+  // L0 jobs need at most 9 inputs under the stop trigger of 12... most
+  // should offload; software fallback stays rare.
+  EXPECT_GT(r.compactions_offloaded, r.compactions_sw * 3);
+}
+
+TEST(SimulatorTest, WiderValuePathNeverHurts) {
+  double prev = 0;
+  for (int v : {8, 16, 32, 64}) {
+    SimResult r = Simulator(FcaeConfig(2048, 2, v)).RunFillRandom(3e8);
+    EXPECT_GE(r.throughput_mbps, prev * 0.98) << v;
+    prev = r.throughput_mbps;
+  }
+}
+
+TEST(SimulatorTest, NearStorageBeatsPcieAttached) {
+  // Paper Section VII-E: moving the engine into the SSD removes the
+  // host staging I/O and the DMA round trip, so ingest should not get
+  // worse — and typically improves (the shared host core is freed).
+  SimConfig pcie = FcaeConfig(512, 9, 8);
+  SimConfig near = pcie;
+  near.near_storage = true;
+  SimResult a = Simulator(pcie).RunFillRandom(5e8);
+  SimResult b = Simulator(near).RunFillRandom(5e8);
+  EXPECT_GE(b.throughput_mbps, a.throughput_mbps * 0.98);
+  EXPECT_EQ(0.0, b.pcie_seconds);
+  EXPECT_GT(b.compactions_offloaded, 0u);
+}
+
+TEST(SimulatorTest, YcsbReadOnlyUnaffectedByDevice) {
+  SimResult cpu =
+      Simulator(CpuConfig(1024)).RunYcsb(workload::YcsbWorkload::kC,
+                                         200000, 100000);
+  SimResult fcae =
+      Simulator(FcaeConfig(1024, 9, 8)).RunYcsb(workload::YcsbWorkload::kC,
+                                                200000, 100000);
+  // Paper Fig. 16: read-only workload C shows no degradation and no
+  // gain (storage format unchanged).
+  EXPECT_NEAR(1.0, fcae.throughput_kops / cpu.throughput_kops, 0.05);
+}
+
+TEST(SimulatorTest, YcsbSpeedupGrowsWithWriteRatio) {
+  using W = workload::YcsbWorkload;
+  auto speedup = [&](W w) {
+    SimResult cpu = Simulator(CpuConfig(1024)).RunYcsb(w, 200000, 150000);
+    SimResult fcae =
+        Simulator(FcaeConfig(1024, 9, 8)).RunYcsb(w, 200000, 150000);
+    return fcae.throughput_kops / cpu.throughput_kops;
+  };
+  const double load = speedup(W::kLoad);
+  const double a = speedup(W::kA);
+  const double b = speedup(W::kB);
+  const double c = speedup(W::kC);
+  EXPECT_GT(load, 1.5);           // Write-heavy gains the most.
+  EXPECT_GT(a, b);                // 50% writes > 5% writes.
+  EXPECT_GE(b, c * 0.95);         // Light writers >= read-only.
+  EXPECT_NEAR(1.0, c, 0.05);      // Read-only unchanged.
+}
+
+}  // namespace syssim
+}  // namespace fcae

@@ -1,0 +1,122 @@
+#include "lsm/table_cache.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "lsm/dbformat.h"
+#include "lsm/filename.h"
+#include "table/table_builder.h"
+#include "table/iterator.h"
+#include "util/mem_env.h"
+
+namespace fcae {
+
+class TableCacheTest : public testing::Test {
+ public:
+  TableCacheTest()
+      : env_(NewMemEnv(Env::Default())), icmp_(BytewiseComparator()) {
+    options_.env = env_.get();
+    options_.comparator = &icmp_;
+    env_->CreateDir("/tc");
+    cache_ = std::make_unique<TableCache>("/tc", options_, 16);
+  }
+
+  /// Writes table `number` with `n` entries; returns its file size.
+  uint64_t WriteTable(uint64_t number, int n) {
+    WritableFile* file;
+    EXPECT_TRUE(env_->NewWritableFile(TableFileName("/tc", number), &file)
+                    .ok());
+    TableBuilder builder(options_, file);
+    for (int i = 0; i < n; i++) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "key%06d", i);
+      std::string ikey;
+      AppendInternalKey(&ikey, ParsedInternalKey(key, 100, kTypeValue));
+      builder.Add(ikey, "value" + std::to_string(i));
+    }
+    EXPECT_TRUE(builder.Finish().ok());
+    uint64_t size = builder.FileSize();
+    EXPECT_TRUE(file->Close().ok());
+    delete file;
+    return size;
+  }
+
+  std::unique_ptr<Env> env_;
+  InternalKeyComparator icmp_;
+  Options options_;
+  std::unique_ptr<TableCache> cache_;
+};
+
+TEST_F(TableCacheTest, IterateAndGet) {
+  uint64_t size = WriteTable(5, 100);
+
+  std::unique_ptr<Iterator> iter(
+      cache_->NewIterator(ReadOptions(), 5, size));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) count++;
+  ASSERT_EQ(100, count);
+  ASSERT_TRUE(iter->status().ok());
+
+  struct Ctx {
+    bool found = false;
+    std::string value;
+  } ctx;
+  LookupKey lkey("key000042", kMaxSequenceNumber);
+  ASSERT_TRUE(cache_
+                  ->Get(ReadOptions(), 5, size, lkey.internal_key(), &ctx,
+                        [](void* arg, const Slice& k, const Slice& v) {
+                          auto* c = static_cast<Ctx*>(arg);
+                          c->found = true;
+                          c->value = v.ToString();
+                        })
+                  .ok());
+  ASSERT_TRUE(ctx.found);
+  ASSERT_EQ("value42", ctx.value);
+}
+
+TEST_F(TableCacheTest, MissingFileIsAnError) {
+  std::unique_ptr<Iterator> iter(
+      cache_->NewIterator(ReadOptions(), 999, 1234));
+  iter->SeekToFirst();
+  ASSERT_FALSE(iter->Valid());
+  ASSERT_FALSE(iter->status().ok());
+}
+
+TEST_F(TableCacheTest, EvictDropsStaleReader) {
+  uint64_t size = WriteTable(7, 10);
+  {
+    std::unique_ptr<Iterator> iter(
+        cache_->NewIterator(ReadOptions(), 7, size));
+    iter->SeekToFirst();
+    ASSERT_TRUE(iter->Valid());
+  }
+  // Replace the file with a different table, evict, and re-read: the
+  // new contents must be served.
+  uint64_t new_size = WriteTable(7, 33);
+  cache_->Evict(7);
+  std::unique_ptr<Iterator> iter(
+      cache_->NewIterator(ReadOptions(), 7, new_size));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) count++;
+  ASSERT_EQ(33, count);
+}
+
+TEST_F(TableCacheTest, ManyTablesBeyondCacheCapacity) {
+  // 16-entry cache, 40 tables: eviction churns but every table stays
+  // readable.
+  std::vector<uint64_t> sizes;
+  for (uint64_t number = 1; number <= 40; number++) {
+    sizes.push_back(WriteTable(number, 5));
+  }
+  for (int round = 0; round < 2; round++) {
+    for (uint64_t number = 1; number <= 40; number++) {
+      std::unique_ptr<Iterator> iter(
+          cache_->NewIterator(ReadOptions(), number, sizes[number - 1]));
+      int count = 0;
+      for (iter->SeekToFirst(); iter->Valid(); iter->Next()) count++;
+      ASSERT_EQ(5, count) << number;
+    }
+  }
+}
+
+}  // namespace fcae

@@ -1,0 +1,101 @@
+#include "lsm/version_edit.h"
+
+#include "gtest/gtest.h"
+
+namespace fcae {
+
+static void TestEncodeDecode(const VersionEdit& edit) {
+  std::string encoded, encoded2;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(encoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  parsed.EncodeTo(&encoded2);
+  ASSERT_EQ(encoded, encoded2);
+}
+
+TEST(VersionEditTest, EncodeDecode) {
+  static const uint64_t kBig = 1ull << 50;
+
+  VersionEdit edit;
+  for (int i = 0; i < 4; i++) {
+    TestEncodeDecode(edit);
+    edit.AddFile(3, kBig + 300 + i, kBig + 400 + i,
+                 InternalKey("foo", kBig + 500 + i, kTypeValue),
+                 InternalKey("zoo", kBig + 600 + i, kTypeDeletion));
+    edit.RemoveFile(4, kBig + 700 + i);
+    edit.SetCompactPointer(i, InternalKey("x", kBig + 900 + i, kTypeValue));
+  }
+
+  edit.SetComparatorName("foo");
+  edit.SetLogNumber(kBig + 100);
+  edit.SetNextFile(kBig + 200);
+  edit.SetLastSequence(kBig + 1000);
+  TestEncodeDecode(edit);
+}
+
+TEST(VersionEditTest, EmptyEditRoundTrips) {
+  VersionEdit edit;
+  TestEncodeDecode(edit);
+}
+
+TEST(VersionEditTest, RejectsTruncation) {
+  VersionEdit edit;
+  edit.SetComparatorName("cmp");
+  edit.AddFile(1, 10, 100, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 2, kTypeValue));
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  for (size_t cut = 1; cut < encoded.size(); cut++) {
+    VersionEdit parsed;
+    Status s = parsed.DecodeFrom(Slice(encoded.data(), encoded.size() - cut));
+    // Some prefixes happen to end exactly on a record boundary and
+    // decode fine; none may crash, and cutting inside the AddFile
+    // record must fail.
+    (void)s;
+  }
+  VersionEdit parsed;
+  ASSERT_FALSE(
+      parsed.DecodeFrom(Slice(encoded.data(), encoded.size() - 1)).ok());
+}
+
+TEST(VersionEditTest, RejectsUnknownTag) {
+  std::string bad;
+  PutVarint32(&bad, 999);  // No such tag.
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(bad);
+  ASSERT_TRUE(s.IsCorruption());
+  ASSERT_NE(std::string::npos, s.ToString().find("unknown tag"));
+}
+
+TEST(VersionEditTest, RejectsLevelOutOfRange) {
+  VersionEdit edit;
+  edit.RemoveFile(kNumLevels - 1, 7);  // Valid level encodes fine.
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+
+  // Hand-craft a deleted-file record with an invalid level.
+  std::string bad;
+  PutVarint32(&bad, 6);            // kDeletedFile tag.
+  PutVarint32(&bad, kNumLevels);   // Out of range.
+  PutVarint64(&bad, 1);
+  ASSERT_FALSE(parsed.DecodeFrom(bad).ok());
+}
+
+TEST(VersionEditTest, DebugStringMentionsEverything) {
+  VersionEdit edit;
+  edit.SetComparatorName("the-comparator");
+  edit.SetLogNumber(42);
+  edit.AddFile(2, 7, 1234, InternalKey("aaa", 1, kTypeValue),
+               InternalKey("zzz", 2, kTypeValue));
+  edit.RemoveFile(1, 9);
+  std::string debug = edit.DebugString();
+  EXPECT_NE(std::string::npos, debug.find("the-comparator"));
+  EXPECT_NE(std::string::npos, debug.find("42"));
+  EXPECT_NE(std::string::npos, debug.find("aaa"));
+  EXPECT_NE(std::string::npos, debug.find("RemoveFile"));
+}
+
+}  // namespace fcae

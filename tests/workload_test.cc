@@ -1,0 +1,177 @@
+#include <map>
+#include <set>
+
+#include "compress/snappy.h"
+#include "gtest/gtest.h"
+#include "workload/key_generator.h"
+#include "workload/ycsb.h"
+#include "workload/zipfian.h"
+
+namespace fcae {
+namespace workload {
+
+TEST(ZipfianTest, SamplesInRange) {
+  ZipfianGenerator gen(1000, 42);
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000u);
+  }
+}
+
+TEST(ZipfianTest, HeadIsHot) {
+  ZipfianGenerator gen(100000, 42);
+  uint64_t head_hits = 0;  // Items 0..99 (0.1% of the keyspace).
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; i++) {
+    if (gen.Next() < 100) head_hits++;
+  }
+  // With theta=0.99 the top 0.1% of items draw a large share (>25%).
+  EXPECT_GT(head_hits, kSamples / 4u);
+}
+
+TEST(ZipfianTest, Deterministic) {
+  ZipfianGenerator a(5000, 7);
+  ZipfianGenerator b(5000, 7);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ZipfianTest, LargeKeySpaceApproximation) {
+  // > 10M items exercises the zeta tail approximation.
+  ZipfianGenerator gen(50'000'000, 3);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_LT(gen.Next(), 50'000'000u);
+  }
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotItems) {
+  ScrambledZipfianGenerator gen(100000, 42);
+  // The hottest items must not cluster at the low end of the keyspace.
+  uint64_t low_half = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; i++) {
+    if (gen.Next() < 50000) low_half++;
+  }
+  EXPECT_GT(low_half, kSamples / 4u);
+  EXPECT_LT(low_half, 3u * kSamples / 4);
+}
+
+TEST(LatestTest, FavorsRecentItems) {
+  LatestGenerator gen(100000, 42);
+  uint64_t recent = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; i++) {
+    // Items within the most recent 1%.
+    if (gen.Next() >= 99000) recent++;
+  }
+  EXPECT_GT(recent, kSamples / 4u);
+}
+
+TEST(LatestTest, TracksInsertions) {
+  LatestGenerator gen(1000, 42);
+  gen.SetMax(2000);
+  bool saw_new = false;
+  for (int i = 0; i < 5000; i++) {
+    if (gen.Next() >= 1000) {
+      saw_new = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(KeyFormatterTest, FixedWidth) {
+  KeyFormatter fmt(16);
+  EXPECT_EQ(16u, fmt.Format(0).size());
+  EXPECT_EQ(16u, fmt.Format(~0ull).size());
+  EXPECT_EQ("0000000000000042", fmt.Format(42));
+
+  KeyFormatter wide(256);
+  EXPECT_EQ(256u, wide.Format(7).size());
+  EXPECT_LT(wide.Format(7), wide.Format(8));
+
+  KeyFormatter narrow(8);
+  EXPECT_EQ(8u, narrow.Format(12345).size());
+}
+
+TEST(KeyFormatterTest, PreservesOrder) {
+  KeyFormatter fmt(16);
+  for (uint64_t i = 1; i < 10000; i += 97) {
+    ASSERT_LT(fmt.Format(i - 1), fmt.Format(i));
+  }
+}
+
+TEST(ValueGeneratorTest, LengthAndCompressibility) {
+  ValueGenerator gen(301, 0.5);
+  std::string v = gen.Generate(4096);
+  ASSERT_EQ(4096u, v.size());
+
+  std::string compressed;
+  snappy::Compress(v.data(), v.size(), &compressed);
+  // Target ratio is ~0.5; accept a broad band.
+  EXPECT_LT(compressed.size(), v.size() * 0.8);
+  EXPECT_GT(compressed.size(), v.size() * 0.2);
+}
+
+TEST(YcsbTest, LoadIsAllInserts) {
+  YcsbGenerator gen(YcsbWorkload::kLoad, 1000, 1);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; i++) {
+    auto op = gen.Next();
+    ASSERT_EQ(YcsbOp::kInsert, op.type);
+    ASSERT_TRUE(ids.insert(op.key_id).second);  // Sequential, distinct.
+  }
+}
+
+TEST(YcsbTest, MixesMatchTableIX) {
+  struct Expectation {
+    YcsbWorkload w;
+    double write_fraction;
+  };
+  const Expectation cases[] = {
+      {YcsbWorkload::kA, 0.5}, {YcsbWorkload::kB, 0.05},
+      {YcsbWorkload::kC, 0.0}, {YcsbWorkload::kD, 0.05},
+      {YcsbWorkload::kE, 0.05}, {YcsbWorkload::kF, 0.5},
+  };
+  for (const auto& c : cases) {
+    YcsbGenerator gen(c.w, 10000, 99);
+    int writes = 0;
+    const int kOps = 20000;
+    int scans = 0;
+    for (int i = 0; i < kOps; i++) {
+      auto op = gen.Next();
+      if (op.type == YcsbOp::kUpdate || op.type == YcsbOp::kInsert ||
+          op.type == YcsbOp::kReadModifyWrite) {
+        writes++;
+      }
+      if (op.type == YcsbOp::kScan) scans++;
+    }
+    EXPECT_NEAR(c.write_fraction, static_cast<double>(writes) / kOps, 0.02)
+        << YcsbWorkloadName(c.w);
+    if (c.w == YcsbWorkload::kE) {
+      EXPECT_GT(scans, kOps * 9 / 10 - 500);  // ~95% scans.
+    }
+    EXPECT_DOUBLE_EQ(c.write_fraction, YcsbWriteFraction(c.w));
+  }
+}
+
+TEST(YcsbTest, ScanLengthsBounded) {
+  YcsbGenerator gen(YcsbWorkload::kE, 10000, 5);
+  for (int i = 0; i < 2000; i++) {
+    auto op = gen.Next();
+    if (op.type == YcsbOp::kScan) {
+      ASSERT_GE(op.scan_length, 1);
+      ASSERT_LE(op.scan_length, 100);
+    }
+  }
+}
+
+TEST(YcsbTest, WorkloadNames) {
+  EXPECT_STREQ("Load", YcsbWorkloadName(YcsbWorkload::kLoad));
+  EXPECT_STREQ("A", YcsbWorkloadName(YcsbWorkload::kA));
+  EXPECT_STREQ("F", YcsbWorkloadName(YcsbWorkload::kF));
+}
+
+}  // namespace workload
+}  // namespace fcae
