@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_multi_input.dir/bench_fig12_multi_input.cc.o"
+  "CMakeFiles/bench_fig12_multi_input.dir/bench_fig12_multi_input.cc.o.d"
+  "bench_fig12_multi_input"
+  "bench_fig12_multi_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multi_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_data_size.dir/bench_fig14_data_size.cc.o"
+  "CMakeFiles/bench_fig14_data_size.dir/bench_fig14_data_size.cc.o.d"
+  "bench_fig14_data_size"
+  "bench_fig14_data_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_data_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

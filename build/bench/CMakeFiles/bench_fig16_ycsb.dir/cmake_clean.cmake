@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ycsb.dir/bench_fig16_ycsb.cc.o"
+  "CMakeFiles/bench_fig16_ycsb.dir/bench_fig16_ycsb.cc.o.d"
+  "bench_fig16_ycsb"
+  "bench_fig16_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

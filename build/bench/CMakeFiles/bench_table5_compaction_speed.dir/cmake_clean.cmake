@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_compaction_speed.dir/bench_table5_compaction_speed.cc.o"
+  "CMakeFiles/bench_table5_compaction_speed.dir/bench_table5_compaction_speed.cc.o.d"
+  "bench_table5_compaction_speed"
+  "bench_table5_compaction_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_compaction_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

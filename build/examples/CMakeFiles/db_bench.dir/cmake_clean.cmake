@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_bench.dir/db_bench.cpp.o"
+  "CMakeFiles/db_bench.dir/db_bench.cpp.o.d"
+  "db_bench"
+  "db_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

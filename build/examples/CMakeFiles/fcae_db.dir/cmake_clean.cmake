@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_db.dir/fcae_db.cpp.o"
+  "CMakeFiles/fcae_db.dir/fcae_db.cpp.o.d"
+  "fcae_db"
+  "fcae_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_compaction.dir/offload_compaction.cpp.o"
+  "CMakeFiles/offload_compaction.dir/offload_compaction.cpp.o.d"
+  "offload_compaction"
+  "offload_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for offload_compaction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_explorer.dir/what_if_explorer.cpp.o"
+  "CMakeFiles/what_if_explorer.dir/what_if_explorer.cpp.o.d"
+  "what_if_explorer"
+  "what_if_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_compress.dir/snappy.cc.o"
+  "CMakeFiles/fcae_compress.dir/snappy.cc.o.d"
+  "libfcae_compress.a"
+  "libfcae_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/block_parse.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/block_parse.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/block_parse.cc.o.d"
+  "/root/repo/src/fpga/compaction_engine.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/compaction_engine.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/compaction_engine.cc.o.d"
+  "/root/repo/src/fpga/comparer.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/comparer.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/comparer.cc.o.d"
+  "/root/repo/src/fpga/decoder.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/decoder.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/decoder.cc.o.d"
+  "/root/repo/src/fpga/device_memory.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/device_memory.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/device_memory.cc.o.d"
+  "/root/repo/src/fpga/encoder.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/encoder.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/encoder.cc.o.d"
+  "/root/repo/src/fpga/kv_transfer.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/kv_transfer.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/kv_transfer.cc.o.d"
+  "/root/repo/src/fpga/output_to_input.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/output_to_input.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/output_to_input.cc.o.d"
+  "/root/repo/src/fpga/resource_model.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/resource_model.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/resource_model.cc.o.d"
+  "/root/repo/src/fpga/timing_model.cc" "src/fpga/CMakeFiles/fcae_fpga.dir/timing_model.cc.o" "gcc" "src/fpga/CMakeFiles/fcae_fpga.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/fcae_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/fcae_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fcae_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fcae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

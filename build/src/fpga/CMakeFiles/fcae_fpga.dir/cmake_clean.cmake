@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_fpga.dir/block_parse.cc.o"
+  "CMakeFiles/fcae_fpga.dir/block_parse.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/compaction_engine.cc.o"
+  "CMakeFiles/fcae_fpga.dir/compaction_engine.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/comparer.cc.o"
+  "CMakeFiles/fcae_fpga.dir/comparer.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/decoder.cc.o"
+  "CMakeFiles/fcae_fpga.dir/decoder.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/device_memory.cc.o"
+  "CMakeFiles/fcae_fpga.dir/device_memory.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/encoder.cc.o"
+  "CMakeFiles/fcae_fpga.dir/encoder.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/kv_transfer.cc.o"
+  "CMakeFiles/fcae_fpga.dir/kv_transfer.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/output_to_input.cc.o"
+  "CMakeFiles/fcae_fpga.dir/output_to_input.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/resource_model.cc.o"
+  "CMakeFiles/fcae_fpga.dir/resource_model.cc.o.d"
+  "CMakeFiles/fcae_fpga.dir/timing_model.cc.o"
+  "CMakeFiles/fcae_fpga.dir/timing_model.cc.o.d"
+  "libfcae_fpga.a"
+  "libfcae_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cpu_compactor.cc" "src/host/CMakeFiles/fcae_host.dir/cpu_compactor.cc.o" "gcc" "src/host/CMakeFiles/fcae_host.dir/cpu_compactor.cc.o.d"
+  "/root/repo/src/host/fcae_device.cc" "src/host/CMakeFiles/fcae_host.dir/fcae_device.cc.o" "gcc" "src/host/CMakeFiles/fcae_host.dir/fcae_device.cc.o.d"
+  "/root/repo/src/host/offload_compaction.cc" "src/host/CMakeFiles/fcae_host.dir/offload_compaction.cc.o" "gcc" "src/host/CMakeFiles/fcae_host.dir/offload_compaction.cc.o.d"
+  "/root/repo/src/host/sstable_stager.cc" "src/host/CMakeFiles/fcae_host.dir/sstable_stager.cc.o" "gcc" "src/host/CMakeFiles/fcae_host.dir/sstable_stager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/fcae_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/fcae_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/fcae_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fcae_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fcae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

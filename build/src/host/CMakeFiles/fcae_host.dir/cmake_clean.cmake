@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_host.dir/cpu_compactor.cc.o"
+  "CMakeFiles/fcae_host.dir/cpu_compactor.cc.o.d"
+  "CMakeFiles/fcae_host.dir/fcae_device.cc.o"
+  "CMakeFiles/fcae_host.dir/fcae_device.cc.o.d"
+  "CMakeFiles/fcae_host.dir/offload_compaction.cc.o"
+  "CMakeFiles/fcae_host.dir/offload_compaction.cc.o.d"
+  "CMakeFiles/fcae_host.dir/sstable_stager.cc.o"
+  "CMakeFiles/fcae_host.dir/sstable_stager.cc.o.d"
+  "libfcae_host.a"
+  "libfcae_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

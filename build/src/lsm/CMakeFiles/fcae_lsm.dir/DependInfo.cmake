@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/builder.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/builder.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/builder.cc.o.d"
+  "/root/repo/src/lsm/cpu_compaction_executor.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/cpu_compaction_executor.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/cpu_compaction_executor.cc.o.d"
+  "/root/repo/src/lsm/db_impl.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/db_impl.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/db_impl.cc.o.d"
+  "/root/repo/src/lsm/db_iter.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/db_iter.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/db_iter.cc.o.d"
+  "/root/repo/src/lsm/dbformat.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/dbformat.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/dbformat.cc.o.d"
+  "/root/repo/src/lsm/filename.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/filename.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/filename.cc.o.d"
+  "/root/repo/src/lsm/log_reader.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/log_reader.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/log_reader.cc.o.d"
+  "/root/repo/src/lsm/log_writer.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/log_writer.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/log_writer.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/memtable.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/memtable.cc.o.d"
+  "/root/repo/src/lsm/repair.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/repair.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/repair.cc.o.d"
+  "/root/repo/src/lsm/table_cache.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/table_cache.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/table_cache.cc.o.d"
+  "/root/repo/src/lsm/version_edit.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/version_edit.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/version_edit.cc.o.d"
+  "/root/repo/src/lsm/version_set.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/version_set.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/version_set.cc.o.d"
+  "/root/repo/src/lsm/write_batch.cc" "src/lsm/CMakeFiles/fcae_lsm.dir/write_batch.cc.o" "gcc" "src/lsm/CMakeFiles/fcae_lsm.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/fcae_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fcae_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fcae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

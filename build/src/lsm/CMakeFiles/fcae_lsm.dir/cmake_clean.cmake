@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_lsm.dir/builder.cc.o"
+  "CMakeFiles/fcae_lsm.dir/builder.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/cpu_compaction_executor.cc.o"
+  "CMakeFiles/fcae_lsm.dir/cpu_compaction_executor.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/db_impl.cc.o"
+  "CMakeFiles/fcae_lsm.dir/db_impl.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/db_iter.cc.o"
+  "CMakeFiles/fcae_lsm.dir/db_iter.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/dbformat.cc.o"
+  "CMakeFiles/fcae_lsm.dir/dbformat.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/filename.cc.o"
+  "CMakeFiles/fcae_lsm.dir/filename.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/log_reader.cc.o"
+  "CMakeFiles/fcae_lsm.dir/log_reader.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/log_writer.cc.o"
+  "CMakeFiles/fcae_lsm.dir/log_writer.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/memtable.cc.o"
+  "CMakeFiles/fcae_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/repair.cc.o"
+  "CMakeFiles/fcae_lsm.dir/repair.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/table_cache.cc.o"
+  "CMakeFiles/fcae_lsm.dir/table_cache.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/version_edit.cc.o"
+  "CMakeFiles/fcae_lsm.dir/version_edit.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/version_set.cc.o"
+  "CMakeFiles/fcae_lsm.dir/version_set.cc.o.d"
+  "CMakeFiles/fcae_lsm.dir/write_batch.cc.o"
+  "CMakeFiles/fcae_lsm.dir/write_batch.cc.o.d"
+  "libfcae_lsm.a"
+  "libfcae_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_syssim.dir/cost_model.cc.o"
+  "CMakeFiles/fcae_syssim.dir/cost_model.cc.o.d"
+  "CMakeFiles/fcae_syssim.dir/lsm_state.cc.o"
+  "CMakeFiles/fcae_syssim.dir/lsm_state.cc.o.d"
+  "CMakeFiles/fcae_syssim.dir/simulator.cc.o"
+  "CMakeFiles/fcae_syssim.dir/simulator.cc.o.d"
+  "libfcae_syssim.a"
+  "libfcae_syssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_syssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

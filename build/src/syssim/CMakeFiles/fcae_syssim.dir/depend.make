@@ -1,0 +1,2 @@
+# Empty dependencies file for fcae_syssim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/block.cc" "src/table/CMakeFiles/fcae_table.dir/block.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/table/CMakeFiles/fcae_table.dir/block_builder.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/block_builder.cc.o.d"
+  "/root/repo/src/table/filter_block.cc" "src/table/CMakeFiles/fcae_table.dir/filter_block.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/filter_block.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/table/CMakeFiles/fcae_table.dir/format.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/format.cc.o.d"
+  "/root/repo/src/table/iterator.cc" "src/table/CMakeFiles/fcae_table.dir/iterator.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/iterator.cc.o.d"
+  "/root/repo/src/table/merger.cc" "src/table/CMakeFiles/fcae_table.dir/merger.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/merger.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/fcae_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/table/CMakeFiles/fcae_table.dir/table_builder.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/table_builder.cc.o.d"
+  "/root/repo/src/table/two_level_iterator.cc" "src/table/CMakeFiles/fcae_table.dir/two_level_iterator.cc.o" "gcc" "src/table/CMakeFiles/fcae_table.dir/two_level_iterator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fcae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fcae_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_table.dir/block.cc.o"
+  "CMakeFiles/fcae_table.dir/block.cc.o.d"
+  "CMakeFiles/fcae_table.dir/block_builder.cc.o"
+  "CMakeFiles/fcae_table.dir/block_builder.cc.o.d"
+  "CMakeFiles/fcae_table.dir/filter_block.cc.o"
+  "CMakeFiles/fcae_table.dir/filter_block.cc.o.d"
+  "CMakeFiles/fcae_table.dir/format.cc.o"
+  "CMakeFiles/fcae_table.dir/format.cc.o.d"
+  "CMakeFiles/fcae_table.dir/iterator.cc.o"
+  "CMakeFiles/fcae_table.dir/iterator.cc.o.d"
+  "CMakeFiles/fcae_table.dir/merger.cc.o"
+  "CMakeFiles/fcae_table.dir/merger.cc.o.d"
+  "CMakeFiles/fcae_table.dir/table.cc.o"
+  "CMakeFiles/fcae_table.dir/table.cc.o.d"
+  "CMakeFiles/fcae_table.dir/table_builder.cc.o"
+  "CMakeFiles/fcae_table.dir/table_builder.cc.o.d"
+  "CMakeFiles/fcae_table.dir/two_level_iterator.cc.o"
+  "CMakeFiles/fcae_table.dir/two_level_iterator.cc.o.d"
+  "libfcae_table.a"
+  "libfcae_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arena.cc" "src/util/CMakeFiles/fcae_util.dir/arena.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/arena.cc.o.d"
+  "/root/repo/src/util/bloom.cc" "src/util/CMakeFiles/fcae_util.dir/bloom.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/bloom.cc.o.d"
+  "/root/repo/src/util/cache.cc" "src/util/CMakeFiles/fcae_util.dir/cache.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/cache.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/util/CMakeFiles/fcae_util.dir/coding.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/util/CMakeFiles/fcae_util.dir/comparator.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/util/CMakeFiles/fcae_util.dir/crc32c.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/crc32c.cc.o.d"
+  "/root/repo/src/util/env_posix.cc" "src/util/CMakeFiles/fcae_util.dir/env_posix.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/env_posix.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/fcae_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/mem_env.cc" "src/util/CMakeFiles/fcae_util.dir/mem_env.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/mem_env.cc.o.d"
+  "/root/repo/src/util/options.cc" "src/util/CMakeFiles/fcae_util.dir/options.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/options.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/fcae_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/fcae_util.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

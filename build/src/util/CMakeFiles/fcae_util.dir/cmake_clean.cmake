@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_util.dir/arena.cc.o"
+  "CMakeFiles/fcae_util.dir/arena.cc.o.d"
+  "CMakeFiles/fcae_util.dir/bloom.cc.o"
+  "CMakeFiles/fcae_util.dir/bloom.cc.o.d"
+  "CMakeFiles/fcae_util.dir/cache.cc.o"
+  "CMakeFiles/fcae_util.dir/cache.cc.o.d"
+  "CMakeFiles/fcae_util.dir/coding.cc.o"
+  "CMakeFiles/fcae_util.dir/coding.cc.o.d"
+  "CMakeFiles/fcae_util.dir/comparator.cc.o"
+  "CMakeFiles/fcae_util.dir/comparator.cc.o.d"
+  "CMakeFiles/fcae_util.dir/crc32c.cc.o"
+  "CMakeFiles/fcae_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/fcae_util.dir/env_posix.cc.o"
+  "CMakeFiles/fcae_util.dir/env_posix.cc.o.d"
+  "CMakeFiles/fcae_util.dir/histogram.cc.o"
+  "CMakeFiles/fcae_util.dir/histogram.cc.o.d"
+  "CMakeFiles/fcae_util.dir/mem_env.cc.o"
+  "CMakeFiles/fcae_util.dir/mem_env.cc.o.d"
+  "CMakeFiles/fcae_util.dir/options.cc.o"
+  "CMakeFiles/fcae_util.dir/options.cc.o.d"
+  "CMakeFiles/fcae_util.dir/status.cc.o"
+  "CMakeFiles/fcae_util.dir/status.cc.o.d"
+  "libfcae_util.a"
+  "libfcae_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/key_generator.cc" "src/workload/CMakeFiles/fcae_workload.dir/key_generator.cc.o" "gcc" "src/workload/CMakeFiles/fcae_workload.dir/key_generator.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/workload/CMakeFiles/fcae_workload.dir/ycsb.cc.o" "gcc" "src/workload/CMakeFiles/fcae_workload.dir/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipfian.cc" "src/workload/CMakeFiles/fcae_workload.dir/zipfian.cc.o" "gcc" "src/workload/CMakeFiles/fcae_workload.dir/zipfian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fcae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcae_workload.dir/key_generator.cc.o"
+  "CMakeFiles/fcae_workload.dir/key_generator.cc.o.d"
+  "CMakeFiles/fcae_workload.dir/ycsb.cc.o"
+  "CMakeFiles/fcae_workload.dir/ycsb.cc.o.d"
+  "CMakeFiles/fcae_workload.dir/zipfian.cc.o"
+  "CMakeFiles/fcae_workload.dir/zipfian.cc.o.d"
+  "libfcae_workload.a"
+  "libfcae_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcae_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arena_test.dir/arena_test.cc.o"
+  "CMakeFiles/arena_test.dir/arena_test.cc.o.d"
+  "arena_test"
+  "arena_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

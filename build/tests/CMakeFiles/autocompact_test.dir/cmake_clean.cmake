@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocompact_test.dir/autocompact_test.cc.o"
+  "CMakeFiles/autocompact_test.dir/autocompact_test.cc.o.d"
+  "autocompact_test"
+  "autocompact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocompact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

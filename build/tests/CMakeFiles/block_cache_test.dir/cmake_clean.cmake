@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_cache_test.dir/block_cache_test.cc.o"
+  "CMakeFiles/block_cache_test.dir/block_cache_test.cc.o.d"
+  "block_cache_test"
+  "block_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_parse_test.dir/block_parse_test.cc.o"
+  "CMakeFiles/block_parse_test.dir/block_parse_test.cc.o.d"
+  "block_parse_test"
+  "block_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_test.dir/block_test.cc.o"
+  "CMakeFiles/block_test.dir/block_test.cc.o.d"
+  "block_test"
+  "block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_test.dir/bloom_test.cc.o"
+  "CMakeFiles/bloom_test.dir/bloom_test.cc.o.d"
+  "bloom_test"
+  "bloom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

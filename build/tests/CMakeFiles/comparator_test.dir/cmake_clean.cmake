@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparator_test.dir/comparator_test.cc.o"
+  "CMakeFiles/comparator_test.dir/comparator_test.cc.o.d"
+  "comparator_test"
+  "comparator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

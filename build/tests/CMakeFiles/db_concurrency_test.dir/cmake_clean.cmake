@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_concurrency_test.dir/db_concurrency_test.cc.o"
+  "CMakeFiles/db_concurrency_test.dir/db_concurrency_test.cc.o.d"
+  "db_concurrency_test"
+  "db_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_iter_test.dir/db_iter_test.cc.o"
+  "CMakeFiles/db_iter_test.dir/db_iter_test.cc.o.d"
+  "db_iter_test"
+  "db_iter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_iter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

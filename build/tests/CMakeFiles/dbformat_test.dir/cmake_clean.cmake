@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbformat_test.dir/dbformat_test.cc.o"
+  "CMakeFiles/dbformat_test.dir/dbformat_test.cc.o.d"
+  "dbformat_test"
+  "dbformat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbformat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filename_test.dir/filename_test.cc.o"
+  "CMakeFiles/filename_test.dir/filename_test.cc.o.d"
+  "filename_test"
+  "filename_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filename_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

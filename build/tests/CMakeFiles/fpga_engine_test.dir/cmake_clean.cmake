@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_engine_test.dir/fpga_engine_test.cc.o"
+  "CMakeFiles/fpga_engine_test.dir/fpga_engine_test.cc.o.d"
+  "fpga_engine_test"
+  "fpga_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_fifo_test.dir/fpga_fifo_test.cc.o"
+  "CMakeFiles/fpga_fifo_test.dir/fpga_fifo_test.cc.o.d"
+  "fpga_fifo_test"
+  "fpga_fifo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

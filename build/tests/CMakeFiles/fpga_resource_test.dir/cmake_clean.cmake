@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_resource_test.dir/fpga_resource_test.cc.o"
+  "CMakeFiles/fpga_resource_test.dir/fpga_resource_test.cc.o.d"
+  "fpga_resource_test"
+  "fpga_resource_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

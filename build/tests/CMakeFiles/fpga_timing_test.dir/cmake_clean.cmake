@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_timing_test.dir/fpga_timing_test.cc.o"
+  "CMakeFiles/fpga_timing_test.dir/fpga_timing_test.cc.o.d"
+  "fpga_timing_test"
+  "fpga_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

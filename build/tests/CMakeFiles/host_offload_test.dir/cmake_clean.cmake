@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_offload_test.dir/host_offload_test.cc.o"
+  "CMakeFiles/host_offload_test.dir/host_offload_test.cc.o.d"
+  "host_offload_test"
+  "host_offload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_offload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_fuzz_test.dir/log_fuzz_test.cc.o"
+  "CMakeFiles/log_fuzz_test.dir/log_fuzz_test.cc.o.d"
+  "log_fuzz_test"
+  "log_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_state_test.dir/lsm_state_test.cc.o"
+  "CMakeFiles/lsm_state_test.dir/lsm_state_test.cc.o.d"
+  "lsm_state_test"
+  "lsm_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtable_test.dir/memtable_test.cc.o"
+  "CMakeFiles/memtable_test.dir/memtable_test.cc.o.d"
+  "memtable_test"
+  "memtable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

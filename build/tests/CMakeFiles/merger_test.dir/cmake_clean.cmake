@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merger_test.dir/merger_test.cc.o"
+  "CMakeFiles/merger_test.dir/merger_test.cc.o.d"
+  "merger_test"
+  "merger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

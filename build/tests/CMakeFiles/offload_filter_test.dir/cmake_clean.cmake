@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_filter_test.dir/offload_filter_test.cc.o"
+  "CMakeFiles/offload_filter_test.dir/offload_filter_test.cc.o.d"
+  "offload_filter_test"
+  "offload_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

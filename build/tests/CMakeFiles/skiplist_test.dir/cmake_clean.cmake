@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_test.dir/skiplist_test.cc.o"
+  "CMakeFiles/skiplist_test.dir/skiplist_test.cc.o.d"
+  "skiplist_test"
+  "skiplist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappy_test.dir/snappy_test.cc.o"
+  "CMakeFiles/snappy_test.dir/snappy_test.cc.o.d"
+  "snappy_test"
+  "snappy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syssim_test.dir/syssim_test.cc.o"
+  "CMakeFiles/syssim_test.dir/syssim_test.cc.o.d"
+  "syssim_test"
+  "syssim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_cache_test.dir/table_cache_test.cc.o"
+  "CMakeFiles/table_cache_test.dir/table_cache_test.cc.o.d"
+  "table_cache_test"
+  "table_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tournament_test.dir/tournament_test.cc.o"
+  "CMakeFiles/tournament_test.dir/tournament_test.cc.o.d"
+  "tournament_test"
+  "tournament_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tournament_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_edit_test.dir/version_edit_test.cc.o"
+  "CMakeFiles/version_edit_test.dir/version_edit_test.cc.o.d"
+  "version_edit_test"
+  "version_edit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_edit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

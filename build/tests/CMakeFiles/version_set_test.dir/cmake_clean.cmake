@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_set_test.dir/version_set_test.cc.o"
+  "CMakeFiles/version_set_test.dir/version_set_test.cc.o.d"
+  "version_set_test"
+  "version_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_batch_test.dir/write_batch_test.cc.o"
+  "CMakeFiles/write_batch_test.dir/write_batch_test.cc.o.d"
+  "write_batch_test"
+  "write_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
