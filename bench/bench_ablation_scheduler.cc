@@ -54,6 +54,7 @@ void RealDb() {
   std::printf("%-28s %12s %12s %14s\n", "policy", "offloaded", "on cpu",
               "device cycles");
 
+  JsonReport report("ablation_scheduler");
   for (bool tournament : {false, true}) {
     std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
     fpga::EngineConfig engine;
@@ -98,7 +99,13 @@ void RealDb() {
                 (unsigned long long)device.kernels_launched(),
                 tournament ? "(none)" : "(L0 jobs)",
                 (unsigned long long)stats.device_cycles);
+
+    const std::string prefix = tournament ? "tournament" : "strict";
+    report.Add(prefix + ".kernels_launched", device.kernels_launched());
+    report.Add(prefix + ".device_cycles", stats.device_cycles);
+    report.AddRobustness(prefix, stats, impl->FallbackCompactions());
   }
+  report.WriteFile();
   std::printf("(strict: level-0 compactions exceed the 2-input limit and "
               "run in software;\n tournament: every compaction reaches the "
               "device)\n");

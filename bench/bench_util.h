@@ -10,10 +10,12 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fpga/device_memory.h"
 #include "host/sstable_stager.h"
+#include "lsm/compaction_executor.h"
 #include "lsm/dbformat.h"
 #include "table/table_builder.h"
 #include "util/env.h"
@@ -91,6 +93,89 @@ inline uint64_t RecordsFor(uint64_t total_bytes, size_t key_len,
                            size_t value_len) {
   return total_bytes / (key_len + 8 + value_len);
 }
+
+/// Flat key/value JSON emitter for machine-readable bench artifacts.
+/// Each bench that opts in writes `BENCH_<name>.json` next to its
+/// stdout table so runs can be diffed without scraping text. Keys use
+/// dotted prefixes ("tournament.device_faults") instead of nesting.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench_name) : name_(bench_name) {
+    Add("bench", bench_name);
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    entries_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)value);
+    entries_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, int64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", (long long)value);
+    entries_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, (int64_t)value);
+  }
+
+  /// Robustness counters from the fault-tolerant offload path. All of
+  /// these stay at ~0 when the fault injector is off, so a nonzero
+  /// reading in a BENCH_*.json flags unexpected retry/verify overhead.
+  void AddRobustness(const std::string& prefix,
+                     const CompactionExecStats& stats,
+                     int64_t fallback_compactions) {
+    Add(prefix + ".device_attempts", stats.device_attempts);
+    Add(prefix + ".device_retries", stats.device_retries);
+    Add(prefix + ".device_faults", stats.device_faults);
+    Add(prefix + ".verify_failures", stats.verify_failures);
+    Add(prefix + ".verify_micros", stats.verify_micros);
+    Add(prefix + ".fallback_compactions", fallback_compactions);
+  }
+
+  /// Writes BENCH_<name>.json in the current directory.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); i++) {
+      std::fprintf(f, "  \"%s\": %s%s\n", Escape(entries_[i].first).c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace bench
 }  // namespace fcae

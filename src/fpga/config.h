@@ -72,6 +72,12 @@ struct EngineConfig {
   /// format; can be disabled for experiments).
   bool compress_output = true;
 
+  /// Kernel watchdog: if a run exceeds this many simulated cycles the
+  /// host declares a kernel timeout and kills the job (0 = no deadline).
+  /// Sized from the input bytes by the host executor; a hung kernel on a
+  /// real card is detected exactly this way.
+  uint64_t kernel_deadline_cycles = 0;
+
   OptLevel opt_level = OptLevel::kFullBandwidth;
 
   /// Returns the effective value datapath width for the configured

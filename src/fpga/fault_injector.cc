@@ -1,0 +1,128 @@
+#include "fpga/fault_injector.h"
+
+namespace fcae {
+namespace fpga {
+
+const char* DeviceFaultClassName(DeviceFaultClass cls) {
+  switch (cls) {
+    case DeviceFaultClass::kNone:
+      return "none";
+    case DeviceFaultClass::kDmaCorruption:
+      return "dma-corruption";
+    case DeviceFaultClass::kKernelTimeout:
+      return "kernel-timeout";
+    case DeviceFaultClass::kDeviceBusy:
+      return "device-busy";
+    case DeviceFaultClass::kCardDropped:
+      return "card-dropped";
+  }
+  return "unknown";
+}
+
+DeviceFaultInjector::DeviceFaultInjector(const DeviceFaultConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+FaultDecision DeviceFaultInjector::NextLaunch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  launches_++;
+
+  FaultDecision decision;
+  // Sticky state dominates everything else.
+  if (card_dropped_) {
+    decision.cls = DeviceFaultClass::kCardDropped;
+    counts_[static_cast<int>(decision.cls)]++;
+    return decision;
+  }
+  if (config_.card_drop_at_launch != 0 &&
+      launches_ == config_.card_drop_at_launch) {
+    card_dropped_ = true;
+    decision.cls = DeviceFaultClass::kCardDropped;
+    counts_[static_cast<int>(decision.cls)]++;
+    return decision;
+  }
+
+  // One-shots override the random stream for their launch ordinal.
+  for (auto it = one_shots_.begin(); it != one_shots_.end(); ++it) {
+    if (it->first == launches_) {
+      decision = it->second;
+      one_shots_.erase(it);
+      if (decision.cls == DeviceFaultClass::kCardDropped) {
+        card_dropped_ = true;
+      }
+      if (decision.cls == DeviceFaultClass::kDmaCorruption) {
+        decision.corruption_seed = rng_.Next64();
+      }
+      counts_[static_cast<int>(decision.cls)]++;
+      return decision;
+    }
+  }
+
+  // The random transient stream. Every launch consumes exactly one
+  // top-level draw so the fault positions depend only on (seed, launch
+  // ordinal), not on which classes were drawn before.
+  const double p = rng_.NextDouble();
+  if (config_.transient_rate <= 0 || p >= config_.transient_rate) {
+    return decision;  // kNone.
+  }
+  const double total = config_.dma_corruption_weight +
+                       config_.kernel_timeout_weight +
+                       config_.device_busy_weight;
+  if (total <= 0) {
+    return decision;
+  }
+  double pick = rng_.NextDouble() * total;
+  if (pick < config_.dma_corruption_weight) {
+    decision.cls = DeviceFaultClass::kDmaCorruption;
+    decision.silent = rng_.NextDouble() < config_.silent_corruption_fraction;
+    decision.corruption_seed = rng_.Next64();
+  } else if (pick <
+             config_.dma_corruption_weight + config_.kernel_timeout_weight) {
+    decision.cls = DeviceFaultClass::kKernelTimeout;
+  } else {
+    decision.cls = DeviceFaultClass::kDeviceBusy;
+  }
+  counts_[static_cast<int>(decision.cls)]++;
+  return decision;
+}
+
+void DeviceFaultInjector::ArmOneShot(DeviceFaultClass cls,
+                                     uint64_t launches_from_now,
+                                     bool silent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FaultDecision decision;
+  decision.cls = cls;
+  decision.silent = silent;
+  one_shots_.emplace_back(launches_ + launches_from_now, decision);
+}
+
+void DeviceFaultInjector::RepairCard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  card_dropped_ = false;
+}
+
+bool DeviceFaultInjector::card_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return card_dropped_;
+}
+
+uint64_t DeviceFaultInjector::launches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return launches_;
+}
+
+uint64_t DeviceFaultInjector::count(DeviceFaultClass cls) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_[static_cast<int>(cls)];
+}
+
+uint64_t DeviceFaultInjector::total_faults() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (int i = 1; i < kNumDeviceFaultClasses; i++) {
+    total += counts_[i];
+  }
+  return total;
+}
+
+}  // namespace fpga
+}  // namespace fcae

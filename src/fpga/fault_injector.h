@@ -1,0 +1,114 @@
+#ifndef FCAE_FPGA_FAULT_INJECTOR_H_
+#define FCAE_FPGA_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fcae {
+namespace fpga {
+
+/// The fault classes a PCIe-attached accelerator exhibits in production.
+/// Transient classes clear on retry; kCardDropped is sticky: every
+/// subsequent kernel launch fails until RepairCard() (a hot reset /
+/// driver rebind in the real world).
+enum class DeviceFaultClass {
+  kNone = 0,
+  /// Bytes of the output DMA arrive corrupted. A detected corruption is
+  /// caught by the link-level LCRC and costs one retransfer; a *silent*
+  /// corruption evades it and must be caught by host-side verification
+  /// before the result reaches the manifest.
+  kDmaCorruption = 1,
+  /// The kernel missed its simulated-cycle deadline (a hang or a
+  /// pathological input); the host kills and may relaunch it.
+  kKernelTimeout = 2,
+  /// The DMA engine or kernel queue refused the job; immediately
+  /// retryable.
+  kDeviceBusy = 3,
+  /// The card dropped off the bus (surprise link-down). Sticky.
+  kCardDropped = 4,
+};
+
+constexpr int kNumDeviceFaultClasses = 5;
+
+const char* DeviceFaultClassName(DeviceFaultClass cls);
+
+/// Configuration of the seeded fault model.
+struct DeviceFaultConfig {
+  /// Seed of the deterministic fault stream: the same seed and the same
+  /// sequence of kernel launches reproduce the same faults.
+  uint32_t seed = 1;
+
+  /// Probability that any given kernel launch draws a transient fault.
+  double transient_rate = 0.0;
+
+  /// Relative weights of the transient classes drawn on a fault.
+  double dma_corruption_weight = 1.0;
+  double kernel_timeout_weight = 1.0;
+  double device_busy_weight = 1.0;
+
+  /// Fraction of DMA corruptions that evade the link CRC (silent): the
+  /// transfer "succeeds" with flipped bytes and only host verification
+  /// can catch it. The remainder are detected and retransferred.
+  double silent_corruption_fraction = 0.5;
+
+  /// If non-zero, the card drops off the bus (sticky) on this 1-based
+  /// kernel launch ordinal.
+  uint64_t card_drop_at_launch = 0;
+};
+
+/// What the injector decided for one kernel launch.
+struct FaultDecision {
+  DeviceFaultClass cls = DeviceFaultClass::kNone;
+  /// Only meaningful for kDmaCorruption.
+  bool silent = false;
+  /// Seed for choosing which output bytes a silent corruption flips.
+  uint64_t corruption_seed = 0;
+};
+
+/// DeviceFaultInjector is the fault hook of FcaeDevice: the device draws
+/// one FaultDecision per kernel launch (ExecuteCompaction or each
+/// tournament pass) and simulates the drawn fault. Deterministic from
+/// the seed, thread-safe, with per-class counters.
+class DeviceFaultInjector {
+ public:
+  explicit DeviceFaultInjector(const DeviceFaultConfig& config);
+
+  DeviceFaultInjector(const DeviceFaultInjector&) = delete;
+  DeviceFaultInjector& operator=(const DeviceFaultInjector&) = delete;
+
+  /// Draws the fault decision for the next kernel launch and counts it.
+  FaultDecision NextLaunch();
+
+  /// Arms a one-shot fault on the Nth launch *from now* (1 = the very
+  /// next launch). One-shots override the random stream for that launch;
+  /// used by tests to hit a precise tournament pass.
+  void ArmOneShot(DeviceFaultClass cls, uint64_t launches_from_now,
+                  bool silent = false);
+
+  /// Clears a sticky card-drop (models a hot reset + driver rebind).
+  void RepairCard();
+
+  bool card_dropped() const;
+  uint64_t launches() const;
+  uint64_t count(DeviceFaultClass cls) const;
+  uint64_t total_faults() const;
+
+ private:
+  const DeviceFaultConfig config_;
+
+  mutable std::mutex mutex_;
+  Random rng_;
+  uint64_t launches_ = 0;
+  bool card_dropped_ = false;
+  std::array<uint64_t, kNumDeviceFaultClasses> counts_{};
+  std::vector<std::pair<uint64_t, FaultDecision>> one_shots_;  // By ordinal.
+};
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_FAULT_INJECTOR_H_

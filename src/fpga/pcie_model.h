@@ -31,7 +31,20 @@ class PcieModel {
     return TransferMicros(input_bytes) + TransferMicros(output_bytes);
   }
 
+  /// Extra time charged when the link-level CRC catches a corrupted
+  /// transfer and the DMA replays: the descriptor setup latency plus the
+  /// replayed window (the whole transfer, capped at one replay-buffer
+  /// chunk — gen3 replays at TLP granularity, so a full-transfer replay
+  /// is the conservative upper bound for one fault).
+  double RetransferMicros(uint64_t bytes) const {
+    const uint64_t window =
+        bytes < kReplayChunkBytes ? bytes : kReplayChunkBytes;
+    return TransferMicros(window);
+  }
+
  private:
+  static constexpr uint64_t kReplayChunkBytes = 4ull << 20;
+
   double bytes_per_micro_;
   double per_dma_latency_us_;
 };

@@ -1,0 +1,92 @@
+#include "host/device_health_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fcae {
+namespace host {
+
+DeviceHealthMonitor::DeviceHealthMonitor(DeviceHealthOptions options)
+    : options_(options) {}
+
+bool DeviceHealthMonitor::Admit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!quarantined_) return true;
+  denials_since_probe_++;
+  if (denials_since_probe_ >= options_.probe_interval) {
+    denials_since_probe_ = 0;
+    probes_++;
+    return true;  // Probe job: outcome decides re-admission.
+  }
+  jobs_denied_++;
+  return false;
+}
+
+void DeviceHealthMonitor::RecordJobSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_succeeded_++;
+  consecutive_failures_ = 0;
+  if (quarantined_) {
+    quarantined_ = false;
+    denials_since_probe_ = 0;
+    readmissions_++;
+  }
+}
+
+void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_failed_++;
+  if (sticky) {
+    sticky_failures_++;
+    consecutive_failures_ += std::max(1, options_.sticky_weight);
+  } else {
+    consecutive_failures_++;
+  }
+  if (!quarantined_ &&
+      consecutive_failures_ >= options_.quarantine_threshold) {
+    quarantined_ = true;
+    denials_since_probe_ = 0;
+    quarantines_++;
+  }
+}
+
+bool DeviceHealthMonitor::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_;
+}
+
+DeviceHealthMonitor::Snapshot DeviceHealthMonitor::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.quarantined = quarantined_;
+  snap.consecutive_failures = consecutive_failures_;
+  snap.jobs_succeeded = jobs_succeeded_;
+  snap.jobs_failed = jobs_failed_;
+  snap.sticky_failures = sticky_failures_;
+  snap.quarantines = quarantines_;
+  snap.probes = probes_;
+  snap.readmissions = readmissions_;
+  snap.jobs_denied = jobs_denied_;
+  return snap;
+}
+
+std::string DeviceHealthMonitor::ToString() const {
+  Snapshot snap = snapshot();
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "quarantined=%d consecutive-failures=%d jobs{ok=%llu failed=%llu "
+      "sticky=%llu denied=%llu} breaker{opened=%llu probes=%llu "
+      "readmitted=%llu}",
+      snap.quarantined ? 1 : 0, snap.consecutive_failures,
+      (unsigned long long)snap.jobs_succeeded,
+      (unsigned long long)snap.jobs_failed,
+      (unsigned long long)snap.sticky_failures,
+      (unsigned long long)snap.jobs_denied,
+      (unsigned long long)snap.quarantines, (unsigned long long)snap.probes,
+      (unsigned long long)snap.readmissions);
+  return std::string(buf);
+}
+
+}  // namespace host
+}  // namespace fcae

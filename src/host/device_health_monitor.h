@@ -1,0 +1,89 @@
+#ifndef FCAE_HOST_DEVICE_HEALTH_MONITOR_H_
+#define FCAE_HOST_DEVICE_HEALTH_MONITOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace fcae {
+namespace host {
+
+/// Circuit-breaker policy knobs.
+struct DeviceHealthOptions {
+  /// Consecutive failed jobs (after the executor's own retries) that
+  /// quarantine the device. A sticky card-drop counts `sticky_weight`
+  /// failures at once, so a dead card trips the breaker immediately.
+  int quarantine_threshold = 3;
+  int sticky_weight = 3;
+
+  /// While quarantined, every `probe_interval`-th job the executor is
+  /// asked about is admitted as a probe; its outcome decides whether the
+  /// device is re-admitted. The jobs in between flow to the CPU path.
+  int probe_interval = 8;
+};
+
+/// DeviceHealthMonitor is the circuit breaker between the DB and the
+/// offload executor. The executor reports per-job outcomes
+/// (RecordJobSuccess / RecordJobFailure); CanExecute consults Admit().
+///
+/// States: healthy -> (K consecutive failures) -> quarantined ->
+/// (periodic probe job succeeds) -> healthy again. While quarantined,
+/// Admit() denies all jobs except the periodic probe, so compactions
+/// flow to the always-available CPU executor and the DB degrades
+/// gracefully instead of stalling.
+class DeviceHealthMonitor {
+ public:
+  explicit DeviceHealthMonitor(DeviceHealthOptions options = {});
+
+  DeviceHealthMonitor(const DeviceHealthMonitor&) = delete;
+  DeviceHealthMonitor& operator=(const DeviceHealthMonitor&) = delete;
+
+  /// Should this job be sent to the device? Counts denials while
+  /// quarantined and grants every probe_interval-th job as a probe.
+  bool Admit();
+
+  /// One job completed on the device (possibly after internal retries).
+  void RecordJobSuccess();
+
+  /// One job failed on the device after exhausting its retries.
+  /// `sticky` marks a fault no retry can clear (card off the bus).
+  void RecordJobFailure(bool sticky);
+
+  bool quarantined() const;
+
+  struct Snapshot {
+    bool quarantined = false;
+    int consecutive_failures = 0;
+    uint64_t jobs_succeeded = 0;
+    uint64_t jobs_failed = 0;
+    uint64_t sticky_failures = 0;
+    uint64_t quarantines = 0;   // Times the breaker opened.
+    uint64_t probes = 0;        // Probe jobs admitted while open.
+    uint64_t readmissions = 0;  // Times a probe closed the breaker.
+    uint64_t jobs_denied = 0;   // Jobs routed to CPU by the breaker.
+  };
+  Snapshot snapshot() const;
+
+  /// One-line counter dump for DB::GetProperty("fcae.device-health").
+  std::string ToString() const;
+
+ private:
+  const DeviceHealthOptions options_;
+
+  mutable std::mutex mutex_;
+  bool quarantined_ = false;
+  int consecutive_failures_ = 0;
+  int denials_since_probe_ = 0;
+  uint64_t jobs_succeeded_ = 0;
+  uint64_t jobs_failed_ = 0;
+  uint64_t sticky_failures_ = 0;
+  uint64_t quarantines_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t readmissions_ = 0;
+  uint64_t jobs_denied_ = 0;
+};
+
+}  // namespace host
+}  // namespace fcae
+
+#endif  // FCAE_HOST_DEVICE_HEALTH_MONITOR_H_

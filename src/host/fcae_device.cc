@@ -1,15 +1,123 @@
 #include "host/fcae_device.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "fpga/output_to_input.h"
+#include "util/random.h"
 
 namespace fcae {
 namespace host {
 
+namespace {
+
+/// Applies a silent DMA corruption: flips a few bytes of one output
+/// table, chosen deterministically from the decision's corruption seed.
+/// The flips may land in block payloads, trailers or restart arrays —
+/// exactly the reason host verification re-checks CRCs and key order.
+void CorruptOutput(uint64_t seed, fpga::DeviceOutput* output) {
+  if (output->tables.empty()) return;
+  Random rng(static_cast<uint32_t>(seed ^ (seed >> 32)) | 1);
+  fpga::DeviceOutputTable& table =
+      output->tables[rng.Uniform(static_cast<int>(output->tables.size()))];
+  if (table.data_memory.empty()) return;
+  const int flips = 1 + static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < flips; i++) {
+    const size_t pos =
+        static_cast<size_t>(rng.Next64() % table.data_memory.size());
+    table.data_memory[pos] =
+        static_cast<char>(table.data_memory[pos] ^ (1u << rng.Uniform(8)));
+  }
+}
+
+}  // namespace
+
 FcaeDevice::FcaeDevice(const fpga::EngineConfig& config,
                        const fpga::PcieModel& pcie)
     : config_(config), pcie_(pcie) {}
+
+Status FcaeDevice::RunKernel(
+    const std::vector<const fpga::DeviceInput*>& inputs,
+    uint64_t smallest_snapshot, bool drop_deletions,
+    fpga::DeviceOutput* output, DeviceRunStats* stats) {
+  fpga::FaultDecision decision;
+  if (fault_injector_ != nullptr) {
+    decision = fault_injector_->NextLaunch();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    kernels_launched_++;
+  }
+
+  switch (decision.cls) {
+    case fpga::DeviceFaultClass::kCardDropped:
+      stats->faults_injected++;
+      return Status::DeviceLost("card dropped off the bus");
+    case fpga::DeviceFaultClass::kDeviceBusy:
+      stats->faults_injected++;
+      return Status::Busy("device kernel queue refused the job");
+    default:
+      break;
+  }
+
+  fpga::CompactionEngine engine(config_, inputs, smallest_snapshot,
+                                drop_deletions, output);
+  Status s = engine.Run();
+  if (!s.ok()) return s;
+
+  uint64_t cycles = engine.stats().cycles;
+  if (decision.cls == fpga::DeviceFaultClass::kKernelTimeout) {
+    // The kernel hung: the host's watchdog burned the full deadline (or
+    // twice the nominal run when no deadline is armed) before killing it.
+    stats->faults_injected++;
+    const uint64_t charged = config_.kernel_deadline_cycles > 0
+                                 ? std::max(config_.kernel_deadline_cycles,
+                                            cycles)
+                                 : 2 * cycles;
+    stats->kernel_cycles += charged;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      total_kernel_cycles_ += charged;
+    }
+    return Status::IOError("kernel deadline exceeded (device hang)");
+  }
+  if (config_.kernel_deadline_cycles > 0 &&
+      cycles > config_.kernel_deadline_cycles) {
+    // A genuine (non-injected) overrun of the watchdog deadline.
+    stats->kernel_cycles += cycles;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    total_kernel_cycles_ += cycles;
+    deadline_kills_++;
+    return Status::IOError("kernel deadline exceeded");
+  }
+
+  if (decision.cls == fpga::DeviceFaultClass::kDmaCorruption) {
+    stats->faults_injected++;
+    if (decision.silent) {
+      CorruptOutput(decision.corruption_seed, output);
+    } else {
+      // Link CRC caught it; the DMA replays and the job succeeds.
+      stats->dma_retransfers++;
+      stats->pcie_micros += pcie_.RetransferMicros(output->TotalBytes());
+    }
+  }
+
+  stats->kernel_cycles += cycles;
+  stats->engine.records_in += engine.stats().records_in;
+  stats->engine.records_dropped += engine.stats().records_dropped;
+  // Keep the full stats of the most recent pass; Execute* fixes up the
+  // accumulated fields afterwards.
+  fpga::EngineStats merged = engine.stats();
+  merged.records_in = stats->engine.records_in;
+  merged.records_dropped = stats->engine.records_dropped;
+  merged.cycles = stats->kernel_cycles;
+  stats->engine = merged;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    total_kernel_cycles_ += cycles;
+  }
+  return Status::OK();
+}
 
 Status FcaeDevice::ExecuteCompaction(
     const std::vector<const fpga::DeviceInput*>& inputs,
@@ -27,23 +135,20 @@ Status FcaeDevice::ExecuteCompaction(
     stats->input_bytes += input->TotalBytes();
   }
 
-  fpga::CompactionEngine engine(config_, inputs, smallest_snapshot,
-                                drop_deletions, output);
-  Status s = engine.Run();
+  Status s = RunKernel(inputs, smallest_snapshot, drop_deletions, output,
+                       stats);
   if (!s.ok()) {
+    *output = fpga::DeviceOutput();  // Never hand out partial results.
     return s;
   }
 
-  stats->engine = engine.stats();
-  stats->kernel_cycles = engine.stats().cycles;
   stats->kernel_micros = config_.CyclesToMicros(stats->kernel_cycles);
   stats->output_bytes = output->TotalBytes();
-  stats->pcie_micros =
+  stats->pcie_micros +=
       pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
 
-  total_kernel_cycles_ += stats->kernel_cycles;
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
   total_pcie_micros_ += stats->pcie_micros;
-  kernels_launched_++;
   return Status::OK();
 }
 
@@ -60,7 +165,16 @@ Status FcaeDevice::ExecuteTournament(
 
   // Rounds of up to N-input merges. `owned` keeps intermediate images
   // (the card DRAM) alive; `current` always points at this round's runs.
+  // The DRAM gauge is zeroed on every exit path: a failed tournament
+  // frees all its staging.
   std::vector<std::unique_ptr<fpga::DeviceInput>> owned;
+  struct DramGuard {
+    FcaeDevice* device;
+    ~DramGuard() {
+      std::lock_guard<std::mutex> lock(device->stats_mutex_);
+      device->intermediate_dram_bytes_ = 0;
+    }
+  } dram_guard{this};
   std::vector<const fpga::DeviceInput*> current = inputs;
 
   const int n = config_.num_inputs;
@@ -78,17 +192,25 @@ Status FcaeDevice::ExecuteTournament(
       fpga::DeviceOutput intermediate;
       // Intermediate passes must keep deletion markers: data for the
       // same user key may live in another group.
-      fpga::CompactionEngine engine(config_, group, smallest_snapshot,
-                                    /*drop_deletions=*/false, &intermediate);
-      Status s = engine.Run();
-      if (!s.ok()) return s;
-      stats->kernel_cycles += engine.stats().cycles;
-      stats->engine.records_in += engine.stats().records_in;
-      stats->engine.records_dropped += engine.stats().records_dropped;
+      Status s = RunKernel(group, smallest_snapshot,
+                           /*drop_deletions=*/false, &intermediate, stats);
+      if (!s.ok()) {
+        *output = fpga::DeviceOutput();
+        return s;
+      }
 
       auto restaged = std::make_unique<fpga::DeviceInput>();
       s = fpga::ConvertOutputToInput(intermediate, restaged.get());
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        *output = fpga::DeviceOutput();
+        return s;
+      }
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        intermediate_dram_bytes_ += restaged->TotalBytes();
+        intermediate_dram_peak_bytes_ =
+            std::max(intermediate_dram_peak_bytes_, intermediate_dram_bytes_);
+      }
       next.push_back(restaged.get());
       // Keep every intermediate alive until the merge completes: a
       // singleton group may carry a pointer from an earlier round.
@@ -98,27 +220,21 @@ Status FcaeDevice::ExecuteTournament(
   }
 
   // Final pass applies the real drop rule.
-  fpga::CompactionEngine engine(config_, current, smallest_snapshot,
-                                drop_deletions, output);
-  Status s = engine.Run();
-  if (!s.ok()) return s;
-
-  stats->kernel_cycles += engine.stats().cycles;
-  fpga::EngineStats final_stats = engine.stats();
-  final_stats.cycles = stats->kernel_cycles;
-  final_stats.records_in += stats->engine.records_in;
-  final_stats.records_dropped += stats->engine.records_dropped;
-  stats->engine = final_stats;
+  Status s = RunKernel(current, smallest_snapshot, drop_deletions, output,
+                       stats);
+  if (!s.ok()) {
+    *output = fpga::DeviceOutput();
+    return s;
+  }
 
   stats->kernel_micros = config_.CyclesToMicros(stats->kernel_cycles);
   stats->output_bytes = output->TotalBytes();
   // Only the initial inputs and final outputs cross the PCIe link.
-  stats->pcie_micros =
+  stats->pcie_micros +=
       pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
 
-  total_kernel_cycles_ += stats->kernel_cycles;
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
   total_pcie_micros_ += stats->pcie_micros;
-  kernels_launched_++;
   return Status::OK();
 }
 

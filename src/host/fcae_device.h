@@ -8,6 +8,7 @@
 #include "fpga/compaction_engine.h"
 #include "fpga/config.h"
 #include "fpga/device_memory.h"
+#include "fpga/fault_injector.h"
 #include "fpga/pcie_model.h"
 #include "util/status.h"
 
@@ -21,6 +22,8 @@ struct DeviceRunStats {
   double pcie_micros = 0;     // DMA in + out (modeled)
   uint64_t input_bytes = 0;
   uint64_t output_bytes = 0;
+  uint64_t faults_injected = 0;     // Faults hit during this invocation.
+  uint64_t dma_retransfers = 0;     // Link-CRC-detected DMA replays.
   fpga::EngineStats engine;
 };
 
@@ -28,6 +31,15 @@ struct DeviceRunStats {
 /// engine configuration, serializes kernel invocations (one compaction
 /// engine instance on the chip), models the DMA transfers, and runs the
 /// cycle-level engine simulation against the staged images.
+///
+/// A DeviceFaultInjector may be attached to model the failure modes of a
+/// real card (see fpga/fault_injector.h). Faults surface as:
+///  - Status::Busy         — device-busy, immediately retryable;
+///  - Status::IOError      — kernel deadline exceeded (injected hang or
+///                           a run past EngineConfig::kernel_deadline_cycles);
+///  - Status::DeviceLost   — sticky card drop; no retry can succeed;
+///  - silent DMA corruption — the call *succeeds* with flipped output
+///                           bytes; only host-side verification catches it.
 class FcaeDevice {
  public:
   explicit FcaeDevice(const fpga::EngineConfig& config,
@@ -42,10 +54,18 @@ class FcaeDevice {
   /// accepts (the N of the paper).
   int max_inputs() const { return config_.num_inputs; }
 
+  /// Attaches a fault injector (borrowed; may be null to detach). The
+  /// injector is consulted once per kernel launch.
+  void set_fault_injector(fpga::DeviceFaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fault_injector_ = injector;
+  }
+
   /// Runs one compaction kernel: DMA the inputs in, execute, DMA the
   /// outputs back. Blocks while the (simulated) kernel runs; a second
   /// caller queues on the device mutex like a second job would queue on
-  /// the real card.
+  /// the real card. On failure *output is cleared — a failed kernel
+  /// never hands partial results to the host.
   Status ExecuteCompaction(const std::vector<const fpga::DeviceInput*>& inputs,
                            uint64_t smallest_snapshot, bool drop_deletions,
                            fpga::DeviceOutput* output, DeviceRunStats* stats);
@@ -55,24 +75,69 @@ class FcaeDevice {
   /// (fpga::ConvertOutputToInput), so the PCIe cost covers only the
   /// initial inputs and the final outputs. Intermediate passes never
   /// drop deletion markers (a marker may shadow data in another group);
-  /// only the final pass applies `drop_deletions`.
+  /// only the final pass applies `drop_deletions`. Each pass is a
+  /// separate kernel launch for fault purposes: a fault in any
+  /// intermediate pass fails the whole job, frees all intermediate DRAM
+  /// staging and clears *output.
   Status ExecuteTournament(const std::vector<const fpga::DeviceInput*>& inputs,
                            uint64_t smallest_snapshot, bool drop_deletions,
                            fpga::DeviceOutput* output, DeviceRunStats* stats);
 
   /// Totals across the device lifetime.
-  uint64_t total_kernel_cycles() const { return total_kernel_cycles_; }
-  double total_pcie_micros() const { return total_pcie_micros_; }
-  uint64_t kernels_launched() const { return kernels_launched_; }
+  uint64_t total_kernel_cycles() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return total_kernel_cycles_;
+  }
+  double total_pcie_micros() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return total_pcie_micros_;
+  }
+  uint64_t kernels_launched() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return kernels_launched_;
+  }
+
+  /// Device DRAM currently held by tournament intermediates. Zero
+  /// whenever no tournament is in flight — in particular after a failed
+  /// one (no leaked staging).
+  uint64_t intermediate_dram_bytes() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return intermediate_dram_bytes_;
+  }
+  uint64_t intermediate_dram_peak_bytes() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return intermediate_dram_peak_bytes_;
+  }
+
+  /// Kernel runs killed by the cycle-deadline watchdog (natural, i.e.
+  /// not injected, timeouts included).
+  uint64_t deadline_kills() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return deadline_kills_;
+  }
 
  private:
+  /// One kernel launch: consults the fault injector, runs the engine,
+  /// enforces the cycle deadline and applies silent corruption. Callers
+  /// hold mutex_.
+  Status RunKernel(const std::vector<const fpga::DeviceInput*>& inputs,
+                   uint64_t smallest_snapshot, bool drop_deletions,
+                   fpga::DeviceOutput* output, DeviceRunStats* stats);
+
   const fpga::EngineConfig config_;
   const fpga::PcieModel pcie_;
   std::mutex mutex_;
+  fpga::DeviceFaultInjector* fault_injector_ = nullptr;  // Guarded by mutex_.
 
+  // Counters below are guarded by stats_mutex_ so readers (health
+  // probes, tests) need not queue behind a running kernel.
+  mutable std::mutex stats_mutex_;
   uint64_t total_kernel_cycles_ = 0;
   double total_pcie_micros_ = 0;
   uint64_t kernels_launched_ = 0;
+  uint64_t intermediate_dram_bytes_ = 0;
+  uint64_t intermediate_dram_peak_bytes_ = 0;
+  uint64_t deadline_kills_ = 0;
 };
 
 }  // namespace host

@@ -1,7 +1,10 @@
 #include "host/offload_compaction.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <vector>
 
+#include "host/output_verifier.h"
 #include "host/sstable_stager.h"
 #include "lsm/dbformat.h"
 #include "lsm/filename.h"
@@ -11,6 +14,16 @@
 
 namespace fcae {
 namespace host {
+
+namespace {
+
+/// Transient faults are worth another kernel attempt; anything else
+/// (sticky card drop, staging/argument errors) is not.
+bool IsRetryableFault(const Status& s) {
+  return s.IsBusy() || s.IsIOError() || s.IsCorruption();
+}
+
+}  // namespace
 
 FcaeCompactionExecutor::FcaeCompactionExecutor(FcaeDevice* device,
                                                FcaeExecutorOptions options)
@@ -34,7 +47,16 @@ int EngineInputsNeeded(const CompactionJob& job) {
 bool FcaeCompactionExecutor::CanExecute(const CompactionJob& job) const {
   const int needed = EngineInputsNeeded(job);
   if (needed < 1) return false;
-  return options_.tournament_scheduling || needed <= device_->max_inputs();
+  if (!(options_.tournament_scheduling || needed <= device_->max_inputs())) {
+    return false;
+  }
+  // Circuit breaker: a quarantined device refuses jobs, except for the
+  // periodic probe the monitor lets through to test recovery.
+  if (options_.health_monitor != nullptr &&
+      !options_.health_monitor->Admit()) {
+    return false;
+  }
+  return true;
 }
 
 Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
@@ -45,7 +67,8 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   const Compaction* c = job.compaction;
 
   // 1. Stage inputs (paper Section IV step 3: read SSTables from disk
-  //    into continuous memory blocks in key order).
+  //    into continuous memory blocks in key order). Staging errors are
+  //    host I/O problems, not device faults: no retry, no breaker hit.
   SstableStager stager(env);
   std::vector<std::unique_ptr<fpga::DeviceInput>> staged;
   Status s;
@@ -80,19 +103,107 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   for (const auto& input : staged) {
     input_ptrs.push_back(input.get());
   }
+  const bool tournament =
+      static_cast<int>(input_ptrs.size()) > device_->max_inputs();
 
-  // 2./3. DMA + kernel (steps 4-7 of the paper's workflow).
+  // 2./3. DMA + kernel (steps 4-7 of the paper's workflow), with bounded
+  //       retry. Transient faults (busy, timeout, corruption the host
+  //       verifier catches) back off and retry; a sticky card drop or an
+  //       exhausted deadline gives up so DBImpl can rerun on the CPU.
+  const int max_attempts = std::max(1, options_.max_attempts);
   fpga::DeviceOutput device_output;
-  DeviceRunStats run_stats;
-  if (static_cast<int>(input_ptrs.size()) > device_->max_inputs()) {
-    s = device_->ExecuteTournament(input_ptrs, job.smallest_snapshot,
-                                   job.no_deeper_data, &device_output,
-                                   &run_stats);
-  } else {
-    s = device_->ExecuteCompaction(input_ptrs, job.smallest_snapshot,
-                                   job.no_deeper_data, &device_output,
-                                   &run_stats);
+  DeviceRunStats run_stats;            // From the successful attempt.
+  uint64_t attempts = 0;
+  uint64_t faults = 0;
+  uint64_t verify_failures = 0;
+  uint64_t backoff_micros = 0;
+  double verify_micros = 0;
+  double wasted_kernel_micros = 0;     // Kernel+PCIe time of failed tries.
+  double wasted_pcie_micros = 0;
+  bool sticky = false;
+
+  for (int attempt = 1; attempt <= max_attempts; attempt++) {
+    if (attempt > 1) {
+      if (options_.job_deadline_micros > 0 &&
+          env->NowMicros() - start_micros >= options_.job_deadline_micros) {
+        s = Status::IOError("device job deadline exhausted before retry");
+        break;
+      }
+      if (options_.backoff_base_micros > 0) {
+        const uint64_t wait = options_.backoff_base_micros
+                              << (attempt - 2 > 62 ? 62 : attempt - 2);
+        env->SleepForMicroseconds(static_cast<int>(
+            std::min<uint64_t>(wait, 1000000)));
+        backoff_micros += wait;
+      }
+    }
+
+    attempts++;
+    device_output = fpga::DeviceOutput();
+    run_stats = DeviceRunStats();
+    if (tournament) {
+      s = device_->ExecuteTournament(input_ptrs, job.smallest_snapshot,
+                                     job.no_deeper_data, &device_output,
+                                     &run_stats);
+    } else {
+      s = device_->ExecuteCompaction(input_ptrs, job.smallest_snapshot,
+                                     job.no_deeper_data, &device_output,
+                                     &run_stats);
+    }
+
+    if (s.ok() && options_.verify_outputs) {
+      // Host-side verification: CRCs, strict key order, bounds. Runs
+      // BEFORE any SSTable is assembled, so a silently corrupt device
+      // result can never reach the manifest.
+      const uint64_t verify_start = env->NowMicros();
+      OutputVerifyStats verify_stats;
+      Status vs = VerifyDeviceOutput(device_output, *job.icmp, &verify_stats);
+      verify_micros += static_cast<double>(env->NowMicros() - verify_start);
+      if (!vs.ok()) {
+        verify_failures++;
+        s = vs;  // Corruption: transient, retryable.
+      }
+    }
+
+    if (s.ok()) break;
+
+    faults++;
+    wasted_kernel_micros += run_stats.kernel_micros;
+    wasted_pcie_micros += run_stats.pcie_micros;
+    if (s.IsDeviceLost()) {
+      sticky = true;
+      break;
+    }
+    if (!IsRetryableFault(s)) break;
   }
+
+  // Feed the circuit breaker with the job outcome (one report per job,
+  // not per attempt: a job saved by a retry is a success).
+  if (options_.health_monitor != nullptr) {
+    if (s.ok()) {
+      options_.health_monitor->RecordJobSuccess();
+    } else {
+      options_.health_monitor->RecordJobFailure(sticky);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.jobs++;
+    counters_.attempts += attempts;
+    counters_.retries += attempts > 0 ? attempts - 1 : 0;
+    counters_.faults += faults;
+    counters_.verify_failures += verify_failures;
+    counters_.backoff_micros += backoff_micros;
+    if (!s.ok()) counters_.jobs_failed++;
+  }
+
+  stats->device_attempts = attempts;
+  stats->device_retries = attempts > 0 ? attempts - 1 : 0;
+  stats->device_faults = faults;
+  stats->verify_failures = verify_failures;
+  stats->verify_micros = verify_micros;
+
   if (!s.ok()) return s;
 
   // 4. Write back the new SSTables (step 8) and register them.
@@ -129,10 +240,38 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   stats->entries_dropped = run_stats.engine.records_dropped;
   stats->offloaded = true;
   stats->device_cycles = run_stats.kernel_cycles;
-  stats->device_micros = run_stats.kernel_micros;
-  stats->pcie_micros = run_stats.pcie_micros;
+  stats->device_micros = run_stats.kernel_micros + wasted_kernel_micros;
+  stats->pcie_micros = run_stats.pcie_micros + wasted_pcie_micros;
   stats->micros = env->NowMicros() - start_micros;
   return Status::OK();
+}
+
+std::string FcaeCompactionExecutor::HealthString() const {
+  RobustnessCounters counters = robustness_counters();
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "executor{jobs=%llu failed=%llu attempts=%llu retries=%llu "
+      "faults=%llu verify-rejects=%llu backoff-us=%llu}",
+      (unsigned long long)counters.jobs,
+      (unsigned long long)counters.jobs_failed,
+      (unsigned long long)counters.attempts,
+      (unsigned long long)counters.retries,
+      (unsigned long long)counters.faults,
+      (unsigned long long)counters.verify_failures,
+      (unsigned long long)counters.backoff_micros);
+  std::string result(buf);
+  if (options_.health_monitor != nullptr) {
+    result += " ";
+    result += options_.health_monitor->ToString();
+  }
+  return result;
+}
+
+FcaeCompactionExecutor::RobustnessCounters
+FcaeCompactionExecutor::robustness_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
 }
 
 }  // namespace host

@@ -1,8 +1,11 @@
 #ifndef FCAE_HOST_OFFLOAD_COMPACTION_H_
 #define FCAE_HOST_OFFLOAD_COMPACTION_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 
+#include "host/device_health_monitor.h"
 #include "host/fcae_device.h"
 #include "lsm/compaction_executor.h"
 
@@ -18,7 +21,10 @@ namespace host {
 /// back to software compaction exactly when the paper's scheduler does
 /// ("when the input number is not larger than nine, the compaction
 /// tasks would be pushed down to FPGA, otherwise it is handled by
-/// CPU") — unless tournament scheduling is enabled below.
+/// CPU") — unless tournament scheduling is enabled below. It also
+/// consults the DeviceHealthMonitor circuit breaker: a quarantined
+/// device refuses jobs (except periodic probes), so everything flows to
+/// the CPU executor until the card recovers.
 
 /// Scheduler policy knobs for the offload executor.
 struct FcaeExecutorOptions {
@@ -28,6 +34,31 @@ struct FcaeExecutorOptions {
   /// passes whose intermediates stay in device DRAM (see
   /// FcaeDevice::ExecuteTournament and DESIGN.md item 6).
   bool tournament_scheduling = false;
+
+  /// Kernel attempts per job (>= 1). Transient faults (device-busy,
+  /// kernel timeout, corruption caught by verification) are retried up
+  /// to this many total attempts with exponential backoff; sticky
+  /// faults (card dropped) abort immediately.
+  int max_attempts = 3;
+
+  /// Backoff before retry attempt k (1-based) is
+  /// `backoff_base_micros << (k - 1)`. 0 disables the sleep.
+  uint64_t backoff_base_micros = 100;
+
+  /// Wall-clock budget for one job's device attempts; once exceeded no
+  /// further retry is started (0 = unlimited). The CPU fallback in
+  /// DBImpl picks the job up afterwards.
+  uint64_t job_deadline_micros = 0;
+
+  /// Verify every device output (CRC, strict key order, bounds) before
+  /// any SSTable is assembled; see host/output_verifier.h. Costs one
+  /// decode pass over the output. On by default — a silently corrupt
+  /// device result must never reach the manifest.
+  bool verify_outputs = true;
+
+  /// Circuit breaker consulted by CanExecute and fed by Execute.
+  /// Borrowed; may be null (no breaker, e.g. micro-benches).
+  DeviceHealthMonitor* health_monitor = nullptr;
 };
 
 class FcaeCompactionExecutor : public CompactionExecutor {
@@ -44,9 +75,30 @@ class FcaeCompactionExecutor : public CompactionExecutor {
                  std::vector<CompactionOutput>* outputs,
                  CompactionExecStats* stats) override;
 
+  std::string HealthString() const override;
+
+  /// Lifetime robustness counters (all jobs through this executor).
+  struct RobustnessCounters {
+    uint64_t jobs = 0;
+    uint64_t jobs_failed = 0;
+    uint64_t attempts = 0;
+    uint64_t retries = 0;
+    uint64_t faults = 0;
+    uint64_t verify_failures = 0;
+    uint64_t backoff_micros = 0;
+  };
+  RobustnessCounters robustness_counters() const;
+
+  DeviceHealthMonitor* health_monitor() const {
+    return options_.health_monitor;
+  }
+
  private:
   FcaeDevice* device_;
   FcaeExecutorOptions options_;
+
+  mutable std::mutex mutex_;
+  RobustnessCounters counters_;
 };
 
 /// Returns the number of engine inputs a compaction needs: one per

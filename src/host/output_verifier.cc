@@ -1,0 +1,122 @@
+#include "host/output_verifier.h"
+
+#include <vector>
+
+#include "fpga/block_parse.h"
+#include "table/format.h"
+
+namespace fcae {
+namespace host {
+
+Status VerifyDeviceOutputTable(const fpga::DeviceOutputTable& table,
+                               const InternalKeyComparator& icmp,
+                               OutputVerifyStats* stats) {
+  if (table.index_entries.empty()) {
+    return Status::Corruption("device output table has no index entries");
+  }
+  if (table.smallest_key.empty() || table.largest_key.empty()) {
+    return Status::Corruption("device output table has empty bounds");
+  }
+  if (icmp.Compare(table.smallest_key, table.largest_key) > 0) {
+    return Status::Corruption("device output bounds are inverted");
+  }
+
+  uint64_t expected_offset = 0;
+  uint64_t entries_seen = 0;
+  std::string prev_key;
+  for (const fpga::OutputIndexEntry& e : table.index_entries) {
+    // Bounds: the handle must address a complete stored block (payload +
+    // 5-byte trailer) inside the returned data memory, and blocks must
+    // tile it in order without overlap.
+    if (e.offset != expected_offset) {
+      return Status::Corruption("device output blocks overlap or leave gaps");
+    }
+    const uint64_t stored_size = e.size + kBlockTrailerSize;
+    if (e.offset + stored_size > table.data_memory.size()) {
+      return Status::Corruption("device index entry out of data bounds");
+    }
+    expected_offset = e.offset + stored_size;
+
+    // CRC + decompression of the stored block.
+    std::string contents;
+    Status s = fpga::DecodeStoredBlock(
+        Slice(table.data_memory.data() + e.offset, stored_size),
+        /*verify_checksum=*/true, &contents);
+    if (!s.ok()) return s;
+
+    std::vector<fpga::ParsedEntry> entries;
+    s = fpga::ParseBlockEntries(contents, &entries);
+    if (!s.ok()) return s;
+    if (entries.empty()) {
+      return Status::Corruption("device output block has no entries");
+    }
+
+    // Strict internal-key ordering across blocks; keys inside MetaOut's
+    // claimed [smallest, largest] range.
+    for (const fpga::ParsedEntry& entry : entries) {
+      if (!prev_key.empty() && icmp.Compare(prev_key, entry.key) >= 0) {
+        return Status::Corruption("device output keys out of order");
+      }
+      prev_key = entry.key;
+      entries_seen++;
+    }
+    if (icmp.Compare(entries.back().key, e.last_key) != 0) {
+      return Status::Corruption("index separator disagrees with block");
+    }
+    stats->blocks++;
+  }
+
+  if (expected_offset != table.data_memory.size()) {
+    return Status::Corruption("device output data has trailing garbage");
+  }
+  if (entries_seen != table.num_entries) {
+    return Status::Corruption("device output entry count mismatch");
+  }
+  // First/last keys must equal the MetaOut bounds the host installs in
+  // the version edit.
+  const fpga::OutputIndexEntry& last = table.index_entries.back();
+  if (icmp.Compare(last.last_key, table.largest_key) != 0) {
+    return Status::Corruption("device output largest key mismatch");
+  }
+  // prev_key now holds the table's last key; re-derive the first from
+  // the first block to compare against smallest.
+  {
+    std::string contents;
+    const fpga::OutputIndexEntry& first = table.index_entries.front();
+    Status s = fpga::DecodeStoredBlock(
+        Slice(table.data_memory.data() + first.offset,
+              first.size + kBlockTrailerSize),
+        /*verify_checksum=*/false, &contents);
+    if (!s.ok()) return s;
+    std::vector<fpga::ParsedEntry> entries;
+    s = fpga::ParseBlockEntries(contents, &entries);
+    if (!s.ok()) return s;
+    if (entries.empty() ||
+        icmp.Compare(entries.front().key, table.smallest_key) != 0) {
+      return Status::Corruption("device output smallest key mismatch");
+    }
+  }
+  stats->tables++;
+  stats->entries += entries_seen;
+  return Status::OK();
+}
+
+Status VerifyDeviceOutput(const fpga::DeviceOutput& output,
+                          const InternalKeyComparator& icmp,
+                          OutputVerifyStats* stats) {
+  std::string prev_largest;
+  for (const fpga::DeviceOutputTable& table : output.tables) {
+    Status s = VerifyDeviceOutputTable(table, icmp, stats);
+    if (!s.ok()) return s;
+    // Tables of one compaction form one sorted run.
+    if (!prev_largest.empty() &&
+        icmp.Compare(prev_largest, table.smallest_key) >= 0) {
+      return Status::Corruption("device output tables overlap");
+    }
+    prev_largest = table.largest_key;
+  }
+  return Status::OK();
+}
+
+}  // namespace host
+}  // namespace fcae

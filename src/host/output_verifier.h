@@ -1,0 +1,44 @@
+#ifndef FCAE_HOST_OUTPUT_VERIFIER_H_
+#define FCAE_HOST_OUTPUT_VERIFIER_H_
+
+#include <cstdint>
+
+#include "fpga/device_memory.h"
+#include "lsm/dbformat.h"
+#include "util/status.h"
+
+namespace fcae {
+namespace host {
+
+struct OutputVerifyStats {
+  uint64_t tables = 0;
+  uint64_t blocks = 0;
+  uint64_t entries = 0;
+};
+
+/// Verifies one device-returned output table before it can become an
+/// SSTable. Invariants checked:
+///  - every index entry's block handle lies inside the returned data
+///    memory, handles are ascending and non-overlapping;
+///  - every data block's stored trailer CRC32C matches its bytes (and
+///    compressed blocks decompress cleanly);
+///  - internal keys are strictly increasing across the whole table
+///    (user key ascending, mark descending — no duplicates);
+///  - each block's last key equals its index entry's separator;
+///  - the first/last keys match MetaOut's smallest/largest bounds, and
+///    the record count matches MetaOut's num_entries.
+/// Any violation returns Status::Corruption: a silently corrupt device
+/// result can never reach the manifest.
+Status VerifyDeviceOutputTable(const fpga::DeviceOutputTable& table,
+                               const InternalKeyComparator& icmp,
+                               OutputVerifyStats* stats);
+
+/// Verifies every table of a device output (see above).
+Status VerifyDeviceOutput(const fpga::DeviceOutput& output,
+                          const InternalKeyComparator& icmp,
+                          OutputVerifyStats* stats);
+
+}  // namespace host
+}  // namespace fcae
+
+#endif  // FCAE_HOST_OUTPUT_VERIFIER_H_

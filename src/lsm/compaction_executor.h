@@ -74,6 +74,14 @@ struct CompactionExecStats {
   double device_micros = 0;      // device_cycles / clock rate.
   double pcie_micros = 0;        // Modeled DMA transfer time.
 
+  // Robustness extras (zero for CPU execution and for a fault-free
+  // device): see host::FcaeCompactionExecutor's retry/verify pipeline.
+  uint64_t device_attempts = 0;   // Kernel attempts (>= 1 per device job).
+  uint64_t device_retries = 0;    // Attempts beyond the first.
+  uint64_t device_faults = 0;     // Faults observed across attempts.
+  uint64_t verify_failures = 0;   // Device outputs rejected by the host.
+  double verify_micros = 0;       // Time spent verifying device outputs.
+
   void Add(const CompactionExecStats& other) {
     micros += other.micros;
     bytes_read += other.bytes_read;
@@ -83,6 +91,11 @@ struct CompactionExecStats {
     device_cycles += other.device_cycles;
     device_micros += other.device_micros;
     pcie_micros += other.pcie_micros;
+    device_attempts += other.device_attempts;
+    device_retries += other.device_retries;
+    device_faults += other.device_faults;
+    verify_failures += other.verify_failures;
+    verify_micros += other.verify_micros;
   }
 };
 
@@ -109,6 +122,11 @@ class CompactionExecutor {
   virtual Status Execute(const CompactionJob& job,
                          std::vector<CompactionOutput>* outputs,
                          CompactionExecStats* stats) = 0;
+
+  /// One-line health/robustness counter dump for
+  /// DB::GetProperty("fcae.device-health"). Executors without device
+  /// state report nothing.
+  virtual std::string HealthString() const { return std::string(); }
 };
 
 /// Returns a new single-threaded software merge executor (the paper's

@@ -87,7 +87,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       versions_(new VersionSet(dbname_, &options_, table_cache_.get(),
                                &internal_comparator_)),
       compactions_offloaded_(0),
-      compactions_on_cpu_(0) {}
+      compactions_on_cpu_(0),
+      compactions_fallback_(0) {}
 
 DBImpl::~DBImpl() {
   // Wait for background work to finish.
@@ -676,10 +677,15 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     }
     job.no_deeper_data = !deeper;
   }
-  job.new_file_number = [this]() {
+  // Track every number we hand out so a failed attempt (e.g. the device
+  // dying mid-job) can release its pending-output protection and scrub
+  // partial files before the job reruns on the CPU.
+  std::vector<uint64_t> allocated_numbers;
+  job.new_file_number = [this, &allocated_numbers]() {
     std::lock_guard<std::mutex> lock(mutex_);
     uint64_t number = versions_->NewFileNumber();
     pending_outputs_.insert(number);
+    allocated_numbers.push_back(number);
     return number;
   };
   job.make_input_iterator = [this, c]() {
@@ -696,10 +702,42 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   std::vector<CompactionOutput> outputs;
   CompactionExecStats exec_stats;
   Status status;
+  bool fell_back = false;
   {
     mutex_.unlock();
     const uint64_t start_micros = env_->NowMicros();
     status = executor->Execute(job, &outputs, &exec_stats);
+    if (!status.ok() && executor != owned_cpu_executor_.get() &&
+        !shutting_down_.load(std::memory_order_acquire)) {
+      // The device path failed even after its own retries (card dropped,
+      // deadline exhausted, persistent corruption). A device fault must
+      // never fail a compaction software could do: scrub the partial
+      // outputs and rerun the whole job on the CPU executor.
+      std::vector<uint64_t> abandoned;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        abandoned.swap(allocated_numbers);
+        for (uint64_t number : abandoned) {
+          pending_outputs_.erase(number);
+        }
+      }
+      for (uint64_t number : abandoned) {
+        env_->RemoveFile(TableFileName(dbname_, number));  // Best effort.
+      }
+      outputs.clear();
+
+      // Keep the failed attempt's fault accounting visible in the DB
+      // totals, but take timing/volume from the run that succeeded.
+      const CompactionExecStats device_stats = exec_stats;
+      exec_stats = CompactionExecStats();
+      status = owned_cpu_executor_->Execute(job, &outputs, &exec_stats);
+      exec_stats.device_attempts += device_stats.device_attempts;
+      exec_stats.device_retries += device_stats.device_retries;
+      exec_stats.device_faults += device_stats.device_faults;
+      exec_stats.verify_failures += device_stats.verify_failures;
+      exec_stats.verify_micros += device_stats.verify_micros;
+      fell_back = true;
+    }
     if (exec_stats.micros == 0) {
       exec_stats.micros = env_->NowMicros() - start_micros;
     }
@@ -710,6 +748,9 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     compactions_offloaded_++;
   } else {
     compactions_on_cpu_++;
+  }
+  if (fell_back) {
+    compactions_fallback_++;
   }
   exec_stats_.Add(exec_stats);
 
@@ -726,17 +767,18 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     status = InstallCompactionResults(c, outputs);
   }
 
-  // Release pending output protection.
-  for (const CompactionOutput& out : outputs) {
-    pending_outputs_.erase(out.number);
+  // Release pending output protection — every number handed out,
+  // including ones whose table assembly failed before reaching `outputs`.
+  for (uint64_t number : allocated_numbers) {
+    pending_outputs_.erase(number);
   }
 
   if (!status.ok()) {
     RecordBackgroundError(status);
-    // Clean up files we created.
+    // Clean up files we created (best effort; some may not exist).
     mutex_.unlock();
-    for (const CompactionOutput& out : outputs) {
-      env_->RemoveFile(TableFileName(dbname_, out.number));
+    for (uint64_t number : allocated_numbers) {
+      env_->RemoveFile(TableFileName(dbname_, number));
     }
     mutex_.lock();
   }
@@ -1164,9 +1206,10 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     }
     std::snprintf(buf, sizeof(buf),
                   "Compactions executed: cpu=%lld offloaded=%lld "
-                  "(device %.3f ms kernel, %.3f ms pcie)\n",
+                  "fallback=%lld (device %.3f ms kernel, %.3f ms pcie)\n",
                   static_cast<long long>(compactions_on_cpu_),
                   static_cast<long long>(compactions_offloaded_),
+                  static_cast<long long>(compactions_fallback_),
                   exec_stats_.device_micros / 1e3,
                   exec_stats_.pcie_micros / 1e3);
     value->append(buf);
@@ -1180,6 +1223,32 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
                   static_cast<long long>(stall_l0_count_),
                   stall_l0_micros_ / 1e3);
     value->append(buf);
+    return true;
+  } else if (in == Slice("device-health")) {
+    // One line of robustness/fault counters for the offload path: how
+    // compactions were routed, what the device attempts cost, and the
+    // primary executor's own health dump (retry/verify/breaker state).
+    char buf[360];
+    std::snprintf(
+        buf, sizeof(buf),
+        "executor=%s compactions{offloaded=%lld cpu=%lld fallback=%lld} "
+        "device{attempts=%llu retries=%llu faults=%llu verify-rejects=%llu "
+        "verify-ms=%.3f}",
+        primary_executor_->Name(),
+        static_cast<long long>(compactions_offloaded_),
+        static_cast<long long>(compactions_on_cpu_),
+        static_cast<long long>(compactions_fallback_),
+        static_cast<unsigned long long>(exec_stats_.device_attempts),
+        static_cast<unsigned long long>(exec_stats_.device_retries),
+        static_cast<unsigned long long>(exec_stats_.device_faults),
+        static_cast<unsigned long long>(exec_stats_.verify_failures),
+        exec_stats_.verify_micros / 1e3);
+    value->append(buf);
+    std::string health = primary_executor_->HealthString();
+    if (!health.empty()) {
+      value->append(" ");
+      value->append(health);
+    }
     return true;
   } else if (in == Slice("sstables")) {
     *value = versions_->current()->DebugString();
@@ -1241,6 +1310,11 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
 CompactionExecStats DBImpl::OffloadStats() {
   std::lock_guard<std::mutex> lock(mutex_);
   return exec_stats_;
+}
+
+int64_t DBImpl::FallbackCompactions() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compactions_fallback_;
 }
 
 DB::~DB() = default;

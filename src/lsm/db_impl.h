@@ -70,6 +70,10 @@ class DBImpl : public DB {
   /// Aggregate offload statistics (device path).
   CompactionExecStats OffloadStats();
 
+  /// Compactions the primary (device) executor failed and the CPU
+  /// executor completed instead (graceful degradation).
+  int64_t FallbackCompactions();
+
  private:
   friend class DB;
   struct CompactionState;
@@ -200,6 +204,9 @@ class DBImpl : public DB {
   CompactionExecStats exec_stats_;
   int64_t compactions_offloaded_;
   int64_t compactions_on_cpu_;
+  // Jobs the primary (device) executor failed that were rerun — and
+  // completed — on the CPU executor (graceful degradation).
+  int64_t compactions_fallback_;
 
   // Write-pause accounting (the paper's Section I phenomenon): how
   // often and for how long MakeRoomForWrite throttled the client.

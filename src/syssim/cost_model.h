@@ -52,6 +52,16 @@ class CostModel {
   /// programming, end-signal interrupt), microseconds.
   double KernelInvokeMicros() const { return kernel_invoke_micros_; }
 
+  /// Host backoff before device retry `attempt` (1-based), microseconds.
+  /// Mirrors FcaeExecutorOptions::backoff_base_micros's exponential
+  /// schedule so simulated fault runs charge what the host path would.
+  double RetryBackoffMicros(int attempt) const {
+    int shift = attempt - 1;
+    if (shift < 0) shift = 0;
+    if (shift > 20) shift = 20;
+    return retry_backoff_base_micros_ * static_cast<double>(1u << shift);
+  }
+
   /// Point-read service times for the YCSB model (microseconds).
   double CacheHitMicros() const { return cache_hit_micros_; }
   double BlockMissMicros() const { return block_miss_micros_; }
@@ -79,6 +89,7 @@ class CostModel {
   double disk_write_mbps_ = 0;
   double pcie_mbps_ = 0;
   double kernel_invoke_micros_ = 0;
+  double retry_backoff_base_micros_ = 100.0;
   double cache_hit_micros_ = 0;
   double block_miss_micros_ = 0;
   double scan_next_micros_ = 0;

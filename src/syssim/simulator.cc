@@ -54,8 +54,12 @@ struct Simulator::Engine {
   // In-flight compaction.
   bool compaction_in_flight = false;
   bool compaction_offloaded = false;
+  bool fallback_pending = false;  // Device attempts exhausted: SW rerun.
   int offload_passes = 1;  // Tournament passes for >N-input jobs.
   CompactionWork active_work;
+
+  // Fault-tolerant offload model (see SimConfig::device_fault_rate).
+  Random fault_rng{cfg.fault_seed == 0 ? 1 : cfg.fault_seed};
 
   // ---- Derived helpers ----
 
@@ -201,9 +205,62 @@ struct Simulator::Engine {
         pcie + kernel + cfg.cost.KernelInvokeMicros() * 1e-6;
     result.pcie_seconds += pcie;
     result.device_seconds += kernel;
+
+    // Fault-tolerant offload model: each attempt fails independently
+    // with the configured probability. Failed attempts waste their
+    // kernel run plus the host's exponential backoff; exhausting the
+    // retry budget reruns the job in software once the card gives up.
+    if (cfg.device_fault_rate > 0) {
+      const int limit = std::max(1, cfg.device_retry_limit);
+      int failed = 0;
+      while (failed < limit &&
+             fault_rng.NextDouble() < cfg.device_fault_rate) {
+        failed++;
+      }
+      if (failed > 0) {
+        double waste = failed * kernel;
+        double backoff = 0;
+        for (int attempt = 1; attempt <= failed && attempt < limit;
+             attempt++) {
+          backoff += cfg.cost.RetryBackoffMicros(attempt) * 1e-6;
+        }
+        device_rem += waste + backoff;
+        result.device_seconds += waste;
+        result.fault_wasted_device_seconds += waste;
+        result.fault_backoff_seconds += backoff;
+        if (failed >= limit) {
+          // All attempts burned: the software path takes over after the
+          // wasted device time elapses (see OnDeviceDone).
+          fallback_pending = true;
+          device_rem -= kernel + pcie;  // The good run never happened.
+          result.device_seconds -= kernel;
+          result.pcie_seconds -= pcie;
+        } else {
+          result.compactions_retried++;
+        }
+      }
+    }
   }
 
   void OnDeviceDone() {
+    if (fallback_pending) {
+      // Device attempts exhausted: rerun completely in software, like
+      // DBImpl's CPU fallback. Inputs are re-read from disk (the real
+      // fallback re-drives the input iterators too).
+      fallback_pending = false;
+      compaction_offloaded = false;
+      result.compactions_offloaded--;
+      result.compactions_sw++;
+      result.compactions_fallback++;
+      const double cpu_speed = cfg.cost.CpuCompactionMBps(
+          active_work.device_inputs, cfg.key_length, cfg.value_length);
+      sw_rem =
+          active_work.input_bytes / (cfg.cost.DiskReadMBps() * kMB) +
+          active_work.input_bytes / (cpu_speed * kMB) +
+          active_work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
+      result.cpu_compaction_seconds += sw_rem;
+      return;
+    }
     host_write_rem =
         cfg.near_storage
             ? 0.0

@@ -58,6 +58,16 @@ struct SimConfig {
   /// The paper's Table VI results with the 2-input engine are only
   /// reachable with the tournament scheduler (see DESIGN.md).
   bool multipass_offload = true;
+
+  /// Fault-tolerant offload modeling (mirrors the host path's retry +
+  /// CPU-fallback pipeline): probability an offloaded job's kernel run
+  /// fails with a transient fault. Each failed attempt wastes its
+  /// kernel time plus the host's exponential backoff; after
+  /// `device_retry_limit` failed attempts the job falls back to the
+  /// software path (reusing the already-staged inputs' read cost).
+  double device_fault_rate = 0.0;
+  int device_retry_limit = 3;
+  uint32_t fault_seed = 1;
 };
 
 /// Results of one simulated run.
@@ -77,6 +87,10 @@ struct SimResult {
   uint64_t compactions = 0;
   uint64_t compactions_offloaded = 0;
   uint64_t compactions_sw = 0;
+  uint64_t compactions_retried = 0;   // Offloads saved by a retry.
+  uint64_t compactions_fallback = 0;  // Offloads rerun in software.
+  double fault_backoff_seconds = 0;   // Host retry backoff time.
+  double fault_wasted_device_seconds = 0;  // Kernel time of failed tries.
   double bytes_compacted_in = 0;
   double bytes_compacted_out = 0;
   double user_bytes = 0;

@@ -37,6 +37,9 @@ std::string Status::ToString() const {
     case Code::kBusy:
       type = "Busy: ";
       break;
+    case Code::kDeviceLost:
+      type = "Device lost: ";
+      break;
   }
   std::string result(type);
   result.append(msg_);

@@ -42,6 +42,9 @@ class Status {
   static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(Code::kBusy, msg, msg2);
   }
+  static Status DeviceLost(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kDeviceLost, msg, msg2);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -50,6 +53,9 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  /// A sticky accelerator failure: the device fell off the bus and no
+  /// retry on the same card can succeed (see host::DeviceHealthMonitor).
+  bool IsDeviceLost() const { return code_ == Code::kDeviceLost; }
 
   /// Returns a human-readable description, e.g. "IO error: <msg>".
   std::string ToString() const;
@@ -63,6 +69,7 @@ class Status {
     kInvalidArgument = 4,
     kIOError = 5,
     kBusy = 6,
+    kDeviceLost = 7,
   };
 
   Status(Code code, const Slice& msg, const Slice& msg2);

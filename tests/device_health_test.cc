@@ -1,0 +1,327 @@
+// Unit tests of the fault-tolerant offload building blocks: the seeded
+// DeviceFaultInjector (deterministic streams, one-shots, sticky drops),
+// the DeviceHealthMonitor circuit breaker, the host output verifier
+// that keeps silently corrupt device results out of the manifest, and
+// the device-level kernel deadline watchdog.
+
+#include <memory>
+#include <vector>
+
+#include "fpga/fault_injector.h"
+#include "fpga_test_util.h"
+#include "gtest/gtest.h"
+#include "host/device_health_monitor.h"
+#include "host/fcae_device.h"
+#include "host/output_verifier.h"
+#include "lsm/dbformat.h"
+#include "util/mem_env.h"
+
+namespace fcae {
+namespace host {
+
+using fpga_test::BuildDeviceInput;
+using fpga_test::MakeRun;
+
+// ---------------------------------------------------------------------
+// DeviceFaultInjector
+// ---------------------------------------------------------------------
+
+TEST(DeviceFaultInjectorTest, DeterministicFromSeed) {
+  fpga::DeviceFaultConfig config;
+  config.seed = 99;
+  config.transient_rate = 0.3;
+
+  fpga::DeviceFaultInjector a(config);
+  fpga::DeviceFaultInjector b(config);
+  for (int i = 0; i < 500; i++) {
+    fpga::FaultDecision da = a.NextLaunch();
+    fpga::FaultDecision db = b.NextLaunch();
+    EXPECT_EQ(da.cls, db.cls) << "launch " << i;
+    EXPECT_EQ(da.silent, db.silent) << "launch " << i;
+    EXPECT_EQ(da.corruption_seed, db.corruption_seed) << "launch " << i;
+  }
+  EXPECT_EQ(a.total_faults(), b.total_faults());
+  EXPECT_GT(a.total_faults(), 0u);
+  EXPECT_LT(a.total_faults(), 500u);
+  EXPECT_EQ(500u, a.launches());
+}
+
+TEST(DeviceFaultInjectorTest, ZeroRateDrawsNothing) {
+  fpga::DeviceFaultInjector injector(fpga::DeviceFaultConfig{});
+  for (int i = 0; i < 200; i++) {
+    EXPECT_EQ(fpga::DeviceFaultClass::kNone, injector.NextLaunch().cls);
+  }
+  EXPECT_EQ(0u, injector.total_faults());
+}
+
+TEST(DeviceFaultInjectorTest, RateIsRoughlyHonored) {
+  fpga::DeviceFaultConfig config;
+  config.seed = 7;
+  config.transient_rate = 0.10;
+  fpga::DeviceFaultInjector injector(config);
+  const int n = 5000;
+  for (int i = 0; i < n; i++) injector.NextLaunch();
+  // 10% +- generous slack.
+  EXPECT_GT(injector.total_faults(), n / 20u);
+  EXPECT_LT(injector.total_faults(), n / 5u);
+  // All three transient classes occur with equal default weights.
+  EXPECT_GT(injector.count(fpga::DeviceFaultClass::kDmaCorruption), 0u);
+  EXPECT_GT(injector.count(fpga::DeviceFaultClass::kKernelTimeout), 0u);
+  EXPECT_GT(injector.count(fpga::DeviceFaultClass::kDeviceBusy), 0u);
+  EXPECT_EQ(0u, injector.count(fpga::DeviceFaultClass::kCardDropped));
+}
+
+TEST(DeviceFaultInjectorTest, OneShotOverridesStream) {
+  fpga::DeviceFaultInjector injector(fpga::DeviceFaultConfig{});
+  injector.ArmOneShot(fpga::DeviceFaultClass::kDeviceBusy, 3);
+  EXPECT_EQ(fpga::DeviceFaultClass::kNone, injector.NextLaunch().cls);
+  EXPECT_EQ(fpga::DeviceFaultClass::kNone, injector.NextLaunch().cls);
+  EXPECT_EQ(fpga::DeviceFaultClass::kDeviceBusy, injector.NextLaunch().cls);
+  EXPECT_EQ(fpga::DeviceFaultClass::kNone, injector.NextLaunch().cls);
+  EXPECT_EQ(1u, injector.total_faults());
+}
+
+TEST(DeviceFaultInjectorTest, CardDropIsSticky) {
+  fpga::DeviceFaultConfig config;
+  config.card_drop_at_launch = 2;
+  fpga::DeviceFaultInjector injector(config);
+  EXPECT_EQ(fpga::DeviceFaultClass::kNone, injector.NextLaunch().cls);
+  EXPECT_EQ(fpga::DeviceFaultClass::kCardDropped, injector.NextLaunch().cls);
+  // Every subsequent launch keeps failing until the card is repaired.
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(fpga::DeviceFaultClass::kCardDropped,
+              injector.NextLaunch().cls);
+  }
+  EXPECT_TRUE(injector.card_dropped());
+  injector.RepairCard();
+  EXPECT_FALSE(injector.card_dropped());
+  EXPECT_EQ(fpga::DeviceFaultClass::kNone, injector.NextLaunch().cls);
+}
+
+// ---------------------------------------------------------------------
+// DeviceHealthMonitor
+// ---------------------------------------------------------------------
+
+TEST(DeviceHealthMonitorTest, OpensAfterConsecutiveFailures) {
+  DeviceHealthOptions options;
+  options.quarantine_threshold = 3;
+  DeviceHealthMonitor monitor(options);
+
+  EXPECT_TRUE(monitor.Admit());
+  monitor.RecordJobFailure(false);
+  monitor.RecordJobFailure(false);
+  EXPECT_FALSE(monitor.quarantined());  // 2 < threshold.
+  // A success in between resets the streak.
+  monitor.RecordJobSuccess();
+  monitor.RecordJobFailure(false);
+  monitor.RecordJobFailure(false);
+  EXPECT_FALSE(monitor.quarantined());
+  monitor.RecordJobFailure(false);
+  EXPECT_TRUE(monitor.quarantined());
+  EXPECT_EQ(1u, monitor.snapshot().quarantines);
+}
+
+TEST(DeviceHealthMonitorTest, StickyFailureOpensImmediately) {
+  DeviceHealthOptions options;
+  options.quarantine_threshold = 3;
+  options.sticky_weight = 3;
+  DeviceHealthMonitor monitor(options);
+  monitor.RecordJobFailure(/*sticky=*/true);
+  EXPECT_TRUE(monitor.quarantined());
+}
+
+TEST(DeviceHealthMonitorTest, ProbeAndReadmission) {
+  DeviceHealthOptions options;
+  options.quarantine_threshold = 1;
+  options.probe_interval = 4;
+  DeviceHealthMonitor monitor(options);
+  monitor.RecordJobFailure(false);
+  ASSERT_TRUE(monitor.quarantined());
+
+  // Denied until the probe_interval-th request, which is let through.
+  int admitted = 0;
+  for (int i = 0; i < 4; i++) {
+    if (monitor.Admit()) admitted++;
+  }
+  EXPECT_EQ(1, admitted);
+  DeviceHealthMonitor::Snapshot snap = monitor.snapshot();
+  EXPECT_EQ(3u, snap.jobs_denied);
+  EXPECT_EQ(1u, snap.probes);
+
+  // A failed probe keeps the breaker open...
+  monitor.RecordJobFailure(false);
+  EXPECT_TRUE(monitor.quarantined());
+  // ...a successful one closes it.
+  for (int i = 0; i < 4; i++) monitor.Admit();
+  monitor.RecordJobSuccess();
+  EXPECT_FALSE(monitor.quarantined());
+  EXPECT_EQ(1u, monitor.snapshot().readmissions);
+  // Closed breaker admits everything without counting denials.
+  EXPECT_TRUE(monitor.Admit());
+  EXPECT_TRUE(monitor.Admit());
+}
+
+TEST(DeviceHealthMonitorTest, ToStringCarriesCounters) {
+  DeviceHealthMonitor monitor;
+  monitor.RecordJobSuccess();
+  monitor.RecordJobFailure(false);
+  std::string s = monitor.ToString();
+  EXPECT_NE(std::string::npos, s.find("quarantined=0")) << s;
+  EXPECT_NE(std::string::npos, s.find("ok=1")) << s;
+  EXPECT_NE(std::string::npos, s.find("failed=1")) << s;
+}
+
+// ---------------------------------------------------------------------
+// Output verification
+// ---------------------------------------------------------------------
+
+class OutputVerifierTest : public testing::Test {
+ public:
+  OutputVerifierTest()
+      : env_(NewMemEnv(Env::Default())), icmp_(BytewiseComparator()) {
+    options_.env = env_.get();
+  }
+
+  /// Produces a genuine device output by merging two staged runs.
+  fpga::DeviceOutput MakeOutput() {
+    std::vector<std::unique_ptr<fpga::DeviceInput>> inputs;
+    for (int i = 0; i < 2; i++) {
+      auto input = std::make_unique<fpga::DeviceInput>();
+      auto run = MakeRun("key", i, 400, 2, 1000 * (i + 1), 48);
+      EXPECT_TRUE(
+          BuildDeviceInput(env_.get(), options_, {run}, i, input.get()).ok());
+      inputs.push_back(std::move(input));
+    }
+    fpga::EngineConfig config;
+    config.num_inputs = 2;
+    FcaeDevice device(config);
+    fpga::DeviceOutput output;
+    DeviceRunStats stats;
+    EXPECT_TRUE(device
+                    .ExecuteCompaction({inputs[0].get(), inputs[1].get()},
+                                       kNoSnapshot, true, &output, &stats)
+                    .ok());
+    EXPECT_FALSE(output.tables.empty());
+    return output;
+  }
+
+  std::unique_ptr<Env> env_;
+  InternalKeyComparator icmp_;
+  Options options_;
+};
+
+TEST_F(OutputVerifierTest, CleanOutputPasses) {
+  fpga::DeviceOutput output = MakeOutput();
+  OutputVerifyStats stats;
+  Status s = VerifyDeviceOutput(output, icmp_, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(static_cast<uint64_t>(output.tables.size()), stats.tables);
+  EXPECT_GT(stats.blocks, 0u);
+  EXPECT_EQ(800u, stats.entries);
+}
+
+TEST_F(OutputVerifierTest, FlippedPayloadByteIsCaught) {
+  fpga::DeviceOutput output = MakeOutput();
+  // Flip one byte in the middle of the first table's data memory — a
+  // silent DMA corruption the link CRC missed.
+  fpga::DeviceOutputTable& table = output.tables.front();
+  table.data_memory[table.data_memory.size() / 2] ^= 0x40;
+  OutputVerifyStats stats;
+  Status s = VerifyDeviceOutput(output, icmp_, &stats);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(OutputVerifierTest, EveryCorruptedBytePositionIsCaught) {
+  // Byte flips anywhere in the output (payload, trailer, restart
+  // array) must be caught by some check: CRC, ordering, or bounds.
+  fpga::DeviceOutput clean = MakeOutput();
+  ASSERT_FALSE(clean.tables.empty());
+  const size_t size = clean.tables[0].data_memory.size();
+  for (size_t pos = 0; pos < size; pos += 97) {
+    fpga::DeviceOutput copy = clean;
+    copy.tables[0].data_memory[pos] ^= 0x01;
+    OutputVerifyStats stats;
+    Status s = VerifyDeviceOutput(copy, icmp_, &stats);
+    EXPECT_FALSE(s.ok()) << "flip at byte " << pos << " went undetected";
+  }
+}
+
+TEST_F(OutputVerifierTest, EntryCountMismatchIsCaught) {
+  fpga::DeviceOutput output = MakeOutput();
+  output.tables[0].num_entries += 1;
+  OutputVerifyStats stats;
+  EXPECT_TRUE(VerifyDeviceOutput(output, icmp_, &stats).IsCorruption());
+}
+
+TEST_F(OutputVerifierTest, BoundsMismatchIsCaught) {
+  fpga::DeviceOutput output = MakeOutput();
+  // Claim a larger largest-key than the data holds.
+  std::string fake;
+  AppendInternalKey(&fake, ParsedInternalKey("zzzz", 1, kTypeValue));
+  output.tables[0].largest_key = fake;
+  OutputVerifyStats stats;
+  EXPECT_TRUE(VerifyDeviceOutput(output, icmp_, &stats).IsCorruption());
+}
+
+TEST_F(OutputVerifierTest, SilentDeviceCorruptionIsCaughtBeforeInstall) {
+  // End to end at the device layer: a silent DMA corruption makes the
+  // kernel call SUCCEED with flipped bytes; only the verifier stands
+  // between it and the manifest.
+  std::vector<std::unique_ptr<fpga::DeviceInput>> inputs;
+  for (int i = 0; i < 2; i++) {
+    auto input = std::make_unique<fpga::DeviceInput>();
+    auto run = MakeRun("key", i, 400, 2, 1000 * (i + 1), 48);
+    ASSERT_TRUE(
+        BuildDeviceInput(env_.get(), options_, {run}, i, input.get()).ok());
+    inputs.push_back(std::move(input));
+  }
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  FcaeDevice device(config);
+  fpga::DeviceFaultInjector injector(fpga::DeviceFaultConfig{});
+  device.set_fault_injector(&injector);
+  injector.ArmOneShot(fpga::DeviceFaultClass::kDmaCorruption, 1,
+                      /*silent=*/true);
+
+  fpga::DeviceOutput output;
+  DeviceRunStats stats;
+  Status s = device.ExecuteCompaction({inputs[0].get(), inputs[1].get()},
+                                      kNoSnapshot, true, &output, &stats);
+  ASSERT_TRUE(s.ok()) << "silent corruption must not fail the kernel call";
+  EXPECT_EQ(1u, stats.faults_injected);
+
+  OutputVerifyStats verify_stats;
+  Status vs = VerifyDeviceOutput(output, icmp_, &verify_stats);
+  EXPECT_TRUE(vs.IsCorruption())
+      << "silent corruption evaded the verifier: " << vs.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Kernel deadline watchdog
+// ---------------------------------------------------------------------
+
+TEST_F(OutputVerifierTest, NaturalDeadlineOverrunKillsKernel) {
+  std::vector<std::unique_ptr<fpga::DeviceInput>> inputs;
+  for (int i = 0; i < 2; i++) {
+    auto input = std::make_unique<fpga::DeviceInput>();
+    auto run = MakeRun("key", i, 400, 2, 1000 * (i + 1), 48);
+    ASSERT_TRUE(
+        BuildDeviceInput(env_.get(), options_, {run}, i, input.get()).ok());
+    inputs.push_back(std::move(input));
+  }
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  config.kernel_deadline_cycles = 10;  // Impossibly tight watchdog.
+  FcaeDevice device(config);
+
+  fpga::DeviceOutput output;
+  DeviceRunStats stats;
+  Status s = device.ExecuteCompaction({inputs[0].get(), inputs[1].get()},
+                                      kNoSnapshot, true, &output, &stats);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_TRUE(output.tables.empty());
+  EXPECT_EQ(1u, device.deadline_kills());
+}
+
+}  // namespace host
+}  // namespace fcae

@@ -1,17 +1,31 @@
-// Fault injection: an Env wrapper that can start failing all writes at
-// a chosen moment (simulating a full disk or dying device). Once writes
-// fail, the DB must surface errors instead of acknowledging lost data,
-// and after the "disk" recovers and the DB reopens, every previously
-// acknowledged write must still be there.
+// Fault injection, two layers:
+//  1. An Env wrapper that can start failing all writes at a chosen
+//     moment (full disk / dying disk). Once writes fail, the DB must
+//     surface errors instead of acknowledging lost data, and after the
+//     "disk" recovers and the DB reopens, every previously acknowledged
+//     write must still be there.
+//  2. A DeviceFaultInjector storm on the FPGA offload path: under a
+//     seeded transient fault rate every compaction must still complete
+//     (device retry or CPU fallback) with zero lost or duplicated keys,
+//     and a sticky card drop must quarantine the device while the DB
+//     keeps compacting in software.
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <set>
 
+#include "fpga/fault_injector.h"
 #include "gtest/gtest.h"
+#include "host/device_health_monitor.h"
+#include "host/fcae_device.h"
+#include "host/offload_compaction.h"
 #include "lsm/db.h"
+#include "lsm/db_impl.h"
+#include "table/iterator.h"
 #include "util/env.h"
 #include "util/mem_env.h"
+#include "util/random.h"
 
 namespace fcae {
 
@@ -227,6 +241,193 @@ TEST_F(FaultInjectionTest, FlushFailureDoesNotLoseData) {
         << i;
     ASSERT_EQ(std::string(150, 'p'), value);
   }
+}
+
+// ---------------------------------------------------------------------
+// Device-fault storms on the offload path.
+// ---------------------------------------------------------------------
+
+class DeviceFaultTest : public testing::Test {
+ public:
+  DeviceFaultTest() : env_(NewMemEnv(Env::Default())) {}
+
+  /// Opens /devfault with the offload executor wired to `device`.
+  std::unique_ptr<DB> OpenDb(CompactionExecutor* executor) {
+    Options options;
+    options.env = env_.get();
+    options.create_if_missing = true;
+    options.write_buffer_size = 64 * 1024;
+    options.compaction_executor = executor;
+    DB* db = nullptr;
+    EXPECT_TRUE(DB::Open(options, "/devfault", &db).ok());
+    return std::unique_ptr<DB>(db);
+  }
+
+  /// Runs a deterministic overwrite/delete workload, mirroring it into
+  /// `model`, then compacts every level so each table moves through the
+  /// executor at least once.
+  void RunWorkload(DB* db, std::map<std::string, std::string>* model) {
+    Random rnd(301);
+    WriteOptions wo;
+    for (int i = 0; i < 4000; i++) {
+      std::string key = "user" + std::to_string(rnd.Uniform(800));
+      if (rnd.Uniform(10) < 8) {
+        std::string value(64 + rnd.Uniform(100),
+                          static_cast<char>('a' + i % 26));
+        ASSERT_TRUE(db->Put(wo, key, value).ok());
+        (*model)[key] = value;
+      } else {
+        ASSERT_TRUE(db->Delete(wo, key).ok());
+        model->erase(key);
+      }
+    }
+    CompactAllLevels(db);
+  }
+
+  /// Flushes the memtable and manually compacts every level, so every
+  /// table moves through the executor at least once. (A flush may land
+  /// directly at level 2 when it overlaps nothing, so compacting level
+  /// 0 alone would miss it.)
+  void CompactAllLevels(DB* db) {
+    auto* impl = reinterpret_cast<DBImpl*>(db);
+    impl->TEST_CompactMemTable();
+    for (int level = 0; level < kNumLevels - 1; level++) {
+      impl->TEST_CompactRange(level, nullptr, nullptr);
+    }
+  }
+
+  /// Full scan: the DB must contain exactly the model — no lost keys,
+  /// no duplicated/resurrected keys.
+  void VerifyExactContents(DB* db,
+                           const std::map<std::string, std::string>& model) {
+    std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+    auto expect = model.begin();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      ASSERT_NE(expect, model.end())
+          << "extra key in DB: " << it->key().ToString();
+      EXPECT_EQ(expect->first, it->key().ToString());
+      EXPECT_EQ(expect->second, it->value().ToString());
+      ++expect;
+    }
+    EXPECT_EQ(expect, model.end()) << "lost keys starting at "
+                                   << (expect == model.end()
+                                           ? std::string("<none>")
+                                           : expect->first);
+    EXPECT_TRUE(it->status().ok());
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(DeviceFaultTest, TransientFaultStormLosesNothing) {
+  // 10% of kernel launches draw a transient fault (DMA corruption —
+  // half of it silent — kernel timeouts, device-busy). Every compaction
+  // must still complete via retry or CPU fallback, with zero lost or
+  // duplicated keys and no unverified device output installed.
+  fpga::DeviceFaultConfig fault_config;
+  fault_config.seed = 1234;
+  fault_config.transient_rate = 0.10;
+  fpga::DeviceFaultInjector injector(fault_config);
+
+  fpga::EngineConfig engine_config;
+  engine_config.num_inputs = 2;  // Tournaments: many launches per job.
+  host::FcaeDevice device(engine_config);
+  device.set_fault_injector(&injector);
+
+  host::DeviceHealthMonitor monitor;
+  host::FcaeExecutorOptions exec_options;
+  exec_options.tournament_scheduling = true;
+  exec_options.health_monitor = &monitor;
+  host::FcaeCompactionExecutor executor(&device, exec_options);
+
+  std::unique_ptr<DB> db = OpenDb(&executor);
+  std::map<std::string, std::string> model;
+  RunWorkload(db.get(), &model);
+
+  // The storm actually happened...
+  EXPECT_GT(injector.total_faults(), 0u);
+  EXPECT_GT(injector.launches(), injector.total_faults());
+  // ...and the data is exactly intact.
+  VerifyExactContents(db.get(), model);
+
+  // Writes still work (no background error poisoned the DB: every
+  // failed device job must have been recovered).
+  ASSERT_TRUE(db->Put(WriteOptions(), "post-storm", "ok").ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "post-storm", &value).ok());
+
+  // The retry/fault counters made it to the DB properties.
+  auto* impl = reinterpret_cast<DBImpl*>(db.get());
+  CompactionExecStats stats = impl->OffloadStats();
+  EXPECT_GT(stats.device_attempts, 0u);
+  EXPECT_GT(stats.device_faults, 0u);
+  std::string health;
+  ASSERT_TRUE(db->GetProperty("fcae.device-health", &health));
+  EXPECT_NE(std::string::npos, health.find("executor=fcae")) << health;
+  EXPECT_NE(std::string::npos, health.find("faults=")) << health;
+}
+
+TEST_F(DeviceFaultTest, StickyFaultQuarantinesDeviceAndDbCompactsOnCpu) {
+  // The card drops off the bus early on. The device executor must fail
+  // sticky, the circuit breaker must quarantine it, and the DB must keep
+  // compacting on the CPU with nothing lost.
+  fpga::DeviceFaultConfig fault_config;
+  fault_config.card_drop_at_launch = 2;
+  fpga::DeviceFaultInjector injector(fault_config);
+
+  fpga::EngineConfig engine_config;
+  engine_config.num_inputs = 2;
+  host::FcaeDevice device(engine_config);
+  device.set_fault_injector(&injector);
+
+  host::DeviceHealthOptions health_options;
+  health_options.quarantine_threshold = 3;
+  health_options.sticky_weight = 3;  // One sticky fault opens the breaker.
+  health_options.probe_interval = 2;  // Probe the card often.
+  host::DeviceHealthMonitor monitor(health_options);
+  host::FcaeExecutorOptions exec_options;
+  exec_options.tournament_scheduling = true;
+  exec_options.health_monitor = &monitor;
+  host::FcaeCompactionExecutor executor(&device, exec_options);
+
+  std::unique_ptr<DB> db = OpenDb(&executor);
+  std::map<std::string, std::string> model;
+  RunWorkload(db.get(), &model);
+
+  EXPECT_TRUE(injector.card_dropped());
+  // At least the original drop; probe launches on the dead card add more.
+  EXPECT_GE(injector.count(fpga::DeviceFaultClass::kCardDropped), 1u);
+
+  // The breaker opened and subsequent compactions were denied the
+  // device (modulo periodic probes, which fail fast on the dead card).
+  host::DeviceHealthMonitor::Snapshot snap = monitor.snapshot();
+  EXPECT_TRUE(snap.quarantined);
+  EXPECT_GE(snap.quarantines, 1u);
+  EXPECT_GT(snap.jobs_denied, 0u);
+
+  // The DB soldiered on in software: data intact, compactions ran.
+  VerifyExactContents(db.get(), model);
+  auto* impl = reinterpret_cast<DBImpl*>(db.get());
+  (void)impl;
+  std::string health;
+  ASSERT_TRUE(db->GetProperty("fcae.device-health", &health));
+  EXPECT_NE(std::string::npos, health.find("quarantined=1")) << health;
+
+  // Hot reset: the card comes back; a probe job re-admits it.
+  injector.RepairCard();
+  bool readmitted = false;
+  for (int round = 0; round < 12 && !readmitted; round++) {
+    for (int i = 0; i < 20; i++) {
+      std::string key = "repair" + std::to_string(i);
+      std::string value(512, static_cast<char>('A' + round));
+      ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+      model[key] = value;
+    }
+    CompactAllLevels(db.get());
+    readmitted = !monitor.quarantined();
+  }
+  EXPECT_TRUE(readmitted) << monitor.ToString();
+  VerifyExactContents(db.get(), model);
 }
 
 }  // namespace fcae

@@ -195,5 +195,58 @@ TEST(SimulatorTest, YcsbSpeedupGrowsWithWriteRatio) {
   EXPECT_NEAR(1.0, c, 0.05);      // Read-only unchanged.
 }
 
+TEST(SimulatorTest, FaultFreeRunHasNoRetryAccounting) {
+  SimResult r = Simulator(FcaeConfig(512)).RunFillRandom(2e8);
+  EXPECT_EQ(0u, r.compactions_retried);
+  EXPECT_EQ(0u, r.compactions_fallback);
+  EXPECT_EQ(0.0, r.fault_backoff_seconds);
+  EXPECT_EQ(0.0, r.fault_wasted_device_seconds);
+}
+
+TEST(SimulatorTest, DeviceFaultsCostThroughputButNotCorrectness) {
+  SimConfig faulty = FcaeConfig(512);
+  faulty.device_fault_rate = 0.3;
+  SimResult clean = Simulator(FcaeConfig(512)).RunFillRandom(2e8);
+  SimResult r = Simulator(faulty).RunFillRandom(2e8);
+
+  // At a 30% per-launch fault rate a 200 MB run must see retries.
+  EXPECT_GT(r.compactions_retried, 0u);
+  EXPECT_GT(r.fault_wasted_device_seconds, 0.0);
+  EXPECT_GT(r.fault_backoff_seconds, 0.0);
+  // Every compaction still completes, on the device or in software.
+  EXPECT_EQ(r.compactions, r.compactions_offloaded + r.compactions_sw);
+  // Wasted kernel time and backoff slow the run down, but not to zero.
+  EXPECT_LT(r.throughput_mbps, clean.throughput_mbps);
+  EXPECT_GT(r.throughput_mbps, 0.2 * clean.throughput_mbps);
+}
+
+TEST(SimulatorTest, RetryExhaustionFallsBackToSoftware) {
+  SimConfig config = FcaeConfig(512);
+  config.device_fault_rate = 0.6;
+  config.device_retry_limit = 2;  // Two strikes and the CPU takes over.
+  SimResult r = Simulator(config).RunFillRandom(2e8);
+  EXPECT_GT(r.compactions_fallback, 0u);
+  // Fallbacks run in software and are counted there, never double-counted.
+  EXPECT_GE(r.compactions_sw, r.compactions_fallback);
+  EXPECT_EQ(r.compactions, r.compactions_offloaded + r.compactions_sw);
+  EXPECT_GT(r.cpu_compaction_seconds, 0.0);
+}
+
+TEST(SimulatorTest, FaultStreamIsDeterministicInSeed) {
+  SimConfig config = FcaeConfig(512);
+  config.device_fault_rate = 0.25;
+  config.fault_seed = 77;
+  SimResult a = Simulator(config).RunFillRandom(1e8);
+  SimResult b = Simulator(config).RunFillRandom(1e8);
+  EXPECT_EQ(a.compactions_retried, b.compactions_retried);
+  EXPECT_EQ(a.compactions_fallback, b.compactions_fallback);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+
+  config.fault_seed = 78;
+  SimResult c = Simulator(config).RunFillRandom(1e8);
+  EXPECT_TRUE(a.compactions_retried != c.compactions_retried ||
+              a.elapsed_seconds != c.elapsed_seconds);
+}
+
 }  // namespace syssim
 }  // namespace fcae

@@ -1,6 +1,7 @@
 #include <map>
 #include <memory>
 
+#include "fpga/fault_injector.h"
 #include "fpga/output_to_input.h"
 #include "fpga_test_util.h"
 #include "gtest/gtest.h"
@@ -209,6 +210,98 @@ TEST_F(TournamentTest, DbWithTournamentExecutorMatchesCpuDb) {
   auto* impl = reinterpret_cast<DBImpl*>(fcae_db.get());
   CompactionExecStats stats = impl->OffloadStats();
   EXPECT_GT(stats.device_cycles, 0u);
+}
+
+TEST_F(TournamentTest, IntermediatePassFaultFailsJobCleanly) {
+  // Arm a one-shot fault on the SECOND kernel launch: with 7 runs and
+  // N=2 that is an intermediate tournament pass. The whole job must
+  // fail with the fault's status, hand back no partial output, and
+  // leave no intermediate staging in device DRAM.
+  auto inputs = StageRuns(7, 150);
+  std::vector<const fpga::DeviceInput*> ptrs;
+  for (auto& in : inputs) ptrs.push_back(in.get());
+
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  FcaeDevice device(config);
+  fpga::DeviceFaultInjector injector(fpga::DeviceFaultConfig{});
+  device.set_fault_injector(&injector);
+
+  for (fpga::DeviceFaultClass cls :
+       {fpga::DeviceFaultClass::kKernelTimeout,
+        fpga::DeviceFaultClass::kDeviceBusy,
+        fpga::DeviceFaultClass::kCardDropped}) {
+    if (cls == fpga::DeviceFaultClass::kCardDropped) {
+      injector.RepairCard();  // Undo a previous iteration's drop.
+    }
+    injector.ArmOneShot(cls, /*launches_from_now=*/2);
+
+    fpga::DeviceOutput out;
+    out.tables.emplace_back();  // Pre-existing garbage must be cleared.
+    DeviceRunStats stats;
+    Status s = device.ExecuteTournament(ptrs, kNoSnapshot, true, &out, &stats);
+    ASSERT_FALSE(s.ok()) << DeviceFaultClassName(cls);
+    switch (cls) {
+      case fpga::DeviceFaultClass::kKernelTimeout:
+        EXPECT_TRUE(s.IsIOError()) << s.ToString();
+        break;
+      case fpga::DeviceFaultClass::kDeviceBusy:
+        EXPECT_TRUE(s.IsBusy()) << s.ToString();
+        break;
+      case fpga::DeviceFaultClass::kCardDropped:
+        EXPECT_TRUE(s.IsDeviceLost()) << s.ToString();
+        break;
+      default:
+        FAIL();
+    }
+    // No partial outputs escape a failed tournament.
+    EXPECT_TRUE(out.tables.empty()) << DeviceFaultClassName(cls);
+    // No leaked device DRAM staging: the intermediate of the completed
+    // first pass was freed on the error path.
+    EXPECT_EQ(0u, device.intermediate_dram_bytes()) << DeviceFaultClassName(cls);
+    if (cls == fpga::DeviceFaultClass::kCardDropped) {
+      injector.RepairCard();
+    }
+  }
+  // Intermediates were actually staged before the faults hit.
+  EXPECT_GT(device.intermediate_dram_peak_bytes(), 0u);
+
+  // With the injector quiet again the same job succeeds: the failed
+  // attempts left no residue that breaks a later run.
+  fpga::DeviceOutput out;
+  DeviceRunStats stats;
+  ASSERT_TRUE(
+      device.ExecuteTournament(ptrs, kNoSnapshot, true, &out, &stats).ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(out, &got).ok());
+  EXPECT_EQ(7u * 150u, got.size());
+  EXPECT_EQ(0u, device.intermediate_dram_bytes());
+}
+
+TEST_F(TournamentTest, FinalPassFaultHandsBackNothing) {
+  // 4 runs, N=2: passes are (2 intermediates, 1 final) = 3 launches.
+  // Fault the FINAL pass; the two intermediates completed and were
+  // staged, yet the job must surface the error and clear the output.
+  auto inputs = StageRuns(4, 100);
+  std::vector<const fpga::DeviceInput*> ptrs;
+  for (auto& in : inputs) ptrs.push_back(in.get());
+
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  FcaeDevice device(config);
+  fpga::DeviceFaultInjector injector(fpga::DeviceFaultConfig{});
+  device.set_fault_injector(&injector);
+  injector.ArmOneShot(fpga::DeviceFaultClass::kKernelTimeout,
+                      /*launches_from_now=*/3);
+
+  fpga::DeviceOutput out;
+  DeviceRunStats stats;
+  Status s = device.ExecuteTournament(ptrs, kNoSnapshot, true, &out, &stats);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_TRUE(out.tables.empty());
+  EXPECT_EQ(0u, device.intermediate_dram_bytes());
+  EXPECT_EQ(1u, injector.count(fpga::DeviceFaultClass::kKernelTimeout));
+  EXPECT_EQ(3u, injector.launches());
 }
 
 TEST_F(TournamentTest, SingleGroupFallsThroughToOnePass) {
