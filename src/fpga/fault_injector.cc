@@ -23,7 +23,7 @@ DeviceFaultInjector::DeviceFaultInjector(const DeviceFaultConfig& config)
     : config_(config), rng_(config.seed) {}
 
 FaultDecision DeviceFaultInjector::NextLaunch() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   launches_++;
 
   FaultDecision decision;
@@ -88,7 +88,7 @@ FaultDecision DeviceFaultInjector::NextLaunch() {
 void DeviceFaultInjector::ArmOneShot(DeviceFaultClass cls,
                                      uint64_t launches_from_now,
                                      bool silent) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   FaultDecision decision;
   decision.cls = cls;
   decision.silent = silent;
@@ -96,27 +96,27 @@ void DeviceFaultInjector::ArmOneShot(DeviceFaultClass cls,
 }
 
 void DeviceFaultInjector::RepairCard() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   card_dropped_ = false;
 }
 
 bool DeviceFaultInjector::card_dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return card_dropped_;
 }
 
 uint64_t DeviceFaultInjector::launches() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return launches_;
 }
 
 uint64_t DeviceFaultInjector::count(DeviceFaultClass cls) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return counts_[static_cast<int>(cls)];
 }
 
 uint64_t DeviceFaultInjector::total_faults() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   uint64_t total = 0;
   for (int i = 1; i < kNumDeviceFaultClasses; i++) {
     total += counts_[i];

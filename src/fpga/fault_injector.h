@@ -3,10 +3,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
+#include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 namespace fpga {
@@ -81,31 +83,33 @@ class DeviceFaultInjector {
   DeviceFaultInjector& operator=(const DeviceFaultInjector&) = delete;
 
   /// Draws the fault decision for the next kernel launch and counts it.
-  FaultDecision NextLaunch();
+  FaultDecision NextLaunch() EXCLUDES(mutex_);
 
   /// Arms a one-shot fault on the Nth launch *from now* (1 = the very
   /// next launch). One-shots override the random stream for that launch;
   /// used by tests to hit a precise tournament pass.
   void ArmOneShot(DeviceFaultClass cls, uint64_t launches_from_now,
-                  bool silent = false);
+                  bool silent = false) EXCLUDES(mutex_);
 
   /// Clears a sticky card-drop (models a hot reset + driver rebind).
-  void RepairCard();
+  void RepairCard() EXCLUDES(mutex_);
 
-  bool card_dropped() const;
-  uint64_t launches() const;
-  uint64_t count(DeviceFaultClass cls) const;
-  uint64_t total_faults() const;
+  bool card_dropped() const EXCLUDES(mutex_);
+  uint64_t launches() const EXCLUDES(mutex_);
+  uint64_t count(DeviceFaultClass cls) const EXCLUDES(mutex_);
+  uint64_t total_faults() const EXCLUDES(mutex_);
 
  private:
   const DeviceFaultConfig config_;
 
-  mutable std::mutex mutex_;
-  Random rng_;
-  uint64_t launches_ = 0;
-  bool card_dropped_ = false;
-  std::array<uint64_t, kNumDeviceFaultClasses> counts_{};
-  std::vector<std::pair<uint64_t, FaultDecision>> one_shots_;  // By ordinal.
+  mutable Mutex mutex_;
+  Random rng_ GUARDED_BY(mutex_);
+  uint64_t launches_ GUARDED_BY(mutex_) = 0;
+  bool card_dropped_ GUARDED_BY(mutex_) = false;
+  std::array<uint64_t, kNumDeviceFaultClasses> counts_ GUARDED_BY(mutex_){};
+  // One-shot faults by launch ordinal.
+  std::vector<std::pair<uint64_t, FaultDecision>> one_shots_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace fpga

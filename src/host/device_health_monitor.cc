@@ -10,7 +10,7 @@ DeviceHealthMonitor::DeviceHealthMonitor(DeviceHealthOptions options)
     : options_(options) {}
 
 bool DeviceHealthMonitor::Admit() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!quarantined_) return true;
   denials_since_probe_++;
   if (denials_since_probe_ >= options_.probe_interval) {
@@ -23,7 +23,7 @@ bool DeviceHealthMonitor::Admit() {
 }
 
 void DeviceHealthMonitor::RecordJobSuccess() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   jobs_succeeded_++;
   consecutive_failures_ = 0;
   if (quarantined_) {
@@ -34,7 +34,7 @@ void DeviceHealthMonitor::RecordJobSuccess() {
 }
 
 void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   jobs_failed_++;
   if (sticky) {
     sticky_failures_++;
@@ -51,12 +51,12 @@ void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
 }
 
 bool DeviceHealthMonitor::quarantined() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return quarantined_;
 }
 
 DeviceHealthMonitor::Snapshot DeviceHealthMonitor::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Snapshot snap;
   snap.quarantined = quarantined_;
   snap.consecutive_failures = consecutive_failures_;

@@ -2,8 +2,10 @@
 #define FCAE_HOST_DEVICE_HEALTH_MONITOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 namespace host {
@@ -40,16 +42,16 @@ class DeviceHealthMonitor {
 
   /// Should this job be sent to the device? Counts denials while
   /// quarantined and grants every probe_interval-th job as a probe.
-  bool Admit();
+  bool Admit() EXCLUDES(mutex_);
 
   /// One job completed on the device (possibly after internal retries).
-  void RecordJobSuccess();
+  void RecordJobSuccess() EXCLUDES(mutex_);
 
   /// One job failed on the device after exhausting its retries.
   /// `sticky` marks a fault no retry can clear (card off the bus).
-  void RecordJobFailure(bool sticky);
+  void RecordJobFailure(bool sticky) EXCLUDES(mutex_);
 
-  bool quarantined() const;
+  bool quarantined() const EXCLUDES(mutex_);
 
   struct Snapshot {
     bool quarantined = false;
@@ -62,25 +64,28 @@ class DeviceHealthMonitor {
     uint64_t readmissions = 0;  // Times a probe closed the breaker.
     uint64_t jobs_denied = 0;   // Jobs routed to CPU by the breaker.
   };
-  Snapshot snapshot() const;
+  Snapshot snapshot() const EXCLUDES(mutex_);
 
   /// One-line counter dump for DB::GetProperty("fcae.device-health").
-  std::string ToString() const;
+  /// mutex_ is a leaf in the lock order (see DESIGN.md): it is safe to
+  /// call this while holding DBImpl::mutex_ or the executor's mutex,
+  /// which is what keeps the property readable mid-quarantine.
+  std::string ToString() const EXCLUDES(mutex_);
 
  private:
   const DeviceHealthOptions options_;
 
-  mutable std::mutex mutex_;
-  bool quarantined_ = false;
-  int consecutive_failures_ = 0;
-  int denials_since_probe_ = 0;
-  uint64_t jobs_succeeded_ = 0;
-  uint64_t jobs_failed_ = 0;
-  uint64_t sticky_failures_ = 0;
-  uint64_t quarantines_ = 0;
-  uint64_t probes_ = 0;
-  uint64_t readmissions_ = 0;
-  uint64_t jobs_denied_ = 0;
+  mutable Mutex mutex_;
+  bool quarantined_ GUARDED_BY(mutex_) = false;
+  int consecutive_failures_ GUARDED_BY(mutex_) = 0;
+  int denials_since_probe_ GUARDED_BY(mutex_) = 0;
+  uint64_t jobs_succeeded_ GUARDED_BY(mutex_) = 0;
+  uint64_t jobs_failed_ GUARDED_BY(mutex_) = 0;
+  uint64_t sticky_failures_ GUARDED_BY(mutex_) = 0;
+  uint64_t quarantines_ GUARDED_BY(mutex_) = 0;
+  uint64_t probes_ GUARDED_BY(mutex_) = 0;
+  uint64_t readmissions_ GUARDED_BY(mutex_) = 0;
+  uint64_t jobs_denied_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace host

@@ -45,7 +45,7 @@ Status FcaeDevice::RunKernel(
     decision = fault_injector_->NextLaunch();
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     kernels_launched_++;
   }
 
@@ -76,7 +76,7 @@ Status FcaeDevice::RunKernel(
                                  : 2 * cycles;
     stats->kernel_cycles += charged;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(&stats_mutex_);
       total_kernel_cycles_ += charged;
     }
     return Status::IOError("kernel deadline exceeded (device hang)");
@@ -85,7 +85,7 @@ Status FcaeDevice::RunKernel(
       cycles > config_.kernel_deadline_cycles) {
     // A genuine (non-injected) overrun of the watchdog deadline.
     stats->kernel_cycles += cycles;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     total_kernel_cycles_ += cycles;
     deadline_kills_++;
     return Status::IOError("kernel deadline exceeded");
@@ -113,7 +113,7 @@ Status FcaeDevice::RunKernel(
   merged.cycles = stats->kernel_cycles;
   stats->engine = merged;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     total_kernel_cycles_ += cycles;
   }
   return Status::OK();
@@ -128,7 +128,7 @@ Status FcaeDevice::ExecuteCompaction(
         "engine input count exceeds synthesized N");
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
 
   *stats = DeviceRunStats();
   for (const fpga::DeviceInput* input : inputs) {
@@ -147,7 +147,7 @@ Status FcaeDevice::ExecuteCompaction(
   stats->pcie_micros +=
       pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
 
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  MutexLock stats_lock(&stats_mutex_);
   total_pcie_micros_ += stats->pcie_micros;
   return Status::OK();
 }
@@ -156,7 +156,7 @@ Status FcaeDevice::ExecuteTournament(
     const std::vector<const fpga::DeviceInput*>& inputs,
     uint64_t smallest_snapshot, bool drop_deletions,
     fpga::DeviceOutput* output, DeviceRunStats* stats) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
 
   *stats = DeviceRunStats();
   for (const fpga::DeviceInput* input : inputs) {
@@ -171,7 +171,7 @@ Status FcaeDevice::ExecuteTournament(
   struct DramGuard {
     FcaeDevice* device;
     ~DramGuard() {
-      std::lock_guard<std::mutex> lock(device->stats_mutex_);
+      MutexLock lock(&device->stats_mutex_);
       device->intermediate_dram_bytes_ = 0;
     }
   } dram_guard{this};
@@ -206,7 +206,7 @@ Status FcaeDevice::ExecuteTournament(
         return s;
       }
       {
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        MutexLock stats_lock(&stats_mutex_);
         intermediate_dram_bytes_ += restaged->TotalBytes();
         intermediate_dram_peak_bytes_ =
             std::max(intermediate_dram_peak_bytes_, intermediate_dram_bytes_);
@@ -233,7 +233,7 @@ Status FcaeDevice::ExecuteTournament(
   stats->pcie_micros +=
       pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
 
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  MutexLock stats_lock(&stats_mutex_);
   total_pcie_micros_ += stats->pcie_micros;
   return Status::OK();
 }

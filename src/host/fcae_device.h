@@ -2,7 +2,6 @@
 #define FCAE_HOST_FCAE_DEVICE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "fpga/compaction_engine.h"
@@ -10,7 +9,9 @@
 #include "fpga/device_memory.h"
 #include "fpga/fault_injector.h"
 #include "fpga/pcie_model.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 namespace host {
@@ -56,8 +57,9 @@ class FcaeDevice {
 
   /// Attaches a fault injector (borrowed; may be null to detach). The
   /// injector is consulted once per kernel launch.
-  void set_fault_injector(fpga::DeviceFaultInjector* injector) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void set_fault_injector(fpga::DeviceFaultInjector* injector)
+      EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     fault_injector_ = injector;
   }
 
@@ -68,7 +70,8 @@ class FcaeDevice {
   /// never hands partial results to the host.
   Status ExecuteCompaction(const std::vector<const fpga::DeviceInput*>& inputs,
                            uint64_t smallest_snapshot, bool drop_deletions,
-                           fpga::DeviceOutput* output, DeviceRunStats* stats);
+                           fpga::DeviceOutput* output, DeviceRunStats* stats)
+      EXCLUDES(mutex_, stats_mutex_);
 
   /// Merges an arbitrary number of inputs as a tournament of N-input
   /// kernel passes; intermediate runs are re-staged inside device DRAM
@@ -81,63 +84,66 @@ class FcaeDevice {
   /// staging and clears *output.
   Status ExecuteTournament(const std::vector<const fpga::DeviceInput*>& inputs,
                            uint64_t smallest_snapshot, bool drop_deletions,
-                           fpga::DeviceOutput* output, DeviceRunStats* stats);
+                           fpga::DeviceOutput* output, DeviceRunStats* stats)
+      EXCLUDES(mutex_, stats_mutex_);
 
   /// Totals across the device lifetime.
-  uint64_t total_kernel_cycles() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  uint64_t total_kernel_cycles() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
     return total_kernel_cycles_;
   }
-  double total_pcie_micros() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  double total_pcie_micros() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
     return total_pcie_micros_;
   }
-  uint64_t kernels_launched() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  uint64_t kernels_launched() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
     return kernels_launched_;
   }
 
   /// Device DRAM currently held by tournament intermediates. Zero
   /// whenever no tournament is in flight — in particular after a failed
   /// one (no leaked staging).
-  uint64_t intermediate_dram_bytes() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  uint64_t intermediate_dram_bytes() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
     return intermediate_dram_bytes_;
   }
-  uint64_t intermediate_dram_peak_bytes() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  uint64_t intermediate_dram_peak_bytes() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
     return intermediate_dram_peak_bytes_;
   }
 
   /// Kernel runs killed by the cycle-deadline watchdog (natural, i.e.
   /// not injected, timeouts included).
-  uint64_t deadline_kills() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  uint64_t deadline_kills() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
     return deadline_kills_;
   }
 
  private:
   /// One kernel launch: consults the fault injector, runs the engine,
-  /// enforces the cycle deadline and applies silent corruption. Callers
-  /// hold mutex_.
+  /// enforces the cycle deadline and applies silent corruption.
   Status RunKernel(const std::vector<const fpga::DeviceInput*>& inputs,
                    uint64_t smallest_snapshot, bool drop_deletions,
-                   fpga::DeviceOutput* output, DeviceRunStats* stats);
+                   fpga::DeviceOutput* output, DeviceRunStats* stats)
+      REQUIRES(mutex_);
 
   const fpga::EngineConfig config_;
   const fpga::PcieModel pcie_;
-  std::mutex mutex_;
-  fpga::DeviceFaultInjector* fault_injector_ = nullptr;  // Guarded by mutex_.
+  Mutex mutex_;
+  fpga::DeviceFaultInjector* fault_injector_ GUARDED_BY(mutex_) = nullptr;
 
   // Counters below are guarded by stats_mutex_ so readers (health
-  // probes, tests) need not queue behind a running kernel.
-  mutable std::mutex stats_mutex_;
-  uint64_t total_kernel_cycles_ = 0;
-  double total_pcie_micros_ = 0;
-  uint64_t kernels_launched_ = 0;
-  uint64_t intermediate_dram_bytes_ = 0;
-  uint64_t intermediate_dram_peak_bytes_ = 0;
-  uint64_t deadline_kills_ = 0;
+  // probes, tests) need not queue behind a running kernel. Lock order:
+  // stats_mutex_ is a leaf taken while mutex_ is held, never the other
+  // way around.
+  mutable Mutex stats_mutex_ ACQUIRED_AFTER(mutex_);
+  uint64_t total_kernel_cycles_ GUARDED_BY(stats_mutex_) = 0;
+  double total_pcie_micros_ GUARDED_BY(stats_mutex_) = 0;
+  uint64_t kernels_launched_ GUARDED_BY(stats_mutex_) = 0;
+  uint64_t intermediate_dram_bytes_ GUARDED_BY(stats_mutex_) = 0;
+  uint64_t intermediate_dram_peak_bytes_ GUARDED_BY(stats_mutex_) = 0;
+  uint64_t deadline_kills_ GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace host

@@ -188,7 +188,7 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     counters_.jobs++;
     counters_.attempts += attempts;
     counters_.retries += attempts > 0 ? attempts - 1 : 0;
@@ -270,7 +270,7 @@ std::string FcaeCompactionExecutor::HealthString() const {
 
 FcaeCompactionExecutor::RobustnessCounters
 FcaeCompactionExecutor::robustness_counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return counters_;
 }
 

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "host/device_health_monitor.h"
 #include "host/fcae_device.h"
 #include "lsm/compaction_executor.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 namespace host {
@@ -87,7 +88,7 @@ class FcaeCompactionExecutor : public CompactionExecutor {
     uint64_t verify_failures = 0;
     uint64_t backoff_micros = 0;
   };
-  RobustnessCounters robustness_counters() const;
+  RobustnessCounters robustness_counters() const EXCLUDES(mutex_);
 
   DeviceHealthMonitor* health_monitor() const {
     return options_.health_monitor;
@@ -97,8 +98,12 @@ class FcaeCompactionExecutor : public CompactionExecutor {
   FcaeDevice* device_;
   FcaeExecutorOptions options_;
 
-  mutable std::mutex mutex_;
-  RobustnessCounters counters_;
+  // mutex_ guards only the counters; jobs themselves are serialized by
+  // the single compaction thread, while counter readers (GetProperty,
+  // tests) may arrive from any thread. Leaf lock: nothing else is
+  // acquired while it is held.
+  mutable Mutex mutex_;
+  RobustnessCounters counters_ GUARDED_BY(mutex_);
 };
 
 /// Returns the number of engine inputs a compaction needs: one per

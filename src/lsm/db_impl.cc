@@ -21,13 +21,14 @@ const int kNumNonTableCacheFiles = 10;
 
 // Information kept for every waiting writer.
 struct DBImpl::Writer {
-  explicit Writer(std::mutex* mu) : batch(nullptr), sync(false), done(false) {}
+  explicit Writer(Mutex* mu)
+      : batch(nullptr), sync(false), done(false), cv(mu) {}
 
   Status status;
   WriteBatch* batch;
   bool sync;
   bool done;
-  std::condition_variable cv;
+  CondVar cv;
 };
 
 namespace {
@@ -74,6 +75,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                             ? raw_options.compaction_executor
                             : owned_cpu_executor_.get()),
       shutting_down_(false),
+      background_work_finished_signal_(&mutex_),
       mem_(nullptr),
       imm_(nullptr),
       has_imm_(false),
@@ -92,13 +94,12 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
 
 DBImpl::~DBImpl() {
   // Wait for background work to finish.
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    shutting_down_.store(true, std::memory_order_release);
-    while (background_compaction_scheduled_) {
-      background_work_finished_signal_.wait(lock);
-    }
+  mutex_.Lock();
+  shutting_down_.store(true, std::memory_order_release);
+  while (background_compaction_scheduled_) {
+    background_work_finished_signal_.Wait();
   }
+  mutex_.Unlock();
 
   delete versions_;
   if (db_lock_ != nullptr) {
@@ -212,11 +213,11 @@ void DBImpl::RemoveObsoleteFiles() {
   // deleted have unique names which will not collide with newly created
   // files and are therefore safe to delete while allowing other threads
   // to proceed.
-  mutex_.unlock();
+  mutex_.Unlock();
   for (const std::string& filename : files_to_delete) {
     env_->RemoveFile(dbname_ + "/" + filename);
   }
-  mutex_.lock();
+  mutex_.Lock();
 }
 
 Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
@@ -406,9 +407,9 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
 
   Status s;
   {
-    mutex_.unlock();
+    mutex_.Unlock();
     s = BuildTable(dbname_, env_, options_, table_cache_.get(), iter, &meta);
-    mutex_.lock();
+    mutex_.Lock();
   }
 
   delete iter;
@@ -489,20 +490,20 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     manual.end = &end_storage;
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
          bg_error_.ok()) {
     if (manual_compaction_ == nullptr) {  // Idle.
       manual_compaction_ = &manual;
       MaybeScheduleCompaction();
     } else {  // Running either my compaction or another compaction.
-      background_work_finished_signal_.wait(lock);
+      background_work_finished_signal_.Wait();
     }
   }
   // Finish current background compaction in the case where `manual`
   // is still being used.
   while (background_compaction_scheduled_ && manual_compaction_ == &manual) {
-    background_work_finished_signal_.wait(lock);
+    background_work_finished_signal_.Wait();
   }
   if (manual_compaction_ == &manual) {
     // Cancel my manual compaction since we aborted early for some reason.
@@ -515,9 +516,9 @@ Status DBImpl::TEST_CompactMemTable() {
   Status s = Write(WriteOptions(), nullptr);
   if (s.ok()) {
     // Wait until the compaction completes.
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock l(&mutex_);
     while (imm_ != nullptr && bg_error_.ok()) {
-      background_work_finished_signal_.wait(lock);
+      background_work_finished_signal_.Wait();
     }
     if (imm_ != nullptr) {
       s = bg_error_;
@@ -530,7 +531,7 @@ void DBImpl::RecordBackgroundError(const Status& s) {
   // Requires mutex_ held.
   if (bg_error_.ok()) {
     bg_error_ = s;
-    background_work_finished_signal_.notify_all();
+    background_work_finished_signal_.SignalAll();
   }
 }
 
@@ -556,7 +557,7 @@ void DBImpl::BGWork(void* db) {
 }
 
 void DBImpl::BackgroundCall() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   assert(background_compaction_scheduled_);
   if (shutting_down_.load(std::memory_order_acquire)) {
     // No more background work when shutting down.
@@ -571,7 +572,7 @@ void DBImpl::BackgroundCall() {
   // Previous compaction may have produced too many files in a level,
   // so reschedule another compaction if needed.
   MaybeScheduleCompaction();
-  background_work_finished_signal_.notify_all();
+  background_work_finished_signal_.SignalAll();
 }
 
 void DBImpl::BackgroundCompaction() {
@@ -682,13 +683,18 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   // partial files before the job reruns on the CPU.
   std::vector<uint64_t> allocated_numbers;
   job.new_file_number = [this, &allocated_numbers]() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     uint64_t number = versions_->NewFileNumber();
     pending_outputs_.insert(number);
     allocated_numbers.push_back(number);
     return number;
   };
   job.make_input_iterator = [this, c]() {
+    // Invoked by the executor after DoCompactionWork released mutex_:
+    // VersionSet state is guarded by it, so reacquire for the setup.
+    // (Lock-discipline fix surfaced by -Wthread-safety: this used to
+    // read versions_ without the lock.)
+    MutexLock lock(&mutex_);
     return versions_->MakeInputIterator(c);
   };
 
@@ -704,7 +710,7 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   Status status;
   bool fell_back = false;
   {
-    mutex_.unlock();
+    mutex_.Unlock();
     const uint64_t start_micros = env_->NowMicros();
     status = executor->Execute(job, &outputs, &exec_stats);
     if (!status.ok() && executor != owned_cpu_executor_.get() &&
@@ -715,7 +721,7 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
       // outputs and rerun the whole job on the CPU executor.
       std::vector<uint64_t> abandoned;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         abandoned.swap(allocated_numbers);
         for (uint64_t number : abandoned) {
           pending_outputs_.erase(number);
@@ -741,7 +747,7 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     if (exec_stats.micros == 0) {
       exec_stats.micros = env_->NowMicros() - start_micros;
     }
-    mutex_.lock();
+    mutex_.Lock();
   }
 
   if (exec_stats.offloaded) {
@@ -776,11 +782,11 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   if (!status.ok()) {
     RecordBackgroundError(status);
     // Clean up files we created (best effort; some may not exist).
-    mutex_.unlock();
+    mutex_.Unlock();
     for (uint64_t number : allocated_numbers) {
       env_->RemoveFile(TableFileName(dbname_, number));
     }
-    mutex_.lock();
+    mutex_.Lock();
   }
 
   VersionSet::LevelSummaryStorage tmp;
@@ -808,23 +814,22 @@ void DBImpl::CleanupCompaction(CompactionState* compact) {
 namespace {
 
 struct IterState {
-  std::mutex* const mu;
-  Version* const version;
-  MemTable* const mem;
-  MemTable* const imm;
+  Mutex* const mu;
+  Version* const version GUARDED_BY(mu);
+  MemTable* const mem GUARDED_BY(mu);
+  MemTable* const imm GUARDED_BY(mu);
 
-  IterState(std::mutex* mutex, MemTable* mem, MemTable* imm, Version* version)
+  IterState(Mutex* mutex, MemTable* mem, MemTable* imm, Version* version)
       : mu(mutex), version(version), mem(mem), imm(imm) {}
 };
 
 void CleanupIteratorState(void* arg1, void* arg2) {
   IterState* state = reinterpret_cast<IterState*>(arg1);
-  {
-    std::lock_guard<std::mutex> lock(*state->mu);
-    state->mem->Unref();
-    if (state->imm != nullptr) state->imm->Unref();
-    state->version->Unref();
-  }
+  state->mu->Lock();
+  state->mem->Unref();
+  if (state->imm != nullptr) state->imm->Unref();
+  state->version->Unref();
+  state->mu->Unlock();
   delete state;
 }
 
@@ -833,7 +838,7 @@ void CleanupIteratorState(void* arg1, void* arg2) {
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot,
                                       uint32_t* seed) {
-  mutex_.lock();
+  mutex_.Lock();
   *latest_snapshot = versions_->LastSequence();
 
   // Collect together all needed child iterators.
@@ -855,7 +860,7 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
   internal_iter->RegisterCleanup(CleanupIteratorState, cleanup, nullptr);
 
   *seed = ++seed_;
-  mutex_.unlock();
+  mutex_.Unlock();
   return internal_iter;
 }
 
@@ -866,14 +871,14 @@ Iterator* DBImpl::TEST_NewInternalIterator() {
 }
 
 int64_t DBImpl::TEST_MaxNextLevelOverlappingBytes() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   return versions_->MaxNextLevelOverlappingBytes();
 }
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   SequenceNumber snapshot;
   if (options.snapshot_sequence != 0) {
     snapshot = options.snapshot_sequence;
@@ -893,7 +898,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
   // Unlock while reading from files and memtables.
   {
-    lock.unlock();
+    mutex_.Unlock();
     // First look in the memtable, then in the immutable memtable (if
     // any).
     LookupKey lkey(key, snapshot);
@@ -905,7 +910,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
       s = current->Get(options, lkey, value, &stats);
       have_stat_update = true;
     }
-    lock.lock();
+    mutex_.Lock();
   }
 
   if (have_stat_update && current->UpdateStats(stats)) {
@@ -929,19 +934,19 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
 }
 
 void DBImpl::RecordReadSample(Slice key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   if (versions_->current()->RecordReadSample(key)) {
     MaybeScheduleCompaction();
   }
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   return snapshots_.New(versions_->LastSequence());
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
 }
 
@@ -965,10 +970,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   w.sync = options.sync;
   w.done = false;
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) {
-    w.cv.wait(lock);
+    w.cv.Wait();
   }
   if (w.done) {
     return w.status;
@@ -988,7 +993,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // protects against concurrent loggers and concurrent writes into
     // mem_.
     {
-      mutex_.unlock();
+      mutex_.Unlock();
       status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
       bool sync_error = false;
       if (status.ok() && options.sync) {
@@ -1000,7 +1005,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       if (status.ok()) {
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
       }
-      mutex_.lock();
+      mutex_.Lock();
       if (sync_error) {
         // The state of the log file is indeterminate: the log record we
         // just added may or may not show up when the DB is re-opened.
@@ -1019,14 +1024,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     if (ready != &w) {
       ready->status = status;
       ready->done = true;
-      ready->cv.notify_one();
+      ready->cv.Signal();
     }
     if (ready == last_writer) break;
   }
 
   // Notify new head of write queue.
   if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+    writers_.front()->cv.Signal();
   }
 
   return status;
@@ -1090,7 +1095,6 @@ Status DBImpl::MakeRoomForWrite(bool force) {
   assert(!writers_.empty());
   bool allow_delay = !force;
   Status s;
-  std::unique_lock<std::mutex> lock(mutex_, std::adopt_lock);
   while (true) {
     if (!bg_error_.ok()) {
       // Yield previous error.
@@ -1104,10 +1108,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // individual write by 1ms to reduce latency variance. Also, this
       // delay hands over some CPU to the compaction thread in case it
       // is sharing the same core as the writer.
-      lock.unlock();
+      mutex_.Unlock();
       env_->SleepForMicroseconds(1000);
       allow_delay = false;  // Do not delay a single write more than once.
-      lock.lock();
+      mutex_.Lock();
       slowdown_count_++;
       slowdown_micros_ += 1000;
     } else if (!force && (mem_->ApproximateMemoryUsage() <=
@@ -1118,13 +1122,13 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // We have filled up the current memtable, but the previous one is
       // still being compacted, so we wait.
       const uint64_t start = env_->NowMicros();
-      background_work_finished_signal_.wait(lock);
+      background_work_finished_signal_.Wait();
       stall_memtable_count_++;
       stall_memtable_micros_ += env_->NowMicros() - start;
     } else if (versions_->NumLevelFiles(0) >= kL0StopWritesTrigger) {
       // There are too many level-0 files.
       const uint64_t start = env_->NowMicros();
-      background_work_finished_signal_.wait(lock);
+      background_work_finished_signal_.Wait();
       stall_l0_count_++;
       stall_l0_micros_ += env_->NowMicros() - start;
     } else {
@@ -1152,14 +1156,13 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       MaybeScheduleCompaction();
     }
   }
-  lock.release();  // Caller continues to hold the mutex.
   return s;
 }
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   value->clear();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   Slice in = property;
   Slice prefix("fcae.");
   if (!in.StartsWith(prefix)) return false;
@@ -1273,7 +1276,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
 
 void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock l(&mutex_);
     Version* v = versions_->current();
     v->Ref();
 
@@ -1293,7 +1296,7 @@ void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
 void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   int max_level_with_files = 1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock l(&mutex_);
     Version* base = versions_->current();
     for (int level = 1; level < kNumLevels; level++) {
       if (base->OverlapInLevel(level, begin, end)) {
@@ -1308,12 +1311,12 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
 }
 
 CompactionExecStats DBImpl::OffloadStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   return exec_stats_;
 }
 
 int64_t DBImpl::FallbackCompactions() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock l(&mutex_);
   return compactions_fallback_;
 }
 
@@ -1324,7 +1327,7 @@ Status DB::Open(const Options& options, const std::string& dbname,
   *dbptr = nullptr;
 
   DBImpl* impl = new DBImpl(options, dbname);
-  impl->mutex_.lock();
+  impl->mutex_.Lock();
   VersionEdit edit;
   // Recover handles create_if_missing, error_if_exists.
   bool save_manifest = false;
@@ -1352,7 +1355,7 @@ Status DB::Open(const Options& options, const std::string& dbname,
     impl->RemoveObsoleteFiles();
     impl->MaybeScheduleCompaction();
   }
-  impl->mutex_.unlock();
+  impl->mutex_.Unlock();
   if (s.ok()) {
     assert(impl->mem_ != nullptr);
     *dbptr = impl;

@@ -2,10 +2,8 @@
 #define FCAE_LSM_DB_IMPL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
@@ -15,6 +13,8 @@
 #include "lsm/log_writer.h"
 #include "lsm/snapshot.h"
 #include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 
@@ -87,40 +87,43 @@ class DBImpl : public DB {
 
   /// Recovers the descriptor from persistent storage. May do a
   /// significant amount of work to recover recently logged updates.
-  Status Recover(VersionEdit* edit, bool* save_manifest);
+  Status Recover(VersionEdit* edit, bool* save_manifest) REQUIRES(mutex_);
 
   void MaybeIgnoreError(Status* s) const;
 
   /// Deletes any unneeded files and stale in-memory entries.
-  void RemoveObsoleteFiles();
+  void RemoveObsoleteFiles() REQUIRES(mutex_);
 
   /// Compacts the in-memory write buffer to disk; switches to a new
   /// log-file/memtable and writes a new descriptor iff successful.
-  void CompactMemTable();
+  void CompactMemTable() REQUIRES(mutex_);
 
   Status RecoverLogFile(uint64_t log_number, bool last_log,
                         bool* save_manifest, VersionEdit* edit,
-                        SequenceNumber* max_sequence);
+                        SequenceNumber* max_sequence) REQUIRES(mutex_);
 
-  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base);
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base)
+      REQUIRES(mutex_);
 
-  Status MakeRoomForWrite(bool force /* compact even if there is room? */);
-  WriteBatch* BuildBatchGroup(Writer** last_writer);
+  Status MakeRoomForWrite(bool force /* compact even if there is room? */)
+      REQUIRES(mutex_);
+  WriteBatch* BuildBatchGroup(Writer** last_writer) REQUIRES(mutex_);
 
-  void RecordBackgroundError(const Status& s);
+  void RecordBackgroundError(const Status& s) REQUIRES(mutex_);
 
-  void MaybeScheduleCompaction();
+  void MaybeScheduleCompaction() REQUIRES(mutex_);
   static void BGWork(void* db);
   void BackgroundCall();
-  void BackgroundCompaction();
-  void CleanupCompaction(CompactionState* compact);
+  void BackgroundCompaction() REQUIRES(mutex_);
+  void CleanupCompaction(CompactionState* compact) REQUIRES(mutex_);
 
   /// Runs one table-merging compaction through the configured executor
   /// (device if eligible, CPU fallback otherwise) and installs results.
-  Status DoCompactionWork(Compaction* c);
+  Status DoCompactionWork(Compaction* c) REQUIRES(mutex_);
 
   Status InstallCompactionResults(Compaction* c,
-                                  const std::vector<CompactionOutput>& outputs);
+                                  const std::vector<CompactionOutput>& outputs)
+      REQUIRES(mutex_);
 
   const Comparator* user_comparator() const {
     return internal_comparator_.user_comparator();
@@ -144,30 +147,36 @@ class DBImpl : public DB {
   // Lock over the database directory (released in the destructor).
   FileLock* db_lock_ = nullptr;
 
-  // State below is protected by mutex_.
-  std::mutex mutex_;
+  // State below is protected by mutex_. Members without a GUARDED_BY
+  // are the deliberate exceptions, each protected by a documented
+  // protocol instead of the lock itself:
+  //  - mem_ is written into without the mutex by the writer at the
+  //    front of writers_ (the front-writer role is the exclusion);
+  //  - logfile_/log_ are appended to under the same front-writer role;
+  //  - shutting_down_/has_imm_ are atomics read by unlocked fast paths.
+  Mutex mutex_;
   std::atomic<bool> shutting_down_;
-  std::condition_variable background_work_finished_signal_;
+  CondVar background_work_finished_signal_;
   MemTable* mem_;
-  MemTable* imm_;                // Memtable being compacted.
-  std::atomic<bool> has_imm_;    // So bg thread can detect non-null imm_.
+  MemTable* imm_ GUARDED_BY(mutex_);  // Memtable being compacted.
+  std::atomic<bool> has_imm_;         // So bg thread can detect non-null imm_.
   WritableFile* logfile_;
-  uint64_t logfile_number_;
+  uint64_t logfile_number_ GUARDED_BY(mutex_);
   log::Writer* log_;
-  uint32_t seed_;  // For sampling.
+  uint32_t seed_ GUARDED_BY(mutex_);  // For sampling.
 
   // Queue of writers.
-  std::deque<Writer*> writers_;
-  WriteBatch* tmp_batch_;
+  std::deque<Writer*> writers_ GUARDED_BY(mutex_);
+  WriteBatch* tmp_batch_ GUARDED_BY(mutex_);
 
-  SnapshotList snapshots_;
+  SnapshotList snapshots_ GUARDED_BY(mutex_);
 
   // Set of table files to protect from deletion because they are part
   // of ongoing compactions.
-  std::set<uint64_t> pending_outputs_;
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
 
   // Has a background compaction been scheduled or is running?
-  bool background_compaction_scheduled_;
+  bool background_compaction_scheduled_ GUARDED_BY(mutex_);
 
   // Information for a manual compaction.
   struct ManualCompaction {
@@ -177,12 +186,12 @@ class DBImpl : public DB {
     const InternalKey* end;    // null means end of key range
     InternalKey tmp_storage;   // Used to keep track of compaction progress
   };
-  ManualCompaction* manual_compaction_;
+  ManualCompaction* manual_compaction_ GUARDED_BY(mutex_);
 
-  VersionSet* versions_;
+  VersionSet* const versions_ GUARDED_BY(mutex_);
 
   // Have we encountered a background error in paranoid mode?
-  Status bg_error_;
+  Status bg_error_ GUARDED_BY(mutex_);
 
   // Per-level compaction stats.
   struct CompactionStats {
@@ -198,24 +207,24 @@ class DBImpl : public DB {
     int64_t bytes_read;
     int64_t bytes_written;
   };
-  CompactionStats stats_[kNumLevels];
+  CompactionStats stats_[kNumLevels] GUARDED_BY(mutex_);
 
   // Aggregate executor statistics (e.g. offloaded compaction count).
-  CompactionExecStats exec_stats_;
-  int64_t compactions_offloaded_;
-  int64_t compactions_on_cpu_;
+  CompactionExecStats exec_stats_ GUARDED_BY(mutex_);
+  int64_t compactions_offloaded_ GUARDED_BY(mutex_);
+  int64_t compactions_on_cpu_ GUARDED_BY(mutex_);
   // Jobs the primary (device) executor failed that were rerun — and
   // completed — on the CPU executor (graceful degradation).
-  int64_t compactions_fallback_;
+  int64_t compactions_fallback_ GUARDED_BY(mutex_);
 
   // Write-pause accounting (the paper's Section I phenomenon): how
   // often and for how long MakeRoomForWrite throttled the client.
-  int64_t slowdown_count_ = 0;        // 1 ms delays (L0 >= 8).
-  int64_t slowdown_micros_ = 0;
-  int64_t stall_memtable_count_ = 0;  // Waits for the immutable flush.
-  int64_t stall_memtable_micros_ = 0;
-  int64_t stall_l0_count_ = 0;        // Hard stops (L0 >= 12).
-  int64_t stall_l0_micros_ = 0;
+  int64_t slowdown_count_ GUARDED_BY(mutex_) = 0;  // 1 ms delays (L0 >= 8).
+  int64_t slowdown_micros_ GUARDED_BY(mutex_) = 0;
+  int64_t stall_memtable_count_ GUARDED_BY(mutex_) = 0;  // Flush waits.
+  int64_t stall_memtable_micros_ GUARDED_BY(mutex_) = 0;
+  int64_t stall_l0_count_ GUARDED_BY(mutex_) = 0;  // Hard stops (L0 >= 12).
+  int64_t stall_l0_micros_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Sanitizes db options: clips user-supplied values to reasonable ranges

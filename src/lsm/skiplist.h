@@ -5,6 +5,12 @@
 //
 // Thread safety:
 //  - Writes require external synchronization (one writer at a time).
+//    In the running system that serialization is NOT DBImpl::mutex_:
+//    the writer at the front of the DBImpl write queue inserts with the
+//    mutex released, and the front-of-queue role itself is the mutual
+//    exclusion (see DBImpl::Write and the threading section of
+//    DESIGN.md). This is why the list carries no capability
+//    annotations — the guard is a protocol, not a lock.
 //  - Reads require a guarantee that the SkipList will not be destroyed
 //    while the read is in progress, and need no other synchronization;
 //    the invariants below make lock-free reads safe.

@@ -13,7 +13,11 @@
 namespace fcae {
 
 /// Caches open SSTable readers (file handle + index block) keyed by file
-/// number. Thread-safe.
+/// number. Thread-safe: all state lives behind the internal Cache,
+/// which carries its own annotated mutex (util/cache.cc), so callers —
+/// reader threads, the compaction thread, and the offload executor's
+/// post-assembly readability check — need no external lock and
+/// TableCache itself needs no capability annotations.
 class TableCache {
  public:
   TableCache(const std::string& dbname, const Options& options, int entries);

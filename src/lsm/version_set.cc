@@ -760,7 +760,7 @@ void VersionSet::AppendVersion(Version* v) {
   v->next_->prev_ = v;
 }
 
-Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
+Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
   if (edit->has_log_number_) {
     assert(edit->log_number_ >= log_number_);
     assert(edit->log_number_ < next_file_number_);
@@ -797,7 +797,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
 
   // Unlock during expensive MANIFEST log write.
   {
-    mu->unlock();
+    mu->Unlock();
 
     // Write new record to MANIFEST log.
     if (s.ok()) {
@@ -815,7 +815,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
       s = SetCurrentFile(env_, dbname_, manifest_file_number_);
     }
 
-    mu->lock();
+    mu->Lock();
   }
 
   // Install the new version.

@@ -9,13 +9,14 @@
 // set of versions is maintained in a VersionSet.
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "lsm/dbformat.h"
 #include "lsm/version_edit.h"
+#include "util/mutex.h"
 #include "util/options.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 
@@ -146,6 +147,12 @@ class Version {
   int compaction_level_;
 };
 
+/// VersionSet is not internally synchronized: every mutating or
+/// state-reading member requires external serialization, which in the
+/// running system is DBImpl::mutex_ (the table cache it hands iterators
+/// from is the one exception — that provides its own locking).
+/// LogAndApply takes that mutex explicitly because it drops it around
+/// the MANIFEST write.
 class VersionSet {
  public:
   VersionSet(const std::string& dbname, const Options* options,
@@ -159,7 +166,7 @@ class VersionSet {
   /// Applies *edit to the current version to form a new descriptor that
   /// is both saved to persistent state and installed as the new current
   /// version. Releases *mu while writing to the file.
-  Status LogAndApply(VersionEdit* edit, std::mutex* mu);
+  Status LogAndApply(VersionEdit* edit, Mutex* mu) REQUIRES(mu);
 
   /// Recovers the last saved descriptor from persistent storage.
   Status Recover(bool* save_manifest);

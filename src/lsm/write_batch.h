@@ -21,6 +21,12 @@ class MemTable;
 /// external synchronization, but if any of the threads may call a
 /// non-const method, all threads accessing the same WriteBatch must use
 /// external synchronization.
+///
+/// Inside the DB, batches submitted by concurrent writers are queued in
+/// DBImpl::writers_ (guarded by DBImpl::mutex_); the writer at the
+/// front of the queue merges them into DBImpl::tmp_batch_ and is the
+/// only thread touching the merged batch until the group commit
+/// completes, so the batch contents themselves need no lock.
 class WriteBatch {
  public:
   class Handler {

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <cstring>
 #include <list>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 
@@ -31,7 +33,7 @@ class LRUCache : public Cache {
 
   Handle* Insert(const Slice& key, void* value, size_t charge,
                  void (*deleter)(const Slice&, void*)) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Entry* e = new Entry;
     e->key = key.ToString();
     e->value = value;
@@ -51,7 +53,7 @@ class LRUCache : public Cache {
   }
 
   Handle* Lookup(const Slice& key) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = index_.find(key.ToString());
     if (it == index_.end()) {
       return nullptr;
@@ -66,7 +68,7 @@ class LRUCache : public Cache {
   }
 
   void Release(Handle* handle) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Unref(reinterpret_cast<Entry*>(handle));
     // A release may have made an over-capacity entry evictable.
     EvictIfNeeded();
@@ -77,7 +79,7 @@ class LRUCache : public Cache {
   }
 
   void Erase(const Slice& key) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = index_.find(key.ToString());
     if (it != index_.end()) {
       RemoveFromIndex(it->second);
@@ -85,12 +87,12 @@ class LRUCache : public Cache {
   }
 
   uint64_t NewId() override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return ++last_id_;
   }
 
   void Prune() override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     // Drop every entry whose only reference is the index's own.
     while (!lru_.empty()) {
       Entry* e = lru_.front();
@@ -99,7 +101,7 @@ class LRUCache : public Cache {
   }
 
   size_t TotalCharge() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return usage_;
   }
 
@@ -115,8 +117,7 @@ class LRUCache : public Cache {
   };
 
   /// Drops the index's reference and removes from the map/LRU list.
-  /// Requires mutex_ held.
-  void RemoveFromIndex(Entry* e) {
+  void RemoveFromIndex(Entry* e) REQUIRES(mutex_) {
     if (e->in_lru) {
       lru_.erase(e->lru_pos);
       e->in_lru = false;
@@ -126,8 +127,7 @@ class LRUCache : public Cache {
     Unref(e);
   }
 
-  /// Requires mutex_ held.
-  void Unref(Entry* e) {
+  void Unref(Entry* e) REQUIRES(mutex_) {
     assert(e->refs > 0);
     e->refs--;
     if (e->refs == 0) {
@@ -142,8 +142,7 @@ class LRUCache : public Cache {
     }
   }
 
-  /// Requires mutex_ held.
-  void EvictIfNeeded() {
+  void EvictIfNeeded() REQUIRES(mutex_) {
     while (usage_ > capacity_ && !lru_.empty()) {
       Entry* oldest = lru_.front();
       RemoveFromIndex(oldest);
@@ -151,11 +150,11 @@ class LRUCache : public Cache {
   }
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  size_t usage_;
-  uint64_t last_id_ = 0;
-  std::unordered_map<std::string, Entry*> index_;
-  std::list<Entry*> lru_;  // Front = least recently used.
+  mutable Mutex mutex_;
+  size_t usage_ GUARDED_BY(mutex_);
+  uint64_t last_id_ GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::string, Entry*> index_ GUARDED_BY(mutex_);
+  std::list<Entry*> lru_ GUARDED_BY(mutex_);  // Front = least recently used.
 };
 
 }  // namespace

@@ -10,7 +10,11 @@ namespace fcae {
 /// A Cache maps keys to values with an internal eviction policy and
 /// explicit reference counting: entries remain alive while a caller holds
 /// a Handle, even if evicted from the cache index. Implementations must
-/// be thread-safe.
+/// be thread-safe: every method may be called concurrently from client
+/// threads, the compaction thread, and the offload executor. The
+/// built-in LRU implementation expresses this with capability
+/// annotations on its internal fcae::Mutex (see cache.cc); Value() is
+/// the one lock-free method — a pinned entry's value is immutable.
 class Cache {
  public:
   Cache() = default;

@@ -7,13 +7,13 @@
 #include <set>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 
@@ -190,18 +190,18 @@ class PosixFileLock : public FileLock {
 /// a second in-process LockFile would silently succeed without this.
 class PosixLockTable {
  public:
-  bool Insert(const std::string& fname) {
-    std::lock_guard<std::mutex> guard(mutex_);
+  bool Insert(const std::string& fname) EXCLUDES(mutex_) {
+    MutexLock guard(&mutex_);
     return locked_files_.insert(fname).second;
   }
-  void Remove(const std::string& fname) {
-    std::lock_guard<std::mutex> guard(mutex_);
+  void Remove(const std::string& fname) EXCLUDES(mutex_) {
+    MutexLock guard(&mutex_);
     locked_files_.erase(fname);
   }
 
  private:
-  std::mutex mutex_;
-  std::set<std::string> locked_files_;
+  Mutex mutex_;
+  std::set<std::string> locked_files_ GUARDED_BY(mutex_);
 };
 
 int LockOrUnlock(int fd, bool lock) {
@@ -217,7 +217,8 @@ int LockOrUnlock(int fd, bool lock) {
 
 class PosixEnv : public Env {
  public:
-  PosixEnv() : background_started_(false) {}
+  PosixEnv()
+      : background_cv_(&background_mutex_), background_started_(false) {}
 
   ~PosixEnv() override = default;
 
@@ -360,15 +361,16 @@ class PosixEnv : public Env {
     return status;
   }
 
-  void Schedule(void (*function)(void*), void* arg) override {
-    std::lock_guard<std::mutex> guard(background_mutex_);
+  void Schedule(void (*function)(void*), void* arg) override
+      EXCLUDES(background_mutex_) {
+    MutexLock guard(&background_mutex_);
     if (!background_started_) {
       background_started_ = true;
       std::thread background_thread(&PosixEnv::BackgroundThreadMain, this);
       background_thread.detach();
     }
     background_queue_.emplace_back(function, arg);
-    background_cv_.notify_one();
+    background_cv_.Signal();
   }
 
   void StartThread(void (*function)(void*), void* arg) override {
@@ -395,21 +397,22 @@ class PosixEnv : public Env {
 
   void BackgroundThreadMain() {
     while (true) {
-      BackgroundWorkItem item = [&] {
-        std::unique_lock<std::mutex> lock(background_mutex_);
-        background_cv_.wait(lock, [&] { return !background_queue_.empty(); });
-        BackgroundWorkItem front = background_queue_.front();
-        background_queue_.pop_front();
-        return front;
-      }();
+      background_mutex_.Lock();
+      while (background_queue_.empty()) {
+        background_cv_.Wait();
+      }
+      BackgroundWorkItem item = background_queue_.front();
+      background_queue_.pop_front();
+      background_mutex_.Unlock();
       item.function(item.arg);
     }
   }
 
-  std::mutex background_mutex_;
-  std::condition_variable background_cv_;
-  std::deque<BackgroundWorkItem> background_queue_;
-  bool background_started_;
+  Mutex background_mutex_;
+  CondVar background_cv_;
+  std::deque<BackgroundWorkItem> background_queue_
+      GUARDED_BY(background_mutex_);
+  bool background_started_ GUARDED_BY(background_mutex_);
   PosixLockTable locks_;
 };
 

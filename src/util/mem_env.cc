@@ -4,9 +4,11 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fcae {
 
@@ -22,14 +24,14 @@ class FileState {
   FileState& operator=(const FileState&) = delete;
 
   void Ref() {
-    std::lock_guard<std::mutex> guard(refs_mutex_);
+    MutexLock guard(&refs_mutex_);
     ++refs_;
   }
 
   void Unref() {
     bool do_delete = false;
     {
-      std::lock_guard<std::mutex> guard(refs_mutex_);
+      MutexLock guard(&refs_mutex_);
       --refs_;
       if (refs_ <= 0) {
         do_delete = true;
@@ -41,18 +43,18 @@ class FileState {
   }
 
   uint64_t Size() const {
-    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    MutexLock guard(&blocks_mutex_);
     return size_;
   }
 
   void Truncate() {
-    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    MutexLock guard(&blocks_mutex_);
     blocks_.clear();
     size_ = 0;
   }
 
   Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const {
-    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    MutexLock guard(&blocks_mutex_);
     if (offset > size_) {
       return Status::IOError("Offset greater than file size.");
     }
@@ -90,7 +92,7 @@ class FileState {
     const char* src = data.data();
     size_t src_len = data.size();
 
-    std::lock_guard<std::mutex> guard(blocks_mutex_);
+    MutexLock guard(&blocks_mutex_);
     while (src_len > 0) {
       size_t avail;
       size_t offset = size_ % kBlockSize;
@@ -118,12 +120,12 @@ class FileState {
 
   ~FileState() = default;  // Only Unref() deletes.
 
-  std::mutex refs_mutex_;
-  int refs_;
+  Mutex refs_mutex_;
+  int refs_ GUARDED_BY(refs_mutex_);
 
-  mutable std::mutex blocks_mutex_;
-  std::vector<std::unique_ptr<char[]>> blocks_;
-  uint64_t size_;
+  mutable Mutex blocks_mutex_;
+  std::vector<std::unique_ptr<char[]>> blocks_ GUARDED_BY(blocks_mutex_);
+  uint64_t size_ GUARDED_BY(blocks_mutex_);
 };
 
 class MemSequentialFile : public SequentialFile {
@@ -208,7 +210,7 @@ class MemEnv : public Env {
 
   Status NewSequentialFile(const std::string& fname,
                            SequentialFile** result) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     auto it = file_map_.find(fname);
     if (it == file_map_.end()) {
       *result = nullptr;
@@ -220,7 +222,7 @@ class MemEnv : public Env {
 
   Status NewRandomAccessFile(const std::string& fname,
                              RandomAccessFile** result) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     auto it = file_map_.find(fname);
     if (it == file_map_.end()) {
       *result = nullptr;
@@ -232,7 +234,7 @@ class MemEnv : public Env {
 
   Status NewWritableFile(const std::string& fname,
                          WritableFile** result) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     auto it = file_map_.find(fname);
     FileState* file;
     if (it == file_map_.end()) {
@@ -249,7 +251,7 @@ class MemEnv : public Env {
 
   Status NewAppendableFile(const std::string& fname,
                            WritableFile** result) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     FileState** sptr = &file_map_[fname];
     FileState* file = *sptr;
     if (file == nullptr) {
@@ -262,13 +264,13 @@ class MemEnv : public Env {
   }
 
   bool FileExists(const std::string& fname) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     return file_map_.find(fname) != file_map_.end();
   }
 
   Status GetChildren(const std::string& dir,
                      std::vector<std::string>* result) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     result->clear();
     for (const auto& kv : file_map_) {
       const std::string& filename = kv.first;
@@ -281,7 +283,7 @@ class MemEnv : public Env {
   }
 
   Status RemoveFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     auto it = file_map_.find(fname);
     if (it == file_map_.end()) {
       return Status::NotFound(fname, "File not found");
@@ -300,7 +302,7 @@ class MemEnv : public Env {
   }
 
   Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     auto it = file_map_.find(fname);
     if (it == file_map_.end()) {
       return Status::NotFound(fname, "File not found");
@@ -311,7 +313,7 @@ class MemEnv : public Env {
 
   Status RenameFile(const std::string& src,
                     const std::string& target) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     auto it = file_map_.find(src);
     if (it == file_map_.end()) {
       return Status::NotFound(src, "File not found");
@@ -327,7 +329,7 @@ class MemEnv : public Env {
   }
 
   Status LockFile(const std::string& fname, FileLock** lock) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     if (!locked_files_.insert(fname).second) {
       *lock = nullptr;
       return Status::IOError("lock " + fname, "already held");
@@ -338,7 +340,7 @@ class MemEnv : public Env {
 
   Status UnlockFile(FileLock* lock) override {
     MemFileLock* mem_lock = static_cast<MemFileLock*>(lock);
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     locked_files_.erase(mem_lock->name());
     delete mem_lock;
     return Status::OK();
@@ -360,9 +362,9 @@ class MemEnv : public Env {
 
  private:
   Env* base_;
-  std::mutex mutex_;
-  std::map<std::string, FileState*> file_map_;
-  std::set<std::string> locked_files_;
+  Mutex mutex_;
+  std::map<std::string, FileState*> file_map_ GUARDED_BY(mutex_);
+  std::set<std::string> locked_files_ GUARDED_BY(mutex_);
 };
 
 }  // namespace

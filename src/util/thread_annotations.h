@@ -1,0 +1,130 @@
+#ifndef FCAE_UTIL_THREAD_ANNOTATIONS_H_
+#define FCAE_UTIL_THREAD_ANNOTATIONS_H_
+
+// Capability annotations for clang's thread-safety analysis
+// (-Wthread-safety). Under any other compiler every macro expands to
+// nothing, so annotated code builds unchanged with gcc.
+//
+// The vocabulary follows the clang/abseil convention:
+//
+//   GUARDED_BY(mu)      on a member: reads and writes require holding mu.
+//   PT_GUARDED_BY(mu)   on a pointer member: the pointed-to data requires mu.
+//   REQUIRES(mu)        on a function: callers must hold mu on entry and the
+//                       function returns with it still held.
+//   EXCLUDES(mu)        on a function: callers must NOT hold mu (the
+//                       function acquires it itself).
+//   ACQUIRE(mu)/RELEASE(mu)
+//                       on a function: it acquires/releases mu.
+//   CAPABILITY("mutex") on a class: instances are lockable capabilities.
+//   SCOPED_CAPABILITY   on a class: RAII object that acquires in its
+//                       constructor and releases in its destructor.
+//   ASSERT_CAPABILITY(mu)
+//                       on a function: a runtime assertion that mu is held
+//                       (tells the analysis to assume it afterwards).
+//   NO_THREAD_SAFETY_ANALYSIS
+//                       opts one function out (used only where the locking
+//                       pattern is deliberate but inexpressible).
+//
+// The enforcing build is `cmake -DFCAE_THREAD_SAFETY=ON` with clang,
+// which adds -Wthread-safety -Werror=thread-safety-analysis (see the
+// top-level CMakeLists.txt and the `lint` CI job).
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FCAE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define FCAE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) FCAE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) FCAE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE_SHARED
+#define TRY_ACQUIRE_SHARED(...)                 \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(           \
+      try_acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#endif
+
+#ifndef ASSERT_SHARED_CAPABILITY
+#define ASSERT_SHARED_CAPABILITY(x) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) FCAE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY FCAE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FCAE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+#endif
+
+#endif  // FCAE_UTIL_THREAD_ANNOTATIONS_H_
