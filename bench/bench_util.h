@@ -94,6 +94,49 @@ inline uint64_t RecordsFor(uint64_t total_bytes, size_t key_len,
   return total_bytes / (key_len + 8 + value_len);
 }
 
+/// Telemetry-export flags shared by the bench binaries. Consume() strips
+/// `--metrics_out=<path>` and `--trace_out=<path>` from argv so the
+/// remaining flags can be handed to google-benchmark (which rejects
+/// options it does not know) or to a bench's own parser. The bench then
+/// writes the `fcae.metrics` / `fcae.trace` property JSON to the
+/// requested paths at exit.
+struct ObsExportFlags {
+  std::string metrics_out;
+  std::string trace_out;
+
+  void Consume(int* argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < *argc; i++) {
+      std::string arg = argv[i];
+      if (arg.rfind("--metrics_out=", 0) == 0) {
+        metrics_out = arg.substr(std::string("--metrics_out=").size());
+      } else if (arg.rfind("--trace_out=", 0) == 0) {
+        trace_out = arg.substr(std::string("--trace_out=").size());
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+  }
+
+  bool active() const { return !metrics_out.empty() || !trace_out.empty(); }
+};
+
+/// Writes `contents` to `path` on the real filesystem (bench artifacts
+/// must survive the process even when the DB ran on a mem env).
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 /// Flat key/value JSON emitter for machine-readable bench artifacts.
 /// Each bench that opts in writes `BENCH_<name>.json` next to its
 /// stdout table so runs can be diffed without scraping text. Keys use

@@ -6,9 +6,15 @@
 //                       [--num=100000] [--value_size=128] [--key_size=16]
 //                       [--db=/tmp/fcae_bench] [--use_fcae=0|1|2]
 //                       [--write_buffer_size=4194304] [--mem_env=1]
+//                       [--metrics_out=path] [--trace_out=path]
 //
 // use_fcae: 0 = CPU compaction, 1 = offload (strict Fig. 6 policy),
 //           2 = offload with tournament scheduling.
+//
+// metrics_out / trace_out: after the benchmarks finish, write the DB's
+// fcae.metrics JSON (counters/gauges/histograms) and fcae.trace export
+// (chrome://tracing, load via about:tracing or ui.perfetto.dev) to the
+// given paths on the real filesystem.
 //
 // Benchmarks: fillseq, fillrandom, overwrite, deleterandom, readrandom,
 //             readmissing, readseq, compact, stats.
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "host/device_health_monitor.h"
 #include "host/offload_compaction.h"
 #include "lsm/db.h"
 #include "lsm/db_impl.h"
@@ -40,6 +47,8 @@ struct Flags {
   int use_fcae = 0;
   int write_buffer_size = 4 * 1024 * 1024;
   int mem_env = 1;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -69,6 +78,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.write_buffer_size = std::atoi(v.c_str());
     } else if (take("mem_env", &v)) {
       flags.mem_env = std::atoi(v.c_str());
+    } else if (take("metrics_out", &flags.metrics_out)) {
+    } else if (take("trace_out", &flags.trace_out)) {
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(1);
@@ -95,8 +106,10 @@ class Benchmark {
       config.input_width = 8;
       config.value_width = 8;
       device_ = std::make_unique<fcae::host::FcaeDevice>(config);
+      health_ = std::make_unique<fcae::host::DeviceHealthMonitor>();
       fcae::host::FcaeExecutorOptions exec_options;
       exec_options.tournament_scheduling = (flags_.use_fcae == 2);
+      exec_options.health_monitor = health_.get();
       executor_ = std::make_unique<fcae::host::FcaeCompactionExecutor>(
           device_.get(), exec_options);
     }
@@ -140,7 +153,33 @@ class Benchmark {
     }
   }
 
+  /// Dumps the obs/ telemetry after the last benchmark: fcae.metrics to
+  /// --metrics_out and the fcae.trace chrome://tracing export to
+  /// --trace_out. Written to the real filesystem even under --mem_env=1.
+  void ExportTelemetry() {
+    std::string json;
+    if (!flags_.metrics_out.empty() &&
+        db_->GetProperty("fcae.metrics", &json)) {
+      WriteFileOrDie(flags_.metrics_out, json);
+    }
+    if (!flags_.trace_out.empty() && db_->GetProperty("fcae.trace", &json)) {
+      WriteFileOrDie(flags_.trace_out, json);
+    }
+  }
+
  private:
+  static void WriteFileOrDie(const std::string& path,
+                             const std::string& contents) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fwrite(contents.data(), 1, contents.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
   void RunOne(const std::string& name) {
     fcae::Histogram hist;
     uint64_t bytes = 0;
@@ -235,6 +274,7 @@ class Benchmark {
   std::unique_ptr<fcae::Env> owned_env_;
   fcae::Env* env_;
   std::unique_ptr<fcae::host::FcaeDevice> device_;
+  std::unique_ptr<fcae::host::DeviceHealthMonitor> health_;
   std::unique_ptr<fcae::host::FcaeCompactionExecutor> executor_;
   std::unique_ptr<fcae::DB> db_;
   fcae::workload::KeyFormatter keys_;
@@ -248,5 +288,6 @@ int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   Benchmark bench(flags);
   bench.Run();
+  bench.ExportTelemetry();
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "fpga/compaction_engine.h"
 
+#include <algorithm>
+
 #include "fpga/comparer.h"
 #include "fpga/decoder.h"
 #include "fpga/encoder.h"
@@ -106,6 +108,12 @@ Status CompactionEngine::Run() {
     stats_.decoder_fetch_stalls += decoder->fetch_stall_cycles();
     stats_.decoder_backpressure += decoder->backpressure_cycles();
     stats_.decoder_busy += decoder->busy_cycles();
+    stats_.fifo_key_stream_peak =
+        std::max<uint64_t>(stats_.fifo_key_stream_peak,
+                           decoder->key_stream().HighWater());
+    stats_.fifo_transfer_peak =
+        std::max<uint64_t>(stats_.fifo_transfer_peak,
+                           decoder->records_for_transfer().HighWater());
   }
   stats_.records_out = p.transfer->transferred();
   stats_.records_dropped = p.transfer->dropped();
@@ -114,10 +122,41 @@ Status CompactionEngine::Run() {
   stats_.comparer_busy = p.comparer->busy_cycles();
   stats_.transfer_busy = p.transfer->busy_cycles();
   stats_.encoder_busy = p.encoder->busy_cycles();
+  stats_.fifo_selection_peak = p.comparer->selections().HighWater();
+  stats_.fifo_output_peak = p.transfer->output().HighWater();
+  stats_.fifo_write_queue_peak = p.encoder->write_queue_high_water();
   for (const DeviceOutputTable& t : output_->tables) {
     stats_.output_bytes += t.data_memory.size();
   }
   return Status::OK();
+}
+
+BottleneckReport AttributeBottleneck(const EngineStats& stats,
+                                     int num_lanes) {
+  BottleneckReport report;
+  if (stats.cycles == 0) return report;
+  const double lanes = num_lanes > 0 ? num_lanes : 1;
+  report.decoder_share =
+      stats.Utilization(stats.decoder_busy) / lanes;
+  report.comparer_share = stats.Utilization(stats.comparer_busy);
+  report.transfer_share = stats.Utilization(stats.transfer_busy);
+  report.encoder_share = stats.Utilization(stats.encoder_busy);
+
+  report.module = "decoder";
+  report.share = report.decoder_share;
+  if (report.comparer_share > report.share) {
+    report.module = "comparer";
+    report.share = report.comparer_share;
+  }
+  if (report.transfer_share > report.share) {
+    report.module = "transfer";
+    report.share = report.transfer_share;
+  }
+  if (report.encoder_share > report.share) {
+    report.module = "encoder";
+    report.share = report.encoder_share;
+  }
+  return report;
 }
 
 }  // namespace fpga

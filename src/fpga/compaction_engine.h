@@ -34,6 +34,16 @@ struct EngineStats {
   uint64_t transfer_busy = 0;
   uint64_t encoder_busy = 0;
 
+  // Peak occupancy of the inter-module FIFOs (entries), the telemetry a
+  // real engine would expose from FIFO almost-full counters. A FIFO
+  // pinned at its capacity marks the backpressure boundary: its
+  // consumer is the stage limiting throughput.
+  uint64_t fifo_key_stream_peak = 0;     // Decoder -> Comparer (max lane).
+  uint64_t fifo_transfer_peak = 0;       // Decoder -> KV Transfer (max lane).
+  uint64_t fifo_selection_peak = 0;      // Comparer -> KV Transfer.
+  uint64_t fifo_output_peak = 0;         // KV Transfer -> Encoder.
+  uint64_t fifo_write_queue_peak = 0;    // Encoder -> AXI write port.
+
   /// Busy share of a module over the whole run, in [0, 1].
   double Utilization(uint64_t busy) const {
     return cycles > 0 ? static_cast<double>(busy) / cycles : 0;
@@ -52,6 +62,24 @@ struct EngineStats {
     return (static_cast<double>(input_bytes) / (1024.0 * 1024.0)) / secs;
   }
 };
+
+/// Observed bottleneck attribution from one run's utilization profile:
+/// the module with the largest busy share. The decoder share is
+/// per-lane (busy cycles / lanes) because the lanes run in parallel —
+/// the pipeline is limited by the slowest single module, not by the sum
+/// of the lanes. `num_lanes` is the number of inputs actually decoded.
+/// Comparable against the closed-form TimingModel::BottleneckModule
+/// prediction (the paper's Comparer <-> Data Block Decoder crossover,
+/// Section VII-B3).
+struct BottleneckReport {
+  const char* module = "";  // "decoder" | "comparer" | "transfer" | "encoder"
+  double share = 0;         // Busy share of the winning module, [0, 1].
+  double decoder_share = 0;
+  double comparer_share = 0;
+  double transfer_share = 0;
+  double encoder_share = 0;
+};
+BottleneckReport AttributeBottleneck(const EngineStats& stats, int num_lanes);
 
 /// The FPGA compaction engine (paper Section V): an N-input
 /// decode/compare/encode pipeline simulated at cycle granularity with

@@ -66,6 +66,7 @@ class OutputEncoder {
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t write_stall_cycles() const { return write_stall_cycles_; }
   size_t bram_index_bytes_peak() const { return bram_index_bytes_peak_; }
+  size_t write_queue_high_water() const { return write_queue_.HighWater(); }
 
  private:
   struct QueuedWrite {

@@ -3,11 +3,45 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fcae {
 namespace host {
 
 DeviceHealthMonitor::DeviceHealthMonitor(DeviceHealthOptions options)
     : options_(options) {}
+
+void DeviceHealthMonitor::AttachObservability(obs::MetricsRegistry* metrics,
+                                              obs::TraceRecorder* trace) {
+  MutexLock lock(&mutex_);
+  metrics_ = metrics;
+  trace_ = trace;
+  PublishLocked();
+}
+
+void DeviceHealthMonitor::PublishLocked() {
+  if (metrics_ == nullptr) return;
+  // Gauges mirror the snapshot so one fcae.metrics read shows breaker
+  // state without a second property. The registry lock is a leaf below
+  // mutex_.
+  metrics_->gauge("health.quarantined")->Set(quarantined_ ? 1 : 0);
+  metrics_->gauge("health.consecutive_failures")
+      ->Set(consecutive_failures_);
+  metrics_->gauge("health.jobs_succeeded")
+      ->Set(static_cast<int64_t>(jobs_succeeded_));
+  metrics_->gauge("health.jobs_failed")
+      ->Set(static_cast<int64_t>(jobs_failed_));
+  metrics_->gauge("health.sticky_failures")
+      ->Set(static_cast<int64_t>(sticky_failures_));
+  metrics_->gauge("health.quarantines")
+      ->Set(static_cast<int64_t>(quarantines_));
+  metrics_->gauge("health.probes")->Set(static_cast<int64_t>(probes_));
+  metrics_->gauge("health.readmissions")
+      ->Set(static_cast<int64_t>(readmissions_));
+  metrics_->gauge("health.jobs_denied")
+      ->Set(static_cast<int64_t>(jobs_denied_));
+}
 
 bool DeviceHealthMonitor::Admit() {
   MutexLock lock(&mutex_);
@@ -16,37 +50,60 @@ bool DeviceHealthMonitor::Admit() {
   if (denials_since_probe_ >= options_.probe_interval) {
     denials_since_probe_ = 0;
     probes_++;
+    PublishLocked();
     return true;  // Probe job: outcome decides re-admission.
   }
   jobs_denied_++;
+  PublishLocked();
   return false;
 }
 
 void DeviceHealthMonitor::RecordJobSuccess() {
-  MutexLock lock(&mutex_);
-  jobs_succeeded_++;
-  consecutive_failures_ = 0;
-  if (quarantined_) {
-    quarantined_ = false;
-    denials_since_probe_ = 0;
-    readmissions_++;
+  obs::TraceRecorder* trace = nullptr;
+  {
+    MutexLock lock(&mutex_);
+    jobs_succeeded_++;
+    consecutive_failures_ = 0;
+    if (quarantined_) {
+      quarantined_ = false;
+      denials_since_probe_ = 0;
+      readmissions_++;
+      trace = trace_;  // Breaker closed: worth a trace instant.
+    }
+    PublishLocked();
+  }
+  // Instants are recorded outside mutex_ so a slow trace sink never
+  // extends the breaker's critical section.
+  if (trace != nullptr) {
+    trace->RecordInstant("device_readmitted", "health",
+                         obs::TraceNowMicros(), 0);
   }
 }
 
 void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
-  MutexLock lock(&mutex_);
-  jobs_failed_++;
-  if (sticky) {
-    sticky_failures_++;
-    consecutive_failures_ += std::max(1, options_.sticky_weight);
-  } else {
-    consecutive_failures_++;
+  obs::TraceRecorder* trace = nullptr;
+  {
+    MutexLock lock(&mutex_);
+    jobs_failed_++;
+    if (sticky) {
+      sticky_failures_++;
+      consecutive_failures_ += std::max(1, options_.sticky_weight);
+    } else {
+      consecutive_failures_++;
+    }
+    if (!quarantined_ &&
+        consecutive_failures_ >= options_.quarantine_threshold) {
+      quarantined_ = true;
+      denials_since_probe_ = 0;
+      quarantines_++;
+      trace = trace_;  // Breaker opened.
+    }
+    PublishLocked();
   }
-  if (!quarantined_ &&
-      consecutive_failures_ >= options_.quarantine_threshold) {
-    quarantined_ = true;
-    denials_since_probe_ = 0;
-    quarantines_++;
+  if (trace != nullptr) {
+    trace->RecordInstant("device_quarantined", "health",
+                         obs::TraceNowMicros(), 0,
+                         {{"sticky", sticky ? "true" : "false"}});
   }
 }
 

@@ -8,6 +8,12 @@
 #include "util/thread_annotations.h"
 
 namespace fcae {
+
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace obs
+
 namespace host {
 
 /// Circuit-breaker policy knobs.
@@ -72,7 +78,20 @@ class DeviceHealthMonitor {
   /// which is what keeps the property readable mid-quarantine.
   std::string ToString() const EXCLUDES(mutex_);
 
+  /// Publishes breaker state to obs: gauges named `health.*` are set on
+  /// every state change, and breaker transitions (quarantine/
+  /// readmission) are recorded as trace instants. Either pointer may be
+  /// null; both are borrowed and must outlive the monitor. Idempotent —
+  /// the offload executor calls this once per job with the handles the
+  /// DB put on the CompactionJob.
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::TraceRecorder* trace) EXCLUDES(mutex_);
+
  private:
+  /// Pushes the current counters to the attached gauges. Caller holds
+  /// mutex_; the registry's own lock is a leaf below it.
+  void PublishLocked() REQUIRES(mutex_);
+
   const DeviceHealthOptions options_;
 
   mutable Mutex mutex_;
@@ -86,6 +105,9 @@ class DeviceHealthMonitor {
   uint64_t probes_ GUARDED_BY(mutex_) = 0;
   uint64_t readmissions_ GUARDED_BY(mutex_) = 0;
   uint64_t jobs_denied_ GUARDED_BY(mutex_) = 0;
+
+  obs::MetricsRegistry* metrics_ GUARDED_BY(mutex_) = nullptr;
+  obs::TraceRecorder* trace_ GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace host

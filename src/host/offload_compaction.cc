@@ -9,6 +9,8 @@
 #include "lsm/dbformat.h"
 #include "lsm/filename.h"
 #include "lsm/table_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/iterator.h"
 #include "util/env.h"
 
@@ -21,6 +23,98 @@ namespace {
 /// (sticky card drop, staging/argument errors) is not.
 bool IsRetryableFault(const Status& s) {
   return s.IsBusy() || s.IsIOError() || s.IsCorruption();
+}
+
+/// Publishes one successful kernel run's pipeline telemetry: per-module
+/// busy/stall/backpressure counters, FIFO peaks, DMA volume, and the
+/// derived bottleneck attribution (as a gauge in percent so one
+/// snapshot names the limiting module).
+void RecordDeviceMetrics(obs::MetricsRegistry* metrics,
+                         const DeviceRunStats& run_stats, int num_lanes) {
+  if (metrics == nullptr) return;
+  const fpga::EngineStats& e = run_stats.engine;
+  metrics->counter("fpga.kernel.launches")->Increment();
+  metrics->counter("fpga.kernel.cycles")->Increment(run_stats.kernel_cycles);
+  metrics->counter("fpga.kernel.micros")
+      ->Increment(static_cast<uint64_t>(run_stats.kernel_micros));
+  metrics->counter("fpga.dma.micros")
+      ->Increment(static_cast<uint64_t>(run_stats.pcie_micros));
+  metrics->counter("fpga.dma.input_bytes")->Increment(run_stats.input_bytes);
+  metrics->counter("fpga.dma.output_bytes")
+      ->Increment(run_stats.output_bytes);
+  metrics->counter("fpga.dma.retransfers")
+      ->Increment(run_stats.dma_retransfers);
+  metrics->counter("fpga.faults.injected")
+      ->Increment(run_stats.faults_injected);
+
+  metrics->counter("fpga.decoder.busy_cycles")->Increment(e.decoder_busy);
+  metrics->counter("fpga.decoder.fetch_stalls")
+      ->Increment(e.decoder_fetch_stalls);
+  metrics->counter("fpga.decoder.backpressure")
+      ->Increment(e.decoder_backpressure);
+  metrics->counter("fpga.comparer.busy_cycles")->Increment(e.comparer_busy);
+  metrics->counter("fpga.comparer.waits")->Increment(e.comparer_waits);
+  metrics->counter("fpga.transfer.busy_cycles")->Increment(e.transfer_busy);
+  metrics->counter("fpga.encoder.busy_cycles")->Increment(e.encoder_busy);
+  metrics->counter("fpga.encoder.write_stalls")
+      ->Increment(e.encoder_write_stalls);
+  metrics->counter("fpga.records.in")->Increment(e.records_in);
+  metrics->counter("fpga.records.out")->Increment(e.records_out);
+  metrics->counter("fpga.records.dropped")->Increment(e.records_dropped);
+
+  auto peak = [&](const char* name, uint64_t value) {
+    obs::Gauge* gauge = metrics->gauge(name);
+    if (static_cast<int64_t>(value) > gauge->value()) {
+      gauge->Set(static_cast<int64_t>(value));
+    }
+  };
+  peak("fpga.fifo.key_stream_peak", e.fifo_key_stream_peak);
+  peak("fpga.fifo.transfer_peak", e.fifo_transfer_peak);
+  peak("fpga.fifo.selection_peak", e.fifo_selection_peak);
+  peak("fpga.fifo.output_peak", e.fifo_output_peak);
+  peak("fpga.fifo.write_queue_peak", e.fifo_write_queue_peak);
+
+  const fpga::BottleneckReport report =
+      fpga::AttributeBottleneck(e, num_lanes);
+  metrics->gauge("fpga.bottleneck.decoder_share_pct")
+      ->Set(static_cast<int64_t>(report.decoder_share * 100));
+  metrics->gauge("fpga.bottleneck.comparer_share_pct")
+      ->Set(static_cast<int64_t>(report.comparer_share * 100));
+  metrics->gauge("fpga.bottleneck.transfer_share_pct")
+      ->Set(static_cast<int64_t>(report.transfer_share * 100));
+  metrics->gauge("fpga.bottleneck.encoder_share_pct")
+      ->Set(static_cast<int64_t>(report.encoder_share * 100));
+}
+
+/// Emits the modeled pipeline sub-spans of one device run: DMA and the
+/// per-module busy time, laid out sequentially from `start_micros`.
+/// Modeled durations (simulated cycles at the engine clock), not wall
+/// time — the pipeline stages actually overlap — so they are tagged
+/// "modeled": true and readers must not treat them as wall spans.
+void RecordDeviceSpans(obs::TraceRecorder* trace, uint64_t tid,
+                       uint64_t start_micros,
+                       const DeviceRunStats& run_stats) {
+  if (trace == nullptr) return;
+  const fpga::EngineStats& e = run_stats.engine;
+  const double mpc =  // Micros per cycle at the configured clock.
+      run_stats.kernel_cycles > 0
+          ? run_stats.kernel_micros / run_stats.kernel_cycles
+          : 0;
+  uint64_t ts = start_micros;
+  auto emit = [&](const char* name, double dur_micros) {
+    const uint64_t dur = static_cast<uint64_t>(dur_micros);
+    trace->RecordSpan(name, "fpga", ts, dur, tid, {{"modeled", "true"}});
+    ts += dur;
+  };
+  const double total_bytes =
+      static_cast<double>(run_stats.input_bytes + run_stats.output_bytes);
+  const double in_frac =
+      total_bytes > 0 ? run_stats.input_bytes / total_bytes : 0.5;
+  emit("dma_in", run_stats.pcie_micros * in_frac);
+  emit("decode", e.decoder_busy * mpc);
+  emit("merge", e.comparer_busy * mpc);
+  emit("encode", e.encoder_busy * mpc);
+  emit("dma_out", run_stats.pcie_micros * (1.0 - in_frac));
 }
 
 }  // namespace
@@ -66,9 +160,17 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   const uint64_t start_micros = env->NowMicros();
   const Compaction* c = job.compaction;
 
+  // Route breaker transitions into the DB's metrics/trace. Idempotent;
+  // cheap relative to a compaction.
+  if (options_.health_monitor != nullptr) {
+    options_.health_monitor->AttachObservability(job.metrics, job.trace);
+  }
+
   // 1. Stage inputs (paper Section IV step 3: read SSTables from disk
   //    into continuous memory blocks in key order). Staging errors are
   //    host I/O problems, not device faults: no retry, no breaker hit.
+  obs::SpanTimer input_build_span(job.trace, "input_build", "host",
+                                  job.trace_tid);
   SstableStager stager(env);
   std::vector<std::unique_ptr<fpga::DeviceInput>> staged;
   Status s;
@@ -103,6 +205,8 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   for (const auto& input : staged) {
     input_ptrs.push_back(input.get());
   }
+  input_build_span.AddArg("inputs", std::to_string(input_ptrs.size()));
+  input_build_span.Finish();
   const bool tournament =
       static_cast<int>(input_ptrs.size()) > device_->max_inputs();
 
@@ -136,9 +240,19 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
             std::min<uint64_t>(wait, 1000000)));
         backoff_micros += wait;
       }
+      if (job.trace != nullptr) {
+        job.trace->RecordInstant(
+            "retry", "host", obs::TraceNowMicros(), job.trace_tid,
+            {{"attempt", std::to_string(attempt)},
+             {"cause", obs::TraceRecorder::Quote(s.ToString())}});
+      }
     }
 
     attempts++;
+    obs::SpanTimer attempt_span(job.trace, "device_attempt", "host",
+                                job.trace_tid);
+    attempt_span.AddArg("attempt", std::to_string(attempt));
+    const uint64_t run_start_micros = obs::TraceNowMicros();
     device_output = fpga::DeviceOutput();
     run_stats = DeviceRunStats();
     if (tournament) {
@@ -155,6 +269,7 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
       // Host-side verification: CRCs, strict key order, bounds. Runs
       // BEFORE any SSTable is assembled, so a silently corrupt device
       // result can never reach the manifest.
+      obs::SpanTimer verify_span(job.trace, "verify", "host", job.trace_tid);
       const uint64_t verify_start = env->NowMicros();
       OutputVerifyStats verify_stats;
       Status vs = VerifyDeviceOutput(device_output, *job.icmp, &verify_stats);
@@ -162,10 +277,23 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
       if (!vs.ok()) {
         verify_failures++;
         s = vs;  // Corruption: transient, retryable.
+        verify_span.AddArg("rejected", "true");
+        if (job.metrics != nullptr) {
+          job.metrics->counter("host.verify.rejects")->Increment();
+        }
       }
     }
 
-    if (s.ok()) break;
+    attempt_span.AddArg("ok", s.ok() ? "true" : "false");
+    attempt_span.Finish();
+
+    if (s.ok()) {
+      RecordDeviceMetrics(job.metrics, run_stats,
+                          static_cast<int>(input_ptrs.size()));
+      RecordDeviceSpans(job.trace, job.trace_tid, run_start_micros,
+                        run_stats);
+      break;
+    }
 
     faults++;
     wasted_kernel_micros += run_stats.kernel_micros;
@@ -204,9 +332,22 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   stats->verify_failures = verify_failures;
   stats->verify_micros = verify_micros;
 
+  if (job.metrics != nullptr) {
+    job.metrics->counter("host.device.attempts")->Increment(attempts);
+    job.metrics->counter("host.device.retries")
+        ->Increment(attempts > 0 ? attempts - 1 : 0);
+    job.metrics->counter("host.device.faults")->Increment(faults);
+    job.metrics->counter("host.backoff_micros")->Increment(backoff_micros);
+    if (!s.ok()) {
+      job.metrics->counter("host.device.jobs_failed")->Increment();
+    }
+  }
+
   if (!s.ok()) return s;
 
   // 4. Write back the new SSTables (step 8) and register them.
+  obs::SpanTimer assemble_span(job.trace, "assemble", "host", job.trace_tid);
+  assemble_span.AddArg("tables", std::to_string(device_output.tables.size()));
   for (const fpga::DeviceOutputTable& table : device_output.tables) {
     CompactionOutput out;
     out.number = job.new_file_number();

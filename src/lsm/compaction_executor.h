@@ -16,6 +16,11 @@ namespace fcae {
 class Iterator;
 class TableCache;
 
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace obs
+
 /// Everything an executor needs to run one major (table-merging)
 /// compaction. Assembled by the DB under its mutex; executed without it.
 struct CompactionJob {
@@ -50,6 +55,15 @@ struct CompactionJob {
   /// Creates a fresh merged iterator over all compaction inputs
   /// (N-way merge across level and level+1 runs).
   std::function<Iterator*()> make_input_iterator;
+
+  /// Observability (obs/): both optional. When set, executors emit
+  /// stage spans (dma_in, decode, merge, encode, verify) to `trace`
+  /// and per-module device counters to `metrics`. `trace_tid` is the
+  /// logical track for this compaction's spans so concurrent
+  /// compactions don't interleave on one chrome://tracing row.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  uint64_t trace_tid = 0;
 };
 
 /// Metadata of one output SSTable produced by a compaction.

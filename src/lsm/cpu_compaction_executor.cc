@@ -3,6 +3,7 @@
 #include "lsm/compaction_executor.h"
 #include "lsm/filename.h"
 #include "lsm/table_cache.h"
+#include "obs/trace.h"
 #include "table/table_builder.h"
 #include "util/env.h"
 
@@ -25,6 +26,10 @@ class CpuCompactionExecutor : public CompactionExecutor {
                  CompactionExecStats* stats) override {
     Env* env = job.options->env;
     const uint64_t start_micros = env->NowMicros();
+
+    // The whole software path is one merge stage (read + merge + write
+    // are interleaved in the loop below), so it traces as one span.
+    obs::SpanTimer merge_span(job.trace, "merge", "cpu", job.trace_tid);
 
     std::unique_ptr<Iterator> input(job.make_input_iterator());
     input->SeekToFirst();
@@ -138,6 +143,9 @@ class CpuCompactionExecutor : public CompactionExecutor {
         stats->bytes_read += job.compaction->input(which, i)->file_size;
       }
     }
+    merge_span.AddArg("entries_in", std::to_string(stats->entries_in));
+    merge_span.AddArg("entries_dropped",
+                      std::to_string(stats->entries_dropped));
     stats->micros += env->NowMicros() - start_micros;
     return status;
   }

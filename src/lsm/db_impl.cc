@@ -1,6 +1,7 @@
 #include "lsm/db_impl.h"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <vector>
 
@@ -39,6 +40,34 @@ static void ClipToRange(T* ptr, V minvalue, V maxvalue) {
   if (static_cast<V>(*ptr) < minvalue) *ptr = minvalue;
 }
 
+// Appends printf-formatted text to *out, growing the string as needed so
+// long counter lines can never truncate (unlike a fixed char buffer).
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char fixed[256];
+  int needed = std::vsnprintf(fixed, sizeof(fixed), format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<size_t>(needed) < sizeof(fixed)) {
+    out->append(fixed, static_cast<size_t>(needed));
+  } else {
+    std::string big(static_cast<size_t>(needed) + 1, '\0');
+    std::vsnprintf(&big[0], big.size(), format, args_copy);
+    big.resize(static_cast<size_t>(needed));
+    out->append(big);
+  }
+  va_end(args_copy);
+}
+
 }  // namespace
 
 Options SanitizeOptions(const std::string& dbname,
@@ -74,6 +103,12 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       primary_executor_(raw_options.compaction_executor != nullptr
                             ? raw_options.compaction_executor
                             : owned_cpu_executor_.get()),
+      owned_metrics_(raw_options.metrics_registry != nullptr
+                         ? nullptr
+                         : new obs::MetricsRegistry),
+      metrics_(raw_options.metrics_registry != nullptr
+                   ? raw_options.metrics_registry
+                   : owned_metrics_.get()),
       shutting_down_(false),
       background_work_finished_signal_(&mutex_),
       mem_(nullptr),
@@ -90,7 +125,9 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                &internal_comparator_)),
       compactions_offloaded_(0),
       compactions_on_cpu_(0),
-      compactions_fallback_(0) {}
+      compactions_fallback_(0) {
+  trace_.set_sink(options_.trace_sink);
+}
 
 DBImpl::~DBImpl() {
   // Wait for background work to finish.
@@ -432,12 +469,21 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   stats.micros = env_->NowMicros() - start_micros;
   stats.bytes_written = meta.file_size;
   stats_[level].Add(stats);
+
+  metrics_->counter("db.flush.count")->Increment();
+  metrics_->counter("db.flush.bytes_written")->Increment(meta.file_size);
+  metrics_->histogram("db.flush.micros")
+      ->Observe(static_cast<double>(stats.micros));
   return s;
 }
 
 void DBImpl::CompactMemTable() {
   // Requires mutex_ held.
   assert(imm_ != nullptr);
+
+  // Flushes share trace track 0 with the scheduler; they never overlap
+  // each other (single background thread).
+  obs::SpanTimer flush_span(&trace_, "flush", "db", 0);
 
   // Save the contents of the memtable as a new Table.
   VersionEdit edit;
@@ -588,15 +634,24 @@ void DBImpl::BackgroundCompaction() {
   Compaction* c;
   bool is_manual = (manual_compaction_ != nullptr);
   InternalKey manual_end;
-  if (is_manual) {
-    ManualCompaction* m = manual_compaction_;
-    c = versions_->CompactRange(m->level, m->begin, m->end);
-    m->done = (c == nullptr);
-    if (c != nullptr) {
-      manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+  {
+    obs::SpanTimer pick_span(&trace_, "pick", "db", 0);
+    if (is_manual) {
+      ManualCompaction* m = manual_compaction_;
+      c = versions_->CompactRange(m->level, m->begin, m->end);
+      m->done = (c == nullptr);
+      if (c != nullptr) {
+        manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+      }
+    } else {
+      c = versions_->PickCompaction();
     }
-  } else {
-    c = versions_->PickCompaction();
+    if (c != nullptr) {
+      pick_span.AddArg("level", std::to_string(c->level()));
+      pick_span.AddArg("inputs",
+                       std::to_string(c->num_input_files(0) +
+                                      c->num_input_files(1)));
+    }
   }
 
   Status status;
@@ -605,6 +660,7 @@ void DBImpl::BackgroundCompaction() {
   } else if (!is_manual && c->IsTrivialMove()) {
     // Move file to next level.
     assert(c->num_input_files(0) == 1);
+    metrics_->counter("db.compaction.trivial_moves")->Increment();
     FileMetaData* f = c->input(0, 0);
     c->edit()->RemoveFile(c->level(), f->number);
     c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
@@ -697,6 +753,18 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     MutexLock lock(&mutex_);
     return versions_->MakeInputIterator(c);
   };
+  job.trace = &trace_;
+  job.metrics = metrics_;
+  job.trace_tid = next_trace_tid_.fetch_add(1, std::memory_order_relaxed);
+
+  // The outer span covers executor run + install; executor stage spans
+  // (input_build, dma_in, decode/merge/encode, verify) nest inside it
+  // on the same track.
+  obs::SpanTimer compaction_span(&trace_, "compaction", "db", job.trace_tid);
+  compaction_span.AddArg("level", std::to_string(level));
+  compaction_span.AddArg(
+      "inputs",
+      std::to_string(c->num_input_files(0) + c->num_input_files(1)));
 
   CompactionExecutor* executor = primary_executor_;
   if (!executor->CanExecute(job)) {
@@ -731,6 +799,10 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
         env_->RemoveFile(TableFileName(dbname_, number));  // Best effort.
       }
       outputs.clear();
+      trace_.RecordInstant("cpu_fallback", "db", obs::TraceNowMicros(),
+                           job.trace_tid,
+                           {{"reason",
+                             obs::TraceRecorder::Quote(status.ToString())}});
 
       // Keep the failed attempt's fault accounting visible in the DB
       // totals, but take timing/volume from the run that succeeded.
@@ -766,12 +838,31 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   stats.bytes_written = exec_stats.bytes_written;
   stats_[level + 1].Add(stats);
 
+  metrics_->counter("db.compaction.count")->Increment();
+  metrics_->counter(exec_stats.offloaded ? "db.compaction.offloaded"
+                                         : "db.compaction.cpu")
+      ->Increment();
+  if (fell_back) {
+    metrics_->counter("db.compaction.fallbacks")->Increment();
+  }
+  metrics_->counter("db.compaction.bytes_read")
+      ->Increment(static_cast<uint64_t>(exec_stats.bytes_read));
+  metrics_->counter("db.compaction.bytes_written")
+      ->Increment(static_cast<uint64_t>(exec_stats.bytes_written));
+  metrics_->counter("db.compaction.entries_dropped")
+      ->Increment(exec_stats.entries_dropped);
+  metrics_->histogram("db.compaction.micros")->Observe(exec_stats.micros);
+
   if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
     status = Status::IOError("Deleting DB during compaction");
   }
   if (status.ok()) {
+    obs::SpanTimer install_span(&trace_, "install", "db", job.trace_tid);
     status = InstallCompactionResults(c, outputs);
+    install_span.AddArg("outputs", std::to_string(outputs.size()));
   }
+  compaction_span.AddArg("offloaded", exec_stats.offloaded ? "true" : "false");
+  compaction_span.AddArg("fallback", fell_back ? "true" : "false");
 
   // Release pending output protection — every number handed out,
   // including ones whose table assembly failed before reaching `outputs`.
@@ -1114,6 +1205,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       mutex_.Lock();
       slowdown_count_++;
       slowdown_micros_ += 1000;
+      metrics_->counter("db.write.slowdowns")->Increment();
+      metrics_->counter("db.write.slowdown_micros")->Increment(1000);
     } else if (!force && (mem_->ApproximateMemoryUsage() <=
                           options_.write_buffer_size)) {
       // There is room in current memtable.
@@ -1124,13 +1217,23 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       const uint64_t start = env_->NowMicros();
       background_work_finished_signal_.Wait();
       stall_memtable_count_++;
-      stall_memtable_micros_ += env_->NowMicros() - start;
+      const uint64_t waited = env_->NowMicros() - start;
+      stall_memtable_micros_ += waited;
+      metrics_->counter("db.write.stall_memtable")->Increment();
+      metrics_->counter("db.write.stall_memtable_micros")->Increment(waited);
+      metrics_->histogram("db.write.stall_micros")
+          ->Observe(static_cast<double>(waited));
     } else if (versions_->NumLevelFiles(0) >= kL0StopWritesTrigger) {
       // There are too many level-0 files.
       const uint64_t start = env_->NowMicros();
       background_work_finished_signal_.Wait();
       stall_l0_count_++;
-      stall_l0_micros_ += env_->NowMicros() - start;
+      const uint64_t waited = env_->NowMicros() - start;
+      stall_l0_micros_ += waited;
+      metrics_->counter("db.write.stall_l0")->Increment();
+      metrics_->counter("db.write.stall_l0_micros")->Increment(waited);
+      metrics_->histogram("db.write.stall_micros")
+          ->Observe(static_cast<double>(waited));
     } else {
       // Attempt to switch to a new memtable and trigger compaction of
       // old.
@@ -1170,8 +1273,11 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
 
   if (in.StartsWith("num-files-at-level")) {
     in.RemovePrefix(strlen("num-files-at-level"));
+    // kNumLevels is single-digit; accept at most two digits so a long
+    // digit string cannot overflow the accumulator below (it used to
+    // wrap uint64 and could alias a valid level).
     uint64_t level = 0;
-    bool ok = !in.empty();
+    bool ok = !in.empty() && in.size() <= 2;
     for (size_t i = 0; i < in.size() && ok; i++) {
       if (in[i] < '0' || in[i] > '9') {
         ok = false;
@@ -1182,71 +1288,66 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     if (!ok || level >= kNumLevels) {
       return false;
     } else {
-      char buf[100];
-      std::snprintf(buf, sizeof(buf), "%d",
-                    versions_->NumLevelFiles(static_cast<int>(level)));
-      *value = buf;
+      AppendF(value, "%d", versions_->NumLevelFiles(static_cast<int>(level)));
       return true;
     }
   } else if (in == Slice("stats")) {
-    char buf[260];
-    std::snprintf(buf, sizeof(buf),
-                  "                               Compactions\n"
-                  "Level  Files Size(MB) Time(sec) Read(MB) Write(MB)\n"
-                  "--------------------------------------------------\n");
-    value->append(buf);
+    value->append(
+        "                               Compactions\n"
+        "Level  Files Size(MB) Time(sec) Read(MB) Write(MB)\n"
+        "--------------------------------------------------\n");
     for (int level = 0; level < kNumLevels; level++) {
       int files = versions_->NumLevelFiles(level);
       if (stats_[level].micros > 0 || files > 0) {
-        std::snprintf(buf, sizeof(buf), "%3d %8d %8.0f %9.3f %8.3f %9.3f\n",
-                      level, files,
-                      versions_->NumLevelBytes(level) / 1048576.0,
-                      stats_[level].micros / 1e6,
-                      stats_[level].bytes_read / 1048576.0,
-                      stats_[level].bytes_written / 1048576.0);
-        value->append(buf);
+        AppendF(value, "%3d %8d %8.0f %9.3f %8.3f %9.3f\n", level, files,
+                versions_->NumLevelBytes(level) / 1048576.0,
+                stats_[level].micros / 1e6,
+                stats_[level].bytes_read / 1048576.0,
+                stats_[level].bytes_written / 1048576.0);
       }
     }
-    std::snprintf(buf, sizeof(buf),
-                  "Compactions executed: cpu=%lld offloaded=%lld "
-                  "fallback=%lld (device %.3f ms kernel, %.3f ms pcie)\n",
-                  static_cast<long long>(compactions_on_cpu_),
-                  static_cast<long long>(compactions_offloaded_),
-                  static_cast<long long>(compactions_fallback_),
-                  exec_stats_.device_micros / 1e3,
-                  exec_stats_.pcie_micros / 1e3);
-    value->append(buf);
-    std::snprintf(buf, sizeof(buf),
-                  "Write pauses: slowdowns=%lld (%.1f ms) "
-                  "memtable-waits=%lld (%.1f ms) l0-stops=%lld (%.1f ms)\n",
-                  static_cast<long long>(slowdown_count_),
-                  slowdown_micros_ / 1e3,
-                  static_cast<long long>(stall_memtable_count_),
-                  stall_memtable_micros_ / 1e3,
-                  static_cast<long long>(stall_l0_count_),
-                  stall_l0_micros_ / 1e3);
-    value->append(buf);
+    AppendF(value,
+            "Compactions executed: cpu=%lld offloaded=%lld "
+            "fallback=%lld (device %.3f ms kernel, %.3f ms pcie)\n",
+            static_cast<long long>(compactions_on_cpu_),
+            static_cast<long long>(compactions_offloaded_),
+            static_cast<long long>(compactions_fallback_),
+            exec_stats_.device_micros / 1e3, exec_stats_.pcie_micros / 1e3);
+    AppendF(value,
+            "Write pauses: slowdowns=%lld (%.1f ms) "
+            "memtable-waits=%lld (%.1f ms) l0-stops=%lld (%.1f ms)\n",
+            static_cast<long long>(slowdown_count_), slowdown_micros_ / 1e3,
+            static_cast<long long>(stall_memtable_count_),
+            stall_memtable_micros_ / 1e3,
+            static_cast<long long>(stall_l0_count_), stall_l0_micros_ / 1e3);
+    return true;
+  } else if (in == Slice("metrics")) {
+    // JSON snapshot of every registered counter/gauge/histogram; see
+    // DESIGN.md §7 for the naming scheme. Executor/device metrics land
+    // in the same registry, so one snapshot covers all layers.
+    *value = metrics_->ToJson();
+    return true;
+  } else if (in == Slice("trace")) {
+    // chrome://tracing JSON of the retained span ring.
+    *value = trace_.ToJson();
     return true;
   } else if (in == Slice("device-health")) {
     // One line of robustness/fault counters for the offload path: how
     // compactions were routed, what the device attempts cost, and the
     // primary executor's own health dump (retry/verify/breaker state).
-    char buf[360];
-    std::snprintf(
-        buf, sizeof(buf),
-        "executor=%s compactions{offloaded=%lld cpu=%lld fallback=%lld} "
-        "device{attempts=%llu retries=%llu faults=%llu verify-rejects=%llu "
-        "verify-ms=%.3f}",
-        primary_executor_->Name(),
-        static_cast<long long>(compactions_offloaded_),
-        static_cast<long long>(compactions_on_cpu_),
-        static_cast<long long>(compactions_fallback_),
-        static_cast<unsigned long long>(exec_stats_.device_attempts),
-        static_cast<unsigned long long>(exec_stats_.device_retries),
-        static_cast<unsigned long long>(exec_stats_.device_faults),
-        static_cast<unsigned long long>(exec_stats_.verify_failures),
-        exec_stats_.verify_micros / 1e3);
-    value->append(buf);
+    AppendF(value,
+            "executor=%s compactions{offloaded=%lld cpu=%lld fallback=%lld} "
+            "device{attempts=%llu retries=%llu faults=%llu "
+            "verify-rejects=%llu verify-ms=%.3f}",
+            primary_executor_->Name(),
+            static_cast<long long>(compactions_offloaded_),
+            static_cast<long long>(compactions_on_cpu_),
+            static_cast<long long>(compactions_fallback_),
+            static_cast<unsigned long long>(exec_stats_.device_attempts),
+            static_cast<unsigned long long>(exec_stats_.device_retries),
+            static_cast<unsigned long long>(exec_stats_.device_faults),
+            static_cast<unsigned long long>(exec_stats_.verify_failures),
+            exec_stats_.verify_micros / 1e3);
     std::string health = primary_executor_->HealthString();
     if (!health.empty()) {
       value->append(" ");

@@ -12,6 +12,8 @@
 #include "lsm/dbformat.h"
 #include "lsm/log_writer.h"
 #include "lsm/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -143,6 +145,19 @@ class DBImpl : public DB {
   // offload engine); `cpu_executor_` is the always-available fallback.
   std::unique_ptr<CompactionExecutor> owned_cpu_executor_;
   CompactionExecutor* primary_executor_;  // Borrowed from options, or CPU.
+
+  // Observability (obs/): metrics_ is options_.metrics_registry when the
+  // caller supplied a shared registry, else owned_metrics_. trace_ is
+  // always DB-owned (a bounded ring readable via "fcae.trace");
+  // options_.trace_sink, when set, additionally sees each event live.
+  // Both are internally synchronized (leaf locks under mutex_).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* const metrics_;
+  obs::TraceRecorder trace_;
+  // Logical chrome://tracing track per compaction so concurrent or
+  // interleaved compactions do not share a row. Track 0 is reserved for
+  // the scheduler (pick) and memtable flushes.
+  std::atomic<uint64_t> next_trace_tid_{1};
 
   // Lock over the database directory (released in the destructor).
   FileLock* db_lock_ = nullptr;

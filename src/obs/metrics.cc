@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fcae {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out->append(buf);
+}
+
+/// %.17g round-trips doubles exactly while keeping integers short.
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // JSON has no inf/nan literals; clamp to null (never expected here).
+  if (buf[0] == 'i' || buf[0] == 'n' || buf[1] == 'i') {
+    out->append("null");
+  } else {
+    out->append(buf);
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(&mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot.reset(new Counter());
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(&mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot.reset(new Gauge());
+  }
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(&mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new HistogramMetric());
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MutexLock lock(&mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    AppendF(&out, "%s\n    \"%s\": %llu", first ? "" : ",",
+            JsonEscape(name).c_str(),
+            static_cast<unsigned long long>(counter->value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    AppendF(&out, "%s\n    \"%s\": %lld", first ? "" : ",",
+            JsonEscape(name).c_str(),
+            static_cast<long long>(gauge->value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    // snapshot() would self-deadlock pattern-wise only if histogram
+    // shared mutex_ — it has its own leaf lock, safe to take here.
+    Histogram h = histogram->snapshot();
+    AppendF(&out, "%s\n    \"%s\": {\"count\": %llu, ", first ? "" : ",",
+            JsonEscape(name).c_str(),
+            static_cast<unsigned long long>(h.Count()));
+    const bool empty = h.Count() == 0;
+    out += "\"min\": ";
+    AppendDouble(&out, empty ? 0 : h.Min());
+    out += ", \"max\": ";
+    AppendDouble(&out, empty ? 0 : h.Max());
+    out += ", \"mean\": ";
+    AppendDouble(&out, h.Average());
+    out += ", \"p50\": ";
+    AppendDouble(&out, empty ? 0 : h.Percentile(50));
+    out += ", \"p90\": ";
+    AppendDouble(&out, empty ? 0 : h.Percentile(90));
+    out += ", \"p99\": ";
+    AppendDouble(&out, empty ? 0 : h.Percentile(99));
+    out += "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace fcae

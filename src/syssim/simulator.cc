@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace fcae {
@@ -61,6 +63,29 @@ struct Simulator::Engine {
   // Fault-tolerant offload model (see SimConfig::device_fault_rate).
   Random fault_rng{cfg.fault_seed == 0 ? 1 : cfg.fault_seed};
 
+  // Observability bookkeeping: span start times in simulated seconds.
+  // Track 0 carries flushes; each compaction gets its own track.
+  double flush_start = 0;
+  double compaction_start = 0;
+  double stage_start = 0;
+  uint64_t compaction_tid = 0;
+
+  uint64_t SimMicros(double seconds) const {
+    return static_cast<uint64_t>(seconds * 1e6);
+  }
+
+  /// Records a simulated-time span from `start_s` to now.
+  void Span(const char* name, double start_s, uint64_t tid) {
+    if (cfg.trace == nullptr) return;
+    cfg.trace->RecordSpan(name, "syssim", SimMicros(start_s),
+                          SimMicros(now) - SimMicros(start_s), tid,
+                          {{"simulated", "true"}});
+  }
+
+  void Count(const char* name) {
+    if (cfg.metrics != nullptr) cfg.metrics->counter(name)->Increment();
+  }
+
   // ---- Derived helpers ----
 
   bool CpuBusy() const {
@@ -112,6 +137,7 @@ struct Simulator::Engine {
       has_imm = true;
       flush_rem = cfg.memtable_bytes / (cfg.cost.FlushMBps() * kMB);
       result.flush_seconds += flush_rem;
+      flush_start = now;
     }
   }
 
@@ -120,6 +146,8 @@ struct Simulator::Engine {
     lsm.AddL0File(static_cast<double>(cfg.memtable_bytes) *
                   cfg.cost.CompressedFraction());
     result.flushes++;
+    Span("flush", flush_start, 0);
+    Count("syssim.flushes");
     MaybeRotateMemtable();  // A stalled client may rotate immediately.
     MaybeScheduleCompaction();
   }
@@ -142,6 +170,10 @@ struct Simulator::Engine {
     result.compactions++;
     result.bytes_compacted_in += work.input_bytes;
     result.bytes_compacted_out += work.output_bytes;
+    compaction_start = now;
+    stage_start = now;
+    compaction_tid = result.compactions;  // Track 0 is the flush track.
+    Count("syssim.compactions");
 
     bool offloadable = cfg.mode == ExecMode::kLevelDbFcae &&
                        work.device_inputs >= 1 &&
@@ -182,6 +214,10 @@ struct Simulator::Engine {
   }
 
   void OnHostReadDone() {
+    if (!cfg.near_storage) {
+      Span("input_build", stage_start, compaction_tid);
+    }
+    stage_start = now;
     // DMA in, kernel, DMA out all happen on the card side. Near-storage
     // mode reads/writes the drive's internal channels instead of the
     // PCIe link (modeled at the same internal bandwidth the channels
@@ -237,12 +273,21 @@ struct Simulator::Engine {
           result.pcie_seconds -= pcie;
         } else {
           result.compactions_retried++;
+          Count("syssim.compactions_retried");
+          if (cfg.trace != nullptr) {
+            cfg.trace->RecordInstant("retry", "syssim", SimMicros(now),
+                                     compaction_tid,
+                                     {{"failed_attempts",
+                                       std::to_string(failed)}});
+          }
         }
       }
     }
   }
 
   void OnDeviceDone() {
+    Span("device_run", stage_start, compaction_tid);
+    stage_start = now;
     if (fallback_pending) {
       // Device attempts exhausted: rerun completely in software, like
       // DBImpl's CPU fallback. Inputs are re-read from disk (the real
@@ -252,6 +297,11 @@ struct Simulator::Engine {
       result.compactions_offloaded--;
       result.compactions_sw++;
       result.compactions_fallback++;
+      Count("syssim.compactions_fallback");
+      if (cfg.trace != nullptr) {
+        cfg.trace->RecordInstant("cpu_fallback", "syssim", SimMicros(now),
+                                 compaction_tid);
+      }
       const double cpu_speed = cfg.cost.CpuCompactionMBps(
           active_work.device_inputs, cfg.key_length, cfg.value_length);
       sw_rem =
@@ -271,6 +321,16 @@ struct Simulator::Engine {
   }
 
   void OnCompactionInstalled() {
+    // The tail stage: host writeback for an offload, the whole software
+    // merge otherwise (near-storage offloads have no host tail).
+    if (compaction_offloaded) {
+      if (!cfg.near_storage) Span("assemble", stage_start, compaction_tid);
+      Count("syssim.compactions_offloaded");
+    } else {
+      Span("merge", stage_start, compaction_tid);
+      Count("syssim.compactions_sw");
+    }
+    Span("compaction", compaction_start, compaction_tid);
     lsm.ApplyCompaction(active_work);
     compaction_in_flight = false;
     MaybeScheduleCompaction();

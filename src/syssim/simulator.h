@@ -10,6 +10,12 @@
 #include "workload/ycsb.h"
 
 namespace fcae {
+
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace obs
+
 namespace syssim {
 
 /// Execution mode of the simulated system.
@@ -68,6 +74,13 @@ struct SimConfig {
   double device_fault_rate = 0.0;
   int device_retry_limit = 3;
   uint32_t fault_seed = 1;
+
+  /// Optional observability (obs/): when set, the simulator emits
+  /// flush/compaction spans in *simulated* time (ts/dur are simulated
+  /// microseconds, not wall time) and event counters (`syssim.*`).
+  /// Borrowed, not owned.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Results of one simulated run.

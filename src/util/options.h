@@ -12,6 +12,11 @@ class CompactionExecutor;
 class Env;
 class FilterPolicy;
 
+namespace obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace obs
+
 /// Block contents compression. Stored per block, so files mixing settings
 /// remain readable.
 enum CompressionType : uint8_t {
@@ -80,6 +85,21 @@ struct Options {
   /// table-merging compactions to the simulated FPGA card. Borrowed,
   /// not owned; must outlive the DB.
   CompactionExecutor* compaction_executor = nullptr;
+
+  /// Optional shared metrics registry (obs/metrics.h). When set, the DB
+  /// publishes its counters/histograms here so several components (DB,
+  /// executor, benchmarks) can share one snapshot; when nullptr the DB
+  /// owns a private registry. Either way the result is readable via
+  /// DB::GetProperty("fcae.metrics"). Borrowed, not owned; must outlive
+  /// the DB.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+
+  /// Optional live trace consumer (obs/trace.h). Every span/instant the
+  /// DB records (compactions, flushes, stalls, device retries) is also
+  /// forwarded here as it happens, in addition to the in-memory ring
+  /// readable via DB::GetProperty("fcae.trace"). Borrowed, not owned;
+  /// must outlive the DB and be thread-safe.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Options controlling read operations.

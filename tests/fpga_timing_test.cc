@@ -155,5 +155,70 @@ TEST_P(TimingCrossCheckTest, SimulatorTracksAnalyticModel) {
 INSTANTIATE_TEST_SUITE_P(ValueLengths, TimingCrossCheckTest,
                          testing::Values(64, 256, 1024));
 
+// The observed bottleneck attribution (obs telemetry: busy-cycle shares
+// from the cycle simulator) must reproduce the analytic model's
+// Comparer <-> Decoder crossover (paper Section V-D1): short values are
+// comparer-bound, long values decoder-bound.
+class BottleneckAttributionTest : public testing::TestWithParam<int> {};
+
+TEST_P(BottleneckAttributionTest, MatchesAnalyticModelAcrossCrossover) {
+  const int value_len = GetParam();
+  std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+  Options options;
+  options.env = env.get();
+
+  EngineConfig config;
+  config.num_inputs = 2;
+  config.value_width = 16;
+
+  // Consecutive ranges: the merge drains one input at a time, so a
+  // single decoder lane carries the record stream and the per-record
+  // analytic periods apply directly (see TimingCrossCheckTest above).
+  const int n = 800;
+  auto run_a = MakeRun("key", 0, n, 1, 1000, value_len);
+  auto run_b = MakeRun("key", n, n, 1, 2000, value_len);
+
+  DeviceInput in_a, in_b;
+  ASSERT_TRUE(BuildDeviceInput(env.get(), options, {run_a}, 0, &in_a).ok());
+  ASSERT_TRUE(BuildDeviceInput(env.get(), options, {run_b}, 1, &in_b).ok());
+
+  DeviceOutput output;
+  CompactionEngine engine(config, {&in_a, &in_b}, kNoSnapshot, true,
+                          &output);
+  ASSERT_TRUE(engine.Run().ok());
+
+  // num_lanes = 1 because only one lane is streaming at a time in this
+  // shape (the other fills its FIFO and stalls on backpressure), so the
+  // active lane's utilization is the meaningful decode share.
+  BottleneckReport report = AttributeBottleneck(engine.stats(), 1);
+  ASSERT_NE(nullptr, report.module);
+  EXPECT_GT(report.share, 0.0);
+
+  const uint64_t key_len = 11 + 8;  // "key%08d" user bytes + mark field.
+  TimingModel model(config);
+  Bottleneck analytic = model.BottleneckModule(key_len, value_len);
+  const char* expected =
+      analytic == Bottleneck::kDataBlockDecoder    ? "decoder"
+      : analytic == Bottleneck::kComparer          ? "comparer"
+      : analytic == Bottleneck::kKeyValueTransfer  ? "transfer"
+                                                   : "encoder";
+  EXPECT_STREQ(expected, report.module)
+      << "value_len=" << value_len << " decoder=" << report.decoder_share
+      << " comparer=" << report.comparer_share
+      << " transfer=" << report.transfer_share
+      << " encoder=" << report.encoder_share;
+
+  // Sanity on the crossover itself: 64-byte values sit on the comparer
+  // side, 1024-byte values on the decoder side (V = 16, N = 2).
+  if (value_len == 64) {
+    EXPECT_EQ(Bottleneck::kComparer, analytic);
+  } else if (value_len == 1024) {
+    EXPECT_EQ(Bottleneck::kDataBlockDecoder, analytic);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueLengths, BottleneckAttributionTest,
+                         testing::Values(64, 1024));
+
 }  // namespace fpga
 }  // namespace fcae

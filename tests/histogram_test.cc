@@ -67,6 +67,59 @@ TEST(Histogram, Merge) {
   ASSERT_DOUBLE_EQ(20.0, a.Max());
 }
 
+TEST(Histogram, PercentileOnEmptyHistogram) {
+  Histogram h;
+  // No samples: every percentile is 0, not the min sentinel (the obs
+  // metrics exporter relies on this to emit 0 instead of 1.8e308).
+  ASSERT_EQ(0.0, h.Percentile(0));
+  ASSERT_EQ(0.0, h.Percentile(50));
+  ASSERT_EQ(0.0, h.Percentile(99.9));
+  ASSERT_EQ(0.0, h.Median());
+}
+
+TEST(Histogram, PercentileOnSingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  // Every percentile of a one-sample distribution is that sample:
+  // bucket interpolation must clamp to [min, max].
+  ASSERT_DOUBLE_EQ(42.0, h.Percentile(1));
+  ASSERT_DOUBLE_EQ(42.0, h.Percentile(50));
+  ASSERT_DOUBLE_EQ(42.0, h.Percentile(99));
+}
+
+TEST(Histogram, MergeEmptyIntoPopulatedIsIdentity) {
+  Histogram a;
+  a.Add(5.0);
+  a.Add(15.0);
+  Histogram empty;
+  a.Merge(empty);
+  // The empty histogram's min sentinel must not leak in.
+  ASSERT_EQ(2u, a.Count());
+  ASSERT_DOUBLE_EQ(5.0, a.Min());
+  ASSERT_DOUBLE_EQ(15.0, a.Max());
+  ASSERT_DOUBLE_EQ(10.0, a.Average());
+}
+
+TEST(Histogram, MergePopulatedIntoEmptyAdoptsBounds) {
+  Histogram empty;
+  Histogram b;
+  b.Add(7.0);
+  empty.Merge(b);
+  ASSERT_EQ(1u, empty.Count());
+  ASSERT_DOUBLE_EQ(7.0, empty.Min());
+  ASSERT_DOUBLE_EQ(7.0, empty.Max());
+  ASSERT_DOUBLE_EQ(7.0, empty.Percentile(50));
+}
+
+TEST(Histogram, MergeTwoEmptiesStaysEmpty) {
+  Histogram a;
+  Histogram b;
+  a.Merge(b);
+  ASSERT_EQ(0u, a.Count());
+  ASSERT_EQ(0.0, a.Average());
+  ASSERT_EQ(0.0, a.Percentile(99));
+}
+
 TEST(Histogram, Clear) {
   Histogram h;
   h.Add(3.0);

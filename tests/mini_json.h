@@ -1,0 +1,245 @@
+#ifndef FCAE_TESTS_MINI_JSON_H_
+#define FCAE_TESTS_MINI_JSON_H_
+
+// A minimal strict JSON parser for test assertions on the obs/ exports
+// (fcae.metrics, fcae.trace). Recursive descent, no extensions: exactly
+// what "valid JSON" means in the acceptance criteria. Parse failures
+// carry a byte offset so a malformed emitter is easy to localize.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fcae {
+namespace mini_json {
+
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool Has(const std::string& key) const {
+    return kind == kObject && object.count(key) > 0;
+  }
+  const Value& operator[](const std::string& key) const {
+    static const Value kMissing;
+    auto it = object.find(key);
+    return it == object.end() ? kMissing : it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(Value* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ParseValue(Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = Value::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseLiteral(out);
+    if (c == 'n') return ParseLiteral(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseLiteral(Value* out) {
+    auto match = [&](const char* word) {
+      size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->kind = Value::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->kind = Value::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->kind = Value::kNull;
+      return true;
+    }
+    return Fail("bad literal");
+  }
+
+  bool ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') pos_++;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) return Fail("bad number");
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    out->kind = Value::kNumber;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    pos_++;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("bad escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; i++) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Fail("bad \\u escape");
+          }
+          // Tests only emit codes below 0x80; encode as a single byte.
+          out->push_back(static_cast<char>(code & 0x7f));
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseObject(Value* out) {
+    if (!Consume('{')) return false;
+    out->kind = Value::kObject;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->object[key] = v;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    if (!Consume('[')) return false;
+    out->kind = Value::kArray;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(v);
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Parses `text`; on failure returns false and sets `error`.
+inline bool Parse(const std::string& text, Value* out, std::string* error) {
+  Parser parser(text);
+  bool ok = parser.Parse(out);
+  if (!ok && error != nullptr) *error = parser.error();
+  return ok;
+}
+
+}  // namespace mini_json
+}  // namespace fcae
+
+#endif  // FCAE_TESTS_MINI_JSON_H_

@@ -1,6 +1,8 @@
 #include "syssim/simulator.h"
 
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fcae {
 namespace syssim {
@@ -246,6 +248,50 @@ TEST(SimulatorTest, FaultStreamIsDeterministicInSeed) {
   SimResult c = Simulator(config).RunFillRandom(1e8);
   EXPECT_TRUE(a.compactions_retried != c.compactions_retried ||
               a.elapsed_seconds != c.elapsed_seconds);
+}
+
+TEST(SimulatorTest, ObsSpansAndCountersMirrorTheResult) {
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder trace(1 << 16);
+
+  SimConfig config = FcaeConfig(512);
+  config.device_fault_rate = 0.25;  // Force retries and fallbacks.
+  config.fault_seed = 77;
+  config.metrics = &registry;
+  config.trace = &trace;
+  SimResult r = Simulator(config).RunFillRandom(1e8);
+
+  // Counters emitted at the same event as the result field agree
+  // exactly.
+  EXPECT_EQ(r.flushes, registry.counter("syssim.flushes")->value());
+  EXPECT_EQ(r.compactions, registry.counter("syssim.compactions")->value());
+  EXPECT_EQ(r.compactions_retried,
+            registry.counter("syssim.compactions_retried")->value());
+  EXPECT_EQ(r.compactions_fallback,
+            registry.counter("syssim.compactions_fallback")->value());
+
+  // The offloaded/sw split is counted in the result at pick time but in
+  // the metrics at install time, so the run may end with one picked
+  // compaction still in flight (never installed).
+  const uint64_t off = registry.counter("syssim.compactions_offloaded")->value();
+  const uint64_t sw = registry.counter("syssim.compactions_sw")->value();
+  EXPECT_LE(off, r.compactions_offloaded);
+  EXPECT_LE(sw, r.compactions_sw);
+  EXPECT_LE((r.compactions_offloaded - off) + (r.compactions_sw - sw), 1u);
+  EXPECT_GT(off, 0u);
+
+  // Spans were emitted in simulated time and are tagged as such.
+  EXPECT_GT(trace.size(), 0u);
+  std::string json = trace.ToJson();
+  EXPECT_NE(std::string::npos, json.find("\"flush\""));
+  EXPECT_NE(std::string::npos, json.find("\"compaction\""));
+  EXPECT_NE(std::string::npos, json.find("\"simulated\": true"));
+  if (r.compactions_fallback > 0) {
+    EXPECT_NE(std::string::npos, json.find("\"cpu_fallback\""));
+  }
+  if (r.compactions_retried > 0 || r.compactions_fallback > 0) {
+    EXPECT_NE(std::string::npos, json.find("\"retry\""));
+  }
 }
 
 }  // namespace syssim
