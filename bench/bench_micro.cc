@@ -242,6 +242,143 @@ int RunTelemetryWorkload(const bench::ObsExportFlags& obs_flags) {
   return ok ? 0 : 1;
 }
 
+// One timed run of the perf-gate workload under a given scheduler
+// configuration. Returns false on any DB error.
+struct PerfRunResult {
+  double write_mbps = 0;       // Sustained: puts blocked on stalls included.
+  double compaction_mbps = 0;  // Compaction bytes moved per wall second.
+  uint64_t user_bytes = 0;
+  uint64_t stall_micros = 0;   // Writer time lost to stalls + slowdowns.
+  uint64_t stall_memtable_micros = 0;
+  uint64_t stall_l0_micros = 0;
+  uint64_t slowdown_micros = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_bytes_written = 0;
+};
+
+bool RunPerfWorkload(int threads, int subcompactions, PerfRunResult* result) {
+  std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+
+  fpga::EngineConfig config;
+  config.num_inputs = 9;
+  config.input_width = 8;
+  config.value_width = 8;
+  host::FcaeDevice device(config);
+  host::DeviceHealthMonitor health;
+  host::FcaeExecutorOptions exec_options;
+  exec_options.tournament_scheduling = true;
+  exec_options.health_monitor = &health;
+  host::FcaeCompactionExecutor executor(&device, exec_options);
+
+  obs::MetricsRegistry registry;
+  Options options;
+  options.env = env.get();
+  options.create_if_missing = true;
+  options.write_buffer_size = 256 * 1024;
+  options.compaction_executor = &executor;
+  options.compaction_threads = threads;
+  options.max_subcompactions = subcompactions;
+  options.metrics_registry = &registry;
+
+  const std::string dbname = "/bench_micro_perf";
+  DestroyDB(dbname, options);
+  DB* raw = nullptr;
+  if (!DB::Open(options, dbname, &raw).ok()) return false;
+  std::unique_ptr<DB> db(raw);
+
+  workload::KeyFormatter keys(16);
+  workload::ValueGenerator values(301);
+  Random rnd(42);
+  WriteOptions wo;
+  // Large enough that L1 grows a multi-file grid: sub-compaction
+  // sharding only engages once L0->L1 jobs have >= 2 parent files.
+  constexpr int kWrites = 100000;
+  constexpr int kValueLen = 100;
+
+  Env* clock = Env::Default();
+  const uint64_t write_start = clock->NowMicros();
+  for (int i = 0; i < kWrites; i++) {
+    if (!db->Put(wo, keys.Format(rnd.Uniform(kWrites)), values.Generate(kValueLen))
+             .ok()) {
+      return false;
+    }
+  }
+  const uint64_t write_end = clock->NowMicros();
+  // Drain: every queued job must install so compaction counters are
+  // comparable across scheduler configurations.
+  db->CompactRange(nullptr, nullptr);
+  const uint64_t drain_end = clock->NowMicros();
+
+  result->user_bytes = static_cast<uint64_t>(kWrites) * (16 + kValueLen);
+  result->stall_memtable_micros =
+      registry.counter("db.write.stall_memtable_micros")->value();
+  result->stall_l0_micros =
+      registry.counter("db.write.stall_l0_micros")->value();
+  result->slowdown_micros =
+      registry.counter("db.write.slowdown_micros")->value();
+  result->stall_micros = result->stall_memtable_micros +
+                         result->stall_l0_micros + result->slowdown_micros;
+  result->flushes = registry.counter("db.flush.count")->value();
+  result->compactions = registry.counter("db.compaction.count")->value();
+  result->compaction_bytes_written =
+      registry.counter("db.compaction.bytes_written")->value();
+  const uint64_t compaction_bytes_moved =
+      registry.counter("db.compaction.bytes_read")->value() +
+      result->compaction_bytes_written;
+  const double write_secs = (write_end - write_start) * 1e-6;
+  const double total_secs = (drain_end - write_start) * 1e-6;
+  if (write_secs > 0) {
+    result->write_mbps = result->user_bytes / write_secs / (1 << 20);
+  }
+  if (total_secs > 0) {
+    result->compaction_mbps = compaction_bytes_moved / total_secs / (1 << 20);
+  }
+  return true;
+}
+
+// The CI perf gate: the same workload on one worker vs. four workers
+// with sub-compaction sharding. BENCH_micro_perf.json carries absolute
+// throughputs (trajectory / loose gate) and the t4/t1 ratio (tight
+// gate: parallel must not regress below single-thread).
+int RunPerfGate() {
+  PerfRunResult t1, t4;
+  if (!RunPerfWorkload(/*threads=*/1, /*subcompactions=*/1, &t1) ||
+      !RunPerfWorkload(/*threads=*/4, /*subcompactions=*/4, &t4)) {
+    std::fprintf(stderr, "perf workload failed\n");
+    return 1;
+  }
+
+  bench::JsonReport report("micro_perf");
+  report.Add("perf.t1.write_mbps", t1.write_mbps);
+  report.Add("perf.t1.compaction_mbps", t1.compaction_mbps);
+  report.Add("perf.t4.write_mbps", t4.write_mbps);
+  report.Add("perf.t4.compaction_mbps", t4.compaction_mbps);
+  report.Add("perf.t4_over_t1_write",
+             t1.write_mbps > 0 ? t4.write_mbps / t1.write_mbps : 0.0);
+  report.Add("work.user_bytes", t4.user_bytes);
+  report.Add("work.t1.stall_micros", t1.stall_micros);
+  report.Add("work.t4.stall_micros", t4.stall_micros);
+  report.Add("work.t1.stall_memtable_micros", t1.stall_memtable_micros);
+  report.Add("work.t1.stall_l0_micros", t1.stall_l0_micros);
+  report.Add("work.t1.slowdown_micros", t1.slowdown_micros);
+  report.Add("work.t4.stall_memtable_micros", t4.stall_memtable_micros);
+  report.Add("work.t4.stall_l0_micros", t4.stall_l0_micros);
+  report.Add("work.t4.slowdown_micros", t4.slowdown_micros);
+  report.Add("work.t1.flushes", t1.flushes);
+  report.Add("work.t1.compactions", t1.compactions);
+  report.Add("work.t1.compaction_bytes_written", t1.compaction_bytes_written);
+  report.Add("work.t4.flushes", t4.flushes);
+  report.Add("work.t4.compactions", t4.compactions);
+  report.Add("work.t4.compaction_bytes_written", t4.compaction_bytes_written);
+  if (!report.WriteFile()) return 1;
+
+  std::printf("perf: t1 %.1f MB/s, t4 %.1f MB/s (ratio %.3f)\n", t1.write_mbps,
+              t4.write_mbps,
+              t1.write_mbps > 0 ? t4.write_mbps / t1.write_mbps : 0.0);
+  return 0;
+}
+
 }  // namespace
 }  // namespace fcae
 
@@ -252,8 +389,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (obs_flags.active()) {
-    return fcae::RunTelemetryWorkload(obs_flags);
+  if (!obs_flags.metrics_out.empty() || !obs_flags.trace_out.empty()) {
+    int rc = fcae::RunTelemetryWorkload(obs_flags);
+    if (rc != 0) return rc;
+  }
+  if (obs_flags.perf) {
+    return fcae::RunPerfGate();
   }
   return 0;
 }

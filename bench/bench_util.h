@@ -103,6 +103,11 @@ inline uint64_t RecordsFor(uint64_t total_bytes, size_t key_len,
 struct ObsExportFlags {
   std::string metrics_out;
   std::string trace_out;
+  // --perf runs the instrumented DB workload once per scheduler config
+  // (1 worker vs. 4 workers + sharding) and writes BENCH_micro_perf.json
+  // with throughput and work counters; bench/check_regression.py gates
+  // CI on it against bench/baseline.json.
+  bool perf = false;
 
   void Consume(int* argc, char** argv) {
     int kept = 1;
@@ -112,6 +117,8 @@ struct ObsExportFlags {
         metrics_out = arg.substr(std::string("--metrics_out=").size());
       } else if (arg.rfind("--trace_out=", 0) == 0) {
         trace_out = arg.substr(std::string("--trace_out=").size());
+      } else if (arg == "--perf") {
+        perf = true;
       } else {
         argv[kept++] = argv[i];
       }
@@ -119,7 +126,9 @@ struct ObsExportFlags {
     *argc = kept;
   }
 
-  bool active() const { return !metrics_out.empty() || !trace_out.empty(); }
+  bool active() const {
+    return !metrics_out.empty() || !trace_out.empty() || perf;
+  }
 };
 
 /// Writes `contents` to `path` on the real filesystem (bench artifacts

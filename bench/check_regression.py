@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gates CI on a BENCH_*.json perf report against a committed baseline.
+
+Stdlib only (CI runs it without installing anything):
+
+    python3 bench/check_regression.py BENCH_micro_perf.json \
+        --baseline bench/baseline.json
+
+The baseline maps metric keys (the flat dotted names the bench JSON
+emitter writes) to an expected value plus a gate policy:
+
+    "metrics": {
+      "perf.t4_over_t1_write": {"baseline": 2.4, "direction": "min",
+                                 "tolerance_pct": 50},
+      "work.t1.flushes":       {"baseline": 58,  "direction": "both"},
+      "work.t1.stall_micros":  {"baseline": 3.8e6, "direction": "none"}
+    }
+
+direction "min"  — regression gate: fail when the measured value drops
+                   below baseline * (1 - tolerance/100). Used for
+                   throughputs, where faster is never a failure.
+direction "both" — tolerance band on both sides. Used for work counters
+                   (bytes compacted, flush counts) that should be stable
+                   run to run; drift in either direction means the
+                   workload or the engine changed.
+direction "none" — tracked for the artifact trajectory, never gated
+                   (e.g. wall-clock stall totals on unknown hardware).
+
+tolerance_pct falls back to the file's default_tolerance_pct (25 unless
+overridden). A metric listed in the baseline but missing from the
+report always fails: silently dropping an instrument is itself a
+regression. Report keys not in the baseline are listed as untracked.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def check(report, baseline):
+    default_tol = baseline.get("default_tolerance_pct", 25)
+    failures = []
+    rows = []
+
+    for key, policy in sorted(baseline.get("metrics", {}).items()):
+        expected = policy["baseline"]
+        direction = policy.get("direction", "both")
+        tol = policy.get("tolerance_pct", default_tol)
+        value = report.get(key)
+
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            rows.append((key, "MISSING", expected, direction, tol, "FAIL"))
+            failures.append(f"{key}: missing from report")
+            continue
+
+        low = expected * (1 - tol / 100.0)
+        high = expected * (1 + tol / 100.0)
+        if direction == "none":
+            verdict = "info"
+        elif direction == "min":
+            verdict = "ok" if value >= low else "FAIL"
+        elif direction == "both":
+            verdict = "ok" if low <= value <= high else "FAIL"
+        else:
+            verdict = "FAIL"
+            failures.append(f"{key}: unknown direction {direction!r}")
+            rows.append((key, value, expected, direction, tol, verdict))
+            continue
+
+        if verdict == "FAIL":
+            bound = (f">= {low:.6g}" if direction == "min"
+                     else f"in [{low:.6g}, {high:.6g}]")
+            failures.append(f"{key}: {value:.6g} not {bound} "
+                            f"(baseline {expected:.6g} ±{tol}%)")
+        rows.append((key, value, expected, direction, tol, verdict))
+
+    tracked = set(baseline.get("metrics", {}))
+    untracked = [k for k, v in sorted(report.items())
+                 if k not in tracked and isinstance(v, numbers.Real)
+                 and not isinstance(v, bool)]
+    return rows, untracked, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_*.json perf report")
+    parser.add_argument("--baseline", required=True,
+                        help="bench/baseline.json path")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    rows, untracked, failures = check(report, baseline)
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'metric':<{width}}  {'value':>12}  {'baseline':>12}  "
+          f"{'gate':<10}  verdict")
+    for key, value, expected, direction, tol, verdict in rows:
+        shown = value if isinstance(value, str) else f"{value:.6g}"
+        gate = "untracked" if direction == "none" else f"{direction} ±{tol}%"
+        print(f"{key:<{width}}  {shown:>12}  {expected:>12.6g}  "
+              f"{gate:<10}  {verdict}")
+    if untracked:
+        print(f"untracked report keys (add to baseline to gate): "
+              f"{', '.join(untracked)}")
+
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}", file=sys.stderr)
+        sys.exit(1)
+    gated = sum(1 for r in rows if r[3] != "none")
+    print(f"OK: {args.report} within tolerance ({gated} gated metrics)")
+
+
+if __name__ == "__main__":
+    main()

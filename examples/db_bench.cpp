@@ -6,6 +6,7 @@
 //                       [--num=100000] [--value_size=128] [--key_size=16]
 //                       [--db=/tmp/fcae_bench] [--use_fcae=0|1|2]
 //                       [--write_buffer_size=4194304] [--mem_env=1]
+//                       [--compaction_threads=2] [--subcompactions=1]
 //                       [--metrics_out=path] [--trace_out=path]
 //
 // use_fcae: 0 = CPU compaction, 1 = offload (strict Fig. 6 policy),
@@ -47,6 +48,8 @@ struct Flags {
   int use_fcae = 0;
   int write_buffer_size = 4 * 1024 * 1024;
   int mem_env = 1;
+  int compaction_threads = 2;
+  int subcompactions = 1;
   std::string metrics_out;
   std::string trace_out;
 };
@@ -78,6 +81,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.write_buffer_size = std::atoi(v.c_str());
     } else if (take("mem_env", &v)) {
       flags.mem_env = std::atoi(v.c_str());
+    } else if (take("compaction_threads", &v)) {
+      flags.compaction_threads = std::atoi(v.c_str());
+    } else if (take("subcompactions", &v)) {
+      flags.subcompactions = std::atoi(v.c_str());
     } else if (take("metrics_out", &flags.metrics_out)) {
     } else if (take("trace_out", &flags.trace_out)) {
     } else {
@@ -122,6 +129,8 @@ class Benchmark {
     options.env = env_;
     options.create_if_missing = true;
     options.write_buffer_size = flags_.write_buffer_size;
+    options.compaction_threads = flags_.compaction_threads;
+    options.max_subcompactions = flags_.subcompactions;
     options.compaction_executor = executor_.get();
     if (fresh) {
       fcae::DestroyDB(flags_.db, options);

@@ -252,6 +252,20 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     obs::SpanTimer attempt_span(job.trace, "device_attempt", "host",
                                 job.trace_tid);
     attempt_span.AddArg("attempt", std::to_string(attempt));
+
+    // Wait for the card: concurrent compaction workers queue FIFO per
+    // attempt. The wait is surfaced so device contention is visible.
+    const uint64_t queue_start_micros = env->NowMicros();
+    AcquireDeviceTicket(job.metrics);
+    const uint64_t queue_micros = env->NowMicros() - queue_start_micros;
+    if (queue_micros > 0) {
+      attempt_span.AddArg("queue_us", std::to_string(queue_micros));
+    }
+    if (job.metrics != nullptr) {
+      job.metrics->counter("host.device.queue_wait_micros")
+          ->Increment(queue_micros);
+    }
+
     const uint64_t run_start_micros = obs::TraceNowMicros();
     device_output = fpga::DeviceOutput();
     run_stats = DeviceRunStats();
@@ -264,6 +278,7 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
                                      job.no_deeper_data, &device_output,
                                      &run_stats);
     }
+    ReleaseDeviceTicket(job.metrics);
 
     if (s.ok() && options_.verify_outputs) {
       // Host-side verification: CRCs, strict key order, bounds. Runs
@@ -385,6 +400,33 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   stats->pcie_micros = run_stats.pcie_micros + wasted_pcie_micros;
   stats->micros = env->NowMicros() - start_micros;
   return Status::OK();
+}
+
+void FcaeCompactionExecutor::AcquireDeviceTicket(
+    obs::MetricsRegistry* metrics) {
+  MutexLock lock(&queue_mutex_);
+  const uint64_t ticket = next_ticket_++;
+  if (metrics != nullptr) {
+    metrics->gauge("host.device.queue_depth")
+        ->Set(static_cast<int64_t>(next_ticket_ - serving_));
+    if (ticket != serving_) {
+      metrics->counter("host.device.queue_waits")->Increment();
+    }
+  }
+  while (ticket != serving_) {
+    queue_cv_.Wait();
+  }
+}
+
+void FcaeCompactionExecutor::ReleaseDeviceTicket(
+    obs::MetricsRegistry* metrics) {
+  MutexLock lock(&queue_mutex_);
+  serving_++;
+  if (metrics != nullptr) {
+    metrics->gauge("host.device.queue_depth")
+        ->Set(static_cast<int64_t>(next_ticket_ - serving_));
+  }
+  queue_cv_.SignalAll();
 }
 
 std::string FcaeCompactionExecutor::HealthString() const {

@@ -26,6 +26,11 @@ namespace host {
 /// consults the DeviceHealthMonitor circuit breaker: a quarantined
 /// device refuses jobs (except periodic probes), so everything flows to
 /// the CPU executor until the card recovers.
+///
+/// The executor is thread-safe: the DB's parallel compaction scheduler
+/// may have several jobs inside Execute() at once. Kernel attempts are
+/// admitted to the card through a FIFO ticket queue, so in-flight jobs
+/// share the device fairly instead of serializing further up the stack.
 
 /// Scheduler policy knobs for the offload executor.
 struct FcaeExecutorOptions {
@@ -95,15 +100,34 @@ class FcaeCompactionExecutor : public CompactionExecutor {
   }
 
  private:
+  /// Blocks until it is this attempt's turn on the card (FIFO by
+  /// arrival). Tickets are acquired per kernel attempt, never held
+  /// across a backoff sleep, so with several compaction workers in
+  /// flight a retrying job cannot hog the device and waiters make
+  /// progress in arrival order.
+  void AcquireDeviceTicket(obs::MetricsRegistry* metrics)
+      EXCLUDES(queue_mutex_);
+  void ReleaseDeviceTicket(obs::MetricsRegistry* metrics)
+      EXCLUDES(queue_mutex_);
+
   FcaeDevice* device_;
   FcaeExecutorOptions options_;
 
-  // mutex_ guards only the counters; jobs themselves are serialized by
-  // the single compaction thread, while counter readers (GetProperty,
-  // tests) may arrive from any thread. Leaf lock: nothing else is
-  // acquired while it is held.
+  // mutex_ guards only the counters. Multiple compaction workers may be
+  // inside Execute() concurrently (the DB's parallel scheduler), and
+  // counter readers (GetProperty, tests) arrive from any thread. Leaf
+  // lock: nothing else is acquired while it is held.
   mutable Mutex mutex_;
   RobustnessCounters counters_ GUARDED_BY(mutex_);
+
+  // Device admission queue: one kernel runs at a time on the (shared)
+  // card; concurrent jobs line up here instead of serializing anywhere
+  // up the stack. Leaf lock, held only for ticket arithmetic — the
+  // device call itself runs outside it, guarded by the ticket order.
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_{&queue_mutex_};
+  uint64_t next_ticket_ GUARDED_BY(queue_mutex_) = 0;
+  uint64_t serving_ GUARDED_BY(queue_mutex_) = 0;
 };
 
 /// Returns the number of engine inputs a compaction needs: one per

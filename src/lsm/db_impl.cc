@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "lsm/builder.h"
@@ -13,6 +15,7 @@
 #include "lsm/table_cache.h"
 #include "lsm/version_set.h"
 #include "lsm/write_batch.h"
+#include "table/iterator.h"
 #include "table/merger.h"
 #include "util/coding.h"
 
@@ -82,6 +85,8 @@ Options SanitizeOptions(const std::string& dbname,
   ClipToRange(&result.max_file_size, 1 << 20, 1 << 30);
   ClipToRange(&result.block_size, 1 << 10, 4 << 20);
   ClipToRange(&result.leveling_ratio, 2, 100);
+  ClipToRange(&result.compaction_threads, 1, 16);
+  ClipToRange(&result.max_subcompactions, 1, 16);
   return result;
 }
 
@@ -119,7 +124,6 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       log_(nullptr),
       seed_(0),
       tmp_batch_(new WriteBatch),
-      background_compaction_scheduled_(false),
       manual_compaction_(nullptr),
       versions_(new VersionSet(dbname_, &options_, table_cache_.get(),
                                &internal_comparator_)),
@@ -127,13 +131,16 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       compactions_on_cpu_(0),
       compactions_fallback_(0) {
   trace_.set_sink(options_.trace_sink);
+  scheduler_ = std::make_unique<CompactionScheduler>(
+      env_, &background_work_finished_signal_, options_.compaction_threads,
+      metrics_);
 }
 
 DBImpl::~DBImpl() {
-  // Wait for background work to finish.
+  // Wait for every dispatched flush and compaction worker to drain.
   mutex_.Lock();
   shutting_down_.store(true, std::memory_order_release);
-  while (background_compaction_scheduled_) {
+  while (scheduler_->HasBackgroundWork()) {
     background_work_finished_signal_.Wait();
   }
   mutex_.Unlock();
@@ -406,7 +413,7 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
     if (mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
       compactions++;
       *save_manifest = true;
-      status = WriteLevel0Table(mem, edit, nullptr);
+      status = WriteLevel0Table(mem, edit, nullptr, nullptr, nullptr);
       mem->Unref();
       mem = nullptr;
       if (!status.ok()) {
@@ -424,7 +431,7 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
   // fresh log on open for simplicity.)
   if (status.ok() && mem != nullptr) {
     *save_manifest = true;
-    status = WriteLevel0Table(mem, edit, nullptr);
+    status = WriteLevel0Table(mem, edit, nullptr, nullptr, nullptr);
   }
   if (mem != nullptr) mem->Unref();
 
@@ -433,8 +440,8 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
   return status;
 }
 
-Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
-                                Version* base) {
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base,
+                                uint64_t* pending_file, int* reserved_level) {
   // Requires mutex_ held.
   const uint64_t start_micros = env_->NowMicros();
   FileMetaData meta;
@@ -450,7 +457,14 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   }
 
   delete iter;
-  pending_outputs_.erase(meta.number);
+  if (pending_file != nullptr) {
+    // Keep the file protected until the caller installs the edit: a
+    // concurrent worker's RemoveObsoleteFiles (run while LogAndApply
+    // drops the mutex for the MANIFEST write) must not delete it.
+    *pending_file = meta.number;
+  } else {
+    pending_outputs_.erase(meta.number);
+  }
 
   // Note that if file_size is zero, the file has been deleted and
   // should not be added to the manifest.
@@ -460,6 +474,19 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
     const Slice max_user_key = meta.largest.user_key();
     if (base != nullptr) {
       level = base->PickLevelForMemTableOutput(min_user_key, max_user_key);
+      if (reserved_level != nullptr) {
+        // Never install into a level an in-flight compaction occupies:
+        // the file set of a level>0 must stay sorted and disjoint. Fall
+        // back toward L0 (always legal) and hold the reservation so a
+        // new compaction cannot claim the level before we install.
+        while (level > 0 && !scheduler_->FlushLevelFree(level)) {
+          level--;
+        }
+        if (level > 0) {
+          scheduler_->ReserveFlushLevel(level);
+          *reserved_level = level;
+        }
+      }
     }
     edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
                   meta.largest);
@@ -481,15 +508,18 @@ void DBImpl::CompactMemTable() {
   // Requires mutex_ held.
   assert(imm_ != nullptr);
 
-  // Flushes share trace track 0 with the scheduler; they never overlap
-  // each other (single background thread).
+  // Flushes run on the dedicated flush lane (trace track 0, shared with
+  // the picker); they never overlap each other.
   obs::SpanTimer flush_span(&trace_, "flush", "db", 0);
 
   // Save the contents of the memtable as a new Table.
   VersionEdit edit;
   Version* base = versions_->current();
   base->Ref();
-  Status s = WriteLevel0Table(imm_, &edit, base);
+  uint64_t pending_file = 0;
+  int reserved_level = 0;
+  Status s = WriteLevel0Table(imm_, &edit, base, &pending_file,
+                              &reserved_level);
   base->Unref();
 
   if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
@@ -499,7 +529,15 @@ void DBImpl::CompactMemTable() {
   // Replace immutable memtable with the generated Table.
   if (s.ok()) {
     edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed.
-    s = versions_->LogAndApply(&edit, &mutex_);
+    s = LogAndApplyLocked(&edit);
+  }
+
+  // The table is live (or dead) either way now; drop its protections.
+  if (reserved_level > 0) {
+    scheduler_->ReleaseFlushLevel(reserved_level);
+  }
+  if (pending_file != 0) {
+    pending_outputs_.erase(pending_file);
   }
 
   if (s.ok()) {
@@ -523,6 +561,7 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
   ManualCompaction manual;
   manual.level = level;
   manual.done = false;
+  manual.in_progress = false;
   if (begin == nullptr) {
     manual.begin = nullptr;
   } else {
@@ -546,9 +585,10 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
       background_work_finished_signal_.Wait();
     }
   }
-  // Finish current background compaction in the case where `manual`
-  // is still being used.
-  while (background_compaction_scheduled_ && manual_compaction_ == &manual) {
+  // Finish the in-flight pass in the case where a worker still holds
+  // `manual` (it clears in_progress — and the slot — when it is done
+  // touching the struct).
+  while (manual_compaction_ == &manual && manual.in_progress) {
     background_work_finished_signal_.Wait();
   }
   if (manual_compaction_ == &manual) {
@@ -581,30 +621,77 @@ void DBImpl::RecordBackgroundError(const Status& s) {
   }
 }
 
+bool DBImpl::HasClaimableCompaction() {
+  // Requires mutex_ held.
+  const uint32_t busy = scheduler_->busy_levels();
+  if (manual_compaction_ != nullptr && !manual_compaction_->done &&
+      !manual_compaction_->in_progress &&
+      scheduler_->LevelsFree(manual_compaction_->level)) {
+    return true;
+  }
+  return versions_->NeedsCompaction(busy);
+}
+
 void DBImpl::MaybeScheduleCompaction() {
   // Requires mutex_ held.
-  if (background_compaction_scheduled_) {
-    // Already scheduled.
-  } else if (shutting_down_.load(std::memory_order_acquire)) {
-    // DB is being deleted; no more background compactions.
-  } else if (!bg_error_.ok()) {
-    // Already got an error; no more changes.
-  } else if (imm_ == nullptr && manual_compaction_ == nullptr &&
-             !versions_->NeedsCompaction()) {
-    // No work to be done.
-  } else {
-    background_compaction_scheduled_ = true;
-    env_->Schedule(&DBImpl::BGWork, this);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return;  // DB is being deleted; no more background work.
+  }
+  if (!bg_error_.ok()) {
+    return;  // Already got an error; no more changes.
+  }
+
+  // Flush lane: at most one memtable flush in flight, on its own thread
+  // so compaction workers never delay it (the paper's Fig. 6 priority).
+  if (imm_ != nullptr && !scheduler_->flush_scheduled()) {
+    scheduler_->ScheduleFlush(&DBImpl::BGFlushWork, this);
+  }
+
+  // Compaction workers: dispatch only as many as could actually claim a
+  // disjoint level pair right now. Idle already-scheduled workers count
+  // against the demand so a burst of triggers does not stampede the
+  // pool. Over-estimating by one (e.g. a manual pass that ends up
+  // empty) is harmless: the worker finds nothing and exits.
+  int claimable =
+      versions_->CountClaimableCompactions(scheduler_->busy_levels());
+  if (manual_compaction_ != nullptr && !manual_compaction_->done &&
+      !manual_compaction_->in_progress) {
+    claimable++;
+  }
+  while (scheduler_->CanScheduleCompaction() &&
+         scheduler_->idle_scheduled_workers() < claimable) {
+    scheduler_->ScheduleCompaction(&DBImpl::BGCompactionWork, this);
   }
 }
 
-void DBImpl::BGWork(void* db) {
-  reinterpret_cast<DBImpl*>(db)->BackgroundCall();
+void DBImpl::BGFlushWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundFlushCall();
 }
 
-void DBImpl::BackgroundCall() {
+void DBImpl::BGCompactionWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundCompactionCall();
+}
+
+void DBImpl::BackgroundFlushCall() {
   MutexLock l(&mutex_);
-  assert(background_compaction_scheduled_);
+  assert(scheduler_->flush_scheduled());
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // No more background work when shutting down.
+  } else if (!bg_error_.ok()) {
+    // No more background work after a background error.
+  } else if (imm_ != nullptr) {
+    CompactMemTable();
+  }
+  scheduler_->FlushFinished();
+
+  // The flush may have pushed level-0 over its trigger.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.SignalAll();
+}
+
+void DBImpl::BackgroundCompactionCall() {
+  MutexLock l(&mutex_);
+  assert(scheduler_->scheduled_workers() > 0);
   if (shutting_down_.load(std::memory_order_acquire)) {
     // No more background work when shutting down.
   } else if (!bg_error_.ok()) {
@@ -612,11 +699,10 @@ void DBImpl::BackgroundCall() {
   } else {
     BackgroundCompaction();
   }
+  scheduler_->WorkerFinished();
 
-  background_compaction_scheduled_ = false;
-
-  // Previous compaction may have produced too many files in a level,
-  // so reschedule another compaction if needed.
+  // The finished compaction may have produced too many files in a
+  // level, or unblocked a level pair another job was excluded from.
   MaybeScheduleCompaction();
   background_work_finished_signal_.SignalAll();
 }
@@ -624,27 +710,27 @@ void DBImpl::BackgroundCall() {
 void DBImpl::BackgroundCompaction() {
   // Requires mutex_ held.
 
-  if (imm_ != nullptr) {
-    // Minor compactions (memtable flushes) have priority, as in the
-    // paper's Fig. 6 workflow.
-    CompactMemTable();
-    return;
-  }
-
-  Compaction* c;
-  bool is_manual = (manual_compaction_ != nullptr);
+  Compaction* c = nullptr;
+  bool is_manual = false;
+  ManualCompaction* m = nullptr;
   InternalKey manual_end;
   {
     obs::SpanTimer pick_span(&trace_, "pick", "db", 0);
-    if (is_manual) {
-      ManualCompaction* m = manual_compaction_;
+    // A manual pass is claimed by exactly one worker (in_progress) and
+    // only when its level pair is free of automatic jobs.
+    if (manual_compaction_ != nullptr && !manual_compaction_->done &&
+        !manual_compaction_->in_progress &&
+        scheduler_->LevelsFree(manual_compaction_->level)) {
+      is_manual = true;
+      m = manual_compaction_;
+      m->in_progress = true;
       c = versions_->CompactRange(m->level, m->begin, m->end);
       m->done = (c == nullptr);
       if (c != nullptr) {
         manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
       }
     } else {
-      c = versions_->PickCompaction();
+      c = versions_->PickCompaction(scheduler_->busy_levels());
     }
     if (c != nullptr) {
       pick_span.AddArg("level", std::to_string(c->level()));
@@ -656,26 +742,32 @@ void DBImpl::BackgroundCompaction() {
 
   Status status;
   if (c == nullptr) {
-    // Nothing to do.
-  } else if (!is_manual && c->IsTrivialMove()) {
-    // Move file to next level.
-    assert(c->num_input_files(0) == 1);
-    metrics_->counter("db.compaction.trivial_moves")->Increment();
-    FileMetaData* f = c->input(0, 0);
-    c->edit()->RemoveFile(c->level(), f->number);
-    c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
-                       f->largest);
-    status = versions_->LogAndApply(c->edit(), &mutex_);
-    if (!status.ok()) {
-      RecordBackgroundError(status);
-    }
+    // Nothing claimable right now (other jobs own the hot levels).
   } else {
-    status = DoCompactionWork(c);
-    if (!status.ok()) {
-      RecordBackgroundError(status);
+    // Claim the level pair for the duration of the job; concurrent
+    // workers pick around it and flushes avoid installing into it.
+    scheduler_->BeginCompaction(c->level());
+    if (!is_manual && c->IsTrivialMove()) {
+      // Move file to next level.
+      assert(c->num_input_files(0) == 1);
+      metrics_->counter("db.compaction.trivial_moves")->Increment();
+      FileMetaData* f = c->input(0, 0);
+      c->edit()->RemoveFile(c->level(), f->number);
+      c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
+                         f->largest);
+      status = LogAndApplyLocked(c->edit());
+      if (!status.ok()) {
+        RecordBackgroundError(status);
+      }
+    } else {
+      status = DoCompactionWork(c);
+      if (!status.ok()) {
+        RecordBackgroundError(status);
+      }
+      c->ReleaseInputs();
+      RemoveObsoleteFiles();
     }
-    c->ReleaseInputs();
-    RemoveObsoleteFiles();
+    scheduler_->EndCompaction(c->level());
   }
   delete c;
 
@@ -688,7 +780,6 @@ void DBImpl::BackgroundCompaction() {
   }
 
   if (is_manual) {
-    ManualCompaction* m = manual_compaction_;
     if (!status.ok()) {
       m->done = true;
     }
@@ -698,31 +789,194 @@ void DBImpl::BackgroundCompaction() {
       m->tmp_storage = manual_end;
       m->begin = &m->tmp_storage;
     }
-    manual_compaction_ = nullptr;
+    m->in_progress = false;
+    if (manual_compaction_ == m) {
+      manual_compaction_ = nullptr;
+    }
+  }
+}
+
+Status DBImpl::LogAndApplyLocked(VersionEdit* edit) {
+  // Requires mutex_ held. LogAndApply releases the mutex while it
+  // writes the MANIFEST; the scheduler's manifest lock keeps a second
+  // job from interleaving records in that window.
+  scheduler_->LockManifest();
+  Status s = versions_->LogAndApply(edit, &mutex_);
+  scheduler_->UnlockManifest();
+  return s;
+}
+
+namespace {
+
+// Restricts a merged compaction input iterator to the user-key range
+// (lower, upper] so key-disjoint shards can run concurrently. Bounds
+// are user keys, so every version of a user key lands in exactly one
+// shard and sequence-based drop decisions stay local to that shard.
+// Executors consume their input strictly forward; the backward API is
+// deliberately unimplemented.
+class ShardBoundIterator : public Iterator {
+ public:
+  ShardBoundIterator(Iterator* base, const Comparator* ucmp, bool has_lower,
+                     const std::string& lower, bool has_upper,
+                     const std::string& upper)
+      : base_(base),
+        ucmp_(ucmp),
+        has_lower_(has_lower),
+        lower_(lower),
+        has_upper_(has_upper),
+        upper_(upper) {}
+  ~ShardBoundIterator() override { delete base_; }
+
+  bool Valid() const override { return valid_; }
+  void SeekToFirst() override {
+    if (has_lower_) {
+      // (seq 0, type 0) sorts after every real entry of lower_ in
+      // internal-key order, making it the exclusive lower bound.
+      InternalKey target(Slice(lower_), 0, static_cast<ValueType>(0));
+      base_->Seek(target.Encode());
+    } else {
+      base_->SeekToFirst();
+    }
+    Update();
+  }
+  void Seek(const Slice& target) override {
+    base_->Seek(target);
+    Update();
+  }
+  void Next() override {
+    base_->Next();
+    Update();
+  }
+  void SeekToLast() override { valid_ = false; }  // Forward-only.
+  void Prev() override { valid_ = false; }        // Forward-only.
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  void Update() {
+    valid_ = base_->Valid() &&
+             !(has_upper_ && ucmp_->Compare(ExtractUserKey(base_->key()),
+                                            Slice(upper_)) > 0);
+  }
+
+  Iterator* const base_;
+  const Comparator* const ucmp_;
+  const bool has_lower_;
+  const std::string lower_;
+  const bool has_upper_;
+  const std::string upper_;
+  bool valid_ = false;
+};
+
+// Countdown the sharding driver waits on while shard threads finish.
+struct ShardLatch {
+  explicit ShardLatch(int n) : cv(&mu), remaining(n) {}
+  Mutex mu;
+  CondVar cv;
+  int remaining GUARDED_BY(mu);
+};
+
+}  // namespace
+
+// Everything one sub-compaction needs, plus everything it produced.
+// Shard-local while RunCompactionShard executes (no lock needed); the
+// driver only reads the result fields after joining the shard.
+struct DBImpl::CompactionShard {
+  DBImpl* db = nullptr;
+  ShardLatch* latch = nullptr;
+  CompactionJob job;
+  // Only an unsharded job may use the device executor: the offload path
+  // stages whole input tables from disk and would ignore the iterator
+  // bounds, duplicating every key into every shard.
+  bool device_eligible = false;
+  bool has_lower = false;
+  bool has_upper = false;
+  std::string lower, upper;  // User-key bounds; shard covers (lower, upper].
+  std::vector<uint64_t> allocated;  // File numbers handed to this shard.
+  std::vector<CompactionOutput> outputs;
+  CompactionExecStats stats;
+  Status status;
+  bool fell_back = false;
+};
+
+void DBImpl::ShardThreadMain(void* arg) {
+  CompactionShard* shard = reinterpret_cast<CompactionShard*>(arg);
+  shard->db->RunCompactionShard(shard);
+  MutexLock lock(&shard->latch->mu);
+  shard->latch->remaining--;
+  shard->latch->cv.Signal();
+}
+
+void DBImpl::RunCompactionShard(CompactionShard* shard) {
+  // Runs without mutex_: everything it touches is shard-local or
+  // internally synchronized; the job closures reacquire mutex_ briefly.
+  CompactionExecutor* executor = owned_cpu_executor_.get();
+  if (shard->device_eligible && primary_executor_->CanExecute(shard->job)) {
+    executor = primary_executor_;
+  }
+  // Paper Section VI-A: when the input count exceeds the device's N (or
+  // the job is a key-bounded shard), the task is processed by software.
+
+  const uint64_t start_micros = env_->NowMicros();
+  shard->status = executor->Execute(shard->job, &shard->outputs, &shard->stats);
+  if (!shard->status.ok() && executor != owned_cpu_executor_.get() &&
+      !shutting_down_.load(std::memory_order_acquire)) {
+    // The device path failed even after its own retries (card dropped,
+    // deadline exhausted, persistent corruption). A device fault must
+    // never fail a compaction software could do: scrub the partial
+    // outputs and rerun the whole job on the CPU executor.
+    std::vector<uint64_t> abandoned;
+    {
+      MutexLock lock(&mutex_);
+      abandoned.swap(shard->allocated);
+      for (uint64_t number : abandoned) {
+        pending_outputs_.erase(number);
+      }
+    }
+    for (uint64_t number : abandoned) {
+      env_->RemoveFile(TableFileName(dbname_, number));  // Best effort.
+    }
+    shard->outputs.clear();
+    trace_.RecordInstant(
+        "cpu_fallback", "db", obs::TraceNowMicros(), shard->job.trace_tid,
+        {{"reason", obs::TraceRecorder::Quote(shard->status.ToString())}});
+
+    // Keep the failed attempt's fault accounting visible in the DB
+    // totals, but take timing/volume from the run that succeeded.
+    const CompactionExecStats device_stats = shard->stats;
+    shard->stats = CompactionExecStats();
+    shard->status = owned_cpu_executor_->Execute(shard->job, &shard->outputs,
+                                                 &shard->stats);
+    shard->stats.device_attempts += device_stats.device_attempts;
+    shard->stats.device_retries += device_stats.device_retries;
+    shard->stats.device_faults += device_stats.device_faults;
+    shard->stats.verify_failures += device_stats.verify_failures;
+    shard->stats.verify_micros += device_stats.verify_micros;
+    shard->fell_back = true;
+  }
+  if (shard->stats.micros == 0) {
+    shard->stats.micros = env_->NowMicros() - start_micros;
   }
 }
 
 Status DBImpl::DoCompactionWork(Compaction* c) {
-  // Requires mutex_ held. Builds the job, chooses the executor per the
-  // scheduling policy (offload if the device can take it, else the CPU
-  // path — paper Fig. 6), runs it without the mutex, then installs the
-  // results.
+  // Requires mutex_ held. Builds one job per shard, runs them without
+  // the mutex (device if the unsharded job is eligible, CPU otherwise —
+  // paper Fig. 6), then installs every shard's results atomically in
+  // one version edit.
   const int level = c->level();
 
-  CompactionJob job;
-  job.options = &options_;
-  job.dbname = dbname_;
-  job.table_cache = table_cache_.get();
-  job.icmp = &internal_comparator_;
-  job.compaction = c;
+  SequenceNumber smallest_snapshot;
   if (snapshots_.empty()) {
-    job.smallest_snapshot = versions_->LastSequence();
+    smallest_snapshot = versions_->LastSequence();
   } else {
-    job.smallest_snapshot = snapshots_.oldest()->sequence_number();
+    smallest_snapshot = snapshots_.oldest()->sequence_number();
   }
   // Deletion markers can be dropped iff no deeper level holds data for
   // any key in the compaction range. Conservative per-compaction check
   // shared by both executors (see compaction_executor.h).
+  bool no_deeper_data;
   {
     bool deeper = false;
     for (int lvl = level + 2; lvl < kNumLevels && !deeper; lvl++) {
@@ -732,94 +986,128 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
         deeper = true;
       }
     }
-    job.no_deeper_data = !deeper;
+    no_deeper_data = !deeper;
   }
-  // Track every number we hand out so a failed attempt (e.g. the device
-  // dying mid-job) can release its pending-output protection and scrub
-  // partial files before the job reruns on the CPU.
-  std::vector<uint64_t> allocated_numbers;
-  job.new_file_number = [this, &allocated_numbers]() {
-    MutexLock lock(&mutex_);
-    uint64_t number = versions_->NewFileNumber();
-    pending_outputs_.insert(number);
-    allocated_numbers.push_back(number);
-    return number;
-  };
-  job.make_input_iterator = [this, c]() {
-    // Invoked by the executor after DoCompactionWork released mutex_:
-    // VersionSet state is guarded by it, so reacquire for the setup.
-    // (Lock-discipline fix surfaced by -Wthread-safety: this used to
-    // read versions_ without the lock.)
-    MutexLock lock(&mutex_);
-    return versions_->MakeInputIterator(c);
-  };
-  job.trace = &trace_;
-  job.metrics = metrics_;
-  job.trace_tid = next_trace_tid_.fetch_add(1, std::memory_order_relaxed);
+
+  // Large L0->L1 jobs split into key-disjoint sub-compactions along the
+  // L1 file grid; each shard runs concurrently on the CPU executor and
+  // the combined outputs install in one VersionEdit below.
+  std::vector<std::string> boundaries;
+  if (options_.max_subcompactions > 1 && level == 0) {
+    boundaries = CompactionScheduler::PlanShardBoundaries(
+        c->inputs(1), internal_comparator_, options_.max_subcompactions);
+  }
+  const int nshards = static_cast<int>(boundaries.size()) + 1;
+
+  ShardLatch latch(nshards - 1);
+  std::vector<std::unique_ptr<CompactionShard>> shards;
+  for (int i = 0; i < nshards; i++) {
+    auto shard = std::make_unique<CompactionShard>();
+    shard->db = this;
+    shard->latch = &latch;
+    shard->device_eligible = (nshards == 1);
+    if (i > 0) {
+      shard->has_lower = true;
+      shard->lower = boundaries[i - 1];
+    }
+    if (i + 1 < nshards) {
+      shard->has_upper = true;
+      shard->upper = boundaries[i];
+    }
+    CompactionJob& job = shard->job;
+    job.options = &options_;
+    job.dbname = dbname_;
+    job.table_cache = table_cache_.get();
+    job.icmp = &internal_comparator_;
+    job.compaction = c;
+    job.smallest_snapshot = smallest_snapshot;
+    job.no_deeper_data = no_deeper_data;
+    job.trace = &trace_;
+    job.metrics = metrics_;
+    job.trace_tid = next_trace_tid_.fetch_add(1, std::memory_order_relaxed);
+    CompactionShard* sp = shard.get();
+    // Track every number handed out so a failed attempt (e.g. the
+    // device dying mid-job) can release its pending-output protection
+    // and scrub partial files before the job reruns on the CPU.
+    job.new_file_number = [this, sp]() {
+      MutexLock lock(&mutex_);
+      uint64_t number = versions_->NewFileNumber();
+      pending_outputs_.insert(number);
+      sp->allocated.push_back(number);
+      return number;
+    };
+    job.make_input_iterator = [this, sp]() -> Iterator* {
+      // Invoked by the executor after DoCompactionWork released mutex_:
+      // VersionSet state is guarded by it, so reacquire for the setup.
+      Iterator* base;
+      {
+        MutexLock lock(&mutex_);
+        base = versions_->MakeInputIterator(sp->job.compaction);
+      }
+      if (!sp->has_lower && !sp->has_upper) {
+        return base;
+      }
+      return new ShardBoundIterator(base, user_comparator(), sp->has_lower,
+                                    sp->lower, sp->has_upper, sp->upper);
+    };
+    shards.push_back(std::move(shard));
+  }
 
   // The outer span covers executor run + install; executor stage spans
   // (input_build, dma_in, decode/merge/encode, verify) nest inside it
-  // on the same track.
-  obs::SpanTimer compaction_span(&trace_, "compaction", "db", job.trace_tid);
+  // on shard 0's track; extra shards each get their own track.
+  obs::SpanTimer compaction_span(&trace_, "compaction", "db",
+                                 shards[0]->job.trace_tid);
   compaction_span.AddArg("level", std::to_string(level));
   compaction_span.AddArg(
       "inputs",
       std::to_string(c->num_input_files(0) + c->num_input_files(1)));
+  compaction_span.AddArg("shards", std::to_string(nshards));
 
-  CompactionExecutor* executor = primary_executor_;
-  if (!executor->CanExecute(job)) {
-    // Paper Section VI-A: when the input count exceeds the device's N,
-    // the task is processed completely by software.
-    executor = owned_cpu_executor_.get();
+  if (nshards > 1) {
+    scheduler_->RecordShardedJob(nshards);
   }
 
-  std::vector<CompactionOutput> outputs;
-  CompactionExecStats exec_stats;
-  Status status;
-  bool fell_back = false;
+  uint64_t wall_micros = 0;
   {
     mutex_.Unlock();
     const uint64_t start_micros = env_->NowMicros();
-    status = executor->Execute(job, &outputs, &exec_stats);
-    if (!status.ok() && executor != owned_cpu_executor_.get() &&
-        !shutting_down_.load(std::memory_order_acquire)) {
-      // The device path failed even after its own retries (card dropped,
-      // deadline exhausted, persistent corruption). A device fault must
-      // never fail a compaction software could do: scrub the partial
-      // outputs and rerun the whole job on the CPU executor.
-      std::vector<uint64_t> abandoned;
-      {
-        MutexLock lock(&mutex_);
-        abandoned.swap(allocated_numbers);
-        for (uint64_t number : abandoned) {
-          pending_outputs_.erase(number);
-        }
-      }
-      for (uint64_t number : abandoned) {
-        env_->RemoveFile(TableFileName(dbname_, number));  // Best effort.
-      }
-      outputs.clear();
-      trace_.RecordInstant("cpu_fallback", "db", obs::TraceNowMicros(),
-                           job.trace_tid,
-                           {{"reason",
-                             obs::TraceRecorder::Quote(status.ToString())}});
-
-      // Keep the failed attempt's fault accounting visible in the DB
-      // totals, but take timing/volume from the run that succeeded.
-      const CompactionExecStats device_stats = exec_stats;
-      exec_stats = CompactionExecStats();
-      status = owned_cpu_executor_->Execute(job, &outputs, &exec_stats);
-      exec_stats.device_attempts += device_stats.device_attempts;
-      exec_stats.device_retries += device_stats.device_retries;
-      exec_stats.device_faults += device_stats.device_faults;
-      exec_stats.verify_failures += device_stats.verify_failures;
-      exec_stats.verify_micros += device_stats.verify_micros;
-      fell_back = true;
+    for (int i = 1; i < nshards; i++) {
+      env_->StartThread(&DBImpl::ShardThreadMain, shards[i].get());
     }
-    if (exec_stats.micros == 0) {
-      exec_stats.micros = env_->NowMicros() - start_micros;
+    RunCompactionShard(shards[0].get());
+    if (nshards > 1) {
+      MutexLock join(&latch.mu);
+      while (latch.remaining > 0) {
+        latch.cv.Wait();
+      }
     }
+    wall_micros = env_->NowMicros() - start_micros;
     mutex_.Lock();
+  }
+
+  // Aggregate shard results. Shards cover ascending disjoint key ranges
+  // so concatenating their outputs in shard order keeps level+1 sorted.
+  Status status;
+  std::vector<CompactionOutput> outputs;
+  CompactionExecStats exec_stats;
+  bool fell_back = false;
+  std::vector<uint64_t> allocated_numbers;
+  for (const std::unique_ptr<CompactionShard>& shard : shards) {
+    if (status.ok() && !shard->status.ok()) {
+      status = shard->status;
+    }
+    outputs.insert(outputs.end(), shard->outputs.begin(),
+                   shard->outputs.end());
+    exec_stats.Add(shard->stats);
+    exec_stats.offloaded = exec_stats.offloaded || shard->stats.offloaded;
+    fell_back = fell_back || shard->fell_back;
+    allocated_numbers.insert(allocated_numbers.end(), shard->allocated.begin(),
+                             shard->allocated.end());
+  }
+  if (nshards > 1) {
+    // Shards overlap in time; charge wall clock, not the per-shard sum.
+    exec_stats.micros = static_cast<double>(wall_micros);
   }
 
   if (exec_stats.offloaded) {
@@ -857,7 +1145,8 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     status = Status::IOError("Deleting DB during compaction");
   }
   if (status.ok()) {
-    obs::SpanTimer install_span(&trace_, "install", "db", job.trace_tid);
+    obs::SpanTimer install_span(&trace_, "install", "db",
+                                shards[0]->job.trace_tid);
     status = InstallCompactionResults(c, outputs);
     install_span.AddArg("outputs", std::to_string(outputs.size()));
   }
@@ -894,7 +1183,7 @@ Status DBImpl::InstallCompactionResults(
     c->edit()->AddFile(level + 1, out.number, out.file_size, out.smallest,
                        out.largest);
   }
-  return versions_->LogAndApply(c->edit(), &mutex_);
+  return LogAndApplyLocked(c->edit());
 }
 
 void DBImpl::CleanupCompaction(CompactionState* compact) {
@@ -1353,6 +1642,11 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       value->append(" ");
       value->append(health);
     }
+    return true;
+  } else if (in == Slice("scheduler")) {
+    // One line of parallel-compaction state: worker occupancy, claimed
+    // level pairs, flush lane, and lifetime job counters (DESIGN.md §8).
+    *value = scheduler_->DebugString();
     return true;
   } else if (in == Slice("sstables")) {
     *value = versions_->current()->DebugString();

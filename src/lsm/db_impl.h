@@ -8,6 +8,7 @@
 #include <string>
 
 #include "lsm/compaction_executor.h"
+#include "lsm/compaction_scheduler.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
 #include "lsm/log_writer.h"
@@ -104,7 +105,16 @@ class DBImpl : public DB {
                         bool* save_manifest, VersionEdit* edit,
                         SequenceNumber* max_sequence) REQUIRES(mutex_);
 
-  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base)
+  /// Builds an SSTable from `mem` and records it in *edit. When
+  /// `pending_file`/`reserved_level` are non-null (the live flush path)
+  /// the new file number stays in pending_outputs_ and the target level
+  /// stays reserved in the scheduler until the caller installs the edit
+  /// and clears both — otherwise a concurrent worker could delete the
+  /// not-yet-live table or install an overlapping file into the level.
+  /// Null pointers (recovery path, no background threads) restore the
+  /// classic immediate-release behaviour.
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base,
+                          uint64_t* pending_file, int* reserved_level)
       REQUIRES(mutex_);
 
   Status MakeRoomForWrite(bool force /* compact even if there is room? */)
@@ -114,14 +124,38 @@ class DBImpl : public DB {
   void RecordBackgroundError(const Status& s) REQUIRES(mutex_);
 
   void MaybeScheduleCompaction() REQUIRES(mutex_);
-  static void BGWork(void* db);
-  void BackgroundCall();
+  static void BGFlushWork(void* db);
+  static void BGCompactionWork(void* db);
+  void BackgroundFlushCall();
+  void BackgroundCompactionCall();
   void BackgroundCompaction() REQUIRES(mutex_);
   void CleanupCompaction(CompactionState* compact) REQUIRES(mutex_);
 
+  /// True iff a newly dispatched worker could claim a compaction now
+  /// (manual or picker) given the levels current jobs occupy.
+  bool HasClaimableCompaction() REQUIRES(mutex_);
+
+  /// Serialized VersionSet::LogAndApply: brackets the call with the
+  /// scheduler's manifest lock so concurrent jobs cannot interleave
+  /// MANIFEST records while the mutex is dropped for the file write.
+  Status LogAndApplyLocked(VersionEdit* edit) REQUIRES(mutex_);
+
   /// Runs one table-merging compaction through the configured executor
-  /// (device if eligible, CPU fallback otherwise) and installs results.
+  /// (device if eligible, CPU fallback otherwise), sharding large
+  /// L0->L1 jobs into key-disjoint sub-compactions when enabled, and
+  /// installs all results atomically in one version edit.
   Status DoCompactionWork(Compaction* c) REQUIRES(mutex_);
+
+  struct CompactionShard;
+
+  /// Thread trampoline for parallel shards: runs one shard and signals
+  /// the driving job's latch.
+  static void ShardThreadMain(void* arg);
+
+  /// Executes one shard without the mutex: runs its executor, and on a
+  /// device failure scrubs the shard's partial outputs and reruns it on
+  /// the CPU executor.
+  void RunCompactionShard(CompactionShard* shard) EXCLUDES(mutex_);
 
   Status InstallCompactionResults(Compaction* c,
                                   const std::vector<CompactionOutput>& outputs)
@@ -190,13 +224,17 @@ class DBImpl : public DB {
   // of ongoing compactions.
   std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
 
-  // Has a background compaction been scheduled or is running?
-  bool background_compaction_scheduled_ GUARDED_BY(mutex_);
+  // Parallel background-work bookkeeping: flush lane, worker slots,
+  // busy-level claims, manifest serialization (DESIGN.md §8). The
+  // scheduler itself follows the VersionSet discipline: every call is
+  // made with mutex_ held.
+  std::unique_ptr<CompactionScheduler> scheduler_ GUARDED_BY(mutex_);
 
   // Information for a manual compaction.
   struct ManualCompaction {
     int level;
     bool done;
+    bool in_progress;          // A worker has claimed this pass.
     const InternalKey* begin;  // null means beginning of key range
     const InternalKey* end;    // null means end of key range
     InternalKey tmp_storage;   // Used to keep track of compaction progress

@@ -982,6 +982,7 @@ void VersionSet::Finalize(Version* v) {
       score = static_cast<double>(level_bytes) / MaxBytesForLevel(level);
     }
 
+    v->level_scores_[level] = score;
     if (score > best_score) {
       best_level = level;
       best_score = score;
@@ -1170,16 +1171,55 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   return result;
 }
 
-Compaction* VersionSet::PickCompaction() {
+int VersionSet::CountClaimableCompactions(uint32_t busy_levels) const {
+  // Greedy by descending score, claiming each level pair as taken, so
+  // the count matches what successive PickCompaction(mask) calls from
+  // newly dispatched workers would actually claim.
+  uint32_t mask = busy_levels;
+  int jobs = 0;
+  while (true) {
+    int best = -1;
+    double best_score = -1;
+    for (int l = 0; l < kNumLevels - 1; l++) {
+      if ((mask & (3u << l)) != 0) continue;
+      if (current_->level_scores_[l] > best_score) {
+        best = l;
+        best_score = current_->level_scores_[l];
+      }
+    }
+    if (best < 0 || best_score < 1) break;
+    jobs++;
+    mask |= (3u << best);
+  }
+  if (current_->file_to_compact_ != nullptr &&
+      (mask & (3u << current_->file_to_compact_level_)) == 0) {
+    jobs++;
+  }
+  return jobs;
+}
+
+Compaction* VersionSet::PickCompaction(uint32_t busy_levels) {
   Compaction* c;
   int level;
 
   // We prefer compactions triggered by too much data in a level over
-  // the compactions triggered by seeks.
-  const bool size_compaction = (current_->compaction_score_ >= 1);
-  const bool seek_compaction = (current_->file_to_compact_ != nullptr);
+  // the compactions triggered by seeks. Among size-triggered levels,
+  // take the highest-scoring one whose pair {L, L+1} is free.
+  int best_level = -1;
+  double best_score = -1;
+  for (int l = 0; l < kNumLevels - 1; l++) {
+    if ((busy_levels & (3u << l)) != 0) continue;
+    if (current_->level_scores_[l] > best_score) {
+      best_level = l;
+      best_score = current_->level_scores_[l];
+    }
+  }
+  const bool size_compaction = (best_score >= 1);
+  const bool seek_compaction =
+      (current_->file_to_compact_ != nullptr &&
+       (busy_levels & (3u << current_->file_to_compact_level_)) == 0);
   if (size_compaction) {
-    level = current_->compaction_level_;
+    level = best_level;
     assert(level >= 0);
     assert(level + 1 < kNumLevels);
     c = new Compaction(options_, level);

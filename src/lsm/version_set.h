@@ -115,7 +115,11 @@ class Version {
         file_to_compact_(nullptr),
         file_to_compact_level_(-1),
         compaction_score_(-1),
-        compaction_level_(-1) {}
+        compaction_level_(-1) {
+    for (int i = 0; i < kNumLevels; i++) {
+      level_scores_[i] = -1;
+    }
+  }
 
   Version(const Version&) = delete;
   Version& operator=(const Version&) = delete;
@@ -145,6 +149,11 @@ class Version {
   // (>= 1 means a compaction is needed). Computed by Finalize().
   double compaction_score_;
   int compaction_level_;
+
+  // Per-level compaction scores (same formula as compaction_score_),
+  // also computed by Finalize(). Lets the parallel scheduler pick a
+  // second-best level when the best one is already being compacted.
+  double level_scores_[kNumLevels];
 };
 
 /// VersionSet is not internally synchronized: every mutating or
@@ -202,7 +211,18 @@ class VersionSet {
 
   /// Picks the level and inputs for a new compaction; nullptr if none
   /// needed. Caller owns the result.
-  Compaction* PickCompaction();
+  Compaction* PickCompaction() { return PickCompaction(0); }
+
+  /// Like PickCompaction() but skips any candidate level L for which
+  /// bit L or bit L+1 of `busy_levels` is set (a compaction at L
+  /// occupies levels L and L+1). Used by the parallel scheduler to run
+  /// compactions on disjoint level pairs concurrently.
+  Compaction* PickCompaction(uint32_t busy_levels);
+
+  /// Counts how many disjoint compactions successive
+  /// PickCompaction(mask) calls could claim right now, starting from
+  /// `busy_levels`. The scheduler uses this to size its worker dispatch.
+  int CountClaimableCompactions(uint32_t busy_levels) const;
 
   /// Returns a compaction covering the range [begin, end] in the
   /// specified level, or nullptr.
@@ -216,9 +236,21 @@ class VersionSet {
   Iterator* MakeInputIterator(Compaction* c);
 
   /// Returns true iff some level needs a compaction.
-  bool NeedsCompaction() const {
+  bool NeedsCompaction() const { return NeedsCompaction(0); }
+
+  /// Returns true iff some level whose pair {L, L+1} is disjoint from
+  /// `busy_levels` needs a compaction.
+  bool NeedsCompaction(uint32_t busy_levels) const {
     Version* v = current_;
-    return (v->compaction_score_ >= 1) || (v->file_to_compact_ != nullptr);
+    for (int level = 0; level < kNumLevels - 1; level++) {
+      if ((busy_levels & (3u << level)) != 0) continue;
+      if (v->level_scores_[level] >= 1) return true;
+    }
+    if (v->file_to_compact_ != nullptr &&
+        (busy_levels & (3u << v->file_to_compact_level_)) == 0) {
+      return true;
+    }
+    return false;
   }
 
   /// Adds all live file numbers to *live.

@@ -51,11 +51,12 @@ double LsmState::MaxBytesForLevel(int level) const {
   return result;
 }
 
-bool LsmState::PickCompaction(CompactionWork* work,
-                              int max_l0_files) const {
+bool LsmState::PickCompaction(CompactionWork* work, int max_l0_files,
+                              uint32_t busy_levels) const {
   int best_level = -1;
   double best_score = 0;
   for (int level = 0; level < kSimLevels - 1; level++) {
+    if ((busy_levels & (3u << level)) != 0) continue;
     double score;
     if (level == 0) {
       score = static_cast<double>(l0_files_) / kL0Trigger;

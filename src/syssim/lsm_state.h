@@ -55,8 +55,11 @@ class LsmState {
   /// `max_l0_files` > 0 caps how many level-0 files one job consumes
   /// (the oldest ones — newer files shadow them, so the subset is
   /// correct); the paper's FPGA-optimized scheduler uses N-1 so level-0
-  /// jobs fit the device.
-  bool PickCompaction(CompactionWork* work, int max_l0_files = 0) const;
+  /// jobs fit the device. `busy_levels` excludes levels claimed by
+  /// in-flight compactions: a job at L occupies bits {L, L+1}, matching
+  /// the storage engine's CompactionScheduler mask.
+  bool PickCompaction(CompactionWork* work, int max_l0_files = 0,
+                      uint32_t busy_levels = 0) const;
 
   /// Applies the state change of a completed compaction.
   void ApplyCompaction(const CompactionWork& work);

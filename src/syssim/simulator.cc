@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -22,7 +24,11 @@ constexpr int kL0Stop = 12;
 /// The event machinery: one client thread, one background CPU thread
 /// (flush has priority and preempts a software merge, as LevelDB's
 /// DoCompactionWork does between keys), and the device pipeline
-/// host-read -> DMA/kernel/DMA -> host-write.
+/// host-read -> DMA/kernel/DMA -> host-write. With
+/// SimConfig::compaction_threads > 1, up to that many compactions are
+/// in flight on disjoint level pairs; host-side stages still share the
+/// one background core (earliest job first) and kernels queue FIFO on
+/// the one card, mirroring the storage engine's scheduler.
 struct Simulator::Engine {
   explicit Engine(const SimConfig& config)
       : cfg(config),
@@ -46,29 +52,37 @@ struct Simulator::Engine {
 
   // Background CPU work (seconds of remaining single-core time).
   double flush_rem = 0;
-  double host_read_rem = 0;   // Offload: staging reads from disk.
-  double host_write_rem = 0;  // Offload: writing outputs to disk.
-  double sw_rem = 0;          // Software compaction (read+merge+write).
 
-  // Device state.
-  double device_rem = 0;
-
-  // In-flight compaction.
-  bool compaction_in_flight = false;
-  bool compaction_offloaded = false;
-  bool fallback_pending = false;  // Device attempts exhausted: SW rerun.
-  int offload_passes = 1;  // Tournament passes for >N-input jobs.
-  CompactionWork active_work;
+  /// One in-flight compaction job. At most one of the stage remainders
+  /// is nonzero at a time; the job walks host_read -> device ->
+  /// host_write (offload) or just sw (software merge).
+  struct Job {
+    CompactionWork work;
+    bool offloaded = false;
+    bool fallback_pending = false;  // Device attempts exhausted: SW rerun.
+    int passes = 1;             // Tournament passes for >N-input jobs.
+    double host_read_rem = 0;   // Offload: staging reads from disk.
+    double host_write_rem = 0;  // Offload: writing outputs to disk.
+    double sw_rem = 0;          // Software compaction (read+merge+write).
+    double device_rem = 0;      // Running on the card right now.
+    double device_need = 0;     // Card time computed at staging end.
+    bool device_queued = false;  // Staged, waiting for its card turn.
+    double queue_since = 0;
+    // Observability bookkeeping: span starts in simulated seconds.
+    double compaction_start = 0;
+    double stage_start = 0;
+    uint64_t tid = 0;  // Track 0 carries flushes.
+  };
+  // In-flight jobs, arrival order. unique_ptr keeps Job addresses
+  // stable across vector growth/erase (handlers hold raw pointers).
+  std::vector<std::unique_ptr<Job>> jobs;
+  Job* device_job = nullptr;   // The job whose kernel owns the card.
+  uint32_t busy_levels = 0;    // Level-pair claims, (3u << level) bits.
 
   // Fault-tolerant offload model (see SimConfig::device_fault_rate).
   Random fault_rng{cfg.fault_seed == 0 ? 1 : cfg.fault_seed};
 
-  // Observability bookkeeping: span start times in simulated seconds.
-  // Track 0 carries flushes; each compaction gets its own track.
   double flush_start = 0;
-  double compaction_start = 0;
-  double stage_start = 0;
-  uint64_t compaction_tid = 0;
 
   uint64_t SimMicros(double seconds) const {
     return static_cast<uint64_t>(seconds * 1e6);
@@ -89,17 +103,52 @@ struct Simulator::Engine {
   // ---- Derived helpers ----
 
   bool CpuBusy() const {
-    return flush_rem > kEps || host_read_rem > kEps ||
-           host_write_rem > kEps || sw_rem > kEps;
+    if (flush_rem > kEps) return true;
+    for (const auto& j : jobs) {
+      if (j->host_read_rem > kEps || j->host_write_rem > kEps ||
+          j->sw_rem > kEps) {
+        return true;
+      }
+    }
+    return false;
   }
 
-  /// Which background bucket the CPU is currently burning.
-  double* CpuTask() {
-    if (flush_rem > kEps) return &flush_rem;
-    if (host_write_rem > kEps) return &host_write_rem;
-    if (host_read_rem > kEps) return &host_read_rem;
-    if (sw_rem > kEps) return &sw_rem;
-    return nullptr;
+  bool DeviceBusy() const {
+    return device_job != nullptr && device_job->device_rem > kEps;
+  }
+
+  /// Which background bucket the CPU is currently burning, plus the job
+  /// it belongs to (null for the flush bucket).
+  struct CpuTaskRef {
+    double* rem = nullptr;
+    Job* job = nullptr;
+    enum Kind { kFlush, kHostWrite, kHostRead, kSw } kind = kFlush;
+  };
+
+  /// Flush first (it gates the client), then in-flight jobs in arrival
+  /// order with the same write > read > merge priority the single-job
+  /// model used.
+  CpuTaskRef CpuTask() {
+    CpuTaskRef ref;
+    if (flush_rem > kEps) {
+      ref.rem = &flush_rem;
+      return ref;
+    }
+    for (auto& j : jobs) {
+      if (j->host_write_rem > kEps) {
+        ref = {&j->host_write_rem, j.get(), CpuTaskRef::kHostWrite};
+        return ref;
+      }
+      if (j->host_read_rem > kEps) {
+        ref = {&j->host_read_rem, j.get(), CpuTaskRef::kHostRead};
+        return ref;
+      }
+      if (j->sw_rem > kEps) {
+        ref = {&j->sw_rem, j.get(), CpuTaskRef::kSw};
+        return ref;
+      }
+    }
+    return ref;
   }
 
   /// Core share of the client / background thread under the mode's core
@@ -153,32 +202,40 @@ struct Simulator::Engine {
   }
 
   void MaybeScheduleCompaction() {
-    if (compaction_in_flight) return;
-    CompactionWork work;
-    // Under the strict Fig. 6 policy the scheduler sizes level-0 jobs
-    // to the device (oldest N-1 files), as the paper's "eight SSTables
-    // on Level 0 and Level 1 ... which means N = 9" implies.
-    int max_l0 = 0;
-    if (cfg.mode == ExecMode::kLevelDbFcae && !cfg.multipass_offload &&
-        cfg.engine.num_inputs > 2) {
-      max_l0 = cfg.engine.num_inputs - 1;
+    const int max_jobs = std::max(1, cfg.compaction_threads);
+    while (static_cast<int>(jobs.size()) < max_jobs) {
+      CompactionWork work;
+      // Under the strict Fig. 6 policy the scheduler sizes level-0 jobs
+      // to the device (oldest N-1 files), as the paper's "eight SSTables
+      // on Level 0 and Level 1 ... which means N = 9" implies.
+      int max_l0 = 0;
+      if (cfg.mode == ExecMode::kLevelDbFcae && !cfg.multipass_offload &&
+          cfg.engine.num_inputs > 2) {
+        max_l0 = cfg.engine.num_inputs - 1;
+      }
+      if (!lsm.PickCompaction(&work, max_l0, busy_levels)) return;
+      StartCompaction(work);
     }
-    if (!lsm.PickCompaction(&work, max_l0)) return;
+  }
 
-    compaction_in_flight = true;
-    active_work = work;
+  void StartCompaction(const CompactionWork& work) {
+    auto owned = std::make_unique<Job>();
+    Job* job = owned.get();
+    jobs.push_back(std::move(owned));
+    job->work = work;
+    busy_levels |= (3u << work.level);
     result.compactions++;
     result.bytes_compacted_in += work.input_bytes;
     result.bytes_compacted_out += work.output_bytes;
-    compaction_start = now;
-    stage_start = now;
-    compaction_tid = result.compactions;  // Track 0 is the flush track.
+    job->compaction_start = now;
+    job->stage_start = now;
+    job->tid = result.compactions;  // Track 0 is the flush track.
     Count("syssim.compactions");
 
     bool offloadable = cfg.mode == ExecMode::kLevelDbFcae &&
                        work.device_inputs >= 1 &&
                        work.device_inputs <= cfg.engine.num_inputs;
-    offload_passes = 1;
+    job->passes = 1;
     if (!offloadable && cfg.mode == ExecMode::kLevelDbFcae &&
         cfg.multipass_offload && work.device_inputs >= 1) {
       // Tournament scheduling: merge N runs at a time on the card until
@@ -187,37 +244,38 @@ struct Simulator::Engine {
       int runs = work.device_inputs;
       const int n = std::max(2, cfg.engine.num_inputs);
       while (runs > n) {
-        offload_passes++;
+        job->passes++;
         runs = (runs + n - 1) / n;
       }
     }
-    compaction_offloaded = offloadable;
+    job->offloaded = offloadable;
     if (offloadable) {
       result.compactions_offloaded++;
       if (cfg.near_storage) {
         // Near-storage: no host staging; the kernel starts immediately
         // on the drive's internal channels.
-        host_read_rem = 0;
-        OnHostReadDone();
+        job->host_read_rem = 0;
+        OnHostReadDone(job);
       } else {
-        host_read_rem = work.input_bytes / (cfg.cost.DiskReadMBps() * kMB);
+        job->host_read_rem =
+            work.input_bytes / (cfg.cost.DiskReadMBps() * kMB);
       }
     } else {
       result.compactions_sw++;
       const double cpu_speed = cfg.cost.CpuCompactionMBps(
           work.device_inputs, cfg.key_length, cfg.value_length);
-      sw_rem = work.input_bytes / (cfg.cost.DiskReadMBps() * kMB) +
-               work.input_bytes / (cpu_speed * kMB) +
-               work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
-      result.cpu_compaction_seconds += sw_rem;
+      job->sw_rem = work.input_bytes / (cfg.cost.DiskReadMBps() * kMB) +
+                    work.input_bytes / (cpu_speed * kMB) +
+                    work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
+      result.cpu_compaction_seconds += job->sw_rem;
     }
   }
 
-  void OnHostReadDone() {
+  void OnHostReadDone(Job* job) {
     if (!cfg.near_storage) {
-      Span("input_build", stage_start, compaction_tid);
+      Span("input_build", job->stage_start, job->tid);
     }
-    stage_start = now;
+    job->stage_start = now;
     // DMA in, kernel, DMA out all happen on the card side. Near-storage
     // mode reads/writes the drive's internal channels instead of the
     // PCIe link (modeled at the same internal bandwidth the channels
@@ -226,18 +284,18 @@ struct Simulator::Engine {
     const double pcie =
         cfg.near_storage
             ? 0.0
-            : (active_work.input_bytes + active_work.output_bytes) /
+            : (job->work.input_bytes + job->work.output_bytes) /
                   (cfg.cost.PcieMBps() * kMB);
     const double kernel_speed = cfg.cost.FpgaCompactionMBps(
         cfg.engine, cfg.key_length, cfg.value_length);
     double kernel =
-        offload_passes * active_work.input_bytes / (kernel_speed * kMB);
+        job->passes * job->work.input_bytes / (kernel_speed * kMB);
     if (cfg.near_storage) {
       // Internal channel transfers serialize with the kernel.
-      kernel += (active_work.input_bytes + active_work.output_bytes) /
+      kernel += (job->work.input_bytes + job->work.output_bytes) /
                 (3.0 * cfg.cost.DiskReadMBps() * kMB);
     }
-    device_rem =
+    job->device_need =
         pcie + kernel + cfg.cost.KernelInvokeMicros() * 1e-6;
     result.pcie_seconds += pcie;
     result.device_seconds += kernel;
@@ -260,15 +318,15 @@ struct Simulator::Engine {
              attempt++) {
           backoff += cfg.cost.RetryBackoffMicros(attempt) * 1e-6;
         }
-        device_rem += waste + backoff;
+        job->device_need += waste + backoff;
         result.device_seconds += waste;
         result.fault_wasted_device_seconds += waste;
         result.fault_backoff_seconds += backoff;
         if (failed >= limit) {
           // All attempts burned: the software path takes over after the
           // wasted device time elapses (see OnDeviceDone).
-          fallback_pending = true;
-          device_rem -= kernel + pcie;  // The good run never happened.
+          job->fallback_pending = true;
+          job->device_need -= kernel + pcie;  // The good run never happened.
           result.device_seconds -= kernel;
           result.pcie_seconds -= pcie;
         } else {
@@ -276,63 +334,102 @@ struct Simulator::Engine {
           Count("syssim.compactions_retried");
           if (cfg.trace != nullptr) {
             cfg.trace->RecordInstant("retry", "syssim", SimMicros(now),
-                                     compaction_tid,
+                                     job->tid,
                                      {{"failed_attempts",
                                        std::to_string(failed)}});
           }
         }
       }
     }
+
+    // One kernel at a time on the card: start now if it is free, else
+    // line up FIFO behind the in-flight jobs (the host executor's
+    // ticket queue).
+    if (device_job == nullptr) {
+      StartDeviceRun(job);
+    } else {
+      job->device_queued = true;
+      job->queue_since = now;
+      Count("syssim.device_queue_waits");
+    }
   }
 
-  void OnDeviceDone() {
-    Span("device_run", stage_start, compaction_tid);
-    stage_start = now;
-    if (fallback_pending) {
+  void StartDeviceRun(Job* job) {
+    assert(device_job == nullptr);
+    device_job = job;
+    job->device_rem = job->device_need;
+    if (job->device_queued) {
+      job->device_queued = false;
+      result.device_queue_seconds += now - job->queue_since;
+      job->stage_start = now;  // The queue wait is not device time.
+    }
+  }
+
+  void OnDeviceDone(Job* job) {
+    assert(device_job == job);
+    device_job = nullptr;
+    Span("device_run", job->stage_start, job->tid);
+    job->stage_start = now;
+
+    // Hand the card to the next staged job, FIFO by arrival.
+    for (auto& j : jobs) {
+      if (j->device_queued) {
+        StartDeviceRun(j.get());
+        break;
+      }
+    }
+
+    if (job->fallback_pending) {
       // Device attempts exhausted: rerun completely in software, like
       // DBImpl's CPU fallback. Inputs are re-read from disk (the real
       // fallback re-drives the input iterators too).
-      fallback_pending = false;
-      compaction_offloaded = false;
+      job->fallback_pending = false;
+      job->offloaded = false;
       result.compactions_offloaded--;
       result.compactions_sw++;
       result.compactions_fallback++;
       Count("syssim.compactions_fallback");
       if (cfg.trace != nullptr) {
         cfg.trace->RecordInstant("cpu_fallback", "syssim", SimMicros(now),
-                                 compaction_tid);
+                                 job->tid);
       }
       const double cpu_speed = cfg.cost.CpuCompactionMBps(
-          active_work.device_inputs, cfg.key_length, cfg.value_length);
-      sw_rem =
-          active_work.input_bytes / (cfg.cost.DiskReadMBps() * kMB) +
-          active_work.input_bytes / (cpu_speed * kMB) +
-          active_work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
-      result.cpu_compaction_seconds += sw_rem;
+          job->work.device_inputs, cfg.key_length, cfg.value_length);
+      job->sw_rem =
+          job->work.input_bytes / (cfg.cost.DiskReadMBps() * kMB) +
+          job->work.input_bytes / (cpu_speed * kMB) +
+          job->work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
+      result.cpu_compaction_seconds += job->sw_rem;
       return;
     }
-    host_write_rem =
+    job->host_write_rem =
         cfg.near_storage
             ? 0.0
-            : active_work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
+            : job->work.output_bytes / (cfg.cost.DiskWriteMBps() * kMB);
     if (cfg.near_storage) {
-      OnCompactionInstalled();
+      OnCompactionInstalled(job);
     }
   }
 
-  void OnCompactionInstalled() {
+  void OnCompactionInstalled(Job* job) {
     // The tail stage: host writeback for an offload, the whole software
     // merge otherwise (near-storage offloads have no host tail).
-    if (compaction_offloaded) {
-      if (!cfg.near_storage) Span("assemble", stage_start, compaction_tid);
+    if (job->offloaded) {
+      if (!cfg.near_storage) Span("assemble", job->stage_start, job->tid);
       Count("syssim.compactions_offloaded");
     } else {
-      Span("merge", stage_start, compaction_tid);
+      Span("merge", job->stage_start, job->tid);
       Count("syssim.compactions_sw");
     }
-    Span("compaction", compaction_start, compaction_tid);
-    lsm.ApplyCompaction(active_work);
-    compaction_in_flight = false;
+    Span("compaction", job->compaction_start, job->tid);
+    lsm.ApplyCompaction(job->work);
+    busy_levels &= ~(3u << job->work.level);
+    for (size_t i = 0; i < jobs.size(); i++) {
+      if (jobs[i].get() == job) {
+        jobs.erase(jobs.begin() + i);
+        break;
+      }
+    }
     MaybeScheduleCompaction();
   }
 
@@ -356,13 +453,15 @@ struct Simulator::Engine {
       step = std::min(step, to_fill);
     }
     // Clip at the active CPU task boundary.
-    double* task = CpuTask();
-    if (task != nullptr) {
-      step = std::min(step, *task / cpu_share);
+    CpuTaskRef task = CpuTask();
+    if (task.rem != nullptr) {
+      step = std::min(step, *task.rem / cpu_share);
     }
-    // Clip at device completion.
-    if (device_rem > kEps) {
-      step = std::min(step, device_rem);
+    // Clip at device completion. Only a run active at the start of the
+    // step advances (a kernel a handler starts below begins next step).
+    Job* dev = DeviceBusy() ? device_job : nullptr;
+    if (dev != nullptr) {
+      step = std::min(step, dev->device_rem);
     }
     if (step < 0) step = 0;
 
@@ -378,26 +477,29 @@ struct Simulator::Engine {
     } else if (client_ingesting) {
       result.stall_seconds += step;
     }
-    if (task != nullptr) {
-      *task -= cpu_share * step;
-      if (*task < kEps) {
-        *task = 0;
-        if (task == &flush_rem) {
-          OnFlushDone();
-        } else if (task == &host_read_rem) {
-          OnHostReadDone();
-        } else if (task == &host_write_rem) {
-          OnCompactionInstalled();
-        } else {  // sw_rem
-          OnCompactionInstalled();
+    if (task.rem != nullptr) {
+      *task.rem -= cpu_share * step;
+      if (*task.rem < kEps) {
+        *task.rem = 0;
+        switch (task.kind) {
+          case CpuTaskRef::kFlush:
+            OnFlushDone();
+            break;
+          case CpuTaskRef::kHostRead:
+            OnHostReadDone(task.job);
+            break;
+          case CpuTaskRef::kHostWrite:
+          case CpuTaskRef::kSw:
+            OnCompactionInstalled(task.job);  // Frees task.job.
+            break;
         }
       }
     }
-    if (device_rem > kEps) {
-      device_rem -= step;
-      if (device_rem < kEps) {
-        device_rem = 0;
-        OnDeviceDone();
+    if (dev != nullptr) {
+      dev->device_rem -= step;
+      if (dev->device_rem < kEps) {
+        dev->device_rem = 0;
+        OnDeviceDone(dev);
       }
     }
     if (client_running) {
@@ -433,7 +535,7 @@ struct Simulator::Engine {
     int guard = 0;
     while (ingesting && ClientRate() <= 0) {
       MaybeScheduleCompaction();
-      if (!CpuBusy() && device_rem <= kEps) {
+      if (!CpuBusy() && !DeviceBusy()) {
         return false;  // Deadlock: nothing will unblock the client.
       }
       Step(1e9, /*client_ingesting=*/true, nullptr);

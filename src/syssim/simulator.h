@@ -75,6 +75,13 @@ struct SimConfig {
   int device_retry_limit = 3;
   uint32_t fault_seed = 1;
 
+  /// Background compaction workers (mirrors Options::compaction_threads):
+  /// up to this many compactions in flight at once, on disjoint level
+  /// pairs. The single background core still runs host-side stages one
+  /// at a time and kernels queue FIFO on the one card — the win is
+  /// overlap: one job's kernel runs while another stages or writes back.
+  int compaction_threads = 1;
+
   /// Optional observability (obs/): when set, the simulator emits
   /// flush/compaction spans in *simulated* time (ts/dur are simulated
   /// microseconds, not wall time) and event counters (`syssim.*`).
@@ -104,6 +111,7 @@ struct SimResult {
   uint64_t compactions_fallback = 0;  // Offloads rerun in software.
   double fault_backoff_seconds = 0;   // Host retry backoff time.
   double fault_wasted_device_seconds = 0;  // Kernel time of failed tries.
+  double device_queue_seconds = 0;    // Staged jobs waiting for the card.
   double bytes_compacted_in = 0;
   double bytes_compacted_out = 0;
   double user_bytes = 0;

@@ -71,6 +71,21 @@ class Env {
   /// made by the same thread run in FIFO order.
   virtual void Schedule(void (*function)(void* arg), void* arg) = 0;
 
+  /// Arranges to run (*function)(arg) once on a named worker pool with
+  /// at most `max_threads` threads. Pools are created lazily on first
+  /// use and keyed by `pool` (e.g. "fcae-flush", "fcae-compact"); the
+  /// pool grows to the largest `max_threads` any caller has requested.
+  /// Work submitted to one pool runs FIFO across its threads.
+  /// The default implementation ignores the pool name and degrades to
+  /// Schedule() (single shared thread) so custom Envs keep working;
+  /// PosixEnv provides real named pools.
+  virtual void SchedulePool(const char* pool, int max_threads,
+                            void (*function)(void* arg), void* arg) {
+    (void)pool;
+    (void)max_threads;
+    Schedule(function, arg);
+  }
+
   /// Starts a new thread running (*function)(arg); the thread is detached.
   virtual void StartThread(void (*function)(void* arg), void* arg) = 0;
 

@@ -9,6 +9,9 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
+#include <map>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "util/env.h"
@@ -204,6 +207,68 @@ class PosixLockTable {
   std::set<std::string> locked_files_ GUARDED_BY(mutex_);
 };
 
+/// A named background worker pool: up to `max_threads` detached threads
+/// draining one FIFO queue. Threads are spawned lazily as work arrives
+/// and live for the process lifetime, like PosixEnv's classic single
+/// background thread. Pool objects are never destroyed (threads may
+/// still reference them at exit).
+class PosixThreadPool {
+ public:
+  explicit PosixThreadPool(int max_threads)
+      : cv_(&mutex_), max_threads_(max_threads < 1 ? 1 : max_threads) {}
+
+  /// Grows the worker cap to `max_threads` if larger. A pool created by
+  /// a 1-worker DB must not stay serialized forever when a later DB in
+  /// the same process asks for more parallelism.
+  void RaiseCap(int max_threads) EXCLUDES(mutex_) {
+    MutexLock guard(&mutex_);
+    if (max_threads > max_threads_) max_threads_ = max_threads;
+  }
+
+  void Submit(void (*function)(void*), void* arg) EXCLUDES(mutex_) {
+    MutexLock guard(&mutex_);
+    queue_.emplace_back(function, arg);
+    // Spawn another worker only if every live worker is already busy
+    // and we are under the cap; otherwise an idle worker picks this up.
+    if (started_threads_ < max_threads_ &&
+        idle_threads_ < static_cast<int>(queue_.size())) {
+      started_threads_++;
+      std::thread worker(&PosixThreadPool::WorkerMain, this);
+      worker.detach();
+    }
+    cv_.Signal();
+  }
+
+ private:
+  struct WorkItem {
+    WorkItem(void (*f)(void*), void* a) : function(f), arg(a) {}
+    void (*function)(void*);
+    void* arg;
+  };
+
+  void WorkerMain() {
+    while (true) {
+      mutex_.Lock();
+      idle_threads_++;
+      while (queue_.empty()) {
+        cv_.Wait();
+      }
+      idle_threads_--;
+      WorkItem item = queue_.front();
+      queue_.pop_front();
+      mutex_.Unlock();
+      item.function(item.arg);
+    }
+  }
+
+  Mutex mutex_;
+  CondVar cv_;
+  int max_threads_ GUARDED_BY(mutex_);
+  int started_threads_ GUARDED_BY(mutex_) = 0;
+  int idle_threads_ GUARDED_BY(mutex_) = 0;
+  std::deque<WorkItem> queue_ GUARDED_BY(mutex_);
+};
+
 int LockOrUnlock(int fd, bool lock) {
   errno = 0;
   struct ::flock file_lock_info;
@@ -373,6 +438,23 @@ class PosixEnv : public Env {
     background_cv_.Signal();
   }
 
+  void SchedulePool(const char* pool, int max_threads,
+                    void (*function)(void*), void* arg) override
+      EXCLUDES(pools_mutex_) {
+    PosixThreadPool* p;
+    {
+      MutexLock guard(&pools_mutex_);
+      std::unique_ptr<PosixThreadPool>& slot = pools_[pool];
+      if (slot == nullptr) {
+        slot = std::make_unique<PosixThreadPool>(max_threads);
+      } else {
+        slot->RaiseCap(max_threads);
+      }
+      p = slot.get();
+    }
+    p->Submit(function, arg);
+  }
+
   void StartThread(void (*function)(void*), void* arg) override {
     std::thread new_thread(function, arg);
     new_thread.detach();
@@ -413,6 +495,11 @@ class PosixEnv : public Env {
   std::deque<BackgroundWorkItem> background_queue_
       GUARDED_BY(background_mutex_);
   bool background_started_ GUARDED_BY(background_mutex_);
+
+  Mutex pools_mutex_;
+  std::map<std::string, std::unique_ptr<PosixThreadPool>> pools_
+      GUARDED_BY(pools_mutex_);
+
   PosixLockTable locks_;
 };
 

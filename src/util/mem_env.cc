@@ -350,6 +350,11 @@ class MemEnv : public Env {
     base_->Schedule(function, arg);
   }
 
+  void SchedulePool(const char* pool, int max_threads,
+                    void (*function)(void* arg), void* arg) override {
+    base_->SchedulePool(pool, max_threads, function, arg);
+  }
+
   void StartThread(void (*function)(void* arg), void* arg) override {
     base_->StartThread(function, arg);
   }

@@ -86,6 +86,20 @@ struct Options {
   /// not owned; must outlive the DB.
   CompactionExecutor* compaction_executor = nullptr;
 
+  /// Number of background compaction workers (DESIGN.md §8). Flushes
+  /// always get their own dedicated thread; this bounds how many
+  /// table-merging compactions on disjoint level pairs may run
+  /// concurrently. 1 reproduces the classic LevelDB single-background-
+  /// thread behaviour. Clipped to [1, 16].
+  int compaction_threads = 2;
+
+  /// Maximum key-range shards a single large L0->L1 compaction may be
+  /// split into (RocksDB-style sub-compactions). Each shard merges an
+  /// independent key range through the configured executor; all shard
+  /// outputs are installed atomically in one VersionEdit. 1 disables
+  /// sharding. Clipped to [1, 16].
+  int max_subcompactions = 1;
+
   /// Optional shared metrics registry (obs/metrics.h). When set, the DB
   /// publishes its counters/histograms here so several components (DB,
   /// executor, benchmarks) can share one snapshot; when nullptr the DB

@@ -53,6 +53,10 @@ class DbMetricsTest : public testing::Test {
     options.env = env_.get();
     options.create_if_missing = true;
     options.write_buffer_size = 64 * 1024;
+    // The golden traces assume serialized compaction: armed device
+    // faults must land on one job, in launch order. One worker keeps
+    // that deterministic.
+    options.compaction_threads = 1;
     options.compaction_executor = executor;
     options.metrics_registry = registry;
     options.trace_sink = sink;
