@@ -255,6 +255,7 @@ struct PerfRunResult {
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t compaction_bytes_written = 0;
+  uint64_t reopen_micros = 0;  // Close + recover over the final state.
 };
 
 bool RunPerfWorkload(int threads, int subcompactions, PerfRunResult* result) {
@@ -334,6 +335,19 @@ bool RunPerfWorkload(int threads, int subcompactions, PerfRunResult* result) {
   if (total_secs > 0) {
     result->compaction_mbps = compaction_bytes_moved / total_secs / (1 << 20);
   }
+
+  // Close and reopen over the state the workload built: recovery cost =
+  // MANIFEST replay + WAL redo. recovery.micros accumulates across every
+  // open on this registry, so the reopen alone is the delta.
+  const uint64_t open_micros_before =
+      registry.counter("recovery.micros")->value();
+  db.reset();
+  options.create_if_missing = false;
+  raw = nullptr;
+  if (!DB::Open(options, dbname, &raw).ok()) return false;
+  db.reset(raw);
+  result->reopen_micros =
+      registry.counter("recovery.micros")->value() - open_micros_before;
   return true;
 }
 
@@ -371,6 +385,8 @@ int RunPerfGate() {
   report.Add("work.t4.flushes", t4.flushes);
   report.Add("work.t4.compactions", t4.compactions);
   report.Add("work.t4.compaction_bytes_written", t4.compaction_bytes_written);
+  report.Add("recovery.t1.reopen_micros", t1.reopen_micros);
+  report.Add("recovery.t4.reopen_micros", t4.reopen_micros);
   if (!report.WriteFile()) return 1;
 
   std::printf("perf: t1 %.1f MB/s, t4 %.1f MB/s (ratio %.3f)\n", t1.write_mbps,

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "table/iterator.h"
+#include "util/crash_env.h"
 #include "util/env.h"
 
 namespace fcae {
@@ -386,6 +387,9 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     outputs->push_back(std::move(out));
     stats->bytes_written += file_size;
   }
+  // Assembled tables are on disk but not yet installed in any version; a
+  // crash here must leave only orphans that reopen reclaims.
+  FCAE_CRASH_POINT("offload:after_device_write");
 
   for (int which = 0; which < 2; which++) {
     for (int i = 0; i < c->num_input_files(which); i++) {

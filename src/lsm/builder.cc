@@ -5,6 +5,7 @@
 #include "lsm/table_cache.h"
 #include "lsm/version_edit.h"
 #include "table/table_builder.h"
+#include "util/crash_env.h"
 #include "util/env.h"
 
 namespace fcae {
@@ -52,6 +53,14 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
     }
     delete file;
     file = nullptr;
+
+    if (s.ok()) {
+      // The table's bytes are durable; make its directory entry durable
+      // too, so the file referenced by the upcoming version edit cannot
+      // vanish in a crash that the manifest survives.
+      s = env->SyncDir(dbname);
+    }
+    FCAE_CRASH_POINT("flush:after_build");
 
     if (s.ok()) {
       // Verify that the table is usable.

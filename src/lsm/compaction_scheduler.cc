@@ -6,6 +6,7 @@
 
 #include "lsm/version_set.h"
 #include "obs/metrics.h"
+#include "util/crash_env.h"
 #include "util/env.h"
 
 namespace fcae {
@@ -97,6 +98,9 @@ void CompactionScheduler::LockManifest() {
     wakeup_->Wait();
   }
   manifest_busy_ = true;
+  // Holding the manifest lock means a version install is imminent; a
+  // crash here must leave the previous manifest as the durable truth.
+  FCAE_CRASH_POINT("scheduler:manifest_locked");
 }
 
 void CompactionScheduler::UnlockManifest() {

@@ -79,7 +79,18 @@ class DB {
   ///   "fcae.stats"                  — compaction statistics
   ///   "fcae.sstables"               — per-level file listing
   ///   "fcae.approximate-memory-usage" — memtable memory
+  ///   "fcae.background-error"       — error state machine (ok/soft/hard)
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  /// Attempts to clear a *soft* (retryable-I/O) background error and
+  /// restart flushes/compactions: the DB proves storage healthy by
+  /// durably installing a fresh manifest, reclaims orphaned outputs,
+  /// and becomes writable again. Soft errors also auto-resume with
+  /// bounded backoff; call this to retry immediately or after the
+  /// automatic attempts are exhausted. Returns the sticky error if the
+  /// state is a hard error (e.g. corruption), which only a reopen —
+  /// and possibly a repair — can clear. Default: NotSupported.
+  virtual Status Resume();
 
   /// For each range [i], stores the approximate file-system space used
   /// in sizes[i].

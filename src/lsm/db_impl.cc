@@ -18,6 +18,7 @@
 #include "table/iterator.h"
 #include "table/merger.h"
 #include "util/coding.h"
+#include "util/crash_env.h"
 
 namespace fcae {
 
@@ -87,6 +88,10 @@ Options SanitizeOptions(const std::string& dbname,
   ClipToRange(&result.leveling_ratio, 2, 100);
   ClipToRange(&result.compaction_threads, 1, 16);
   ClipToRange(&result.max_subcompactions, 1, 16);
+  if (result.max_manifest_file_size > 0) {
+    ClipToRange(&result.max_manifest_file_size, size_t{4} << 10,
+                size_t{1} << 30);
+  }
   return result;
 }
 
@@ -134,13 +139,22 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
   scheduler_ = std::make_unique<CompactionScheduler>(
       env_, &background_work_finished_signal_, options_.compaction_threads,
       metrics_);
+  // Pre-register the error/recovery counters so every metrics snapshot
+  // (and the bench/metrics_schema.json gate) sees them even at zero.
+  for (const char* name :
+       {"db.bg_error.soft", "db.bg_error.hard",
+        "db.bg_error.retryable_ignored", "db.bg_error.resume_attempts",
+        "db.bg_error.resumes", "recovery.opens", "recovery.micros"}) {
+    metrics_->counter(name);
+  }
 }
 
 DBImpl::~DBImpl() {
-  // Wait for every dispatched flush and compaction worker to drain.
+  // Wait for every dispatched flush, compaction, and resume worker to
+  // drain.
   mutex_.Lock();
   shutting_down_.store(true, std::memory_order_release);
-  while (scheduler_->HasBackgroundWork()) {
+  while (scheduler_->HasBackgroundWork() || resume_scheduled_) {
     background_work_finished_signal_.Wait();
   }
   mutex_.Unlock();
@@ -613,12 +627,163 @@ Status DBImpl::TEST_CompactMemTable() {
   return s;
 }
 
+void DBImpl::TEST_RemoveObsoleteFiles() {
+  MutexLock l(&mutex_);
+  RemoveObsoleteFiles();
+}
+
+DBImpl::BgErrorSeverity DBImpl::ClassifyBackgroundError(const Status& s) {
+  if (s.ok()) {
+    return BgErrorSeverity::kNone;
+  }
+  // Corruption-class failures poison state no retry can repair; treat
+  // everything else (IOError and friends) as plausibly transient.
+  if (s.IsCorruption() || s.IsNotSupported() || s.IsInvalidArgument() ||
+      s.IsNotFound()) {
+    return BgErrorSeverity::kHard;
+  }
+  return BgErrorSeverity::kSoft;
+}
+
 void DBImpl::RecordBackgroundError(const Status& s) {
   // Requires mutex_ held.
-  if (bg_error_.ok()) {
+  if (s.ok()) {
+    return;
+  }
+  if (s.IsBusy() || s.IsDeviceLost()) {
+    // Transient device conditions belong to the offload path: its
+    // retry/fallback machinery owns them, and surfacing them as a
+    // sticky background error would wedge writers over a busy card.
+    metrics_->counter("db.bg_error.retryable_ignored")->Increment();
+    return;
+  }
+  const BgErrorSeverity severity = ClassifyBackgroundError(s);
+  const bool escalates = severity == BgErrorSeverity::kHard &&
+                         bg_error_severity_ != BgErrorSeverity::kHard;
+  if (bg_error_.ok() || escalates) {
     bg_error_ = s;
+    bg_error_severity_ = severity;
+    metrics_->counter(severity == BgErrorSeverity::kHard ? "db.bg_error.hard"
+                                                         : "db.bg_error.soft")
+        ->Increment();
+    trace_.RecordInstant(
+        "bg_error", "db", obs::TraceNowMicros(), 0,
+        {{"status", obs::TraceRecorder::Quote(s.ToString())},
+         {"severity", obs::TraceRecorder::Quote(
+                          severity == BgErrorSeverity::kHard ? "hard"
+                                                             : "soft")}});
     background_work_finished_signal_.SignalAll();
   }
+  if (bg_error_severity_ == BgErrorSeverity::kSoft) {
+    ScheduleAutoResume();
+  }
+}
+
+namespace {
+// Auto-resume backoff: 2 ms doubling per attempt, capped at 64 ms, for
+// at most 5 automatic attempts (DB::Resume() is never budget-limited).
+constexpr int kMaxAutoResumeAttempts = 5;
+constexpr int kResumeBackoffBaseMicros = 2000;
+constexpr int kResumeBackoffCapMicros = 64000;
+}  // namespace
+
+void DBImpl::ScheduleAutoResume() {
+  // Requires mutex_ held.
+  if (shutting_down_.load(std::memory_order_acquire) || resume_scheduled_ ||
+      resume_attempts_ >= kMaxAutoResumeAttempts) {
+    return;
+  }
+  resume_scheduled_ = true;
+  env_->SchedulePool("fcae-resume", 1, &DBImpl::BGResumeWork, this);
+}
+
+void DBImpl::BGResumeWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundResumeCall();
+}
+
+void DBImpl::BackgroundResumeCall() {
+  int attempt;
+  {
+    MutexLock l(&mutex_);
+    attempt = resume_attempts_;
+  }
+  int backoff = kResumeBackoffBaseMicros << std::min(attempt, 5);
+  backoff = std::min(backoff, kResumeBackoffCapMicros);
+  env_->SleepForMicroseconds(backoff);
+
+  MutexLock l(&mutex_);
+  resume_scheduled_ = false;
+  if (!shutting_down_.load(std::memory_order_acquire) && !bg_error_.ok() &&
+      bg_error_severity_ == BgErrorSeverity::kSoft &&
+      resume_attempts_ < kMaxAutoResumeAttempts) {
+    resume_attempts_++;
+    if (!ResumeLocked().ok()) {
+      ScheduleAutoResume();  // Try again with a longer backoff.
+    }
+  }
+  background_work_finished_signal_.SignalAll();
+}
+
+Status DBImpl::ResumeLocked() {
+  // Requires mutex_ held; only reached with a soft error set.
+  metrics_->counter("db.bg_error.resume_attempts")->Increment();
+
+  // Prove the storage healthy by durably installing a fresh manifest:
+  // the failed incarnation may have torn the old descriptor's tail.
+  versions_->ForceNewManifest();
+  VersionEdit edit;
+  Status s = LogAndApplyLocked(&edit);
+
+  // Rotate the WAL for the same reason — but only when no writer holds
+  // the front-writer role (log_/logfile_ are appended to without the
+  // mutex under that role). The retired log stays on disk until the
+  // next flush advances the version's log number, so recovery still
+  // replays it.
+  if (s.ok() && writers_.empty()) {
+    const uint64_t new_log_number = versions_->NewFileNumber();
+    WritableFile* lfile = nullptr;
+    Status log_status =
+        env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+    if (log_status.ok()) {
+      log_status = env_->SyncDir(dbname_);
+    }
+    if (log_status.ok()) {
+      delete log_;
+      delete logfile_;
+      logfile_ = lfile;
+      logfile_number_ = new_log_number;
+      log_ = new log::Writer(lfile);
+    } else {
+      delete lfile;
+      versions_->ReuseFileNumber(new_log_number);
+      s = log_status;
+    }
+  }
+
+  if (s.ok()) {
+    bg_error_ = Status::OK();
+    bg_error_severity_ = BgErrorSeverity::kNone;
+    resume_attempts_ = 0;
+    metrics_->counter("db.bg_error.resumes")->Increment();
+    trace_.RecordInstant("bg_resume", "db", obs::TraceNowMicros(), 0, {});
+    // Reclaim whatever the failed flush/compaction left behind (orphan
+    // tables, temp files, stale logs) and restart background work.
+    RemoveObsoleteFiles();
+    MaybeScheduleCompaction();
+    background_work_finished_signal_.SignalAll();
+  }
+  return s;
+}
+
+Status DBImpl::Resume() {
+  MutexLock l(&mutex_);
+  if (bg_error_.ok()) {
+    return Status::OK();
+  }
+  if (bg_error_severity_ == BgErrorSeverity::kHard) {
+    return bg_error_;
+  }
+  return ResumeLocked();
 }
 
 bool DBImpl::HasClaimableCompaction() {
@@ -651,11 +816,16 @@ void DBImpl::MaybeScheduleCompaction() {
   // disjoint level pair right now. Idle already-scheduled workers count
   // against the demand so a burst of triggers does not stampede the
   // pool. Over-estimating by one (e.g. a manual pass that ends up
-  // empty) is harmless: the worker finds nothing and exits.
+  // empty) is harmless: the worker finds nothing and exits. A manual
+  // pass whose level pair is still busy is NOT claimable yet — counting
+  // it would make every finishing worker redispatch into a futile pick
+  // for as long as the blocking job runs (the finisher's own
+  // MaybeScheduleCompaction re-counts it once the levels free up).
   int claimable =
       versions_->CountClaimableCompactions(scheduler_->busy_levels());
   if (manual_compaction_ != nullptr && !manual_compaction_->done &&
-      !manual_compaction_->in_progress) {
+      !manual_compaction_->in_progress &&
+      scheduler_->LevelsFree(manual_compaction_->level)) {
     claimable++;
   }
   while (scheduler_->CanScheduleCompaction() &&
@@ -1144,11 +1314,17 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
     status = Status::IOError("Deleting DB during compaction");
   }
+  // All shard outputs exist on disk but none are referenced by any
+  // version yet — a crash here must leave only reclaimable orphans.
+  FCAE_CRASH_POINT("shard:between_installs");
   if (status.ok()) {
     obs::SpanTimer install_span(&trace_, "install", "db",
                                 shards[0]->job.trace_tid);
     status = InstallCompactionResults(c, outputs);
     install_span.AddArg("outputs", std::to_string(outputs.size()));
+    if (status.ok()) {
+      FCAE_CRASH_POINT("compaction:after_install");
+    }
   }
   compaction_span.AddArg("offloaded", exec_stats.offloaded ? "true" : "false");
   compaction_span.AddArg("fallback", fell_back ? "true" : "false");
@@ -1375,6 +1551,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     {
       mutex_.Unlock();
       status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      FCAE_CRASH_POINT("wal:after_append");
       bool sync_error = false;
       if (status.ok() && options.sync) {
         status = logfile_->Sync();
@@ -1530,6 +1707,16 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       uint64_t new_log_number = versions_->NewFileNumber();
       WritableFile* lfile = nullptr;
       s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (s.ok()) {
+        // Commit the new log's directory entry now: synced records
+        // written to it must survive a crash that happens before the
+        // flush's version edit performs the next directory sync.
+        s = env_->SyncDir(dbname_);
+        if (!s.ok()) {
+          delete lfile;
+          lfile = nullptr;
+        }
+      }
       if (!s.ok()) {
         // Avoid chewing through file number space in a tight loop.
         versions_->ReuseFileNumber(new_log_number);
@@ -1643,6 +1830,18 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       value->append(health);
     }
     return true;
+  } else if (in == Slice("background-error")) {
+    // Error state machine in one line: state, sticky status, and how
+    // many resume attempts have been spent since the last clean state.
+    const char* state =
+        bg_error_.ok() ? "ok"
+                       : (bg_error_severity_ == BgErrorSeverity::kHard
+                              ? "hard"
+                              : "soft");
+    AppendF(value, "state=%s resume-attempts=%d status=%s", state,
+            resume_attempts_,
+            bg_error_.ok() ? "OK" : bg_error_.ToString().c_str());
+    return true;
   } else if (in == Slice("scheduler")) {
     // One line of parallel-compaction state: worker occupancy, claimed
     // level pairs, flush lane, and lifetime job counters (DESIGN.md §8).
@@ -1717,11 +1916,16 @@ int64_t DBImpl::FallbackCompactions() {
 
 DB::~DB() = default;
 
+Status DB::Resume() {
+  return Status::NotSupported("Resume not implemented by this DB");
+}
+
 Status DB::Open(const Options& options, const std::string& dbname,
                 DB** dbptr) {
   *dbptr = nullptr;
 
   DBImpl* impl = new DBImpl(options, dbname);
+  const uint64_t recover_start_micros = impl->env_->NowMicros();
   impl->mutex_.Lock();
   VersionEdit edit;
   // Recover handles create_if_missing, error_if_exists.
@@ -1733,6 +1937,12 @@ Status DB::Open(const Options& options, const std::string& dbname,
     WritableFile* lfile;
     s = options.env->NewWritableFile(LogFileName(dbname, new_log_number),
                                      &lfile);
+    if (s.ok()) {
+      // Make the log file's directory entry durable before anything is
+      // synced into it (the first LogAndApply below normally covers
+      // this, but not when no manifest write is needed).
+      s = options.env->SyncDir(dbname);
+    }
     if (s.ok()) {
       edit.SetLogNumber(new_log_number);
       impl->logfile_ = lfile;
@@ -1747,12 +1957,17 @@ Status DB::Open(const Options& options, const std::string& dbname,
     s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
   }
   if (s.ok()) {
+    // Recovery reclaims anything a crashed incarnation left behind:
+    // orphaned compaction/offload outputs, temp files, stale logs.
     impl->RemoveObsoleteFiles();
     impl->MaybeScheduleCompaction();
   }
   impl->mutex_.Unlock();
   if (s.ok()) {
     assert(impl->mem_ != nullptr);
+    impl->metrics_->counter("recovery.opens")->Increment();
+    impl->metrics_->counter("recovery.micros")
+        ->Increment(impl->env_->NowMicros() - recover_start_micros);
     *dbptr = impl;
   } else {
     delete impl;

@@ -49,6 +49,7 @@ class DBImpl : public DB {
   bool GetProperty(const Slice& property, std::string* value) override;
   void GetApproximateSizes(const Range* range, int n, uint64_t* sizes) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
+  Status Resume() override;
 
   // Extra methods (for testing and benchmarking).
 
@@ -57,6 +58,11 @@ class DBImpl : public DB {
 
   /// Forces current memtable contents to be flushed.
   Status TEST_CompactMemTable();
+
+  /// Runs one obsolete-file collection pass (crash-recovery tests use
+  /// this to check that nothing unreferenced lingers once version pins
+  /// from background work have drained).
+  void TEST_RemoveObsoleteFiles();
 
   /// Returns an internal iterator over the current state of the
   /// database.
@@ -121,7 +127,30 @@ class DBImpl : public DB {
       REQUIRES(mutex_);
   WriteBatch* BuildBatchGroup(Writer** last_writer) REQUIRES(mutex_);
 
+  // Background-error state machine (DESIGN.md §9): OK -> SoftError
+  // (retryable I/O; auto-resume with bounded backoff, or DB::Resume())
+  // -> HardError (corruption-class; sticky until reopen). A soft error
+  // may escalate to hard; never the reverse.
+  enum class BgErrorSeverity { kNone, kSoft, kHard };
+  static BgErrorSeverity ClassifyBackgroundError(const Status& s);
+
+  /// Records `s` as the background error unless it is a transient
+  /// device condition (Busy/DeviceLost) that the offload path's CPU
+  /// fallback already owns — those must never wedge writers. Soft
+  /// errors schedule an auto-resume attempt.
   void RecordBackgroundError(const Status& s) REQUIRES(mutex_);
+
+  /// Queues one auto-resume attempt on the "fcae-resume" pool if the
+  /// current error is soft and the attempt budget is not exhausted.
+  void ScheduleAutoResume() REQUIRES(mutex_);
+  static void BGResumeWork(void* db);
+  void BackgroundResumeCall();
+
+  /// One resume attempt: durably installs a fresh manifest (the failed
+  /// descriptor's tail is not trusted), rotates the WAL when safe,
+  /// clears the soft error, reclaims orphaned outputs, and restarts
+  /// background work. On failure the soft error stays set.
+  Status ResumeLocked() REQUIRES(mutex_);
 
   void MaybeScheduleCompaction() REQUIRES(mutex_);
   static void BGFlushWork(void* db);
@@ -243,8 +272,13 @@ class DBImpl : public DB {
 
   VersionSet* const versions_ GUARDED_BY(mutex_);
 
-  // Have we encountered a background error in paranoid mode?
+  // Background-error state (see ClassifyBackgroundError): the error, its
+  // severity, and auto-resume bookkeeping. resume_scheduled_ is also the
+  // destructor's drain condition for the resume worker.
   Status bg_error_ GUARDED_BY(mutex_);
+  BgErrorSeverity bg_error_severity_ GUARDED_BY(mutex_) = BgErrorSeverity::kNone;
+  int resume_attempts_ GUARDED_BY(mutex_) = 0;
+  bool resume_scheduled_ GUARDED_BY(mutex_) = false;
 
   // Per-level compaction stats.
   struct CompactionStats {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "util/crash_env.h"
 #include "util/env.h"
 
 namespace fcae {
@@ -109,9 +110,19 @@ Status SetCurrentFile(Env* env, const std::string& dbname,
   assert(contents.StartsWith(dbname + "/"));
   contents.RemovePrefix(dbname.size() + 1);
   std::string tmp = TempFileName(dbname, descriptor_number);
-  Status s = WriteStringToFile(env, contents.ToString() + "\n", tmp);
+  // Durable install protocol: make the temp file's contents durable
+  // before the rename publishes it, then fsync the directory so the
+  // rename itself survives a crash. Without the final SyncDir a power
+  // cut could leave CURRENT pointing at the previous manifest even
+  // though LogAndApply already returned success.
+  Status s = WriteStringToFileSync(env, contents.ToString() + "\n", tmp);
+  FCAE_CRASH_POINT("current:after_tmp_write");
   if (s.ok()) {
     s = env->RenameFile(tmp, CurrentFileName(dbname));
+  }
+  if (s.ok()) {
+    FCAE_CRASH_POINT("current:after_rename");
+    s = env->SyncDir(dbname);
   }
   if (!s.ok()) {
     env->RemoveFile(tmp);

@@ -12,6 +12,7 @@
 #include "table/merger.h"
 #include "table/two_level_iterator.h"
 #include "util/coding.h"
+#include "util/crash_env.h"
 #include "util/env.h"
 
 namespace fcae {
@@ -761,6 +762,22 @@ void VersionSet::AppendVersion(Version* v) {
 }
 
 Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
+  // Decide up front whether this edit opens a fresh manifest: the first
+  // call after open, an explicit request (post-error Resume distrusts a
+  // possibly-torn descriptor tail), or a size rollover. The rollover
+  // number is allocated before SetNextFile so a reopened DB can never
+  // hand the manifest's own number to a data file.
+  const bool first_manifest = (descriptor_log_ == nullptr);
+  const bool need_new_manifest =
+      first_manifest || force_new_manifest_ ||
+      (options_->max_manifest_file_size > 0 &&
+       manifest_file_bytes_ >= options_->max_manifest_file_size);
+  uint64_t new_manifest_number = 0;
+  if (need_new_manifest) {
+    new_manifest_number =
+        first_manifest ? manifest_file_number_ : NewFileNumber();
+  }
+
   if (edit->has_log_number_) {
     assert(edit->log_number_ >= log_number_);
     assert(edit->log_number_ < next_file_number_);
@@ -779,40 +796,66 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
   }
   Finalize(v);
 
-  // Initialize new descriptor log file if necessary by creating
-  // a temporary file that contains a snapshot of the current version.
+  // Build the replacement descriptor (snapshot of the pre-edit state;
+  // the edit record itself is appended below) into locals, leaving the
+  // old descriptor untouched until the new one is durably installed.
   std::string new_manifest_file;
+  WritableFile* new_descriptor_file = nullptr;
+  log::Writer* new_descriptor_log = nullptr;
   Status s;
-  if (descriptor_log_ == nullptr) {
-    // No reason to unlock *mu here since we only hit this path in the
-    // first call to LogAndApply (when opening the database).
-    assert(descriptor_file_ == nullptr);
-    new_manifest_file = DescriptorFileName(dbname_, manifest_file_number_);
-    s = env_->NewWritableFile(new_manifest_file, &descriptor_file_);
+  if (need_new_manifest) {
+    assert(!first_manifest || descriptor_file_ == nullptr);
+    new_manifest_file = DescriptorFileName(dbname_, new_manifest_number);
+    s = env_->NewWritableFile(new_manifest_file, &new_descriptor_file);
     if (s.ok()) {
-      descriptor_log_ = new log::Writer(descriptor_file_);
-      s = WriteSnapshot(descriptor_log_);
+      new_descriptor_log = new log::Writer(new_descriptor_file);
+      s = WriteSnapshot(new_descriptor_log);
     }
   }
+
+  log::Writer* const log = need_new_manifest ? new_descriptor_log
+                                             : descriptor_log_;
+  WritableFile* const file = need_new_manifest ? new_descriptor_file
+                                               : descriptor_file_;
+  uint64_t manifest_bytes = 0;
 
   // Unlock during expensive MANIFEST log write.
   {
     mu->Unlock();
 
-    // Write new record to MANIFEST log.
+    // Durable install protocol, step 1: commit the directory entries of
+    // every file the edit references (freshly built tables, the new
+    // manifest itself) before the record that publishes them.
+    if (s.ok()) {
+      s = env_->SyncDir(dbname_);
+    }
+
+    // Step 2: append the edit record and sync the descriptor.
     if (s.ok()) {
       std::string record;
       edit->EncodeTo(&record);
-      s = descriptor_log_->AddRecord(record);
+      s = log->AddRecord(record);
+      FCAE_CRASH_POINT("manifest:after_append");
       if (s.ok()) {
-        s = descriptor_file_->Sync();
+        s = file->Sync();
+      }
+      if (s.ok()) {
+        FCAE_CRASH_POINT("manifest:after_sync");
       }
     }
 
-    // If we just created a new descriptor file, install it by writing a
-    // new CURRENT file that points to it.
-    if (s.ok() && !new_manifest_file.empty()) {
-      s = SetCurrentFile(env_, dbname_, manifest_file_number_);
+    // Step 3 (new manifest only): atomically switch CURRENT to it.
+    // SetCurrentFile syncs the temp file, renames, and syncs the dir.
+    if (s.ok() && need_new_manifest) {
+      s = SetCurrentFile(env_, dbname_, new_manifest_number);
+    }
+
+    if (s.ok()) {
+      env_->GetFileSize(need_new_manifest
+                            ? new_manifest_file
+                            : DescriptorFileName(dbname_,
+                                                 manifest_file_number_),
+                        &manifest_bytes);
     }
 
     mu->Lock();
@@ -822,14 +865,31 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
   if (s.ok()) {
     AppendVersion(v);
     log_number_ = edit->log_number_;
-  } else {
-    delete v;
-    if (!new_manifest_file.empty()) {
+    manifest_file_bytes_ = manifest_bytes;
+    if (need_new_manifest) {
+      // Step 4: retire the old descriptor only now that CURRENT durably
+      // points at the new one.
+      const uint64_t old_manifest_number = manifest_file_number_;
       delete descriptor_log_;
       delete descriptor_file_;
-      descriptor_log_ = nullptr;
-      descriptor_file_ = nullptr;
+      descriptor_log_ = new_descriptor_log;
+      descriptor_file_ = new_descriptor_file;
+      manifest_file_number_ = new_manifest_number;
+      force_new_manifest_ = false;
+      if (!first_manifest) {
+        env_->RemoveFile(DescriptorFileName(dbname_, old_manifest_number));
+      }
+    }
+  } else {
+    delete v;
+    if (need_new_manifest) {
+      // Keep the old descriptor: it is still the durable truth.
+      delete new_descriptor_log;
+      delete new_descriptor_file;
       env_->RemoveFile(new_manifest_file);
+      if (!first_manifest) {
+        ReuseFileNumber(new_manifest_number);
+      }
     }
   }
 

@@ -180,6 +180,12 @@ class VersionSet {
   /// Recovers the last saved descriptor from persistent storage.
   Status Recover(bool* save_manifest);
 
+  /// Makes the next LogAndApply install its edit into a fresh manifest
+  /// (full snapshot + atomic CURRENT switch) regardless of size. Used
+  /// by DB::Resume(): after a background error the tail of the current
+  /// descriptor file is not to be trusted.
+  void ForceNewManifest() { force_new_manifest_ = true; }
+
   Version* current() const { return current_; }
 
   uint64_t ManifestFileNumber() const { return manifest_file_number_; }
@@ -314,6 +320,11 @@ class VersionSet {
   // Opened lazily.
   WritableFile* descriptor_file_;
   log::Writer* descriptor_log_;
+  // Bytes in the current descriptor file (for size-triggered rollover)
+  // and the Resume()-requested rollover flag; both are guarded by the
+  // same external serialization as the descriptor itself.
+  uint64_t manifest_file_bytes_ = 0;
+  bool force_new_manifest_ = false;
   Version dummy_versions_;  // Head of circular doubly-linked list.
   Version* current_;        // == dummy_versions_.prev_
 

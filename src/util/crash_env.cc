@@ -1,0 +1,467 @@
+#include "util/crash_env.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fcae {
+
+// ---------------------------------------------------------------------------
+// CrashPointRegistry
+// ---------------------------------------------------------------------------
+
+CrashPointRegistry* CrashPointRegistry::Instance() {
+  // Never destroyed: background threads may hit points during exit.
+  static CrashPointRegistry* registry = new CrashPointRegistry;
+  return registry;
+}
+
+void CrashPointRegistry::Arm(const std::string& point, int hit_count,
+                             Handler handler) {
+  assert(hit_count >= 1);
+  MutexLock l(&mu_);
+  auto it = armed_.find(point);
+  if (it == armed_.end()) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+    it = armed_.emplace(point, ArmedPoint{}).first;
+  }
+  it->second.remaining = hit_count;
+  it->second.handler = std::move(handler);
+}
+
+void CrashPointRegistry::Disarm(const std::string& point) {
+  MutexLock l(&mu_);
+  if (armed_.erase(point) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void CrashPointRegistry::DisarmAll() {
+  MutexLock l(&mu_);
+  armed_count_.fetch_sub(static_cast<int>(armed_.size()),
+                         std::memory_order_relaxed);
+  armed_.clear();
+}
+
+bool CrashPointRegistry::IsArmed(const std::string& point) {
+  MutexLock l(&mu_);
+  return armed_.find(point) != armed_.end();
+}
+
+void CrashPointRegistry::EnableHitCounting(bool on) {
+  count_hits_.store(on, std::memory_order_relaxed);
+}
+
+uint64_t CrashPointRegistry::HitCount(const std::string& point) {
+  MutexLock l(&mu_);
+  auto it = hit_counts_.find(point);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+void CrashPointRegistry::ResetHitCounts() {
+  MutexLock l(&mu_);
+  hit_counts_.clear();
+}
+
+void CrashPointRegistry::Hit(const char* point) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0 &&
+      !count_hits_.load(std::memory_order_relaxed)) {
+    return;  // hot path: nothing armed, nothing counted
+  }
+  Handler fire;
+  {
+    MutexLock l(&mu_);
+    if (count_hits_.load(std::memory_order_relaxed)) {
+      hit_counts_[point]++;
+    }
+    auto it = armed_.find(point);
+    if (it != armed_.end() && --it->second.remaining <= 0) {
+      fire = std::move(it->second.handler);
+      armed_.erase(it);
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // Outside the lock: the handler typically freezes a CrashInjectionEnv
+  // and may re-enter the registry.
+  if (fire) {
+    fire(point);
+  }
+}
+
+const std::vector<std::string>& CrashPointRegistry::KnownPoints() {
+  // Keep in sync with the FCAE_CRASH_POINT call sites; the crash-matrix
+  // test (tests/crash_recovery_test.cc) iterates exactly this list.
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      "wal:after_append",          // DBImpl::Write, record appended, pre-sync
+      "flush:after_build",         // WriteLevel0Table, table built, pre-edit
+      "manifest:after_append",     // LogAndApply, record appended, pre-sync
+      "manifest:after_sync",       // LogAndApply, synced, pre-CURRENT switch
+      "current:after_tmp_write",   // SetCurrentFile, tmp durable, pre-rename
+      "current:after_rename",      // SetCurrentFile, renamed, pre-dir-sync
+      "shard:between_installs",    // shards done, results not yet installed
+      "compaction:after_install",  // version edit applied and durable
+      "offload:after_device_write",  // device outputs staged to tables
+      "scheduler:manifest_locked",   // manifest lock held by a worker
+  };
+  return *points;
+}
+
+// ---------------------------------------------------------------------------
+// CrashInjectionEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status FrozenError(const char* what) {
+  return Status::IOError(what, "simulated crash (env frozen)");
+}
+
+Status InjectedError(const char* what) {
+  return Status::IOError(what, "injected write error");
+}
+
+Status StaleHandleError(const std::string& fname) {
+  return Status::IOError(fname, "stale file handle after simulated crash");
+}
+
+}  // namespace
+
+/// Forwards writes to the wrapped file while reporting Sync()s back to
+/// the env so it can update the inode's durable content. Handles opened
+/// before a Crash() carry a stale generation and fail every operation.
+class CrashWritableFile : public WritableFile {
+ public:
+  CrashWritableFile(CrashInjectionEnv* env, std::string fname,
+                    WritableFile* base, CrashInjectionEnv::NodeRef node)
+      : env_(env),
+        fname_(std::move(fname)),
+        base_(base),
+        node_(std::move(node)),
+        generation_(env->generation()) {}
+
+  ~CrashWritableFile() override { delete base_; }
+
+  Status Append(const Slice& data) override {
+    Status s = CheckWritable();
+    if (!s.ok()) return s;
+    return base_->Append(data);
+  }
+
+  Status Flush() override {
+    Status s = CheckWritable();
+    if (!s.ok()) return s;
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    Status s = CheckWritable();
+    if (!s.ok()) return s;
+    {
+      MutexLock l(&env_->mu_);
+      if (env_->fail_syncs_) return InjectedError(fname_.c_str());
+    }
+    s = base_->Sync();
+    if (s.ok()) {
+      env_->NoteFileSynced(fname_, node_);
+    }
+    return s;
+  }
+
+  Status Close() override {
+    // Always release the underlying handle, even post-crash.
+    return base_->Close();
+  }
+
+ private:
+  Status CheckWritable() {
+    if (env_->generation() != generation_) {
+      return StaleHandleError(fname_);
+    }
+    MutexLock l(&env_->mu_);
+    return env_->FailIfFrozenLocked(fname_.c_str());
+  }
+
+  CrashInjectionEnv* const env_;
+  const std::string fname_;
+  WritableFile* const base_;
+  const CrashInjectionEnv::NodeRef node_;
+  const uint64_t generation_;
+};
+
+CrashInjectionEnv::CrashInjectionEnv(Env* base) : base_(base) {}
+
+CrashInjectionEnv::~CrashInjectionEnv() = default;
+
+std::string CrashInjectionEnv::ParentDir(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status CrashInjectionEnv::FailIfFrozenLocked(const char* what) {
+  if (crashed_) return FrozenError(what);
+  if (fail_writes_) return InjectedError(what);
+  return Status::OK();
+}
+
+Status CrashInjectionEnv::NewSequentialFile(const std::string& fname,
+                                            SequentialFile** result) {
+  return base_->NewSequentialFile(fname, result);
+}
+
+Status CrashInjectionEnv::NewRandomAccessFile(const std::string& fname,
+                                              RandomAccessFile** result) {
+  return base_->NewRandomAccessFile(fname, result);
+}
+
+Status CrashInjectionEnv::NewWritableFile(const std::string& fname,
+                                          WritableFile** result) {
+  *result = nullptr;
+  MutexLock l(&mu_);
+  Status s = FailIfFrozenLocked(fname.c_str());
+  if (!s.ok()) return s;
+  WritableFile* base_file = nullptr;
+  s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  // O_TRUNC semantics: the live name now refers to a fresh inode. The
+  // durable namespace keeps whatever it pointed at until the dirent op
+  // below is committed by SyncDir.
+  NodeRef node = std::make_shared<FileNode>();
+  live_[fname] = node;
+  dirs_.insert(ParentDir(fname));
+  pending_[ParentDir(fname)].push_back(
+      PendingOp{PendingOp::kCreate, fname, "", node});
+  *result = new CrashWritableFile(this, fname, base_file, node);
+  return Status::OK();
+}
+
+Status CrashInjectionEnv::NewAppendableFile(const std::string& fname,
+                                            WritableFile** result) {
+  *result = nullptr;
+  MutexLock l(&mu_);
+  Status s = FailIfFrozenLocked(fname.c_str());
+  if (!s.ok()) return s;
+  WritableFile* base_file = nullptr;
+  s = base_->NewAppendableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  NodeRef node;
+  auto it = live_.find(fname);
+  if (it != live_.end()) {
+    node = it->second;  // appending to the existing inode
+  } else {
+    node = std::make_shared<FileNode>();
+    live_[fname] = node;
+    dirs_.insert(ParentDir(fname));
+    pending_[ParentDir(fname)].push_back(
+        PendingOp{PendingOp::kCreate, fname, "", node});
+  }
+  *result = new CrashWritableFile(this, fname, base_file, node);
+  return Status::OK();
+}
+
+bool CrashInjectionEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status CrashInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* result) {
+  return base_->GetChildren(dir, result);
+}
+
+Status CrashInjectionEnv::RemoveFile(const std::string& fname) {
+  MutexLock l(&mu_);
+  Status s = FailIfFrozenLocked(fname.c_str());
+  if (!s.ok()) return s;
+  s = base_->RemoveFile(fname);
+  if (s.ok()) {
+    live_.erase(fname);
+    // The unlink is not durable until SyncDir: a crash before that
+    // resurrects the file (that is how orphans appear on disk).
+    pending_[ParentDir(fname)].push_back(
+        PendingOp{PendingOp::kRemove, fname, "", nullptr});
+  }
+  return s;
+}
+
+Status CrashInjectionEnv::CreateDir(const std::string& dirname) {
+  MutexLock l(&mu_);
+  Status s = FailIfFrozenLocked(dirname.c_str());
+  if (!s.ok()) return s;
+  s = base_->CreateDir(dirname);
+  if (s.ok()) dirs_.insert(dirname);
+  return s;
+}
+
+Status CrashInjectionEnv::RemoveDir(const std::string& dirname) {
+  MutexLock l(&mu_);
+  Status s = FailIfFrozenLocked(dirname.c_str());
+  if (!s.ok()) return s;
+  return base_->RemoveDir(dirname);
+}
+
+Status CrashInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status CrashInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  MutexLock l(&mu_);
+  Status s = FailIfFrozenLocked(src.c_str());
+  if (!s.ok()) return s;
+  s = base_->RenameFile(src, target);
+  if (s.ok()) {
+    auto it = live_.find(src);
+    NodeRef node =
+        (it != live_.end()) ? it->second : std::make_shared<FileNode>();
+    if (it != live_.end()) live_.erase(it);
+    live_[target] = node;
+    dirs_.insert(ParentDir(target));
+    pending_[ParentDir(target)].push_back(
+        PendingOp{PendingOp::kRename, src, target, nullptr});
+  }
+  return s;
+}
+
+Status CrashInjectionEnv::SyncDir(const std::string& dir) {
+  MutexLock l(&mu_);
+  Status s = FailIfFrozenLocked(dir.c_str());
+  if (!s.ok()) return s;
+  s = base_->SyncDir(dir);
+  if (!s.ok()) return s;
+  // Commit the directory's pending metadata ops, in order.
+  auto it = pending_.find(dir);
+  if (it != pending_.end()) {
+    for (const PendingOp& op : it->second) {
+      switch (op.kind) {
+        case PendingOp::kCreate:
+          durable_[op.a] = op.node;
+          break;
+        case PendingOp::kRename: {
+          auto src = durable_.find(op.a);
+          if (src != durable_.end()) {
+            durable_[op.b] = src->second;
+            durable_.erase(op.a);
+          }
+          break;
+        }
+        case PendingOp::kRemove:
+          durable_.erase(op.a);
+          break;
+      }
+    }
+    pending_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status CrashInjectionEnv::LockFile(const std::string& fname, FileLock** lock) {
+  {
+    MutexLock l(&mu_);
+    Status s = FailIfFrozenLocked(fname.c_str());
+    if (!s.ok()) return s;
+  }
+  return base_->LockFile(fname, lock);
+}
+
+Status CrashInjectionEnv::UnlockFile(FileLock* lock) {
+  return base_->UnlockFile(lock);
+}
+
+void CrashInjectionEnv::Schedule(void (*function)(void*), void* arg) {
+  base_->Schedule(function, arg);
+}
+
+void CrashInjectionEnv::SchedulePool(const char* pool, int max_threads,
+                                     void (*function)(void*), void* arg) {
+  base_->SchedulePool(pool, max_threads, function, arg);
+}
+
+void CrashInjectionEnv::StartThread(void (*function)(void*), void* arg) {
+  base_->StartThread(function, arg);
+}
+
+uint64_t CrashInjectionEnv::NowMicros() { return base_->NowMicros(); }
+
+void CrashInjectionEnv::SleepForMicroseconds(int micros) {
+  base_->SleepForMicroseconds(micros);
+}
+
+void CrashInjectionEnv::NoteFileSynced(const std::string& fname,
+                                       const NodeRef& node) {
+  // Read outside the env lock (the base Env is thread-safe); publish
+  // the new durable content under it.
+  std::string content;
+  if (!ReadFileToString(base_, fname, &content).ok()) return;
+  MutexLock l(&mu_);
+  node->synced = std::move(content);
+}
+
+void CrashInjectionEnv::Crash() {
+  MutexLock l(&mu_);
+  if (crashed_) return;
+  crashed_ = true;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool CrashInjectionEnv::crashed() const {
+  MutexLock l(&mu_);
+  return crashed_;
+}
+
+void CrashInjectionEnv::ResetToDurableState() {
+  MutexLock l(&mu_);
+  assert(crashed_);
+  // Remove every live file whose dirent did not survive.
+  for (const std::string& dir : dirs_) {
+    std::vector<std::string> children;
+    if (!base_->GetChildren(dir, &children).ok()) continue;
+    for (const std::string& child : children) {
+      if (child == "." || child == "..") continue;
+      std::string full = dir.empty() ? child : dir + "/" + child;
+      if (durable_.find(full) == durable_.end()) {
+        base_->RemoveFile(full);  // ignore errors (may be a subdir)
+      }
+    }
+  }
+  // Rewrite survivors to their last-synced content.
+  for (const auto& [path, node] : durable_) {
+    WriteStringToFile(base_, node->synced, path);
+  }
+  live_ = durable_;
+  pending_.clear();
+  crashed_ = false;
+  fail_writes_ = false;
+  fail_syncs_ = false;
+}
+
+void CrashInjectionEnv::ArmCrashPoint(const std::string& point, int hit) {
+  CrashPointRegistry::Instance()->Arm(
+      point, hit, [this](const char*) { this->Crash(); });
+}
+
+void CrashInjectionEnv::SetWritesFail(bool fail) {
+  MutexLock l(&mu_);
+  fail_writes_ = fail;
+}
+
+void CrashInjectionEnv::SetSyncsFail(bool fail) {
+  MutexLock l(&mu_);
+  fail_syncs_ = fail;
+}
+
+std::vector<std::string> CrashInjectionEnv::DurableChildren(
+    const std::string& dir) {
+  MutexLock l(&mu_);
+  std::vector<std::string> out;
+  const std::string prefix = dir + "/";
+  for (const auto& [path, node] : durable_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      out.push_back(path.substr(prefix.size()));
+    }
+  }
+  return out;
+}
+
+}  // namespace fcae

@@ -1,0 +1,197 @@
+#ifndef FCAE_UTIL_CRASH_ENV_H_
+#define FCAE_UTIL_CRASH_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fcae {
+
+/// Process-wide registry of named crash points.
+///
+/// Production code marks durability boundaries with
+/// `FCAE_CRASH_POINT("manifest:after_append")`; the marker is a single
+/// relaxed atomic load when nothing is armed. Tests Arm() a point with
+/// a handler (typically CrashInjectionEnv::Crash) that simulates power
+/// loss at exactly that boundary, then reopen the DB on the surviving
+/// state and check what must have been durable.
+class CrashPointRegistry {
+ public:
+  using Handler = std::function<void(const char* point)>;
+
+  static CrashPointRegistry* Instance();
+
+  /// Arms `point`: `handler` fires on the `hit_count`-th Hit (1-based),
+  /// after which the point disarms itself. Re-arming replaces any
+  /// previous arming of the same point.
+  void Arm(const std::string& point, int hit_count, Handler handler);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// True if `point` is still armed (its handler has not fired yet).
+  bool IsArmed(const std::string& point);
+
+  /// Hit-count bookkeeping, active only between EnableHitCounting(true)
+  /// and (false). Lets tests tell "this point was never reached in this
+  /// configuration" apart from "it was reached and survived".
+  void EnableHitCounting(bool on);
+  uint64_t HitCount(const std::string& point);
+  void ResetHitCounts();
+
+  /// Called by FCAE_CRASH_POINT. Hot-path cost when nothing is armed
+  /// and counting is off: two relaxed atomic loads.
+  void Hit(const char* point);
+
+  /// The canonical list of crash points instrumented in the tree; the
+  /// crash-matrix test iterates exactly this list.
+  static const std::vector<std::string>& KnownPoints();
+
+ private:
+  CrashPointRegistry() = default;
+
+  struct ArmedPoint {
+    int remaining = 0;
+    Handler handler;
+  };
+
+  std::atomic<int> armed_count_{0};
+  std::atomic<bool> count_hits_{false};
+  Mutex mu_;
+  std::map<std::string, ArmedPoint> armed_ GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> hit_counts_ GUARDED_BY(mu_);
+};
+
+/// Marks a crash boundary. `name` must be a string literal; near-zero
+/// cost unless a test armed the point.
+#define FCAE_CRASH_POINT(name) \
+  ::fcae::CrashPointRegistry::Instance()->Hit(name)
+
+/// An Env wrapper that models which bytes would survive a power cut.
+///
+/// Durability model (strict POSIX, journaling-fs flavor):
+///  - WritableFile::Sync() makes the file's *data* durable up to the
+///    current length; without it the surviving content is the content
+///    at the previous Sync (empty if never synced).
+///  - Directory entries (creations, renames, removals) become durable
+///    only when Env::SyncDir() of the parent directory commits them, in
+///    order. An unsynced creation loses the file; an unsynced rename
+///    leaves the old name; an unsynced removal resurrects the file.
+///
+/// Crash() freezes the env: every mutating operation and every stale
+/// file handle fails with IOError. ResetToDurableState() then rewrites
+/// the wrapped Env to the durable image — exactly what a disk would
+/// hold after reboot — and unfreezes, so a fresh DB::Open can recover.
+class CrashInjectionEnv : public Env {
+ public:
+  /// Wraps `base` (not owned; must outlive this Env).
+  explicit CrashInjectionEnv(Env* base);
+  ~CrashInjectionEnv() override;
+
+  Status NewSequentialFile(const std::string& fname,
+                           SequentialFile** result) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             RandomAccessFile** result) override;
+  Status NewWritableFile(const std::string& fname,
+                         WritableFile** result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           WritableFile** result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+  Status SyncDir(const std::string& dir) override;
+  Status LockFile(const std::string& fname, FileLock** lock) override;
+  Status UnlockFile(FileLock* lock) override;
+  void Schedule(void (*function)(void*), void* arg) override;
+  void SchedulePool(const char* pool, int max_threads, void (*function)(void*),
+                    void* arg) override;
+  void StartThread(void (*function)(void*), void* arg) override;
+  uint64_t NowMicros() override;
+  void SleepForMicroseconds(int micros) override;
+
+  /// Simulates power loss now. Thread-safe; usually invoked from a
+  /// crash-point handler on a DB background thread.
+  void Crash();
+  bool crashed() const;
+
+  /// Rolls the wrapped Env back to the durable image and unfreezes.
+  /// Requires crashed(). Handles opened before the crash stay dead.
+  void ResetToDurableState();
+
+  /// Arms `point` (via CrashPointRegistry) to Crash() this env on its
+  /// `hit`-th hit.
+  void ArmCrashPoint(const std::string& point, int hit = 1);
+
+  /// When on, mutating operations fail with IOError("injected write
+  /// error") but nothing is frozen or lost — models a transient media
+  /// error for background-error / Resume() tests.
+  void SetWritesFail(bool fail);
+
+  /// When on, only WritableFile::Sync() fails (creates, appends, and
+  /// directory syncs still work) — models a disk that accepts writes
+  /// but cannot commit them, so background flushes fail while the
+  /// foreground write path stays alive.
+  void SetSyncsFail(bool fail);
+
+  /// Names (not paths) of the files in `dir` that would survive a crash
+  /// right now. Test-inspection helper.
+  std::vector<std::string> DurableChildren(const std::string& dir);
+
+ private:
+  friend class CrashWritableFile;
+
+  // One inode. `synced` is the content that survives a crash once the
+  // dirent is durable.
+  struct FileNode {
+    std::string synced;
+  };
+  using NodeRef = std::shared_ptr<FileNode>;
+
+  struct PendingOp {
+    enum Kind { kCreate, kRename, kRemove } kind;
+    std::string a;  // created/removed name, or rename source
+    std::string b;  // rename target
+    NodeRef node;   // for kCreate
+  };
+
+  static std::string ParentDir(const std::string& path);
+  Status FailIfFrozenLocked(const char* what) REQUIRES(mu_);
+  // Called by CrashWritableFile after a successful base Sync().
+  void NoteFileSynced(const std::string& fname, const NodeRef& node);
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  Env* const base_;
+  mutable Mutex mu_;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  bool fail_writes_ GUARDED_BY(mu_) = false;
+  bool fail_syncs_ GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> generation_{1};
+  // Live namespace (mirrors the wrapped Env) and durable namespace
+  // (what survives a crash), both mapping full path -> inode.
+  std::map<std::string, NodeRef> live_ GUARDED_BY(mu_);
+  std::map<std::string, NodeRef> durable_ GUARDED_BY(mu_);
+  // Uncommitted directory-metadata ops, per parent dir, in order.
+  std::map<std::string, std::vector<PendingOp>> pending_ GUARDED_BY(mu_);
+  // Every directory we have seen a file in (for ResetToDurableState).
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_CRASH_ENV_H_

@@ -58,6 +58,16 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  /// Syncs directory metadata so that file creations, removals, and
+  /// renames inside `dir` survive a crash (posix: fsync on the dirfd).
+  /// The default is a no-op for Envs whose namespace mutations are
+  /// already durable (or that have no notion of durability, e.g. the
+  /// in-memory Env).
+  virtual Status SyncDir(const std::string& dir) {
+    (void)dir;
+    return Status::OK();
+  }
+
   /// Locks the named file, creating it if needed. On success stores an
   /// owning lock object in *lock; a second LockFile on the same name —
   /// from this or any other process — fails until UnlockFile. Used to
@@ -155,6 +165,11 @@ class WritableFile {
 /// Writes `data` to the named file, replacing any existing contents.
 Status WriteStringToFile(Env* env, const Slice& data,
                          const std::string& fname);
+
+/// Like WriteStringToFile but Sync()s the file before closing, so the
+/// contents are durable before any rename that publishes the file.
+Status WriteStringToFileSync(Env* env, const Slice& data,
+                             const std::string& fname);
 
 /// Reads the entire named file into *data.
 Status ReadFileToString(Env* env, const std::string& fname,

@@ -393,6 +393,19 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(dir, errno);
+    }
+    Status s;
+    if (::fsync(fd) != 0) {
+      s = PosixError(dir, errno);
+    }
+    ::close(fd);
+    return s;
+  }
+
   Status LockFile(const std::string& filename, FileLock** lock) override {
     *lock = nullptr;
     int fd = ::open(filename.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
@@ -519,6 +532,27 @@ Status WriteStringToFile(Env* env, const Slice& data,
     return s;
   }
   s = file->Append(data);
+  if (s.ok()) {
+    s = file->Close();
+  }
+  delete file;
+  if (!s.ok()) {
+    env->RemoveFile(fname);
+  }
+  return s;
+}
+
+Status WriteStringToFileSync(Env* env, const Slice& data,
+                             const std::string& fname) {
+  WritableFile* file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  s = file->Append(data);
+  if (s.ok()) {
+    s = file->Sync();
+  }
   if (s.ok()) {
     s = file->Close();
   }

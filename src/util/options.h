@@ -69,6 +69,13 @@ struct Options {
   /// Size(Level i+1) / Size(Level i). Table IV default 10, range [4, 16].
   int leveling_ratio = 10;
 
+  /// MANIFEST rollover threshold. When the descriptor log grows past
+  /// this size, the next version edit is installed atomically into a
+  /// fresh manifest (write-new, sync, switch CURRENT, sync dir, delete
+  /// old) instead of appending forever. Clipped to a 4 KB floor so
+  /// tests can force frequent rollovers; 0 disables rollover.
+  size_t max_manifest_file_size = 64 * 1024 * 1024;
+
   /// Per-block compression. Default snappy, as in the paper.
   CompressionType compression = kSnappyCompression;
 

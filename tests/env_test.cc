@@ -121,6 +121,30 @@ TEST_P(EnvTest, RenameOverwritesTarget) {
   ASSERT_EQ("new", data);
 }
 
+TEST_P(EnvTest, SyncDir) {
+  // SyncDir on an existing directory succeeds for both envs (posix
+  // fsyncs the dirfd; the mem env has no durability and no-ops).
+  ASSERT_TRUE(WriteStringToFile(env_, "x", dir_ + "/synced").ok());
+  ASSERT_TRUE(env_->SyncDir(dir_).ok());
+}
+
+TEST_P(EnvTest, SyncDirMissing) {
+  Status s = env_->SyncDir(dir_ + "/no_such_subdir");
+  if (GetParam()) {
+    ASSERT_TRUE(s.ok());  // mem env: nothing to make durable
+  } else {
+    ASSERT_FALSE(s.ok());
+  }
+}
+
+TEST_P(EnvTest, WriteStringToFileSync) {
+  const std::string fname = dir_ + "/synced_write";
+  ASSERT_TRUE(WriteStringToFileSync(env_, "durable", fname).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  ASSERT_EQ("durable", data);
+}
+
 TEST_P(EnvTest, GetChildren) {
   ASSERT_TRUE(WriteStringToFile(env_, "1", dir_ + "/a").ok());
   ASSERT_TRUE(WriteStringToFile(env_, "2", dir_ + "/b").ok());

@@ -365,6 +365,12 @@ TEST_F(DeviceFaultTest, TransientFaultStormLosesNothing) {
   ASSERT_TRUE(db->GetProperty("fcae.device-health", &health));
   EXPECT_NE(std::string::npos, health.find("executor=fcae")) << health;
   EXPECT_NE(std::string::npos, health.find("faults=")) << health;
+
+  // The fault storm is retryable by definition; none of it may have
+  // been recorded as a background error.
+  std::string bg;
+  ASSERT_TRUE(db->GetProperty("fcae.background-error", &bg));
+  EXPECT_NE(std::string::npos, bg.find("state=ok")) << bg;
 }
 
 TEST_F(DeviceFaultTest, StickyFaultQuarantinesDeviceAndDbCompactsOnCpu) {
@@ -412,6 +418,13 @@ TEST_F(DeviceFaultTest, StickyFaultQuarantinesDeviceAndDbCompactsOnCpu) {
   std::string health;
   ASSERT_TRUE(db->GetProperty("fcae.device-health", &health));
   EXPECT_NE(std::string::npos, health.find("quarantined=1")) << health;
+
+  // Retryable device conditions (busy card, dropped card) belong to the
+  // offload retry/fallback machinery — they must never surface as a
+  // sticky background error, soft or hard.
+  std::string bg;
+  ASSERT_TRUE(db->GetProperty("fcae.background-error", &bg));
+  EXPECT_NE(std::string::npos, bg.find("state=ok")) << bg;
 
   // Hot reset: the card comes back; a probe job re-admits it.
   injector.RepairCard();
