@@ -10,8 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "compress/snappy.h"
@@ -242,11 +244,23 @@ int RunTelemetryWorkload(const bench::ObsExportFlags& obs_flags) {
   return ok ? 0 : 1;
 }
 
+// Tail latency over a scratch vector of per-op microseconds (the vector
+// is reordered in place).
+double PercentileMicros(std::vector<uint64_t>* latencies, double pct) {
+  if (latencies->empty()) return 0;
+  const size_t idx =
+      static_cast<size_t>(pct * static_cast<double>(latencies->size() - 1));
+  std::nth_element(latencies->begin(), latencies->begin() + idx,
+                   latencies->end());
+  return static_cast<double>((*latencies)[idx]);
+}
+
 // One timed run of the perf-gate workload under a given scheduler
 // configuration. Returns false on any DB error.
 struct PerfRunResult {
   double write_mbps = 0;       // Sustained: puts blocked on stalls included.
   double compaction_mbps = 0;  // Compaction bytes moved per wall second.
+  double write_p99_micros = 0;  // Per-Put tail: delays + stalls surface here.
   uint64_t user_bytes = 0;
   uint64_t stall_micros = 0;   // Writer time lost to stalls + slowdowns.
   uint64_t stall_memtable_micros = 0;
@@ -298,12 +312,18 @@ bool RunPerfWorkload(int threads, int subcompactions, PerfRunResult* result) {
   constexpr int kValueLen = 100;
 
   Env* clock = Env::Default();
+  std::vector<uint64_t> latencies;
+  latencies.reserve(kWrites);
   const uint64_t write_start = clock->NowMicros();
+  uint64_t put_start = write_start;
   for (int i = 0; i < kWrites; i++) {
     if (!db->Put(wo, keys.Format(rnd.Uniform(kWrites)), values.Generate(kValueLen))
              .ok()) {
       return false;
     }
+    const uint64_t put_end = clock->NowMicros();
+    latencies.push_back(put_end - put_start);
+    put_start = put_end;
   }
   const uint64_t write_end = clock->NowMicros();
   // Drain: every queued job must install so compaction counters are
@@ -311,6 +331,7 @@ bool RunPerfWorkload(int threads, int subcompactions, PerfRunResult* result) {
   db->CompactRange(nullptr, nullptr);
   const uint64_t drain_end = clock->NowMicros();
 
+  result->write_p99_micros = PercentileMicros(&latencies, 0.99);
   result->user_bytes = static_cast<uint64_t>(kWrites) * (16 + kValueLen);
   result->stall_memtable_micros =
       registry.counter("db.write.stall_memtable_micros")->value();
@@ -351,6 +372,146 @@ bool RunPerfWorkload(int threads, int subcompactions, PerfRunResult* result) {
   return true;
 }
 
+// Overload soak for the graceful-degradation gate (DESIGN.md §10).
+// Phase 1 measures the backpressure-paced sustainable ingest rate with
+// the offload executor. Phase 2 replays on a fresh DB with a client
+// that insists on twice that rate and a background-I/O budget enforced
+// by the rate limiter (compaction on the low-priority lane, flushes on
+// the high-priority one). Graceful degradation means: the controller's
+// delay ramp absorbs the excess (delayed_writes > 0), writes are never
+// hard-stopped, compaction I/O gets throttled rather than saturating
+// the device, and per-Put p99 stays bounded by the controller's
+// maximum delay instead of the unbounded stall spikes of the classic
+// stop-the-world behaviour.
+struct OverloadRunResult {
+  double sustainable_mbps = 0;
+  double achieved_mbps = 0;     // Ingest under 2x-overload attempts.
+  double write_p99_micros = 0;
+  uint64_t hard_stops = 0;      // wc.stopped_writes: must stay 0.
+  uint64_t delayed_writes = 0;  // wc.delayed_writes: must be > 0.
+  uint64_t delay_micros = 0;
+  uint64_t throttled_bytes = 0;  // ratelimiter.throttled_bytes.
+  std::string metrics_json;      // fcae.metrics export of the soak run.
+};
+
+bool RunOverloadWorkload(OverloadRunResult* result) {
+  constexpr int kWrites = 60000;
+  constexpr int kValueLen = 100;
+  const double op_bytes = 16 + kValueLen;
+  Env* clock = Env::Default();
+
+  workload::KeyFormatter keys(16);
+  workload::ValueGenerator values(301);
+  WriteOptions wo;
+
+  fpga::EngineConfig config;
+  config.num_inputs = 9;
+  config.input_width = 8;
+  config.value_width = 8;
+  host::FcaeDevice device(config);
+  host::DeviceHealthMonitor health;
+  host::FcaeExecutorOptions exec_options;
+  exec_options.tournament_scheduling = true;
+  exec_options.health_monitor = &health;
+
+  // Phase 1: sustainable rate, full speed, no I/O budget.
+  double sustainable_bps = 0;
+  {
+    std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+    host::FcaeCompactionExecutor executor(&device, exec_options);
+    Options options;
+    options.env = env.get();
+    options.create_if_missing = true;
+    options.write_buffer_size = 256 * 1024;
+    options.compaction_executor = &executor;
+    options.compaction_threads = 4;
+    options.max_subcompactions = 4;
+
+    const std::string dbname = "/bench_micro_overload_probe";
+    DestroyDB(dbname, options);
+    DB* raw = nullptr;
+    if (!DB::Open(options, dbname, &raw).ok()) return false;
+    std::unique_ptr<DB> db(raw);
+
+    Random rnd(42);
+    const uint64_t start = clock->NowMicros();
+    for (int i = 0; i < kWrites; i++) {
+      if (!db->Put(wo, keys.Format(rnd.Uniform(kWrites)),
+                   values.Generate(kValueLen))
+               .ok()) {
+        return false;
+      }
+    }
+    const double secs = (clock->NowMicros() - start) * 1e-6;
+    if (secs <= 0) return false;
+    sustainable_bps = kWrites * op_bytes / secs;
+    result->sustainable_mbps = sustainable_bps / (1 << 20);
+  }
+
+  // Phase 2: 2x-overload soak under a background-I/O budget. The budget
+  // is sized so steady-state compaction demand (write amplification
+  // times the ingest rate) exceeds it and the limiter demonstrably
+  // throttles; the floor keeps a pathologically slow probe from
+  // strangling the run outright.
+  {
+    std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+    host::FcaeCompactionExecutor executor(&device, exec_options);
+    obs::MetricsRegistry registry;
+    Options options;
+    options.env = env.get();
+    options.create_if_missing = true;
+    options.write_buffer_size = 256 * 1024;
+    options.compaction_executor = &executor;
+    options.compaction_threads = 4;
+    options.max_subcompactions = 4;
+    options.metrics_registry = &registry;
+    options.rate_limit_bytes_per_sec = static_cast<uint64_t>(
+        std::max(4.0 * sustainable_bps, 4.0 * 1024 * 1024));
+
+    const std::string dbname = "/bench_micro_overload_soak";
+    DestroyDB(dbname, options);
+    DB* raw = nullptr;
+    if (!DB::Open(options, dbname, &raw).ok()) return false;
+    std::unique_ptr<DB> db(raw);
+
+    Random rnd(43);
+    std::vector<uint64_t> latencies;
+    latencies.reserve(kWrites);
+    const double target_bps = 2.0 * sustainable_bps;
+    const uint64_t start = clock->NowMicros();
+    uint64_t put_start = start;
+    for (int i = 0; i < kWrites; i++) {
+      // Pace the client at twice the sustainable rate: sleep only when
+      // ahead of that schedule (under real overload the backlog keeps
+      // the client permanently behind it, i.e. writing flat out).
+      const uint64_t due =
+          start + static_cast<uint64_t>(i * op_bytes * 1e6 / target_bps);
+      const uint64_t now = clock->NowMicros();
+      if (now < due) clock->SleepForMicroseconds(static_cast<int>(due - now));
+      if (!db->Put(wo, keys.Format(rnd.Uniform(kWrites)),
+                   values.Generate(kValueLen))
+               .ok()) {
+        return false;
+      }
+      const uint64_t put_end = clock->NowMicros();
+      latencies.push_back(put_end - std::max(put_start, due));
+      put_start = put_end;
+    }
+    const double secs = (clock->NowMicros() - start) * 1e-6;
+    if (secs > 0) {
+      result->achieved_mbps = kWrites * op_bytes / secs / (1 << 20);
+    }
+    result->write_p99_micros = PercentileMicros(&latencies, 0.99);
+    result->hard_stops = registry.counter("wc.stopped_writes")->value();
+    result->delayed_writes = registry.counter("wc.delayed_writes")->value();
+    result->delay_micros = registry.counter("wc.delay_micros")->value();
+    result->throttled_bytes =
+        registry.counter("ratelimiter.throttled_bytes")->value();
+    if (!db->GetProperty("fcae.metrics", &result->metrics_json)) return false;
+  }
+  return true;
+}
+
 // The CI perf gate: the same workload on one worker vs. four workers
 // with sub-compaction sharding. BENCH_micro_perf.json carries absolute
 // throughputs (trajectory / loose gate) and the t4/t1 ratio (tight
@@ -362,6 +523,18 @@ int RunPerfGate() {
     std::fprintf(stderr, "perf workload failed\n");
     return 1;
   }
+  OverloadRunResult overload;
+  if (!RunOverloadWorkload(&overload)) {
+    std::fprintf(stderr, "overload workload failed\n");
+    return 1;
+  }
+  // The soak run's metrics export doubles as the overload-protection
+  // contract check: CI validates it against bench/metrics_schema.json,
+  // proving the wc.*/ratelimiter.* instruments are live under load.
+  if (!bench::WriteTextFile("BENCH_micro_perf_overload_metrics.json",
+                            overload.metrics_json)) {
+    return 1;
+  }
 
   bench::JsonReport report("micro_perf");
   report.Add("perf.t1.write_mbps", t1.write_mbps);
@@ -370,6 +543,16 @@ int RunPerfGate() {
   report.Add("perf.t4.compaction_mbps", t4.compaction_mbps);
   report.Add("perf.t4_over_t1_write",
              t1.write_mbps > 0 ? t4.write_mbps / t1.write_mbps : 0.0);
+  report.Add("perf.write_p99_micros", t4.write_p99_micros);
+  report.Add("perf.t1.write_p99_micros", t1.write_p99_micros);
+  report.Add("perf.stall_seconds_t4", t4.stall_micros * 1e-6);
+  report.Add("perf.overload.sustainable_mbps", overload.sustainable_mbps);
+  report.Add("perf.overload.achieved_mbps", overload.achieved_mbps);
+  report.Add("perf.overload.write_p99_micros", overload.write_p99_micros);
+  report.Add("perf.overload.hard_stops", overload.hard_stops);
+  report.Add("perf.overload.delayed_writes", overload.delayed_writes);
+  report.Add("perf.overload.delay_micros", overload.delay_micros);
+  report.Add("perf.overload.throttled_bytes", overload.throttled_bytes);
   report.Add("work.user_bytes", t4.user_bytes);
   report.Add("work.t1.stall_micros", t1.stall_micros);
   report.Add("work.t4.stall_micros", t4.stall_micros);
@@ -392,6 +575,14 @@ int RunPerfGate() {
   std::printf("perf: t1 %.1f MB/s, t4 %.1f MB/s (ratio %.3f)\n", t1.write_mbps,
               t4.write_mbps,
               t1.write_mbps > 0 ? t4.write_mbps / t1.write_mbps : 0.0);
+  std::printf(
+      "overload: sustainable %.1f MB/s, 2x soak achieved %.1f MB/s, "
+      "p99 %.0f us, %llu delayed, %llu hard stops, %llu throttled bytes\n",
+      overload.sustainable_mbps, overload.achieved_mbps,
+      overload.write_p99_micros,
+      (unsigned long long)overload.delayed_writes,
+      (unsigned long long)overload.hard_stops,
+      (unsigned long long)overload.throttled_bytes);
   return 0;
 }
 

@@ -19,6 +19,10 @@ emitter writes) to an expected value plus a gate policy:
 direction "min"  — regression gate: fail when the measured value drops
                    below baseline * (1 - tolerance/100). Used for
                    throughputs, where faster is never a failure.
+direction "max"  — ceiling gate: fail when the measured value rises
+                   above baseline * (1 + tolerance/100). Used for
+                   latency/stall budgets and overload hard-stop counts,
+                   where lower is never a failure.
 direction "both" — tolerance band on both sides. Used for work counters
                    (bytes compacted, flush counts) that should be stable
                    run to run; drift in either direction means the
@@ -60,6 +64,8 @@ def check(report, baseline):
             verdict = "info"
         elif direction == "min":
             verdict = "ok" if value >= low else "FAIL"
+        elif direction == "max":
+            verdict = "ok" if value <= high else "FAIL"
         elif direction == "both":
             verdict = "ok" if low <= value <= high else "FAIL"
         else:
@@ -70,6 +76,7 @@ def check(report, baseline):
 
         if verdict == "FAIL":
             bound = (f">= {low:.6g}" if direction == "min"
+                     else f"<= {high:.6g}" if direction == "max"
                      else f"in [{low:.6g}, {high:.6g}]")
             failures.append(f"{key}: {value:.6g} not {bound} "
                             f"(baseline {expected:.6g} ±{tol}%)")

@@ -369,7 +369,8 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     out.number = job.new_file_number();
     uint64_t file_size = 0;
     s = AssembleTableFile(env, TableFileName(job.dbname, out.number), table,
-                          &file_size, job.options->filter_policy);
+                          &file_size, job.options->filter_policy,
+                          job.options->rate_limiter);
     if (!s.ok()) return s;
     out.file_size = file_size;
     if (!out.smallest.DecodeFrom(table.smallest_key) ||

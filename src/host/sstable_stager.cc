@@ -9,6 +9,7 @@
 #include "util/crc32c.h"
 #include "util/env.h"
 #include "util/options.h"
+#include "util/rate_limiter.h"
 #include "lsm/dbformat.h"
 #include "fpga/block_parse.h"
 #include "table/filter_block.h"
@@ -98,10 +99,17 @@ Status SstableStager::StageRun(const std::vector<std::string>& fnames,
 Status AssembleTableFile(Env* env, const std::string& fname,
                          const fpga::DeviceOutputTable& table,
                          uint64_t* file_size,
-                         const FilterPolicy* filter_policy) {
+                         const FilterPolicy* filter_policy,
+                         RateLimiter* rate_limiter) {
   WritableFile* raw_file;
   Status s = env->NewWritableFile(fname, &raw_file);
   if (!s.ok()) return s;
+  if (rate_limiter != nullptr) {
+    // Assembly writeback is compaction output: low-priority lane, same
+    // as the CPU executor's, so flushes keep absolute priority.
+    raw_file = new RateLimitedWritableFile(raw_file, rate_limiter,
+                                           RateLimiter::Priority::kLow);
+  }
   std::unique_ptr<WritableFile> file(raw_file);
 
   uint64_t offset = 0;

@@ -12,6 +12,7 @@ namespace fcae {
 
 class Env;
 class FilterPolicy;
+class RateLimiter;
 
 namespace host {
 
@@ -48,10 +49,14 @@ class SstableStager {
 /// the returned data blocks (the engine itself does not compute
 /// filters), so offloaded compactions keep the same read-path behaviour
 /// as software ones. Returns the final file size in *file_size.
+/// `rate_limiter`, when non-null, throttles the writeback on the
+/// low-priority lane (assembly is compaction output, same as the CPU
+/// executor's).
 Status AssembleTableFile(Env* env, const std::string& fname,
                          const fpga::DeviceOutputTable& table,
                          uint64_t* file_size,
-                         const FilterPolicy* filter_policy = nullptr);
+                         const FilterPolicy* filter_policy = nullptr,
+                         RateLimiter* rate_limiter = nullptr);
 
 }  // namespace host
 }  // namespace fcae

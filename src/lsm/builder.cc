@@ -7,6 +7,7 @@
 #include "table/table_builder.h"
 #include "util/crash_env.h"
 #include "util/env.h"
+#include "util/rate_limiter.h"
 
 namespace fcae {
 
@@ -23,6 +24,13 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
     s = env->NewWritableFile(fname, &file);
     if (!s.ok()) {
       return s;
+    }
+    if (options.rate_limiter != nullptr) {
+      // Flushes charge the high-priority lane: they gate MakeRoomForWrite,
+      // so a capped background budget must never queue them behind
+      // compaction output (which requests at low priority).
+      file = new RateLimitedWritableFile(file, options.rate_limiter,
+                                         RateLimiter::Priority::kHigh);
     }
 
     TableBuilder* builder = new TableBuilder(options, file);

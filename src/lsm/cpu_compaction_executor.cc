@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "table/table_builder.h"
 #include "util/env.h"
+#include "util/rate_limiter.h"
 
 namespace fcae {
 
@@ -114,6 +115,13 @@ class CpuCompactionExecutor : public CompactionExecutor {
         std::string fname = TableFileName(job.dbname, current.number);
         status = env->NewWritableFile(fname, &outfile);
         if (!status.ok()) break;
+        if (job.options->rate_limiter != nullptr) {
+          // Compaction output rides the low-priority lane so a capped
+          // background budget serves flushes first.
+          outfile = new RateLimitedWritableFile(
+              outfile, job.options->rate_limiter,
+              RateLimiter::Priority::kLow);
+        }
         builder = std::make_unique<TableBuilder>(*job.options, outfile);
         current.smallest.DecodeFrom(key);
       }

@@ -92,7 +92,50 @@ Options SanitizeOptions(const std::string& dbname,
     ClipToRange(&result.max_manifest_file_size, size_t{4} << 10,
                 size_t{1} << 30);
   }
+  // Write-stall triggers: 0 means the classic LevelDB defaults. Keep
+  // compaction trigger < slowdown < stop, whatever the caller passed.
+  if (result.l0_slowdown_writes_trigger <= 0) {
+    result.l0_slowdown_writes_trigger = kL0SlowdownWritesTrigger;
+  }
+  ClipToRange(&result.l0_slowdown_writes_trigger, kL0CompactionTrigger + 1,
+              1000);
+  if (result.l0_stop_writes_trigger <= 0) {
+    result.l0_stop_writes_trigger = kL0StopWritesTrigger;
+  }
+  if (result.l0_stop_writes_trigger <= result.l0_slowdown_writes_trigger) {
+    result.l0_stop_writes_trigger = result.l0_slowdown_writes_trigger + 1;
+  }
+  // The global memtable budget must fit one rotation (live + immutable
+  // both at write_buffer_size) or every rotation would stop writers.
+  if (result.total_write_buffer_size > 0 &&
+      result.total_write_buffer_size < 2 * result.write_buffer_size) {
+    result.total_write_buffer_size = 2 * result.write_buffer_size;
+  }
+  if (result.rate_limiter == nullptr && result.rate_limit_bytes_per_sec > 0) {
+    // DBImpl detects the substitution (result != src) and owns it.
+    result.rate_limiter =
+        new RateLimiter(result.env, result.rate_limit_bytes_per_sec);
+  }
   return result;
+}
+
+/// Maps the sanitized Options onto the WriteController's knobs. The
+/// pending-bytes band is derived, not user-facing: debt starts at 64 MB
+/// of backlog (or 16 memtables for small-buffer test configs, whichever
+/// is larger) and saturates at 4x that, far above anything the tiered
+/// shape accumulates in steady state.
+static WriteControllerConfig WriteControllerConfigFor(
+    const Options& options) {
+  WriteControllerConfig config;
+  config.l0_compaction_trigger = kL0CompactionTrigger;
+  config.l0_slowdown_trigger = options.l0_slowdown_writes_trigger;
+  config.l0_stop_trigger = options.l0_stop_writes_trigger;
+  config.total_write_buffer_size = options.total_write_buffer_size;
+  config.soft_pending_compaction_bytes =
+      std::max<uint64_t>(64ull << 20, 16ull * options.write_buffer_size);
+  config.hard_pending_compaction_bytes =
+      4 * config.soft_pending_compaction_bytes;
+  return config;
 }
 
 static int TableCacheSize(const Options& sanitized_options) {
@@ -134,19 +177,28 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                &internal_comparator_)),
       compactions_offloaded_(0),
       compactions_on_cpu_(0),
-      compactions_fallback_(0) {
+      compactions_fallback_(0),
+      write_controller_(WriteControllerConfigFor(options_)),
+      owns_rate_limiter_(options_.rate_limiter != raw_options.rate_limiter) {
   trace_.set_sink(options_.trace_sink);
   scheduler_ = std::make_unique<CompactionScheduler>(
       env_, &background_work_finished_signal_, options_.compaction_threads,
       metrics_);
-  // Pre-register the error/recovery counters so every metrics snapshot
-  // (and the bench/metrics_schema.json gate) sees them even at zero.
+  // Pre-register the error/recovery and overload-protection counters so
+  // every metrics snapshot (and the bench/metrics_schema.json gate) sees
+  // them even at zero.
   for (const char* name :
        {"db.bg_error.soft", "db.bg_error.hard",
         "db.bg_error.retryable_ignored", "db.bg_error.resume_attempts",
-        "db.bg_error.resumes", "recovery.opens", "recovery.micros"}) {
+        "db.bg_error.resumes", "recovery.opens", "recovery.micros",
+        "wc.delayed_writes", "wc.delay_micros", "wc.stopped_writes",
+        "wc.stop_micros", "wc.memory_stalls", "ratelimiter.bytes_through",
+        "ratelimiter.throttled_bytes", "ratelimiter.wait_micros",
+        "ratelimiter.requests"}) {
     metrics_->counter(name);
   }
+  metrics_->gauge("wc.state")->Set(0);
+  table_cache_->SetMetricsRegistry(metrics_);
 }
 
 DBImpl::~DBImpl() {
@@ -168,6 +220,7 @@ DBImpl::~DBImpl() {
   delete tmp_batch_;
   delete log_;
   delete logfile_;
+  if (owns_rate_limiter_) delete options_.rate_limiter;
 }
 
 Status DBImpl::NewDB() {
@@ -853,6 +906,7 @@ void DBImpl::BackgroundFlushCall() {
     CompactMemTable();
   }
   scheduler_->FlushFinished();
+  PumpRateLimiterMetrics();
 
   // The flush may have pushed level-0 over its trigger.
   MaybeScheduleCompaction();
@@ -870,6 +924,7 @@ void DBImpl::BackgroundCompactionCall() {
     BackgroundCompaction();
   }
   scheduler_->WorkerFinished();
+  PumpRateLimiterMetrics();
 
   // The finished compaction may have produced too many files in a
   // level, or unblocked a level pair another job was excluded from.
@@ -1648,6 +1703,63 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
 
 // Requires: mutex_ is held; this thread is currently at the front of
 // the writer queue.
+WriteStallConditions DBImpl::SampleWriteStallConditions() {
+  WriteStallConditions cond;
+  cond.l0_files = versions_->NumLevelFiles(0);
+  cond.pending_compaction_bytes = versions_->PendingCompactionBytes();
+  cond.memtable_bytes = mem_->ApproximateMemoryUsage() +
+                        (imm_ != nullptr ? imm_->ApproximateMemoryUsage() : 0);
+  cond.imm_in_flight = imm_ != nullptr;
+  return cond;
+}
+
+void DBImpl::PumpRateLimiterMetrics() {
+  RateLimiter* limiter = options_.rate_limiter;
+  if (limiter == nullptr) return;
+  uint64_t total = limiter->total_bytes_through();
+  if (total > rl_exported_bytes_through_) {
+    metrics_->counter("ratelimiter.bytes_through")
+        ->Increment(total - rl_exported_bytes_through_);
+    rl_exported_bytes_through_ = total;
+  }
+  total = limiter->total_throttled_bytes();
+  if (total > rl_exported_throttled_bytes_) {
+    metrics_->counter("ratelimiter.throttled_bytes")
+        ->Increment(total - rl_exported_throttled_bytes_);
+    rl_exported_throttled_bytes_ = total;
+  }
+  total = limiter->total_wait_micros();
+  if (total > rl_exported_wait_micros_) {
+    metrics_->counter("ratelimiter.wait_micros")
+        ->Increment(total - rl_exported_wait_micros_);
+    rl_exported_wait_micros_ = total;
+  }
+  total = limiter->total_requests();
+  if (total > rl_exported_requests_) {
+    metrics_->counter("ratelimiter.requests")
+        ->Increment(total - rl_exported_requests_);
+    rl_exported_requests_ = total;
+  }
+}
+
+namespace {
+const char* WriteControllerStateName(WriteController::State state) {
+  switch (state) {
+    case WriteController::State::kOk:
+      return "ok";
+    case WriteController::State::kDelayed:
+      return "delayed";
+    case WriteController::State::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+// Delay sleeps release the mutex in bounded chunks so a background
+// error, a Resume(), or a compaction install interrupts the nap within
+// one chunk instead of the writer serving out its full sentence.
+constexpr uint64_t kDelayChunkMicros = 1000;
+}  // namespace
+
 Status DBImpl::MakeRoomForWrite(bool force) {
   assert(!writers_.empty());
   bool allow_delay = !force;
@@ -1657,47 +1769,98 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // Yield previous error.
       s = bg_error_;
       break;
-    } else if (allow_delay && versions_->NumLevelFiles(0) >=
-                                  kL0SlowdownWritesTrigger) {
-      // We are getting close to hitting a hard limit on the number of
-      // L0 files. Rather than delaying a single write by several
-      // seconds when we hit the hard limit, start delaying each
-      // individual write by 1ms to reduce latency variance. Also, this
-      // delay hands over some CPU to the compaction thread in case it
-      // is sharing the same core as the writer.
-      mutex_.Unlock();
-      env_->SleepForMicroseconds(1000);
+    }
+    const WriteStallConditions cond = SampleWriteStallConditions();
+    const WriteController::State prev_state = write_controller_.state();
+    const WriteController::State state = write_controller_.Update(cond);
+    if (state != prev_state) {
+      metrics_->gauge("wc.state")->Set(static_cast<int64_t>(state));
+      trace_.RecordInstant(
+          "wc_state", "db", obs::TraceNowMicros(), 0,
+          {{"state",
+            obs::TraceRecorder::Quote(WriteControllerStateName(state))},
+           {"debt", std::to_string(write_controller_.debt())}});
+    }
+    if (allow_delay && state == WriteController::State::kDelayed) {
+      // Compaction debt but no hard limit yet: charge this write the
+      // controller's credit-model delay (which ramps smoothly with the
+      // debt score) instead of LevelDB's fixed 1 ms, so latency
+      // degrades gradually toward the stop trigger instead of cliffing
+      // into it. Kick the scheduler first — the debt is its signal.
+      MaybeScheduleCompaction();
+      const uint64_t delay =
+          write_controller_.GetDelayMicros(env_->NowMicros());
+      const uint64_t start = env_->NowMicros();
+      uint64_t waited = 0;
+      while (waited < delay && bg_error_.ok()) {
+        const uint64_t chunk =
+            std::min<uint64_t>(delay - waited, kDelayChunkMicros);
+        mutex_.Unlock();
+        env_->SleepForMicroseconds(static_cast<int>(chunk));
+        mutex_.Lock();
+        waited = env_->NowMicros() - start;
+        // An install may have paid the debt off mid-nap: stop serving
+        // a delay the LSM shape no longer justifies.
+        if (write_controller_.Update(SampleWriteStallConditions()) ==
+            WriteController::State::kOk) {
+          break;
+        }
+      }
       allow_delay = false;  // Do not delay a single write more than once.
-      mutex_.Lock();
       slowdown_count_++;
-      slowdown_micros_ += 1000;
+      slowdown_micros_ += waited;
       metrics_->counter("db.write.slowdowns")->Increment();
-      metrics_->counter("db.write.slowdown_micros")->Increment(1000);
-    } else if (!force && (mem_->ApproximateMemoryUsage() <=
-                          options_.write_buffer_size)) {
-      // There is room in current memtable.
+      metrics_->counter("db.write.slowdown_micros")->Increment(waited);
+      metrics_->counter("wc.delayed_writes")->Increment();
+      metrics_->counter("wc.delay_micros")->Increment(waited);
+      metrics_->histogram("db.write.delay_micros")
+          ->Observe(static_cast<double>(waited));
+    } else if (!force &&
+               mem_->ApproximateMemoryUsage() <= options_.write_buffer_size &&
+               (options_.total_write_buffer_size == 0 || imm_ == nullptr ||
+                cond.memtable_bytes < options_.total_write_buffer_size)) {
+      // There is room in the current memtable and the live+immutable
+      // pair is under the global budget.
       break;
     } else if (imm_ != nullptr) {
-      // We have filled up the current memtable, but the previous one is
-      // still being compacted, so we wait.
+      // Either the current memtable is full while the previous one is
+      // still being flushed, or the global memory budget is exhausted;
+      // both drain through the in-flight flush, so wait on it. Counts
+      // are recorded before the wait so an observer can see a blocked
+      // writer; durations after.
+      const bool memory_stop =
+          !force && mem_->ApproximateMemoryUsage() <= options_.write_buffer_size;
+      if (memory_stop) {
+        metrics_->counter("wc.memory_stalls")->Increment();
+        metrics_->counter("wc.stopped_writes")->Increment();
+      }
+      stall_memtable_count_++;
+      metrics_->counter("db.write.stall_memtable")->Increment();
       const uint64_t start = env_->NowMicros();
       background_work_finished_signal_.Wait();
-      stall_memtable_count_++;
       const uint64_t waited = env_->NowMicros() - start;
       stall_memtable_micros_ += waited;
-      metrics_->counter("db.write.stall_memtable")->Increment();
       metrics_->counter("db.write.stall_memtable_micros")->Increment(waited);
+      if (memory_stop) {
+        metrics_->counter("wc.stop_micros")->Increment(waited);
+      }
       metrics_->histogram("db.write.stall_micros")
           ->Observe(static_cast<double>(waited));
-    } else if (versions_->NumLevelFiles(0) >= kL0StopWritesTrigger) {
-      // There are too many level-0 files.
+    } else if (state == WriteController::State::kStopped) {
+      // Too many level-0 files (the memory-budget stop always has an
+      // imm in flight and is handled above). Block on the condvar —
+      // every install, Resume(), and background-error transition
+      // signals it.
+      stall_l0_count_++;
+      metrics_->counter("db.write.stall_l0")->Increment();
+      metrics_->counter("wc.stopped_writes")->Increment();
+      MaybeScheduleCompaction();
       const uint64_t start = env_->NowMicros();
       background_work_finished_signal_.Wait();
-      stall_l0_count_++;
       const uint64_t waited = env_->NowMicros() - start;
       stall_l0_micros_ += waited;
-      metrics_->counter("db.write.stall_l0")->Increment();
       metrics_->counter("db.write.stall_l0_micros")->Increment(waited);
+      metrics_->counter("wc.stop_micros")->Increment(waited);
       metrics_->histogram("db.write.stall_micros")
           ->Observe(static_cast<double>(waited));
     } else {
@@ -1746,6 +1909,9 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   Slice prefix("fcae.");
   if (!in.StartsWith(prefix)) return false;
   in.RemovePrefix(prefix.size());
+  // Settle any rate-limiter activity into the registry so property
+  // snapshots ("metrics", "stats") are current.
+  PumpRateLimiterMetrics();
 
   if (in.StartsWith("num-files-at-level")) {
     in.RemovePrefix(strlen("num-files-at-level"));

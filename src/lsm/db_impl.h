@@ -17,7 +17,9 @@
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/mutex.h"
+#include "util/rate_limiter.h"
 #include "util/thread_annotations.h"
+#include "util/write_controller.h"
 
 namespace fcae {
 
@@ -126,6 +128,16 @@ class DBImpl : public DB {
   Status MakeRoomForWrite(bool force /* compact even if there is room? */)
       REQUIRES(mutex_);
   WriteBatch* BuildBatchGroup(Writer** last_writer) REQUIRES(mutex_);
+
+  /// Samples the compaction-debt signals the WriteController prices:
+  /// L0 file count, pending compaction bytes, and the live+immutable
+  /// memtable footprint (DESIGN.md §10).
+  WriteStallConditions SampleWriteStallConditions() REQUIRES(mutex_);
+
+  /// Bridges the shared RateLimiter's monotonic statistics into the
+  /// `ratelimiter.*` obs counters (delta-based, so external limiters
+  /// shared across DBs still export sane per-registry values).
+  void PumpRateLimiterMetrics() REQUIRES(mutex_);
 
   // Background-error state machine (DESIGN.md §9): OK -> SoftError
   // (retryable I/O; auto-resume with bounded backoff, or DB::Resume())
@@ -304,9 +316,23 @@ class DBImpl : public DB {
   // completed — on the CPU executor (graceful degradation).
   int64_t compactions_fallback_ GUARDED_BY(mutex_);
 
+  // Overload protection (DESIGN.md §10): the WriteController prices
+  // compaction debt into per-write delays and stop states; the
+  // RateLimiter in options_ (owned iff SanitizeOptions created it)
+  // throttles background file writes underneath it.
+  WriteController write_controller_ GUARDED_BY(mutex_);
+  const bool owns_rate_limiter_;
+  // High-water marks already exported into the ratelimiter.* counters
+  // (the limiter keeps its own monotonic totals; see
+  // PumpRateLimiterMetrics).
+  uint64_t rl_exported_bytes_through_ GUARDED_BY(mutex_) = 0;
+  uint64_t rl_exported_throttled_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t rl_exported_wait_micros_ GUARDED_BY(mutex_) = 0;
+  uint64_t rl_exported_requests_ GUARDED_BY(mutex_) = 0;
+
   // Write-pause accounting (the paper's Section I phenomenon): how
   // often and for how long MakeRoomForWrite throttled the client.
-  int64_t slowdown_count_ GUARDED_BY(mutex_) = 0;  // 1 ms delays (L0 >= 8).
+  int64_t slowdown_count_ GUARDED_BY(mutex_) = 0;  // Debt delays (L0 >= 8).
   int64_t slowdown_micros_ GUARDED_BY(mutex_) = 0;
   int64_t stall_memtable_count_ GUARDED_BY(mutex_) = 0;  // Flush waits.
   int64_t stall_memtable_micros_ GUARDED_BY(mutex_) = 0;

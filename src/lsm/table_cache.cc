@@ -1,6 +1,7 @@
 #include "lsm/table_cache.h"
 
 #include "lsm/filename.h"
+#include "obs/metrics.h"
 #include "util/coding.h"
 
 namespace fcae {
@@ -32,7 +33,20 @@ TableCache::TableCache(const std::string& dbname, const Options& options,
     : env_(options.env),
       dbname_(dbname),
       options_(options),
+      capacity_(entries),
       cache_(NewLRUCache(entries)) {}
+
+void TableCache::SetMetricsRegistry(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("db.table_cache.capacity")->Set(capacity_);
+    metrics_->gauge("db.table_cache.open_tables")
+        ->Set(static_cast<int64_t>(OpenTableCount()));
+    // Pre-register so snapshots carry zeros before the first read.
+    metrics_->counter("db.table_cache.hits");
+    metrics_->counter("db.table_cache.misses");
+  }
+}
 
 Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
                              Cache::Handle** handle) {
@@ -41,7 +55,15 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   EncodeFixed64(buf, file_number);
   Slice key(buf, sizeof(buf));
   *handle = cache_->Lookup(key);
+  if (*handle != nullptr) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("db.table_cache.hits")->Increment();
+    }
+  }
   if (*handle == nullptr) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("db.table_cache.misses")->Increment();
+    }
     std::string fname = TableFileName(dbname_, file_number);
     RandomAccessFile* file = nullptr;
     Table* table = nullptr;
@@ -60,6 +82,12 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
       tf->file = file;
       tf->table = table;
       *handle = cache_->Insert(key, tf, 1, &DeleteEntry);
+      if (metrics_ != nullptr) {
+        // The insert may have evicted (and closed) the LRU victim: the
+        // gauge tracks descriptors actually held, never past capacity_.
+        metrics_->gauge("db.table_cache.open_tables")
+            ->Set(static_cast<int64_t>(OpenTableCount()));
+      }
     }
   }
   return s;
@@ -105,6 +133,10 @@ void TableCache::Evict(uint64_t file_number) {
   char buf[sizeof(file_number)];
   EncodeFixed64(buf, file_number);
   cache_->Erase(Slice(buf, sizeof(buf)));
+  if (metrics_ != nullptr) {
+    metrics_->gauge("db.table_cache.open_tables")
+        ->Set(static_cast<int64_t>(OpenTableCount()));
+  }
 }
 
 }  // namespace fcae

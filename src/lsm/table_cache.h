@@ -12,6 +12,10 @@
 
 namespace fcae {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Caches open SSTable readers (file handle + index block) keyed by file
 /// number. Thread-safe: all state lives behind the internal Cache,
 /// which carries its own annotated mutex (util/cache.cc), so callers —
@@ -43,6 +47,16 @@ class TableCache {
   /// Evicts any entry for the specified file number.
   void Evict(uint64_t file_number);
 
+  /// Publishes the open-file budget into `registry` (borrowed; must
+  /// outlive the cache): `db.table_cache.capacity` / `.open_tables`
+  /// gauges and `.hits` / `.misses` counters. The capacity — derived
+  /// from Options::max_open_files — is the DB's descriptor budget:
+  /// the LRU evicts (closing the file) before ever exceeding it.
+  void SetMetricsRegistry(obs::MetricsRegistry* registry);
+
+  /// Open SSTable readers held right now (each pins one descriptor).
+  size_t OpenTableCount() const { return cache_->TotalCharge(); }
+
  private:
   Status FindTable(uint64_t file_number, uint64_t file_size,
                    Cache::Handle** handle);
@@ -50,7 +64,9 @@ class TableCache {
   Env* const env_;
   const std::string dbname_;
   const Options& options_;
+  const int capacity_;
   std::unique_ptr<Cache> cache_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // Borrowed; may be null.
 };
 
 }  // namespace fcae

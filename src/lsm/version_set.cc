@@ -1093,6 +1093,24 @@ int64_t VersionSet::NumLevelBytes(int level) const {
   return TotalFileSize(current_->files_[level]);
 }
 
+uint64_t VersionSet::PendingCompactionBytes() const {
+  uint64_t pending = 0;
+  const std::vector<FileMetaData*>& l0 = current_->files_[0];
+  if (static_cast<int>(l0.size()) > kL0CompactionTrigger) {
+    // L0 is sized by file count, not bytes: charge the files past the
+    // trigger (oldest first is irrelevant — only the total debt is).
+    for (size_t i = kL0CompactionTrigger; i < l0.size(); i++) {
+      pending += l0[i]->file_size;
+    }
+  }
+  for (int level = 1; level < kNumLevels - 1; level++) {
+    const int64_t over = NumLevelBytes(level) -
+                         static_cast<int64_t>(MaxBytesForLevel(level));
+    if (over > 0) pending += static_cast<uint64_t>(over);
+  }
+  return pending;
+}
+
 const char* VersionSet::LevelSummary(LevelSummaryStorage* scratch) const {
   // Update code if kNumLevels changes.
   static_assert(kNumLevels == 7, "Summary formatting assumes 7 levels");

@@ -204,6 +204,12 @@ class VersionSet {
   int NumLevelFiles(int level) const;
   int64_t NumLevelBytes(int level) const;
 
+  /// Estimated bytes compactions still owe to restore the leveled
+  /// shape: every level's overage past its MaxBytesForLevel target,
+  /// plus L0 bytes in files beyond the compaction trigger. This is the
+  /// WriteController's pending-bytes debt signal (DESIGN.md §10).
+  uint64_t PendingCompactionBytes() const;
+
   uint64_t LastSequence() const { return last_sequence_; }
   void SetLastSequence(uint64_t s) {
     assert(s >= last_sequence_);

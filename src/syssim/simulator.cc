@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/random.h"
+#include "util/write_controller.h"
 
 namespace fcae {
 namespace syssim {
@@ -16,9 +17,16 @@ namespace syssim {
 namespace {
 constexpr double kMB = 1e6;           // Rates are quoted in MB/s = B/us.
 constexpr double kEps = 1e-12;
-constexpr double kSlowdownMicros = 1000.0;  // LevelDB's 1 ms write delay.
-constexpr int kL0Slowdown = 8;
-constexpr int kL0Stop = 12;
+
+/// The simulated client runs the exact delay curve DBImpl's
+/// MakeRoomForWrite applies, with the thresholds coming from SimConfig
+/// (which itself defaults to the engine's dbformat.h constants).
+WriteControllerConfig ControllerConfigFor(const SimConfig& cfg) {
+  WriteControllerConfig wc;
+  wc.l0_slowdown_trigger = cfg.l0_slowdown_trigger;
+  wc.l0_stop_trigger = cfg.l0_stop_trigger;
+  return wc;
+}
 }  // namespace
 
 /// The event machinery: one client thread, one background CPU thread
@@ -32,6 +40,7 @@ constexpr int kL0Stop = 12;
 struct Simulator::Engine {
   explicit Engine(const SimConfig& config)
       : cfg(config),
+        wc(ControllerConfigFor(config)),
         lsm(static_cast<double>(config.file_size), config.leveling_ratio,
             config.overlap_files) {
     op_bytes = static_cast<double>(cfg.key_length + cfg.value_length);
@@ -39,6 +48,7 @@ struct Simulator::Engine {
   }
 
   const SimConfig& cfg;
+  const WriteControllerConfig wc;
   LsmState lsm;
   SimResult result;
 
@@ -166,12 +176,17 @@ struct Simulator::Engine {
   /// fully stopped.
   double ClientRate() const {
     if (mem_bytes >= cfg.memtable_bytes && has_imm) return 0;  // Wait.
-    if (lsm.l0_files() >= kL0Stop) return 0;                   // Stop.
+    if (lsm.l0_files() >= cfg.l0_stop_trigger) return 0;       // Stop.
     double rate = frontend_rate;
-    if (lsm.l0_files() >= kL0Slowdown) {
-      // Every write pays an extra 1 ms (LevelDB MakeRoomForWrite).
-      const double slow = op_bytes / (kSlowdownMicros +
-                                      op_bytes / frontend_rate);
+    WriteStallConditions cond;
+    cond.l0_files = lsm.l0_files();
+    const double debt = WriteController::DebtScore(cond, wc);
+    if (debt > 0) {
+      // Every write pays the controller's debt-proportional delay on
+      // top of its frontend service time (MakeRoomForWrite's ramp).
+      const double delay_us = static_cast<double>(
+          WriteController::DelayMicrosForDebt(debt, wc));
+      const double slow = op_bytes / (delay_us + op_bytes / frontend_rate);
       rate = std::min(rate, slow);
     }
     return rate;
@@ -471,7 +486,7 @@ struct Simulator::Engine {
       const double bytes = client_rate * kMB * client_share * step;
       mem_bytes += bytes;
       if (ingested != nullptr) *ingested += bytes;
-      if (lsm.l0_files() >= kL0Slowdown) {
+      if (lsm.l0_files() >= cfg.l0_slowdown_trigger) {
         result.slowdown_seconds += step;
       }
     } else if (client_ingesting) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fpga/config.h"
+#include "lsm/dbformat.h"
 #include "syssim/cost_model.h"
 #include "syssim/lsm_state.h"
 #include "workload/ycsb.h"
@@ -48,6 +49,15 @@ struct SimConfig {
   /// LevelDB's compaction-pointer round-robin keeps the effective
   /// average well below the worst case (the full leveling ratio).
   double overlap_files = 7.0;
+
+  /// Write-stall thresholds, defaulted from the engine's own constants
+  /// (lsm/dbformat.h) so the simulator and the storage engine cannot
+  /// silently disagree about when backpressure kicks in. The simulated
+  /// client uses the same WriteController delay curve as DBImpl's
+  /// MakeRoomForWrite (util/write_controller.h): delay ramps with L0
+  /// debt from `l0_slowdown_trigger`, writes stop at `l0_stop_trigger`.
+  int l0_slowdown_trigger = kL0SlowdownWritesTrigger;
+  int l0_stop_trigger = kL0StopWritesTrigger;
 
   /// Paper Section VII-E future work: near-storage compaction. The
   /// engine sits inside the SSD as an embedded controller, so compaction
@@ -97,7 +107,7 @@ struct SimResult {
   double throughput_kops = 0;   // Operations / elapsed (YCSB runs).
 
   double stall_seconds = 0;     // Client fully stopped.
-  double slowdown_seconds = 0;  // Client in the 1 ms-per-write regime.
+  double slowdown_seconds = 0;  // Client in the delayed-write regime.
   double pcie_seconds = 0;      // Total DMA time.
   double device_seconds = 0;    // Kernel-busy time on the card.
   double cpu_compaction_seconds = 0;  // SW merge time.
@@ -132,9 +142,10 @@ struct SimResult {
 
 /// Discrete-event simulator of the whole write path: client ingest,
 /// memtable rotation, flush, leveled compaction cascade, write stalls
-/// (slowdown at 8 L0 files, stop at 12), core contention and — in FCAE
-/// mode — compaction offload with PCIe transfers and flush/kernel
-/// overlap. Used to regenerate Figs. 10/14/15/16 and Tables VI/VIII.
+/// (WriteController delay ramp from SimConfig::l0_slowdown_trigger,
+/// stop at l0_stop_trigger), core contention and — in FCAE mode —
+/// compaction offload with PCIe transfers and flush/kernel overlap.
+/// Used to regenerate Figs. 10/14/15/16 and Tables VI/VIII.
 class Simulator {
  public:
   explicit Simulator(const SimConfig& config);

@@ -11,6 +11,7 @@ class Comparator;
 class CompactionExecutor;
 class Env;
 class FilterPolicy;
+class RateLimiter;
 
 namespace obs {
 class MetricsRegistry;
@@ -48,6 +49,35 @@ struct Options {
 
   /// Memtable size before a flush is triggered (bytes). LevelDB: 4 MB.
   size_t write_buffer_size = 4 * 1024 * 1024;
+
+  /// Global memory budget across the live and the immutable memtable
+  /// (bytes). When the pair's footprint reaches this while a flush is
+  /// in flight, writers block until the flush installs — overload turns
+  /// into backpressure instead of unbounded memory growth. 0 disables
+  /// the budget (classic per-memtable behaviour); nonzero values are
+  /// clipped to at least 2x write_buffer_size so one rotation always
+  /// fits.
+  size_t total_write_buffer_size = 0;
+
+  /// Write-stall triggers for the WriteController (DESIGN.md §10):
+  /// writes are smoothly delayed from `l0_slowdown_writes_trigger` L0
+  /// files and stopped at `l0_stop_writes_trigger`. 0 means the engine
+  /// default (8 / 12, the classic LevelDB triggers in lsm/dbformat.h).
+  int l0_slowdown_writes_trigger = 0;
+  int l0_stop_writes_trigger = 0;
+
+  /// Caps background (flush + compaction) file-write bandwidth, in
+  /// bytes per second, through a shared token bucket with two priority
+  /// lanes — flushes high, compactions low — so a capped disk budget
+  /// still never lets compactions starve the flush that writers wait
+  /// on. 0 = unlimited. Ignored when `rate_limiter` is set.
+  uint64_t rate_limit_bytes_per_sec = 0;
+
+  /// Optional externally owned RateLimiter (util/rate_limiter.h) to
+  /// share one background-I/O budget across several DBs. Borrowed, not
+  /// owned; must outlive the DB. When nullptr and
+  /// rate_limit_bytes_per_sec > 0, the DB creates and owns one.
+  RateLimiter* rate_limiter = nullptr;
 
   /// Approximate uncompressed size of an SSTable data block. Table IV
   /// default: 4 KB (varied 2 KB..1 MB in Fig. 15c).

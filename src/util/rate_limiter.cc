@@ -1,0 +1,90 @@
+#include "util/rate_limiter.h"
+
+#include <algorithm>
+
+namespace fcae {
+
+namespace {
+// One refill window bounds both the burst credit and the largest single
+// installment a request may claim, so neither lane can monopolize the
+// bucket for longer than this.
+constexpr uint64_t kRefillWindowMicros = 100 * 1000;
+// Sleep in bounded chunks: a rate change or a finished high-pri burst is
+// picked up within one chunk, and hooked test clocks advance in
+// deterministic steps.
+constexpr uint64_t kSleepChunkMicros = 1000;
+}  // namespace
+
+RateLimiter::RateLimiter(Env* env, uint64_t bytes_per_second)
+    : env_(env), bytes_per_second_(bytes_per_second) {
+  MutexLock l(&mutex_);
+  last_refill_micros_ = env_->NowMicros();
+}
+
+void RateLimiter::SetBytesPerSecond(uint64_t bytes_per_second) {
+  MutexLock l(&mutex_);
+  // Settle the old rate's accrual first so the change is not retroactive.
+  Refill(env_->NowMicros());
+  bytes_per_second_.store(bytes_per_second, std::memory_order_relaxed);
+}
+
+void RateLimiter::Refill(uint64_t now_micros) {
+  const uint64_t rate = bytes_per_second_.load(std::memory_order_relaxed);
+  if (now_micros <= last_refill_micros_) return;
+  const uint64_t elapsed = now_micros - last_refill_micros_;
+  last_refill_micros_ = now_micros;
+  if (rate == 0) return;
+  const int64_t burst_cap = static_cast<int64_t>(
+      std::max<uint64_t>(1, rate * kRefillWindowMicros / 1000000));
+  available_bytes_ += static_cast<int64_t>(rate * elapsed / 1000000);
+  available_bytes_ = std::min(available_bytes_, burst_cap);
+}
+
+void RateLimiter::Request(uint64_t bytes, Priority pri) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  bytes_through_.fetch_add(bytes, std::memory_order_relaxed);
+  if (bytes_per_second_.load(std::memory_order_relaxed) == 0) return;
+
+  bool throttled = false;
+  uint64_t waited = 0;
+  MutexLock l(&mutex_);
+  if (pri == Priority::kHigh) high_pri_waiting_++;
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const uint64_t rate = bytes_per_second_.load(std::memory_order_relaxed);
+    if (rate == 0) break;  // Throttle opened mid-wait.
+    uint64_t now = env_->NowMicros();
+    Refill(now);
+    // A low-priority request yields whole windows while flushes wait.
+    const bool must_yield = pri == Priority::kLow && high_pri_waiting_ > 0;
+    if (!must_yield && available_bytes_ > 0) {
+      const uint64_t installment = std::min(
+          remaining, static_cast<uint64_t>(available_bytes_));
+      available_bytes_ -= static_cast<int64_t>(installment);
+      remaining -= installment;
+      continue;
+    }
+    // Sleep until tokens could cover the shortfall (or one chunk when
+    // yielding), with the lock released so the other lane can progress.
+    uint64_t need_micros = kSleepChunkMicros;
+    if (!must_yield && available_bytes_ <= 0) {
+      const uint64_t deficit =
+          static_cast<uint64_t>(-available_bytes_) + std::min(
+              remaining, rate * kRefillWindowMicros / 1000000);
+      need_micros = std::max<uint64_t>(1, deficit * 1000000 / rate);
+    }
+    const uint64_t chunk = std::min(need_micros, kSleepChunkMicros);
+    if (!throttled) {
+      throttled = true;
+      throttled_bytes_.fetch_add(remaining, std::memory_order_relaxed);
+    }
+    mutex_.Unlock();
+    env_->SleepForMicroseconds(static_cast<int>(chunk));
+    mutex_.Lock();
+    waited += chunk;
+  }
+  if (pri == Priority::kHigh) high_pri_waiting_--;
+  if (waited > 0) wait_micros_.fetch_add(waited, std::memory_order_relaxed);
+}
+
+}  // namespace fcae

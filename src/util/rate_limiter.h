@@ -1,0 +1,117 @@
+#ifndef FCAE_UTIL_RATE_LIMITER_H_
+#define FCAE_UTIL_RATE_LIMITER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/env.h"
+#include "util/mutex.h"
+
+namespace fcae {
+
+/// A token-bucket rate limiter for background I/O with two priority
+/// lanes (DESIGN.md §10). Flushes request at kHigh — they gate the
+/// write path, so they must never queue behind bulk compaction writes —
+/// while compaction outputs request at kLow. Tokens refill continuously
+/// from the Env clock at `bytes_per_second`, with at most one refill
+/// window (100 ms) of burst credit, so a long idle period cannot bank
+/// an unbounded write burst.
+///
+/// Request() blocks the caller (via Env::SleepForMicroseconds, in
+/// bounded chunks so a hooked test clock stays deterministic) until the
+/// bucket can cover the bytes. Low-priority requests additionally yield
+/// while any high-priority request is waiting. Thread-safe; a single
+/// limiter is shared by all background workers of a DB (or several DBs,
+/// RocksDB-style, if the caller passes the same limiter to each).
+class RateLimiter {
+ public:
+  enum class Priority { kHigh, kLow };
+
+  /// `bytes_per_second` == 0 means unlimited: Request() returns
+  /// immediately and only the through-put statistics are maintained.
+  RateLimiter(Env* env, uint64_t bytes_per_second);
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  /// Blocks until `bytes` tokens are available, then consumes them.
+  /// Requests larger than one burst window are admitted in bucket-sized
+  /// installments so they cannot starve the other lane forever.
+  void Request(uint64_t bytes, Priority pri);
+
+  /// Adjusts the refill rate; takes effect on the next refill. 0 opens
+  /// the throttle.
+  void SetBytesPerSecond(uint64_t bytes_per_second);
+  uint64_t bytes_per_second() const {
+    return bytes_per_second_.load(std::memory_order_relaxed);
+  }
+
+  // Statistics (monotonic; readable without the lock). DBImpl bridges
+  // these into the `ratelimiter.*` obs counters — the util layer sits
+  // below obs, so the limiter cannot own registry pointers itself.
+  uint64_t total_bytes_through() const {
+    return bytes_through_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_throttled_bytes() const {
+    return throttled_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_wait_micros() const {
+    return wait_micros_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Credits tokens for the wall time elapsed since the last refill;
+  /// requires mutex_ held.
+  void Refill(uint64_t now_micros) REQUIRES(mutex_);
+
+  Env* const env_;
+  std::atomic<uint64_t> bytes_per_second_;
+
+  Mutex mutex_;
+  int64_t available_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t last_refill_micros_ GUARDED_BY(mutex_) = 0;
+  int high_pri_waiting_ GUARDED_BY(mutex_) = 0;
+
+  std::atomic<uint64_t> bytes_through_{0};
+  std::atomic<uint64_t> throttled_bytes_{0};
+  std::atomic<uint64_t> wait_micros_{0};
+  std::atomic<uint64_t> requests_{0};
+};
+
+/// A WritableFile decorator that charges every Append against a
+/// RateLimiter lane before forwarding it. Wrapped around compaction and
+/// flush output files (builder.cc, cpu_compaction_executor.cc, the
+/// offload assembly path) so Options::rate_limit_bytes_per_sec caps all
+/// background disk writes without touching the WAL, which stays on the
+/// foreground latency path.
+class RateLimitedWritableFile : public WritableFile {
+ public:
+  /// Takes ownership of `target`. `limiter` is borrowed and may be
+  /// nullptr, in which case the wrapper is a pass-through.
+  RateLimitedWritableFile(WritableFile* target, RateLimiter* limiter,
+                          RateLimiter::Priority pri)
+      : target_(target), limiter_(limiter), pri_(pri) {}
+  ~RateLimitedWritableFile() override { delete target_; }
+
+  Status Append(const Slice& data) override {
+    if (limiter_ != nullptr && !data.empty()) {
+      limiter_->Request(data.size(), pri_);
+    }
+    return target_->Append(data);
+  }
+  Status Close() override { return target_->Close(); }
+  Status Flush() override { return target_->Flush(); }
+  Status Sync() override { return target_->Sync(); }
+
+ private:
+  WritableFile* const target_;
+  RateLimiter* const limiter_;
+  const RateLimiter::Priority pri_;
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_RATE_LIMITER_H_

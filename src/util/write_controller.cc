@@ -1,0 +1,87 @@
+#include "util/write_controller.h"
+
+#include <algorithm>
+
+namespace fcae {
+
+double WriteController::DebtScore(const WriteStallConditions& cond,
+                                  const WriteControllerConfig& config) {
+  double debt = 0;
+
+  // L0 component: 0 below the slowdown trigger, 1.0 at the stop
+  // trigger, linear in the files between. The +1 keeps the first file
+  // at the slowdown trigger from pricing as zero debt.
+  if (cond.l0_files >= config.l0_stop_trigger) {
+    debt = 1.0;
+  } else if (cond.l0_files >= config.l0_slowdown_trigger) {
+    const int span =
+        std::max(1, config.l0_stop_trigger - config.l0_slowdown_trigger);
+    debt = static_cast<double>(cond.l0_files - config.l0_slowdown_trigger +
+                               1) /
+           static_cast<double>(span);
+  }
+
+  // Pending-compaction-bytes component: deeper-level backlog the L0
+  // count cannot see. Linear between the soft and hard limits.
+  if (config.hard_pending_compaction_bytes >
+          config.soft_pending_compaction_bytes &&
+      cond.pending_compaction_bytes > config.soft_pending_compaction_bytes) {
+    const double span = static_cast<double>(
+        config.hard_pending_compaction_bytes -
+        config.soft_pending_compaction_bytes);
+    const double over = static_cast<double>(
+        cond.pending_compaction_bytes - config.soft_pending_compaction_bytes);
+    debt = std::max(debt, std::min(1.0, over / span));
+  }
+
+  return std::min(1.0, std::max(0.0, debt));
+}
+
+uint64_t WriteController::DelayMicrosForDebt(
+    double debt, const WriteControllerConfig& config) {
+  if (debt <= 0) return 0;
+  const double clamped = std::min(1.0, debt);
+  const double span = static_cast<double>(
+      config.max_delay_micros > config.min_delay_micros
+          ? config.max_delay_micros - config.min_delay_micros
+          : 0);
+  return config.min_delay_micros +
+         static_cast<uint64_t>(clamped * clamped * span);
+}
+
+WriteController::State WriteController::Update(
+    const WriteStallConditions& cond) {
+  debt_ = DebtScore(cond, config_);
+
+  const bool l0_stop = cond.l0_files >= config_.l0_stop_trigger;
+  // The memory budget stops writers only while a flush is in flight to
+  // drain it; without one the caller rotates the memtable instead, so
+  // stopping would deadlock.
+  const bool memory_stop =
+      config_.total_write_buffer_size > 0 && cond.imm_in_flight &&
+      cond.memtable_bytes >= config_.total_write_buffer_size;
+
+  if (l0_stop || memory_stop) {
+    state_ = State::kStopped;
+  } else if (debt_ > 0) {
+    state_ = State::kDelayed;
+  } else {
+    state_ = State::kOk;
+    next_request_micros_ = 0;  // Debt paid off: drop any queued credit.
+  }
+  return state_;
+}
+
+uint64_t WriteController::GetDelayMicros(uint64_t now_micros) {
+  if (state_ != State::kDelayed) return 0;
+  const uint64_t spacing = DelayMicrosForDebt(debt_, config_);
+  const uint64_t base = std::max(now_micros, next_request_micros_);
+  // Cap the ledger at one max delay past now: the backlog a burst can
+  // accumulate is bounded, so p99 stays bounded too (the overload
+  // acceptance criterion).
+  next_request_micros_ =
+      std::min(base + spacing, now_micros + config_.max_delay_micros);
+  return next_request_micros_ - now_micros;
+}
+
+}  // namespace fcae

@@ -594,4 +594,59 @@ TEST(BackgroundErrorTest, AutoResumeRecoversWithoutManualIntervention) {
   ASSERT_TRUE(db->Put(WriteOptions(), "healed", "yes").ok());
 }
 
+TEST(BackgroundErrorTest, BgErrorWakesStalledWriter) {
+  // A writer parked in MakeRoomForWrite (waiting on an immutable-memtable
+  // flush or sleeping off a controller delay) must be woken the moment a
+  // background error lands, and must see that error instead of stalling
+  // against a pipeline that will never drain. The assertion here is
+  // promptness: if the wakeup is missing, the writer thread never
+  // finishes and the test times out.
+  std::unique_ptr<Env> base(NewMemEnv(Env::Default()));
+  CrashInjectionEnv env(base.get());
+  obs::MetricsRegistry metrics;
+
+  Options options;
+  options.env = &env;
+  options.create_if_missing = true;
+  options.write_buffer_size = 4 * 1024;  // Constant flush pressure.
+  options.metrics_registry = &metrics;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/wakedb", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  env.SetSyncsFail(true);
+  std::atomic<bool> writer_saw_error{false};
+  std::thread writer([&]() {
+    // Each value is a quarter of the buffer: rotations and flushes fire
+    // immediately, the flushes fail on Sync, and some Put lands in the
+    // imm-wait (or delay) path when the error is recorded.
+    std::string value(1024, 'e');
+    for (int i = 0; i < 500; i++) {
+      Status s = db->Put(WriteOptions(), MatrixKey(2, i), value);
+      if (!s.ok()) {
+        writer_saw_error.store(true);
+        return;
+      }
+    }
+  });
+  writer.join();
+  EXPECT_TRUE(writer_saw_error.load())
+      << "writer outran 500 puts without ever seeing the background error";
+
+  std::string bg;
+  ASSERT_TRUE(db->GetProperty("fcae.background-error", &bg));
+  EXPECT_NE(std::string::npos, bg.find("state=soft")) << bg;
+
+  // Healing and resuming restores write service for the same writer.
+  env.SetSyncsFail(false);
+  ASSERT_TRUE(db->Resume().ok());
+  ASSERT_TRUE(db->GetProperty("fcae.background-error", &bg));
+  EXPECT_NE(std::string::npos, bg.find("state=ok")) << bg;
+  ASSERT_TRUE(db->Put(WriteOptions(), "awake", "yes").ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "awake", &value).ok());
+  EXPECT_EQ("yes", value);
+}
+
 }  // namespace fcae
