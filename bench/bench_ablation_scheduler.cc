@@ -5,6 +5,7 @@
 // on the real storage engine (offload share of compactions).
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "bench_util.h"
@@ -113,11 +114,18 @@ void RealDb() {
     workload::ValueGenerator values(3);
     Random rnd(99);
     for (int i = 0; i < 30000; i++) {
-      db->Put(WriteOptions(), keys.Format(rnd.Uniform(20000)),
-              values.Generate(256));
+      Status put = db->Put(WriteOptions(), keys.Format(rnd.Uniform(20000)),
+                           values.Generate(256));
+      if (!put.ok()) {
+        std::fprintf(stderr, "put: %s\n", put.ToString().c_str());
+        std::exit(1);
+      }
     }
     auto* impl = reinterpret_cast<DBImpl*>(db.get());
-    impl->TEST_CompactMemTable();
+    if (Status flush = impl->TEST_CompactMemTable(); !flush.ok()) {
+      std::fprintf(stderr, "flush: %s\n", flush.ToString().c_str());
+      std::exit(1);
+    }
     for (int level = 0; level < kNumLevels - 1; level++) {
       impl->TEST_CompactRange(level, nullptr, nullptr);
     }

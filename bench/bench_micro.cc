@@ -207,7 +207,7 @@ int RunTelemetryWorkload(const bench::ObsExportFlags& obs_flags) {
   options.compaction_executor = &executor;
 
   const std::string dbname = "/bench_micro_telemetry";
-  DestroyDB(dbname, options);
+  DestroyDB(dbname, options).IgnoreError();  // fresh mem env
   DB* raw = nullptr;
   Status s = DB::Open(options, dbname, &raw);
   if (!s.ok()) {
@@ -297,7 +297,7 @@ bool RunPerfWorkload(int threads, int subcompactions, PerfRunResult* result) {
   options.metrics_registry = &registry;
 
   const std::string dbname = "/bench_micro_perf";
-  DestroyDB(dbname, options);
+  DestroyDB(dbname, options).IgnoreError();  // fresh mem env
   DB* raw = nullptr;
   if (!DB::Open(options, dbname, &raw).ok()) return false;
   std::unique_ptr<DB> db(raw);
@@ -428,7 +428,7 @@ bool RunOverloadWorkload(OverloadRunResult* result) {
     options.max_subcompactions = 4;
 
     const std::string dbname = "/bench_micro_overload_probe";
-    DestroyDB(dbname, options);
+    DestroyDB(dbname, options).IgnoreError();  // fresh mem env
     DB* raw = nullptr;
     if (!DB::Open(options, dbname, &raw).ok()) return false;
     std::unique_ptr<DB> db(raw);
@@ -469,7 +469,7 @@ bool RunOverloadWorkload(OverloadRunResult* result) {
         std::max(4.0 * sustainable_bps, 4.0 * 1024 * 1024));
 
     const std::string dbname = "/bench_micro_overload_soak";
-    DestroyDB(dbname, options);
+    DestroyDB(dbname, options).IgnoreError();  // fresh mem env
     DB* raw = nullptr;
     if (!DB::Open(options, dbname, &raw).ok()) return false;
     std::unique_ptr<DB> db(raw);

@@ -133,7 +133,9 @@ class Benchmark {
     options.max_subcompactions = flags_.subcompactions;
     options.compaction_executor = executor_.get();
     if (fresh) {
-      fcae::DestroyDB(flags_.db, options);
+      // Best-effort: a stale DB that cannot be destroyed surfaces as an
+      // Open error right below.
+      fcae::DestroyDB(flags_.db, options).IgnoreError();
     }
     fcae::DB* db = nullptr;
     fcae::Status s = fcae::DB::Open(options, flags_.db, &db);

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+
 #include <memory>
 
 #include "host/offload_compaction.h"
@@ -17,6 +18,18 @@
 #include "util/mem_env.h"
 #include "util/random.h"
 #include "workload/key_generator.h"
+
+namespace {
+
+/// Demo helper: abort on any failed DB operation.
+void OrDie(const fcae::Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fcae;
@@ -63,18 +76,18 @@ int main(int argc, char** argv) {
     std::string key = keys.Format(rnd.Uniform(num_ops / 4 + 1));
     if (rnd.Uniform(10) < 8) {
       std::string value = values.Generate(128 + rnd.Uniform(512));
-      cpu_db->Put(wo, key, value);
-      fcae_db->Put(wo, key, value);
+      OrDie(cpu_db->Put(wo, key, value), "cpu put");
+      OrDie(fcae_db->Put(wo, key, value), "fcae put");
     } else {
-      cpu_db->Delete(wo, key);
-      fcae_db->Delete(wo, key);
+      OrDie(cpu_db->Delete(wo, key), "cpu delete");
+      OrDie(fcae_db->Delete(wo, key), "fcae delete");
     }
   }
 
   // Force both through full compactions.
   for (DB* db : {cpu_db.get(), fcae_db.get()}) {
     auto* impl = reinterpret_cast<DBImpl*>(db);
-    impl->TEST_CompactMemTable();
+    OrDie(impl->TEST_CompactMemTable(), "flush");
     for (int level = 0; level < kNumLevels - 1; level++) {
       impl->TEST_CompactRange(level, nullptr, nullptr);
     }

@@ -12,6 +12,19 @@
 #include "table/iterator.h"
 #include "lsm/write_batch.h"
 
+namespace {
+
+/// Demo helper: the quickstart has no recovery story, so any failed
+/// operation just aborts with the status message.
+void OrDie(const fcae::Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace fcae;
 
@@ -31,9 +44,11 @@ int main(int argc, char** argv) {
 
   // Single writes.
   WriteOptions wo;
-  db->Put(wo, "language", "C++20");
-  db->Put(wo, "paper", "FPGA-based Compaction Engine for LSM-tree KV Stores");
-  db->Put(wo, "venue", "ICDE 2020");
+  OrDie(db->Put(wo, "language", "C++20"), "put");
+  OrDie(db->Put(wo, "paper",
+                "FPGA-based Compaction Engine for LSM-tree KV Stores"),
+        "put");
+  OrDie(db->Put(wo, "venue", "ICDE 2020"), "put");
 
   // Atomic multi-key batch.
   WriteBatch batch;
@@ -56,14 +71,14 @@ int main(int argc, char** argv) {
 
   // Snapshot isolation.
   const Snapshot* snap = db->GetSnapshot();
-  db->Put(wo, "language", "Rust?!");
+  OrDie(db->Put(wo, "language", "Rust?!"), "put");
   ReadOptions at_snap;
   // Snapshots are passed by sequence number in this API; the Snapshot
   // handle manages the pin. See lsm/snapshot.h.
-  db->Get(ReadOptions(), "language", &value);
+  OrDie(db->Get(ReadOptions(), "language", &value), "get");
   std::printf("language (latest) -> %s\n", value.c_str());
   db->ReleaseSnapshot(snap);
-  db->Put(wo, "language", "C++20");
+  OrDie(db->Put(wo, "language", "C++20"), "put");
   (void)at_snap;
 
   // Full scan.

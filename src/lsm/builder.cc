@@ -87,7 +87,9 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
   if (s.ok() && meta->file_size > 0) {
     // Keep it.
   } else {
-    env->RemoveFile(fname);
+    // Best-effort cleanup of the partial table; an orphan left behind is
+    // reclaimed by open-time orphan reclamation.
+    env->RemoveFile(fname).IgnoreError();
   }
   return s;
 }

@@ -37,7 +37,8 @@ class DB {
  public:
   /// Opens the database named `name`; stores a heap-allocated DB in
   /// *dbptr on success. The caller deletes *dbptr when done.
-  static Status Open(const Options& options, const std::string& name,
+  [[nodiscard]] static Status Open(const Options& options,
+                                   const std::string& name,
                      DB** dbptr);
 
   DB() = default;
@@ -47,19 +48,21 @@ class DB {
   virtual ~DB();
 
   /// Sets the database entry for `key` to `value`.
-  virtual Status Put(const WriteOptions& options, const Slice& key,
-                     const Slice& value) = 0;
+  [[nodiscard]] virtual Status Put(const WriteOptions& options,
+                                   const Slice& key, const Slice& value) = 0;
 
   /// Removes the database entry (if any) for `key`. It is not an error
   /// if `key` is absent.
-  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  [[nodiscard]] virtual Status Delete(const WriteOptions& options,
+                                      const Slice& key) = 0;
 
   /// Applies the specified updates to the database atomically.
-  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+  [[nodiscard]] virtual Status Write(const WriteOptions& options,
+                                     WriteBatch* updates) = 0;
 
   /// If the database contains an entry for `key`, stores the value in
   /// *value and returns OK; returns a NotFound status otherwise.
-  virtual Status Get(const ReadOptions& options, const Slice& key,
+  [[nodiscard]] virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
 
   /// Returns a heap-allocated iterator over the database contents. The
@@ -90,7 +93,7 @@ class DB {
   /// automatic attempts are exhausted. Returns the sticky error if the
   /// state is a hard error (e.g. corruption), which only a reopen —
   /// and possibly a repair — can clear. Default: NotSupported.
-  virtual Status Resume();
+  [[nodiscard]] virtual Status Resume();
 
   /// For each range [i], stores the approximate file-system space used
   /// in sizes[i].

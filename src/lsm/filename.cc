@@ -125,7 +125,8 @@ Status SetCurrentFile(Env* env, const std::string& dbname,
     s = env->SyncDir(dbname);
   }
   if (!s.ok()) {
-    env->RemoveFile(tmp);
+    // Best-effort tmp cleanup; the install failure itself is propagated.
+    env->RemoveFile(tmp).IgnoreError();
   }
   return s;
 }

@@ -274,7 +274,7 @@ class Repairer {
     file = nullptr;
 
     if (!status.ok()) {
-      env_->RemoveFile(tmp);
+      env_->RemoveFile(tmp).IgnoreError();  // best-effort tmp cleanup
       return status;
     }
 
@@ -288,7 +288,7 @@ class Repairer {
     if (status.ok()) {
       status = SetCurrentFile(env_, dbname_, 1);
     } else {
-      env_->RemoveFile(tmp);
+      env_->RemoveFile(tmp).IgnoreError();  // best-effort tmp cleanup
     }
     return status;
   }
@@ -303,7 +303,9 @@ class Repairer {
       new_dir.assign(fname.data(), slash - fname.data());
     }
     new_dir.append("/lost");
-    env_->CreateDir(new_dir);  // Ignore error.
+    // Ignore error: if the lost/ dir cannot be made, the rename below
+    // fails and the file stays where it was.
+    env_->CreateDir(new_dir).IgnoreError();
     std::string new_file = new_dir;
     new_file.append("/");
     new_file.append((slash == nullptr) ? fname.c_str() : slash + 1);

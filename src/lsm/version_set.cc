@@ -851,11 +851,15 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
     }
 
     if (s.ok()) {
+      // Best-effort size probe for the rollover trigger: on failure
+      // manifest_bytes stays 0 and the rollover is merely deferred to a
+      // later LogAndApply.
       env_->GetFileSize(need_new_manifest
                             ? new_manifest_file
                             : DescriptorFileName(dbname_,
                                                  manifest_file_number_),
-                        &manifest_bytes);
+                        &manifest_bytes)
+          .IgnoreError();
     }
 
     mu->Lock();
@@ -877,7 +881,10 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
       manifest_file_number_ = new_manifest_number;
       force_new_manifest_ = false;
       if (!first_manifest) {
-        env_->RemoveFile(DescriptorFileName(dbname_, old_manifest_number));
+        // Best-effort retirement: a stale descriptor that survives is
+        // orphan-reclaimed at the next open.
+        env_->RemoveFile(DescriptorFileName(dbname_, old_manifest_number))
+            .IgnoreError();
       }
     }
   } else {
@@ -886,7 +893,9 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
       // Keep the old descriptor: it is still the durable truth.
       delete new_descriptor_log;
       delete new_descriptor_file;
-      env_->RemoveFile(new_manifest_file);
+      // Best-effort: the aborted manifest is unreferenced and will be
+      // orphan-reclaimed at the next open if this fails.
+      env_->RemoveFile(new_manifest_file).IgnoreError();
       if (!first_manifest) {
         ReuseFileNumber(new_manifest_number);
       }
@@ -1363,7 +1372,6 @@ void VersionSet::SetupOtherInputs(Compaction* c) {
   if (!c->inputs_[1].empty()) {
     std::vector<FileMetaData*> expanded0;
     current_->GetOverlappingInputs(level, &all_start, &all_limit, &expanded0);
-    const int64_t inputs0_size = TotalFileSize(c->inputs_[0]);
     const int64_t inputs1_size = TotalFileSize(c->inputs_[1]);
     const int64_t expanded0_size = TotalFileSize(expanded0);
     if (expanded0.size() > c->inputs_[0].size() &&

@@ -9,9 +9,13 @@ namespace fcae {
 namespace obs {
 
 uint64_t TraceNowMicros() {
+  // Trace timestamps are display-only (relative event ordering in dump
+  // output); they never feed the crash model or fake-clock tests, so a
+  // direct steady_clock read is acceptable here.
+  // fcae-check: allow(raw-io): display-only trace timestamps
+  auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
   return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+      std::chrono::duration_cast<std::chrono::microseconds>(since_epoch)
           .count());
 }
 

@@ -1,6 +1,8 @@
 #include "util/crash_env.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace fcae {
@@ -92,6 +94,8 @@ const std::vector<std::string>& CrashPointRegistry::KnownPoints() {
   // test (tests/crash_recovery_test.cc) iterates exactly this list.
   static const std::vector<std::string>* points = new std::vector<std::string>{
       "wal:after_append",          // DBImpl::Write, record appended, pre-sync
+      "wal:after_rotate_syncdir",  // MakeRoomForWrite, new log durable,
+                                   // pre-writer-switch
       "flush:after_build",         // WriteLevel0Table, table built, pre-edit
       "manifest:after_append",     // LogAndApply, record appended, pre-sync
       "manifest:after_sync",       // LogAndApply, synced, pre-CURRENT switch
@@ -420,13 +424,23 @@ void CrashInjectionEnv::ResetToDurableState() {
       if (child == "." || child == "..") continue;
       std::string full = dir.empty() ? child : dir + "/" + child;
       if (durable_.find(full) == durable_.end()) {
-        base_->RemoveFile(full);  // ignore errors (may be a subdir)
+        // ignore errors (may be a subdir)
+        base_->RemoveFile(full).IgnoreError();
       }
     }
   }
-  // Rewrite survivors to their last-synced content.
+  // Rewrite survivors to their last-synced content. A failure here would
+  // silently corrupt the simulated durable state and invalidate whatever
+  // the crash matrix concludes, so it is fatal to the harness.
   for (const auto& [path, node] : durable_) {
-    WriteStringToFile(base_, node->synced, path);
+    Status rewrite = WriteStringToFile(base_, node->synced, path);
+    if (!rewrite.ok()) {
+      std::fprintf(stderr,
+                   "CrashInjectionEnv::ResetToDurableState: cannot rewrite "
+                   "'%s': %s\n",
+                   path.c_str(), rewrite.ToString().c_str());
+      std::abort();
+    }
   }
   live_ = durable_;
   pending_.clear();

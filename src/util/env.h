@@ -30,19 +30,19 @@ class Env {
   static Env* Default();
 
   /// Creates an object that sequentially reads the named file.
-  virtual Status NewSequentialFile(const std::string& fname,
+  [[nodiscard]] virtual Status NewSequentialFile(const std::string& fname,
                                    SequentialFile** result) = 0;
 
   /// Creates an object supporting random-access reads of the named file.
-  virtual Status NewRandomAccessFile(const std::string& fname,
+  [[nodiscard]] virtual Status NewRandomAccessFile(const std::string& fname,
                                      RandomAccessFile** result) = 0;
 
   /// Creates (truncating if it exists) a writable file.
-  virtual Status NewWritableFile(const std::string& fname,
+  [[nodiscard]] virtual Status NewWritableFile(const std::string& fname,
                                  WritableFile** result) = 0;
 
   /// Opens (creating if needed) a file for appending.
-  virtual Status NewAppendableFile(const std::string& fname,
+  [[nodiscard]] virtual Status NewAppendableFile(const std::string& fname,
                                    WritableFile** result) = 0;
 
   virtual bool FileExists(const std::string& fname) = 0;
@@ -55,7 +55,7 @@ class Env {
   virtual Status CreateDir(const std::string& dirname) = 0;
   virtual Status RemoveDir(const std::string& dirname) = 0;
   virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
-  virtual Status RenameFile(const std::string& src,
+  [[nodiscard]] virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
   /// Syncs directory metadata so that file creations, removals, and
@@ -63,7 +63,7 @@ class Env {
   /// The default is a no-op for Envs whose namespace mutations are
   /// already durable (or that have no notion of durability, e.g. the
   /// in-memory Env).
-  virtual Status SyncDir(const std::string& dir) {
+  [[nodiscard]] virtual Status SyncDir(const std::string& dir) {
     (void)dir;
     return Status::OK();
   }
@@ -72,7 +72,8 @@ class Env {
   /// owning lock object in *lock; a second LockFile on the same name —
   /// from this or any other process — fails until UnlockFile. Used to
   /// guard a database directory against concurrent opens.
-  virtual Status LockFile(const std::string& fname, FileLock** lock) = 0;
+  [[nodiscard]] virtual Status LockFile(const std::string& fname,
+                                        FileLock** lock) = 0;
 
   /// Releases a lock acquired by LockFile and deletes *lock.
   virtual Status UnlockFile(FileLock* lock) = 0;
@@ -126,7 +127,7 @@ class SequentialFile {
 
   /// Reads up to n bytes. Sets *result to the data read (may point into
   /// `scratch`, which must have at least n bytes).
-  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  [[nodiscard]] virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
 
   /// Skips n bytes.
   virtual Status Skip(uint64_t n) = 0;
@@ -143,7 +144,7 @@ class RandomAccessFile {
 
   /// Reads up to n bytes starting at `offset`. *result may point into
   /// `scratch` (which must have at least n bytes).
-  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+  [[nodiscard]] virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
 };
 
@@ -156,10 +157,10 @@ class WritableFile {
   WritableFile(const WritableFile&) = delete;
   WritableFile& operator=(const WritableFile&) = delete;
 
-  virtual Status Append(const Slice& data) = 0;
+  [[nodiscard]] virtual Status Append(const Slice& data) = 0;
   virtual Status Close() = 0;
   virtual Status Flush() = 0;
-  virtual Status Sync() = 0;
+  [[nodiscard]] virtual Status Sync() = 0;
 };
 
 /// Writes `data` to the named file, replacing any existing contents.

@@ -90,7 +90,9 @@ class PosixWritableFile final : public WritableFile {
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      Close();
+      // Destructor path: callers that care about durability must Close()
+      // (and Sync()) explicitly before destruction.
+      Close().IgnoreError();
     }
   }
 
@@ -537,7 +539,8 @@ Status WriteStringToFile(Env* env, const Slice& data,
   }
   delete file;
   if (!s.ok()) {
-    env->RemoveFile(fname);
+    // Best-effort cleanup of the partial file; the write error wins.
+    env->RemoveFile(fname).IgnoreError();
   }
   return s;
 }
@@ -558,7 +561,8 @@ Status WriteStringToFileSync(Env* env, const Slice& data,
   }
   delete file;
   if (!s.ok()) {
-    env->RemoveFile(fname);
+    // Best-effort cleanup of the partial file; the write error wins.
+    env->RemoveFile(fname).IgnoreError();
   }
   return s;
 }

@@ -11,7 +11,17 @@ namespace fcae {
 /// A Status encapsulates the result of an operation: success, or an error
 /// code plus a message. This project does not use exceptions; every
 /// fallible operation returns a Status (or stores one, for iterators).
-class Status {
+///
+/// The class is [[nodiscard]]: a caller that drops a returned Status is a
+/// compile error under -Werror. Best-effort call sites (orphan/tmp-file
+/// cleanup, shutdown paths) must say so explicitly:
+///
+///   env_->RemoveFile(tmp).IgnoreError();  // best-effort: reclaimed at open
+///
+/// Anything on a durability edge (Sync, SyncDir, rename-install,
+/// manifest writes) must instead propagate the error or record it in the
+/// background-error state machine (DBImpl::RecordBackgroundError).
+class [[nodiscard]] Status {
  public:
   /// Creates an OK status.
   Status() = default;
@@ -59,6 +69,13 @@ class Status {
 
   /// Returns a human-readable description, e.g. "IO error: <msg>".
   std::string ToString() const;
+
+  /// Explicitly drops this Status: the operation is best-effort and the
+  /// caller has decided failure is acceptable. This is the only sanctioned
+  /// way to ignore a Status — it keeps intentional drops grep-able and
+  /// lets `[[nodiscard]]` flag the unintentional ones. Callable on
+  /// temporaries (`env->RemoveFile(f).IgnoreError();`).
+  void IgnoreError() const {}
 
  private:
   enum class Code : unsigned char {

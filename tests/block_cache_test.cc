@@ -156,7 +156,8 @@ TEST_F(BlockCacheTest, DbWithCacheMatchesDbWithout) {
                           std::string(200, 'x'))
                       .ok());
     }
-    reinterpret_cast<DBImpl*>(db.get())->TEST_CompactMemTable();
+    ASSERT_TRUE(
+        reinterpret_cast<DBImpl*>(db.get())->TEST_CompactMemTable().ok());
     std::string value;
     int found = 0;
     for (int i = 0; i < 500; i++) {

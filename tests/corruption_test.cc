@@ -40,7 +40,9 @@ class CorruptionTest : public testing::Test {
       ASSERT_TRUE(
           db_->Put(WriteOptions(), key, std::string(100, 'v')).ok());
     }
-    reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+    // Best-effort: later builds may run against corrupted state.
+    reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable()
+        .IgnoreError();
   }
 
   std::vector<std::string> TableFiles() {

@@ -32,7 +32,8 @@ class DbIterTest : public testing::Test {
     ASSERT_TRUE(db_->Delete(WriteOptions(), k).ok());
   }
   void Flush() {
-    reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+    ASSERT_TRUE(
+        reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   }
 
   std::unique_ptr<Iterator> Iter() {

@@ -40,7 +40,7 @@ class DBTest : public testing::Test {
 
   ~DBTest() override {
     delete db_;
-    DestroyDB(dbname_, options_);
+    DestroyDB(dbname_, options_).IgnoreError();  // best-effort teardown
   }
 
   void Reopen(Options* new_options = nullptr) {
@@ -55,7 +55,7 @@ class DBTest : public testing::Test {
   void DestroyAndReopen(Options* new_options = nullptr) {
     delete db_;
     db_ = nullptr;
-    DestroyDB(dbname_, options_);
+    ASSERT_TRUE(DestroyDB(dbname_, options_).ok());
     Reopen(new_options);
   }
 
@@ -105,7 +105,7 @@ class DBTest : public testing::Test {
   /// key space ends up fully compacted (memtable flushes may skip to
   /// level 2, so a single level-0 pass is not enough).
   void CompactAllLevels() {
-    dbfull()->TEST_CompactMemTable();
+    ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
     for (int level = 0; level < kNumLevels - 1; level++) {
       dbfull()->TEST_CompactRange(level, nullptr, nullptr);
     }
@@ -168,7 +168,7 @@ TEST_F(DBTest, GetFromImmutableLayer) {
 
 TEST_F(DBTest, GetFromVersions) {
   ASSERT_TRUE(Put("foo", "v1").ok());
-  dbfull()->TEST_CompactMemTable();
+  ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
   ASSERT_EQ("v1", Get("foo"));
   ASSERT_GE(TotalTableFiles(), 1);
 }
@@ -176,13 +176,13 @@ TEST_F(DBTest, GetFromVersions) {
 TEST_F(DBTest, GetPicksCorrectFile) {
   // Arrange to have multiple files in a non-level-0 level.
   ASSERT_TRUE(Put("a", "va").ok());
-  dbfull()->TEST_CompactMemTable();
+  ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
   dbfull()->TEST_CompactRange(0, nullptr, nullptr);
   ASSERT_TRUE(Put("x", "vx").ok());
-  dbfull()->TEST_CompactMemTable();
+  ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
   dbfull()->TEST_CompactRange(0, nullptr, nullptr);
   ASSERT_TRUE(Put("f", "vf").ok());
-  dbfull()->TEST_CompactMemTable();
+  ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
   dbfull()->TEST_CompactRange(0, nullptr, nullptr);
   ASSERT_EQ("va", Get("a"));
   ASSERT_EQ("vf", Get("f"));
@@ -431,18 +431,18 @@ TEST_F(DBTest, OverwritesAreCollapsedByCompaction) {
 }
 
 TEST_F(DBTest, Snapshot) {
-  Put("foo", "v1");
+  ASSERT_TRUE(Put("foo", "v1").ok());
   const Snapshot* s1 = db_->GetSnapshot();
-  Put("foo", "v2");
+  ASSERT_TRUE(Put("foo", "v2").ok());
   const Snapshot* s2 = db_->GetSnapshot();
-  Put("foo", "v3");
+  ASSERT_TRUE(Put("foo", "v3").ok());
 
   ASSERT_EQ("v1", Get("foo", s1));
   ASSERT_EQ("v2", Get("foo", s2));
   ASSERT_EQ("v3", Get("foo"));
 
   db_->ReleaseSnapshot(s1);
-  dbfull()->TEST_CompactMemTable();
+  ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
   ASSERT_EQ("v2", Get("foo", s2));
   ASSERT_EQ("v3", Get("foo"));
 
@@ -453,11 +453,12 @@ TEST_F(DBTest, Snapshot) {
 TEST_F(DBTest, HiddenValuesAreRemoved) {
   Random rnd(301);
   std::string big = RandomValue(&rnd, 50000);
-  Put("foo", big);
-  Put("pastfoo", "v");
+  ASSERT_TRUE(Put("foo", big).ok());
+  ASSERT_TRUE(Put("pastfoo", "v").ok());
   const Snapshot* snapshot = db_->GetSnapshot();
-  Put("foo", "tiny");
-  Put("pastfoo2", "v2");  // Advance sequence number one more
+  ASSERT_TRUE(Put("foo", "tiny").ok());
+  // Advance sequence number one more
+  ASSERT_TRUE(Put("pastfoo2", "v2").ok());
 
   ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
   ASSERT_GT(TotalTableFiles(), 0);  // Flush may skip to level 2.
@@ -492,7 +493,7 @@ TEST_F(DBTest, GetApproximateSizes) {
     std::snprintf(key, sizeof(key), "k%06d", i);
     ASSERT_TRUE(Put(key, RandomValue(&rnd, 10000)).ok());
   }
-  dbfull()->TEST_CompactMemTable();
+  ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
 
   Range r1("k000000", "k000020");
   Range r2("k000020", "k000040");
@@ -514,7 +515,7 @@ TEST_F(DBTest, BloomFilterOptionWorks) {
   for (int i = 0; i < 1000; i++) {
     ASSERT_TRUE(Put("key" + std::to_string(i), std::to_string(i)).ok());
   }
-  dbfull()->TEST_CompactMemTable();
+  ASSERT_TRUE(dbfull()->TEST_CompactMemTable().ok());
   for (int i = 0; i < 1000; i++) {
     ASSERT_EQ(std::to_string(i), Get("key" + std::to_string(i)));
   }

@@ -20,17 +20,17 @@ class EnvTest : public testing::TestWithParam<bool> {
       env_ = Env::Default();
       dir_ = "/tmp/fcae_env_test";
     }
-    env_->CreateDir(dir_);
+    env_->CreateDir(dir_).IgnoreError();  // may already exist
   }
 
   ~EnvTest() override {
     std::vector<std::string> children;
     if (env_->GetChildren(dir_, &children).ok()) {
       for (const auto& c : children) {
-        env_->RemoveFile(dir_ + "/" + c);
+        env_->RemoveFile(dir_ + "/" + c).IgnoreError();
       }
     }
-    env_->RemoveDir(dir_);
+    env_->RemoveDir(dir_).IgnoreError();
   }
 
   Env* env_;
@@ -245,7 +245,7 @@ TEST_P(EnvTest, FileLocking) {
   ASSERT_TRUE(env_->UnlockFile(lock1).ok());
   ASSERT_TRUE(env_->LockFile(lockname, &lock2).ok());
   ASSERT_TRUE(env_->UnlockFile(lock2).ok());
-  env_->RemoveFile(lockname);
+  env_->RemoveFile(lockname).IgnoreError();  // best-effort teardown
 }
 
 TEST_P(EnvTest, NowMicrosAdvances) {

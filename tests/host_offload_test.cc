@@ -169,7 +169,7 @@ TEST_F(OffloadDbTest, OffloadDbMatchesCpuDb) {
   // Push both through full compactions.
   for (DB* db : {cpu_db.get(), fcae_db.get()}) {
     auto* impl = reinterpret_cast<DBImpl*>(db);
-    impl->TEST_CompactMemTable();
+    impl->TEST_CompactMemTable().IgnoreError();  // device env in play
     for (int level = 0; level < kNumLevels - 1; level++) {
       impl->TEST_CompactRange(level, nullptr, nullptr);
     }
@@ -216,7 +216,7 @@ TEST_F(OffloadDbTest, SchedulerFallsBackWhenInputsExceedN) {
     ASSERT_TRUE(db->Put(wo, key, std::string(128, 'v')).ok());
   }
   auto* impl = reinterpret_cast<DBImpl*>(db.get());
-  impl->TEST_CompactMemTable();
+  impl->TEST_CompactMemTable().IgnoreError();  // device env in play
   for (int level = 0; level < kNumLevels - 1; level++) {
     impl->TEST_CompactRange(level, nullptr, nullptr);
   }

@@ -63,7 +63,7 @@ class LogTest : public testing::Test {
 
   void Write(const std::string& msg) {
     ASSERT_TRUE(!reading_) << "Write() after starting to read";
-    writer_->AddRecord(Slice(msg));
+    ASSERT_TRUE(writer_->AddRecord(Slice(msg)).ok());
   }
 
   size_t WrittenBytes() const { return dest_.contents_.size(); }

@@ -149,7 +149,8 @@ TEST_F(RecoveryTest, GarbageCurrentFileIsRejected) {
 
 TEST_F(RecoveryTest, MissingTableFileIsDetected) {
   ASSERT_TRUE(Put("a", "1").ok());
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   Close();
 
   auto tables = FilesOfType(FileType::kTableFile);
@@ -171,7 +172,8 @@ TEST_F(RecoveryTest, ManyReopensKeepSequenceMonotonic) {
 
 TEST_F(RecoveryTest, FlushedAndUnflushedMix) {
   ASSERT_TRUE(Put("flushed", "f").ok());
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   ASSERT_TRUE(Put("unflushed", "u").ok());
   Open();
   ASSERT_EQ("f", Get("flushed"));

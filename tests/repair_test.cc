@@ -67,7 +67,8 @@ TEST_F(RepairTest, RecoversFlushedDataWithoutManifest) {
                          "value" + std::to_string(i))
                     .ok());
   }
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   Close();
   RemoveManifestAndCurrent();
 
@@ -80,7 +81,8 @@ TEST_F(RepairTest, RecoversFlushedDataWithoutManifest) {
 
 TEST_F(RepairTest, RecoversUnflushedWalDataToo) {
   ASSERT_TRUE(db_->Put(WriteOptions(), "flushed", "f").ok());
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   ASSERT_TRUE(db_->Put(WriteOptions(), "walled", "w").ok());
   Close();
   RemoveManifestAndCurrent();
@@ -96,12 +98,14 @@ TEST_F(RepairTest, UnreadableTableIsQuarantinedNotFatal) {
     ASSERT_TRUE(
         db_->Put(WriteOptions(), "a" + std::to_string(i), "1").ok());
   }
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   for (int i = 0; i < 500; i++) {
     ASSERT_TRUE(
         db_->Put(WriteOptions(), "b" + std::to_string(i), "2").ok());
   }
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   Close();
 
   // Destroy one of the two tables completely.
@@ -137,7 +141,8 @@ TEST_F(RepairTest, RepairedDbKeepsWorking) {
   for (int i = 0; i < 1000; i++) {
     ASSERT_TRUE(db_->Put(WriteOptions(), "k" + std::to_string(i), "v").ok());
   }
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   Close();
   RemoveManifestAndCurrent();
   ASSERT_TRUE(Repair().ok());
@@ -147,7 +152,8 @@ TEST_F(RepairTest, RepairedDbKeepsWorking) {
   for (int i = 1000; i < 2000; i++) {
     ASSERT_TRUE(db_->Put(WriteOptions(), "k" + std::to_string(i), "v").ok());
   }
-  reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  ASSERT_TRUE(
+      reinterpret_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
   for (int level = 0; level < kNumLevels - 1; level++) {
     reinterpret_cast<DBImpl*>(db_.get())
         ->TEST_CompactRange(level, nullptr, nullptr);

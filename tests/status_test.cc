@@ -61,4 +61,46 @@ TEST(Status, MoveAssignOverOk) {
   ASSERT_TRUE(ok.IsIOError());
 }
 
+namespace {
+
+Status MakeError() { return Status::IOError("transient"); }
+
+}  // namespace
+
+// Status is class-level [[nodiscard]]: dropping a returned Status is a
+// compile-time warning (an error under FCAE_WERROR). IgnoreError() is
+// the explicit opt-out for genuinely best-effort calls; it must compile
+// against temporaries and const references and leave the value intact.
+TEST(Status, IgnoreErrorIsExplicitDiscard) {
+  MakeError().IgnoreError();  // temporary: the canonical call shape
+
+  const Status err = MakeError();
+  err.IgnoreError();  // const lvalue
+  ASSERT_TRUE(err.IsIOError());
+  ASSERT_EQ("IO error: transient", err.ToString());
+
+  Status ok;
+  ok.IgnoreError();
+  ASSERT_TRUE(ok.ok());
+}
+
+TEST(Status, MovedFromIsReusable) {
+  Status source = Status::Corruption("bad block");
+  Status sink = std::move(source);
+  ASSERT_TRUE(sink.IsCorruption());
+
+  // The moved-from Status must stay a valid object: assignable and
+  // queryable, so pooled/reused Status fields never hold a trap value.
+  source = Status::NotFound("later");
+  ASSERT_TRUE(source.IsNotFound());
+  ASSERT_EQ("NotFound: later", source.ToString());
+}
+
+TEST(Status, MoveConstructFromOk) {
+  Status ok = Status::OK();
+  Status moved = std::move(ok);
+  ASSERT_TRUE(moved.ok());
+  ASSERT_EQ("OK", moved.ToString());
+}
+
 }  // namespace fcae

@@ -17,7 +17,7 @@ class TableCacheTest : public testing::Test {
       : env_(NewMemEnv(Env::Default())), icmp_(BytewiseComparator()) {
     options_.env = env_.get();
     options_.comparator = &icmp_;
-    env_->CreateDir("/tc");
+    env_->CreateDir("/tc").IgnoreError();  // best-effort; may exist
     cache_ = std::make_unique<TableCache>("/tc", options_, 16);
   }
 

@@ -224,7 +224,7 @@ TEST(TableCorruptionTest, TruncatedFileRejected) {
     builder.Add("b", "2");
     ASSERT_TRUE(builder.Finish().ok());
   }
-  wf->Close();
+  ASSERT_TRUE(wf->Close().ok());
   delete wf;
 
   // A short prefix of a valid table must be rejected at Open.
@@ -258,7 +258,7 @@ TEST(TableCorruptionTest, FlippedByteDetectedByChecksum) {
     }
     ASSERT_TRUE(builder.Finish().ok());
   }
-  wf->Close();
+  ASSERT_TRUE(wf->Close().ok());
   delete wf;
 
   std::string contents;

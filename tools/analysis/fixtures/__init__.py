@@ -1,0 +1,2 @@
+# Marks tools/analysis/fixtures as a package so fcae_check.py --selftest
+# can `from fixtures import selftest`.

@@ -1,0 +1,55 @@
+// Seeded fixture for the crash-point rule. The file is named
+// src/lsm/db_impl.cc so it falls inside CRASH_POINT_FILES. It contains:
+//   - one unbracketed Sync (violation),
+//   - one RenameFile bracketed by an FCAE_CRASH_POINT (clean),
+//   - one waived SyncDir far from any point (clean via waiver).
+
+namespace fcae {
+
+Status InstallUnbracketed(WritableFile* file) {
+  return file->Sync();
+}
+
+// --- padding so the crash point below stays out of the 15-line window
+// --- of the violation above and of the waived edge below.
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+Status InstallBracketed(Env* env) {
+  FCAE_CRASH_POINT("fixture:before_rename");
+  return env->RenameFile("/db/MANIFEST.tmp", "/db/MANIFEST");
+}
+
+// --- more padding: keep the waived SyncDir out of the crash point's
+// --- window so only the waiver silences it.
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+Status InstallWaived(Env* env) {
+  // fcae-check: allow(crash-point): fixture demonstrates a justified skip
+  return env->SyncDir("/db");
+}
+
+}  // namespace fcae

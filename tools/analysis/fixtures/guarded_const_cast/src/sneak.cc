@@ -1,0 +1,16 @@
+// Seeded fixture for the guarded-const-cast rule: one const_cast that
+// reaches the GUARDED_BY field depth_ (violation) and one waived copy.
+#include "state.h"
+
+namespace fcae {
+
+void Sneak(const State& state) {
+  const_cast<State&>(state).depth_ = 7;
+}
+
+void SneakWaived(const State& state) {
+  // fcae-check: allow(guarded-const-cast): fixture demonstrates a waiver
+  const_cast<State&>(state).depth_ = 8;
+}
+
+}  // namespace fcae

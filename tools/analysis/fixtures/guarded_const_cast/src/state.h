@@ -1,0 +1,16 @@
+// Fixture header declaring a lock-guarded field for the
+// guarded-const-cast rule.
+#ifndef FIXTURE_STATE_H_
+#define FIXTURE_STATE_H_
+
+namespace fcae {
+
+class State {
+ public:
+  int depth_ GUARDED_BY(mu_) = 0;
+  Mutex mu_;
+};
+
+}  // namespace fcae
+
+#endif  // FIXTURE_STATE_H_

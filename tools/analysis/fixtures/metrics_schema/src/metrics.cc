@@ -1,0 +1,14 @@
+// Seeded fixture for the metrics-schema rule: fix.listed matches the
+// schema, fix.unlisted is registered but missing from the schema, and
+// fix.wrong_kind is a counter in code but a gauge in the schema. The
+// schema additionally lists fix.ghost, which no code registers.
+
+namespace fcae {
+
+void RegisterFixtureMetrics(obs::MetricsRegistry* metrics) {
+  metrics->counter("fix.listed")->Increment();
+  metrics->counter("fix.unlisted")->Increment();
+  metrics->counter("fix.wrong_kind")->Increment();
+}
+
+}  // namespace fcae

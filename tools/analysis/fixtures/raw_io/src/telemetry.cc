@@ -1,0 +1,23 @@
+// Seeded fixture for the raw-io rule: three violations (libc fopen, a
+// global-namespace close, and std::this_thread::sleep_for), plus one
+// waived libc clock read that must NOT be reported.
+#include <cstdio>
+
+namespace fcae {
+
+void BadIo() {
+  FILE* f = fopen("/tmp/fixture", "r");
+  ::close(3);
+}
+
+void BadSleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+void WaivedClock() {
+  // fcae-check: allow(raw-io): fixture demonstrates a justified escape
+  time_t t = time(nullptr);
+  (void)t;
+}
+
+}  // namespace fcae

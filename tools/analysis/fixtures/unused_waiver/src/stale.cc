@@ -1,0 +1,9 @@
+// Seeded fixture for the unused-waiver rule: the waiver below suppresses
+// nothing, so it must itself be reported as a violation.
+
+namespace fcae {
+
+// fcae-check: allow(raw-io): stale waiver left behind after a refactor
+int Answer() { return 42; }
+
+}  // namespace fcae
