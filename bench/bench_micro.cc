@@ -4,9 +4,12 @@
 // the substrate underneath the reproduction benches.
 //
 // Telemetry flags (stripped before google-benchmark sees argv):
-//   --metrics_out=<path>  run a short instrumented DB workload after the
-//                         micro benches and write its fcae.metrics JSON
-//   --trace_out=<path>    same workload; write the fcae.trace export
+//   --metrics_out=<path>       run a short instrumented DB workload after
+//                              the micro benches and write its
+//                              fcae.metrics JSON
+//   --metrics_prom_out=<path>  same workload; write the Prometheus text
+//                              rendering of the metrics registry
+//   --trace_out=<path>         same workload; write the fcae.trace export
 
 #include <benchmark/benchmark.h>
 
@@ -22,10 +25,13 @@
 #include "lsm/dbformat.h"
 #include "lsm/memtable.h"
 #include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "table/block.h"
 #include "table/block_builder.h"
 #include "table/format.h"
+#include "util/cache.h"
 #include "util/crc32c.h"
+#include "util/filter_policy.h"
 #include "util/mem_env.h"
 #include "util/random.h"
 #include "workload/key_generator.h"
@@ -182,10 +188,15 @@ void BM_MetricsCounterIncrement(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsCounterIncrement);
 
-// Short instrumented DB run backing the --metrics_out/--trace_out
-// artifacts: mem-env DB with the FCAE offload executor, enough writes to
-// force flushes and at least one offloaded compaction, then a manual
-// compaction so every lifecycle span (pick through install) appears.
+// Short instrumented DB run backing the --metrics_out /
+// --metrics_prom_out / --trace_out artifacts: mem-env DB with the FCAE
+// offload executor, a bloom filter and a deliberately small block cache,
+// and a mixed load (overwrites, deletes, point reads for present and
+// absent keys, a scan) so the read- and write-path PerfContext tick
+// sites all fire. The run self-checks: the calling thread enables
+// PerfLevel::kEnableTime and fails the bench if the bloom-filter,
+// block-cache, or write-stall counters stayed zero — the CI guard that
+// the instrumentation stays wired through the engine.
 int RunTelemetryWorkload(const bench::ObsExportFlags& obs_flags) {
   std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
 
@@ -200,11 +211,27 @@ int RunTelemetryWorkload(const bench::ObsExportFlags& obs_flags) {
   exec_options.health_monitor = &health;
   host::FcaeCompactionExecutor executor(&device, exec_options);
 
+  obs::MetricsRegistry registry;
+  std::unique_ptr<const FilterPolicy> filter(NewBloomFilterPolicy(10));
+  std::unique_ptr<Cache> block_cache(NewLRUCache(64 * 1024));
+
   Options options;
   options.env = env.get();
   options.create_if_missing = true;
   options.write_buffer_size = 256 * 1024;
   options.compaction_executor = &executor;
+  options.metrics_registry = &registry;
+  options.filter_policy = filter.get();
+  options.block_cache = block_cache.get();
+  // Low stall triggers so the mixed load crosses the slowdown (and
+  // ideally the stop) threshold at least once — the self-check below
+  // wants nonzero stall ticks.
+  options.l0_slowdown_writes_trigger = 2;
+  options.l0_stop_writes_trigger = 6;
+
+  obs::SetPerfLevel(obs::PerfLevel::kEnableTime);
+  obs::GetPerfContext()->Reset();
+  obs::GetIOStats()->Reset();
 
   const std::string dbname = "/bench_micro_telemetry";
   DestroyDB(dbname, options).IgnoreError();  // fresh mem env
@@ -221,6 +248,8 @@ int RunTelemetryWorkload(const bench::ObsExportFlags& obs_flags) {
   workload::ValueGenerator values(301);
   Random rnd(42);
   WriteOptions wo;
+  ReadOptions ro;
+  std::string value;
   for (int i = 0; i < 20000; i++) {
     s = db->Put(wo, keys.Format(rnd.Uniform(20000)), values.Generate(100));
     if (!s.ok()) {
@@ -228,14 +257,60 @@ int RunTelemetryWorkload(const bench::ObsExportFlags& obs_flags) {
                    s.ToString().c_str());
       return 1;
     }
+    if (i % 16 == 0) {
+      // Point reads across the whole key space: roughly half probe
+      // written keys (bloom hits, block reads), the rest miss entirely
+      // or hit only the filter (bloom negatives).
+      db->Get(ro, keys.Format(rnd.Uniform(40000)), &value).IgnoreError();
+    }
+    if (i % 64 == 0) {
+      db->Delete(wo, keys.Format(rnd.Uniform(20000))).IgnoreError();
+    }
   }
   db->CompactRange(nullptr, nullptr);
+  for (int i = 0; i < 2000; i++) {
+    db->Get(ro, keys.Format(rnd.Uniform(40000)), &value).IgnoreError();
+  }
+  {
+    std::unique_ptr<Iterator> it(db->NewIterator(ro));
+    int scanned = 0;
+    for (it->SeekToFirst(); it->Valid() && scanned < 1000; it->Next()) {
+      scanned++;
+    }
+  }
 
+  const obs::PerfContext* perf = obs::GetPerfContext();
+  std::printf("telemetry perf_context: %s\n", perf->ToString().c_str());
+  std::printf("telemetry io_stats: %s\n",
+              obs::GetIOStats()->ToString().c_str());
   bool ok = true;
+  if (perf->bloom_filter_hits + perf->bloom_filter_negatives == 0) {
+    std::fprintf(stderr, "telemetry: bloom filter ticks are zero\n");
+    ok = false;
+  }
+  if (perf->block_cache_hits + perf->block_cache_misses == 0) {
+    std::fprintf(stderr, "telemetry: block cache ticks are zero\n");
+    ok = false;
+  }
+  if (perf->write_delays + perf->write_stops == 0) {
+    std::fprintf(stderr, "telemetry: write stall ticks are zero\n");
+    ok = false;
+  }
+  obs::SetPerfLevel(obs::PerfLevel::kDisable);
+
   std::string json;
   if (!obs_flags.metrics_out.empty()) {
     ok = db->GetProperty("fcae.metrics", &json) &&
          bench::WriteTextFile(obs_flags.metrics_out, json) && ok;
+  }
+  if (!obs_flags.metrics_prom_out.empty()) {
+    // Pump derived counters into the registry first (GetProperty does
+    // this as a side effect), then render the same registry as
+    // Prometheus text.
+    ok = db->GetProperty("fcae.metrics", &json) && ok;
+    ok = bench::WriteTextFile(obs_flags.metrics_prom_out,
+                              registry.ExportPrometheus()) &&
+         ok;
   }
   if (!obs_flags.trace_out.empty()) {
     ok = db->GetProperty("fcae.trace", &json) &&
@@ -596,7 +671,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!obs_flags.metrics_out.empty() || !obs_flags.trace_out.empty()) {
+  if (!obs_flags.metrics_out.empty() || !obs_flags.metrics_prom_out.empty() ||
+      !obs_flags.trace_out.empty()) {
     int rc = fcae::RunTelemetryWorkload(obs_flags);
     if (rc != 0) return rc;
   }

@@ -95,13 +95,15 @@ inline uint64_t RecordsFor(uint64_t total_bytes, size_t key_len,
 }
 
 /// Telemetry-export flags shared by the bench binaries. Consume() strips
-/// `--metrics_out=<path>` and `--trace_out=<path>` from argv so the
-/// remaining flags can be handed to google-benchmark (which rejects
-/// options it does not know) or to a bench's own parser. The bench then
-/// writes the `fcae.metrics` / `fcae.trace` property JSON to the
-/// requested paths at exit.
+/// `--metrics_out=<path>`, `--metrics_prom_out=<path>`, and
+/// `--trace_out=<path>` from argv so the remaining flags can be handed
+/// to google-benchmark (which rejects options it does not know) or to a
+/// bench's own parser. The bench then writes the `fcae.metrics` /
+/// `fcae.trace` property JSON — and, for the prom flag, the Prometheus
+/// text rendering of the same registry — to the requested paths at exit.
 struct ObsExportFlags {
   std::string metrics_out;
+  std::string metrics_prom_out;
   std::string trace_out;
   // --perf runs the instrumented DB workload once per scheduler config
   // (1 worker vs. 4 workers + sharding) and writes BENCH_micro_perf.json
@@ -115,6 +117,9 @@ struct ObsExportFlags {
       std::string arg = argv[i];
       if (arg.rfind("--metrics_out=", 0) == 0) {
         metrics_out = arg.substr(std::string("--metrics_out=").size());
+      } else if (arg.rfind("--metrics_prom_out=", 0) == 0) {
+        metrics_prom_out =
+            arg.substr(std::string("--metrics_prom_out=").size());
       } else if (arg.rfind("--trace_out=", 0) == 0) {
         trace_out = arg.substr(std::string("--trace_out=").size());
       } else if (arg == "--perf") {
@@ -127,7 +132,8 @@ struct ObsExportFlags {
   }
 
   bool active() const {
-    return !metrics_out.empty() || !trace_out.empty() || perf;
+    return !metrics_out.empty() || !metrics_prom_out.empty() ||
+           !trace_out.empty() || perf;
   }
 };
 

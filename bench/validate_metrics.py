@@ -7,9 +7,14 @@ Stdlib only (CI runs it without installing anything):
         --schema bench/metrics_schema.json [--trace trace.json]
 
 Checks the structural contract (counters/gauges/histograms objects with
-numeric values), the schema's required instrument names, and — when
+numeric values), that every exported instrument is known to the schema
+with the matching kind, the schema's required/nonzero flags, and — when
 --trace is given — that the trace export is loadable chrome://tracing
 JSON with well-formed events.
+
+Understands both schema formats: the current dict sections
+(counters/gauges/histograms mapping name -> {description, required,
+nonzero}) and the legacy required_*/known_*/nonzero_counters lists.
 """
 
 import argparse
@@ -22,6 +27,28 @@ errors = []
 
 def fail(msg):
     errors.append(msg)
+
+
+def load_schema_section(schema, kind):
+    """Returns (known, required, nonzero) name sets for one instrument
+    kind ('counter' | 'gauge' | 'histogram')."""
+    known, required, nonzero = set(), set(), set()
+    section = schema.get(kind + "s")
+    if isinstance(section, dict):
+        for name, info in section.items():
+            known.add(name)
+            if isinstance(info, dict):
+                if info.get("required"):
+                    required.add(name)
+                if info.get("nonzero"):
+                    nonzero.add(name)
+    for name in schema.get(f"required_{kind}s", []):
+        known.add(name)
+        required.add(name)
+    known.update(schema.get(f"known_{kind}s", []))
+    if kind == "counter":
+        nonzero.update(schema.get("nonzero_counters", []))
+    return known, required, nonzero
 
 
 def require_numeric_object(root, section):
@@ -43,20 +70,35 @@ def validate_metrics(metrics, schema):
     gauges = require_numeric_object(metrics, "gauges")
     histograms = require_numeric_object(metrics, "histograms")
 
-    for name in schema.get("required_counters", []):
+    known_c, required_c, nonzero_c = load_schema_section(schema, "counter")
+    known_g, required_g, _ = load_schema_section(schema, "gauge")
+    known_h, required_h, _ = load_schema_section(schema, "histogram")
+
+    # Every exported instrument must be a schema-known name of the same
+    # kind: an unknown name here means code and schema drifted (or a
+    # metric was renamed without updating the contract).
+    for exported, known, kind in ((counters, known_c, "counter"),
+                                  (gauges, known_g, "gauge"),
+                                  (histograms, known_h, "histogram")):
+        for name in exported:
+            if name not in known:
+                fail(f"exported {kind} '{name}' is not in the schema — "
+                     f"add it to bench/metrics_schema.json")
+
+    for name in sorted(required_c):
         if name not in counters:
             fail(f"missing required counter '{name}'")
         elif counters[name] < 0:
             fail(f"counter '{name}' is negative: {counters[name]}")
-    for name in schema.get("nonzero_counters", []):
+    for name in sorted(nonzero_c):
         if counters.get(name, 0) == 0:
             fail(f"counter '{name}' is zero; the workload did not exercise it")
-    for name in schema.get("required_gauges", []):
+    for name in sorted(required_g):
         if name not in gauges:
             fail(f"missing required gauge '{name}'")
 
     fields = schema.get("histogram_fields", [])
-    for name in schema.get("required_histograms", []):
+    for name in sorted(required_h):
         hist = histograms.get(name)
         if hist is None:
             fail(f"missing required histogram '{name}'")

@@ -7,15 +7,17 @@
 //                       [--db=/tmp/fcae_bench] [--use_fcae=0|1|2]
 //                       [--write_buffer_size=4194304] [--mem_env=1]
 //                       [--compaction_threads=2] [--subcompactions=1]
-//                       [--metrics_out=path] [--trace_out=path]
+//                       [--metrics_out=path] [--metrics_prom_out=path]
+//                       [--trace_out=path]
 //
 // use_fcae: 0 = CPU compaction, 1 = offload (strict Fig. 6 policy),
 //           2 = offload with tournament scheduling.
 //
-// metrics_out / trace_out: after the benchmarks finish, write the DB's
-// fcae.metrics JSON (counters/gauges/histograms) and fcae.trace export
-// (chrome://tracing, load via about:tracing or ui.perfetto.dev) to the
-// given paths on the real filesystem.
+// metrics_out / metrics_prom_out / trace_out: after the benchmarks
+// finish, write the DB's fcae.metrics JSON (counters/gauges/histograms),
+// the Prometheus text rendering of the same registry, and the fcae.trace
+// export (chrome://tracing, load via about:tracing or ui.perfetto.dev)
+// to the given paths on the real filesystem.
 //
 // Benchmarks: fillseq, fillrandom, overwrite, deleterandom, readrandom,
 //             readmissing, readseq, compact, stats.
@@ -31,6 +33,7 @@
 #include "host/offload_compaction.h"
 #include "lsm/db.h"
 #include "lsm/db_impl.h"
+#include "obs/metrics.h"
 #include "table/iterator.h"
 #include "util/histogram.h"
 #include "util/mem_env.h"
@@ -51,6 +54,7 @@ struct Flags {
   int compaction_threads = 2;
   int subcompactions = 1;
   std::string metrics_out;
+  std::string metrics_prom_out;
   std::string trace_out;
 };
 
@@ -86,6 +90,7 @@ Flags ParseFlags(int argc, char** argv) {
     } else if (take("subcompactions", &v)) {
       flags.subcompactions = std::atoi(v.c_str());
     } else if (take("metrics_out", &flags.metrics_out)) {
+    } else if (take("metrics_prom_out", &flags.metrics_prom_out)) {
     } else if (take("trace_out", &flags.trace_out)) {
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -132,6 +137,9 @@ class Benchmark {
     options.compaction_threads = flags_.compaction_threads;
     options.max_subcompactions = flags_.subcompactions;
     options.compaction_executor = executor_.get();
+    // Benchmark-owned registry so --metrics_prom_out can render it
+    // directly; the DB shares it instead of allocating its own.
+    options.metrics_registry = &registry_;
     if (fresh) {
       // Best-effort: a stale DB that cannot be destroyed surfaces as an
       // Open error right below.
@@ -172,6 +180,12 @@ class Benchmark {
     if (!flags_.metrics_out.empty() &&
         db_->GetProperty("fcae.metrics", &json)) {
       WriteFileOrDie(flags_.metrics_out, json);
+    }
+    if (!flags_.metrics_prom_out.empty()) {
+      // GetProperty pumps the derived counters (rate limiter, trace
+      // drops) into the registry before we render it.
+      db_->GetProperty("fcae.metrics", &json);
+      WriteFileOrDie(flags_.metrics_prom_out, registry_.ExportPrometheus());
     }
     if (!flags_.trace_out.empty() && db_->GetProperty("fcae.trace", &json)) {
       WriteFileOrDie(flags_.trace_out, json);
@@ -287,6 +301,7 @@ class Benchmark {
   std::unique_ptr<fcae::host::FcaeDevice> device_;
   std::unique_ptr<fcae::host::DeviceHealthMonitor> health_;
   std::unique_ptr<fcae::host::FcaeCompactionExecutor> executor_;
+  fcae::obs::MetricsRegistry registry_;
   std::unique_ptr<fcae::DB> db_;
   fcae::workload::KeyFormatter keys_;
   fcae::workload::ValueGenerator values_;

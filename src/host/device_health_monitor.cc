@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/event_listener.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -18,6 +19,11 @@ void DeviceHealthMonitor::AttachObservability(obs::MetricsRegistry* metrics,
   metrics_ = metrics;
   trace_ = trace;
   PublishLocked();
+}
+
+void DeviceHealthMonitor::AttachNotifier(const obs::EventNotifier* notifier) {
+  MutexLock lock(&mutex_);
+  notifier_ = notifier;
 }
 
 void DeviceHealthMonitor::PublishLocked() {
@@ -60,6 +66,7 @@ bool DeviceHealthMonitor::Admit() {
 
 void DeviceHealthMonitor::RecordJobSuccess() {
   obs::TraceRecorder* trace = nullptr;
+  const obs::EventNotifier* notifier = nullptr;
   {
     MutexLock lock(&mutex_);
     jobs_succeeded_++;
@@ -69,19 +76,28 @@ void DeviceHealthMonitor::RecordJobSuccess() {
       denials_since_probe_ = 0;
       readmissions_++;
       trace = trace_;  // Breaker closed: worth a trace instant.
+      notifier = notifier_;
     }
     PublishLocked();
   }
-  // Instants are recorded outside mutex_ so a slow trace sink never
-  // extends the breaker's critical section.
+  // Instants and listener callbacks run outside mutex_ so a slow sink
+  // never extends the breaker's critical section.
   if (trace != nullptr) {
     trace->RecordInstant("device_readmitted", "health",
                          obs::TraceNowMicros(), 0);
+  }
+  if (notifier != nullptr && notifier->active()) {
+    obs::DeviceHealthChangeInfo info;
+    info.quarantined = false;
+    info.consecutive_failures = 0;
+    notifier->NotifyDeviceHealthChange(info);
   }
 }
 
 void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
   obs::TraceRecorder* trace = nullptr;
+  const obs::EventNotifier* notifier = nullptr;
+  int failures = 0;
   {
     MutexLock lock(&mutex_);
     jobs_failed_++;
@@ -97,6 +113,8 @@ void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
       denials_since_probe_ = 0;
       quarantines_++;
       trace = trace_;  // Breaker opened.
+      notifier = notifier_;
+      failures = consecutive_failures_;
     }
     PublishLocked();
   }
@@ -104,6 +122,12 @@ void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
     trace->RecordInstant("device_quarantined", "health",
                          obs::TraceNowMicros(), 0,
                          {{"sticky", sticky ? "true" : "false"}});
+  }
+  if (notifier != nullptr && notifier->active()) {
+    obs::DeviceHealthChangeInfo info;
+    info.quarantined = true;
+    info.consecutive_failures = failures;
+    notifier->NotifyDeviceHealthChange(info);
   }
 }
 

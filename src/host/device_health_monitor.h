@@ -10,6 +10,7 @@
 namespace fcae {
 
 namespace obs {
+class EventNotifier;
 class MetricsRegistry;
 class TraceRecorder;
 }  // namespace obs
@@ -87,6 +88,12 @@ class DeviceHealthMonitor {
   void AttachObservability(obs::MetricsRegistry* metrics,
                            obs::TraceRecorder* trace) EXCLUDES(mutex_);
 
+  /// Registers an event fan-out that receives OnDeviceHealthChange on
+  /// every breaker transition (quarantine and readmission). Borrowed,
+  /// may be null; idempotent like AttachObservability. Callbacks fire
+  /// with mutex_ released, on the thread reporting the job outcome.
+  void AttachNotifier(const obs::EventNotifier* notifier) EXCLUDES(mutex_);
+
  private:
   /// Pushes the current counters to the attached gauges. Caller holds
   /// mutex_; the registry's own lock is a leaf below it.
@@ -108,6 +115,7 @@ class DeviceHealthMonitor {
 
   obs::MetricsRegistry* metrics_ GUARDED_BY(mutex_) = nullptr;
   obs::TraceRecorder* trace_ GUARDED_BY(mutex_) = nullptr;
+  const obs::EventNotifier* notifier_ GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace host

@@ -9,7 +9,9 @@
 #include "lsm/dbformat.h"
 #include "lsm/filename.h"
 #include "lsm/table_cache.h"
+#include "obs/event_listener.h"
 #include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "obs/trace.h"
 #include "table/iterator.h"
 #include "util/crash_env.h"
@@ -161,10 +163,11 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   const uint64_t start_micros = env->NowMicros();
   const Compaction* c = job.compaction;
 
-  // Route breaker transitions into the DB's metrics/trace. Idempotent;
-  // cheap relative to a compaction.
+  // Route breaker transitions into the DB's metrics/trace and event
+  // listeners. Idempotent; cheap relative to a compaction.
   if (options_.health_monitor != nullptr) {
     options_.health_monitor->AttachObservability(job.metrics, job.trace);
+    options_.health_monitor->AttachNotifier(job.notifier);
   }
 
   // 1. Stage inputs (paper Section IV step 3: read SSTables from disk
@@ -247,6 +250,12 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
             {{"attempt", std::to_string(attempt)},
              {"cause", obs::TraceRecorder::Quote(s.ToString())}});
       }
+      if (job.notifier != nullptr && job.notifier->active()) {
+        obs::OffloadRetryInfo retry_info;
+        retry_info.attempt = attempt - 1;  // The attempt that just failed.
+        retry_info.reason = s.ToString();
+        job.notifier->NotifyOffloadRetry(retry_info);
+      }
     }
 
     attempts++;
@@ -266,6 +275,8 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
       job.metrics->counter("host.device.queue_wait_micros")
           ->Increment(queue_micros);
     }
+    FCAE_PERF_TIME(offload_queue_wait_micros, queue_micros);
+    FCAE_PERF_COUNT(offload_device_attempts, 1);
 
     const uint64_t run_start_micros = obs::TraceNowMicros();
     device_output = fpga::DeviceOutput();
@@ -280,6 +291,8 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
                                      &run_stats);
     }
     ReleaseDeviceTicket(job.metrics);
+    FCAE_PERF_TIME(offload_device_micros,
+                   obs::TraceNowMicros() - run_start_micros);
 
     if (s.ok() && options_.verify_outputs) {
       // Host-side verification: CRCs, strict key order, bounds. Runs
@@ -289,7 +302,9 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
       const uint64_t verify_start = env->NowMicros();
       OutputVerifyStats verify_stats;
       Status vs = VerifyDeviceOutput(device_output, *job.icmp, &verify_stats);
-      verify_micros += static_cast<double>(env->NowMicros() - verify_start);
+      const uint64_t verify_delta = env->NowMicros() - verify_start;
+      verify_micros += static_cast<double>(verify_delta);
+      FCAE_PERF_TIME(offload_verify_micros, verify_delta);
       if (!vs.ok()) {
         verify_failures++;
         s = vs;  // Corruption: transient, retryable.

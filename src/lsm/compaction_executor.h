@@ -17,6 +17,7 @@ class Iterator;
 class TableCache;
 
 namespace obs {
+class EventNotifier;
 class MetricsRegistry;
 class TraceRecorder;
 }  // namespace obs
@@ -64,6 +65,11 @@ struct CompactionJob {
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   uint64_t trace_tid = 0;
+
+  /// Optional event fan-out (obs/event_listener.h). Executors fire
+  /// OnOffloadRetry as device attempts fail; the DB fires the rest.
+  /// Callbacks run on the executing thread with no DB lock held.
+  const obs::EventNotifier* notifier = nullptr;
 };
 
 /// Metadata of one output SSTable produced by a compaction.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lsm/builder.h"
@@ -15,6 +16,8 @@
 #include "lsm/table_cache.h"
 #include "lsm/version_set.h"
 #include "lsm/write_batch.h"
+#include "obs/logger.h"
+#include "obs/perf_context.h"
 #include "table/iterator.h"
 #include "table/merger.h"
 #include "util/coding.h"
@@ -116,6 +119,10 @@ Options SanitizeOptions(const std::string& dbname,
     result.rate_limiter =
         new RateLimiter(result.env, result.rate_limit_bytes_per_sec);
   }
+  // A tiny trace ring would evict a span mid-compaction; 16 is enough
+  // for eviction tests while keeping at least one job's spans visible.
+  ClipToRange(&result.trace_ring_size, size_t{16}, size_t{1} << 20);
+  ClipToRange(&result.stats_dump_period_sec, 0u, 86400u);
   return result;
 }
 
@@ -162,6 +169,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       metrics_(raw_options.metrics_registry != nullptr
                    ? raw_options.metrics_registry
                    : owned_metrics_.get()),
+      trace_(options_.trace_ring_size),
+      notifier_(options_.listeners),
       shutting_down_(false),
       background_work_finished_signal_(&mutex_),
       mem_(nullptr),
@@ -194,14 +203,30 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
         "wc.delayed_writes", "wc.delay_micros", "wc.stopped_writes",
         "wc.stop_micros", "wc.memory_stalls", "ratelimiter.bytes_through",
         "ratelimiter.throttled_bytes", "ratelimiter.wait_micros",
-        "ratelimiter.requests"}) {
+        "ratelimiter.requests", "obs.trace.dropped_events",
+        "obs.stats_dump.count"}) {
     metrics_->counter(name);
   }
   metrics_->gauge("wc.state")->Set(0);
   table_cache_->SetMetricsRegistry(metrics_);
+  // Interval baseline for GetProperty("fcae.stats"): the first read
+  // reports everything since open.
+  stats_window_ = metrics_->TakeSnapshot();
+  if (options_.stats_dump_period_sec > 0) {
+    stats_dumper_ = std::make_unique<obs::StatsDumper>(
+        env_, uint64_t{options_.stats_dump_period_sec} * 1000 * 1000,
+        [this](uint64_t seq) { DumpStats(seq); });
+  }
 }
 
 DBImpl::~DBImpl() {
+  // Stop the periodic stats dumper first: its callback takes mutex_
+  // and reads versions_, so it must be fully out of the loop before
+  // the scheduler drains and state is torn down below.
+  if (stats_dumper_ != nullptr) {
+    stats_dumper_->Stop();
+  }
+
   // Wait for every dispatched flush, compaction, and resume worker to
   // drain.
   mutex_.Lock();
@@ -514,7 +539,8 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
 }
 
 Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base,
-                                uint64_t* pending_file, int* reserved_level) {
+                                uint64_t* pending_file, int* reserved_level,
+                                obs::FlushJobInfo* flush_info) {
   // Requires mutex_ held.
   const uint64_t start_micros = env_->NowMicros();
   FileMetaData meta;
@@ -574,6 +600,11 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base,
   metrics_->counter("db.flush.bytes_written")->Increment(meta.file_size);
   metrics_->histogram("db.flush.micros")
       ->Observe(static_cast<double>(stats.micros));
+  if (flush_info != nullptr) {
+    flush_info->output_file_number = meta.number;
+    flush_info->output_bytes = meta.file_size;
+    flush_info->micros = static_cast<uint64_t>(stats.micros);
+  }
   return s;
 }
 
@@ -585,6 +616,14 @@ void DBImpl::CompactMemTable() {
   // the picker); they never overlap each other.
   obs::SpanTimer flush_span(&trace_, "flush", "db", 0);
 
+  obs::FlushJobInfo flush_info;
+  flush_info.db_name = dbname_;
+  NotifyFlushEvent(/*begin=*/true, flush_info);
+  // NotifyFlushEvent dropped the mutex; the single flush lane keeps
+  // imm_ set until this function clears it, so the flush target is
+  // still valid after the reacquire.
+  assert(imm_ != nullptr);
+
   // Save the contents of the memtable as a new Table.
   VersionEdit edit;
   Version* base = versions_->current();
@@ -592,7 +631,7 @@ void DBImpl::CompactMemTable() {
   uint64_t pending_file = 0;
   int reserved_level = 0;
   Status s = WriteLevel0Table(imm_, &edit, base, &pending_file,
-                              &reserved_level);
+                              &reserved_level, &flush_info);
   base->Unref();
 
   if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
@@ -622,6 +661,9 @@ void DBImpl::CompactMemTable() {
   } else {
     RecordBackgroundError(s);
   }
+
+  flush_info.status = s;
+  NotifyFlushEvent(/*begin=*/false, flush_info);
 }
 
 void DBImpl::TEST_CompactRange(int level, const Slice* begin,
@@ -732,6 +774,7 @@ void DBImpl::RecordBackgroundError(const Status& s) {
                           severity == BgErrorSeverity::kHard ? "hard"
                                                              : "soft")}});
     background_work_finished_signal_.SignalAll();
+    NotifyBackgroundErrorEvent(s, severity == BgErrorSeverity::kHard);
   }
   if (bg_error_severity_ == BgErrorSeverity::kSoft) {
     ScheduleAutoResume();
@@ -831,6 +874,7 @@ Status DBImpl::ResumeLocked() {
     RemoveObsoleteFiles();
     MaybeScheduleCompaction();
     background_work_finished_signal_.SignalAll();
+    NotifyResumeEvent();
   }
   return s;
 }
@@ -1174,13 +1218,23 @@ void DBImpl::RunCompactionShard(CompactionShard* shard) {
     trace_.RecordInstant(
         "cpu_fallback", "db", obs::TraceNowMicros(), shard->job.trace_tid,
         {{"reason", obs::TraceRecorder::Quote(shard->status.ToString())}});
+    if (notifier_.active()) {
+      obs::OffloadFallbackInfo fallback_info;
+      fallback_info.sticky = shard->status.IsDeviceLost();
+      fallback_info.reason = shard->status.ToString();
+      notifier_.NotifyOffloadFallback(fallback_info);
+    }
+    FCAE_PERF_COUNT(offload_cpu_fallbacks, 1);
 
     // Keep the failed attempt's fault accounting visible in the DB
     // totals, but take timing/volume from the run that succeeded.
     const CompactionExecStats device_stats = shard->stats;
     shard->stats = CompactionExecStats();
-    shard->status = owned_cpu_executor_->Execute(shard->job, &shard->outputs,
-                                                 &shard->stats);
+    {
+      FCAE_PERF_TIMER_GUARD(fallback_timer, offload_cpu_fallback_micros);
+      shard->status = owned_cpu_executor_->Execute(shard->job, &shard->outputs,
+                                                   &shard->stats);
+    }
     shard->stats.device_attempts += device_stats.device_attempts;
     shard->stats.device_retries += device_stats.device_retries;
     shard->stats.device_faults += device_stats.device_faults;
@@ -1257,6 +1311,7 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     job.no_deeper_data = no_deeper_data;
     job.trace = &trace_;
     job.metrics = metrics_;
+    job.notifier = &notifier_;
     job.trace_tid = next_trace_tid_.fetch_add(1, std::memory_order_relaxed);
     CompactionShard* sp = shard.get();
     // Track every number handed out so a failed attempt (e.g. the
@@ -1301,9 +1356,19 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     scheduler_->RecordShardedJob(nshards);
   }
 
+  obs::CompactionJobInfo job_info;
+  job_info.db_name = dbname_;
+  job_info.base_level = level;
+  job_info.output_level = level + 1;
+  job_info.input_files = c->num_input_files(0) + c->num_input_files(1);
+  job_info.shards = nshards;
+
   uint64_t wall_micros = 0;
   {
     mutex_.Unlock();
+    if (notifier_.active()) {
+      notifier_.NotifyCompactionBegin(job_info);
+    }
     const uint64_t start_micros = env_->NowMicros();
     for (int i = 1; i < nshards; i++) {
       env_->StartThread(&DBImpl::ShardThreadMain, shards[i].get());
@@ -1405,6 +1470,18 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     for (uint64_t number : allocated_numbers) {
       env_->RemoveFile(TableFileName(dbname_, number)).IgnoreError();
     }
+    mutex_.Lock();
+  }
+
+  if (notifier_.active()) {
+    job_info.offloaded = exec_stats.offloaded;
+    job_info.fell_back = fell_back;
+    job_info.input_bytes = static_cast<uint64_t>(exec_stats.bytes_read);
+    job_info.output_bytes = static_cast<uint64_t>(exec_stats.bytes_written);
+    job_info.micros = static_cast<uint64_t>(exec_stats.micros);
+    job_info.status = status;
+    mutex_.Unlock();
+    notifier_.NotifyCompactionCompleted(job_info);
     mutex_.Lock();
   }
 
@@ -1521,11 +1598,13 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     // First look in the memtable, then in the immutable memtable (if
     // any).
     LookupKey lkey(key, snapshot);
-    if (mem->Get(lkey, value, &s)) {
-      // Done.
-    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-      // Done.
-    } else {
+    FCAE_PERF_COUNT(memtable_probes, 1);
+    bool found = mem->Get(lkey, value, &s);
+    if (!found && imm != nullptr) {
+      FCAE_PERF_COUNT(immutable_memtable_probes, 1);
+      found = imm->Get(lkey, value, &s);
+    }
+    if (!found) {
       s = current->Get(options, lkey, value, &stats);
       have_stat_update = true;
     }
@@ -1613,11 +1692,23 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // mem_.
     {
       mutex_.Unlock();
-      status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      const Slice contents = WriteBatchInternal::Contents(write_batch);
+      {
+        FCAE_PERF_TIMER_GUARD(wal_timer, wal_append_micros);
+        FCAE_IOSTATS_TIMER_GUARD(wal_io_timer, write_micros);
+        status = log_->AddRecord(contents);
+      }
+      FCAE_PERF_COUNT(wal_appends, 1);
+      FCAE_IOSTATS_COUNT(bytes_written, contents.size());
       FCAE_CRASH_POINT("wal:after_append");
       bool sync_error = false;
       if (status.ok() && options.sync) {
-        status = logfile_->Sync();
+        {
+          FCAE_PERF_TIMER_GUARD(sync_timer, wal_sync_micros);
+          FCAE_IOSTATS_TIMER_GUARD(sync_io_timer, sync_micros);
+          status = logfile_->Sync();
+        }
+        FCAE_PERF_COUNT(wal_syncs, 1);
         if (!status.ok()) {
           sync_error = true;
         }
@@ -1750,6 +1841,77 @@ void DBImpl::PumpRateLimiterMetrics() {
   }
 }
 
+void DBImpl::PumpTraceMetrics() {
+  const uint64_t dropped = trace_.events_dropped();
+  if (dropped > trace_dropped_exported_) {
+    metrics_->counter("obs.trace.dropped_events")
+        ->Increment(dropped - trace_dropped_exported_);
+    trace_dropped_exported_ = dropped;
+  }
+}
+
+void DBImpl::NotifyFlushEvent(bool begin, const obs::FlushJobInfo& info) {
+  if (!notifier_.active()) return;
+  mutex_.Unlock();
+  if (begin) {
+    notifier_.NotifyFlushBegin(info);
+  } else {
+    notifier_.NotifyFlushCompleted(info);
+  }
+  mutex_.Lock();
+}
+
+void DBImpl::NotifyWriteStall(bool begin, obs::WriteStallCause cause,
+                              uint64_t micros) {
+  if (!notifier_.active()) return;
+  obs::WriteStallInfo info;
+  info.cause = cause;
+  info.micros = micros;
+  mutex_.Unlock();
+  if (begin) {
+    notifier_.NotifyWriteStallBegin(info);
+  } else {
+    notifier_.NotifyWriteStallEnd(info);
+  }
+  mutex_.Lock();
+}
+
+void DBImpl::NotifyBackgroundErrorEvent(const Status& s, bool hard) {
+  if (!notifier_.active()) return;
+  obs::BackgroundErrorInfo info;
+  info.status = s;
+  info.hard = hard;
+  mutex_.Unlock();
+  notifier_.NotifyBackgroundError(info);
+  mutex_.Lock();
+}
+
+void DBImpl::NotifyResumeEvent() {
+  if (!notifier_.active()) return;
+  mutex_.Unlock();
+  notifier_.NotifyBackgroundErrorResumed();
+  mutex_.Lock();
+}
+
+void DBImpl::DumpStats(uint64_t seq) {
+  {
+    MutexLock lock(&mutex_);
+    if (shutting_down_.load(std::memory_order_acquire)) return;
+  }
+  std::string text;
+  if (!GetProperty("fcae.stats", &text)) return;
+  metrics_->counter("obs.stats_dump.count")->Increment();
+  if (options_.info_log != nullptr) {
+    obs::LogRecord record;
+    record.level = obs::LogRecord::Level::kInfo;
+    record.ts_micros = obs::TraceNowMicros();
+    record.tag = "fcae.stats";
+    record.message = std::move(text);
+    record.fields.emplace_back("seq", std::to_string(seq));
+    options_.info_log->Log(record);
+  }
+}
+
 namespace {
 const char* WriteControllerStateName(WriteController::State state) {
   switch (state) {
@@ -1796,6 +1958,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // degrades gradually toward the stop trigger instead of cliffing
       // into it. Kick the scheduler first — the debt is its signal.
       MaybeScheduleCompaction();
+      NotifyWriteStall(/*begin=*/true, obs::WriteStallCause::kCompactionDebt,
+                       0);
       const uint64_t delay =
           write_controller_.GetDelayMicros(env_->NowMicros());
       const uint64_t start = env_->NowMicros();
@@ -1823,6 +1987,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       metrics_->counter("wc.delay_micros")->Increment(waited);
       metrics_->histogram("db.write.delay_micros")
           ->Observe(static_cast<double>(waited));
+      FCAE_PERF_COUNT(write_delays, 1);
+      FCAE_PERF_TIME(write_delay_micros, waited);
+      NotifyWriteStall(/*begin=*/false, obs::WriteStallCause::kCompactionDebt,
+                       waited);
     } else if (!force &&
                mem_->ApproximateMemoryUsage() <= options_.write_buffer_size &&
                (options_.total_write_buffer_size == 0 || imm_ == nullptr ||
@@ -1844,6 +2012,17 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       }
       stall_memtable_count_++;
       metrics_->counter("db.write.stall_memtable")->Increment();
+      NotifyWriteStall(/*begin=*/true, obs::WriteStallCause::kMemtableFull,
+                       0);
+      if (imm_ == nullptr) {
+        // The in-flight flush installed while the mutex was dropped for
+        // the notification — its wakeup signal already fired, so
+        // waiting now could sleep forever. Close the event and
+        // re-evaluate.
+        NotifyWriteStall(/*begin=*/false, obs::WriteStallCause::kMemtableFull,
+                         0);
+        continue;
+      }
       const uint64_t start = env_->NowMicros();
       background_work_finished_signal_.Wait();
       const uint64_t waited = env_->NowMicros() - start;
@@ -1854,6 +2033,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       }
       metrics_->histogram("db.write.stall_micros")
           ->Observe(static_cast<double>(waited));
+      FCAE_PERF_COUNT(write_stops, 1);
+      FCAE_PERF_TIME(write_stop_micros, waited);
+      NotifyWriteStall(/*begin=*/false, obs::WriteStallCause::kMemtableFull,
+                       waited);
     } else if (state == WriteController::State::kStopped) {
       // Too many level-0 files (the memory-budget stop always has an
       // imm in flight and is handled above). Block on the condvar —
@@ -1863,6 +2046,19 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       metrics_->counter("db.write.stall_l0")->Increment();
       metrics_->counter("wc.stopped_writes")->Increment();
       MaybeScheduleCompaction();
+      NotifyWriteStall(/*begin=*/true, obs::WriteStallCause::kL0Stop, 0);
+      if (write_controller_.Update(SampleWriteStallConditions()) !=
+          WriteController::State::kStopped) {
+        // The stop condition cleared while the mutex was dropped for
+        // the notification; its signal already fired, so close the
+        // event and re-evaluate instead of waiting.
+        NotifyWriteStall(/*begin=*/false, obs::WriteStallCause::kL0Stop, 0);
+        continue;
+      }
+      // Re-arm the dispatch the notification drop may have consumed:
+      // a worker scheduled above could have finished (and signalled)
+      // inside that window while leaving the level still over-full.
+      MaybeScheduleCompaction();
       const uint64_t start = env_->NowMicros();
       background_work_finished_signal_.Wait();
       const uint64_t waited = env_->NowMicros() - start;
@@ -1871,6 +2067,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       metrics_->counter("wc.stop_micros")->Increment(waited);
       metrics_->histogram("db.write.stall_micros")
           ->Observe(static_cast<double>(waited));
+      FCAE_PERF_COUNT(write_stops, 1);
+      FCAE_PERF_TIME(write_stop_micros, waited);
+      NotifyWriteStall(/*begin=*/false, obs::WriteStallCause::kL0Stop,
+                       waited);
     } else {
       // Attempt to switch to a new memtable and trigger compaction of
       // old.
@@ -1922,9 +2122,10 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   Slice prefix("fcae.");
   if (!in.StartsWith(prefix)) return false;
   in.RemovePrefix(prefix.size());
-  // Settle any rate-limiter activity into the registry so property
-  // snapshots ("metrics", "stats") are current.
+  // Settle any rate-limiter and trace-ring activity into the registry
+  // so property snapshots ("metrics", "stats") are current.
   PumpRateLimiterMetrics();
+  PumpTraceMetrics();
 
   if (in.StartsWith("num-files-at-level")) {
     in.RemovePrefix(strlen("num-files-at-level"));
@@ -1975,6 +2176,36 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
             static_cast<long long>(stall_memtable_count_),
             stall_memtable_micros_ / 1e3,
             static_cast<long long>(stall_l0_count_), stall_l0_micros_ / 1e3);
+    // Interval section: activity since the previous "fcae.stats" read
+    // (or since Open for the first one). The stats dumper reads this
+    // property each period, so its records show per-window figures
+    // without consumers having to diff cumulative dumps themselves.
+    {
+      const obs::MetricsRegistry::Snapshot now = metrics_->TakeSnapshot();
+      const auto delta = [&](const char* name) -> unsigned long long {
+        const uint64_t cur = now.CounterValue(name);
+        const uint64_t before = stats_window_.CounterValue(name);
+        return cur >= before ? cur - before : 0;
+      };
+      AppendF(value,
+              "Interval: flushes=%llu (%.3f MB) compactions=%llu "
+              "(read %.3f MB, wrote %.3f MB)\n",
+              delta("db.flush.count"),
+              delta("db.flush.bytes_written") / 1048576.0,
+              delta("db.compaction.count"),
+              delta("db.compaction.bytes_read") / 1048576.0,
+              delta("db.compaction.bytes_written") / 1048576.0);
+      AppendF(value,
+              "Interval: slowdowns=%llu (%.1f ms) memtable-waits=%llu "
+              "(%.1f ms) l0-stops=%llu (%.1f ms)\n",
+              delta("db.write.slowdowns"),
+              delta("db.write.slowdown_micros") / 1e3,
+              delta("db.write.stall_memtable"),
+              delta("db.write.stall_memtable_micros") / 1e3,
+              delta("db.write.stall_l0"),
+              delta("db.write.stall_l0_micros") / 1e3);
+      stats_window_ = now;
+    }
     return true;
   } else if (in == Slice("metrics")) {
     // JSON snapshot of every registered counter/gauge/histogram; see
@@ -2154,6 +2385,9 @@ Status DB::Open(const Options& options, const std::string& dbname,
     impl->metrics_->counter("recovery.opens")->Increment();
     impl->metrics_->counter("recovery.micros")
         ->Increment(impl->env_->NowMicros() - recover_start_micros);
+    if (impl->stats_dumper_ != nullptr) {
+      impl->stats_dumper_->Start();
+    }
     *dbptr = impl;
   } else {
     delete impl;

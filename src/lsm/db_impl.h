@@ -13,7 +13,9 @@
 #include "lsm/dbformat.h"
 #include "lsm/log_writer.h"
 #include "lsm/snapshot.h"
+#include "obs/event_listener.h"
 #include "obs/metrics.h"
+#include "obs/stats_dumper.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/mutex.h"
@@ -121,8 +123,11 @@ class DBImpl : public DB {
   /// not-yet-live table or install an overlapping file into the level.
   /// Null pointers (recovery path, no background threads) restore the
   /// classic immediate-release behaviour.
+  /// When `flush_info` is non-null it is filled with the built table's
+  /// number, size, and build duration for the OnFlushCompleted event.
   Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base,
-                          uint64_t* pending_file, int* reserved_level)
+                          uint64_t* pending_file, int* reserved_level,
+                          obs::FlushJobInfo* flush_info = nullptr)
       REQUIRES(mutex_);
 
   Status MakeRoomForWrite(bool force /* compact even if there is room? */)
@@ -138,6 +143,28 @@ class DBImpl : public DB {
   /// `ratelimiter.*` obs counters (delta-based, so external limiters
   /// shared across DBs still export sane per-registry values).
   void PumpRateLimiterMetrics() REQUIRES(mutex_);
+
+  /// Bridges trace-ring evictions into the `obs.trace.dropped_events`
+  /// counter (delta-based, same discipline as PumpRateLimiterMetrics).
+  void PumpTraceMetrics() REQUIRES(mutex_);
+
+  /// One periodic stats dump (the StatsDumper callback): renders
+  /// GetProperty("fcae.stats") — cumulative plus interval — and emits
+  /// it as a structured "fcae.stats" record through options_.info_log.
+  void DumpStats(uint64_t seq) EXCLUDES(mutex_);
+
+  // Listener notification helpers. Each snapshots its payload, drops
+  // mutex_ for the callbacks (the listener contract forbids holding
+  // the DB lock), and reacquires before returning. No-ops — without
+  // touching the lock — when no listeners are registered. Callers must
+  // tolerate the mutex release, i.e. re-validate any cached state.
+  void NotifyFlushEvent(bool begin, const obs::FlushJobInfo& info)
+      REQUIRES(mutex_);
+  void NotifyWriteStall(bool begin, obs::WriteStallCause cause,
+                        uint64_t micros) REQUIRES(mutex_);
+  void NotifyBackgroundErrorEvent(const Status& s, bool hard)
+      REQUIRES(mutex_);
+  void NotifyResumeEvent() REQUIRES(mutex_);
 
   // Background-error state machine (DESIGN.md §9): OK -> SoftError
   // (retryable I/O; auto-resume with bounded backoff, or DB::Resume())
@@ -229,6 +256,14 @@ class DBImpl : public DB {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* const metrics_;
   obs::TraceRecorder trace_;
+  // Fan-out for Options::listeners; immutable after construction, so
+  // safe to notify from any thread without a lock. All notifications
+  // are issued with mutex_ released (see the Notify* helpers).
+  const obs::EventNotifier notifier_;
+  // Continuous stats export (Options::stats_dump_period_sec). Started
+  // by DB::Open after recovery, stopped at the top of the destructor
+  // before background work drains.
+  std::unique_ptr<obs::StatsDumper> stats_dumper_;
   // Logical chrome://tracing track per compaction so concurrent or
   // interleaved compactions do not share a row. Track 0 is reserved for
   // the scheduler (pick) and memtable flushes.
@@ -329,6 +364,14 @@ class DBImpl : public DB {
   uint64_t rl_exported_throttled_bytes_ GUARDED_BY(mutex_) = 0;
   uint64_t rl_exported_wait_micros_ GUARDED_BY(mutex_) = 0;
   uint64_t rl_exported_requests_ GUARDED_BY(mutex_) = 0;
+  // Trace-ring evictions already exported into obs.trace.dropped_events
+  // (the recorder keeps its own monotonic total; see PumpTraceMetrics).
+  uint64_t trace_dropped_exported_ GUARDED_BY(mutex_) = 0;
+
+  // Baseline for the interval section of GetProperty("fcae.stats"):
+  // refreshed on every "stats" read, so each read reports activity
+  // since the previous one (the windowed view the stats dumper emits).
+  obs::MetricsRegistry::Snapshot stats_window_ GUARDED_BY(mutex_);
 
   // Write-pause accounting (the paper's Section I phenomenon): how
   // often and for how long MakeRoomForWrite throttled the client.

@@ -1,6 +1,7 @@
 #include "lsm/db_iter.h"
 
 #include "lsm/db_impl.h"
+#include "obs/perf_context.h"
 #include "table/iterator.h"
 #include "util/random.h"
 
@@ -165,11 +166,13 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
           // they are hidden by this deletion.
           SaveKey(ikey.user_key, skip);
           skipping = true;
+          FCAE_PERF_COUNT(internal_keys_skipped, 1);
           break;
         case kTypeValue:
           if (skipping &&
               user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
             // Entry hidden.
+            FCAE_PERF_COUNT(internal_keys_skipped, 1);
           } else {
             valid_ = true;
             saved_key_.clear();

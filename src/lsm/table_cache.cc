@@ -2,6 +2,7 @@
 
 #include "lsm/filename.h"
 #include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "util/coding.h"
 
 namespace fcae {
@@ -56,11 +57,13 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   Slice key(buf, sizeof(buf));
   *handle = cache_->Lookup(key);
   if (*handle != nullptr) {
+    FCAE_PERF_COUNT(table_cache_hits, 1);
     if (metrics_ != nullptr) {
       metrics_->counter("db.table_cache.hits")->Increment();
     }
   }
   if (*handle == nullptr) {
+    FCAE_PERF_COUNT(table_cache_misses, 1);
     if (metrics_ != nullptr) {
       metrics_->counter("db.table_cache.misses")->Increment();
     }

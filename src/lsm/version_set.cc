@@ -8,6 +8,7 @@
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
 #include "lsm/table_cache.h"
+#include "obs/perf_context.h"
 #include "table/iterator.h"
 #include "table/merger.h"
 #include "table/two_level_iterator.h"
@@ -336,6 +337,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
 
     static bool Match(void* arg, int level, FileMetaData* f) {
       State* state = reinterpret_cast<State*>(arg);
+      FCAE_PERF_COUNT(sst_probes, 1);
 
       if (state->stats->seek_file == nullptr &&
           state->last_file_read != nullptr) {

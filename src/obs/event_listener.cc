@@ -1,0 +1,75 @@
+#include "obs/event_listener.h"
+
+namespace fcae {
+namespace obs {
+
+const char* WriteStallCauseName(WriteStallCause cause) {
+  switch (cause) {
+    case WriteStallCause::kCompactionDebt:
+      return "compaction-debt";
+    case WriteStallCause::kMemtableFull:
+      return "memtable-full";
+    case WriteStallCause::kL0Stop:
+      return "l0-stop";
+  }
+  return "unknown";
+}
+
+EventNotifier::EventNotifier(const std::vector<EventListener*>& listeners) {
+  for (EventListener* listener : listeners) {
+    if (listener != nullptr) {
+      listeners_.push_back(listener);
+    }
+  }
+}
+
+void EventNotifier::NotifyFlushBegin(const FlushJobInfo& info) const {
+  for (EventListener* l : listeners_) l->OnFlushBegin(info);
+}
+
+void EventNotifier::NotifyFlushCompleted(const FlushJobInfo& info) const {
+  for (EventListener* l : listeners_) l->OnFlushCompleted(info);
+}
+
+void EventNotifier::NotifyCompactionBegin(const CompactionJobInfo& info) const {
+  for (EventListener* l : listeners_) l->OnCompactionBegin(info);
+}
+
+void EventNotifier::NotifyCompactionCompleted(
+    const CompactionJobInfo& info) const {
+  for (EventListener* l : listeners_) l->OnCompactionCompleted(info);
+}
+
+void EventNotifier::NotifyOffloadRetry(const OffloadRetryInfo& info) const {
+  for (EventListener* l : listeners_) l->OnOffloadRetry(info);
+}
+
+void EventNotifier::NotifyOffloadFallback(
+    const OffloadFallbackInfo& info) const {
+  for (EventListener* l : listeners_) l->OnOffloadFallback(info);
+}
+
+void EventNotifier::NotifyWriteStallBegin(const WriteStallInfo& info) const {
+  for (EventListener* l : listeners_) l->OnWriteStallBegin(info);
+}
+
+void EventNotifier::NotifyWriteStallEnd(const WriteStallInfo& info) const {
+  for (EventListener* l : listeners_) l->OnWriteStallEnd(info);
+}
+
+void EventNotifier::NotifyBackgroundError(
+    const BackgroundErrorInfo& info) const {
+  for (EventListener* l : listeners_) l->OnBackgroundError(info);
+}
+
+void EventNotifier::NotifyBackgroundErrorResumed() const {
+  for (EventListener* l : listeners_) l->OnBackgroundErrorResumed();
+}
+
+void EventNotifier::NotifyDeviceHealthChange(
+    const DeviceHealthChangeInfo& info) const {
+  for (EventListener* l : listeners_) l->OnDeviceHealthChange(info);
+}
+
+}  // namespace obs
+}  // namespace fcae

@@ -1,0 +1,50 @@
+#include "obs/logger.h"
+
+#include <cstdio>
+
+namespace fcae {
+namespace obs {
+
+const char* LogLevelName(LogRecord::Level level) {
+  switch (level) {
+    case LogRecord::Level::kInfo:
+      return "INFO";
+    case LogRecord::Level::kWarn:
+      return "WARN";
+    case LogRecord::Level::kError:
+      return "ERROR";
+  }
+  return "INFO";
+}
+
+std::string FormatLogRecord(const LogRecord& record) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu [%s] ",
+                static_cast<unsigned long long>(record.ts_micros),
+                LogLevelName(record.level));
+  std::string out = buf;
+  out += record.tag;
+  for (const auto& field : record.fields) {
+    out += " " + field.first + "=" + field.second;
+  }
+  if (!record.message.empty()) {
+    // Keep multi-line messages (the stats table) grouped under the
+    // header line rather than interleaved with other log output.
+    out += "\n";
+    for (char c : record.message) {
+      out += c;
+      if (c == '\n') {
+        out += "  ";
+      }
+    }
+  }
+  return out;
+}
+
+void StderrLogger::Log(const LogRecord& record) {
+  std::string line = FormatLogRecord(record);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace obs
+}  // namespace fcae

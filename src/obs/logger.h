@@ -1,0 +1,51 @@
+#ifndef FCAE_OBS_LOGGER_H_
+#define FCAE_OBS_LOGGER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fcae {
+namespace obs {
+
+/// One structured log line. `tag` names the record family (the stats
+/// dumper emits "fcae.stats"); `fields` carries machine-readable
+/// key/value pairs alongside the human-readable `message`.
+struct LogRecord {
+  enum class Level : unsigned char { kInfo = 0, kWarn = 1, kError = 2 };
+
+  Level level = Level::kInfo;
+  uint64_t ts_micros = 0;  // Trace clock (steady, process-relative).
+  std::string tag;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+const char* LogLevelName(LogRecord::Level level);
+
+/// "ts [LEVEL] tag key=value ... message" — the canonical one-line
+/// rendering sinks can reuse. Multi-line messages are indented so a
+/// stats table stays grouped under its header line.
+std::string FormatLogRecord(const LogRecord& record);
+
+/// Structured log sink (Options::info_log). Log() is called from DB
+/// background threads with no DB lock held; implementations must be
+/// thread-safe and must not call back into the DB.
+class Logger {
+ public:
+  virtual ~Logger() = default;
+  virtual void Log(const LogRecord& record) = 0;
+};
+
+/// Default sink: FormatLogRecord to stderr. Useful for benches and
+/// examples that want stats dumps visible without custom plumbing.
+class StderrLogger : public Logger {
+ public:
+  void Log(const LogRecord& record) override;
+};
+
+}  // namespace obs
+}  // namespace fcae
+
+#endif  // FCAE_OBS_LOGGER_H_

@@ -100,6 +100,33 @@ class MetricsRegistry {
   /// Names are emitted in sorted order so snapshots diff cleanly.
   std::string ToJson() const EXCLUDES(mutex_);
 
+  /// A point-in-time copy of every instrument. Subtracting an earlier
+  /// snapshot from current values yields the interval (windowed) view
+  /// the stats dumper and GetProperty("fcae.stats") report.
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, Histogram> histograms;
+
+    /// Value this snapshot holds for a counter, 0 when it had not been
+    /// registered yet — the right baseline for a delta.
+    uint64_t CounterValue(const std::string& name) const;
+  };
+  Snapshot TakeSnapshot() const EXCLUDES(mutex_);
+
+  /// Same JSON shape as ToJson(), but counters and histograms report
+  /// the interval since `since`. Gauges are point-in-time by nature
+  /// and are emitted unchanged. Instruments registered after the
+  /// snapshot report their full value (baseline 0).
+  std::string ToJsonSince(const Snapshot& since) const EXCLUDES(mutex_);
+
+  /// Prometheus text exposition (format 0.0.4). Dotted names are
+  /// mangled to `fcae_<name with non-alphanumerics as '_'>`; counters
+  /// and gauges are plain samples with a `# TYPE` header, histograms
+  /// are exposed as summaries (quantile="0.5|0.9|0.99" plus _sum and
+  /// _count series). See DESIGN.md §12.
+  std::string ExportPrometheus() const EXCLUDES(mutex_);
+
  private:
   mutable Mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_

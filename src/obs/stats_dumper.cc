@@ -1,0 +1,86 @@
+#include "obs/stats_dumper.h"
+
+#include <cassert>
+
+#include "util/env.h"
+
+namespace fcae {
+namespace obs {
+
+namespace {
+// The loop sleeps in short chunks so Stop() never waits anywhere near
+// a full period (periods are seconds; chunks are 10ms).
+constexpr uint64_t kSleepChunkMicros = 10 * 1000;
+}  // namespace
+
+StatsDumper::StatsDumper(Env* env, uint64_t period_micros,
+                         std::function<void(uint64_t)> dump)
+    : env_(env),
+      period_micros_(period_micros == 0 ? 1 : period_micros),
+      dump_(std::move(dump)),
+      cv_(&mutex_) {
+  assert(env != nullptr);
+  assert(dump_ != nullptr);
+}
+
+StatsDumper::~StatsDumper() { Stop(); }
+
+void StatsDumper::Start() {
+  {
+    MutexLock lock(&mutex_);
+    if (started_) {
+      return;
+    }
+    started_ = true;
+  }
+  env_->SchedulePool("fcae-stats", 1, &StatsDumper::ThreadMain, this);
+}
+
+void StatsDumper::Stop() {
+  MutexLock lock(&mutex_);
+  if (!started_) {
+    return;
+  }
+  stop_requested_ = true;
+  while (!exited_) {
+    cv_.Wait();
+  }
+}
+
+void StatsDumper::ThreadMain(void* arg) {
+  static_cast<StatsDumper*>(arg)->Loop();
+}
+
+void StatsDumper::Loop() {
+  uint64_t slept = 0;
+  for (;;) {
+    {
+      MutexLock lock(&mutex_);
+      if (stop_requested_) {
+        break;
+      }
+    }
+    env_->SleepForMicroseconds(static_cast<int>(
+        kSleepChunkMicros < period_micros_ ? kSleepChunkMicros
+                                           : period_micros_));
+    slept += kSleepChunkMicros < period_micros_ ? kSleepChunkMicros
+                                                : period_micros_;
+    if (slept < period_micros_) {
+      continue;
+    }
+    slept = 0;
+    {
+      MutexLock lock(&mutex_);
+      if (stop_requested_) {
+        break;
+      }
+    }
+    dump_(++dumps_);
+  }
+  MutexLock lock(&mutex_);
+  exited_ = true;
+  cv_.SignalAll();
+}
+
+}  // namespace obs
+}  // namespace fcae

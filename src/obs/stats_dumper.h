@@ -1,0 +1,57 @@
+#ifndef FCAE_OBS_STATS_DUMPER_H_
+#define FCAE_OBS_STATS_DUMPER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fcae {
+
+class Env;
+
+namespace obs {
+
+/// Periodic background task driving continuous stats export
+/// (Options::stats_dump_period_sec). Runs on the Env's worker pool
+/// ("fcae-stats", one thread) and invokes the dump callback every
+/// period until stopped. The callback runs with no lock of this class
+/// held, so it may do arbitrary work (take the DB mutex, format stats,
+/// write to a Logger); it receives the 1-based dump sequence number.
+///
+/// Stop() blocks until the loop has exited and is idempotent; the
+/// destructor calls it, but owners whose callback touches state that
+/// dies before the dumper (DBImpl) must call Stop() explicitly first.
+class StatsDumper {
+ public:
+  StatsDumper(Env* env, uint64_t period_micros,
+              std::function<void(uint64_t)> dump);
+  ~StatsDumper();
+
+  StatsDumper(const StatsDumper&) = delete;
+  StatsDumper& operator=(const StatsDumper&) = delete;
+
+  void Start() EXCLUDES(mutex_);
+  void Stop() EXCLUDES(mutex_);
+
+ private:
+  static void ThreadMain(void* arg);
+  void Loop() EXCLUDES(mutex_);
+
+  Env* const env_;
+  const uint64_t period_micros_;
+  const std::function<void(uint64_t)> dump_;
+
+  Mutex mutex_;
+  CondVar cv_;
+  bool started_ GUARDED_BY(mutex_) = false;
+  bool stop_requested_ GUARDED_BY(mutex_) = false;
+  bool exited_ GUARDED_BY(mutex_) = false;
+  uint64_t dumps_ = 0;  // Loop-thread-local; read only after exit.
+};
+
+}  // namespace obs
+}  // namespace fcae
+
+#endif  // FCAE_OBS_STATS_DUMPER_H_

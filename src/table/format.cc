@@ -1,6 +1,7 @@
 #include "table/format.h"
 
 #include "compress/snappy.h"
+#include "obs/perf_context.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/env.h"
@@ -69,12 +70,16 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
   size_t n = static_cast<size_t>(handle.size());
   char* buf = new char[n + kBlockTrailerSize];
   Slice contents;
-  Status s =
-      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
+  Status s;
+  {
+    FCAE_IOSTATS_TIMER_GUARD(read_timer, read_micros);
+    s = file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
+  }
   if (!s.ok()) {
     delete[] buf;
     return s;
   }
+  FCAE_IOSTATS_COUNT(bytes_read, contents.size());
   if (contents.size() != n + kBlockTrailerSize) {
     delete[] buf;
     return Status::Corruption("truncated block read");

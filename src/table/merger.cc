@@ -1,5 +1,6 @@
 #include "table/merger.h"
 
+#include "obs/perf_context.h"
 #include "table/iterator.h"
 #include "util/comparator.h"
 
@@ -25,6 +26,7 @@ class MergingIterator : public Iterator {
   bool Valid() const override { return (current_ != nullptr); }
 
   void SeekToFirst() override {
+    FCAE_PERF_COUNT(merge_iterator_seeks, 1);
     for (int i = 0; i < n_; i++) {
       children_[i].SeekToFirst();
     }
@@ -33,6 +35,7 @@ class MergingIterator : public Iterator {
   }
 
   void SeekToLast() override {
+    FCAE_PERF_COUNT(merge_iterator_seeks, 1);
     for (int i = 0; i < n_; i++) {
       children_[i].SeekToLast();
     }
@@ -41,6 +44,7 @@ class MergingIterator : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    FCAE_PERF_COUNT(merge_iterator_seeks, 1);
     for (int i = 0; i < n_; i++) {
       children_[i].Seek(target);
     }

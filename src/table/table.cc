@@ -1,5 +1,6 @@
 #include "table/table.h"
 
+#include "obs/perf_context.h"
 #include "table/block.h"
 #include "table/filter_block.h"
 #include "table/format.h"
@@ -168,9 +169,18 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
       cache_handle = block_cache->Lookup(key);
       if (cache_handle != nullptr) {
         block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+        FCAE_PERF_COUNT(block_cache_hits, 1);
       } else {
+        FCAE_PERF_COUNT(block_cache_misses, 1);
+        const uint64_t read_start = obs::PerfNowMicrosIfEnabled();
         s = ReadBlock(table->rep_->file, options, handle, &contents);
+        if (read_start != 0) {
+          FCAE_PERF_TIME(block_read_micros,
+                         obs::PerfNowMicrosIfEnabled() - read_start);
+        }
         if (s.ok()) {
+          FCAE_PERF_COUNT(block_read_count, 1);
+          FCAE_PERF_COUNT(block_read_bytes, contents.data.size());
           block = new Block(contents);
           if (contents.cachable && options.fill_cache) {
             cache_handle = block_cache->Insert(key, block, block->size(),
@@ -179,8 +189,15 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
         }
       }
     } else {
+      const uint64_t read_start = obs::PerfNowMicrosIfEnabled();
       s = ReadBlock(table->rep_->file, options, handle, &contents);
+      if (read_start != 0) {
+        FCAE_PERF_TIME(block_read_micros,
+                       obs::PerfNowMicrosIfEnabled() - read_start);
+      }
       if (s.ok()) {
+        FCAE_PERF_COUNT(block_read_count, 1);
+        FCAE_PERF_COUNT(block_read_bytes, contents.data.size());
         block = new Block(contents);
       }
     }
@@ -220,7 +237,13 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& k,
     if (filter != nullptr && handle.DecodeFrom(&handle_value).ok() &&
         !filter->KeyMayMatch(handle.offset(), k)) {
       // Not found: the filter proves the key is absent from this block.
+      FCAE_PERF_COUNT(bloom_filter_negatives, 1);
     } else {
+      if (filter != nullptr) {
+        // The filter passed the key through (true positive or false
+        // positive); the block probe below settles which.
+        FCAE_PERF_COUNT(bloom_filter_hits, 1);
+      }
       Iterator* block_iter = BlockReader(const_cast<Table*>(this), options,
                                          iiter->value());
       block_iter->Seek(k);

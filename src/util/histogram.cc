@@ -68,6 +68,39 @@ void Histogram::Merge(const Histogram& other) {
   }
 }
 
+void Histogram::Subtract(const Histogram& other) {
+  num_ -= other.num_;
+  sum_ -= other.sum_;
+  sum_squares_ -= other.sum_squares_;
+  if (num_ <= 0) {
+    Clear();
+    return;
+  }
+  const std::vector<double>& limits = BucketLimits();
+  size_t first_live = limits.size();
+  size_t last_live = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    buckets_[b] -= other.buckets_[b];
+    if (buckets_[b] < 0) buckets_[b] = 0;  // Tolerate drift.
+    if (buckets_[b] > 0) {
+      if (first_live == limits.size()) first_live = b;
+      last_live = b;
+    }
+  }
+  if (first_live == limits.size()) {
+    // Bucket/count drift left no samples; treat the window as empty.
+    Clear();
+    return;
+  }
+  // Exact extremes left with the removed prefix; approximate with the
+  // bounds of the oldest/newest surviving bucket, clamped so the
+  // original extremes still dominate.
+  double bucket_min = (first_live == 0) ? 0 : limits[first_live - 1];
+  double bucket_max = limits[last_live];
+  if (min_ < bucket_min) min_ = bucket_min;
+  if (max_ > bucket_max) max_ = bucket_max;
+}
+
 double Histogram::Median() const { return Percentile(50.0); }
 
 double Histogram::Percentile(double p) const {

@@ -17,6 +17,14 @@ class Histogram {
   void Add(double value);
   void Merge(const Histogram& other);
 
+  /// Removes an earlier snapshot of this histogram, leaving the
+  /// interval since that snapshot (the windowed view the stats dumper
+  /// reports). `other` must be a prefix of *this — same instrument,
+  /// captured earlier. Count/sum/percentiles are exact for the window;
+  /// min/max degrade to the bucket boundaries of the surviving
+  /// samples, since removed extremes cannot be recovered.
+  void Subtract(const Histogram& other);
+
   double Median() const;
   double Percentile(double p) const;
   double Average() const;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace fcae {
 
@@ -14,6 +15,8 @@ class FilterPolicy;
 class RateLimiter;
 
 namespace obs {
+class EventListener;
+class Logger;
 class MetricsRegistry;
 class TraceSink;
 }  // namespace obs
@@ -151,6 +154,34 @@ struct Options {
   /// readable via DB::GetProperty("fcae.trace"). Borrowed, not owned;
   /// must outlive the DB and be thread-safe.
   obs::TraceSink* trace_sink = nullptr;
+
+  /// Capacity of the in-memory trace ring readable via
+  /// DB::GetProperty("fcae.trace"). Span floods (many small
+  /// compactions) evict older events once the ring is full; eviction
+  /// is counted in the `obs.trace.dropped_events` metric. Clipped to
+  /// at least 16.
+  size_t trace_ring_size = 4096;
+
+  /// Event callbacks (obs/event_listener.h) fired on flush, compaction,
+  /// offload retry/fallback, write stall, and background-error
+  /// transitions. Invoked from DB background/writer threads with no DB
+  /// lock held; see the EventListener threading contract. Pointers are
+  /// borrowed, not owned, and must outlive the DB; null entries are
+  /// ignored.
+  std::vector<obs::EventListener*> listeners;
+
+  /// Seconds between continuous stats dumps (obs/stats_dumper.h). When
+  /// nonzero, a background task periodically emits the
+  /// GetProperty("fcae.stats") text — cumulative plus interval
+  /// figures — as a structured "fcae.stats" record through `info_log`.
+  /// 0 disables the dumper. Clipped to at most 86400.
+  unsigned stats_dump_period_sec = 0;
+
+  /// Structured log sink (obs/logger.h) for background records such as
+  /// the periodic stats dump. Borrowed, not owned; must outlive the DB
+  /// and be thread-safe. When nullptr, periodic dumps still tick the
+  /// `obs.stats_dump.count` metric but emit nothing.
+  obs::Logger* info_log = nullptr;
 };
 
 /// Options controlling read operations.

@@ -1,11 +1,14 @@
-// Unit tests for the obs/ layer: metrics registry JSON contract, the
-// trace ring's overwrite semantics, SpanTimer RAII and the sink hook.
+// Unit tests for the obs/ layer: metrics registry JSON contract,
+// windowed (interval) views and the Prometheus exposition, structured
+// log records, the trace ring's overwrite semantics, SpanTimer RAII
+// and the sink hook.
 
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "mini_json.h"
+#include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -78,6 +81,100 @@ TEST(MetricsRegistry, EmptyRegistryAndEmptyHistogramAreValidJson) {
   registry.histogram("db.write.stall_micros");
   root = MustParse(registry.ToJson());
   EXPECT_EQ(0.0, root["histograms"]["db.write.stall_micros"]["count"].number);
+}
+
+TEST(MetricsRegistry, SnapshotAndToJsonSinceReportDeltas) {
+  MetricsRegistry registry;
+  registry.counter("db.flush.count")->Increment(5);
+  registry.gauge("wc.state")->Set(2);
+  registry.histogram("db.flush.micros")->Observe(100);
+  registry.histogram("db.flush.micros")->Observe(200);
+
+  MetricsRegistry::Snapshot before = registry.TakeSnapshot();
+  EXPECT_EQ(5u, before.CounterValue("db.flush.count"));
+  EXPECT_EQ(0u, before.CounterValue("never.registered"));
+
+  registry.counter("db.flush.count")->Increment(3);
+  registry.counter("db.compaction.count")->Increment(2);  // New since.
+  registry.gauge("wc.state")->Set(7);
+  registry.histogram("db.flush.micros")->Observe(900);
+
+  mini_json::Value root = MustParse(registry.ToJsonSince(before));
+  // Counters: interval deltas; instruments new since the snapshot
+  // report their full value.
+  EXPECT_EQ(3.0, root["counters"]["db.flush.count"].number);
+  EXPECT_EQ(2.0, root["counters"]["db.compaction.count"].number);
+  // Gauges are point-in-time.
+  EXPECT_EQ(7.0, root["gauges"]["wc.state"].number);
+  // Histograms subtract the earlier window: one new sample.
+  const mini_json::Value& hist = root["histograms"]["db.flush.micros"];
+  EXPECT_EQ(1.0, hist["count"].number);
+  EXPECT_EQ(900.0, hist["mean"].number);
+}
+
+TEST(HistogramSubtract, WindowedViewIsExact) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  Histogram earlier = h;
+  h.Add(30);
+  h.Add(40);
+
+  Histogram window = h;
+  window.Subtract(earlier);
+  EXPECT_EQ(2u, window.Count());
+  EXPECT_DOUBLE_EQ(35.0, window.Average());
+
+  // Subtracting a histogram from itself leaves an empty window.
+  Histogram empty = h;
+  empty.Subtract(h);
+  EXPECT_EQ(0u, empty.Count());
+}
+
+TEST(MetricsRegistry, ExportPrometheusShape) {
+  MetricsRegistry registry;
+  registry.counter("db.flush.count")->Increment(4);
+  registry.gauge("health.quarantined")->Set(1);
+  registry.histogram("db.flush.micros")->Observe(100);
+  registry.histogram("db.flush.micros")->Observe(300);
+
+  const std::string text = registry.ExportPrometheus();
+  // Dotted names mangle to fcae_<snake>; each family announces a TYPE.
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE fcae_db_flush_count counter"));
+  EXPECT_NE(std::string::npos, text.find("fcae_db_flush_count 4"));
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE fcae_health_quarantined gauge"));
+  EXPECT_NE(std::string::npos, text.find("fcae_health_quarantined 1"));
+  // Histograms export as summaries: quantiles plus _sum/_count.
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE fcae_db_flush_micros summary"));
+  EXPECT_NE(std::string::npos,
+            text.find("fcae_db_flush_micros{quantile=\"0.5\"}"));
+  EXPECT_NE(std::string::npos,
+            text.find("fcae_db_flush_micros{quantile=\"0.99\"}"));
+  EXPECT_NE(std::string::npos, text.find("fcae_db_flush_micros_count 2"));
+  EXPECT_NE(std::string::npos, text.find("fcae_db_flush_micros_sum"));
+}
+
+TEST(LoggerTest, FormatLogRecordRendersFieldsAndIndentsMultiline) {
+  LogRecord record;
+  record.level = LogRecord::Level::kInfo;
+  record.ts_micros = 1234;
+  record.tag = "fcae.stats";
+  record.message = "header\nrow1\nrow2";
+  record.fields.emplace_back("seq", "3");
+
+  const std::string line = FormatLogRecord(record);
+  EXPECT_NE(std::string::npos, line.find("INFO"));
+  EXPECT_NE(std::string::npos, line.find("fcae.stats"));
+  EXPECT_NE(std::string::npos, line.find("seq=3"));
+  EXPECT_NE(std::string::npos, line.find("header"));
+  EXPECT_NE(std::string::npos, line.find("row2"));
+
+  EXPECT_STREQ("INFO", LogLevelName(LogRecord::Level::kInfo));
+  EXPECT_STREQ("WARN", LogLevelName(LogRecord::Level::kWarn));
+  EXPECT_STREQ("ERROR", LogLevelName(LogRecord::Level::kError));
 }
 
 TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {

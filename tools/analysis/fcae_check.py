@@ -19,10 +19,15 @@ rules over the first-party sources discovered from compile_commands.json:
                       power at that edge.
 
   metrics-schema      Every metric name registered through fcae::obs must be
-                      listed in bench/metrics_schema.json (required_* or
-                      known_*) with the matching instrument kind, and vice
-                      versa. Drift in either direction used to surface only
-                      at bench-smoke runtime; here it fails the build.
+                      listed in bench/metrics_schema.json with the matching
+                      instrument kind, and vice versa (both the dict format —
+                      counters/gauges/histograms objects with descriptions —
+                      and the legacy required_*/known_* lists are understood).
+                      The schema's perf_context/io_stats lists must also
+                      mirror the uint64_t fields of obs::PerfContext and
+                      obs::IOStatsContext in src/obs/perf_context.h. Drift in
+                      either direction used to surface only at bench-smoke
+                      runtime; here it fails the build.
 
   guarded-const-cast  No field annotated GUARDED_BY may be reached through a
                       const_cast: casting away constness around a capability
@@ -121,10 +126,23 @@ METRIC_METHODS = {"counter": "counter", "gauge": "gauge",
 METRIC_FORWARDERS = {"peak": "gauge",        # host/offload_compaction.cc
                      "Count": "counter"}     # syssim/simulator.cc
 METRICS_SCHEMA_PATH = "bench/metrics_schema.json"
+# Legacy list-format keys; the current schema uses dict sections named
+# "counters"/"gauges"/"histograms" mapping name -> {description, ...}.
 SCHEMA_KEYS = {
     "counter": ("required_counters", "known_counters"),
     "gauge": ("required_gauges", "known_gauges"),
     "histogram": ("required_histograms", "known_histograms"),
+}
+SCHEMA_DICT_KEYS = {
+    "counter": "counters",
+    "gauge": "gauges",
+    "histogram": "histograms",
+}
+# PerfContext/IOStatsContext fields the schema must mirror.
+PERF_CONTEXT_HEADER = "src/obs/perf_context.h"
+PERF_STRUCT_KEYS = {
+    "PerfContext": "perf_context",
+    "IOStatsContext": "io_stats",
 }
 
 WAIVER_RE = re.compile(r"fcae-check:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)")
@@ -427,6 +445,11 @@ def check_metrics_schema(repo_root, sources, waiver_sets, violations):
         for key in keys:
             for name in schema.get(key, []):
                 schema_names[name] = kind
+    for kind, key in SCHEMA_DICT_KEYS.items():
+        section = schema.get(key)
+        if isinstance(section, dict):
+            for name in section:
+                schema_names[name] = kind
 
     registrations = []
     declared = []
@@ -447,8 +470,8 @@ def check_metrics_schema(repo_root, sources, waiver_sets, violations):
             violations.append(Violation(
                 "metrics-schema", relpath, lineno,
                 f"metric '{name}' ({kind}) is registered in code but missing "
-                f"from {METRICS_SCHEMA_PATH} — add it to required_{kind}s or "
-                f"known_{kind}s"))
+                f"from {METRICS_SCHEMA_PATH} — add it to the '{kind}s' "
+                f"section with a description"))
         elif schema_names[name] != kind:
             if waivers and waivers.covers("metrics-schema", lineno):
                 continue
@@ -463,6 +486,57 @@ def check_metrics_schema(repo_root, sources, waiver_sets, violations):
                 "metrics-schema", METRICS_SCHEMA_PATH, 1,
                 f"schema lists {kind} '{name}' but no registration site "
                 f"exists in src/ — remove it or fix the registration"))
+
+    _check_perf_context_drift(sources, schema, violations)
+
+
+_STRUCT_FIELD_RE = re.compile(r"^\s*uint64_t\s+(" + _IDENT + r")\s*=\s*0\s*;")
+
+
+def _extract_struct_uint64_fields(src, struct_name):
+    """uint64_t fields of `struct <name> { ... };` in declaration order."""
+    fields = []
+    depth = 0
+    in_struct = False
+    for code in src.code:
+        if not in_struct:
+            if re.search(r"\bstruct\s+" + struct_name + r"\b", code):
+                in_struct = True
+                depth = code.count("{") - code.count("}")
+            continue
+        m = _STRUCT_FIELD_RE.match(code)
+        if m and depth >= 1:
+            fields.append(m.group(1))
+        depth += code.count("{") - code.count("}")
+        if depth <= 0:
+            break
+    return fields
+
+
+def _check_perf_context_drift(sources, schema, violations):
+    """The schema's perf_context/io_stats lists must mirror the uint64_t
+    fields of the PerfContext/IOStatsContext structs. Skipped when the
+    header is absent (fixture mini-repos)."""
+    src = sources.get(PERF_CONTEXT_HEADER)
+    if src is None:
+        return
+    for struct_name, key in PERF_STRUCT_KEYS.items():
+        fields = _extract_struct_uint64_fields(src, struct_name)
+        listed = schema.get(key, [])
+        if not isinstance(listed, list):
+            listed = []
+        for field in fields:
+            if field not in listed:
+                violations.append(Violation(
+                    "metrics-schema", PERF_CONTEXT_HEADER, 1,
+                    f"{struct_name} field '{field}' is missing from the "
+                    f"'{key}' list in {METRICS_SCHEMA_PATH}"))
+        for name in listed:
+            if name not in fields:
+                violations.append(Violation(
+                    "metrics-schema", METRICS_SCHEMA_PATH, 1,
+                    f"schema '{key}' lists '{name}' but {struct_name} in "
+                    f"{PERF_CONTEXT_HEADER} has no such field"))
 
 
 def _collect_guarded_fields(sources):
