@@ -82,12 +82,132 @@ void ParallelScheduling() {
   }
 }
 
-void RealDb() {
+// Multi-card ablation at the system level: the same slow-engine setup
+// the syssim tests use to provoke kernel queueing (analytic cost model,
+// unseparated key-value path, leveling ratio 3 so jobs on disjoint
+// level pairs coexist). Columns show what each knob buys: a second
+// card drains device_queue_seconds, pipelined DMA converts queue time
+// into overlap, and the shared bus charges the cards for colliding
+// bursts.
+void MultiCardSystemLevel() {
+  using syssim::CostModel;
+  using syssim::ExecMode;
+  using syssim::SimConfig;
+  using syssim::Simulator;
+
+  PrintHeader("Multi-card offload (system level, 300 MB fillrandom, 512 B)");
+  std::printf("%-28s %10s %12s %12s %12s\n", "config", "MB/s", "queue s",
+              "overlap s", "bus s");
+
+  for (int cards : {1, 2, 4}) {
+    for (bool pipelined : {false, true}) {
+      SimConfig config;
+      config.mode = ExecMode::kLevelDbFcae;
+      config.cost = CostModel::Simulated();
+      config.value_length = 512;
+      config.engine.num_inputs = 9;
+      config.engine.input_width = 8;
+      config.engine.value_width = 8;
+      config.engine.opt_level = fpga::OptLevel::kBasic;
+      config.multipass_offload = true;
+      config.compaction_threads = 4;
+      config.leveling_ratio = 3;
+      config.num_cards = cards;
+      config.pipelined_dma = pipelined;
+      auto r = Simulator(config).RunFillRandom(3e8);
+      char label[64];
+      std::snprintf(label, sizeof(label), "cards=%d dma=%s", cards,
+                    pipelined ? "pipelined" : "serial");
+      std::printf("%-28s %10.2f %12.2f %12.3f %12.3f\n", label,
+                  r.throughput_mbps, r.device_queue_seconds,
+                  r.pipeline_overlap_seconds, r.bus_contention_seconds);
+    }
+  }
+}
+
+// Multi-card fan-out on the real device model: eight staged
+// sub-compaction shards pushed through a DeviceSet at every point of
+// the cards {1,2,4} x in-flight shards {1,4} grid (in-flight workers
+// play the role of max_subcompactions: how many shards of one job are
+// eligible to run at once). The s4 column pair feeds the CI ablation
+// gate (bench/ablation_baseline.json): two cards must beat one by the
+// gated ratio, and the four-deep queue must keep the DMA pipeline
+// engaged.
+void MultiCard(JsonReport* report) {
+  PrintHeader("Multi-card offload (real device model, 8 x ~1 MB shards)");
+  std::printf("%-28s %12s %12s %12s %10s\n", "config", "model MB/s",
+              "overlap us", "bus-wait us", "kernels");
+
+  fpga::EngineConfig engine;
+  engine.num_inputs = 9;
+  engine.input_width = 8;
+  engine.value_width = 8;
+
+  constexpr int kShards = 8;
+  constexpr int kRunsPerShard = 2;
+  constexpr uint64_t kRecordsPerRun = 4000;
+  StagedInputBuilder builder;
+  std::vector<fpga::DeviceInput> inputs(kShards * kRunsPerShard);
+  std::vector<std::vector<const fpga::DeviceInput*>> shards(kShards);
+  for (int s = 0; s < kShards; s++) {
+    for (int r = 0; r < kRunsPerShard; r++) {
+      fpga::DeviceInput* input = &inputs[s * kRunsPerShard + r];
+      Status st = builder.Build(s * kRunsPerShard + r, s * 100000 + r,
+                                kRecordsPerRun, kRunsPerShard, 16, 100,
+                                input);
+      if (!st.ok()) {
+        std::fprintf(stderr, "stage: %s\n", st.ToString().c_str());
+        std::exit(1);
+      }
+      shards[s].push_back(input);
+    }
+  }
+
+  double c1_s4_mbps = 0, c2_s4_mbps = 0, c2_s4_overlap = 0;
+  for (int cards : {1, 2, 4}) {
+    for (int inflight : {1, 4}) {
+      host::DeviceSet devices(engine, cards);
+      DeviceFanoutResult r = RunDeviceFanout(&devices, shards, inflight);
+      if (!r.ok) {
+        std::fprintf(stderr, "fan-out failed (cards=%d)\n", cards);
+        std::exit(1);
+      }
+      char label[64];
+      std::snprintf(label, sizeof(label), "cards=%d subcompactions=%d",
+                    cards, inflight);
+      std::printf("%-28s %12.1f %12.0f %12.0f %10llu\n", label,
+                  r.modeled_mbps, r.pipeline_overlap_micros,
+                  r.bus_wait_micros, (unsigned long long)r.kernels_launched);
+
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "multicard.c%d.s%d", cards,
+                    inflight);
+      const std::string p(prefix);
+      report->Add(p + ".modeled_mbps", r.modeled_mbps);
+      report->Add(p + ".pipeline_overlap_micros", r.pipeline_overlap_micros);
+      report->Add(p + ".bus_wait_micros", r.bus_wait_micros);
+      report->Add(p + ".kernels", r.kernels_launched);
+      report->Add(p + ".pipelined_jobs", r.pipelined_jobs);
+      if (inflight == 4 && cards == 1) c1_s4_mbps = r.modeled_mbps;
+      if (inflight == 4 && cards == 2) {
+        c2_s4_mbps = r.modeled_mbps;
+        c2_s4_overlap = r.pipeline_overlap_micros;
+      }
+    }
+  }
+  report->Add("perf.offload.c2_over_c1",
+              c1_s4_mbps > 0 ? c2_s4_mbps / c1_s4_mbps : 0.0);
+  report->Add("perf.offload.pipeline_overlap_micros", c2_s4_overlap);
+  std::printf("(gate: c2/c1 at 4 in-flight shards = %.3f, overlap %.0f us)\n",
+              c1_s4_mbps > 0 ? c2_s4_mbps / c1_s4_mbps : 0.0, c2_s4_overlap);
+}
+
+void RealDb(JsonReport* report) {
   PrintHeader("Scheduler ablation (real DB, 30k x 256 B writes, N=2 card)");
   std::printf("%-28s %12s %12s %14s\n", "policy", "offloaded", "on cpu",
               "device cycles");
 
-  JsonReport report("ablation_scheduler");
+  JsonReport& report_ref = *report;
   for (bool tournament : {false, true}) {
     std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
     fpga::EngineConfig engine;
@@ -141,11 +261,10 @@ void RealDb() {
                 (unsigned long long)stats.device_cycles);
 
     const std::string prefix = tournament ? "tournament" : "strict";
-    report.Add(prefix + ".kernels_launched", device.kernels_launched());
-    report.Add(prefix + ".device_cycles", stats.device_cycles);
-    report.AddRobustness(prefix, stats, impl->FallbackCompactions());
+    report_ref.Add(prefix + ".kernels_launched", device.kernels_launched());
+    report_ref.Add(prefix + ".device_cycles", stats.device_cycles);
+    report_ref.AddRobustness(prefix, stats, impl->FallbackCompactions());
   }
-  report.WriteFile();
   std::printf("(strict: level-0 compactions exceed the 2-input limit and "
               "run in software;\n tournament: every compaction reaches the "
               "device)\n");
@@ -158,6 +277,10 @@ void RealDb() {
 int main() {
   fcae::bench::SystemLevel();
   fcae::bench::ParallelScheduling();
-  fcae::bench::RealDb();
+  fcae::bench::MultiCardSystemLevel();
+  fcae::bench::JsonReport report("ablation_scheduler");
+  fcae::bench::RealDb(&report);
+  fcae::bench::MultiCard(&report);
+  report.WriteFile();
   return 0;
 }

@@ -18,6 +18,7 @@ nonzero}) and the legacy required_*/known_*/nonzero_counters lists.
 """
 
 import argparse
+import fnmatch
 import json
 import numbers
 import sys
@@ -76,14 +77,20 @@ def validate_metrics(metrics, schema):
 
     # Every exported instrument must be a schema-known name of the same
     # kind: an unknown name here means code and schema drifted (or a
-    # metric was renamed without updating the contract).
+    # metric was renamed without updating the contract). Schema names
+    # may be fnmatch globs ('health.card*.probes') covering families of
+    # runtime-parameterized instruments (per offload card).
     for exported, known, kind in ((counters, known_c, "counter"),
                                   (gauges, known_g, "gauge"),
                                   (histograms, known_h, "histogram")):
+        globs = [g for g in known if "*" in g or "?" in g or "[" in g]
         for name in exported:
-            if name not in known:
-                fail(f"exported {kind} '{name}' is not in the schema — "
-                     f"add it to bench/metrics_schema.json")
+            if name in known:
+                continue
+            if any(fnmatch.fnmatchcase(name, g) for g in globs):
+                continue
+            fail(f"exported {kind} '{name}' is not in the schema — "
+                 f"add it to bench/metrics_schema.json")
 
     for name in sorted(required_c):
         if name not in counters:

@@ -21,6 +21,7 @@ every family back to its schema instrument, and enforces:
 """
 
 import argparse
+import fnmatch
 import json
 import re
 import sys
@@ -36,10 +37,20 @@ def mangle(name):
     return "fcae_" + "".join(c if c.isalnum() else "_" for c in name)
 
 
+def mangle_glob(name):
+    # Like mangle(), but keeps '*' so an fnmatch pattern in the schema
+    # ('health.card*.probes') still matches mangled family names.
+    return "fcae_" + "".join(c if (c.isalnum() or c == "*") else "_"
+                             for c in name)
+
+
 def load_schema(schema):
-    """Returns {mangled: (name, prom_kind)} plus required/nonzero sets
-    (mangled). Understands both the dict and the legacy list formats."""
+    """Returns ({mangled: (name, prom_kind)}, glob_families,
+    required, nonzero) where glob_families is [(mangled_glob, name,
+    prom_kind)] for schema names containing '*' (per-card instrument
+    families). Understands both the dict and the legacy list formats."""
     by_mangled = {}
+    glob_families = []
     required = set()
     nonzero = set()
     kinds = (("counter", "counter"), ("gauge", "gauge"),
@@ -58,6 +69,9 @@ def load_schema(schema):
             for name in schema.get("nonzero_counters", []):
                 names.setdefault(name, {})["nonzero"] = True
         for name, info in names.items():
+            if "*" in name:
+                glob_families.append((mangle_glob(name), name, prom_kind))
+                continue
             m = mangle(name)
             if m in by_mangled:
                 fail(f"schema names '{by_mangled[m][0]}' and '{name}' both "
@@ -67,7 +81,7 @@ def load_schema(schema):
                 required.add(m)
             if info.get("nonzero"):
                 nonzero.add(m)
-    return by_mangled, required, nonzero
+    return by_mangled, glob_families, required, nonzero
 
 
 SAMPLE_RE = re.compile(
@@ -111,7 +125,7 @@ def parse_export(text):
 
 
 def validate(text, schema):
-    by_mangled, required, nonzero = load_schema(schema)
+    by_mangled, glob_families, required, nonzero = load_schema(schema)
     types, samples = parse_export(text)
 
     for family in samples:
@@ -120,6 +134,11 @@ def validate(text, schema):
 
     for family, ftype in types.items():
         known = by_mangled.get(family)
+        if known is None:
+            for pattern, name, prom_kind in glob_families:
+                if fnmatch.fnmatchcase(family, pattern):
+                    known = (name, prom_kind)
+                    break
         if known is None:
             fail(f"family '{family}' does not map to any schema instrument")
             continue

@@ -7,11 +7,17 @@
 //                       [--db=/tmp/fcae_bench] [--use_fcae=0|1|2]
 //                       [--write_buffer_size=4194304] [--mem_env=1]
 //                       [--compaction_threads=2] [--subcompactions=1]
+//                       [--num_offload_cards=1]
 //                       [--metrics_out=path] [--metrics_prom_out=path]
 //                       [--trace_out=path]
 //
 // use_fcae: 0 = CPU compaction, 1 = offload (strict Fig. 6 policy),
 //           2 = offload with tournament scheduling.
+//
+// num_offload_cards: with use_fcae > 0, drive M simulated cards behind
+// a DeviceSet (least-queued placement, shared PCIe bus) instead of one
+// FcaeDevice; also raises the DB's sub-compaction shard target so the
+// cards see concurrent work.
 //
 // metrics_out / metrics_prom_out / trace_out: after the benchmarks
 // finish, write the DB's fcae.metrics JSON (counters/gauges/histograms),
@@ -30,6 +36,7 @@
 #include <vector>
 
 #include "host/device_health_monitor.h"
+#include "host/device_set.h"
 #include "host/offload_compaction.h"
 #include "lsm/db.h"
 #include "lsm/db_impl.h"
@@ -53,6 +60,7 @@ struct Flags {
   int mem_env = 1;
   int compaction_threads = 2;
   int subcompactions = 1;
+  int num_offload_cards = 1;
   std::string metrics_out;
   std::string metrics_prom_out;
   std::string trace_out;
@@ -89,6 +97,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.compaction_threads = std::atoi(v.c_str());
     } else if (take("subcompactions", &v)) {
       flags.subcompactions = std::atoi(v.c_str());
+    } else if (take("num_offload_cards", &v)) {
+      flags.num_offload_cards = std::atoi(v.c_str());
     } else if (take("metrics_out", &flags.metrics_out)) {
     } else if (take("metrics_prom_out", &flags.metrics_prom_out)) {
     } else if (take("trace_out", &flags.trace_out)) {
@@ -117,13 +127,20 @@ class Benchmark {
       config.num_inputs = 9;
       config.input_width = 8;
       config.value_width = 8;
-      device_ = std::make_unique<fcae::host::FcaeDevice>(config);
-      health_ = std::make_unique<fcae::host::DeviceHealthMonitor>();
       fcae::host::FcaeExecutorOptions exec_options;
       exec_options.tournament_scheduling = (flags_.use_fcae == 2);
-      exec_options.health_monitor = health_.get();
-      executor_ = std::make_unique<fcae::host::FcaeCompactionExecutor>(
-          device_.get(), exec_options);
+      if (flags_.num_offload_cards > 1) {
+        devices_ = std::make_unique<fcae::host::DeviceSet>(
+            config, flags_.num_offload_cards);
+        executor_ = std::make_unique<fcae::host::FcaeCompactionExecutor>(
+            devices_.get(), exec_options);
+      } else {
+        device_ = std::make_unique<fcae::host::FcaeDevice>(config);
+        health_ = std::make_unique<fcae::host::DeviceHealthMonitor>();
+        exec_options.health_monitor = health_.get();
+        executor_ = std::make_unique<fcae::host::FcaeCompactionExecutor>(
+            device_.get(), exec_options);
+      }
     }
     Open(true);
   }
@@ -136,6 +153,7 @@ class Benchmark {
     options.write_buffer_size = flags_.write_buffer_size;
     options.compaction_threads = flags_.compaction_threads;
     options.max_subcompactions = flags_.subcompactions;
+    options.num_offload_cards = flags_.num_offload_cards;
     options.compaction_executor = executor_.get();
     // Benchmark-owned registry so --metrics_prom_out can render it
     // directly; the DB shares it instead of allocating its own.
@@ -274,6 +292,19 @@ class Benchmark {
                     (unsigned long long)device_->total_kernel_cycles(),
                     device_->total_pcie_micros() / 1e3);
       }
+      if (devices_) {
+        for (int c = 0; c < devices_->num_cards(); c++) {
+          const fcae::host::FcaeDevice* d = devices_->device(c);
+          std::printf(
+              "card %d: %llu kernels, %llu cycles, %.2f ms pcie, "
+              "%.2f ms dma-overlap, %.2f ms bus-wait\n",
+              c, (unsigned long long)d->kernels_launched(),
+              (unsigned long long)d->total_kernel_cycles(),
+              d->total_pcie_micros() / 1e3,
+              d->total_dma_overlap_micros() / 1e3,
+              d->total_bus_wait_micros() / 1e3);
+        }
+      }
       return;
     } else {
       std::fprintf(stderr, "unknown benchmark: %s\n", name.c_str());
@@ -299,6 +330,7 @@ class Benchmark {
   std::unique_ptr<fcae::Env> owned_env_;
   fcae::Env* env_;
   std::unique_ptr<fcae::host::FcaeDevice> device_;
+  std::unique_ptr<fcae::host::DeviceSet> devices_;
   std::unique_ptr<fcae::host::DeviceHealthMonitor> health_;
   std::unique_ptr<fcae::host::FcaeCompactionExecutor> executor_;
   fcae::obs::MetricsRegistry registry_;

@@ -19,7 +19,7 @@ struct CompactionEngine::Pipeline {
   Pipeline(const EngineConfig& config,
            const std::vector<const DeviceInput*>& inputs,
            uint64_t smallest_snapshot, bool drop_deletions,
-           DeviceOutput* output)
+           DeviceOutput* output, const KeyBounds* bounds)
       : icmp(BytewiseComparator()) {
     table_options.comparator = &icmp;
     table_options.block_restart_interval = 16;
@@ -35,7 +35,7 @@ struct CompactionEngine::Pipeline {
     comparer = std::make_unique<Comparer>(config, decoder_ptrs,
                                           smallest_snapshot, drop_deletions);
     transfer = std::make_unique<KeyValueTransfer>(config, comparer.get(),
-                                                  decoder_ptrs);
+                                                  decoder_ptrs, bounds);
     encoder = std::make_unique<OutputEncoder>(config, table_options,
                                               transfer.get(), output);
   }
@@ -51,15 +51,17 @@ struct CompactionEngine::Pipeline {
 CompactionEngine::CompactionEngine(const EngineConfig& config,
                                    std::vector<const DeviceInput*> inputs,
                                    uint64_t smallest_snapshot,
-                                   bool drop_deletions, DeviceOutput* output)
+                                   bool drop_deletions, DeviceOutput* output,
+                                   const KeyBounds* bounds)
     : config_(config),
       inputs_(std::move(inputs)),
       smallest_snapshot_(smallest_snapshot),
       drop_deletions_(drop_deletions),
-      output_(output) {
+      output_(output),
+      bounds_(bounds) {
   assert(static_cast<int>(inputs_.size()) <= config_.num_inputs);
   pipeline_ = std::make_unique<Pipeline>(config_, inputs_, smallest_snapshot_,
-                                         drop_deletions_, output_);
+                                         drop_deletions_, output_, bounds_);
 }
 
 CompactionEngine::~CompactionEngine() = default;
@@ -117,6 +119,7 @@ Status CompactionEngine::Run() {
   }
   stats_.records_out = p.transfer->transferred();
   stats_.records_dropped = p.transfer->dropped();
+  stats_.records_bounds_dropped = p.transfer->bounds_dropped();
   stats_.comparer_waits = p.comparer->wait_cycles();
   stats_.encoder_write_stalls = p.encoder->write_stall_cycles();
   stats_.comparer_busy = p.comparer->busy_cycles();

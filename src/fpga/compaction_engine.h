@@ -19,6 +19,8 @@ struct EngineStats {
   uint64_t records_in = 0;       // Records decoded across all inputs.
   uint64_t records_out = 0;      // Records surviving into outputs.
   uint64_t records_dropped = 0;  // Invalidated by the Validity Check.
+  uint64_t records_bounds_dropped = 0;  // Subset of dropped: outside the
+                                        // run's shard KeyBounds.
   uint64_t input_bytes = 0;      // Staged input bytes (index + data).
   uint64_t output_bytes = 0;     // Produced output bytes.
   uint64_t decoder_fetch_stalls = 0;
@@ -93,10 +95,13 @@ class CompactionEngine {
   /// `inputs` and `output` must outlive the engine. At most
   /// config.num_inputs inputs are accepted — the host scheduler must
   /// have already routed bigger jobs to software (paper Fig. 6).
+  /// `bounds`, when non-null and active, restricts the merge to user
+  /// keys in (lower, upper] (sharded offload; see fpga::KeyBounds).
+  /// Borrowed; must outlive the engine.
   CompactionEngine(const EngineConfig& config,
                    std::vector<const DeviceInput*> inputs,
                    uint64_t smallest_snapshot, bool drop_deletions,
-                   DeviceOutput* output);
+                   DeviceOutput* output, const KeyBounds* bounds = nullptr);
 
   CompactionEngine(const CompactionEngine&) = delete;
   CompactionEngine& operator=(const CompactionEngine&) = delete;
@@ -118,6 +123,7 @@ class CompactionEngine {
   const uint64_t smallest_snapshot_;
   const bool drop_deletions_;
   DeviceOutput* output_;
+  const KeyBounds* const bounds_;
   EngineStats stats_;
 
   std::unique_ptr<Pipeline> pipeline_;

@@ -3,9 +3,36 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+
+#include "util/slice.h"
 
 namespace fcae {
 namespace fpga {
+
+/// Optional user-key range restriction for one kernel run, used when a
+/// sharded compaction offloads its key-disjoint sub-compactions: the
+/// shard owns the user-key range (lower, upper]. The host stager trims
+/// whole data blocks outside the range (conservatively — boundary
+/// blocks stay staged), and the Key-Value Transfer module drops any
+/// surviving record whose user key falls outside, the on-chip
+/// equivalent of the DB's bounded shard iterator. Comparisons are
+/// bytewise, matching the engine's hard-coded BytewiseComparator.
+struct KeyBounds {
+  bool has_lower = false;  // Exclusive lower bound when set.
+  bool has_upper = false;  // Inclusive upper bound when set.
+  std::string lower;
+  std::string upper;
+
+  bool active() const { return has_lower || has_upper; }
+
+  /// True iff `user_key` lies inside (lower, upper].
+  bool Contains(const Slice& user_key) const {
+    if (has_lower && user_key.Compare(Slice(lower)) <= 0) return false;
+    if (has_upper && user_key.Compare(Slice(upper)) > 0) return false;
+    return true;
+  }
+};
 
 /// Progressive optimization levels of the compaction engine, matching the
 /// paper's design narrative (Sections V-A .. V-D). Used for the ablation

@@ -10,14 +10,23 @@ namespace fpga {
 
 namespace {
 uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Internal key = user key + 8-byte mark ((sequence << 8) | type).
+Slice UserKeyOf(const std::string& internal_key) {
+  return internal_key.size() >= 8
+             ? Slice(internal_key.data(), internal_key.size() - 8)
+             : Slice(internal_key);
+}
 }  // namespace
 
 KeyValueTransfer::KeyValueTransfer(const EngineConfig& config,
                                    Comparer* comparer,
-                                   std::vector<InputDecoder*> inputs)
+                                   std::vector<InputDecoder*> inputs,
+                                   const KeyBounds* bounds)
     : config_(config),
       comparer_(comparer),
       inputs_(std::move(inputs)),
+      bounds_(bounds != nullptr && bounds->active() ? bounds : nullptr),
       out_fifo_(static_cast<size_t>(config.record_fifo_depth)) {}
 
 void KeyValueTransfer::Tick() {
@@ -59,6 +68,13 @@ void KeyValueTransfer::Tick() {
   }
   Selection selection = comparer_->selections().Pop();
   pending_record_ = source.Pop();
+  if (!selection.drop && bounds_ != nullptr &&
+      !bounds_->Contains(UserKeyOf(pending_record_.internal_key))) {
+    // Out-of-shard record leaked in by block-granular staging: discard
+    // it here, exactly where a validity-check drop is discarded.
+    selection.drop = true;
+    bounds_dropped_++;
+  }
   pending_drop_ = selection.drop;
   if (selection.drop) {
     dropped_++;

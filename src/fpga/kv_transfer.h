@@ -26,8 +26,15 @@ class InputDecoder;
 /// record moves serially: L_key + L_value (Tables II/III).
 class KeyValueTransfer {
  public:
+  /// `bounds`, when non-null and active, restricts the output to user
+  /// keys in (bounds->lower, bounds->upper]: records outside are
+  /// consumed and discarded exactly like validity-check drops (staging
+  /// trims at block granularity only, so boundary blocks leak a few
+  /// out-of-shard records the transfer must filter). Borrowed; must
+  /// outlive the run.
   KeyValueTransfer(const EngineConfig& config, Comparer* comparer,
-                   std::vector<InputDecoder*> inputs);
+                   std::vector<InputDecoder*> inputs,
+                   const KeyBounds* bounds = nullptr);
 
   KeyValueTransfer(const KeyValueTransfer&) = delete;
   KeyValueTransfer& operator=(const KeyValueTransfer&) = delete;
@@ -42,11 +49,15 @@ class KeyValueTransfer {
   uint64_t transferred() const { return transferred_; }
   uint64_t busy_cycles() const { return busy_cycles_; }
   uint64_t dropped() const { return dropped_; }
+  /// Subset of dropped(): records discarded by the shard bounds filter
+  /// rather than by the Validity Check.
+  uint64_t bounds_dropped() const { return bounds_dropped_; }
 
  private:
   const EngineConfig& config_;
   Comparer* comparer_;
   std::vector<InputDecoder*> inputs_;
+  const KeyBounds* const bounds_;
 
   Fifo<KvRecord> out_fifo_;
 
@@ -58,6 +69,7 @@ class KeyValueTransfer {
   uint64_t transferred_ = 0;
   uint64_t busy_cycles_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t bounds_dropped_ = 0;
 };
 
 }  // namespace fpga

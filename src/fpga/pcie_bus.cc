@@ -1,0 +1,69 @@
+#include "fpga/pcie_bus.h"
+
+#include <algorithm>
+
+namespace fcae {
+namespace fpga {
+
+void PcieBus::BeginJob(int card_id) {
+  MutexLock lock(&mutex_);
+  CardActivity& card = active_[card_id];
+  if (card.jobs == 0) {
+    card.in_micros = 0;
+    card.out_micros = 0;
+  }
+  card.jobs++;
+}
+
+void PcieBus::EndJob(int card_id) {
+  MutexLock lock(&mutex_);
+  auto it = active_.find(card_id);
+  if (it == active_.end()) return;
+  if (--it->second.jobs <= 0) {
+    active_.erase(it);
+  }
+}
+
+double PcieBus::Charge(int card_id, double micros, bool inbound) {
+  if (micros <= 0) return 0;
+  MutexLock lock(&mutex_);
+  double others = 0;
+  for (const auto& entry : active_) {
+    if (entry.first == card_id) continue;
+    if (entry.second.jobs <= 0) continue;
+    others += inbound ? entry.second.in_micros : entry.second.out_micros;
+  }
+  CardActivity& card = active_[card_id];
+  if (inbound) {
+    card.in_micros += micros;
+  } else {
+    card.out_micros += micros;
+  }
+  const double wait = std::min(micros, others);
+  if (wait > 0) {
+    contended_bursts_++;
+    contention_micros_ += wait;
+  }
+  return wait;
+}
+
+double PcieBus::ChargeIn(int card_id, double micros) {
+  return Charge(card_id, micros, /*inbound=*/true);
+}
+
+double PcieBus::ChargeOut(int card_id, double micros) {
+  return Charge(card_id, micros, /*inbound=*/false);
+}
+
+uint64_t PcieBus::contended_bursts() const {
+  MutexLock lock(&mutex_);
+  return contended_bursts_;
+}
+
+double PcieBus::contention_micros() const {
+  MutexLock lock(&mutex_);
+  return contention_micros_;
+}
+
+}  // namespace fpga
+}  // namespace fcae

@@ -1,0 +1,76 @@
+#ifndef FCAE_FPGA_PCIE_BUS_H_
+#define FCAE_FPGA_PCIE_BUS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fcae {
+namespace fpga {
+
+/// PcieBus models the shared host bridge in front of a multi-card
+/// deployment. Every card has its own DMA engine and its own x8 slot,
+/// but upstream of the switch the cards contend for the root-complex
+/// bandwidth whenever their bursts coincide.
+///
+/// The model is deliberately conservative and event-free: a card
+/// brackets each job with BeginJob/EndJob, and charges each DMA burst
+/// with ChargeIn/ChargeOut. A burst is delayed only when *other cards*
+/// have a job on the bus at the same wall instant — i.e. only genuine
+/// concurrency across cards produces contention, never two jobs queued
+/// behind one card's own mutex. The delay charged is
+///
+///     wait = min(own burst, sum of the other active cards' bursts
+///                           charged so far in the same direction)
+///
+/// capped at the burst's own duration: in the worst case a burst takes
+/// twice as long, matching a fair round-robin arbiter that halves each
+/// card's share under 2-way collision. In and out are independent lanes
+/// (PCIe is full duplex).
+class PcieBus {
+ public:
+  PcieBus() = default;
+
+  PcieBus(const PcieBus&) = delete;
+  PcieBus& operator=(const PcieBus&) = delete;
+
+  /// Marks `card_id` as having a job actively using the bus. A card's
+  /// burst charges are reset when it goes idle->active so stale history
+  /// never inflates a later collision.
+  void BeginJob(int card_id) EXCLUDES(mutex_);
+  void EndJob(int card_id) EXCLUDES(mutex_);
+
+  /// Charges one host-to-card DMA burst of `micros` modeled duration.
+  /// Returns the extra wait (modeled micros) due to bus contention.
+  double ChargeIn(int card_id, double micros) EXCLUDES(mutex_);
+
+  /// Same for card-to-host.
+  double ChargeOut(int card_id, double micros) EXCLUDES(mutex_);
+
+  /// Bursts that collided with at least one other active card.
+  uint64_t contended_bursts() const EXCLUDES(mutex_);
+
+  /// Total modeled micros of contention delay handed out.
+  double contention_micros() const EXCLUDES(mutex_);
+
+ private:
+  double Charge(int card_id, double micros, bool inbound) EXCLUDES(mutex_);
+
+  struct CardActivity {
+    int jobs = 0;          // Nested Begin/End depth (normally 0 or 1).
+    double in_micros = 0;  // Burst micros charged during the active job.
+    double out_micros = 0;
+  };
+
+  mutable Mutex mutex_;
+  std::map<int, CardActivity> active_ GUARDED_BY(mutex_);
+  uint64_t contended_bursts_ GUARDED_BY(mutex_) = 0;
+  double contention_micros_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fpga
+}  // namespace fcae
+
+#endif  // FCAE_FPGA_PCIE_BUS_H_

@@ -10,8 +10,19 @@
 namespace fcae {
 namespace host {
 
-DeviceHealthMonitor::DeviceHealthMonitor(DeviceHealthOptions options)
-    : options_(options) {}
+DeviceHealthMonitor::DeviceHealthMonitor(DeviceHealthOptions options,
+                                         int card_id)
+    : options_(options), card_id_(card_id) {}
+
+std::string DeviceHealthMonitor::GaugeName(const char* field) const {
+  char buf[64];
+  if (card_id_ < 0) {
+    std::snprintf(buf, sizeof(buf), "health.%s", field);
+  } else {
+    std::snprintf(buf, sizeof(buf), "health.card%d.%s", card_id_, field);
+  }
+  return std::string(buf);
+}
 
 void DeviceHealthMonitor::AttachObservability(obs::MetricsRegistry* metrics,
                                               obs::TraceRecorder* trace) {
@@ -30,22 +41,31 @@ void DeviceHealthMonitor::PublishLocked() {
   if (metrics_ == nullptr) return;
   // Gauges mirror the snapshot so one fcae.metrics read shows breaker
   // state without a second property. The registry lock is a leaf below
-  // mutex_.
-  metrics_->gauge("health.quarantined")->Set(quarantined_ ? 1 : 0);
-  metrics_->gauge("health.consecutive_failures")
+  // mutex_. A card-bound monitor publishes per-card names so the M
+  // breakers of a DeviceSet never alias in the registry.
+  //
+  // fcae-check: declare-metric(gauge): health.quarantined, health.consecutive_failures, health.jobs_succeeded
+  // fcae-check: declare-metric(gauge): health.jobs_failed, health.sticky_failures, health.quarantines
+  // fcae-check: declare-metric(gauge): health.probes, health.readmissions, health.jobs_denied
+  // fcae-check: declare-metric(gauge): health.card*.quarantined, health.card*.consecutive_failures
+  // fcae-check: declare-metric(gauge): health.card*.jobs_succeeded, health.card*.jobs_failed
+  // fcae-check: declare-metric(gauge): health.card*.sticky_failures, health.card*.quarantines
+  // fcae-check: declare-metric(gauge): health.card*.probes, health.card*.readmissions, health.card*.jobs_denied
+  metrics_->gauge(GaugeName("quarantined"))->Set(quarantined_ ? 1 : 0);
+  metrics_->gauge(GaugeName("consecutive_failures"))
       ->Set(consecutive_failures_);
-  metrics_->gauge("health.jobs_succeeded")
+  metrics_->gauge(GaugeName("jobs_succeeded"))
       ->Set(static_cast<int64_t>(jobs_succeeded_));
-  metrics_->gauge("health.jobs_failed")
+  metrics_->gauge(GaugeName("jobs_failed"))
       ->Set(static_cast<int64_t>(jobs_failed_));
-  metrics_->gauge("health.sticky_failures")
+  metrics_->gauge(GaugeName("sticky_failures"))
       ->Set(static_cast<int64_t>(sticky_failures_));
-  metrics_->gauge("health.quarantines")
+  metrics_->gauge(GaugeName("quarantines"))
       ->Set(static_cast<int64_t>(quarantines_));
-  metrics_->gauge("health.probes")->Set(static_cast<int64_t>(probes_));
-  metrics_->gauge("health.readmissions")
+  metrics_->gauge(GaugeName("probes"))->Set(static_cast<int64_t>(probes_));
+  metrics_->gauge(GaugeName("readmissions"))
       ->Set(static_cast<int64_t>(readmissions_));
-  metrics_->gauge("health.jobs_denied")
+  metrics_->gauge(GaugeName("jobs_denied"))
       ->Set(static_cast<int64_t>(jobs_denied_));
 }
 
@@ -83,11 +103,18 @@ void DeviceHealthMonitor::RecordJobSuccess() {
   // Instants and listener callbacks run outside mutex_ so a slow sink
   // never extends the breaker's critical section.
   if (trace != nullptr) {
-    trace->RecordInstant("device_readmitted", "health",
-                         obs::TraceNowMicros(), 0);
+    if (card_id_ >= 0) {
+      trace->RecordInstant("device_readmitted", "health",
+                           obs::TraceNowMicros(), 0,
+                           {{"card", std::to_string(card_id_)}});
+    } else {
+      trace->RecordInstant("device_readmitted", "health",
+                           obs::TraceNowMicros(), 0);
+    }
   }
   if (notifier != nullptr && notifier->active()) {
     obs::DeviceHealthChangeInfo info;
+    info.card_id = card_id_;
     info.quarantined = false;
     info.consecutive_failures = 0;
     notifier->NotifyDeviceHealthChange(info);
@@ -119,12 +146,20 @@ void DeviceHealthMonitor::RecordJobFailure(bool sticky) {
     PublishLocked();
   }
   if (trace != nullptr) {
-    trace->RecordInstant("device_quarantined", "health",
-                         obs::TraceNowMicros(), 0,
-                         {{"sticky", sticky ? "true" : "false"}});
+    if (card_id_ >= 0) {
+      trace->RecordInstant("device_quarantined", "health",
+                           obs::TraceNowMicros(), 0,
+                           {{"sticky", sticky ? "true" : "false"},
+                            {"card", std::to_string(card_id_)}});
+    } else {
+      trace->RecordInstant("device_quarantined", "health",
+                           obs::TraceNowMicros(), 0,
+                           {{"sticky", sticky ? "true" : "false"}});
+    }
   }
   if (notifier != nullptr && notifier->active()) {
     obs::DeviceHealthChangeInfo info;
+    info.card_id = card_id_;
     info.quarantined = true;
     info.consecutive_failures = failures;
     notifier->NotifyDeviceHealthChange(info);
@@ -153,6 +188,12 @@ DeviceHealthMonitor::Snapshot DeviceHealthMonitor::snapshot() const {
 
 std::string DeviceHealthMonitor::ToString() const {
   Snapshot snap = snapshot();
+  std::string prefix;
+  if (card_id_ >= 0) {
+    char cbuf[24];
+    std::snprintf(cbuf, sizeof(cbuf), "card%d ", card_id_);
+    prefix = cbuf;
+  }
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
@@ -166,7 +207,7 @@ std::string DeviceHealthMonitor::ToString() const {
       (unsigned long long)snap.jobs_denied,
       (unsigned long long)snap.quarantines, (unsigned long long)snap.probes,
       (unsigned long long)snap.readmissions);
-  return std::string(buf);
+  return prefix + std::string(buf);
 }
 
 }  // namespace host

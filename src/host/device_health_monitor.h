@@ -42,10 +42,18 @@ struct DeviceHealthOptions {
 /// gracefully instead of stalling.
 class DeviceHealthMonitor {
  public:
-  explicit DeviceHealthMonitor(DeviceHealthOptions options = {});
+  /// `card_id` >= 0 binds the monitor to one card of a multi-card
+  /// DeviceSet: gauges publish under `health.card<N>.*` instead of the
+  /// legacy `health.*` names and OnDeviceHealthChange events carry the
+  /// id, so per-card breakers never alias. The default -1 keeps the
+  /// single-device behaviour bit-for-bit.
+  explicit DeviceHealthMonitor(DeviceHealthOptions options = {},
+                               int card_id = -1);
 
   DeviceHealthMonitor(const DeviceHealthMonitor&) = delete;
   DeviceHealthMonitor& operator=(const DeviceHealthMonitor&) = delete;
+
+  int card_id() const { return card_id_; }
 
   /// Should this job be sent to the device? Counts denials while
   /// quarantined and grants every probe_interval-th job as a probe.
@@ -99,7 +107,12 @@ class DeviceHealthMonitor {
   /// mutex_; the registry's own lock is a leaf below it.
   void PublishLocked() REQUIRES(mutex_);
 
+  /// Gauge name for `field`: "health.<field>" when unbound,
+  /// "health.card<N>.<field>" when bound to a card.
+  std::string GaugeName(const char* field) const;
+
   const DeviceHealthOptions options_;
+  const int card_id_;
 
   mutable Mutex mutex_;
   bool quarantined_ GUARDED_BY(mutex_) = false;

@@ -33,13 +33,60 @@ void CorruptOutput(uint64_t seed, fpga::DeviceOutput* output) {
 }  // namespace
 
 FcaeDevice::FcaeDevice(const fpga::EngineConfig& config,
-                       const fpga::PcieModel& pcie)
-    : config_(config), pcie_(pcie) {}
+                       const fpga::PcieModel& pcie, fpga::PcieBus* bus,
+                       int card_id)
+    : config_(config), pcie_(pcie), bus_(bus), card_id_(card_id) {}
+
+void FcaeDevice::ModelPipeline(bool back_to_back, double in_micros,
+                               double in_wait, uint64_t out_bytes,
+                               double kernel_micros, DeviceRunStats* stats) {
+  const double out_micros = pcie_.TransferMicros(out_bytes);
+  const double out_wait =
+      bus_ != nullptr ? bus_->ChargeOut(card_id_, out_micros) : 0;
+
+  // A job that found the card idle restarts the timeline serially: its
+  // transfer-in was not staged ahead, so nothing overlaps. A job that
+  // queued behind a running predecessor had its transfer-in issued as
+  // soon as the predecessor's own transfer-in finished (the DMA engine
+  // is free then, and the second staging slot holds the bytes).
+  const double arrival = back_to_back
+                             ? prev_dma_in_end_
+                             : std::max(prev_out_end_, prev_kernel_end_);
+  const double in_start = std::max(arrival, slot_free_[slot_idx_]);
+  const double in_end = in_start + in_micros + in_wait;
+  const double kernel_start = std::max(in_end, prev_kernel_end_);
+  // Transfer-in time hidden behind the predecessor's kernel.
+  const double overlap_in =
+      std::max(0.0, std::min(in_end, prev_kernel_end_) - in_start);
+  const double kernel_end = kernel_start + kernel_micros;
+  const double out_start = std::max(kernel_end, prev_out_end_);
+  const double out_end = out_start + out_micros + out_wait;
+  // Predecessor transfer-out time hidden behind this job's kernel.
+  const double overlap_out =
+      std::max(0.0, std::min(prev_out_end_, kernel_end) - kernel_start);
+
+  // The staging slot this job used frees for reuse two jobs later,
+  // once its bytes have been consumed by the kernel.
+  slot_free_[slot_idx_] = kernel_end;
+  slot_idx_ ^= 1;
+  prev_dma_in_end_ = in_end;
+  prev_kernel_end_ = kernel_end;
+  prev_out_end_ = out_end;
+
+  stats->dma_overlap_micros = overlap_in + overlap_out;
+  stats->bus_wait_micros = in_wait + out_wait;
+
+  MutexLock stats_lock(&stats_mutex_);
+  total_dma_overlap_micros_ += stats->dma_overlap_micros;
+  total_bus_wait_micros_ += stats->bus_wait_micros;
+  if (back_to_back) pipelined_jobs_++;
+}
 
 Status FcaeDevice::RunKernel(
     const std::vector<const fpga::DeviceInput*>& inputs,
     uint64_t smallest_snapshot, bool drop_deletions,
-    fpga::DeviceOutput* output, DeviceRunStats* stats) {
+    fpga::DeviceOutput* output, DeviceRunStats* stats,
+    const fpga::KeyBounds* bounds) {
   fpga::FaultDecision decision;
   if (fault_injector_ != nullptr) {
     decision = fault_injector_->NextLaunch();
@@ -61,7 +108,7 @@ Status FcaeDevice::RunKernel(
   }
 
   fpga::CompactionEngine engine(config_, inputs, smallest_snapshot,
-                                drop_deletions, output);
+                                drop_deletions, output, bounds);
   Status s = engine.Run();
   if (!s.ok()) return s;
 
@@ -105,11 +152,14 @@ Status FcaeDevice::RunKernel(
   stats->kernel_cycles += cycles;
   stats->engine.records_in += engine.stats().records_in;
   stats->engine.records_dropped += engine.stats().records_dropped;
+  stats->engine.records_bounds_dropped +=
+      engine.stats().records_bounds_dropped;
   // Keep the full stats of the most recent pass; Execute* fixes up the
   // accumulated fields afterwards.
   fpga::EngineStats merged = engine.stats();
   merged.records_in = stats->engine.records_in;
   merged.records_dropped = stats->engine.records_dropped;
+  merged.records_bounds_dropped = stats->engine.records_bounds_dropped;
   merged.cycles = stats->kernel_cycles;
   stats->engine = merged;
   {
@@ -122,21 +172,45 @@ Status FcaeDevice::RunKernel(
 Status FcaeDevice::ExecuteCompaction(
     const std::vector<const fpga::DeviceInput*>& inputs,
     uint64_t smallest_snapshot, bool drop_deletions,
-    fpga::DeviceOutput* output, DeviceRunStats* stats) {
+    fpga::DeviceOutput* output, DeviceRunStats* stats,
+    const fpga::KeyBounds* bounds) {
   if (static_cast<int>(inputs.size()) > config_.num_inputs) {
     return Status::InvalidArgument(
         "engine input count exceeds synthesized N");
   }
 
+  // A job that finds another job in flight (or queued) arrived
+  // back-to-back: its transfer-in was double-buffered behind the
+  // predecessor's kernel, so ModelPipeline may credit overlap.
+  const bool back_to_back =
+      pending_jobs_.fetch_add(1, std::memory_order_acq_rel) > 0;
+  struct PendingGuard {
+    std::atomic<int>* pending;
+    ~PendingGuard() { pending->fetch_sub(1, std::memory_order_acq_rel); }
+  } pending_guard{&pending_jobs_};
+
   MutexLock lock(&mutex_);
+  struct BusGuard {
+    fpga::PcieBus* bus;
+    int card;
+    ~BusGuard() {
+      if (bus != nullptr) bus->EndJob(card);
+    }
+  } bus_guard{bus_, card_id_};
+  if (bus_ != nullptr) bus_->BeginJob(card_id_);
 
   *stats = DeviceRunStats();
   for (const fpga::DeviceInput* input : inputs) {
     stats->input_bytes += input->TotalBytes();
   }
+  // The inbound burst goes on the bus before the kernel runs, so a
+  // sibling card starting mid-kernel collides with it.
+  const double in_micros = pcie_.TransferMicros(stats->input_bytes);
+  const double in_wait =
+      bus_ != nullptr ? bus_->ChargeIn(card_id_, in_micros) : 0;
 
   Status s = RunKernel(inputs, smallest_snapshot, drop_deletions, output,
-                       stats);
+                       stats, bounds);
   if (!s.ok()) {
     *output = fpga::DeviceOutput();  // Never hand out partial results.
     return s;
@@ -146,6 +220,8 @@ Status FcaeDevice::ExecuteCompaction(
   stats->output_bytes = output->TotalBytes();
   stats->pcie_micros +=
       pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
+  ModelPipeline(back_to_back, in_micros, in_wait, stats->output_bytes,
+                stats->kernel_micros, stats);
 
   MutexLock stats_lock(&stats_mutex_);
   total_pcie_micros_ += stats->pcie_micros;
@@ -155,13 +231,34 @@ Status FcaeDevice::ExecuteCompaction(
 Status FcaeDevice::ExecuteTournament(
     const std::vector<const fpga::DeviceInput*>& inputs,
     uint64_t smallest_snapshot, bool drop_deletions,
-    fpga::DeviceOutput* output, DeviceRunStats* stats) {
+    fpga::DeviceOutput* output, DeviceRunStats* stats,
+    const fpga::KeyBounds* bounds) {
+  const bool back_to_back =
+      pending_jobs_.fetch_add(1, std::memory_order_acq_rel) > 0;
+  struct PendingGuard {
+    std::atomic<int>* pending;
+    ~PendingGuard() { pending->fetch_sub(1, std::memory_order_acq_rel); }
+  } pending_guard{&pending_jobs_};
+
   MutexLock lock(&mutex_);
+  struct BusGuard {
+    fpga::PcieBus* bus;
+    int card;
+    ~BusGuard() {
+      if (bus != nullptr) bus->EndJob(card);
+    }
+  } bus_guard{bus_, card_id_};
+  if (bus_ != nullptr) bus_->BeginJob(card_id_);
 
   *stats = DeviceRunStats();
   for (const fpga::DeviceInput* input : inputs) {
     stats->input_bytes += input->TotalBytes();
   }
+  // Only the initial inputs cross the link; the burst is charged up
+  // front so sibling cards contend with it for the whole tournament.
+  const double in_micros = pcie_.TransferMicros(stats->input_bytes);
+  const double in_wait =
+      bus_ != nullptr ? bus_->ChargeIn(card_id_, in_micros) : 0;
 
   // Rounds of up to N-input merges. `owned` keeps intermediate images
   // (the card DRAM) alive; `current` always points at this round's runs.
@@ -191,9 +288,11 @@ Status FcaeDevice::ExecuteTournament(
                                                   current.begin() + end);
       fpga::DeviceOutput intermediate;
       // Intermediate passes must keep deletion markers: data for the
-      // same user key may live in another group.
+      // same user key may live in another group. Shard bounds apply
+      // from the first pass — out-of-shard keys never reach card DRAM.
       Status s = RunKernel(group, smallest_snapshot,
-                           /*drop_deletions=*/false, &intermediate, stats);
+                           /*drop_deletions=*/false, &intermediate, stats,
+                           bounds);
       if (!s.ok()) {
         *output = fpga::DeviceOutput();
         return s;
@@ -221,7 +320,7 @@ Status FcaeDevice::ExecuteTournament(
 
   // Final pass applies the real drop rule.
   Status s = RunKernel(current, smallest_snapshot, drop_deletions, output,
-                       stats);
+                       stats, bounds);
   if (!s.ok()) {
     *output = fpga::DeviceOutput();
     return s;
@@ -232,6 +331,8 @@ Status FcaeDevice::ExecuteTournament(
   // Only the initial inputs and final outputs cross the PCIe link.
   stats->pcie_micros +=
       pcie_.RoundTripMicros(stats->input_bytes, stats->output_bytes);
+  ModelPipeline(back_to_back, in_micros, in_wait, stats->output_bytes,
+                stats->kernel_micros, stats);
 
   MutexLock stats_lock(&stats_mutex_);
   total_pcie_micros_ += stats->pcie_micros;

@@ -1,6 +1,7 @@
 #ifndef FCAE_HOST_FCAE_DEVICE_H_
 #define FCAE_HOST_FCAE_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "fpga/config.h"
 #include "fpga/device_memory.h"
 #include "fpga/fault_injector.h"
+#include "fpga/pcie_bus.h"
 #include "fpga/pcie_model.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -25,6 +27,13 @@ struct DeviceRunStats {
   uint64_t output_bytes = 0;
   uint64_t faults_injected = 0;     // Faults hit during this invocation.
   uint64_t dma_retransfers = 0;     // Link-CRC-detected DMA replays.
+  /// Modeled micros of DMA hidden behind kernel compute by the
+  /// double-buffered staging pipeline (zero when the job did not arrive
+  /// back-to-back behind another job on the same card).
+  double dma_overlap_micros = 0;
+  /// Modeled micros this job's DMA bursts waited for the shared PCIe
+  /// bus because another card was bursting at the same time.
+  double bus_wait_micros = 0;
   fpga::EngineStats engine;
 };
 
@@ -43,13 +52,20 @@ struct DeviceRunStats {
 ///                           bytes; only host-side verification catches it.
 class FcaeDevice {
  public:
+  /// `bus`, when non-null, is the shared multi-card PCIe bus this
+  /// card's DMA bursts contend on (borrowed; must outlive the device).
+  /// `card_id` distinguishes cards in a DeviceSet; single-device setups
+  /// keep the default 0.
   explicit FcaeDevice(const fpga::EngineConfig& config,
-                      const fpga::PcieModel& pcie = fpga::PcieModel());
+                      const fpga::PcieModel& pcie = fpga::PcieModel(),
+                      fpga::PcieBus* bus = nullptr, int card_id = 0);
 
   FcaeDevice(const FcaeDevice&) = delete;
   FcaeDevice& operator=(const FcaeDevice&) = delete;
 
   const fpga::EngineConfig& config() const { return config_; }
+
+  int card_id() const { return card_id_; }
 
   /// Maximum number of compaction inputs the synthesized engine
   /// accepts (the N of the paper).
@@ -68,9 +84,13 @@ class FcaeDevice {
   /// caller queues on the device mutex like a second job would queue on
   /// the real card. On failure *output is cleared — a failed kernel
   /// never hands partial results to the host.
+  /// `bounds`, when non-null and active, restricts the merge to user
+  /// keys in (lower, upper] (sharded offload; the engine's Key-Value
+  /// Transfer drops records outside). Borrowed for the duration.
   Status ExecuteCompaction(const std::vector<const fpga::DeviceInput*>& inputs,
                            uint64_t smallest_snapshot, bool drop_deletions,
-                           fpga::DeviceOutput* output, DeviceRunStats* stats)
+                           fpga::DeviceOutput* output, DeviceRunStats* stats,
+                           const fpga::KeyBounds* bounds = nullptr)
       EXCLUDES(mutex_, stats_mutex_);
 
   /// Merges an arbitrary number of inputs as a tournament of N-input
@@ -84,7 +104,8 @@ class FcaeDevice {
   /// staging and clears *output.
   Status ExecuteTournament(const std::vector<const fpga::DeviceInput*>& inputs,
                            uint64_t smallest_snapshot, bool drop_deletions,
-                           fpga::DeviceOutput* output, DeviceRunStats* stats)
+                           fpga::DeviceOutput* output, DeviceRunStats* stats,
+                           const fpga::KeyBounds* bounds = nullptr)
       EXCLUDES(mutex_, stats_mutex_);
 
   /// Totals across the device lifetime.
@@ -99,6 +120,26 @@ class FcaeDevice {
   uint64_t kernels_launched() const EXCLUDES(stats_mutex_) {
     MutexLock lock(&stats_mutex_);
     return kernels_launched_;
+  }
+
+  /// Modeled micros of DMA hidden behind compute across the device
+  /// lifetime (the pipelined double-buffering payoff).
+  double total_dma_overlap_micros() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
+    return total_dma_overlap_micros_;
+  }
+
+  /// Modeled micros of shared-bus contention delay across the lifetime.
+  double total_bus_wait_micros() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
+    return total_bus_wait_micros_;
+  }
+
+  /// Jobs that arrived while the card was already busy and were
+  /// therefore eligible for DMA/compute overlap.
+  uint64_t pipelined_jobs() const EXCLUDES(stats_mutex_) {
+    MutexLock lock(&stats_mutex_);
+    return pipelined_jobs_;
   }
 
   /// Device DRAM currently held by tournament intermediates. Zero
@@ -125,13 +166,42 @@ class FcaeDevice {
   /// enforces the cycle deadline and applies silent corruption.
   Status RunKernel(const std::vector<const fpga::DeviceInput*>& inputs,
                    uint64_t smallest_snapshot, bool drop_deletions,
-                   fpga::DeviceOutput* output, DeviceRunStats* stats)
-      REQUIRES(mutex_);
+                   fpga::DeviceOutput* output, DeviceRunStats* stats,
+                   const fpga::KeyBounds* bounds) REQUIRES(mutex_);
+
+  /// Advances the double-buffered DMA pipeline timeline for one
+  /// completed job and fills stats->dma_overlap_micros /
+  /// bus_wait_micros. `back_to_back` is true when the job arrived while
+  /// the card was still busy — only then can its transfer-in overlap
+  /// the predecessor's kernel and its kernel overlap the predecessor's
+  /// transfer-out (two staging slots, so at most one job ahead).
+  /// `in_micros`/`in_wait` are the inbound burst and its bus-contention
+  /// delay, charged by the caller at job start — the burst must be on
+  /// the bus while the job runs so concurrent cards see it.
+  void ModelPipeline(bool back_to_back, double in_micros, double in_wait,
+                     uint64_t out_bytes, double kernel_micros,
+                     DeviceRunStats* stats) REQUIRES(mutex_);
 
   const fpga::EngineConfig config_;
   const fpga::PcieModel pcie_;
+  fpga::PcieBus* const bus_;  // Borrowed shared bus; null = lone card.
+  const int card_id_;
   Mutex mutex_;
   fpga::DeviceFaultInjector* fault_injector_ GUARDED_BY(mutex_) = nullptr;
+
+  /// Jobs in flight or queued on mutex_. A job that sees a nonzero
+  /// count at entry arrived back-to-back and runs pipelined.
+  std::atomic<int> pending_jobs_{0};
+
+  // Modeled pipeline timeline (event times in modeled micros since the
+  // card powered on). Two staging slots implement the double buffer: a
+  // transfer-in may start only once its slot was freed by the
+  // kernel-start two jobs ago.
+  double prev_dma_in_end_ GUARDED_BY(mutex_) = 0;
+  double prev_kernel_end_ GUARDED_BY(mutex_) = 0;
+  double prev_out_end_ GUARDED_BY(mutex_) = 0;
+  double slot_free_[2] GUARDED_BY(mutex_) = {0, 0};
+  int slot_idx_ GUARDED_BY(mutex_) = 0;
 
   // Counters below are guarded by stats_mutex_ so readers (health
   // probes, tests) need not queue behind a running kernel. Lock order:
@@ -144,6 +214,9 @@ class FcaeDevice {
   uint64_t intermediate_dram_bytes_ GUARDED_BY(stats_mutex_) = 0;
   uint64_t intermediate_dram_peak_bytes_ GUARDED_BY(stats_mutex_) = 0;
   uint64_t deadline_kills_ GUARDED_BY(stats_mutex_) = 0;
+  double total_dma_overlap_micros_ GUARDED_BY(stats_mutex_) = 0;
+  double total_bus_wait_micros_ GUARDED_BY(stats_mutex_) = 0;
+  uint64_t pipelined_jobs_ GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace host

@@ -28,6 +28,18 @@ bool IsRetryableFault(const Status& s) {
   return s.IsBusy() || s.IsIOError() || s.IsCorruption();
 }
 
+/// Per-card instrument name, e.g. "offload.card2.busy_micros". Built
+/// with a format string so only the declared glob shapes below reach
+/// the registry.
+///
+/// fcae-check: declare-metric(gauge): offload.card*.queued_bytes
+/// fcae-check: declare-metric(counter): offload.card*.busy_micros, offload.card*.quarantines
+std::string CardMetricName(int card, const char* field) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "offload.card%d.%s", card, field);
+  return std::string(buf);
+}
+
 /// Publishes one successful kernel run's pipeline telemetry: per-module
 /// busy/stall/backpressure counters, FIFO peaks, DMA volume, and the
 /// derived bottleneck attribution (as a gauge in percent so one
@@ -64,6 +76,20 @@ void RecordDeviceMetrics(obs::MetricsRegistry* metrics,
   metrics->counter("fpga.records.in")->Increment(e.records_in);
   metrics->counter("fpga.records.out")->Increment(e.records_out);
   metrics->counter("fpga.records.dropped")->Increment(e.records_dropped);
+  metrics->counter("fpga.records.bounds_dropped")
+      ->Increment(e.records_bounds_dropped);
+
+  // Double-buffered DMA pipeline telemetry (host/fcae_device.h): how
+  // much modeled transfer time hid behind compute, how long the bursts
+  // waited on the shared multi-card bus, and how many jobs ran
+  // back-to-back (i.e. actually pipelined).
+  metrics->counter("fpga.pipeline.overlap_micros")
+      ->Increment(static_cast<uint64_t>(run_stats.dma_overlap_micros));
+  metrics->counter("fpga.pipeline.bus_wait_micros")
+      ->Increment(static_cast<uint64_t>(run_stats.bus_wait_micros));
+  if (run_stats.dma_overlap_micros > 0) {
+    metrics->counter("fpga.pipeline.jobs")->Increment();
+  }
 
   auto peak = [&](const char* name, uint64_t value) {
     obs::Gauge* gauge = metrics->gauge(name);
@@ -124,7 +150,21 @@ void RecordDeviceSpans(obs::TraceRecorder* trace, uint64_t tid,
 
 FcaeCompactionExecutor::FcaeCompactionExecutor(FcaeDevice* device,
                                                FcaeExecutorOptions options)
-    : device_(device), options_(options) {}
+    : device_(device), options_(options) {
+  lanes_.push_back(std::make_unique<CardLane>());
+}
+
+FcaeCompactionExecutor::FcaeCompactionExecutor(DeviceSet* devices,
+                                               FcaeExecutorOptions options)
+    : device_(devices->device(0)), devices_(devices), options_(options) {
+  // The set's per-card monitors own health in multi-card mode; a
+  // caller-supplied global breaker would alias all cards again.
+  options_.health_monitor = nullptr;
+  for (int i = 0; i < devices->num_cards(); i++) {
+    lanes_.push_back(std::make_unique<CardLane>());
+  }
+  published_quarantines_.assign(devices->num_cards(), 0);
+}
 
 int EngineInputsNeeded(const CompactionJob& job) {
   const Compaction* c = job.compaction;
@@ -146,6 +186,13 @@ bool FcaeCompactionExecutor::CanExecute(const CompactionJob& job) const {
   if (needed < 1) return false;
   if (!(options_.tournament_scheduling || needed <= device_->max_inputs())) {
     return false;
+  }
+  if (devices_ != nullptr) {
+    // Multi-card mode: admission is decided at placement time inside
+    // Execute(), where a job is refused only when every card's breaker
+    // denies it — a single quarantined card must not push work to the
+    // CPU while its siblings are healthy.
+    return true;
   }
   // Circuit breaker: a quarantined device refuses jobs, except for the
   // periodic probe the monitor lets through to test recovery.
@@ -170,6 +217,67 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     options_.health_monitor->AttachNotifier(job.notifier);
   }
 
+  // Multi-card placement: bind the job to the healthy card with the
+  // fewest queued bytes before staging, so the queue estimate covers
+  // the job's whole residency. The estimate is the on-disk size of the
+  // inputs (known up front; actual staged bytes differ only by the
+  // metaindex region).
+  FcaeDevice* device = device_;
+  DeviceHealthMonitor* health = options_.health_monitor;
+  int card = 0;
+  uint64_t queued_estimate = 0;
+  if (devices_ != nullptr) {
+    devices_->AttachObservability(job.metrics, job.trace);
+    devices_->AttachNotifier(job.notifier);
+    card = devices_->PickCard();
+    if (card < 0) {
+      // Every card's breaker denied the job: the caller (DBImpl) falls
+      // back to the CPU path, exactly like a single quarantined device.
+      return Status::Busy("all offload cards quarantined");
+    }
+    device = devices_->device(card);
+    health = devices_->monitor(card);
+    for (int which = 0; which < 2; which++) {
+      for (int i = 0; i < c->num_input_files(which); i++) {
+        queued_estimate += c->input(which, i)->file_size;
+      }
+    }
+    devices_->AddQueued(card, queued_estimate);
+    if (job.metrics != nullptr) {
+      job.metrics->gauge(CardMetricName(card, "queued_bytes"))
+          ->Set(static_cast<int64_t>(devices_->queued_bytes(card)));
+    }
+  }
+  // Un-queue on every exit path, success or failure.
+  struct PlacementGuard {
+    DeviceSet* devices;
+    int card;
+    uint64_t bytes;
+    obs::MetricsRegistry* metrics;
+    ~PlacementGuard() {
+      if (devices == nullptr) return;
+      devices->SubQueued(card, bytes);
+      if (metrics != nullptr) {
+        metrics->gauge(CardMetricName(card, "queued_bytes"))
+            ->Set(static_cast<int64_t>(devices->queued_bytes(card)));
+      }
+    }
+  } placement_guard{devices_, card, queued_estimate, job.metrics};
+  // Device trace spans land on a per-card tid so two cards' modeled
+  // pipelines render as separate tracks.
+  const uint64_t device_tid = job.trace_tid + static_cast<uint64_t>(card);
+
+  // Sub-compaction shard bounds (if any): staging trims whole data
+  // blocks outside (lower, upper] and the engine's Key-Value Transfer
+  // filters the records boundary blocks leak in.
+  fpga::KeyBounds key_bounds;
+  key_bounds.has_lower = job.has_lower_bound;
+  key_bounds.has_upper = job.has_upper_bound;
+  key_bounds.lower = job.lower_bound;
+  key_bounds.upper = job.upper_bound;
+  const fpga::KeyBounds* bounds =
+      key_bounds.active() ? &key_bounds : nullptr;
+
   // 1. Stage inputs (paper Section IV step 3: read SSTables from disk
   //    into continuous memory blocks in key order). Staging errors are
   //    host I/O problems, not device faults: no retry, no breaker hit.
@@ -181,16 +289,16 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   if (c->level() == 0) {
     for (int i = 0; i < c->num_input_files(0); i++) {
       auto input = std::make_unique<fpga::DeviceInput>();
-      s = stager.AddTable(
-          TableFileName(job.dbname, c->input(0, i)->number), input.get());
+      s = stager.AddTable(TableFileName(job.dbname, c->input(0, i)->number),
+                          input.get(), bounds);
       if (!s.ok()) return s;
       staged.push_back(std::move(input));
     }
   } else if (c->num_input_files(0) > 0) {
     auto input = std::make_unique<fpga::DeviceInput>();
     for (int i = 0; i < c->num_input_files(0); i++) {
-      s = stager.AddTable(
-          TableFileName(job.dbname, c->input(0, i)->number), input.get());
+      s = stager.AddTable(TableFileName(job.dbname, c->input(0, i)->number),
+                          input.get(), bounds);
       if (!s.ok()) return s;
     }
     staged.push_back(std::move(input));
@@ -198,8 +306,8 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   if (c->num_input_files(1) > 0) {
     auto input = std::make_unique<fpga::DeviceInput>();
     for (int i = 0; i < c->num_input_files(1); i++) {
-      s = stager.AddTable(
-          TableFileName(job.dbname, c->input(1, i)->number), input.get());
+      s = stager.AddTable(TableFileName(job.dbname, c->input(1, i)->number),
+                          input.get(), bounds);
       if (!s.ok()) return s;
     }
     staged.push_back(std::move(input));
@@ -207,10 +315,22 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
 
   std::vector<const fpga::DeviceInput*> input_ptrs;
   for (const auto& input : staged) {
+    // Bounded staging may leave an input with no tables at all (every
+    // block of every file outside the shard); the engine has nothing to
+    // decode there, so the input is dropped from the merge.
+    if (bounds != nullptr && input->sstables.empty()) continue;
     input_ptrs.push_back(input.get());
   }
   input_build_span.AddArg("inputs", std::to_string(input_ptrs.size()));
   input_build_span.Finish();
+  if (input_ptrs.empty()) {
+    // The shard's key range holds no data: a legitimate empty result.
+    stats->offloaded = true;
+    stats->micros = env->NowMicros() - start_micros;
+    MutexLock lock(&mutex_);
+    counters_.jobs++;
+    return Status::OK();
+  }
   const bool tournament =
       static_cast<int>(input_ptrs.size()) > device_->max_inputs();
 
@@ -266,7 +386,7 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     // Wait for the card: concurrent compaction workers queue FIFO per
     // attempt. The wait is surfaced so device contention is visible.
     const uint64_t queue_start_micros = env->NowMicros();
-    AcquireDeviceTicket(job.metrics);
+    AcquireDeviceTicket(card, job.metrics);
     const uint64_t queue_micros = env->NowMicros() - queue_start_micros;
     if (queue_micros > 0) {
       attempt_span.AddArg("queue_us", std::to_string(queue_micros));
@@ -282,17 +402,24 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     device_output = fpga::DeviceOutput();
     run_stats = DeviceRunStats();
     if (tournament) {
-      s = device_->ExecuteTournament(input_ptrs, job.smallest_snapshot,
-                                     job.no_deeper_data, &device_output,
-                                     &run_stats);
+      s = device->ExecuteTournament(input_ptrs, job.smallest_snapshot,
+                                    job.no_deeper_data, &device_output,
+                                    &run_stats, bounds);
     } else {
-      s = device_->ExecuteCompaction(input_ptrs, job.smallest_snapshot,
-                                     job.no_deeper_data, &device_output,
-                                     &run_stats);
+      s = device->ExecuteCompaction(input_ptrs, job.smallest_snapshot,
+                                    job.no_deeper_data, &device_output,
+                                    &run_stats, bounds);
     }
-    ReleaseDeviceTicket(job.metrics);
+    ReleaseDeviceTicket(card, job.metrics);
     FCAE_PERF_TIME(offload_device_micros,
                    obs::TraceNowMicros() - run_start_micros);
+    if (devices_ != nullptr && job.metrics != nullptr) {
+      // Modeled device occupancy, failed attempts included — a card
+      // burning cycles on a doomed kernel is still busy.
+      job.metrics->counter(CardMetricName(card, "busy_micros"))
+          ->Increment(static_cast<uint64_t>(run_stats.kernel_micros +
+                                            run_stats.pcie_micros));
+    }
 
     if (s.ok() && options_.verify_outputs) {
       // Host-side verification: CRCs, strict key order, bounds. Runs
@@ -321,7 +448,7 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     if (s.ok()) {
       RecordDeviceMetrics(job.metrics, run_stats,
                           static_cast<int>(input_ptrs.size()));
-      RecordDeviceSpans(job.trace, job.trace_tid, run_start_micros,
+      RecordDeviceSpans(job.trace, device_tid, run_start_micros,
                         run_stats);
       break;
     }
@@ -337,12 +464,30 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
   }
 
   // Feed the circuit breaker with the job outcome (one report per job,
-  // not per attempt: a job saved by a retry is a success).
-  if (options_.health_monitor != nullptr) {
+  // not per attempt: a job saved by a retry is a success). In
+  // multi-card mode `health` is the placed card's own breaker.
+  if (health != nullptr) {
     if (s.ok()) {
-      options_.health_monitor->RecordJobSuccess();
+      health->RecordJobSuccess();
     } else {
-      options_.health_monitor->RecordJobFailure(sticky);
+      health->RecordJobFailure(sticky);
+    }
+  }
+  if (devices_ != nullptr && job.metrics != nullptr && health != nullptr) {
+    // Advance the per-card quarantine counter by however many times
+    // this card's breaker has opened since we last published.
+    const DeviceHealthMonitor::Snapshot snap = health->snapshot();
+    uint64_t quarantine_delta = 0;
+    {
+      MutexLock lock(&mutex_);
+      if (snap.quarantines > published_quarantines_[card]) {
+        quarantine_delta = snap.quarantines - published_quarantines_[card];
+        published_quarantines_[card] = snap.quarantines;
+      }
+    }
+    if (quarantine_delta > 0) {
+      job.metrics->counter(CardMetricName(card, "quarantines"))
+          ->Increment(quarantine_delta);
     }
   }
 
@@ -412,8 +557,13 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
       stats->bytes_read += c->input(which, i)->file_size;
     }
   }
-  stats->entries_in = run_stats.engine.records_in;
-  stats->entries_dropped = run_stats.engine.records_dropped;
+  // Records the bounds filter discarded belong to other shards, not to
+  // this job — exclude them so the stats match the CPU shard path,
+  // whose bounded iterator never surfaces them at all.
+  stats->entries_in = run_stats.engine.records_in -
+                      run_stats.engine.records_bounds_dropped;
+  stats->entries_dropped = run_stats.engine.records_dropped -
+                           run_stats.engine.records_bounds_dropped;
   stats->offloaded = true;
   stats->device_cycles = run_stats.kernel_cycles;
   stats->device_micros = run_stats.kernel_micros + wasted_kernel_micros;
@@ -423,30 +573,32 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
 }
 
 void FcaeCompactionExecutor::AcquireDeviceTicket(
-    obs::MetricsRegistry* metrics) {
-  MutexLock lock(&queue_mutex_);
-  const uint64_t ticket = next_ticket_++;
+    int card, obs::MetricsRegistry* metrics) {
+  CardLane& lane = *lanes_[card];
+  MutexLock lock(&lane.mutex);
+  const uint64_t ticket = lane.next_ticket++;
   if (metrics != nullptr) {
     metrics->gauge("host.device.queue_depth")
-        ->Set(static_cast<int64_t>(next_ticket_ - serving_));
-    if (ticket != serving_) {
+        ->Set(static_cast<int64_t>(lane.next_ticket - lane.serving));
+    if (ticket != lane.serving) {
       metrics->counter("host.device.queue_waits")->Increment();
     }
   }
-  while (ticket != serving_) {
-    queue_cv_.Wait();
+  while (ticket != lane.serving) {
+    lane.cv.Wait();
   }
 }
 
 void FcaeCompactionExecutor::ReleaseDeviceTicket(
-    obs::MetricsRegistry* metrics) {
-  MutexLock lock(&queue_mutex_);
-  serving_++;
+    int card, obs::MetricsRegistry* metrics) {
+  CardLane& lane = *lanes_[card];
+  MutexLock lock(&lane.mutex);
+  lane.serving++;
   if (metrics != nullptr) {
     metrics->gauge("host.device.queue_depth")
-        ->Set(static_cast<int64_t>(next_ticket_ - serving_));
+        ->Set(static_cast<int64_t>(lane.next_ticket - lane.serving));
   }
-  queue_cv_.SignalAll();
+  lane.cv.SignalAll();
 }
 
 std::string FcaeCompactionExecutor::HealthString() const {
@@ -464,7 +616,12 @@ std::string FcaeCompactionExecutor::HealthString() const {
       (unsigned long long)counters.verify_failures,
       (unsigned long long)counters.backoff_micros);
   std::string result(buf);
-  if (options_.health_monitor != nullptr) {
+  if (devices_ != nullptr) {
+    for (int i = 0; i < devices_->num_cards(); i++) {
+      result += " ";
+      result += devices_->monitor(i)->ToString();
+    }
+  } else if (options_.health_monitor != nullptr) {
     result += " ";
     result += options_.health_monitor->ToString();
   }

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "host/device_health_monitor.h"
+#include "host/device_set.h"
 #include "host/fcae_device.h"
 #include "lsm/compaction_executor.h"
 #include "util/mutex.h"
@@ -73,6 +75,16 @@ class FcaeCompactionExecutor : public CompactionExecutor {
   explicit FcaeCompactionExecutor(FcaeDevice* device,
                                   FcaeExecutorOptions options = {});
 
+  /// Multi-card mode: jobs are spread over the set's cards by the
+  /// least-queued-bytes placement policy (DeviceSet::PickCard), each
+  /// card has its own FIFO ticket lane, and health is tracked by the
+  /// set's per-card monitors — `options.health_monitor` is ignored.
+  /// CanExecute() checks input feasibility only; quarantine is decided
+  /// at placement time, so a job is refused (Status::Busy -> CPU
+  /// fallback in DBImpl) only when every card's breaker denies it.
+  explicit FcaeCompactionExecutor(DeviceSet* devices,
+                                  FcaeExecutorOptions options = {});
+
   const char* Name() const override { return "fcae"; }
 
   bool CanExecute(const CompactionJob& job) const override;
@@ -100,17 +112,27 @@ class FcaeCompactionExecutor : public CompactionExecutor {
   }
 
  private:
-  /// Blocks until it is this attempt's turn on the card (FIFO by
+  /// Per-card device admission queue: one kernel runs at a time on each
+  /// card; concurrent jobs line up here instead of serializing anywhere
+  /// up the stack. Leaf lock, held only for ticket arithmetic — the
+  /// device call itself runs outside it, guarded by the ticket order.
+  struct CardLane {
+    Mutex mutex;
+    CondVar cv{&mutex};
+    uint64_t next_ticket GUARDED_BY(mutex) = 0;
+    uint64_t serving GUARDED_BY(mutex) = 0;
+  };
+
+  /// Blocks until it is this attempt's turn on card `card` (FIFO by
   /// arrival). Tickets are acquired per kernel attempt, never held
   /// across a backoff sleep, so with several compaction workers in
   /// flight a retrying job cannot hog the device and waiters make
   /// progress in arrival order.
-  void AcquireDeviceTicket(obs::MetricsRegistry* metrics)
-      EXCLUDES(queue_mutex_);
-  void ReleaseDeviceTicket(obs::MetricsRegistry* metrics)
-      EXCLUDES(queue_mutex_);
+  void AcquireDeviceTicket(int card, obs::MetricsRegistry* metrics);
+  void ReleaseDeviceTicket(int card, obs::MetricsRegistry* metrics);
 
-  FcaeDevice* device_;
+  FcaeDevice* device_;    // Card 0 of devices_ in multi-card mode.
+  DeviceSet* devices_ = nullptr;  // Null in single-device mode.
   FcaeExecutorOptions options_;
 
   // mutex_ guards only the counters. Multiple compaction workers may be
@@ -119,15 +141,11 @@ class FcaeCompactionExecutor : public CompactionExecutor {
   // lock: nothing else is acquired while it is held.
   mutable Mutex mutex_;
   RobustnessCounters counters_ GUARDED_BY(mutex_);
+  // Per-card breaker-open totals last pushed to offload.card<N>.
+  // quarantines, so the counter advances by the delta each job.
+  std::vector<uint64_t> published_quarantines_ GUARDED_BY(mutex_);
 
-  // Device admission queue: one kernel runs at a time on the (shared)
-  // card; concurrent jobs line up here instead of serializing anywhere
-  // up the stack. Leaf lock, held only for ticket arithmetic — the
-  // device call itself runs outside it, guarded by the ticket order.
-  mutable Mutex queue_mutex_;
-  CondVar queue_cv_{&queue_mutex_};
-  uint64_t next_ticket_ GUARDED_BY(queue_mutex_) = 0;
-  uint64_t serving_ GUARDED_BY(queue_mutex_) = 0;
+  std::vector<std::unique_ptr<CardLane>> lanes_;  // 1 entry per card.
 };
 
 /// Returns the number of engine inputs a compaction needs: one per

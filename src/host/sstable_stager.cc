@@ -18,8 +18,33 @@
 namespace fcae {
 namespace host {
 
+namespace {
+
+// Internal key = user key + 8-byte mark ((sequence << 8) | type).
+Slice UserKeyOf(const std::string& internal_key) {
+  return internal_key.size() >= 8
+             ? Slice(internal_key.data(), internal_key.size() - 8)
+             : Slice(internal_key);
+}
+
+// Appends a stored-format block (contents + kNoCompression trailer with
+// the masked CRC) to *dst, the representation the engine's block decode
+// path expects.
+void AppendStoredBlock(const Slice& contents, std::string* dst) {
+  dst->append(contents.data(), contents.size());
+  char trailer[kBlockTrailerSize];
+  trailer[0] = kNoCompression;
+  uint32_t crc = crc32c::Value(contents.data(), contents.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  dst->append(trailer, kBlockTrailerSize);
+}
+
+}  // namespace
+
 Status SstableStager::AddTable(const std::string& fname,
-                               fpga::DeviceInput* input) {
+                               fpga::DeviceInput* input,
+                               const fpga::KeyBounds* bounds) {
   uint64_t file_size;
   Status s = env_->GetFileSize(fname, &file_size);
   if (!s.ok()) return s;
@@ -52,32 +77,99 @@ Status SstableStager::AddTable(const std::string& fname,
   // fetches).
   const uint64_t data_region_size = footer.metaindex_handle().offset();
 
-  fpga::SstableDescriptor desc;
-  desc.index_offset = input->index_memory.size();
-  desc.index_size = index_stored_size;
-  desc.data_offset = input->data_memory.size();
-  desc.data_size = data_region_size;
-
-  // Stage the index block (as stored, trailer included).
+  // Read the index block (as stored, trailer included): staged verbatim
+  // on the unbounded path, parsed for block selection on the bounded
+  // one.
+  std::string index_stored(index_stored_size, '\0');
   {
-    std::string buf(index_stored_size, '\0');
     Slice result;
     s = file->Read(index_handle.offset(), index_stored_size, &result,
-                   buf.data());
+                   index_stored.data());
     if (!s.ok()) return s;
     if (result.size() != index_stored_size) {
       return Status::Corruption("truncated index block", fname);
     }
-    input->index_memory.append(result.data(), result.size());
+    if (result.data() != index_stored.data()) {
+      index_stored.assign(result.data(), result.size());
+    }
   }
 
-  // Stage the data region verbatim.
-  {
-    std::string buf(data_region_size, '\0');
-    Slice result;
-    s = file->Read(0, data_region_size, &result, buf.data());
+  uint64_t region_start = 0;
+  uint64_t region_end = data_region_size;
+  if (bounds != nullptr && bounds->active()) {
+    // Bounded staging: walk the index and keep the contiguous run of
+    // data blocks that can hold user keys in (lower, upper]. Block i
+    // holds the keys in (last_key[i-1], last_key[i]], so it is still
+    // short of the shard while its own last user key is <= lower, and
+    // past it once the *previous* block's last user key is > upper.
+    std::string index_contents;
+    s = fpga::DecodeStoredBlock(Slice(index_stored),
+                                /*verify_checksum=*/true, &index_contents);
     if (!s.ok()) return s;
-    if (result.size() != data_region_size) {
+    std::vector<fpga::ParsedEntry> entries;
+    s = fpga::ParseBlockEntries(index_contents, &entries);
+    if (!s.ok()) return s;
+
+    InternalKeyComparator icmp(BytewiseComparator());
+    Options index_options;
+    index_options.comparator = &icmp;
+    index_options.block_restart_interval = 1;
+    BlockBuilder trimmed_index(&index_options);
+    bool any = false;
+    for (size_t i = 0; i < entries.size(); i++) {
+      if (bounds->has_lower &&
+          UserKeyOf(entries[i].key).Compare(Slice(bounds->lower)) <= 0) {
+        continue;  // Whole block at or below the exclusive lower bound.
+      }
+      if (bounds->has_upper && i > 0 &&
+          UserKeyOf(entries[i - 1].key).Compare(Slice(bounds->upper)) > 0) {
+        break;  // This block starts past the inclusive upper bound.
+      }
+      Slice handle_input(entries[i].value);
+      BlockHandle handle;
+      s = handle.DecodeFrom(&handle_input);
+      if (!s.ok()) return s;
+      if (handle.offset() + handle.size() + kBlockTrailerSize >
+          data_region_size) {
+        return Status::Corruption("index entry out of range", fname);
+      }
+      if (!any) {
+        region_start = handle.offset();
+        any = true;
+      }
+      region_end = handle.offset() + handle.size() + kBlockTrailerSize;
+      // Handles are rebased to the trimmed region so the staged index
+      // addresses the staged bytes exactly like an untrimmed one does.
+      BlockHandle rebased;
+      rebased.set_offset(handle.offset() - region_start);
+      rebased.set_size(handle.size());
+      std::string handle_encoding;
+      rebased.EncodeTo(&handle_encoding);
+      trimmed_index.Add(entries[i].key, handle_encoding);
+    }
+    if (!any) {
+      // Every data block lies outside the shard: nothing to stage.
+      return Status::OK();
+    }
+    index_stored.clear();
+    AppendStoredBlock(trimmed_index.Finish(), &index_stored);
+  }
+
+  fpga::SstableDescriptor desc;
+  desc.index_offset = input->index_memory.size();
+  desc.index_size = index_stored.size();
+  desc.data_offset = input->data_memory.size();
+  desc.data_size = region_end - region_start;
+
+  input->index_memory.append(index_stored);
+
+  // Stage the (possibly trimmed) data region verbatim.
+  {
+    std::string buf(desc.data_size, '\0');
+    Slice result;
+    s = file->Read(region_start, desc.data_size, &result, buf.data());
+    if (!s.ok()) return s;
+    if (result.size() != desc.data_size) {
       return Status::Corruption("truncated data region", fname);
     }
     input->data_memory.append(result.data(), result.size());
@@ -88,9 +180,10 @@ Status SstableStager::AddTable(const std::string& fname,
 }
 
 Status SstableStager::StageRun(const std::vector<std::string>& fnames,
-                               fpga::DeviceInput* input) {
+                               fpga::DeviceInput* input,
+                               const fpga::KeyBounds* bounds) {
   for (const std::string& fname : fnames) {
-    Status s = AddTable(fname, input);
+    Status s = AddTable(fname, input, bounds);
     if (!s.ok()) return s;
   }
   return Status::OK();

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fpga/config.h"
 #include "fpga/device_memory.h"
 #include "util/status.h"
 
@@ -30,11 +31,22 @@ class SstableStager {
   /// SSTable. Tables in one DeviceInput must form a sorted run in the
   /// order added (paper Section IV step 2: a level's tables are
   /// concatenated into one big input).
-  Status AddTable(const std::string& fname, fpga::DeviceInput* input);
+  ///
+  /// `bounds`, when non-null and active, trims the staging to the data
+  /// blocks that can hold user keys in (lower, upper]: the contiguous
+  /// run of overlapping blocks is staged (trimming is block-granular
+  /// and conservative — boundary blocks stay, and the engine's
+  /// Key-Value Transfer filters the leaked records) together with a
+  /// rebuilt index block whose handles are rebased to the trimmed
+  /// region. A table entirely outside the bounds stages nothing and
+  /// adds no descriptor.
+  Status AddTable(const std::string& fname, fpga::DeviceInput* input,
+                  const fpga::KeyBounds* bounds = nullptr);
 
   /// Convenience: builds one DeviceInput from a run of files.
   Status StageRun(const std::vector<std::string>& fnames,
-                  fpga::DeviceInput* input);
+                  fpga::DeviceInput* input,
+                  const fpga::KeyBounds* bounds = nullptr);
 
  private:
   Env* env_;

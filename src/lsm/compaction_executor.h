@@ -50,6 +50,16 @@ struct CompactionJob {
   /// but cannot be evaluated inside the device).
   bool no_deeper_data = false;
 
+  /// Sub-compaction shard bounds: when set, the job owns only the
+  /// user-key range (lower_bound, upper_bound] of the compaction. The
+  /// CPU executor sees them baked into make_input_iterator; the FPGA
+  /// executor trims its staged blocks and filters residual records on
+  /// the device (fpga::KeyBounds), so both produce the same shard.
+  bool has_lower_bound = false;
+  bool has_upper_bound = false;
+  std::string lower_bound;
+  std::string upper_bound;
+
   /// Thread-safe file number allocator provided by the DB.
   std::function<uint64_t()> new_file_number;
 

@@ -91,6 +91,7 @@ Options SanitizeOptions(const std::string& dbname,
   ClipToRange(&result.leveling_ratio, 2, 100);
   ClipToRange(&result.compaction_threads, 1, 16);
   ClipToRange(&result.max_subcompactions, 1, 16);
+  ClipToRange(&result.num_offload_cards, 1, 16);
   if (result.max_manifest_file_size > 0) {
     ClipToRange(&result.max_manifest_file_size, size_t{4} << 10,
                 size_t{1} << 30);
@@ -1162,9 +1163,10 @@ struct DBImpl::CompactionShard {
   DBImpl* db = nullptr;
   ShardLatch* latch = nullptr;
   CompactionJob job;
-  // Only an unsharded job may use the device executor: the offload path
-  // stages whole input tables from disk and would ignore the iterator
-  // bounds, duplicating every key into every shard.
+  // Whether this shard may use the device executor: always for an
+  // unsharded job; for key-bounded shards only when several offload
+  // cards are configured (the executor trims its staged blocks to the
+  // shard's range, so shards spread across cards without duplication).
   bool device_eligible = false;
   bool has_lower = false;
   bool has_upper = false;
@@ -1192,7 +1194,8 @@ void DBImpl::RunCompactionShard(CompactionShard* shard) {
     executor = primary_executor_;
   }
   // Paper Section VI-A: when the input count exceeds the device's N (or
-  // the job is a key-bounded shard), the task is processed by software.
+  // the job is a key-bounded shard on a single-card setup), the task is
+  // processed by software.
 
   const uint64_t start_micros = env_->NowMicros();
   shard->status = executor->Execute(shard->job, &shard->outputs, &shard->stats);
@@ -1277,12 +1280,17 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   }
 
   // Large L0->L1 jobs split into key-disjoint sub-compactions along the
-  // L1 file grid; each shard runs concurrently on the CPU executor and
-  // the combined outputs install in one VersionEdit below.
+  // L1 file grid; each shard runs concurrently (on its own offload card
+  // when several are configured, on the CPU executor otherwise) and the
+  // combined outputs install in one VersionEdit below. With multiple
+  // cards the shard target is raised to at least the card count so the
+  // placement policy has one shard per card to spread.
   std::vector<std::string> boundaries;
-  if (options_.max_subcompactions > 1 && level == 0) {
+  const int shard_target =
+      std::max(options_.max_subcompactions, options_.num_offload_cards);
+  if (shard_target > 1 && level == 0) {
     boundaries = CompactionScheduler::PlanShardBoundaries(
-        c->inputs(1), internal_comparator_, options_.max_subcompactions);
+        c->inputs(1), internal_comparator_, shard_target);
   }
   const int nshards = static_cast<int>(boundaries.size()) + 1;
 
@@ -1292,7 +1300,12 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     auto shard = std::make_unique<CompactionShard>();
     shard->db = this;
     shard->latch = &latch;
-    shard->device_eligible = (nshards == 1);
+    // An unsharded job may always use the device. Key-bounded shards
+    // may only when the executor is multi-card aware (it trims staged
+    // blocks to the shard range); with one card they would serialize on
+    // the device anyway, so they keep the concurrent CPU path.
+    shard->device_eligible =
+        (nshards == 1) || (options_.num_offload_cards > 1);
     if (i > 0) {
       shard->has_lower = true;
       shard->lower = boundaries[i - 1];
@@ -1309,6 +1322,10 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
     job.compaction = c;
     job.smallest_snapshot = smallest_snapshot;
     job.no_deeper_data = no_deeper_data;
+    job.has_lower_bound = shard->has_lower;
+    job.has_upper_bound = shard->has_upper;
+    job.lower_bound = shard->lower;
+    job.upper_bound = shard->upper;
     job.trace = &trace_;
     job.metrics = metrics_;
     job.notifier = &notifier_;

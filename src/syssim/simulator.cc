@@ -35,14 +35,18 @@ WriteControllerConfig ControllerConfigFor(const SimConfig& cfg) {
 /// host-read -> DMA/kernel/DMA -> host-write. With
 /// SimConfig::compaction_threads > 1, up to that many compactions are
 /// in flight on disjoint level pairs; host-side stages still share the
-/// one background core (earliest job first) and kernels queue FIFO on
-/// the one card, mirroring the storage engine's scheduler.
+/// one background core (earliest job first) and kernels queue FIFO per
+/// card (SimConfig::num_cards, least-queued placement), mirroring the
+/// storage engine's DeviceSet scheduler.
 struct Simulator::Engine {
   explicit Engine(const SimConfig& config)
       : cfg(config),
         wc(ControllerConfigFor(config)),
         lsm(static_cast<double>(config.file_size), config.leveling_ratio,
-            config.overlap_files) {
+            config.overlap_files),
+        num_cards(std::max(1, config.num_cards)),
+        device_jobs(static_cast<size_t>(std::max(1, config.num_cards)),
+                    nullptr) {
     op_bytes = static_cast<double>(cfg.key_length + cfg.value_length);
     frontend_rate = cfg.cost.FrontendMBps(cfg.key_length, cfg.value_length);
   }
@@ -76,6 +80,8 @@ struct Simulator::Engine {
     double sw_rem = 0;          // Software compaction (read+merge+write).
     double device_rem = 0;      // Running on the card right now.
     double device_need = 0;     // Card time computed at staging end.
+    double device_pcie = 0;     // DMA share of device_need (bus model).
+    int card = 0;               // Card the job is placed on.
     bool device_queued = false;  // Staged, waiting for its card turn.
     double queue_since = 0;
     // Observability bookkeeping: span starts in simulated seconds.
@@ -86,7 +92,9 @@ struct Simulator::Engine {
   // In-flight jobs, arrival order. unique_ptr keeps Job addresses
   // stable across vector growth/erase (handlers hold raw pointers).
   std::vector<std::unique_ptr<Job>> jobs;
-  Job* device_job = nullptr;   // The job whose kernel owns the card.
+  const int num_cards;
+  std::vector<Job*> device_jobs;  // Per card: the job owning its kernel.
+  std::vector<Job*> active_runs;  // Step() scratch: runs advancing now.
   uint32_t busy_levels = 0;    // Level-pair claims, (3u << level) bits.
 
   // Fault-tolerant offload model (see SimConfig::device_fault_rate).
@@ -124,7 +132,38 @@ struct Simulator::Engine {
   }
 
   bool DeviceBusy() const {
-    return device_job != nullptr && device_job->device_rem > kEps;
+    for (const Job* j : device_jobs) {
+      if (j != nullptr && j->device_rem > kEps) return true;
+    }
+    return false;
+  }
+
+  /// Outstanding device work bound to `card`: the active run's
+  /// remainder plus every staged job waiting in that card's FIFO lane.
+  double CardBacklog(int card) const {
+    double backlog = 0;
+    if (device_jobs[card] != nullptr) {
+      backlog += device_jobs[card]->device_rem;
+    }
+    for (const auto& j : jobs) {
+      if (j->device_queued && j->card == card) backlog += j->device_need;
+    }
+    return backlog;
+  }
+
+  /// Least-queued placement, ties to the lowest card id (the host
+  /// DeviceSet::PickCard policy).
+  int PickCard() const {
+    int best = 0;
+    double best_backlog = CardBacklog(0);
+    for (int c = 1; c < num_cards; c++) {
+      const double backlog = CardBacklog(c);
+      if (backlog < best_backlog - kEps) {
+        best = c;
+        best_backlog = backlog;
+      }
+    }
+    return best;
   }
 
   /// Which background bucket the CPU is currently burning, plus the job
@@ -296,11 +335,15 @@ struct Simulator::Engine {
     // PCIe link (modeled at the same internal bandwidth the channels
     // give sequential I/O; the interesting difference is that the host
     // core and external bus stay idle).
-    const double pcie =
+    const double pcie_in =
         cfg.near_storage
             ? 0.0
-            : (job->work.input_bytes + job->work.output_bytes) /
-                  (cfg.cost.PcieMBps() * kMB);
+            : job->work.input_bytes / (cfg.cost.PcieMBps() * kMB);
+    const double pcie_out =
+        cfg.near_storage
+            ? 0.0
+            : job->work.output_bytes / (cfg.cost.PcieMBps() * kMB);
+    const double pcie = pcie_in + pcie_out;
     const double kernel_speed = cfg.cost.FpgaCompactionMBps(
         cfg.engine, cfg.key_length, cfg.value_length);
     double kernel =
@@ -312,6 +355,7 @@ struct Simulator::Engine {
     }
     job->device_need =
         pcie + kernel + cfg.cost.KernelInvokeMicros() * 1e-6;
+    job->device_pcie = pcie;
     result.pcie_seconds += pcie;
     result.device_seconds += kernel;
 
@@ -342,6 +386,7 @@ struct Simulator::Engine {
           // wasted device time elapses (see OnDeviceDone).
           job->fallback_pending = true;
           job->device_need -= kernel + pcie;  // The good run never happened.
+          job->device_pcie = 0;
           result.device_seconds -= kernel;
           result.pcie_seconds -= pcie;
         } else {
@@ -357,10 +402,23 @@ struct Simulator::Engine {
       }
     }
 
-    // One kernel at a time on the card: start now if it is free, else
-    // line up FIFO behind the in-flight jobs (the host executor's
-    // ticket queue).
-    if (device_job == nullptr) {
+    // Place the shard on the least-loaded card, then run now if that
+    // card is free, else line up FIFO in its lane (the host executor's
+    // per-card ticket queues).
+    job->card = PickCard();
+    const double backlog = CardBacklog(job->card);
+    if (cfg.pipelined_dma && !job->fallback_pending && pcie_in > 0 &&
+        backlog > kEps) {
+      // Double-buffered DMA: the staging slot fills while the
+      // predecessor still owns the card, hiding up to the whole inbound
+      // burst behind its remaining run (FcaeDevice::ModelPipeline). The
+      // bus time is still spent (pcie_seconds keeps it); only the
+      // job's serialized card occupancy shrinks.
+      const double hidden = std::min(pcie_in, backlog);
+      job->device_need -= hidden;
+      result.pipeline_overlap_seconds += hidden;
+    }
+    if (device_jobs[job->card] == nullptr) {
       StartDeviceRun(job);
     } else {
       job->device_queued = true;
@@ -370,9 +428,28 @@ struct Simulator::Engine {
   }
 
   void StartDeviceRun(Job* job) {
-    assert(device_job == nullptr);
-    device_job = job;
+    assert(device_jobs[job->card] == nullptr);
+    device_jobs[job->card] = job;
     job->device_rem = job->device_need;
+    // Shared-bus contention: a sibling card's concurrent run carries a
+    // proportional share of its own DMA; bursts that coincide stretch
+    // this job by the overlapping transfer time (fpga::PcieBus).
+    if (job->device_pcie > kEps) {
+      double wait = 0;
+      for (int c = 0; c < num_cards; c++) {
+        if (c == job->card) continue;
+        const Job* other = device_jobs[c];
+        if (other == nullptr || other->device_rem <= kEps) continue;
+        const double other_dma =
+            other->device_pcie *
+            (other->device_rem / std::max(other->device_need, kEps));
+        wait += std::min(job->device_pcie, other_dma);
+      }
+      if (wait > 0) {
+        job->device_rem += wait;
+        result.bus_contention_seconds += wait;
+      }
+    }
     if (job->device_queued) {
       job->device_queued = false;
       result.device_queue_seconds += now - job->queue_since;
@@ -381,14 +458,15 @@ struct Simulator::Engine {
   }
 
   void OnDeviceDone(Job* job) {
-    assert(device_job == job);
-    device_job = nullptr;
+    assert(device_jobs[job->card] == job);
+    device_jobs[job->card] = nullptr;
     Span("device_run", job->stage_start, job->tid);
     job->stage_start = now;
 
-    // Hand the card to the next staged job, FIFO by arrival.
+    // Hand the card to the next staged job in its lane, FIFO by
+    // arrival.
     for (auto& j : jobs) {
-      if (j->device_queued) {
+      if (j->device_queued && j->card == job->card) {
         StartDeviceRun(j.get());
         break;
       }
@@ -472,11 +550,14 @@ struct Simulator::Engine {
     if (task.rem != nullptr) {
       step = std::min(step, *task.rem / cpu_share);
     }
-    // Clip at device completion. Only a run active at the start of the
-    // step advances (a kernel a handler starts below begins next step).
-    Job* dev = DeviceBusy() ? device_job : nullptr;
-    if (dev != nullptr) {
-      step = std::min(step, dev->device_rem);
+    // Clip at device completions. Only runs active at the start of the
+    // step advance (a kernel a handler starts below begins next step).
+    active_runs.clear();
+    for (Job* j : device_jobs) {
+      if (j != nullptr && j->device_rem > kEps) {
+        active_runs.push_back(j);
+        step = std::min(step, j->device_rem);
+      }
     }
     if (step < 0) step = 0;
 
@@ -510,11 +591,11 @@ struct Simulator::Engine {
         }
       }
     }
-    if (dev != nullptr) {
+    for (Job* dev : active_runs) {
       dev->device_rem -= step;
       if (dev->device_rem < kEps) {
         dev->device_rem = 0;
-        OnDeviceDone(dev);
+        OnDeviceDone(dev);  // May start a queued run; it advances next step.
       }
     }
     if (client_running) {

@@ -140,6 +140,16 @@ struct Options {
   /// sharding. Clipped to [1, 16].
   int max_subcompactions = 1;
 
+  /// Number of offload cards behind `compaction_executor` (a multi-card
+  /// host::FcaeCompactionExecutor over a DeviceSet). A scheduler knob
+  /// only — the DB never creates devices: > 1 makes key-bounded
+  /// sub-compaction shards device-eligible (the executor trims staged
+  /// blocks to each shard's range) and raises the L0 shard target to at
+  /// least this many shards so every card gets work. Must match the
+  /// executor's DeviceSet card count. 1 reproduces the single-card
+  /// behaviour (shards run on the CPU). Clipped to [1, 16].
+  int num_offload_cards = 1;
+
   /// Optional shared metrics registry (obs/metrics.h). When set, the DB
   /// publishes its counters/histograms here so several components (DB,
   /// executor, benchmarks) can share one snapshot; when nullptr the DB

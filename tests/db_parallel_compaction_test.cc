@@ -18,6 +18,7 @@
 #include "fpga/fault_injector.h"
 #include "gtest/gtest.h"
 #include "host/device_health_monitor.h"
+#include "host/device_set.h"
 #include "host/fcae_device.h"
 #include "host/offload_compaction.h"
 #include "lsm/db.h"
@@ -61,7 +62,7 @@ class DBParallelCompactionTest : public testing::Test {
 
   std::unique_ptr<DB> OpenDb(const std::string& name,
                              CompactionExecutor* executor, int threads,
-                             int subcompactions) {
+                             int subcompactions, int offload_cards = 1) {
     Options options;
     options.env = env_.get();
     options.create_if_missing = true;
@@ -69,6 +70,7 @@ class DBParallelCompactionTest : public testing::Test {
     options.compaction_executor = executor;
     options.compaction_threads = threads;
     options.max_subcompactions = subcompactions;
+    options.num_offload_cards = offload_cards;
     DB* db = nullptr;
     EXPECT_TRUE(DB::Open(options, name, &db).ok());
     return std::unique_ptr<DB>(db);
@@ -227,6 +229,127 @@ TEST_F(DBParallelCompactionTest, ParallelContentsMatchSequential) {
   ASSERT_FALSE(seq_dump.empty());
   ASSERT_EQ(seq_dump.size(), par_dump.size());
   EXPECT_TRUE(seq_dump == par_dump);
+}
+
+TEST_F(DBParallelCompactionTest, QuarantinedCardContentsMatchSingleCard) {
+  // Two-card set with card 0 quarantined before the workload: the
+  // healthy sibling must absorb every sharded compaction (no CPU
+  // fallback because the device path was "full"), and the resulting DB
+  // contents must be byte-identical to a single-card run of the same
+  // deterministic workload.
+  fpga::EngineConfig engine_config;
+  engine_config.num_inputs = 9;
+  host::DeviceSet devices(engine_config, /*num_cards=*/2);
+  host::FcaeCompactionExecutor two_card_exec(&devices);
+  devices.monitor(0)->RecordJobFailure(/*sticky=*/true);
+  ASSERT_TRUE(devices.monitor(0)->quarantined());
+
+  host::FcaeDevice lone_device(engine_config);
+  host::FcaeCompactionExecutor one_card_exec(&lone_device);
+
+  auto run_workload = [](DB* db) {
+    Random rnd(20260808);
+    WriteOptions wo;
+    for (int round = 0; round < 5; round++) {
+      for (int i = 0; i < 2000; i++) {
+        std::string key = "key" + std::to_string(rnd.Uniform(1200));
+        if (rnd.Uniform(12) == 0) {
+          ASSERT_TRUE(db->Delete(wo, key).ok());
+        } else {
+          ASSERT_TRUE(db->Put(wo, key,
+                              "r" + std::to_string(round) + "-" + key +
+                                  std::string(80, 'z'))
+                          .ok());
+        }
+      }
+    }
+    db->CompactRange(nullptr, nullptr);
+  };
+
+  std::unique_ptr<DB> two = OpenDb("/two-card", &two_card_exec,
+                                   /*threads=*/4, /*subcompactions=*/4,
+                                   /*offload_cards=*/2);
+  run_workload(two.get());
+  std::vector<std::pair<std::string, std::string>> two_dump =
+      DumpContents(two.get());
+
+  std::unique_ptr<DB> one = OpenDb("/one-card", &one_card_exec,
+                                   /*threads=*/1, /*subcompactions=*/1);
+  run_workload(one.get());
+  std::vector<std::pair<std::string, std::string>> one_dump =
+      DumpContents(one.get());
+
+  ASSERT_FALSE(one_dump.empty());
+  ASSERT_EQ(one_dump.size(), two_dump.size());
+  EXPECT_TRUE(one_dump == two_dump);
+
+  // The dead card ran nothing; the healthy one took every shard; the DB
+  // never fell back to CPU compaction for lack of a device.
+  EXPECT_EQ(0u, devices.device(0)->kernels_launched());
+  EXPECT_GT(devices.device(1)->kernels_launched(), 0u);
+  auto* impl = reinterpret_cast<DBImpl*>(two.get());
+  EXPECT_EQ(0, impl->FallbackCompactions());
+}
+
+TEST_F(DBParallelCompactionTest, WritersReadersUnderTwoCardsWithFaults) {
+  // Multi-card fault storm: both cards draw independent transient fault
+  // streams (per-card seeds) while four compaction workers shard jobs
+  // across them. No acknowledged write may be lost.
+  fpga::EngineConfig engine_config;
+  engine_config.num_inputs = 9;
+  host::DeviceSet devices(engine_config, /*num_cards=*/2);
+  fpga::DeviceFaultConfig fault_config;
+  fault_config.seed = 20260807;
+  fault_config.transient_rate = 0.08;
+  devices.InjectFaults(fault_config);
+  host::FcaeCompactionExecutor executor(&devices);
+
+  std::unique_ptr<DB> db =
+      OpenDb("/two-card-storm", &executor, /*threads=*/4,
+             /*subcompactions=*/4, /*offload_cards=*/2);
+
+  constexpr int kWriterThreads = 4;
+  constexpr int kKeysPerWriter = 400;
+  constexpr int kWritesPerThread = 2500;
+
+  std::atomic<bool> write_failed{false};
+  std::vector<std::thread> writers;
+  std::vector<std::map<std::string, std::string>> last_written(kWriterThreads);
+  for (int t = 0; t < kWriterThreads; t++) {
+    writers.emplace_back([&, t]() {
+      Random rnd(7000 + t);
+      WriteOptions wo;
+      for (int i = 1; i <= kWritesPerThread; i++) {
+        std::string key = "w" + std::to_string(t) + "-k" +
+                          std::to_string(rnd.Uniform(kKeysPerWriter));
+        std::string value = MakeValue(t, i);
+        if (!db->Put(wo, key, value).ok()) {
+          write_failed.store(true);
+          return;
+        }
+        last_written[t][key] = value;
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  ASSERT_FALSE(write_failed.load());
+  db->CompactRange(nullptr, nullptr);
+
+  std::string value;
+  for (int t = 0; t < kWriterThreads; t++) {
+    for (const auto& kv : last_written[t]) {
+      ASSERT_TRUE(db->Get(ReadOptions(), kv.first, &value).ok())
+          << "lost key " << kv.first;
+      EXPECT_EQ(value, kv.second) << "stale value for " << kv.first;
+    }
+  }
+
+  // Both independent fault streams were actually consulted.
+  ASSERT_NE(nullptr, devices.injector(0));
+  ASSERT_NE(nullptr, devices.injector(1));
+  uint64_t launches =
+      devices.injector(0)->launches() + devices.injector(1)->launches();
+  EXPECT_GT(launches, 0u);
 }
 
 TEST_F(DBParallelCompactionTest, CompactRangeWaitsForAllWorkers) {

@@ -13,6 +13,8 @@
 #include "host/device_health_monitor.h"
 #include "host/fcae_device.h"
 #include "host/output_verifier.h"
+#include "obs/event_listener.h"
+#include "obs/metrics.h"
 #include "lsm/dbformat.h"
 #include "util/mem_env.h"
 
@@ -159,6 +161,72 @@ TEST(DeviceHealthMonitorTest, ProbeAndReadmission) {
   // Closed breaker admits everything without counting denials.
   EXPECT_TRUE(monitor.Admit());
   EXPECT_TRUE(monitor.Admit());
+}
+
+TEST(DeviceHealthMonitorTest, CardBoundMonitorPublishesPerCardNames) {
+  // A monitor bound to card 2 of a DeviceSet must publish its gauges
+  // under health.card2.* (never the legacy unbound names) and stamp the
+  // card id on every OnDeviceHealthChange event, so per-card breakers
+  // never alias in the registry or in listener callbacks.
+  class CaptureListener : public obs::EventListener {
+   public:
+    void OnDeviceHealthChange(
+        const obs::DeviceHealthChangeInfo& info) override {
+      MutexLock lock(&mutex_);
+      events_.push_back(info);
+    }
+    std::vector<obs::DeviceHealthChangeInfo> events() const {
+      MutexLock lock(&mutex_);
+      return events_;
+    }
+
+   private:
+    mutable Mutex mutex_;
+    std::vector<obs::DeviceHealthChangeInfo> events_;
+  };
+
+  obs::MetricsRegistry metrics;
+  CaptureListener listener;
+  obs::EventNotifier notifier({&listener});
+
+  DeviceHealthOptions options;
+  options.quarantine_threshold = 1;
+  options.sticky_weight = 1;
+  DeviceHealthMonitor monitor(options, /*card_id=*/2);
+  EXPECT_EQ(2, monitor.card_id());
+  monitor.AttachObservability(&metrics, nullptr);
+  monitor.AttachNotifier(&notifier);
+
+  monitor.RecordJobFailure(/*sticky=*/true);
+  ASSERT_TRUE(monitor.quarantined());
+  EXPECT_EQ(1, metrics.gauge("health.card2.quarantined")->value());
+  EXPECT_EQ(1, metrics.gauge("health.card2.sticky_failures")->value());
+  EXPECT_EQ(1, metrics.gauge("health.card2.quarantines")->value());
+  // The legacy unbound names were never registered by this monitor.
+  obs::MetricsRegistry::Snapshot snap = metrics.TakeSnapshot();
+  EXPECT_EQ(0u, snap.gauges.count("health.quarantined"));
+
+  // The breaker closing again fires a second event, same card id.
+  monitor.RecordJobSuccess();
+  ASSERT_FALSE(monitor.quarantined());
+  std::vector<obs::DeviceHealthChangeInfo> events = listener.events();
+  ASSERT_EQ(2u, events.size());
+  EXPECT_EQ(2, events[0].card_id);
+  EXPECT_TRUE(events[0].quarantined);
+  EXPECT_EQ(2, events[1].card_id);
+  EXPECT_FALSE(events[1].quarantined);
+
+  // ToString names the card so multi-card health dumps stay readable.
+  EXPECT_NE(std::string::npos, monitor.ToString().find("card2"))
+      << monitor.ToString();
+
+  // An unbound monitor keeps the legacy behaviour: card_id -1 events.
+  DeviceHealthMonitor unbound(options);
+  unbound.AttachNotifier(&notifier);
+  unbound.RecordJobFailure(/*sticky=*/true);
+  events = listener.events();
+  ASSERT_EQ(3u, events.size());
+  EXPECT_EQ(-1, events[2].card_id);
 }
 
 TEST(DeviceHealthMonitorTest, ToStringCarriesCounters) {

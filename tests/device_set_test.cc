@@ -1,0 +1,379 @@
+// Unit and end-to-end tests of the multi-card offload layer: the
+// shared PcieBus contention model, DeviceSet placement (least queued
+// bytes, quarantine skipping, probe fallback), per-card fault seeds,
+// the double-buffered DMA pipeline of FcaeDevice, and a two-card DB
+// that must degrade gracefully when one card is quarantined.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fpga/fault_injector.h"
+#include "fpga/pcie_bus.h"
+#include "fpga_test_util.h"
+#include "gtest/gtest.h"
+#include "host/device_set.h"
+#include "host/fcae_device.h"
+#include "host/offload_compaction.h"
+#include "lsm/db.h"
+#include "lsm/db_impl.h"
+#include "table/iterator.h"
+#include "util/mem_env.h"
+#include "util/random.h"
+
+namespace fcae {
+namespace host {
+
+using fpga_test::BuildDeviceInput;
+using fpga_test::MakeRun;
+
+// ---------------------------------------------------------------------
+// PcieBus
+// ---------------------------------------------------------------------
+
+TEST(PcieBusTest, LoneCardNeverWaits) {
+  fpga::PcieBus bus;
+  bus.BeginJob(0);
+  EXPECT_EQ(0.0, bus.ChargeIn(0, 100.0));
+  EXPECT_EQ(0.0, bus.ChargeOut(0, 100.0));
+  bus.EndJob(0);
+  EXPECT_EQ(0u, bus.contended_bursts());
+  EXPECT_EQ(0.0, bus.contention_micros());
+}
+
+TEST(PcieBusTest, ConcurrentCardsContend) {
+  fpga::PcieBus bus;
+  bus.BeginJob(0);
+  bus.BeginJob(1);
+  // Card 0 bursts first; nothing else has charged yet, so it is free.
+  EXPECT_EQ(0.0, bus.ChargeIn(0, 100.0));
+  // Card 1's burst collides with card 0's 100us already on the bus:
+  // wait = min(own 40, others 100) = 40 (worst case 2x slowdown).
+  EXPECT_EQ(40.0, bus.ChargeIn(1, 40.0));
+  // A longer burst is capped at its own duration against the 100us.
+  EXPECT_EQ(100.0, bus.ChargeIn(1, 250.0));
+  // In and out are independent lanes (full duplex): the first outbound
+  // burst sees no outbound history from the other card.
+  EXPECT_EQ(0.0, bus.ChargeOut(1, 50.0));
+  EXPECT_EQ(50.0, bus.ChargeOut(0, 80.0));
+  bus.EndJob(0);
+  bus.EndJob(1);
+  EXPECT_EQ(3u, bus.contended_bursts());
+  EXPECT_EQ(40.0 + 100.0 + 50.0, bus.contention_micros());
+}
+
+TEST(PcieBusTest, IdleCardHistoryResets) {
+  fpga::PcieBus bus;
+  bus.BeginJob(0);
+  EXPECT_EQ(0.0, bus.ChargeIn(0, 500.0));
+  bus.EndJob(0);
+  // Card 0 went idle: its 500us must not inflate a later collision.
+  bus.BeginJob(1);
+  EXPECT_EQ(0.0, bus.ChargeIn(1, 100.0));
+  bus.EndJob(1);
+  EXPECT_EQ(0u, bus.contended_bursts());
+}
+
+// ---------------------------------------------------------------------
+// DeviceSet placement
+// ---------------------------------------------------------------------
+
+TEST(DeviceSetTest, PickCardPrefersLeastQueuedBytes) {
+  fpga::EngineConfig config;
+  DeviceSet devices(config, /*num_cards=*/3);
+  ASSERT_EQ(3, devices.num_cards());
+
+  // All empty: ties break toward the lowest card id.
+  EXPECT_EQ(0, devices.PickCard());
+
+  devices.AddQueued(0, 300);
+  devices.AddQueued(1, 100);
+  EXPECT_EQ(2, devices.PickCard());  // Card 2 is idle.
+  devices.AddQueued(2, 200);
+  EXPECT_EQ(1, devices.PickCard());  // Now card 1 is lightest.
+  devices.SubQueued(0, 300);
+  EXPECT_EQ(0, devices.PickCard());
+  EXPECT_EQ(0u, devices.queued_bytes(0));
+}
+
+TEST(DeviceSetTest, PickCardSkipsQuarantinedCard) {
+  fpga::EngineConfig config;
+  DeviceSet devices(config, /*num_cards=*/2);
+
+  // Card 0 is idle (would win placement) but a sticky failure opens its
+  // breaker: every job must flow to card 1.
+  devices.monitor(0)->RecordJobFailure(/*sticky=*/true);
+  ASSERT_TRUE(devices.monitor(0)->quarantined());
+  devices.AddQueued(1, 1 << 20);
+  for (int i = 0; i < 4; i++) {
+    EXPECT_EQ(1, devices.PickCard());
+  }
+}
+
+TEST(DeviceSetTest, AllQuarantinedFallsBackToProbes) {
+  fpga::EngineConfig config;
+  DeviceHealthOptions health;
+  health.quarantine_threshold = 1;
+  health.sticky_weight = 1;
+  health.probe_interval = 3;
+  DeviceSet devices(config, /*num_cards=*/2, fpga::PcieModel(), health);
+
+  devices.monitor(0)->RecordJobFailure(/*sticky=*/true);
+  devices.monitor(1)->RecordJobFailure(/*sticky=*/true);
+  ASSERT_TRUE(devices.monitor(0)->quarantined());
+  ASSERT_TRUE(devices.monitor(1)->quarantined());
+
+  // Every breaker admits each probe_interval-th request. PickCard asks
+  // the cards in order, so the denials interleave deterministically:
+  // calls 1 (0:deny, 1:deny) and 2 (0:deny, 1:deny) return -1 — the
+  // caller's CPU fallback; call 3 hits card 0's third request, which is
+  // granted as a probe.
+  EXPECT_EQ(-1, devices.PickCard());
+  EXPECT_EQ(-1, devices.PickCard());
+  EXPECT_EQ(0, devices.PickCard());
+  EXPECT_EQ(1u, devices.monitor(0)->snapshot().probes);
+  // A successful probe closes card 0's breaker; it wins placement again.
+  devices.monitor(0)->RecordJobSuccess();
+  EXPECT_FALSE(devices.monitor(0)->quarantined());
+  EXPECT_EQ(0, devices.PickCard());
+}
+
+TEST(DeviceSetTest, PerCardFaultSeedsDiverge) {
+  fpga::EngineConfig config;
+  DeviceSet devices(config, /*num_cards=*/2);
+  EXPECT_EQ(nullptr, devices.injector(0));
+
+  fpga::DeviceFaultConfig base;
+  base.seed = 4242;
+  base.transient_rate = 0.5;
+  devices.InjectFaults(base);
+  ASSERT_NE(nullptr, devices.injector(0));
+  ASSERT_NE(nullptr, devices.injector(1));
+
+  // Card i draws from seed base.seed + i: the streams must not be the
+  // same sequence (independent hardware fails independently).
+  int diverged = 0;
+  for (int i = 0; i < 64; i++) {
+    fpga::FaultDecision d0 = devices.injector(0)->NextLaunch();
+    fpga::FaultDecision d1 = devices.injector(1)->NextLaunch();
+    if (d0.cls != d1.cls) diverged++;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+// ---------------------------------------------------------------------
+// Pipelined DMA double-buffering
+// ---------------------------------------------------------------------
+
+class DevicePipelineTest : public testing::Test {
+ public:
+  DevicePipelineTest() : env_(NewMemEnv(Env::Default())) {
+    options_.env = env_.get();
+  }
+
+  /// Two staged runs big enough that a kernel takes visible wall time.
+  void BuildInputs() {
+    for (int i = 0; i < 2; i++) {
+      auto input = std::make_unique<fpga::DeviceInput>();
+      auto run = MakeRun("key", i, 800, 2, 1000 * (i + 1), 96);
+      ASSERT_TRUE(
+          BuildDeviceInput(env_.get(), options_, {run}, i, input.get()).ok());
+      inputs_.push_back(std::move(input));
+    }
+  }
+
+  Status RunOneJob(FcaeDevice* device) {
+    fpga::DeviceOutput output;
+    DeviceRunStats stats;
+    return device->ExecuteCompaction({inputs_[0].get(), inputs_[1].get()},
+                                     kNoSnapshot, true, &output, &stats);
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::vector<std::unique_ptr<fpga::DeviceInput>> inputs_;
+};
+
+TEST_F(DevicePipelineTest, SerialJobsNeverOverlap) {
+  BuildInputs();
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  FcaeDevice device(config);
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(RunOneJob(&device).ok());
+  }
+  // One caller, one job at a time: nothing arrives back-to-back, so the
+  // double buffer has nothing to hide.
+  EXPECT_EQ(0u, device.pipelined_jobs());
+  EXPECT_EQ(0.0, device.total_dma_overlap_micros());
+}
+
+TEST_F(DevicePipelineTest, BackToBackJobsOverlapDmaWithCompute) {
+  BuildInputs();
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  FcaeDevice device(config);
+
+  // Four submitters hammer one card; all but the first arrivals queue
+  // on the device mutex and therefore run pipelined: their transfer-in
+  // overlaps the predecessor's kernel.
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&]() {
+      for (int j = 0; j < kJobsPerThread; j++) {
+        if (!RunOneJob(&device).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_EQ(0, failures.load());
+  EXPECT_EQ(static_cast<uint64_t>(kThreads * kJobsPerThread),
+            device.kernels_launched());
+  EXPECT_GT(device.pipelined_jobs(), 0u);
+  EXPECT_GT(device.total_dma_overlap_micros(), 0.0);
+}
+
+TEST_F(DevicePipelineTest, ConcurrentCardsChargeBusContention) {
+  BuildInputs();
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  DeviceSet devices(config, /*num_cards=*/2);
+
+  // Both cards burst DMA on the shared bus at once; whenever the bursts
+  // coincide the bus model charges contention to one of them.
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int card = 0; card < 2; card++) {
+    threads.emplace_back([&, card]() {
+      for (int j = 0; j < 6; j++) {
+        if (!RunOneJob(devices.device(card)).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_EQ(0, failures.load());
+  // Contention requires genuine wall-clock concurrency across cards, so
+  // this is expected (not strictly guaranteed) under 6 jobs per card;
+  // the deterministic arithmetic is covered by the PcieBusTest cases.
+  EXPECT_GT(devices.bus()->contended_bursts(), 0u);
+  double waits = devices.device(0)->total_bus_wait_micros() +
+                 devices.device(1)->total_bus_wait_micros();
+  EXPECT_NEAR(waits, devices.bus()->contention_micros(),
+              1e-6 * (1.0 + waits));
+}
+
+// ---------------------------------------------------------------------
+// Two-card DB end to end
+// ---------------------------------------------------------------------
+
+class MultiCardDbTest : public testing::Test {
+ public:
+  MultiCardDbTest() : env_(NewMemEnv(Env::Default())) {}
+
+  std::unique_ptr<DB> OpenDb(const std::string& name,
+                             CompactionExecutor* executor, int cards) {
+    Options options;
+    options.env = env_.get();
+    options.create_if_missing = true;
+    options.write_buffer_size = 64 * 1024;
+    options.compaction_executor = executor;
+    options.compaction_threads = 4;
+    options.num_offload_cards = cards;
+    DB* db = nullptr;
+    EXPECT_TRUE(DB::Open(options, name, &db).ok());
+    return std::unique_ptr<DB>(db);
+  }
+
+  void RunWorkload(DB* db) {
+    Random rnd(1234);
+    WriteOptions wo;
+    for (int i = 0; i < 4000; i++) {
+      std::string key = "user" + std::to_string(rnd.Uniform(900));
+      if (rnd.Uniform(10) == 0) {
+        ASSERT_TRUE(db->Delete(wo, key).ok());
+      } else {
+        ASSERT_TRUE(
+            db->Put(wo, key, key + std::string(100, 'v')).ok());
+      }
+    }
+    db->CompactRange(nullptr, nullptr);
+  }
+
+  std::vector<std::pair<std::string, std::string>> Dump(DB* db) {
+    std::vector<std::pair<std::string, std::string>> out;
+    std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      out.emplace_back(it->key().ToString(), it->value().ToString());
+    }
+    EXPECT_TRUE(it->status().ok());
+    return out;
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(MultiCardDbTest, TwoCardDbMatchesCpuDb) {
+  fpga::EngineConfig config;
+  config.num_inputs = 9;  // Lets level-0 compactions offload too.
+  DeviceSet devices(config, /*num_cards=*/2);
+  FcaeCompactionExecutor executor(&devices);
+
+  std::unique_ptr<DB> cpu_db = OpenDb("/mc_cpu", nullptr, 1);
+  std::unique_ptr<DB> mc_db = OpenDb("/mc_fpga", &executor, 2);
+  RunWorkload(cpu_db.get());
+  RunWorkload(mc_db.get());
+
+  auto cpu_dump = Dump(cpu_db.get());
+  auto mc_dump = Dump(mc_db.get());
+  ASSERT_FALSE(cpu_dump.empty());
+  EXPECT_TRUE(cpu_dump == mc_dump);
+
+  // The set actually ran kernels, and every placement was balanced by
+  // a matching un-queue when the job left its card.
+  uint64_t kernels = devices.device(0)->kernels_launched() +
+                     devices.device(1)->kernels_launched();
+  EXPECT_GT(kernels, 0u);
+  EXPECT_EQ(0u, devices.queued_bytes(0));
+  EXPECT_EQ(0u, devices.queued_bytes(1));
+}
+
+TEST_F(MultiCardDbTest, QuarantinedCardIsAbsorbedByHealthySibling) {
+  fpga::EngineConfig config;
+  config.num_inputs = 9;
+  DeviceSet devices(config, /*num_cards=*/2);
+  FcaeCompactionExecutor executor(&devices);
+
+  // Card 0 dies before the workload: its breaker opens and stays open
+  // (no successful probe is possible — but no probe is even attempted,
+  // since card 1 stays healthy and wins every placement).
+  devices.monitor(0)->RecordJobFailure(/*sticky=*/true);
+  ASSERT_TRUE(devices.monitor(0)->quarantined());
+
+  std::unique_ptr<DB> db = OpenDb("/mc_degraded", &executor, 2);
+  RunWorkload(db.get());
+
+  auto dump = Dump(db.get());
+  ASSERT_FALSE(dump.empty());
+
+  // Graceful degradation: the healthy card absorbed every job — the
+  // dead card ran nothing and the DB never fell back to CPU compaction
+  // because the device path was "full".
+  EXPECT_EQ(0u, devices.device(0)->kernels_launched());
+  EXPECT_GT(devices.device(1)->kernels_launched(), 0u);
+  auto* impl = reinterpret_cast<DBImpl*>(db.get());
+  EXPECT_EQ(0, impl->FallbackCompactions());
+
+  // And the contents are exactly what a CPU-only DB produces.
+  std::unique_ptr<DB> cpu_db = OpenDb("/mc_degraded_cpu", nullptr, 1);
+  RunWorkload(cpu_db.get());
+  EXPECT_TRUE(Dump(cpu_db.get()) == dump);
+}
+
+}  // namespace host
+}  // namespace fcae

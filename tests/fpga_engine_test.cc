@@ -348,5 +348,62 @@ TEST_P(FpgaEngineValueSweep, MergeCorrectAcrossValueLengths) {
 INSTANTIATE_TEST_SUITE_P(ValueLengths, FpgaEngineValueSweep,
                          testing::Values(64, 128, 256, 512, 1024, 2048));
 
+TEST_F(FpgaEngineTest, KeyBoundsRestrictMergeToShard) {
+  // Sharded offload: the engine's Key-Value Transfer must drop every
+  // record outside (lower, upper] and account it separately, so the
+  // records_in == records_out + records_dropped invariant still holds.
+  auto run_a = MakeRun("key", 0, 400, 2, 1000, 64);  // Even keys 0..798.
+  auto run_b = MakeRun("key", 1, 400, 2, 2000, 64);  // Odd keys 1..799.
+  Stage({{run_a}, {run_b}});
+
+  KeyBounds bounds;
+  bounds.has_lower = true;
+  bounds.lower = "key00000199";  // Exclusive.
+  bounds.has_upper = true;
+  bounds.upper = "key00000599";  // Inclusive.
+  ASSERT_TRUE(bounds.active());
+
+  std::vector<const DeviceInput*> ptrs;
+  for (const auto& in : inputs_) ptrs.push_back(in.get());
+  DeviceOutput output;
+  CompactionEngine engine(config_, ptrs, kNoSnapshot,
+                          /*drop_deletions=*/true, &output, &bounds);
+  ASSERT_TRUE(engine.Run().ok());
+  const EngineStats stats = engine.stats();
+
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  // Exactly the user keys in (key00000199, key00000599]: 200..599.
+  ASSERT_EQ(400u, got.size());
+  for (const auto& kv : got) {
+    const std::string user_key = kv.first.substr(0, kv.first.size() - 8);
+    EXPECT_GT(user_key, bounds.lower);
+    EXPECT_LE(user_key, bounds.upper);
+  }
+  EXPECT_EQ(800u, stats.records_in);
+  EXPECT_EQ(400u, stats.records_out);
+  EXPECT_EQ(400u, stats.records_bounds_dropped);
+  EXPECT_EQ(stats.records_in, stats.records_out + stats.records_dropped);
+}
+
+TEST_F(FpgaEngineTest, InactiveKeyBoundsChangeNothing) {
+  auto run_a = MakeRun("key", 0, 300, 2, 1000, 64);
+  auto run_b = MakeRun("key", 1, 300, 2, 2000, 64);
+  Stage({{run_a}, {run_b}});
+
+  KeyBounds bounds;  // Neither side set: the merge is unrestricted.
+  ASSERT_FALSE(bounds.active());
+  std::vector<const DeviceInput*> ptrs;
+  for (const auto& in : inputs_) ptrs.push_back(in.get());
+  DeviceOutput output;
+  CompactionEngine engine(config_, ptrs, kNoSnapshot,
+                          /*drop_deletions=*/true, &output, &bounds);
+  ASSERT_TRUE(engine.Run().ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(FlattenOutput(output, &got).ok());
+  EXPECT_EQ(600u, got.size());
+  EXPECT_EQ(0u, engine.stats().records_bounds_dropped);
+}
+
 }  // namespace fpga
 }  // namespace fcae

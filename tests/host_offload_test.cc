@@ -42,6 +42,115 @@ TEST(SstableStagerTest, StagedImageMatchesFile) {
             input.data_memory);
 }
 
+TEST(SstableStagerTest, BoundedStagingTrimsToOverlappingBlocks) {
+  std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+  Options options;
+  options.env = env.get();
+
+  auto records = MakeRun("key", 0, 500, 1, 100, 128);
+  ASSERT_TRUE(WriteSstable(env.get(), options, "/t.ldb", records).ok());
+  SstableStager stager(env.get());
+
+  fpga::DeviceInput full;
+  ASSERT_TRUE(stager.AddTable("/t.ldb", &full).ok());
+
+  fpga::KeyBounds bounds;
+  bounds.has_lower = true;
+  bounds.lower = "key00000150";  // Exclusive.
+  bounds.has_upper = true;
+  bounds.upper = "key00000250";  // Inclusive.
+  fpga::DeviceInput trimmed;
+  ASSERT_TRUE(stager.AddTable("/t.ldb", &trimmed, &bounds).ok());
+  ASSERT_EQ(1u, trimmed.sstables.size());
+
+  // Trimming is block-granular but must shed the blocks clearly outside
+  // a 100-key shard of a 500-key table.
+  EXPECT_GT(trimmed.data_memory.size(), 0u);
+  EXPECT_LT(trimmed.data_memory.size(), full.data_memory.size());
+
+  // The trimmed image plus the engine's record-level filter yields
+  // exactly the shard's records — boundary blocks may be staged, but
+  // their leaked records never survive the merge.
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  FcaeDevice device(config);
+  fpga::DeviceOutput output;
+  DeviceRunStats run_stats;
+  ASSERT_TRUE(device
+                  .ExecuteCompaction({&trimmed}, kNoSnapshot, true, &output,
+                                     &run_stats, &bounds)
+                  .ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(fpga_test::FlattenOutput(output, &got).ok());
+  ASSERT_EQ(100u, got.size());  // key00000151 .. key00000250.
+  EXPECT_EQ("key00000151", got.front().first.substr(0, 11));
+  EXPECT_EQ("key00000250", got.back().first.substr(0, 11));
+}
+
+TEST(SstableStagerTest, TableOutsideBoundsStagesNothing) {
+  std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+  Options options;
+  options.env = env.get();
+
+  auto records = MakeRun("key", 0, 200, 1, 100, 64);
+  ASSERT_TRUE(WriteSstable(env.get(), options, "/t.ldb", records).ok());
+  SstableStager stager(env.get());
+
+  // The whole table sits at or below the exclusive lower bound: no
+  // descriptor, no staged bytes — the shard simply has no work here.
+  // (The bound must clear the index's *shortened* separators: the
+  // table's final index entry is the short successor of its last key,
+  // e.g. "l" for "key00000199", so a bound like "key00000999" would
+  // conservatively keep the last block.)
+  fpga::KeyBounds bounds;
+  bounds.has_lower = true;
+  bounds.lower = "zzzzzzzz";
+  fpga::DeviceInput input;
+  ASSERT_TRUE(stager.AddTable("/t.ldb", &input, &bounds).ok());
+  EXPECT_TRUE(input.sstables.empty());
+  EXPECT_TRUE(input.data_memory.empty());
+  EXPECT_TRUE(input.index_memory.empty());
+
+  // A bound inside the shortened final separator keeps exactly the
+  // conservative boundary block; the engine then drops its records.
+  fpga::KeyBounds edge;
+  edge.has_lower = true;
+  edge.lower = "key00000999";
+  fpga::DeviceInput boundary;
+  ASSERT_TRUE(stager.AddTable("/t.ldb", &boundary, &edge).ok());
+  ASSERT_EQ(1u, boundary.sstables.size());
+  fpga::EngineConfig config;
+  config.num_inputs = 2;
+  FcaeDevice device(config);
+  fpga::DeviceOutput output;
+  DeviceRunStats run_stats;
+  ASSERT_TRUE(device
+                  .ExecuteCompaction({&boundary}, kNoSnapshot, true, &output,
+                                     &run_stats, &edge)
+                  .ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(fpga_test::FlattenOutput(output, &got).ok());
+  EXPECT_TRUE(got.empty());
+  EXPECT_GT(run_stats.engine.records_bounds_dropped, 0u);
+}
+
+TEST(SstableStagerTest, UnboundedStagingUnchangedByDefaultBounds) {
+  std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
+  Options options;
+  options.env = env.get();
+
+  auto records = MakeRun("key", 0, 300, 1, 100, 64);
+  ASSERT_TRUE(WriteSstable(env.get(), options, "/t.ldb", records).ok());
+  SstableStager stager(env.get());
+
+  fpga::DeviceInput plain, inactive;
+  fpga::KeyBounds bounds;  // active() == false.
+  ASSERT_TRUE(stager.AddTable("/t.ldb", &plain).ok());
+  ASSERT_TRUE(stager.AddTable("/t.ldb", &inactive, &bounds).ok());
+  EXPECT_EQ(plain.data_memory, inactive.data_memory);
+  EXPECT_EQ(plain.index_memory, inactive.index_memory);
+}
+
 TEST(SstableStagerTest, RejectsGarbageFile) {
   std::unique_ptr<Env> env(NewMemEnv(Env::Default()));
   ASSERT_TRUE(
