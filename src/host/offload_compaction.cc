@@ -528,18 +528,24 @@ Status FcaeCompactionExecutor::Execute(const CompactionJob& job,
     CompactionOutput out;
     out.number = job.new_file_number();
     uint64_t file_size = 0;
+    uint32_t file_checksum = 0;
     s = AssembleTableFile(env, TableFileName(job.dbname, out.number), table,
                           &file_size, job.options->filter_policy,
-                          job.options->rate_limiter);
+                          job.options->rate_limiter, &file_checksum);
     if (!s.ok()) return s;
     out.file_size = file_size;
+    out.file_checksum = file_checksum;
+    out.has_file_checksum = true;
     if (!out.smallest.DecodeFrom(table.smallest_key) ||
         !out.largest.DecodeFrom(table.largest_key)) {
       return Status::Corruption("device returned empty table bounds");
     }
 
     // Verify the assembled table is readable before publishing it.
-    Iterator* it = job.table_cache->NewIterator(ReadOptions(), out.number,
+    ReadOptions verify_options;
+    verify_options.verify_checksums = job.options->paranoid_checks;
+    verify_options.fill_cache = false;
+    Iterator* it = job.table_cache->NewIterator(verify_options, out.number,
                                                 out.file_size);
     s = it->status();
     delete it;

@@ -8,6 +8,7 @@
 #include "util/comparator.h"
 #include "util/crc32c.h"
 #include "util/env.h"
+#include "util/file_checksum.h"
 #include "util/options.h"
 #include "util/rate_limiter.h"
 #include "lsm/dbformat.h"
@@ -193,7 +194,8 @@ Status AssembleTableFile(Env* env, const std::string& fname,
                          const fpga::DeviceOutputTable& table,
                          uint64_t* file_size,
                          const FilterPolicy* filter_policy,
-                         RateLimiter* rate_limiter) {
+                         RateLimiter* rate_limiter,
+                         uint32_t* file_checksum) {
   WritableFile* raw_file;
   Status s = env->NewWritableFile(fname, &raw_file);
   if (!s.ok()) return s;
@@ -203,7 +205,9 @@ Status AssembleTableFile(Env* env, const std::string& fname,
     raw_file = new RateLimitedWritableFile(raw_file, rate_limiter,
                                            RateLimiter::Priority::kLow);
   }
-  std::unique_ptr<WritableFile> file(raw_file);
+  // Outermost so the captured crc covers the full assembled image.
+  ChecksumWritableFile* checksum_file = new ChecksumWritableFile(raw_file);
+  std::unique_ptr<WritableFile> file(checksum_file);
 
   uint64_t offset = 0;
   auto append_raw_block = [&](const Slice& contents,
@@ -325,6 +329,9 @@ Status AssembleTableFile(Env* env, const std::string& fname,
     s = file->Close();
   }
   *file_size = offset;
+  if (file_checksum != nullptr) {
+    *file_checksum = checksum_file->checksum();
+  }
   return s;
 }
 

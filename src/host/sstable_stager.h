@@ -63,12 +63,17 @@ class SstableStager {
 /// as software ones. Returns the final file size in *file_size.
 /// `rate_limiter`, when non-null, throttles the writeback on the
 /// low-priority lane (assembly is compaction output, same as the CPU
-/// executor's).
+/// executor's). When `file_checksum` is non-null it receives the
+/// whole-file crc32c of the assembled image — the offload install
+/// site's contribution to the manifest's integrity ground truth,
+/// computed over the *host-assembled* bytes, after the data blocks
+/// crossed the DMA boundary back from the device.
 Status AssembleTableFile(Env* env, const std::string& fname,
                          const fpga::DeviceOutputTable& table,
                          uint64_t* file_size,
                          const FilterPolicy* filter_policy = nullptr,
-                         RateLimiter* rate_limiter = nullptr);
+                         RateLimiter* rate_limiter = nullptr,
+                         uint32_t* file_checksum = nullptr);
 
 }  // namespace host
 }  // namespace fcae

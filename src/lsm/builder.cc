@@ -7,6 +7,7 @@
 #include "table/table_builder.h"
 #include "util/crash_env.h"
 #include "util/env.h"
+#include "util/file_checksum.h"
 #include "util/rate_limiter.h"
 
 namespace fcae {
@@ -32,6 +33,10 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
       file = new RateLimitedWritableFile(file, options.rate_limiter,
                                          RateLimiter::Priority::kHigh);
     }
+    // Outermost wrapper: hashes exactly the bytes the builder emits, so
+    // the manifest's whole-file checksum is captured at install time.
+    ChecksumWritableFile* checksum_file = new ChecksumWritableFile(file);
+    file = checksum_file;
 
     TableBuilder* builder = new TableBuilder(options, file);
     meta->smallest.DecodeFrom(iter->key());
@@ -49,6 +54,8 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
     if (s.ok()) {
       meta->file_size = builder->FileSize();
       assert(meta->file_size > 0);
+      meta->file_checksum = checksum_file->checksum();
+      meta->has_file_checksum = true;
     }
     delete builder;
 
@@ -72,7 +79,10 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
 
     if (s.ok()) {
       // Verify that the table is usable.
-      Iterator* it = table_cache->NewIterator(ReadOptions(), meta->number,
+      ReadOptions verify_options;
+      verify_options.verify_checksums = options.paranoid_checks;
+      verify_options.fill_cache = false;
+      Iterator* it = table_cache->NewIterator(verify_options, meta->number,
                                               meta->file_size);
       s = it->status();
       delete it;

@@ -88,6 +88,11 @@ struct CompactionOutput {
   uint64_t file_size = 0;
   InternalKey smallest;
   InternalKey largest;
+  // Whole-file crc32c captured while the output was written (CPU
+  // executor) or assembled (offload stager); recorded in the manifest
+  // at install so the scrubber has ground truth from day one.
+  uint32_t file_checksum = 0;
+  bool has_file_checksum = false;
 };
 
 /// Statistics reported by an executor for one compaction.

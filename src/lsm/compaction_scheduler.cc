@@ -14,6 +14,7 @@ namespace fcae {
 namespace {
 const char* kFlushPool = "fcae-flush";
 const char* kCompactPool = "fcae-compact";
+const char* kScrubPool = "fcae-scrub";
 }  // namespace
 
 CompactionScheduler::CompactionScheduler(Env* env, CondVar* wakeup,
@@ -40,6 +41,23 @@ void CompactionScheduler::ScheduleFlush(void (*fn)(void*), void* arg) {
 void CompactionScheduler::FlushFinished() {
   assert(flush_scheduled_);
   flush_scheduled_ = false;
+  UpdateGauges();
+}
+
+void CompactionScheduler::ScheduleScrub(void (*fn)(void*), void* arg) {
+  assert(!scrub_scheduled_);
+  scrub_scheduled_ = true;
+  scrubs_started_++;
+  if (metrics_ != nullptr) {
+    metrics_->counter("scheduler.scrubs_started")->Increment();
+  }
+  UpdateGauges();
+  env_->SchedulePool(kScrubPool, 1, fn, arg);
+}
+
+void CompactionScheduler::ScrubFinished() {
+  assert(scrub_scheduled_);
+  scrub_scheduled_ = false;
   UpdateGauges();
 }
 
@@ -89,6 +107,18 @@ void CompactionScheduler::ReleaseFlushLevel(int level) {
   UpdateGauges();
 }
 
+void CompactionScheduler::BeginRepair(int level) {
+  assert(RepairLevelFree(level));
+  busy_levels_ |= (1u << level);
+  UpdateGauges();
+}
+
+void CompactionScheduler::EndRepair(int level) {
+  assert((busy_levels_ & (1u << level)) != 0);
+  busy_levels_ &= ~(1u << level);
+  UpdateGauges();
+}
+
 void CompactionScheduler::LockManifest() {
   while (manifest_busy_) {
     manifest_waits_++;
@@ -126,6 +156,7 @@ void CompactionScheduler::UpdateGauges() {
   metrics_->gauge("scheduler.busy_levels")
       ->Set(static_cast<int64_t>(busy_levels_));
   metrics_->gauge("scheduler.flush_scheduled")->Set(flush_scheduled_ ? 1 : 0);
+  metrics_->gauge("scheduler.scrub_scheduled")->Set(scrub_scheduled_ ? 1 : 0);
 }
 
 std::string CompactionScheduler::DebugString() const {
@@ -133,10 +164,13 @@ std::string CompactionScheduler::DebugString() const {
   std::snprintf(
       buf, sizeof(buf),
       "scheduler{workers=%d/%d running=%d busy-levels=0x%x flush=%d "
+      "scrub=%d scrubs=%lld "
       "flushes=%lld compactions=%lld sharded-jobs=%lld shards=%lld "
       "manifest-waits=%lld}",
       scheduled_workers_, max_workers_, running_compactions_, busy_levels_,
-      flush_scheduled_ ? 1 : 0, static_cast<long long>(flushes_started_),
+      flush_scheduled_ ? 1 : 0, scrub_scheduled_ ? 1 : 0,
+      static_cast<long long>(scrubs_started_),
+      static_cast<long long>(flushes_started_),
       static_cast<long long>(compactions_started_),
       static_cast<long long>(sharded_jobs_),
       static_cast<long long>(shards_run_),

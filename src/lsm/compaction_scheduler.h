@@ -56,6 +56,20 @@ class CompactionScheduler {
   /// Called by the flush worker when it returns.
   void FlushFinished();
 
+  // --- Scrub lane (one dedicated low-priority thread) ---
+
+  bool scrub_scheduled() const { return scrub_scheduled_; }
+
+  /// Marks the scrub slot taken and enqueues fn(arg) on the scrub pool.
+  /// The integrity scrubber (DESIGN.md §14) runs here: one thread, and
+  /// its I/O rides the RateLimiter's low lane, so scrubbing never
+  /// competes with flushes or compactions for more than leftover
+  /// bandwidth.
+  void ScheduleScrub(void (*fn)(void*), void* arg);
+
+  /// Called by the scrub worker when it returns.
+  void ScrubFinished();
+
   // --- Compaction worker pool ---
 
   /// True if another worker may be dispatched (scheduled < max).
@@ -103,6 +117,19 @@ class CompactionScheduler {
   void ReserveFlushLevel(int level);
   void ReleaseFlushLevel(int level);
 
+  /// True iff no in-flight job occupies `level` itself (a compaction at
+  /// level-1 or level, a flush targeting level, or another repair). A
+  /// corruption repair replaces one file within `level`, so a
+  /// single-level claim is enough to keep its install edit from racing
+  /// a job that adds or removes files there (DESIGN.md §14).
+  bool RepairLevelFree(int level) const {
+    return (busy_levels_ & (1u << level)) == 0;
+  }
+
+  /// Claims `level` for a repair install; requires RepairLevelFree().
+  void BeginRepair(int level);
+  void EndRepair(int level);
+
   // --- Manifest serialization ---
 
   /// VersionSet::LogAndApply drops the DB mutex during the MANIFEST
@@ -114,10 +141,10 @@ class CompactionScheduler {
 
   // --- Shutdown / introspection ---
 
-  /// True while any dispatched background work (flush or compaction
-  /// worker) has not finished; ~DBImpl drains on this.
+  /// True while any dispatched background work (flush, compaction
+  /// worker, or scrub pass) has not finished; ~DBImpl drains on this.
   bool HasBackgroundWork() const {
-    return flush_scheduled_ || scheduled_workers_ > 0;
+    return flush_scheduled_ || scrub_scheduled_ || scheduled_workers_ > 0;
   }
 
   /// Accounting for a job split into `shards` sub-compactions.
@@ -146,6 +173,7 @@ class CompactionScheduler {
   // All mutable state below is guarded by the DB mutex (see class
   // comment); annotations cannot name a caller-owned lock.
   bool flush_scheduled_ = false;
+  bool scrub_scheduled_ = false;
   int scheduled_workers_ = 0;
   int running_compactions_ = 0;
   uint32_t busy_levels_ = 0;
@@ -153,6 +181,7 @@ class CompactionScheduler {
 
   // Lifetime totals (also mirrored to metrics when available).
   int64_t flushes_started_ = 0;
+  int64_t scrubs_started_ = 0;
   int64_t compactions_started_ = 0;
   int64_t sharded_jobs_ = 0;
   int64_t shards_run_ = 0;

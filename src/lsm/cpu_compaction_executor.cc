@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "table/table_builder.h"
 #include "util/env.h"
+#include "util/file_checksum.h"
 #include "util/rate_limiter.h"
 
 namespace fcae {
@@ -41,6 +42,7 @@ class CpuCompactionExecutor : public CompactionExecutor {
     SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
 
     WritableFile* outfile = nullptr;
+    ChecksumWritableFile* checksum_file = nullptr;  // Aliases outfile.
     std::unique_ptr<TableBuilder> builder;
     CompactionOutput current;
 
@@ -50,17 +52,23 @@ class CpuCompactionExecutor : public CompactionExecutor {
       assert(builder != nullptr);
       Status s = builder->Finish();
       current.file_size = builder->FileSize();
+      current.file_checksum = checksum_file->checksum();
+      current.has_file_checksum = true;
       builder.reset();
       if (s.ok()) s = outfile->Sync();
       if (s.ok()) s = outfile->Close();
       delete outfile;
       outfile = nullptr;
+      checksum_file = nullptr;
       if (s.ok() && current.file_size > 0) {
         outputs->push_back(current);
         stats->bytes_written += current.file_size;
         // Verify usability.
+        ReadOptions verify_options;
+        verify_options.verify_checksums = job.options->paranoid_checks;
+        verify_options.fill_cache = false;
         Iterator* it = job.table_cache->NewIterator(
-            ReadOptions(), current.number, current.file_size);
+            verify_options, current.number, current.file_size);
         s = it->status();
         delete it;
       }
@@ -122,6 +130,8 @@ class CpuCompactionExecutor : public CompactionExecutor {
               outfile, job.options->rate_limiter,
               RateLimiter::Priority::kLow);
         }
+        checksum_file = new ChecksumWritableFile(outfile);
+        outfile = checksum_file;
         builder = std::make_unique<TableBuilder>(*job.options, outfile);
         current.smallest.DecodeFrom(key);
       }

@@ -83,6 +83,7 @@ class DB {
   ///   "fcae.sstables"               — per-level file listing
   ///   "fcae.approximate-memory-usage" — memtable memory
   ///   "fcae.background-error"       — error state machine (ok/soft/hard)
+  ///   "fcae.num-quarantined-files"  — tables quarantined for corruption
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   /// Attempts to clear a *soft* (retryable-I/O) background error and
@@ -94,6 +95,17 @@ class DB {
   /// state is a hard error (e.g. corruption), which only a reopen —
   /// and possibly a repair — can clear. Default: NotSupported.
   [[nodiscard]] virtual Status Resume();
+
+  /// Runs one full integrity-scrub cycle synchronously (DESIGN.md §14):
+  /// every live table is verified — whole-file checksum against the
+  /// manifest, per-block CRCs, key order, and manifest bounds — and any
+  /// table that fails is quarantined (reads route around it) and
+  /// repaired by salvaging its clean blocks. Returns OK when the cycle
+  /// completed, even if corruption was found and healed; check the
+  /// `scrub.*` / `integrity.*` metrics or listener events for what
+  /// happened. The periodic scrubber (Options::scrub_interval_seconds)
+  /// runs the same cycle in the background. Default: NotSupported.
+  [[nodiscard]] virtual Status ScrubNow();
 
   /// For each range [i], stores the approximate file-system space used
   /// in sizes[i].

@@ -11,6 +11,7 @@
 #include "lsm/builder.h"
 #include "lsm/db_iter.h"
 #include "lsm/filename.h"
+#include "lsm/integrity_scrubber.h"
 #include "lsm/log_reader.h"
 #include "lsm/memtable.h"
 #include "lsm/table_cache.h"
@@ -20,6 +21,7 @@
 #include "obs/perf_context.h"
 #include "table/iterator.h"
 #include "table/merger.h"
+#include "table/table_verifier.h"
 #include "util/coding.h"
 #include "util/crash_env.h"
 
@@ -124,6 +126,11 @@ Options SanitizeOptions(const std::string& dbname,
   // for eviction tests while keeping at least one job's spans visible.
   ClipToRange(&result.trace_ring_size, size_t{16}, size_t{1} << 20);
   ClipToRange(&result.stats_dump_period_sec, 0u, 86400u);
+  // Sub-minute scrub cycles would just re-read the same tables in a
+  // loop on small DBs; tests needing determinism use DB::ScrubNow().
+  if (result.scrub_interval_seconds > 0) {
+    ClipToRange(&result.scrub_interval_seconds, 60u, 86400u * 30u);
+  }
   return result;
 }
 
@@ -205,10 +212,16 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
         "wc.stop_micros", "wc.memory_stalls", "ratelimiter.bytes_through",
         "ratelimiter.throttled_bytes", "ratelimiter.wait_micros",
         "ratelimiter.requests", "obs.trace.dropped_events",
-        "obs.stats_dump.count"}) {
+        "obs.stats_dump.count", "scrub.cycles", "scrub.files_verified",
+        "scrub.bytes_verified", "scrub.corruptions_detected",
+        "integrity.repairs", "integrity.repair_failures",
+        "wal.corruption_records", "wal.corruption_bytes"}) {
     metrics_->counter(name);
   }
   metrics_->gauge("wc.state")->Set(0);
+  metrics_->gauge("integrity.quarantined_files")->Set(0);
+  // First periodic scrub fires one interval after open, not at open.
+  last_scrub_micros_ = env_->NowMicros();
   table_cache_->SetMetricsRegistry(metrics_);
   // Interval baseline for GetProperty("fcae.stats"): the first read
   // reports everything since open.
@@ -455,9 +468,15 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
   struct LogReporter : public log::Reader::Reporter {
     const char* fname;
     Status* status;  // null if options_.paranoid_checks==false
+    obs::MetricsRegistry* metrics;
     void Corruption(size_t bytes, const Status& s) override {
       std::fprintf(stderr, "%s: dropping %d bytes; %s\n", fname,
                    static_cast<int>(bytes), s.ToString().c_str());
+      // Replay drops are data loss the client already survived a crash
+      // for; surface them so operators see how much the WAL gave up.
+      metrics->counter("wal.corruption_records")->Increment();
+      metrics->counter("wal.corruption_bytes")
+          ->Increment(static_cast<uint64_t>(bytes));
       if (this->status != nullptr && this->status->ok()) *this->status = s;
     }
   };
@@ -477,6 +496,7 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
   LogReporter reporter;
   reporter.fname = fname.c_str();
   reporter.status = (options_.paranoid_checks ? &status : nullptr);
+  reporter.metrics = metrics_;
   // We intentionally make log::Reader do checksumming even if
   // paranoid_checks==false so that corruptions cause entire commits
   // to be skipped instead of propagating bad information.
@@ -588,8 +608,7 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base,
         }
       }
     }
-    edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
-                  meta.largest);
+    edit->AddFile(level, meta);  // Carries the flush-time checksum.
   }
 
   CompactionStats stats;
@@ -917,6 +936,20 @@ void DBImpl::MaybeScheduleCompaction() {
     scheduler_->ScheduleFlush(&DBImpl::BGFlushWork, this);
   }
 
+  // Scrub lane: start an integrity cycle opportunistically once the
+  // configured interval has elapsed. There is no dedicated timer
+  // thread — any background activity (writes, finished jobs) reaches
+  // this point often enough for a wall-clock check; deterministic
+  // callers use DB::ScrubNow() instead.
+  if (options_.scrub_interval_seconds > 0 && !scheduler_->scrub_scheduled() &&
+      !scrub_cycle_active_) {
+    const uint64_t interval_micros =
+        uint64_t{options_.scrub_interval_seconds} * 1000000;
+    if (env_->NowMicros() - last_scrub_micros_ >= interval_micros) {
+      scheduler_->ScheduleScrub(&DBImpl::BGScrubWork, this);
+    }
+  }
+
   // Compaction workers: dispatch only as many as could actually claim a
   // disjoint level pair right now. Idle already-scheduled workers count
   // against the demand so a burst of triggers does not stampede the
@@ -945,6 +978,340 @@ void DBImpl::BGFlushWork(void* db) {
 
 void DBImpl::BGCompactionWork(void* db) {
   reinterpret_cast<DBImpl*>(db)->BackgroundCompactionCall();
+}
+
+void DBImpl::BGScrubWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundScrubCall();
+}
+
+void DBImpl::BackgroundScrubCall() {
+  MutexLock l(&mutex_);
+  assert(scheduler_->scrub_scheduled());
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // No more background work when shutting down.
+  } else if (!bg_error_.ok()) {
+    // No more background work after a background error.
+  } else if (!scrub_cycle_active_) {
+    // Environmental cycle errors went through RecordBackgroundError
+    // already; nothing extra to do with the return here.
+    RunScrubCycle().IgnoreError();
+  }
+  scheduler_->ScrubFinished();
+  PumpRateLimiterMetrics();
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.SignalAll();
+}
+
+Status DBImpl::ScrubNow() {
+  MutexLock l(&mutex_);
+  // One cycle at a time: wait out a background cycle (or another
+  // ScrubNow) rather than interleaving two walks over the same tables.
+  while (scheduler_->scrub_scheduled() || scrub_cycle_active_) {
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      return Status::IOError("Shutting down");
+    }
+    background_work_finished_signal_.Wait();
+  }
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return Status::IOError("Shutting down");
+  }
+  if (!bg_error_.ok() && bg_error_severity_ == BgErrorSeverity::kHard) {
+    return bg_error_;
+  }
+  return RunScrubCycle();
+}
+
+bool DBImpl::TableIsLive(uint64_t number) {
+  // Requires mutex_ held.
+  Version* v = versions_->current();
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const FileMetaData* f : v->files(level)) {
+      if (f->number == number) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status DBImpl::RunScrubCycle() {
+  // Requires mutex_ held; drops it around all file I/O.
+  assert(!scrub_cycle_active_);
+  scrub_cycle_active_ = true;
+  const uint64_t start_micros = env_->NowMicros();
+  last_scrub_micros_ = start_micros;
+
+  // Leftover quarantined files first: a compaction-detected corruption
+  // whose repair could not run yet, or a repair that failed last cycle.
+  // Repair is the only way out of quarantine.
+  for (uint64_t number : versions_->quarantine()->Snapshot()) {
+    if (shutting_down_.load(std::memory_order_acquire)) break;
+    RepairQuarantinedFile(number);
+  }
+
+  Version* base = versions_->current();
+  base->Ref();
+  std::vector<ScrubItem> items = IntegrityScrubber::BuildWorkList(base);
+  base->Unref();
+
+  obs::ScrubCycleInfo cycle;
+  Status cycle_status;
+  for (const ScrubItem& item : items) {
+    if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
+      break;
+    }
+    if (versions_->quarantine()->Contains(item.number)) {
+      continue;  // A repair already owns it.
+    }
+    uint64_t bytes = 0;
+    Status s;
+    {
+      mutex_.Unlock();
+      s = IntegrityScrubber::VerifyItem(env_, options_, dbname_,
+                                        &internal_comparator_,
+                                        options_.rate_limiter, item, &bytes);
+      mutex_.Lock();
+    }
+    if (!s.ok() && !TableIsLive(item.number)) {
+      continue;  // Compacted away while the mutex was down; stale item.
+    }
+    cycle.files_scanned++;
+    cycle.bytes_scanned += bytes;
+    metrics_->counter("scrub.files_verified")->Increment();
+    metrics_->counter("scrub.bytes_verified")->Increment(bytes);
+    if (s.IsCorruption()) {
+      cycle.corruptions_found++;
+      if (HandleCorruptTable(item.number, "scrub", s)) {
+        RepairQuarantinedFile(item.number);
+      }
+    } else if (!s.ok()) {
+      // Environmental (I/O) failure on a live table: end the cycle and
+      // let the error machinery decide (soft errors auto-resume).
+      cycle_status = s;
+      RecordBackgroundError(s);
+      break;
+    }
+  }
+
+  cycle.micros = env_->NowMicros() - start_micros;
+  metrics_->counter("scrub.cycles")->Increment();
+  trace_.RecordInstant(
+      "scrub_cycle", "db", obs::TraceNowMicros(), 0,
+      {{"files", std::to_string(cycle.files_scanned)},
+       {"corruptions", std::to_string(cycle.corruptions_found)}});
+  if (notifier_.active()) {
+    const obs::ScrubCycleInfo info = cycle;
+    mutex_.Unlock();
+    notifier_.NotifyScrubCompleted(info);
+    mutex_.Lock();
+  }
+  scrub_cycle_active_ = false;
+  background_work_finished_signal_.SignalAll();
+  return cycle_status;
+}
+
+bool DBImpl::HandleCorruptTable(uint64_t number, const char* source,
+                                const Status& s) {
+  // Requires mutex_ held; drops it for listener callbacks.
+  if (versions_->quarantine()->Contains(number)) {
+    return false;  // Already contained; a repair owns it.
+  }
+  // Locate the file's current level — it may have trivially moved since
+  // detection — and confirm it is still live.
+  int level = -1;
+  uint64_t file_size = 0;
+  Version* v = versions_->current();
+  for (int l = 0; l < kNumLevels && level < 0; l++) {
+    for (const FileMetaData* f : v->files(l)) {
+      if (f->number == number) {
+        level = l;
+        file_size = f->file_size;
+        break;
+      }
+    }
+  }
+  if (level < 0) {
+    return false;  // Compacted away in the meantime; nothing to contain.
+  }
+  versions_->quarantine()->Add(number);
+  metrics_->counter("scrub.corruptions_detected")->Increment();
+  metrics_->gauge("integrity.quarantined_files")
+      ->Set(static_cast<int64_t>(versions_->quarantine()->size()));
+  // Drop any cached handle so no reader keeps serving blocks cached
+  // from the bad bytes before detection.
+  table_cache_->Evict(number);
+  trace_.RecordInstant("corruption", "db", obs::TraceNowMicros(), 0,
+                       {{"file", std::to_string(number)},
+                        {"level", std::to_string(level)},
+                        {"source", obs::TraceRecorder::Quote(source)}});
+  if (notifier_.active()) {
+    obs::CorruptionInfo info;
+    info.file_number = number;
+    info.level = level;
+    info.file_size = file_size;
+    info.source = source;
+    info.status = s;
+    obs::FileQuarantineInfo qinfo;
+    qinfo.file_number = number;
+    qinfo.level = level;
+    mutex_.Unlock();
+    notifier_.NotifyCorruptionDetected(info);
+    notifier_.NotifyFileQuarantined(qinfo);
+    mutex_.Lock();
+  }
+  return true;
+}
+
+void DBImpl::RepairQuarantinedFile(uint64_t number) {
+  // Requires mutex_ held; drops it during salvage I/O.
+  if (!versions_->quarantine()->Contains(number)) {
+    return;
+  }
+  // Locate the live entry; a file no longer in the current version has
+  // nothing left to repair, so just lift the quarantine.
+  int level = -1;
+  FileMetaData meta;
+  {
+    Version* v = versions_->current();
+    for (int l = 0; l < kNumLevels && level < 0; l++) {
+      for (const FileMetaData* f : v->files(l)) {
+        if (f->number == number) {
+          level = l;
+          meta = *f;
+          break;
+        }
+      }
+    }
+  }
+  if (level < 0) {
+    versions_->quarantine()->Remove(number);
+    metrics_->gauge("integrity.quarantined_files")
+        ->Set(static_cast<int64_t>(versions_->quarantine()->size()));
+    return;
+  }
+
+  // Claim the level: no concurrent compaction, flush install, or other
+  // repair may add or remove level-`level` files while the swap edit is
+  // in flight. Whoever holds the level signals when it finishes.
+  while (!scheduler_->RepairLevelFree(level)) {
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      return;  // Stays quarantined; reads keep routing around it.
+    }
+    background_work_finished_signal_.Wait();
+  }
+  scheduler_->BeginRepair(level);
+
+  const uint64_t salvage_number = versions_->NewFileNumber();
+  pending_outputs_.insert(salvage_number);
+  const std::string src = TableFileName(dbname_, number);
+  const std::string dst = TableFileName(dbname_, salvage_number);
+
+  SalvageResult salvage;
+  Status s;
+  {
+    mutex_.Unlock();
+    s = SalvageTable(env_, options_, src, meta.file_size, dst, &salvage);
+    mutex_.Lock();
+  }
+
+  Status install;
+  bool manifest_attempted = false;
+  if (s.ok() || s.IsCorruption()) {
+    // Either some blocks were rescued (swap in the salvage table) or
+    // the source is a total loss — unreadable footer/index — and plain
+    // removal is the repair. Both drop the corrupt file from the
+    // version in one atomic edit.
+    VersionEdit edit;
+    edit.RemoveFile(level, number);
+    if (s.ok() && !salvage.empty) {
+      FileMetaData f;
+      f.number = salvage_number;
+      f.file_size = salvage.file_size;
+      f.smallest.DecodeFrom(salvage.smallest);
+      f.largest.DecodeFrom(salvage.largest);
+      f.file_checksum = salvage.file_checksum;
+      f.has_file_checksum = true;
+      edit.AddFile(level, f);
+    }
+    manifest_attempted = true;
+    install = LogAndApplyLocked(&edit);
+  } else {
+    install = s;  // Environmental failure; retry on a later cycle.
+  }
+
+  pending_outputs_.erase(salvage_number);
+  if (install.ok()) {
+    versions_->quarantine()->Remove(number);
+    metrics_->gauge("integrity.quarantined_files")
+        ->Set(static_cast<int64_t>(versions_->quarantine()->size()));
+    metrics_->counter("integrity.repairs")->Increment();
+    trace_.RecordInstant(
+        "repair", "db", obs::TraceNowMicros(), 0,
+        {{"file", std::to_string(number)},
+         {"level", std::to_string(level)},
+         {"salvaged_entries", std::to_string(salvage.entries)},
+         {"dropped_blocks", std::to_string(salvage.dropped_blocks)}});
+    // The corrupt physical file is unreferenced now; reclaim it.
+    RemoveObsoleteFiles();
+  } else {
+    metrics_->counter("integrity.repair_failures")->Increment();
+    // Scrap any partial salvage output; the quarantine stays in place
+    // so reads keep routing around the damage.
+    mutex_.Unlock();
+    env_->RemoveFile(dst).IgnoreError();
+    mutex_.Lock();
+    if (manifest_attempted) {
+      // A failed MANIFEST write is beyond containment's remit.
+      RecordBackgroundError(install);
+    }
+  }
+  scheduler_->EndRepair(level);
+  background_work_finished_signal_.SignalAll();
+}
+
+void DBImpl::ContainCompactionCorruption(Compaction* c, const Status& s,
+                                         std::vector<uint64_t>* to_repair) {
+  // Requires mutex_ held; drops it around verification I/O. Snapshot
+  // the input list first — the file metadata stays pinned by the
+  // compaction's input version, but verification releases the mutex.
+  std::vector<ScrubItem> items;
+  for (int which = 0; which < 2; which++) {
+    for (const FileMetaData* f : c->inputs(which)) {
+      ScrubItem item;
+      item.level = c->level() + which;
+      item.number = f->number;
+      item.file_size = f->file_size;
+      item.has_file_checksum = f->has_file_checksum;
+      item.file_checksum = f->file_checksum;
+      item.smallest = f->smallest.Encode().ToString();
+      item.largest = f->largest.Encode().ToString();
+      items.push_back(std::move(item));
+    }
+  }
+  bool any_corrupt = false;
+  for (const ScrubItem& item : items) {
+    if (shutting_down_.load(std::memory_order_acquire)) return;
+    Status vs;
+    {
+      mutex_.Unlock();
+      vs = IntegrityScrubber::VerifyItem(env_, options_, dbname_,
+                                         &internal_comparator_,
+                                         options_.rate_limiter, item, nullptr);
+      mutex_.Lock();
+    }
+    if (vs.IsCorruption()) {
+      any_corrupt = true;
+      if (HandleCorruptTable(item.number, "compaction", vs)) {
+        to_repair->push_back(item.number);
+      }
+    }
+  }
+  if (!any_corrupt) {
+    // No input failed re-verification: the corruption came from
+    // somewhere containment cannot own (e.g. a torn fresh output).
+    // Fall back to the classic sticky background error.
+    RecordBackgroundError(s);
+  }
 }
 
 void DBImpl::BackgroundFlushCall() {
@@ -1018,6 +1385,7 @@ void DBImpl::BackgroundCompaction() {
   }
 
   Status status;
+  std::vector<uint64_t> to_repair;
   if (c == nullptr) {
     // Nothing claimable right now (other jobs own the hot levels).
   } else {
@@ -1030,15 +1398,22 @@ void DBImpl::BackgroundCompaction() {
       metrics_->counter("db.compaction.trivial_moves")->Increment();
       FileMetaData* f = c->input(0, 0);
       c->edit()->RemoveFile(c->level(), f->number);
-      c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
-                         f->largest);
+      c->edit()->AddFile(c->level() + 1, *f);  // Checksum moves with it.
       status = LogAndApplyLocked(c->edit());
       if (!status.ok()) {
         RecordBackgroundError(status);
       }
     } else {
       status = DoCompactionWork(c);
-      if (!status.ok()) {
+      if (status.IsCorruption() &&
+          !shutting_down_.load(std::memory_order_acquire)) {
+        // The merge tripped over a damaged input. Contain instead of
+        // poisoning the DB with a sticky hard error: quarantine the
+        // corrupt inputs and repair them below, once this job's level
+        // claim is released (the repair needs to claim the level too).
+        ContainCompactionCorruption(c, status, &to_repair);
+        status = Status::OK();
+      } else if (!status.ok()) {
         RecordBackgroundError(status);
       }
       c->ReleaseInputs();
@@ -1047,6 +1422,10 @@ void DBImpl::BackgroundCompaction() {
     scheduler_->EndCompaction(c->level());
   }
   delete c;
+
+  for (uint64_t number : to_repair) {
+    RepairQuarantinedFile(number);
+  }
 
   if (status.ok()) {
     // Done.
@@ -1481,7 +1860,12 @@ Status DBImpl::DoCompactionWork(Compaction* c) {
   }
 
   if (!status.ok()) {
-    RecordBackgroundError(status);
+    // Corruption is NOT recorded here: the caller re-verifies the
+    // inputs and either contains it (quarantine + repair) or records it
+    // itself when no input is actually damaged.
+    if (!status.IsCorruption()) {
+      RecordBackgroundError(status);
+    }
     // Clean up files we created (best effort; some may not exist).
     mutex_.Unlock();
     for (uint64_t number : allocated_numbers) {
@@ -1513,8 +1897,14 @@ Status DBImpl::InstallCompactionResults(
   c->AddInputDeletions(c->edit());
   const int level = c->level();
   for (const CompactionOutput& out : outputs) {
-    c->edit()->AddFile(level + 1, out.number, out.file_size, out.smallest,
-                       out.largest);
+    FileMetaData f;
+    f.number = out.number;
+    f.file_size = out.file_size;
+    f.smallest = out.smallest;
+    f.largest = out.largest;
+    f.file_checksum = out.file_checksum;
+    f.has_file_checksum = out.has_file_checksum;
+    c->edit()->AddFile(level + 1, f);
   }
   return LogAndApplyLocked(c->edit());
 }
@@ -1586,6 +1976,21 @@ Iterator* DBImpl::TEST_NewInternalIterator() {
 int64_t DBImpl::TEST_MaxNextLevelOverlappingBytes() {
   MutexLock l(&mutex_);
   return versions_->MaxNextLevelOverlappingBytes();
+}
+
+void DBImpl::TEST_QuarantineFile(uint64_t number) {
+  MutexLock l(&mutex_);
+  versions_->quarantine()->Add(number);
+  metrics_->gauge("integrity.quarantined_files")
+      ->Set(static_cast<int64_t>(versions_->quarantine()->size()));
+  table_cache_->Evict(number);
+}
+
+void DBImpl::TEST_UnquarantineFile(uint64_t number) {
+  MutexLock l(&mutex_);
+  versions_->quarantine()->Remove(number);
+  metrics_->gauge("integrity.quarantined_files")
+      ->Set(static_cast<int64_t>(versions_->quarantine()->size()));
 }
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
@@ -2269,6 +2674,12 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
             resume_attempts_,
             bg_error_.ok() ? "OK" : bg_error_.ToString().c_str());
     return true;
+  } else if (in == Slice("num-quarantined-files")) {
+    // Corruption-containment state (DESIGN.md §14): how many live
+    // tables reads are currently routing around while repair runs.
+    AppendF(value, "%llu",
+            static_cast<unsigned long long>(versions_->quarantine()->size()));
+    return true;
   } else if (in == Slice("scheduler")) {
     // One line of parallel-compaction state: worker occupancy, claimed
     // level pairs, flush lane, and lifetime job counters (DESIGN.md §8).
@@ -2351,6 +2762,10 @@ DB::~DB() = default;
 
 Status DB::Resume() {
   return Status::NotSupported("Resume not implemented by this DB");
+}
+
+Status DB::ScrubNow() {
+  return Status::NotSupported("ScrubNow not implemented by this DB");
 }
 
 Status DB::Open(const Options& options, const std::string& dbname,

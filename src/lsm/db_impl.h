@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "lsm/compaction_executor.h"
 #include "lsm/compaction_scheduler.h"
@@ -54,6 +55,7 @@ class DBImpl : public DB {
   void GetApproximateSizes(const Range* range, int n, uint64_t* sizes) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
   Status Resume() override;
+  Status ScrubNow() override;
 
   // Extra methods (for testing and benchmarking).
 
@@ -71,6 +73,12 @@ class DBImpl : public DB {
   /// Returns an internal iterator over the current state of the
   /// database.
   Iterator* TEST_NewInternalIterator();
+
+  /// Directly quarantines / unquarantines a table file, bypassing
+  /// detection. Containment-window tests use this to pin a file in the
+  /// quarantined state (no repair runs) and observe read routing.
+  void TEST_QuarantineFile(uint64_t number);
+  void TEST_UnquarantineFile(uint64_t number);
 
   /// Returns the maximum overlapping data (in bytes) at next level for
   /// any file at a level >= 1.
@@ -194,9 +202,50 @@ class DBImpl : public DB {
   void MaybeScheduleCompaction() REQUIRES(mutex_);
   static void BGFlushWork(void* db);
   static void BGCompactionWork(void* db);
+  static void BGScrubWork(void* db);
   void BackgroundFlushCall();
   void BackgroundCompactionCall();
+  void BackgroundScrubCall();
   void BackgroundCompaction() REQUIRES(mutex_);
+
+  // --- Integrity scrubbing and corruption containment (DESIGN.md §14).
+
+  /// One full scrub cycle: repairs any leftover quarantined files, then
+  /// verifies every live table (whole-file checksum vs the manifest,
+  /// block CRCs, key order, bounds), quarantining and repairing
+  /// failures as it finds them. Drops mutex_ around all file I/O; the
+  /// scrub_cycle_active_ flag keeps cycles from interleaving. Returns
+  /// the first environmental (non-corruption) error, or OK — corruption
+  /// found and healed is still OK.
+  Status RunScrubCycle() REQUIRES(mutex_);
+
+  /// True iff `number` is a table in the current version.
+  bool TableIsLive(uint64_t number) REQUIRES(mutex_);
+
+  /// Contains a detected-corrupt table: quarantines it (reads route
+  /// around it from here on), evicts its cached handle, and emits the
+  /// corruption/quarantine events and metrics. `source` names the
+  /// detector ("scrub", "compaction"). Returns true iff the file was
+  /// live and newly quarantined — the caller then owes it a
+  /// RepairQuarantinedFile call. Drops mutex_ for listener callbacks.
+  bool HandleCorruptTable(uint64_t number, const char* source,
+                          const Status& s) REQUIRES(mutex_);
+
+  /// Repairs one quarantined table: claims its level, salvages the
+  /// clean blocks into a fresh table (dropping the damaged ones),
+  /// installs the swap in one version edit, and lifts the quarantine.
+  /// On salvage failure the file stays quarantined for a later cycle;
+  /// the DB keeps running either way. Drops mutex_ during salvage I/O.
+  void RepairQuarantinedFile(uint64_t number) REQUIRES(mutex_);
+
+  /// Corruption containment for a failed compaction: re-verifies every
+  /// input file, quarantines the damaged ones (appending them to
+  /// *to_repair for the caller to repair once the compaction's level
+  /// claim is released), and only falls back to a sticky background
+  /// error when no input actually fails verification.
+  void ContainCompactionCorruption(Compaction* c, const Status& s,
+                                   std::vector<uint64_t>* to_repair)
+      REQUIRES(mutex_);
   void CleanupCompaction(CompactionState* compact) REQUIRES(mutex_);
 
   /// True iff a newly dispatched worker could claim a compaction now
@@ -322,6 +371,12 @@ class DBImpl : public DB {
   // Background-error state (see ClassifyBackgroundError): the error, its
   // severity, and auto-resume bookkeeping. resume_scheduled_ is also the
   // destructor's drain condition for the resume worker.
+  // Integrity-scrub state (DESIGN.md §14): at most one cycle runs at a
+  // time — scrub_cycle_active_ serializes the background scrub lane
+  // against DB::ScrubNow() callers (both drop mutex_ mid-cycle).
+  bool scrub_cycle_active_ GUARDED_BY(mutex_) = false;
+  uint64_t last_scrub_micros_ GUARDED_BY(mutex_) = 0;
+
   Status bg_error_ GUARDED_BY(mutex_);
   BgErrorSeverity bg_error_severity_ GUARDED_BY(mutex_) = BgErrorSeverity::kNone;
   int resume_attempts_ GUARDED_BY(mutex_) = 0;

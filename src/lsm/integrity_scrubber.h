@@ -1,0 +1,61 @@
+#ifndef FCAE_LSM_INTEGRITY_SCRUBBER_H_
+#define FCAE_LSM_INTEGRITY_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fcae {
+
+class Env;
+class InternalKeyComparator;
+class RateLimiter;
+class Version;
+struct Options;
+
+/// One table to verify: a value snapshot of its manifest facts, taken
+/// under the DB mutex so verification can run with the mutex released.
+/// By the time a file is verified the version may have moved on — the
+/// driver re-checks liveness before acting on a failure.
+struct ScrubItem {
+  int level = -1;
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  bool has_file_checksum = false;
+  uint32_t file_checksum = 0;
+  std::string smallest;  // Encoded internal key (manifest lower bound).
+  std::string largest;   // Encoded internal key (manifest upper bound).
+};
+
+/// Work-list builder and per-file verifier behind the background
+/// integrity scrubber (DESIGN.md §14). Stateless: the DB drives one
+/// cycle at a time on the scheduler's scrub lane, interleaving
+/// BuildWorkList (mutex held) with VerifyItem calls (mutex released).
+class IntegrityScrubber {
+ public:
+  /// Snapshots every live table of `v` into self-contained verify
+  /// items, shallowest level first. Caller must hold the DB mutex (the
+  /// Version file lists are guarded by it) and keep `v` referenced only
+  /// for the duration of this call.
+  static std::vector<ScrubItem> BuildWorkList(const Version* v);
+
+  /// Verifies one table end to end: size vs manifest, whole-file
+  /// checksum (when recorded), per-block CRCs, key order, and manifest
+  /// bounds. Runs without the DB mutex; reads ride `limiter`'s
+  /// low-priority lane when non-null. Returns Corruption for integrity
+  /// failures, other codes for environmental errors (e.g. the file was
+  /// compacted away mid-verify). `bytes_verified` (nullable) receives
+  /// the file size on any outcome that read the file.
+  [[nodiscard]] static Status VerifyItem(Env* env, const Options& options,
+                                         const std::string& dbname,
+                                         const InternalKeyComparator* icmp,
+                                         RateLimiter* limiter,
+                                         const ScrubItem& item,
+                                         uint64_t* bytes_verified);
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_INTEGRITY_SCRUBBER_H_

@@ -1,0 +1,67 @@
+#ifndef FCAE_LSM_QUARANTINE_H_
+#define FCAE_LSM_QUARANTINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fcae {
+
+/// The set of table file numbers currently quarantined for detected
+/// corruption (DESIGN.md §14). A quarantined file stays in the Version
+/// — removing it is the repair job's one atomic edit — but the read
+/// path routes around it: point lookups skip it (and report Corruption
+/// only when no clean source could serve the key) and iterators treat
+/// it as empty; the compaction picker refuses to consume it as input.
+///
+/// Internally synchronized because the read path consults it without
+/// the DB mutex. Contains() is a single relaxed atomic load while the
+/// set is empty — the permanent state of a healthy DB — so the hot
+/// read path pays nothing for the feature.
+class QuarantineSet {
+ public:
+  QuarantineSet() = default;
+  QuarantineSet(const QuarantineSet&) = delete;
+  QuarantineSet& operator=(const QuarantineSet&) = delete;
+
+  bool Contains(uint64_t file_number) const {
+    if (count_.load(std::memory_order_acquire) == 0) {
+      return false;
+    }
+    MutexLock lock(&mu_);
+    return files_.count(file_number) > 0;
+  }
+
+  void Add(uint64_t file_number) {
+    MutexLock lock(&mu_);
+    files_.insert(file_number);
+    count_.store(files_.size(), std::memory_order_release);
+  }
+
+  void Remove(uint64_t file_number) {
+    MutexLock lock(&mu_);
+    files_.erase(file_number);
+    count_.store(files_.size(), std::memory_order_release);
+  }
+
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  std::vector<uint64_t> Snapshot() const {
+    MutexLock lock(&mu_);
+    return std::vector<uint64_t>(files_.begin(), files_.end());
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::atomic<size_t> count_{0};
+  std::set<uint64_t> files_ GUARDED_BY(mu_);
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_LSM_QUARANTINE_H_

@@ -184,10 +184,14 @@ class Repairer {
     t.meta.file_size = file_size;
 
     if (status.ok()) {
-      // Extract metadata by scanning through table.
+      // Extract metadata by scanning through table. Salvage must not
+      // resurrect rotten bytes, so block CRCs are always verified here
+      // regardless of Options::paranoid_checks.
+      ReadOptions scan_options;
+      scan_options.verify_checksums = true;
       int counter = 0;
       Iterator* iter = table_cache_->NewIterator(
-          ReadOptions(), t.meta.number, t.meta.file_size);
+          scan_options, t.meta.number, t.meta.file_size);
       bool empty = true;
       ParsedInternalKey parsed;
       t.max_sequence = 0;
@@ -257,8 +261,7 @@ class Repairer {
       // level 0 is the only level allowed to overlap. Normal
       // compaction re-sorts them over time.
       const TableInfo& t = tables_[i];
-      edit.AddFile(0, t.meta.number, t.meta.file_size, t.meta.smallest,
-                   t.meta.largest);
+      edit.AddFile(0, t.meta);
     }
 
     {

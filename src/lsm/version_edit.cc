@@ -18,7 +18,16 @@ enum Tag : uint32_t {
   kCompactPointer = 5,
   kDeletedFile = 6,
   kNewFile = 7,
+  // Tags >= kFileChecksum carry a single length-prefixed payload and are
+  // *skippable*: a decoder that does not understand one steps over the
+  // payload instead of failing, so newer writers stay readable by older
+  // code (the forward-compatibility convention; tags 1..7 predate it and
+  // keep their bare encodings).
+  kFileChecksum = 8,
 };
+
+// First tag encoded under the skippable length-prefixed convention.
+constexpr uint32_t kFirstSkippableTag = kFileChecksum;
 
 bool GetInternalKey(Slice* input, InternalKey* dst) {
   Slice str;
@@ -91,6 +100,17 @@ void VersionEdit::EncodeTo(std::string* dst) const {
     PutVarint64(dst, f.file_size);
     PutLengthPrefixedSlice(dst, f.smallest.Encode());
     PutLengthPrefixedSlice(dst, f.largest.Encode());
+    if (f.has_file_checksum) {
+      // Emitted as a separate skippable record directly after its file
+      // (rather than widening kNewFile) so pre-checksum decoders still
+      // read the file entry and merely lose the checksum.
+      PutVarint32(dst, kFileChecksum);
+      std::string payload;
+      PutVarint32(&payload, nf.first);  // level
+      PutVarint64(&payload, f.number);
+      PutVarint32(&payload, f.file_checksum);
+      PutLengthPrefixedSlice(dst, payload);
+    }
   }
 }
 
@@ -169,8 +189,36 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
         }
         break;
 
+      case kFileChecksum:
+        if (GetLengthPrefixedSlice(&input, &str)) {
+          uint32_t crc;
+          if (GetLevel(&str, &level) && GetVarint64(&str, &number) &&
+              GetVarint32(&str, &crc)) {
+            // Attach to the matching file entry (the writer emits the
+            // checksum record right after its kNewFile). A record with
+            // no matching entry is ignored, not an error — the skippable
+            // convention means unmatched records must stay harmless.
+            for (auto& nf : new_files_) {
+              if (nf.first == level && nf.second.number == number) {
+                nf.second.file_checksum = crc;
+                nf.second.has_file_checksum = true;
+                break;
+              }
+            }
+          } else {
+            msg = "file checksum";
+          }
+        } else {
+          msg = "file checksum";
+        }
+        break;
+
       default:
-        msg = "unknown tag";
+        if (tag >= kFirstSkippableTag && GetLengthPrefixedSlice(&input, &str)) {
+          // A skippable record from a newer writer: step over it.
+        } else {
+          msg = "unknown tag";
+        }
         break;
     }
   }
@@ -204,6 +252,9 @@ std::string VersionEdit::DebugString() const {
     ss << "\n  AddFile: " << nf.first << " " << nf.second.number << " "
        << nf.second.file_size << " " << nf.second.smallest.DebugString()
        << " .. " << nf.second.largest.DebugString();
+    if (nf.second.has_file_checksum) {
+      ss << " crc32c=" << nf.second.file_checksum;
+    }
   }
   ss << "\n}\n";
   return ss.str();

@@ -22,6 +22,12 @@ struct FileMetaData {
   uint64_t file_size;    // File size in bytes.
   InternalKey smallest;  // Smallest internal key served by table.
   InternalKey largest;   // Largest internal key served by table.
+  // Whole-file crc32c captured at install time (DESIGN.md §14). Ground
+  // truth for the scrubber; absent for files installed before the
+  // checksum tag existed (has_file_checksum == false), which the
+  // scrubber treats as "verify block CRCs only".
+  uint32_t file_checksum = 0;
+  bool has_file_checksum = false;
 };
 
 /// A VersionEdit is a delta applied to a Version to produce the next
@@ -63,6 +69,14 @@ class VersionEdit {
     f.file_size = file_size;
     f.smallest = smallest;
     f.largest = largest;
+    new_files_.push_back(std::make_pair(level, f));
+  }
+
+  /// Adds a file carrying full metadata (including any recorded
+  /// whole-file checksum). Used when re-installing an existing file —
+  /// trivial moves, manifest snapshots — so the checksum survives the
+  /// re-encode, and by install sites that captured a checksum.
+  void AddFile(int level, const FileMetaData& f) {
     new_files_.push_back(std::make_pair(level, f));
   }
 

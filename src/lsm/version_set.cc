@@ -212,17 +212,40 @@ static Iterator* GetFileIterator(void* arg, const ReadOptions& options,
                             DecodeFixed64(file_value.data() + 8));
 }
 
+// User-read flavor of GetFileIterator: routes around quarantined files
+// by presenting them as empty (containment, DESIGN.md §14 — overlapping
+// levels keep serving; the repair job restores the rest). Compaction
+// inputs go through GetFileIterator instead: they must never silently
+// drop data, so the picker refuses quarantined inputs outright.
+static Iterator* GetRoutedFileIterator(void* arg, const ReadOptions& options,
+                                       const Slice& file_value) {
+  VersionSet* vset = reinterpret_cast<VersionSet*>(arg);
+  if (file_value.size() != 16) {
+    return NewErrorIterator(
+        Status::Corruption("FileReader invoked with unexpected value"));
+  }
+  const uint64_t number = DecodeFixed64(file_value.data());
+  if (vset->quarantine()->Contains(number)) {
+    return NewEmptyIterator();
+  }
+  return vset->table_cache()->NewIterator(options, number,
+                                          DecodeFixed64(file_value.data() + 8));
+}
+
 Iterator* Version::NewConcatenatingIterator(const ReadOptions& options,
                                             int level) const {
   return NewTwoLevelIterator(
-      new LevelFileNumIterator(vset_->icmp_, &files_[level]), &GetFileIterator,
-      vset_->table_cache_, options);
+      new LevelFileNumIterator(vset_->icmp_, &files_[level]),
+      &GetRoutedFileIterator, vset_, options);
 }
 
 void Version::AddIterators(const ReadOptions& options,
                            std::vector<Iterator*>* iters) {
   // Merge all level zero files together since they may overlap.
   for (size_t i = 0; i < files_[0].size(); i++) {
+    if (vset_->quarantine_.Contains(files_[0][i]->number)) {
+      continue;  // Routed around until the repair job lands.
+    }
     iters->push_back(vset_->table_cache_->NewIterator(
         options, files_[0][i]->number, files_[0][i]->file_size));
   }
@@ -334,10 +357,21 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
     VersionSet* vset;
     Status s;
     bool found;
+    bool deletion_found;
+    bool saw_quarantined;
 
     static bool Match(void* arg, int level, FileMetaData* f) {
       State* state = reinterpret_cast<State*>(arg);
       FCAE_PERF_COUNT(sst_probes, 1);
+
+      if (state->vset->quarantine()->Contains(f->number)) {
+        // Route around the corrupt file: an older level may still hold
+        // a (possibly stale) clean value. Remember that we skipped it —
+        // if nothing clean serves this key, the honest answer is
+        // Corruption, not NotFound.
+        state->saw_quarantined = true;
+        return true;
+      }
 
       if (state->stats->seek_file == nullptr &&
           state->last_file_read != nullptr) {
@@ -363,6 +397,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
           state->found = true;
           return false;
         case kDeleted:
+          state->deletion_found = true;
           return false;
         case kCorrupt:
           state->s =
@@ -379,6 +414,8 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
 
   State state;
   state.found = false;
+  state.deletion_found = false;
+  state.saw_quarantined = false;
   state.stats = stats;
   state.last_file_read = nullptr;
   state.last_file_read_level = -1;
@@ -394,7 +431,18 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
 
   ForEachOverlapping(state.saver.user_key, state.ikey, &state, &State::Match);
 
-  return state.found ? state.s : Status::NotFound(Slice());
+  if (state.found) {
+    return state.s;
+  }
+  if (state.saw_quarantined && !state.deletion_found) {
+    // No clean source could serve the key and a quarantined file
+    // overlapped it: the key may exist in the corrupt file, so the
+    // honest answer is Corruption (a deletion marker found in a clean
+    // file still wins — it is a definitive clean answer).
+    return Status::Corruption("key overlaps quarantined file",
+                              state.saver.user_key);
+  }
+  return Status::NotFound(Slice());
 }
 
 bool Version::UpdateStats(const GetStats& stats) {
@@ -1083,7 +1131,7 @@ Status VersionSet::WriteSnapshot(log::Writer* log) {
     const std::vector<FileMetaData*>& files = current_->files_[level];
     for (size_t i = 0; i < files.size(); i++) {
       const FileMetaData* f = files[i];
-      edit.AddFile(level, f->number, f->file_size, f->smallest, f->largest);
+      edit.AddFile(level, *f);  // Carries the recorded checksum, if any.
     }
   }
 
@@ -1353,7 +1401,30 @@ Compaction* VersionSet::PickCompaction(uint32_t busy_levels) {
 
   SetupOtherInputs(c);
 
+  if (InputsQuarantined(c)) {
+    // A quarantined input belongs to the repair job, not to compaction:
+    // merging it would either propagate corrupt bytes into level+1 or
+    // fail mid-merge. Skip this pick; the level becomes claimable again
+    // once the repair edit lands.
+    delete c;
+    return nullptr;
+  }
+
   return c;
+}
+
+bool VersionSet::InputsQuarantined(const Compaction* c) const {
+  if (quarantine_.empty()) {
+    return false;
+  }
+  for (int which = 0; which < 2; which++) {
+    for (const FileMetaData* f : c->inputs_[which]) {
+      if (quarantine_.Contains(f->number)) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 void VersionSet::SetupOtherInputs(Compaction* c) {
@@ -1440,6 +1511,11 @@ Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
   c->input_version_->Ref();
   c->inputs_[0] = inputs;
   SetupOtherInputs(c);
+  if (InputsQuarantined(c)) {
+    // Same rule as PickCompaction: the repair job owns these files.
+    delete c;
+    return nullptr;
+  }
   return c;
 }
 

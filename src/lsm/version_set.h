@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "lsm/dbformat.h"
+#include "lsm/quarantine.h"
 #include "lsm/version_edit.h"
 #include "util/mutex.h"
 #include "util/options.h"
@@ -288,6 +289,17 @@ class VersionSet {
   TableCache* table_cache() const { return table_cache_; }
   const std::string& dbname() const { return dbname_; }
 
+  /// Files quarantined for detected corruption (DESIGN.md §14). Unlike
+  /// the rest of VersionSet this is internally synchronized: the read
+  /// path consults it without the DB mutex.
+  QuarantineSet* quarantine() { return &quarantine_; }
+  const QuarantineSet* quarantine() const { return &quarantine_; }
+
+  /// True iff any of `c`'s input files is currently quarantined. Such a
+  /// compaction must not run: it would either merge corrupt bytes into
+  /// a deeper level or fail mid-merge; the repair job owns those files.
+  bool InputsQuarantined(const Compaction* c) const;
+
  private:
   class Builder;
 
@@ -337,6 +349,9 @@ class VersionSet {
   // Per-level key at which the next compaction at that level should
   // start. Either an empty string, or a valid InternalKey.
   std::string compact_pointer_[kNumLevels];
+
+  // Corruption containment state; see quarantine().
+  QuarantineSet quarantine_;
 };
 
 /// A Compaction encapsulates information about a compaction: the level,

@@ -71,5 +71,18 @@ void EventNotifier::NotifyDeviceHealthChange(
   for (EventListener* l : listeners_) l->OnDeviceHealthChange(info);
 }
 
+void EventNotifier::NotifyCorruptionDetected(const CorruptionInfo& info) const {
+  for (EventListener* l : listeners_) l->OnCorruptionDetected(info);
+}
+
+void EventNotifier::NotifyFileQuarantined(
+    const FileQuarantineInfo& info) const {
+  for (EventListener* l : listeners_) l->OnFileQuarantined(info);
+}
+
+void EventNotifier::NotifyScrubCompleted(const ScrubCycleInfo& info) const {
+  for (EventListener* l : listeners_) l->OnScrubCompleted(info);
+}
+
 }  // namespace obs
 }  // namespace fcae

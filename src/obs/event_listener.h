@@ -72,6 +72,34 @@ struct DeviceHealthChangeInfo {
   int consecutive_failures = 0;
 };
 
+/// A table failed an integrity check (DESIGN.md §14) — raised by the
+/// background scrubber, a compaction that tripped over a bad input, or
+/// any other detector, always before the file is quarantined.
+struct CorruptionInfo {
+  uint64_t file_number = 0;
+  int level = -1;
+  uint64_t file_size = 0;
+  /// Which detector found it: "scrub", "compaction", ...
+  std::string source;
+  Status status;  // The corruption status with the stage detail.
+};
+
+/// A corrupt table was quarantined: reads now route around it and a
+/// repair job owns it until the repair edit lands.
+struct FileQuarantineInfo {
+  uint64_t file_number = 0;
+  int level = -1;
+};
+
+/// One full scrub cycle finished examining every live table it set out
+/// to check.
+struct ScrubCycleInfo {
+  uint64_t files_scanned = 0;
+  uint64_t bytes_scanned = 0;
+  uint64_t corruptions_found = 0;
+  uint64_t micros = 0;
+};
+
 /// User callback interface, registered via Options::listeners.
 ///
 /// Threading contract: callbacks fire on DB background or writer
@@ -96,6 +124,9 @@ class EventListener {
   virtual void OnBackgroundError(const BackgroundErrorInfo& info) {}
   virtual void OnBackgroundErrorResumed() {}
   virtual void OnDeviceHealthChange(const DeviceHealthChangeInfo& info) {}
+  virtual void OnCorruptionDetected(const CorruptionInfo& info) {}
+  virtual void OnFileQuarantined(const FileQuarantineInfo& info) {}
+  virtual void OnScrubCompleted(const ScrubCycleInfo& info) {}
 };
 
 /// Fan-out helper the DB and executor share. Holds borrowed listener
@@ -121,6 +152,9 @@ class EventNotifier {
   void NotifyBackgroundError(const BackgroundErrorInfo& info) const;
   void NotifyBackgroundErrorResumed() const;
   void NotifyDeviceHealthChange(const DeviceHealthChangeInfo& info) const;
+  void NotifyCorruptionDetected(const CorruptionInfo& info) const;
+  void NotifyFileQuarantined(const FileQuarantineInfo& info) const;
+  void NotifyScrubCompleted(const ScrubCycleInfo& info) const;
 
  private:
   std::vector<EventListener*> listeners_;

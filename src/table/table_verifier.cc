@@ -1,0 +1,231 @@
+#include "table/table_verifier.h"
+
+#include <memory>
+#include <vector>
+
+#include "table/block.h"
+#include "table/format.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+#include "util/comparator.h"
+#include "util/file_checksum.h"
+
+namespace fcae {
+
+Status VerifyTable(Env* env, const Options& options, const std::string& fname,
+                   const TableVerifySpec& spec, TableVerifyReport* report) {
+  TableVerifyReport local_report;
+  TableVerifyReport* rep = (report != nullptr) ? report : &local_report;
+  *rep = TableVerifyReport();
+
+  // Stage 1: the cheapest possible check — does the file still have the
+  // size the manifest promised?
+  uint64_t actual_size = 0;
+  Status s = env->GetFileSize(fname, &actual_size);
+  if (!s.ok()) {
+    return s;
+  }
+  if (spec.file_size != 0 && actual_size != spec.file_size) {
+    return Status::Corruption(fname, "file size does not match manifest");
+  }
+
+  // Stage 2: whole-file crc32c against the install-time checksum. This
+  // catches any flipped byte anywhere, including regions the structural
+  // pass cannot cover (block trailers, footer padding).
+  if (spec.has_file_checksum) {
+    uint32_t crc = 0;
+    s = ComputeFileChecksum(env, fname, spec.rate_limiter, &crc, &rep->bytes);
+    if (!s.ok()) {
+      return s;
+    }
+    if (crc != spec.file_checksum) {
+      return Status::Corruption(fname,
+                                "whole-file checksum does not match manifest");
+    }
+  }
+
+  // Stage 3: structural scan — footer, index, per-block trailer CRCs,
+  // strict key order, and bounds-vs-manifest invariants.
+  RandomAccessFile* raw_file = nullptr;
+  s = env->NewRandomAccessFile(fname, &raw_file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<RandomAccessFile> file(raw_file);
+  Table* raw_table = nullptr;
+  s = Table::Open(options, file.get(), actual_size, &raw_table);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<Table> table(raw_table);
+
+  const Comparator* cmp =
+      (spec.comparator != nullptr) ? spec.comparator : options.comparator;
+  ReadOptions read_options;
+  read_options.verify_checksums = true;
+  read_options.fill_cache = false;
+  std::unique_ptr<Iterator> iter(table->NewIterator(read_options));
+  std::string prev_key;
+  bool has_prev = false;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    const Slice key = iter->key();
+    if (cmp != nullptr) {
+      if (has_prev && cmp->Compare(Slice(prev_key), key) >= 0) {
+        return Status::Corruption(fname, "keys out of order");
+      }
+      if (!has_prev && !spec.smallest.empty() &&
+          cmp->Compare(key, Slice(spec.smallest)) < 0) {
+        return Status::Corruption(fname, "key below manifest smallest bound");
+      }
+      if (!spec.largest.empty() &&
+          cmp->Compare(key, Slice(spec.largest)) > 0) {
+        return Status::Corruption(fname, "key above manifest largest bound");
+      }
+    }
+    prev_key.assign(key.data(), key.size());
+    has_prev = true;
+    rep->entries++;
+  }
+  return iter->status();
+}
+
+Status SalvageTable(Env* env, const Options& options,
+                    const std::string& src_fname, uint64_t src_file_size,
+                    const std::string& dst_fname, SalvageResult* result) {
+  *result = SalvageResult();
+  const Comparator* cmp = options.comparator;
+
+  RandomAccessFile* raw_file = nullptr;
+  Status s = env->NewRandomAccessFile(src_fname, &raw_file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<RandomAccessFile> file(raw_file);
+
+  if (src_file_size == 0) {
+    s = env->GetFileSize(src_fname, &src_file_size);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (src_file_size < Footer::kEncodedLength) {
+    return Status::Corruption(src_fname, "file too short to be a table");
+  }
+
+  // Footer and index must be readable: they are the map to everything
+  // else. When they are the damaged part there is nothing to salvage —
+  // the caller drops the file and relies on surviving copies.
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  s = file->Read(src_file_size - Footer::kEncodedLength,
+                 Footer::kEncodedLength, &footer_input, footer_space);
+  if (!s.ok()) {
+    return s;
+  }
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) {
+    return s;
+  }
+
+  ReadOptions read_options;
+  read_options.verify_checksums = true;
+  BlockContents index_contents;
+  s = ReadBlock(file.get(), read_options, footer.index_handle(),
+                &index_contents);
+  if (!s.ok()) {
+    return s;
+  }
+  Block index_block(index_contents);
+
+  WritableFile* raw_out = nullptr;
+  s = env->NewWritableFile(dst_fname, &raw_out);
+  if (!s.ok()) {
+    return s;
+  }
+  ChecksumWritableFile* out = new ChecksumWritableFile(raw_out);
+  std::unique_ptr<WritableFile> out_guard(out);
+  TableBuilder builder(options, out);
+
+  std::string last_added;
+  bool has_last_added = false;
+  std::unique_ptr<Iterator> index_iter(index_block.NewIterator(cmp));
+  for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
+    BlockHandle handle;
+    Slice handle_value = index_iter->value();
+    if (!handle.DecodeFrom(&handle_value).ok()) {
+      result->dropped_blocks++;
+      continue;
+    }
+    BlockContents contents;
+    if (!ReadBlock(file.get(), read_options, handle, &contents).ok()) {
+      // Trailer CRC (or the read itself) failed: this block is the rot.
+      result->dropped_blocks++;
+      continue;
+    }
+    Block block(contents);
+    // Admit the block only if *all* of it is clean and in order — a
+    // half-copied block could smuggle garbage past the per-block CRC
+    // (e.g. a corrupt restart array that parses but misorders keys).
+    std::vector<std::pair<std::string, std::string>> entries;
+    std::unique_ptr<Iterator> block_iter(block.NewIterator(cmp));
+    bool block_ok = true;
+    std::string prev = last_added;
+    bool has_prev = has_last_added;
+    for (block_iter->SeekToFirst(); block_iter->Valid(); block_iter->Next()) {
+      const Slice key = block_iter->key();
+      if (has_prev && cmp->Compare(Slice(prev), key) >= 0) {
+        block_ok = false;
+        break;
+      }
+      prev.assign(key.data(), key.size());
+      has_prev = true;
+      entries.emplace_back(key.ToString(), block_iter->value().ToString());
+    }
+    if (!block_ok || !block_iter->status().ok() || entries.empty()) {
+      result->dropped_blocks++;
+      continue;
+    }
+    for (const auto& kv : entries) {
+      builder.Add(Slice(kv.first), Slice(kv.second));
+      if (result->entries == 0) {
+        result->smallest = kv.first;
+      }
+      result->entries++;
+    }
+    last_added = prev;
+    has_last_added = true;
+  }
+  if (!index_iter->status().ok()) {
+    builder.Abandon();
+    return index_iter->status();
+  }
+
+  if (result->entries == 0) {
+    // Nothing rescued: leave no output behind.
+    builder.Abandon();
+    out_guard.reset();
+    env->RemoveFile(dst_fname).IgnoreError();
+    result->empty = true;
+    return Status::OK();
+  }
+
+  result->largest = last_added;
+  s = builder.Finish();
+  if (s.ok()) {
+    result->file_size = builder.FileSize();
+    result->file_checksum = out->checksum();
+    s = out->Sync();
+  }
+  if (s.ok()) {
+    s = out->Close();
+  }
+  if (!s.ok()) {
+    env->RemoveFile(dst_fname).IgnoreError();
+    return s;
+  }
+  result->empty = false;
+  return Status::OK();
+}
+
+}  // namespace fcae

@@ -1,0 +1,84 @@
+#ifndef FCAE_TABLE_TABLE_VERIFIER_H_
+#define FCAE_TABLE_TABLE_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/env.h"
+#include "util/options.h"
+#include "util/rate_limiter.h"
+#include "util/status.h"
+
+namespace fcae {
+
+/// What the scrubber expects a live table to look like, straight from
+/// the manifest. All fields beyond `file_size` are optional; unset
+/// fields simply skip their check.
+struct TableVerifySpec {
+  /// Manifest-recorded size; a mismatch is corruption before any byte
+  /// of content is examined.
+  uint64_t file_size = 0;
+  /// Manifest-recorded whole-file crc32c (absent for files installed
+  /// before checksums were recorded).
+  bool has_file_checksum = false;
+  uint32_t file_checksum = 0;
+  /// Full-key comparator for the order check; in the DB this is the
+  /// InternalKeyComparator. Null skips order and bounds checks.
+  const Comparator* comparator = nullptr;
+  /// Manifest-recorded bounds (encoded internal keys). Empty = skip.
+  std::string smallest;
+  std::string largest;
+  /// When non-null, the whole-file checksum pass charges its reads to
+  /// the low-priority lane so scrubbing yields to real work.
+  RateLimiter* rate_limiter = nullptr;
+};
+
+/// Accounting for one verification pass; valid even when the returned
+/// status is corruption (it then describes how far the pass got).
+struct TableVerifyReport {
+  uint64_t bytes = 0;    // Bytes covered by the whole-file checksum pass.
+  uint64_t entries = 0;  // Entries visited by the structural pass.
+};
+
+/// Verifies one on-disk table against its manifest spec, in escalating
+/// depth (DESIGN.md §14): (1) file size, (2) whole-file crc32c vs the
+/// recorded install-time checksum, (3) a full structural scan — footer,
+/// index, every block's trailer CRC, strict key ordering, and
+/// first/last key within the manifest bounds. Returns OK when all
+/// applicable checks pass and Corruption (with a stage-identifying
+/// message) on the first failure; other status codes mean the file
+/// could not be examined (e.g. IO error), not that it is damaged.
+[[nodiscard]] Status VerifyTable(Env* env, const Options& options,
+                                 const std::string& fname,
+                                 const TableVerifySpec& spec,
+                                 TableVerifyReport* report);
+
+/// What SalvageTable managed to rescue.
+struct SalvageResult {
+  uint64_t entries = 0;        // Entries written to the salvage table.
+  uint64_t dropped_blocks = 0; // Data blocks skipped as unreadable.
+  uint64_t file_size = 0;
+  uint32_t file_checksum = 0;  // Whole-file crc32c of the salvage table.
+  std::string smallest;        // Encoded first/last key of the output
+  std::string largest;         // (empty when nothing was salvaged).
+  bool empty = true;           // No entries survived; no file written.
+};
+
+/// Rescues what is still readable from a corrupt table: walks the index
+/// block, re-reads every data block with its trailer CRC enforced, and
+/// copies entries from clean, correctly-ordered blocks into a fresh
+/// table at `dst_fname` (skipping damaged ones). The salvage output's
+/// key range is a subset of the source's, so it can legally be
+/// re-installed at the same level. Returns non-OK only when nothing can
+/// be rescued at all (unreadable footer/index) or writing the output
+/// fails; when it returns OK with result->empty, no output file exists
+/// and the caller should simply drop the source from the version.
+[[nodiscard]] Status SalvageTable(Env* env, const Options& options,
+                                  const std::string& src_fname,
+                                  uint64_t src_file_size,
+                                  const std::string& dst_fname,
+                                  SalvageResult* result);
+
+}  // namespace fcae
+
+#endif  // FCAE_TABLE_TABLE_VERIFIER_H_

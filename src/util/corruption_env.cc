@@ -1,0 +1,240 @@
+#include "util/corruption_env.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace fcae {
+
+namespace {
+
+// Deterministic xorshift32; good enough to spread flips over a file and
+// has no global state, so matrix-test seeds replay exactly.
+class SeededPrng {
+ public:
+  explicit SeededPrng(uint32_t seed) : state_(seed == 0 ? 0x9e3779b9u : seed) {}
+  uint32_t Next() {
+    uint32_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    state_ = x;
+    return x;
+  }
+
+ private:
+  uint32_t state_;
+};
+
+}  // namespace
+
+/// Forwards everything; tells the env when a Sync() commits.
+class CorruptionTrackedWritableFile : public WritableFile {
+ public:
+  CorruptionTrackedWritableFile(WritableFile* target,
+                                CorruptionInjectionEnv* env, std::string fname)
+      : target_(target), env_(env), fname_(std::move(fname)) {}
+  ~CorruptionTrackedWritableFile() override { delete target_; }
+
+  Status Append(const Slice& data) override { return target_->Append(data); }
+  Status Close() override { return target_->Close(); }
+  Status Flush() override { return target_->Flush(); }
+  Status Sync() override {
+    Status s = target_->Sync();
+    if (s.ok()) {
+      env_->NoteFileSynced(fname_);
+    }
+    return s;
+  }
+
+ private:
+  WritableFile* const target_;
+  CorruptionInjectionEnv* const env_;
+  const std::string fname_;
+};
+
+CorruptionInjectionEnv::CorruptionInjectionEnv(Env* base) : base_(base) {}
+
+CorruptionInjectionEnv::~CorruptionInjectionEnv() = default;
+
+Status CorruptionInjectionEnv::NewSequentialFile(const std::string& fname,
+                                                 SequentialFile** result) {
+  return base_->NewSequentialFile(fname, result);
+}
+
+Status CorruptionInjectionEnv::NewRandomAccessFile(const std::string& fname,
+                                                   RandomAccessFile** result) {
+  return base_->NewRandomAccessFile(fname, result);
+}
+
+Status CorruptionInjectionEnv::NewWritableFile(const std::string& fname,
+                                               WritableFile** result) {
+  WritableFile* file = nullptr;
+  Status s = base_->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    // Truncation discards any previously synced image.
+    MutexLock lock(&mu_);
+    synced_.erase(fname);
+  }
+  *result = new CorruptionTrackedWritableFile(file, this, fname);
+  return s;
+}
+
+Status CorruptionInjectionEnv::NewAppendableFile(const std::string& fname,
+                                                 WritableFile** result) {
+  WritableFile* file = nullptr;
+  Status s = base_->NewAppendableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  *result = new CorruptionTrackedWritableFile(file, this, fname);
+  return s;
+}
+
+bool CorruptionInjectionEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status CorruptionInjectionEnv::GetChildren(const std::string& dir,
+                                           std::vector<std::string>* result) {
+  return base_->GetChildren(dir, result);
+}
+
+Status CorruptionInjectionEnv::RemoveFile(const std::string& fname) {
+  Status s = base_->RemoveFile(fname);
+  if (s.ok()) {
+    MutexLock lock(&mu_);
+    synced_.erase(fname);
+  }
+  return s;
+}
+
+Status CorruptionInjectionEnv::CreateDir(const std::string& dirname) {
+  return base_->CreateDir(dirname);
+}
+
+Status CorruptionInjectionEnv::RemoveDir(const std::string& dirname) {
+  return base_->RemoveDir(dirname);
+}
+
+Status CorruptionInjectionEnv::GetFileSize(const std::string& fname,
+                                           uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status CorruptionInjectionEnv::RenameFile(const std::string& src,
+                                          const std::string& target) {
+  Status s = base_->RenameFile(src, target);
+  if (s.ok()) {
+    MutexLock lock(&mu_);
+    if (synced_.erase(src) > 0) {
+      synced_.insert(target);
+    }
+  }
+  return s;
+}
+
+Status CorruptionInjectionEnv::SyncDir(const std::string& dir) {
+  return base_->SyncDir(dir);
+}
+
+Status CorruptionInjectionEnv::LockFile(const std::string& fname,
+                                        FileLock** lock) {
+  return base_->LockFile(fname, lock);
+}
+
+Status CorruptionInjectionEnv::UnlockFile(FileLock* lock) {
+  return base_->UnlockFile(lock);
+}
+
+void CorruptionInjectionEnv::Schedule(void (*function)(void*), void* arg) {
+  base_->Schedule(function, arg);
+}
+
+void CorruptionInjectionEnv::SchedulePool(const char* pool, int max_threads,
+                                          void (*function)(void*), void* arg) {
+  base_->SchedulePool(pool, max_threads, function, arg);
+}
+
+void CorruptionInjectionEnv::StartThread(void (*function)(void*), void* arg) {
+  base_->StartThread(function, arg);
+}
+
+uint64_t CorruptionInjectionEnv::NowMicros() { return base_->NowMicros(); }
+
+void CorruptionInjectionEnv::SleepForMicroseconds(int micros) {
+  base_->SleepForMicroseconds(micros);
+}
+
+bool CorruptionInjectionEnv::IsSynced(const std::string& fname) const {
+  MutexLock lock(&mu_);
+  return synced_.count(fname) > 0;
+}
+
+std::vector<std::string> CorruptionInjectionEnv::SyncedFiles() const {
+  MutexLock lock(&mu_);
+  return std::vector<std::string>(synced_.begin(), synced_.end());
+}
+
+void CorruptionInjectionEnv::NoteFileSynced(const std::string& fname) {
+  MutexLock lock(&mu_);
+  synced_.insert(fname);
+}
+
+Status CorruptionInjectionEnv::CorruptFile(const std::string& fname,
+                                           uint32_t seed, int flips,
+                                           std::vector<uint64_t>* offsets) {
+  uint64_t size = 0;
+  Status s = GetFileSize(fname, &size);
+  if (!s.ok()) {
+    return s;
+  }
+  return CorruptFileRange(fname, seed, 0, size, flips, offsets);
+}
+
+Status CorruptionInjectionEnv::CorruptFileRange(
+    const std::string& fname, uint32_t seed, uint64_t start, uint64_t end,
+    int flips, std::vector<uint64_t>* offsets) {
+  std::string contents;
+  Status s = ReadFileToString(base_, fname, &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (contents.empty()) {
+    return Status::InvalidArgument(fname, "cannot corrupt empty file");
+  }
+  end = std::min<uint64_t>(end, contents.size());
+  if (start >= end) {
+    return Status::InvalidArgument(fname, "empty corruption range");
+  }
+  SeededPrng prng(seed);
+  for (int i = 0; i < flips; i++) {
+    const uint64_t offset = start + prng.Next() % (end - start);
+    // A zero mask would be a no-op flip; force at least one changed bit.
+    const char mask = static_cast<char>((prng.Next() % 255) + 1);
+    contents[offset] = static_cast<char>(contents[offset] ^ mask);
+    if (offsets != nullptr) {
+      offsets->push_back(offset);
+    }
+  }
+  // Rewrite in place through the *base* env so the synced-set bookkeeping
+  // is untouched: the file was durable before the rot and stays durable.
+  WritableFile* file = nullptr;
+  s = base_->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<WritableFile> file_guard(file);
+  s = file->Append(Slice(contents));
+  if (s.ok()) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  return s;
+}
+
+}  // namespace fcae

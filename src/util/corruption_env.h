@@ -1,0 +1,105 @@
+#ifndef FCAE_UTIL_CORRUPTION_ENV_H_
+#define FCAE_UTIL_CORRUPTION_ENV_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fcae {
+
+/// An Env wrapper that models at-rest bit rot: deterministic,
+/// seed-driven byte flips in files that have been made durable.
+/// Sibling of CrashInjectionEnv (crash_env.h) — where that one answers
+/// "which bytes survive a power cut", this one answers "what happens
+/// when bytes that *did* survive later go bad on the media".
+///
+/// The wrapper itself is a transparent pass-through; it only records
+/// which files have seen a successful WritableFile::Sync() so tests can
+/// restrict injection to durable state (corrupting an unsynced scratch
+/// file tests nothing). Corruption is applied on demand by CorruptFile:
+/// the file is read back through the wrapped Env, `flips` bytes chosen
+/// by a deterministic PRNG over `seed` are XOR-flipped (never to their
+/// original value, so every flip is a real change), and the mutated
+/// image is rewritten and synced in place. This read/flip/rewrite shape
+/// is what keeps the env portable: it needs no random-write API, so it
+/// works over both PosixEnv and the in-memory test Env.
+///
+/// Callers corrupting a table file that may already be open must evict
+/// it from the TableCache (or reopen the DB) before expecting reads to
+/// observe the damage — cached handles can pin pre-corruption content.
+class CorruptionInjectionEnv : public Env {
+ public:
+  /// Wraps `base` (not owned; must outlive this Env).
+  explicit CorruptionInjectionEnv(Env* base);
+  ~CorruptionInjectionEnv() override;
+
+  Status NewSequentialFile(const std::string& fname,
+                           SequentialFile** result) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             RandomAccessFile** result) override;
+  Status NewWritableFile(const std::string& fname,
+                         WritableFile** result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           WritableFile** result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+  Status SyncDir(const std::string& dir) override;
+  Status LockFile(const std::string& fname, FileLock** lock) override;
+  Status UnlockFile(FileLock* lock) override;
+  void Schedule(void (*function)(void*), void* arg) override;
+  void SchedulePool(const char* pool, int max_threads, void (*function)(void*),
+                    void* arg) override;
+  void StartThread(void (*function)(void*), void* arg) override;
+  uint64_t NowMicros() override;
+  void SleepForMicroseconds(int micros) override;
+
+  /// True once `fname` has had at least one successful Sync() through
+  /// this env (renames carry the mark to the new name).
+  bool IsSynced(const std::string& fname) const;
+
+  /// Full paths of all files currently marked synced, sorted.
+  std::vector<std::string> SyncedFiles() const;
+
+  /// Deterministically flips `flips` bytes of `fname`. The offsets and
+  /// XOR masks derive only from `seed` and the file length, so a given
+  /// (file image, seed, flips) always produces the same damage. When
+  /// `offsets` is non-null the chosen byte offsets are appended to it.
+  /// Fails with InvalidArgument on an empty file.
+  [[nodiscard]] Status CorruptFile(const std::string& fname, uint32_t seed,
+                                   int flips = 1,
+                                   std::vector<uint64_t>* offsets = nullptr);
+
+  /// Convenience: CorruptFile restricted to a byte range [start, end)
+  /// of the file (clamped to the file size). Lets tests target a
+  /// specific region (data block vs footer) deterministically.
+  [[nodiscard]] Status CorruptFileRange(const std::string& fname,
+                                        uint32_t seed, uint64_t start,
+                                        uint64_t end, int flips = 1,
+                                        std::vector<uint64_t>* offsets =
+                                            nullptr);
+
+ private:
+  friend class CorruptionTrackedWritableFile;
+
+  void NoteFileSynced(const std::string& fname);
+
+  Env* const base_;
+  mutable Mutex mu_;
+  std::set<std::string> synced_ GUARDED_BY(mu_);
+};
+
+}  // namespace fcae
+
+#endif  // FCAE_UTIL_CORRUPTION_ENV_H_

@@ -192,6 +192,16 @@ struct Options {
   /// and be thread-safe. When nullptr, periodic dumps still tick the
   /// `obs.stats_dump.count` metric but emit nothing.
   obs::Logger* info_log = nullptr;
+
+  /// Seconds between background integrity-scrub cycles (DESIGN.md §14).
+  /// Each cycle walks every live table on the scrub lane — whole-file
+  /// checksum vs the manifest, per-block CRCs, key order, and manifest
+  /// bounds — quarantining and repairing anything that fails. Scrub
+  /// reads ride the RateLimiter's low-priority lane, so a capped disk
+  /// budget gives scrubbing only leftover bandwidth. 0 disables the
+  /// periodic scrubber (DB::ScrubNow() still works). Clipped to at
+  /// least 60 when nonzero.
+  unsigned scrub_interval_seconds = 3600;
 };
 
 /// Options controlling read operations.

@@ -84,6 +84,81 @@ TEST(VersionEditTest, RejectsLevelOutOfRange) {
   ASSERT_FALSE(parsed.DecodeFrom(bad).ok());
 }
 
+TEST(VersionEditTest, FileChecksumSurvivesRoundTrip) {
+  FileMetaData f;
+  f.number = 17;
+  f.file_size = 4096;
+  f.smallest = InternalKey("aaa", 5, kTypeValue);
+  f.largest = InternalKey("mmm", 6, kTypeValue);
+  f.file_checksum = 0xdeadbeef;
+  f.has_file_checksum = true;
+
+  VersionEdit edit;
+  edit.AddFile(2, f);
+  // A second file without a checksum mixes in fine.
+  edit.AddFile(3, 18, 1000, InternalKey("n", 7, kTypeValue),
+               InternalKey("z", 8, kTypeValue));
+  TestEncodeDecode(edit);
+
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+  std::string debug = parsed.DebugString();
+  EXPECT_NE(std::string::npos,
+            debug.find("crc32c=" + std::to_string(0xdeadbeefu)));
+}
+
+TEST(VersionEditTest, UnknownSkippableTagIsSteppedOver) {
+  // A record from a hypothetical newer writer: tag 9 with a
+  // length-prefixed payload. An old decoder (this one) must skip it and
+  // keep reading the records it does understand.
+  VersionEdit edit;
+  edit.AddFile(1, 42, 512, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 2, kTypeValue));
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  PutVarint32(&encoded, 9);  // Future skippable tag.
+  PutLengthPrefixedSlice(&encoded, "future payload bytes");
+  PutVarint32(&encoded, 2);  // kLogNumber, after the unknown record.
+  PutVarint64(&encoded, 77);
+
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(encoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::string debug = parsed.DebugString();
+  EXPECT_NE(std::string::npos, debug.find("AddFile: 1 42"));
+  EXPECT_NE(std::string::npos, debug.find("LogNumber: 77"));
+}
+
+TEST(VersionEditTest, SkippableTagWithTruncatedPayloadFails) {
+  std::string bad;
+  PutVarint32(&bad, 9);
+  PutVarint32(&bad, 100);  // Length prefix longer than what follows.
+  bad.append("short");
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(bad).IsCorruption());
+}
+
+TEST(VersionEditTest, UnmatchedChecksumRecordIsIgnored) {
+  // A checksum record for a file the edit does not add must be
+  // harmless (skippable convention), not an error.
+  std::string encoded;
+  PutVarint32(&encoded, 8);  // kFileChecksum.
+  std::string payload;
+  PutVarint32(&payload, 3);    // level
+  PutVarint64(&payload, 999);  // file number with no kNewFile record
+  PutVarint32(&payload, 0xabcd);
+  PutLengthPrefixedSlice(&encoded, payload);
+  PutVarint32(&encoded, 2);  // kLogNumber still decodes after it.
+  PutVarint64(&encoded, 11);
+
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(encoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(std::string::npos, parsed.DebugString().find("LogNumber: 11"));
+}
+
 TEST(VersionEditTest, DebugStringMentionsEverything) {
   VersionEdit edit;
   edit.SetComparatorName("the-comparator");
